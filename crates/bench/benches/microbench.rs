@@ -1,0 +1,302 @@
+//! Criterion microbenchmarks for the TelegraphCQ-rs building blocks.
+//!
+//! One group per experiment id (see DESIGN.md §4):
+//!
+//! * `F2/stem_join`      — symmetric hash join via eddy + SteMs.
+//! * `E2/routing_policy` — per-tuple cost of each routing policy.
+//! * `E4/grouped_filter` — probe cost vs registered factor count.
+//! * `E3/query_stem`     — shared matching vs standing query count.
+//! * `E5/psoup`          — materialized invoke vs recompute.
+//! * `E8/aggregates`     — landmark vs sliding MAX updates.
+//! * `E10/archive`       — append and windowed scan.
+//!
+//! Run with `cargo bench -p tcq-bench`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rand::Rng;
+use tcq_bench::{kv, kv_schema};
+use tcq_common::rng::seeded;
+use tcq_common::{BitSet, CmpOp, Expr, Value};
+use tcq_eddy::{
+    Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
+    RoutingPolicy,
+};
+use tcq_operators::{symmetric_hash_join, AggFunc, AggSpec, SelectOp, WindowAggregator, WindowMode};
+use tcq_psoup::PSoup;
+use tcq_stems::{GroupedFilter, QueryStem};
+use tcq_storage::{BufferPool, StreamArchive};
+
+fn join_eddy(policy: Box<dyn RoutingPolicy>) -> Eddy {
+    let s = kv_schema("S");
+    let t = kv_schema("T");
+    let mut eddy = Eddy::new(&["S", "T"], policy, EddyConfig::default()).unwrap();
+    let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+    let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+    eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
+    eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+    eddy
+}
+
+fn bench_stem_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F2/stem_join");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let s = kv_schema("S");
+    let t = kv_schema("T");
+    let mut rng = seeded(1);
+    let n = 2_000usize;
+    let rows: Vec<(bool, i64)> =
+        (0..n).map(|_| (rng.gen_bool(0.5), rng.gen_range(0..500i64))).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("symmetric_hash_join_2k", |b| {
+        b.iter(|| {
+            let mut eddy = join_eddy(Box::new(FixedPolicy::new(vec![0, 1])));
+            let mut out = Vec::new();
+            for (i, (left, k)) in rows.iter().enumerate() {
+                let row = if *left {
+                    kv(&s, *k, 0, i as i64)
+                } else {
+                    kv(&t, *k, 0, i as i64)
+                };
+                eddy.process_into(row, &mut out).unwrap();
+            }
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_routing_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/routing_policy");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let schema = kv_schema("S");
+    let n = 10_000usize;
+    let mut rng = seeded(3);
+    let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..100i64)).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    let mk_policy = |which: &str| -> Box<dyn RoutingPolicy> {
+        match which {
+            "fixed" => Box::new(FixedPolicy::new(vec![0, 1, 2])),
+            "random" => Box::new(RandomPolicy),
+            "lottery" => Box::new(LotteryPolicy::new()),
+            _ => Box::new(GreedyPolicy::new()),
+        }
+    };
+    for which in ["fixed", "random", "lottery", "greedy"] {
+        group.bench_with_input(BenchmarkId::from_parameter(which), which, |b, which| {
+            b.iter(|| {
+                let mut eddy =
+                    Eddy::new(&["S"], mk_policy(which), EddyConfig::default()).unwrap();
+                let s = eddy.source_bit("S").unwrap();
+                for th in [10i64, 50, 90] {
+                    let f = SelectOp::new(
+                        format!("v<{th}"),
+                        &Expr::col("v").cmp(CmpOp::Lt, Expr::lit(th)),
+                        &schema,
+                    )
+                    .unwrap();
+                    eddy.add_module(ModuleSpec::filter(Box::new(f), s)).unwrap();
+                }
+                let mut emitted = 0usize;
+                for (i, v) in vals.iter().enumerate() {
+                    emitted += eddy.process(kv(&schema, 0, *v, i as i64)).unwrap().len();
+                }
+                emitted
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4/grouped_filter");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    for n in [64usize, 1024, 4096] {
+        let mut gf = GroupedFilter::new();
+        for i in 0..n {
+            gf.insert(i, ops[i % 6], Value::Int((i as i64 * 7) % 1000)).unwrap();
+        }
+        let mut rng = seeded(5);
+        let probes: Vec<Value> =
+            (0..1000).map(|_| Value::Int(rng.gen_range(0..1000i64))).collect();
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut out = BitSet::new();
+            b.iter(|| {
+                let mut total = 0usize;
+                for p in &probes {
+                    out.clear();
+                    gf.eval(p, &mut out);
+                    total += out.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_stem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/query_stem");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let schema = kv_schema("S");
+    for n in [16usize, 256, 1024] {
+        let mut qstem = QueryStem::new(schema.clone());
+        for q in 0..n {
+            let lo = (q as i64 * 13) % 950;
+            let pred = Expr::col("v")
+                .cmp(CmpOp::Ge, Expr::lit(lo))
+                .and(Expr::col("v").cmp(CmpOp::Lt, Expr::lit(lo + 50)));
+            qstem.insert_query(q, Some(&pred)).unwrap();
+        }
+        let mut rng = seeded(7);
+        let tuples: Vec<_> = (0..1000)
+            .map(|i| kv(&schema, 0, rng.gen_range(0..1000), i))
+            .collect();
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for t in &tuples {
+                    total += qstem.matching(t).unwrap().len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_psoup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/psoup");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let schema = kv_schema("S");
+    let window = 2_000i64;
+    let build = || {
+        let mut ps = PSoup::new(schema.clone(), window * 2);
+        for q in 0..32usize {
+            let lo = (q as i64 * 29) % 900;
+            let pred = Expr::col("v")
+                .cmp(CmpOp::Ge, Expr::lit(lo))
+                .and(Expr::col("v").cmp(CmpOp::Lt, Expr::lit(lo + 100)));
+            ps.register(q, Some(&pred), window).unwrap();
+        }
+        let mut rng = seeded(9);
+        for i in 1..=window * 2 {
+            ps.push(kv(&schema, 0, rng.gen_range(0..1000), i)).unwrap();
+        }
+        ps
+    };
+    let mut ps = build();
+    group.bench_function("invoke_32_queries", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in 0..32usize {
+                total += ps.invoke(q).unwrap().len();
+            }
+            total
+        })
+    });
+    group.bench_function("recompute_32_queries", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in 0..32usize {
+                total += ps.recompute(q).unwrap().len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/aggregates");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let schema = kv_schema("S");
+    let mut rng = seeded(11);
+    let n = 20_000i64;
+    let tuples: Vec<_> = (1..=n)
+        .map(|i| kv(&schema, 0, rng.gen_range(0..1_000_000), i))
+        .collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("landmark_max", |b| {
+        b.iter(|| {
+            let mut agg = WindowAggregator::new(
+                vec![AggSpec::over(AggFunc::Max, 1)],
+                WindowMode::Landmark,
+            );
+            for t in &tuples {
+                agg.update(t).unwrap();
+            }
+            agg.results().unwrap()
+        })
+    });
+    group.bench_function("sliding_max_w1000", |b| {
+        b.iter(|| {
+            let mut agg = WindowAggregator::new(
+                vec![AggSpec::over(AggFunc::Max, 1)],
+                WindowMode::Sliding,
+            );
+            for t in &tuples {
+                agg.update(t).unwrap();
+                agg.slide_to(t.timestamp().seq() - 999).unwrap();
+            }
+            agg.results().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10/archive");
+    group.sample_size(15).measurement_time(Duration::from_secs(2));
+    let schema = kv_schema("S");
+    let n = 50_000i64;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("append_50k", |b| {
+        b.iter(|| {
+            let pool = BufferPool::new(64, 8192);
+            let path = std::env::temp_dir()
+                .join(format!("tcq-bench-archive-{}.seg", std::process::id()));
+            let mut a = StreamArchive::create(&path, schema.clone(), pool).unwrap();
+            for i in 1..=n {
+                a.append(&kv(&schema, i % 100, i, i)).unwrap();
+            }
+            std::fs::remove_file(path).ok();
+            a.len()
+        })
+    });
+    // Pre-built archive for scans.
+    let pool = BufferPool::new(64, 8192);
+    let path = std::env::temp_dir().join(format!("tcq-bench-scan-{}.seg", std::process::id()));
+    let mut archive = StreamArchive::create(&path, schema.clone(), pool.clone()).unwrap();
+    for i in 1..=n {
+        archive.append(&kv(&schema, i % 100, i, i)).unwrap();
+    }
+    archive.flush().unwrap();
+    group.bench_function("scan_window_5k_hot", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            archive.scan_window(n / 2, n / 2 + 4_999, &mut out).unwrap();
+            out.len()
+        })
+    });
+    group.finish();
+    std::fs::remove_file(path).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_stem_join,
+    bench_routing_policies,
+    bench_grouped_filter,
+    bench_query_stem,
+    bench_psoup,
+    bench_aggregates,
+    bench_archive
+);
+criterion_main!(benches);

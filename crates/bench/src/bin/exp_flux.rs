@@ -1,0 +1,151 @@
+//! Experiment E7 (DESIGN.md): Flux load balancing and failover, reproducing
+//! the shape of Shah et al. \[SHCF03\] (paper §2.4).
+//!
+//! * Load balancing: a partitioned group-by on a 4-node simulated cluster
+//!   with one straggler node. Online repartitioning moves partitions off
+//!   the slow machine; the metric is ticks-to-drain (≈ makespan).
+//! * Fault tolerance: kill a node mid-run, with and without process-pair
+//!   replication; the metric is tuples lost and whether answers survive.
+//!
+//! ```text
+//! cargo run --release -p tcq-bench --bin exp_flux
+//! ```
+
+use tcq_bench::{kv, kv_schema, Table};
+use tcq_flux::{FluxCluster, FluxConfig};
+
+const TUPLES: i64 = 60_000;
+const KEYS: i64 = 503;
+
+fn workload() -> Vec<tcq_common::Tuple> {
+    let schema = kv_schema("S");
+    (0..TUPLES)
+        .map(|i| kv(&schema, (i * 31 + 7) % KEYS, 1, i + 1))
+        .collect()
+}
+
+fn experiment_load_balancing() {
+    println!(
+        "E7a — online repartitioning: 4 nodes, speeds [1, 8, 8, 8] (one straggler),\n\
+         {TUPLES} tuples of a {KEYS}-key group-by\n"
+    );
+    let rows = workload();
+    let mut table = Table::new(&[
+        "configuration",
+        "drain ticks",
+        "moved",
+        "max node share",
+        "answers ok",
+    ]);
+    for (label, rebalance) in [
+        ("static Exchange (no rebalancing)", 0u64),
+        ("Flux, rebalance every 64 ticks", 64),
+        ("Flux, rebalance every 8 ticks", 8),
+    ] {
+        let cfg = FluxConfig::uniform(4)
+            .with_speeds(vec![1, 8, 8, 8])
+            .with_rebalancing(rebalance);
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        for t in &rows {
+            cluster.ingest(t).unwrap();
+        }
+        let ticks = cluster.run_until_drained(10_000_000);
+        let stats = cluster.stats();
+        let processed: Vec<u64> = cluster.node_stats().iter().map(|n| n.processed).collect();
+        let total: u64 = processed.iter().sum();
+        let max_share = *processed.iter().max().unwrap() as f64 / total as f64;
+        let counts: u64 = cluster.results().values().map(|(c, _)| c).sum();
+        table.row(vec![
+            label.to_string(),
+            ticks.to_string(),
+            stats.partitions_moved.to_string(),
+            format!("{:.0}%", max_share * 100.0),
+            (counts == TUPLES as u64).to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n  shape check ([SHCF03] Fig. 7 analogue): without repartitioning the\n\
+         \x20 straggler gates the drain (it owns 1/4 of partitions at 1/8 speed);\n\
+         \x20 Flux moves its partitions to fast nodes and cuts makespan several-fold,\n\
+         \x20 at the price of a few state movements. Answers are identical.\n"
+    );
+}
+
+fn experiment_failover() {
+    println!("E7b — failover: kill node 2 mid-run, with and without replication\n");
+    let rows = workload();
+    let mut table = Table::new(&[
+        "configuration",
+        "failovers",
+        "lost tuples",
+        "final count",
+        "expected",
+    ]);
+    for (label, replicated) in [("no replicas", false), ("process pairs", true)] {
+        let cfg = if replicated {
+            FluxConfig::uniform(4).with_replication()
+        } else {
+            FluxConfig::uniform(4)
+        };
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        for (i, t) in rows.iter().enumerate() {
+            cluster.ingest(t).unwrap();
+            if i % 16 == 0 {
+                cluster.tick();
+            }
+            if i == rows.len() / 2 {
+                cluster.kill_node(2).unwrap();
+            }
+        }
+        cluster.run_until_drained(10_000_000);
+        let stats = cluster.stats();
+        let count: u64 = cluster.results().values().map(|(c, _)| c).sum();
+        table.row(vec![
+            label.to_string(),
+            stats.failovers.to_string(),
+            (TUPLES as u64 - count).to_string(),
+            count.to_string(),
+            TUPLES.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n  shape check: without replicas, the dead node's state and in-flight\n\
+         \x20 tuples are gone; with process pairs, failover promotes the replicas\n\
+         \x20 and the final counts are exact — \"Flux automatically recovers lost\n\
+         \x20 in-flight data and operator state … and continues processing\".\n"
+    );
+}
+
+/// Memory/overhead tradeoff of replication: processed work doubles.
+fn experiment_replication_cost() {
+    println!("E7c — the replication 'QoS knob': reliability costs duplicate work\n");
+    let rows = workload();
+    let mut table = Table::new(&["configuration", "total node work", "drain ticks"]);
+    for (label, replicated) in [("no replicas", false), ("process pairs", true)] {
+        let cfg = if replicated {
+            FluxConfig::uniform(4).with_replication()
+        } else {
+            FluxConfig::uniform(4)
+        };
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        for t in &rows {
+            cluster.ingest(t).unwrap();
+        }
+        let ticks = cluster.run_until_drained(10_000_000);
+        let work: u64 = cluster.node_stats().iter().map(|n| n.processed).sum();
+        table.row(vec![label.to_string(), work.to_string(), ticks.to_string()]);
+    }
+    table.print();
+    println!(
+        "\n  shape check: process pairs process every tuple twice — the \"unneeded\n\
+         \x20 reliability … traded for improved performance\" knob of §2.4.\n"
+    );
+}
+
+fn main() {
+    experiment_load_balancing();
+    experiment_failover();
+    experiment_replication_cost();
+}

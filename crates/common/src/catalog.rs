@@ -1,0 +1,184 @@
+//! The metadata catalog.
+//!
+//! TelegraphCQ reuses PostgreSQL's catalog; here we provide the same
+//! contract in-process: a thread-safe registry mapping stream/table names to
+//! schemas, source kinds, and stable numeric ids. The front-end's semantic
+//! analyzer resolves FROM-clause names against it, and ingress wrappers
+//! register the streams they produce.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, TcqError};
+use crate::schema::SchemaRef;
+
+/// How tuples for a registered source arrive (TelegraphCQ §4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Unbounded stream fed by a push wrapper (the source connects to us or
+    /// we subscribe to it); tuples arrive asynchronously.
+    PushStream,
+    /// Unbounded stream we poll via a pull wrapper.
+    PullStream,
+    /// A finite, static table (an input without a WindowIs clause "is
+    /// assumed to be a static table by default", §4.1.1).
+    Table,
+}
+
+impl SourceKind {
+    /// True for both stream kinds.
+    pub fn is_stream(self) -> bool {
+        !matches!(self, SourceKind::Table)
+    }
+}
+
+/// Catalog entry for one stream or table.
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Stable id assigned at registration; used in query footprints.
+    pub id: u32,
+    /// Registered name (case-preserving).
+    pub name: String,
+    /// Tuple shape.
+    pub schema: SchemaRef,
+    /// Push/pull/table.
+    pub kind: SourceKind,
+}
+
+/// Thread-safe registry of streams and tables.
+///
+/// Cloning a `Catalog` yields a handle onto the same shared registry,
+/// mirroring how every PostgreSQL backend sees one system catalog.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<CatalogInner>>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    by_name: HashMap<String, StreamDef>,
+    next_id: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a stream or table; errors if the name is taken.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        schema: SchemaRef,
+        kind: SourceKind,
+    ) -> Result<StreamDef> {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        let mut inner = self.inner.write();
+        if inner.by_name.contains_key(&key) {
+            return Err(TcqError::DuplicateStream(name));
+        }
+        let def = StreamDef { id: inner.next_id, name, schema, kind };
+        inner.next_id += 1;
+        inner.by_name.insert(key, def.clone());
+        Ok(def)
+    }
+
+    /// Look a source up by name (case-insensitive).
+    pub fn lookup(&self, name: &str) -> Result<StreamDef> {
+        self.inner
+            .read()
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| TcqError::UnknownStream(name.to_string()))
+    }
+
+    /// Remove a source; errors if absent.
+    pub fn drop_source(&self, name: &str) -> Result<StreamDef> {
+        self.inner
+            .write()
+            .by_name
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| TcqError::UnknownStream(name.to_string()))
+    }
+
+    /// All registered definitions, ordered by id.
+    pub fn list(&self) -> Vec<StreamDef> {
+        let mut v: Vec<StreamDef> = self.inner.read().by_name.values().cloned().collect();
+        v.sort_by_key(|d| d.id);
+        v
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_name.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.register("ClosingStockPrices", schema(), SourceKind::PushStream).unwrap();
+        let def = c.lookup("closingstockprices").unwrap();
+        assert_eq!(def.name, "ClosingStockPrices");
+        assert!(def.kind.is_stream());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let c = Catalog::new();
+        c.register("s", schema(), SourceKind::Table).unwrap();
+        assert!(matches!(
+            c.register("S", schema(), SourceKind::Table),
+            Err(TcqError::DuplicateStream(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_stable_and_increasing() {
+        let c = Catalog::new();
+        let a = c.register("a", schema(), SourceKind::Table).unwrap();
+        let b = c.register("b", schema(), SourceKind::PullStream).unwrap();
+        assert!(a.id < b.id);
+        // dropping doesn't recycle ids
+        c.drop_source("a").unwrap();
+        let d = c.register("d", schema(), SourceKind::Table).unwrap();
+        assert!(d.id > b.id);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Catalog::new();
+        let c2 = c.clone();
+        c.register("s", schema(), SourceKind::PushStream).unwrap();
+        assert!(c2.lookup("s").is_ok());
+    }
+
+    #[test]
+    fn list_ordered_by_id() {
+        let c = Catalog::new();
+        for name in ["z", "m", "a"] {
+            c.register(name, schema(), SourceKind::Table).unwrap();
+        }
+        let names: Vec<_> = c.list().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["z", "m", "a"]);
+    }
+}

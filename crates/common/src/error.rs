@@ -1,0 +1,119 @@
+//! Error handling for the TelegraphCQ-rs workspace.
+//!
+//! Library code never panics on user input: parse errors, schema mismatches,
+//! disconnected queues, and storage failures are all surfaced through
+//! [`TcqError`]. Panics are reserved for internal invariant violations.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TcqError>;
+
+/// The unified error type for TelegraphCQ-rs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcqError {
+    /// A query string failed lexing or parsing.
+    Parse {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset into the query text, when known.
+        offset: Option<usize>,
+    },
+    /// Semantic analysis failed (unknown stream, unknown column, type error).
+    Analysis(String),
+    /// A schema did not match what an operator expected.
+    SchemaMismatch(String),
+    /// A catalog lookup failed.
+    UnknownStream(String),
+    /// A catalog registration collided with an existing name.
+    DuplicateStream(String),
+    /// A Fjord queue endpoint was disconnected.
+    Disconnected(&'static str),
+    /// The executor rejected a request (e.g. shutdown in progress).
+    Executor(String),
+    /// Storage-layer failure (I/O, corrupt page, out-of-range scan).
+    Storage(String),
+    /// A window specification is invalid (e.g. right end before left end).
+    InvalidWindow(String),
+    /// Flux cluster operation failed (unknown node, no replica, ...).
+    Flux(String),
+    /// Value-level type error (e.g. comparing Int with Str).
+    Type(String),
+    /// Resource limits exceeded (queue capacity, module count, query count).
+    Capacity(String),
+}
+
+impl TcqError {
+    /// Build a parse error with no position information.
+    pub fn parse(message: impl Into<String>) -> Self {
+        TcqError::Parse { message: message.into(), offset: None }
+    }
+
+    /// Build a parse error at a byte offset.
+    pub fn parse_at(message: impl Into<String>, offset: usize) -> Self {
+        TcqError::Parse { message: message.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for TcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcqError::Parse { message, offset: Some(off) } => {
+                write!(f, "parse error at byte {off}: {message}")
+            }
+            TcqError::Parse { message, offset: None } => write!(f, "parse error: {message}"),
+            TcqError::Analysis(m) => write!(f, "analysis error: {m}"),
+            TcqError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            TcqError::UnknownStream(name) => write!(f, "unknown stream or table: {name}"),
+            TcqError::DuplicateStream(name) => write!(f, "stream already registered: {name}"),
+            TcqError::Disconnected(what) => write!(f, "fjord disconnected: {what}"),
+            TcqError::Executor(m) => write!(f, "executor error: {m}"),
+            TcqError::Storage(m) => write!(f, "storage error: {m}"),
+            TcqError::InvalidWindow(m) => write!(f, "invalid window: {m}"),
+            TcqError::Flux(m) => write!(f, "flux error: {m}"),
+            TcqError::Type(m) => write!(f, "type error: {m}"),
+            TcqError::Capacity(m) => write!(f, "capacity exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TcqError {}
+
+impl From<std::io::Error> for TcqError {
+    fn from(e: std::io::Error) -> Self {
+        TcqError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = TcqError::parse_at("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+
+    #[test]
+    fn display_without_offset() {
+        let e = TcqError::parse("dangling FROM");
+        assert_eq!(e.to_string(), "parse error: dangling FROM");
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: TcqError = io.into();
+        assert!(matches!(e, TcqError::Storage(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            TcqError::UnknownStream("s".into()),
+            TcqError::UnknownStream("s".into())
+        );
+        assert_ne!(TcqError::Disconnected("in"), TcqError::Disconnected("out"));
+    }
+}

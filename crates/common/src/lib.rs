@@ -1,0 +1,35 @@
+//! Shared foundation types for TelegraphCQ-rs.
+//!
+//! This crate contains the vocabulary every other crate speaks:
+//!
+//! * [`Value`] — the dynamically typed cell of a stream tuple.
+//! * [`Tuple`] — an immutable, cheaply clonable row with a timestamp.
+//! * [`Schema`] / [`Field`] — stream and table shapes.
+//! * [`Catalog`] — the registry of streams and tables known to the engine.
+//! * [`Timestamp`] — logical (sequence) and physical (wall-clock) time, as a
+//!   partial order (TelegraphCQ §4.1: "we treat time as a partial order").
+//! * [`TcqError`] — the error type used across the workspace.
+//!
+//! Everything here is deliberately free of engine policy: no queues, no
+//! operators, no routing. Those live in the crates layered above.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod catalog;
+pub mod error;
+pub mod expr;
+pub mod rng;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use bitset::BitSet;
+pub use catalog::{Catalog, SourceKind, StreamDef};
+pub use error::{Result, TcqError};
+pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use time::{TimeOrder, Timestamp};
+pub use tuple::{Tuple, TupleBuilder};
+pub use value::Value;

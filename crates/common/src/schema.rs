@@ -1,0 +1,259 @@
+//! Schemas: the shape of a stream or table.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, TcqError};
+
+/// The small type lattice of TelegraphCQ-rs values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer (also logical timestamps).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Whether a value of type `other` can appear where `self` is expected
+    /// (numeric widening Int -> Float is allowed).
+    pub fn accepts(self, other: DataType) -> bool {
+        self == other || (self == DataType::Float && other == DataType::Int)
+    }
+
+    /// True for Int/Float.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "BOOL"),
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (case-preserving; lookups are case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// Shared, immutable schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered list of named, typed columns, optionally qualified by the
+/// stream/table (or alias) each column came from.
+///
+/// Joined tuples carry concatenated schemas whose columns keep their source
+/// qualifier, so `c1.closingPrice` and `c2.closingPrice` (the paper's
+/// self-join example) remain distinguishable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+    /// Per-field source qualifier (stream name or alias), parallel to
+    /// `fields`. Empty string means unqualified.
+    qualifiers: Vec<String>,
+}
+
+impl Schema {
+    /// Build an unqualified schema.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let n = fields.len();
+        Schema { fields, qualifiers: vec![String::new(); n] }
+    }
+
+    /// Build a schema where every column is qualified by `qualifier`.
+    pub fn qualified(qualifier: impl Into<String>, fields: Vec<Field>) -> Self {
+        let q = qualifier.into();
+        let n = fields.len();
+        Schema { fields, qualifiers: vec![q; n] }
+    }
+
+    /// Wrap in an `Arc`.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// The qualifier of the field at `idx` (empty if unqualified).
+    pub fn qualifier(&self, idx: usize) -> &str {
+        &self.qualifiers[idx]
+    }
+
+    /// Re-qualify every column with a new source name (used when a stream is
+    /// given an alias in a query's FROM clause).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            fields: self.fields.clone(),
+            qualifiers: vec![qualifier.to_string(); self.fields.len()],
+        }
+    }
+
+    /// Find a column by optionally-qualified name, case-insensitively.
+    ///
+    /// `qualifier: None` matches any qualifier but errors if the bare name
+    /// is ambiguous across qualifiers.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if !f.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = qualifier {
+                if !self.qualifiers[i].eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            if let Some(prev) = found {
+                return Err(TcqError::Analysis(format!(
+                    "ambiguous column '{name}': matches both {}.{} and {}.{}",
+                    self.qualifiers[prev], self.fields[prev].name, self.qualifiers[i], f.name
+                )));
+            }
+            found = Some(i);
+        }
+        found.ok_or_else(|| {
+            let full = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            };
+            TcqError::Analysis(format!("unknown column '{full}'"))
+        })
+    }
+
+    /// Concatenate two schemas (for join outputs), preserving qualifiers.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        let mut qualifiers = self.qualifiers.clone();
+        qualifiers.extend(other.qualifiers.iter().cloned());
+        Schema { fields, qualifiers }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+            qualifiers: indices.iter().map(|&i| self.qualifiers[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if !self.qualifiers[i].is_empty() {
+                write!(f, "{}.", self.qualifiers[i])?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock_schema() -> Schema {
+        Schema::qualified(
+            "ClosingStockPrices",
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = stock_schema();
+        assert_eq!(s.index_of(None, "CLOSINGPRICE").unwrap(), 2);
+        assert_eq!(s.index_of(Some("closingstockprices"), "timestamp").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = stock_schema();
+        assert!(s.index_of(None, "volume").is_err());
+        assert!(s.index_of(Some("other"), "timestamp").is_err());
+    }
+
+    #[test]
+    fn self_join_concat_disambiguates_by_qualifier() {
+        let c1 = stock_schema().with_qualifier("c1");
+        let c2 = stock_schema().with_qualifier("c2");
+        let joined = c1.concat(&c2);
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.index_of(Some("c1"), "closingPrice").unwrap(), 2);
+        assert_eq!(joined.index_of(Some("c2"), "closingPrice").unwrap(), 5);
+        // bare name is ambiguous
+        assert!(joined.index_of(None, "closingPrice").is_err());
+    }
+
+    #[test]
+    fn projection_keeps_names_and_qualifiers() {
+        let s = stock_schema();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "closingPrice");
+        assert_eq!(p.field(1).name, "timestamp");
+        assert_eq!(p.qualifier(0), "ClosingStockPrices");
+    }
+
+    #[test]
+    fn accepts_widening() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+        assert!(DataType::Str.accepts(DataType::Str));
+    }
+
+    #[test]
+    fn display_renders_qualifiers() {
+        let s = Schema::qualified("s", vec![Field::new("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(s.a INT)");
+    }
+}

@@ -1,0 +1,285 @@
+//! Tuples: immutable, cheaply clonable rows.
+//!
+//! A [`Tuple`] pairs a shared value vector with its [`SchemaRef`] and a
+//! [`Timestamp`]. Cloning a tuple is two `Arc` bumps — essential because
+//! eddies route the *same* tuple through many modules and CACQ shares one
+//! tuple across many queries.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, TcqError};
+use crate::schema::SchemaRef;
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// An immutable row flowing through the dataflow.
+#[derive(Clone)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+    schema: SchemaRef,
+    ts: Timestamp,
+}
+
+impl Tuple {
+    /// Build a tuple, checking arity against the schema.
+    pub fn new(schema: SchemaRef, values: Vec<Value>, ts: Timestamp) -> Result<Self> {
+        if values.len() != schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "tuple has {} values but schema {} has {} columns",
+                values.len(),
+                schema,
+                schema.len()
+            )));
+        }
+        Ok(Tuple { values: values.into(), schema, ts })
+    }
+
+    /// Build without the arity check (hot path; used by operators that have
+    /// already validated shapes at plan time).
+    pub fn new_unchecked(schema: SchemaRef, values: Vec<Value>, ts: Timestamp) -> Self {
+        debug_assert_eq!(values.len(), schema.len());
+        Tuple { values: values.into(), schema, ts }
+    }
+
+    /// The values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at column `idx`.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The tuple's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The tuple's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Replace the timestamp (used by ingress when stamping arrival order).
+    pub fn with_timestamp(&self, ts: Timestamp) -> Tuple {
+        Tuple { values: Arc::clone(&self.values), schema: Arc::clone(&self.schema), ts }
+    }
+
+    /// Re-schema the tuple (used when a stream tuple enters a query under
+    /// an alias — e.g. the paper's self-join delivers each physical tuple
+    /// once as `c1` and once as `c2`). Values are shared, not copied.
+    /// Errors if the arity differs.
+    pub fn with_schema(&self, schema: SchemaRef) -> Result<Tuple> {
+        if schema.len() != self.values.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "cannot re-schema arity {} tuple to {} ({schema})",
+                self.values.len(),
+                schema.len()
+            )));
+        }
+        Ok(Tuple { values: Arc::clone(&self.values), schema, ts: self.ts })
+    }
+
+    /// Concatenate two tuples into a join output. The result's timestamp is
+    /// the partial-order max of the parents (a join result "happens" when
+    /// its later input arrives).
+    pub fn concat(&self, other: &Tuple, joined_schema: SchemaRef) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        debug_assert_eq!(values.len(), joined_schema.len());
+        Tuple {
+            values: values.into(),
+            schema: joined_schema,
+            ts: self.ts.join_max(&other.ts),
+        }
+    }
+
+    /// Project columns by index onto a pre-computed projected schema.
+    pub fn project(&self, indices: &[usize], projected_schema: SchemaRef) -> Tuple {
+        let values: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
+        debug_assert_eq!(values.len(), projected_schema.len());
+        Tuple { values: values.into(), schema: projected_schema, ts: self.ts }
+    }
+
+    /// Look a value up by (optionally qualified) column name.
+    pub fn get(&self, qualifier: Option<&str>, name: &str) -> Result<&Value> {
+        let idx = self.schema.index_of(qualifier, name)?;
+        Ok(&self.values[idx])
+    }
+}
+
+impl PartialEq for Tuple {
+    /// Value equality; timestamps and schema identity are ignored so tests
+    /// can compare results from different plans.
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+impl Eq for Tuple {}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} |", self.ts)?;
+        for v in self.values.iter() {
+            write!(f, " {v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builder for constructing tuples against a fixed schema, used by ingress
+/// wrappers and tests.
+#[derive(Clone)]
+pub struct TupleBuilder {
+    schema: SchemaRef,
+    values: Vec<Value>,
+    ts: Timestamp,
+}
+
+impl TupleBuilder {
+    /// Start building a tuple for `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        let cap = schema.len();
+        TupleBuilder { schema, values: Vec::with_capacity(cap), ts: Timestamp::unknown() }
+    }
+
+    /// Append the next column value.
+    pub fn push(mut self, v: impl Into<Value>) -> Self {
+        self.values.push(v.into());
+        self
+    }
+
+    /// Set the timestamp.
+    pub fn at(mut self, ts: Timestamp) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Finish, validating arity and column types.
+    pub fn build(self) -> Result<Tuple> {
+        if self.values.len() != self.schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "builder has {} of {} values",
+                self.values.len(),
+                self.schema.len()
+            )));
+        }
+        for (i, v) in self.values.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                let expected = self.schema.field(i).data_type;
+                if !expected.accepts(dt) {
+                    return Err(TcqError::SchemaMismatch(format!(
+                        "column {} ({}) expects {expected}, got {dt}",
+                        i,
+                        self.schema.field(i).name
+                    )));
+                }
+            }
+        }
+        Tuple::new(self.schema, self.values, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+
+    fn stock_schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn tick(ts: i64, sym: &str, price: f64) -> Tuple {
+        TupleBuilder::new(stock_schema())
+            .push(ts)
+            .push(sym)
+            .push(price)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_arity() {
+        let t = TupleBuilder::new(stock_schema()).push(1i64).build();
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn builder_validates_types() {
+        let t = TupleBuilder::new(stock_schema())
+            .push("oops")
+            .push("MSFT")
+            .push(10.0)
+            .build();
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn builder_accepts_int_where_float_expected() {
+        let t = TupleBuilder::new(stock_schema())
+            .push(1i64)
+            .push("MSFT")
+            .push(50i64)
+            .build();
+        assert!(t.is_ok());
+    }
+
+    #[test]
+    fn get_by_name() {
+        let t = tick(3, "MSFT", 51.5);
+        assert_eq!(t.get(None, "closingPrice").unwrap(), &Value::Float(51.5));
+        assert_eq!(t.get(Some("s"), "stockSymbol").unwrap(), &Value::str("MSFT"));
+        assert!(t.get(None, "nope").is_err());
+    }
+
+    #[test]
+    fn concat_takes_max_timestamp() {
+        let a = tick(3, "MSFT", 51.5);
+        let b = tick(7, "IBM", 80.0);
+        let joined_schema = a.schema().concat(b.schema()).into_ref();
+        let j = a.concat(&b, joined_schema);
+        assert_eq!(j.arity(), 6);
+        assert_eq!(j.timestamp().seq(), 7);
+    }
+
+    #[test]
+    fn project_preserves_timestamp() {
+        let t = tick(9, "MSFT", 1.0);
+        let proj_schema = t.schema().project(&[2]).into_ref();
+        let p = t.project(&[2], proj_schema);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.timestamp().seq(), 9);
+        assert_eq!(p.value(0), &Value::Float(1.0));
+    }
+
+    #[test]
+    fn equality_ignores_timestamp() {
+        let a = tick(1, "MSFT", 2.0);
+        let b = a.with_timestamp(Timestamp::logical(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = tick(1, "MSFT", 2.0);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.values.as_ptr(), b.values.as_ptr()));
+    }
+}

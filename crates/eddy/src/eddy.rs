@@ -1,0 +1,587 @@
+//! The single-query eddy.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use tcq_common::rng::{seeded, TcqRng};
+use tcq_common::{Result, SchemaRef, TcqError, Tuple};
+use tcq_operators::EddyModule;
+
+use crate::lineage::{SignatureCache, SourceSet};
+use crate::policy::{ModuleObservation, ModuleStats, RoutingPolicy};
+
+/// A module registered with an eddy, plus its applicability rule.
+///
+/// A module applies to a tuple with signature `sig` when
+/// `sig == build_exact` (a *build* visit), or when all of:
+/// `required_all ⊆ sig`, `sig ∩ excluded = ∅`, and
+/// `required_any = ∅ ∨ sig ∩ required_any ≠ ∅`.
+pub struct ModuleSpec {
+    /// The module itself.
+    pub module: Box<dyn EddyModule>,
+    /// Sources whose columns must all be present.
+    pub required_all: SourceSet,
+    /// At least one of these sources must be present (0 = no constraint).
+    pub required_any: SourceSet,
+    /// None of these sources may be present.
+    pub excluded: SourceSet,
+    /// Exact signature for which this module is the mandatory *first* visit
+    /// (SteM build). `None` for non-storing modules.
+    pub build_exact: Option<SourceSet>,
+}
+
+impl ModuleSpec {
+    /// A filter-style module over the given sources (applies to any tuple
+    /// spanning them all).
+    pub fn filter(module: Box<dyn EddyModule>, required_all: SourceSet) -> Self {
+        ModuleSpec { module, required_all, required_any: 0, excluded: 0, build_exact: None }
+    }
+
+    /// A SteM-style module: stores base tuples of `stores`; probed by
+    /// tuples spanning any of `probed_by` and not spanning `stores`.
+    pub fn stem(module: Box<dyn EddyModule>, stores: SourceSet, probed_by: SourceSet) -> Self {
+        ModuleSpec {
+            module,
+            required_all: 0,
+            required_any: probed_by,
+            excluded: stores,
+            build_exact: Some(stores),
+        }
+    }
+
+    fn applies(&self, sig: SourceSet) -> bool {
+        if self.build_exact == Some(sig) {
+            return true;
+        }
+        sig & self.excluded == 0
+            && sig & self.required_all == self.required_all
+            && (self.required_any == 0 || sig & self.required_any != 0)
+    }
+
+    fn is_build_for(&self, sig: SourceSet) -> bool {
+        self.build_exact == Some(sig)
+    }
+}
+
+/// Eddy configuration: the §4.3 "adapting adaptivity" knobs.
+#[derive(Debug, Clone)]
+pub struct EddyConfig {
+    /// Tuples per routing decision ("batching tuples, by dynamically
+    /// adjusting the frequency of routing decisions", §4.3). 1 = decide for
+    /// every tuple (maximum adaptivity); N = the order chosen for one tuple
+    /// is reused for the next N-1 tuples of the same signature.
+    pub batch_size: usize,
+    /// RNG seed (policies draw lotteries from this stream).
+    pub seed: u64,
+}
+
+impl Default for EddyConfig {
+    fn default() -> Self {
+        EddyConfig { batch_size: 1, seed: 0x7E1E_64AF }
+    }
+}
+
+/// Aggregate counters for one eddy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EddyStats {
+    /// Base tuples pushed in.
+    pub tuples_in: u64,
+    /// Tuples emitted at the eddy output.
+    pub emitted: u64,
+    /// Module visits performed.
+    pub visits: u64,
+    /// Routing decisions made (≤ visits when batching or forced builds).
+    pub decisions: u64,
+}
+
+/// Per-tuple routing state.
+struct InFlight {
+    tuple: Tuple,
+    sig: SourceSet,
+    /// Bit i set ⇔ module i visited.
+    done: u64,
+}
+
+/// The adaptive tuple router for one continuous query (paper §2.2).
+pub struct Eddy {
+    sig_cache: SignatureCache,
+    modules: Vec<ModuleSpec>,
+    stats: Vec<ModuleStats>,
+    policy: Box<dyn RoutingPolicy>,
+    rng: TcqRng,
+    config: EddyConfig,
+    footprint: SourceSet,
+    queue: VecDeque<InFlight>,
+    eddy_stats: EddyStats,
+    /// Batching state: per-signature recorded visit order + uses remaining.
+    batch: HashMap<SourceSet, (Vec<usize>, usize)>,
+    /// Scratch candidate buffer.
+    candidates: Vec<usize>,
+}
+
+impl Eddy {
+    /// Create an eddy over `sources` (qualifiers) with a routing policy.
+    pub fn new(
+        sources: &[impl AsRef<str>],
+        policy: Box<dyn RoutingPolicy>,
+        config: EddyConfig,
+    ) -> Result<Self> {
+        let sig_cache = SignatureCache::new(sources)?;
+        let footprint = sig_cache.footprint();
+        let rng = seeded(config.seed);
+        Ok(Eddy {
+            sig_cache,
+            modules: Vec::new(),
+            stats: Vec::new(),
+            policy,
+            rng,
+            config,
+            footprint,
+            queue: VecDeque::new(),
+            eddy_stats: EddyStats::default(),
+            batch: HashMap::new(),
+            candidates: Vec::new(),
+        })
+    }
+
+    /// Register a module; at most 64 per eddy (done-sets are one word).
+    pub fn add_module(&mut self, spec: ModuleSpec) -> Result<usize> {
+        if self.modules.len() >= 64 {
+            return Err(TcqError::Capacity("an eddy supports at most 64 modules".into()));
+        }
+        self.modules.push(spec);
+        self.stats.push(ModuleStats::default());
+        Ok(self.modules.len() - 1)
+    }
+
+    /// The bit for a source qualifier (for building [`ModuleSpec`]s).
+    pub fn source_bit(&self, source: &str) -> Result<SourceSet> {
+        self.sig_cache.bit_of(source)
+    }
+
+    /// Route one base tuple to completion; returns everything emitted at
+    /// the eddy output (tuples spanning the full query footprint that have
+    /// visited every applicable module).
+    pub fn process(&mut self, tuple: Tuple) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.process_into(tuple, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Eddy::process`] but appends into a caller buffer (hot path).
+    pub fn process_into(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        self.eddy_stats.tuples_in += 1;
+        let sig = self.sig_cache.signature(tuple.schema())?;
+        self.queue.push_back(InFlight { tuple, sig, done: 0 });
+        while let Some(inf) = self.queue.pop_front() {
+            self.route_to_completion(inf, out)?;
+        }
+        Ok(())
+    }
+
+    fn route_to_completion(&mut self, mut inf: InFlight, out: &mut Vec<Tuple>) -> Result<()> {
+        // Batching: count tuples against the signature's recorded order;
+        // after batch_size tuples, expire it so the policy decides afresh.
+        if self.config.batch_size > 1 {
+            let entry = self.batch.entry(inf.sig).or_insert((Vec::new(), 0));
+            entry.1 += 1;
+            if entry.1 > self.config.batch_size {
+                entry.0.clear();
+                entry.1 = 1;
+            }
+        }
+        loop {
+            // Mandatory build-first visit, outside the policy's purview.
+            let next = if let Some(b) = self.pending_build(&inf) {
+                b
+            } else {
+                self.candidates.clear();
+                for (i, spec) in self.modules.iter().enumerate() {
+                    if inf.done & (1 << i) == 0 && spec.applies(inf.sig) {
+                        self.candidates.push(i);
+                    }
+                }
+                if self.candidates.is_empty() {
+                    if inf.sig == self.footprint {
+                        self.eddy_stats.emitted += 1;
+                        out.push(inf.tuple);
+                    }
+                    return Ok(());
+                }
+                self.choose(inf.sig)?
+            };
+
+            let start = Instant::now();
+            let routed = self.modules[next].module.process(&inf.tuple)?;
+            let nanos = start.elapsed().as_nanos() as u64;
+            inf.done |= 1 << next;
+            self.eddy_stats.visits += 1;
+
+            let st = &mut self.stats[next];
+            st.routed += 1;
+            st.nanos += nanos;
+            if routed.keep {
+                st.kept += 1;
+            }
+            st.produced += routed.outputs.len() as u64;
+            self.policy.observe(ModuleObservation {
+                module: next,
+                kept: routed.keep,
+                produced: routed.outputs.len(),
+                nanos,
+            });
+
+            for o in routed.outputs {
+                let osig = self.sig_cache.signature(o.schema())?;
+                self.queue.push_back(InFlight { tuple: o, sig: osig, done: inf.done });
+            }
+            if !routed.keep {
+                return Ok(());
+            }
+        }
+    }
+
+    fn pending_build(&self, inf: &InFlight) -> Option<usize> {
+        self.modules
+            .iter()
+            .enumerate()
+            .find(|(i, m)| m.is_build_for(inf.sig) && inf.done & (1 << i) == 0)
+            .map(|(i, _)| i)
+    }
+
+    /// One routing decision, honouring the batching knob: within a batch,
+    /// the order recorded for the batch's first tuple is replayed; only
+    /// when the recording has no applicable module is the policy consulted
+    /// (extending the recording).
+    fn choose(&mut self, sig: SourceSet) -> Result<usize> {
+        if self.config.batch_size > 1 {
+            if let Some((order, _)) = self.batch.get(&sig) {
+                if let Some(&m) = order.iter().find(|&&m| self.candidates.contains(&m)) {
+                    return Ok(m);
+                }
+            }
+        }
+        self.eddy_stats.decisions += 1;
+        let m = self.policy.choose(&self.candidates, &self.stats, &mut self.rng);
+        if self.config.batch_size > 1 {
+            let entry = self.batch.entry(sig).or_insert((Vec::new(), 1));
+            if !entry.0.contains(&m) {
+                entry.0.push(m);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Window maintenance: evict state older than `seq` in every module.
+    pub fn evict_before_seq(&mut self, seq: i64) {
+        for spec in &mut self.modules {
+            spec.module.evict_before_seq(seq);
+        }
+    }
+
+    /// Eddy-level counters.
+    pub fn stats(&self) -> EddyStats {
+        self.eddy_stats
+    }
+
+    /// Per-module observed statistics.
+    pub fn module_stats(&self) -> &[ModuleStats] {
+        &self.stats
+    }
+
+    /// Names of registered modules, by index.
+    pub fn module_names(&self) -> Vec<&str> {
+        self.modules.iter().map(|m| m.module.name()).collect()
+    }
+
+    /// The policy's name (for experiment reporting).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Total retained state across modules, in tuples.
+    pub fn state_size(&self) -> usize {
+        self.modules.iter().map(|m| m.module.state_size()).sum()
+    }
+
+    /// Signature of a schema under this eddy's source mapping.
+    pub fn signature(&mut self, schema: &SchemaRef) -> Result<SourceSet> {
+        self.sig_cache.signature(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, GreedyPolicy, LotteryPolicy, RandomPolicy};
+    use tcq_common::{CmpOp, DataType, Expr, Field, Schema, Timestamp, TupleBuilder};
+    use tcq_operators::{symmetric_hash_join, SelectOp};
+
+    fn s_schema(q: &str) -> SchemaRef {
+        Schema::qualified(
+            q,
+            vec![Field::new("k", DataType::Int), Field::new("x", DataType::Int)],
+        )
+        .into_ref()
+    }
+
+    fn row(schema: &SchemaRef, k: i64, x: i64, ts: i64) -> Tuple {
+        TupleBuilder::new(schema.clone())
+            .push(k)
+            .push(x)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    fn filter_eddy(policy: Box<dyn RoutingPolicy>) -> (Eddy, SchemaRef) {
+        let schema = s_schema("S");
+        let mut eddy = Eddy::new(&["S"], policy, EddyConfig::default()).unwrap();
+        let s_bit = eddy.source_bit("S").unwrap();
+        // two commutative filters: x % 2 == 0 is not expressible, use ranges
+        let f1 = SelectOp::new(
+            "x>=50",
+            &Expr::col("x").cmp(CmpOp::Ge, Expr::lit(50i64)),
+            &schema,
+        )
+        .unwrap();
+        let f2 = SelectOp::new(
+            "x<75",
+            &Expr::col("x").cmp(CmpOp::Lt, Expr::lit(75i64)),
+            &schema,
+        )
+        .unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f1), s_bit)).unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f2), s_bit)).unwrap();
+        (eddy, schema)
+    }
+
+    #[test]
+    fn filters_conjoin_regardless_of_policy() {
+        for policy in [
+            Box::new(FixedPolicy::new(vec![0, 1])) as Box<dyn RoutingPolicy>,
+            Box::new(RandomPolicy),
+            Box::new(LotteryPolicy::new()),
+            Box::new(GreedyPolicy::new()),
+        ] {
+            let (mut eddy, schema) = filter_eddy(policy);
+            let mut emitted = Vec::new();
+            for x in 0..100 {
+                emitted.extend(eddy.process(row(&schema, x, x, x)).unwrap());
+            }
+            let xs: Vec<i64> = emitted.iter().map(|t| t.value(1).as_int().unwrap()).collect();
+            assert_eq!(xs, (50..75).collect::<Vec<i64>>(), "policy changed semantics");
+        }
+    }
+
+    #[test]
+    fn lottery_converges_to_selective_filter_first() {
+        // f1 (x>=50) passes 50%, f2 (x<75) passes 75% on uniform 0..100.
+        // After warm-up, lottery should route most tuples to f1 first, so
+        // f1.routed >> f2.routed (f2 sees only survivors of f1 most times).
+        let (mut eddy, schema) = filter_eddy(Box::new(
+            LotteryPolicy::new().with_explore(0.02),
+        ));
+        for i in 0..20_000i64 {
+            let x = i % 100;
+            eddy.process(row(&schema, x, x, i)).unwrap();
+        }
+        let st = eddy.module_stats();
+        // If routed first always: f1.routed = 20k, f2.routed ≈ 10k.
+        // If random: both ≈ 15k. Require clear preference.
+        assert!(
+            st[0].routed as f64 > st[1].routed as f64 * 1.25,
+            "lottery failed to prefer selective filter: {:?}",
+            (st[0].routed, st[1].routed)
+        );
+    }
+
+    #[test]
+    fn eddy_join_matches_reference() {
+        let s = s_schema("S");
+        let t = s_schema("T");
+        let mut eddy = Eddy::new(
+            &["S", "T"],
+            Box::new(LotteryPolicy::new()),
+            EddyConfig::default(),
+        )
+        .unwrap();
+        let (s_bit, t_bit) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+        let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), s_bit, t_bit)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), t_bit, s_bit)).unwrap();
+        // filter on S side: S.x > 5
+        let f = SelectOp::new(
+            "S.x>5",
+            &Expr::qcol("S", "x").cmp(CmpOp::Gt, Expr::lit(5i64)),
+            &s,
+        )
+        .unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit)).unwrap();
+
+        let mut rng = tcq_common::rng::seeded(99);
+        use rand::Rng;
+        let mut s_rows = Vec::new();
+        let mut t_rows = Vec::new();
+        let mut emitted = Vec::new();
+        for i in 0..400i64 {
+            let k = rng.gen_range(0..20i64);
+            let x = rng.gen_range(0..10i64);
+            if rng.gen_bool(0.5) {
+                let r = row(&s, k, x, i);
+                s_rows.push(r.clone());
+                emitted.extend(eddy.process(r).unwrap());
+            } else {
+                let r = row(&t, k, x, i);
+                t_rows.push(r.clone());
+                emitted.extend(eddy.process(r).unwrap());
+            }
+        }
+        // Reference: nested loop join with filter.
+        let mut expected = 0usize;
+        for sr in &s_rows {
+            for tr in &t_rows {
+                if sr.value(0) == tr.value(0) && sr.value(1).as_int().unwrap() > 5 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(emitted.len(), expected);
+        for e in &emitted {
+            assert_eq!(e.arity(), 4);
+            assert_eq!(e.get(Some("S"), "k").unwrap(), e.get(Some("T"), "k").unwrap());
+            assert!(e.get(Some("S"), "x").unwrap().as_int().unwrap() > 5);
+        }
+    }
+
+    #[test]
+    fn three_way_star_join_on_common_key() {
+        let r = s_schema("R");
+        let s = s_schema("S");
+        let t = s_schema("T");
+        let mut eddy = Eddy::new(
+            &["R", "S", "T"],
+            Box::new(FixedPolicy::new(vec![0, 1, 2])),
+            EddyConfig::default(),
+        )
+        .unwrap();
+        let rb = eddy.source_bit("R").unwrap();
+        let sb = eddy.source_bit("S").unwrap();
+        let tb = eddy.source_bit("T").unwrap();
+        for (schema, q, stores, probed, others) in [
+            (&r, "R", rb, sb | tb, ["S", "T"]),
+            (&s, "S", sb, rb | tb, ["R", "T"]),
+            (&t, "T", tb, rb | sb, ["R", "S"]),
+        ] {
+            let op = tcq_operators::StemOp::new(
+                format!("SteM({q})"),
+                (*schema).clone(),
+                q,
+                0,
+                (Some(others[0].to_string()), "k".to_string()),
+                tcq_stems::IndexKind::Hash,
+            )
+            .unwrap()
+            .with_extra_probe_key((Some(others[1].to_string()), "k".to_string()));
+            eddy.add_module(ModuleSpec::stem(Box::new(op), stores, probed)).unwrap();
+        }
+        let mut emitted = Vec::new();
+        // keys: R{1,2}, S{1,2}, T{1}: expect RST matches only for k=1
+        emitted.extend(eddy.process(row(&r, 1, 0, 1)).unwrap());
+        emitted.extend(eddy.process(row(&r, 2, 0, 2)).unwrap());
+        emitted.extend(eddy.process(row(&s, 1, 0, 3)).unwrap());
+        emitted.extend(eddy.process(row(&s, 2, 0, 4)).unwrap());
+        emitted.extend(eddy.process(row(&t, 1, 0, 5)).unwrap());
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].arity(), 6);
+        // Another round: second T row with k=1 joins with R1 and S1 -> 1 more
+        emitted.extend(eddy.process(row(&t, 1, 9, 6)).unwrap());
+        assert_eq!(emitted.len(), 2);
+    }
+
+    #[test]
+    fn batching_reduces_decisions() {
+        let mk = |batch| {
+            let (mut eddy, schema) = {
+                let schema = s_schema("S");
+                let mut eddy = Eddy::new(
+                    &["S"],
+                    Box::new(LotteryPolicy::new()),
+                    EddyConfig { batch_size: batch, seed: 42 },
+                )
+                .unwrap();
+                let s_bit = eddy.source_bit("S").unwrap();
+                for (name, op, c) in [
+                    ("f1", CmpOp::Ge, 50i64),
+                    ("f2", CmpOp::Lt, 75i64),
+                    ("f3", CmpOp::Ne, 60i64),
+                ] {
+                    let f = SelectOp::new(
+                        name,
+                        &Expr::col("x").cmp(op, Expr::lit(c)),
+                        &schema,
+                    )
+                    .unwrap();
+                    eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit)).unwrap();
+                }
+                (eddy, schema)
+            };
+            for i in 0..5_000i64 {
+                eddy.process(row(&schema, i, i % 100, i)).unwrap();
+            }
+            eddy.stats()
+        };
+        let unbatched = mk(1);
+        let batched = mk(64);
+        assert!(
+            batched.decisions * 4 < unbatched.decisions,
+            "batching should slash decision count: {} vs {}",
+            batched.decisions,
+            unbatched.decisions
+        );
+        // Semantics unchanged: same number of emissions.
+        assert_eq!(batched.emitted, unbatched.emitted);
+    }
+
+    #[test]
+    fn base_tuples_never_emitted_for_join_footprint() {
+        let s = s_schema("S");
+        let t = s_schema("T");
+        let mut eddy = Eddy::new(
+            &["S", "T"],
+            Box::new(RandomPolicy),
+            EddyConfig::default(),
+        )
+        .unwrap();
+        let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+        let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        // No matching partner: nothing emitted, though tuples completed.
+        assert!(eddy.process(row(&s, 1, 0, 1)).unwrap().is_empty());
+        assert!(eddy.process(row(&t, 2, 0, 2)).unwrap().is_empty());
+        assert_eq!(eddy.stats().emitted, 0);
+        assert_eq!(eddy.stats().tuples_in, 2);
+    }
+
+    #[test]
+    fn eviction_forwards_to_modules() {
+        let s = s_schema("S");
+        let t = s_schema("T");
+        let mut eddy = Eddy::new(&["S", "T"], Box::new(RandomPolicy), EddyConfig::default())
+            .unwrap();
+        let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+        let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        for i in 0..10 {
+            eddy.process(row(&s, i, 0, i)).unwrap();
+        }
+        assert_eq!(eddy.state_size(), 10);
+        eddy.evict_before_seq(5);
+        assert_eq!(eddy.state_size(), 5);
+        // A T tuple joining key 3 finds nothing (evicted), key 7 matches.
+        assert!(eddy.process(row(&t, 3, 0, 11)).unwrap().is_empty());
+        assert_eq!(eddy.process(row(&t, 7, 0, 12)).unwrap().len(), 1);
+    }
+}

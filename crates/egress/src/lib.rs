@@ -1,0 +1,475 @@
+//! Egress operators: result delivery to clients (§4.3).
+//!
+//! > "Push-based egress operators support interaction where clients are
+//! > continually streamed query results, while pull-based egress operators
+//! > may log data and support intermittent retrieval of results."
+//!
+//! The [`EgressRouter`] owns per-client output queues (Figure 5's
+//! client-specific output queues in shared memory) and a subscription map
+//! from query ids to clients:
+//!
+//! * **push clients** get a bounded channel streamed to them; when a slow
+//!   client's queue fills, results are shed and counted (the paper's QoS
+//!   stance: degrade in a controlled, observable fashion);
+//! * **pull clients** get a bounded ring of recent results they can fetch
+//!   on reconnect — the PSoup-style "disconnected operation" mode, where
+//!   computation is separated from delivery.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use tcq_common::{Result, TcqError, Tuple};
+
+/// Client identifier.
+pub type ClientId = u64;
+/// Query identifier (matches the executor's query ids).
+pub type QueryId = usize;
+
+/// A result delivered to a client: which query it answers, and the tuple.
+pub type Delivery = (QueryId, Tuple);
+
+enum ClientState {
+    Push { tx: SyncSender<Delivery>, shed: u64 },
+    Pull { buffer: VecDeque<Delivery>, capacity: usize, dropped: u64 },
+    /// A pull client with Juggle-style prioritized retrieval (\[RRH99\]):
+    /// fetch returns the most *interesting* buffered results first, and
+    /// overflow sheds the least interesting — user preferences pushed down
+    /// into result delivery (§4.3).
+    Prioritized { buffer: PriorityBuffer, dropped: u64 },
+}
+
+/// Monotone map from f64 to u64 (IEEE-754 total-order trick), so floats can
+/// key a BTreeMap.
+fn f64_order_key(f: f64) -> u64 {
+    let bits = f.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Bounded best-first buffer: keeps the `capacity` highest-priority
+/// deliveries, fetches best-first, sheds worst-first on overflow.
+struct PriorityBuffer {
+    priority: Box<dyn Fn(&Tuple) -> f64 + Send>,
+    /// (priority key, arrival) -> delivery; iteration order = worst..best.
+    entries: std::collections::BTreeMap<(u64, u64), Delivery>,
+    capacity: usize,
+    next_arrival: u64,
+}
+
+impl PriorityBuffer {
+    fn new(capacity: usize, priority: Box<dyn Fn(&Tuple) -> f64 + Send>) -> Self {
+        PriorityBuffer {
+            priority,
+            entries: std::collections::BTreeMap::new(),
+            capacity: capacity.max(1),
+            next_arrival: 0,
+        }
+    }
+
+    /// Insert; returns true if something (the incoming delivery or a worse
+    /// buffered one) was shed.
+    fn insert(&mut self, delivery: Delivery) -> bool {
+        let p = f64_order_key((self.priority)(&delivery.1));
+        // Later arrivals sort below earlier ones at equal priority, so
+        // fetch is FIFO within a priority level.
+        let arrival = u64::MAX - self.next_arrival;
+        self.next_arrival += 1;
+        self.entries.insert((p, arrival), delivery);
+        if self.entries.len() > self.capacity {
+            self.entries.pop_first();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return up to `max` deliveries, best first.
+    fn fetch(&mut self, max: usize) -> Vec<Delivery> {
+        let mut out = Vec::with_capacity(self.entries.len().min(max));
+        while out.len() < max {
+            match self.entries.pop_last() {
+                Some((_, d)) => out.push(d),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+struct RouterInner {
+    clients: HashMap<ClientId, ClientState>,
+    by_query: HashMap<QueryId, Vec<ClientId>>,
+    delivered: u64,
+}
+
+/// Routes `(tuple, query ids)` outputs to subscribed clients.
+///
+/// Clonable handle; clones share the router (listener thread and executor
+/// thread both touch it, as in Figure 5).
+#[derive(Clone)]
+pub struct EgressRouter {
+    inner: Arc<Mutex<RouterInner>>,
+}
+
+impl Default for EgressRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EgressRouter {
+    /// An empty router.
+    pub fn new() -> Self {
+        EgressRouter {
+            inner: Arc::new(Mutex::new(RouterInner {
+                clients: HashMap::new(),
+                by_query: HashMap::new(),
+                delivered: 0,
+            })),
+        }
+    }
+
+    /// Register a push client with a bounded stream of `capacity` results.
+    /// Returns the receiving end.
+    pub fn register_push_client(
+        &self,
+        id: ClientId,
+        capacity: usize,
+    ) -> Result<Receiver<Delivery>> {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let mut inner = self.inner.lock();
+        if inner.clients.contains_key(&id) {
+            return Err(TcqError::Capacity(format!("client {id} already registered")));
+        }
+        inner.clients.insert(id, ClientState::Push { tx, shed: 0 });
+        Ok(rx)
+    }
+
+    /// Register a pull client whose results are *prioritized* rather than
+    /// FIFO: `priority` scores each tuple, and [`EgressRouter::fetch`]
+    /// returns the highest-scoring buffered results first. This is the
+    /// Juggle operator (\[RRH99\]) applied at the egress boundary — "pushing
+    /// user preferences down into the query execution process" (§4.3).
+    pub fn register_prioritized_client(
+        &self,
+        id: ClientId,
+        capacity: usize,
+        priority: Box<dyn Fn(&Tuple) -> f64 + Send>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.clients.contains_key(&id) {
+            return Err(TcqError::Capacity(format!("client {id} already registered")));
+        }
+        inner.clients.insert(
+            id,
+            ClientState::Prioritized { buffer: PriorityBuffer::new(capacity, priority), dropped: 0 },
+        );
+        Ok(())
+    }
+
+    /// Register a pull client buffering up to `capacity` recent results.
+    pub fn register_pull_client(&self, id: ClientId, capacity: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.clients.contains_key(&id) {
+            return Err(TcqError::Capacity(format!("client {id} already registered")));
+        }
+        inner.clients.insert(
+            id,
+            ClientState::Pull { buffer: VecDeque::new(), capacity: capacity.max(1), dropped: 0 },
+        );
+        Ok(())
+    }
+
+    /// Subscribe a client to a query's results.
+    pub fn subscribe(&self, client: ClientId, query: QueryId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.clients.contains_key(&client) {
+            return Err(TcqError::Executor(format!("unknown client {client}")));
+        }
+        let subs = inner.by_query.entry(query).or_default();
+        if !subs.contains(&client) {
+            subs.push(client);
+        }
+        Ok(())
+    }
+
+    /// Remove a subscription (no-op if absent).
+    pub fn unsubscribe(&self, client: ClientId, query: QueryId) {
+        let mut inner = self.inner.lock();
+        if let Some(subs) = inner.by_query.get_mut(&query) {
+            subs.retain(|&c| c != client);
+            if subs.is_empty() {
+                inner.by_query.remove(&query);
+            }
+        }
+    }
+
+    /// Drop a client and all its subscriptions.
+    pub fn disconnect(&self, client: ClientId) {
+        let mut inner = self.inner.lock();
+        inner.clients.remove(&client);
+        inner.by_query.retain(|_, subs| {
+            subs.retain(|&c| c != client);
+            !subs.is_empty()
+        });
+    }
+
+    /// Deliver `tuple` as an answer to each query in `queries`, fanning out
+    /// to all subscribed clients. Slow/absent clients shed (push) or rotate
+    /// (pull) — delivery never blocks the executor.
+    pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
+        let mut inner = self.inner.lock();
+        for q in queries {
+            let Some(subs) = inner.by_query.get(&q) else { continue };
+            let subs: Vec<ClientId> = subs.clone();
+            for cid in subs {
+                if let Some(state) = inner.clients.get_mut(&cid) {
+                    match state {
+                        ClientState::Push { tx, shed } => {
+                            match tx.try_send((q, tuple.clone())) {
+                                Ok(()) => inner.delivered += 1,
+                                Err(TrySendError::Full(_)) => *shed += 1,
+                                Err(TrySendError::Disconnected(_)) => {
+                                    // Client went away; cleaned up lazily.
+                                }
+                            }
+                        }
+                        ClientState::Pull { buffer, capacity, dropped } => {
+                            if buffer.len() >= *capacity {
+                                buffer.pop_front();
+                                *dropped += 1;
+                            }
+                            buffer.push_back((q, tuple.clone()));
+                            inner.delivered += 1;
+                        }
+                        ClientState::Prioritized { buffer, dropped } => {
+                            if buffer.insert((q, tuple.clone())) {
+                                *dropped += 1;
+                            }
+                            inner.delivered += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pull client: fetch up to `max` buffered results (oldest first).
+    pub fn fetch(&self, client: ClientId, max: usize) -> Result<Vec<Delivery>> {
+        let mut inner = self.inner.lock();
+        match inner.clients.get_mut(&client) {
+            Some(ClientState::Pull { buffer, .. }) => {
+                let n = buffer.len().min(max);
+                Ok(buffer.drain(..n).collect())
+            }
+            Some(ClientState::Prioritized { buffer, .. }) => Ok(buffer.fetch(max)),
+            Some(ClientState::Push { .. }) => Err(TcqError::Executor(format!(
+                "client {client} is a push client; fetch is for pull clients"
+            ))),
+            None => Err(TcqError::Executor(format!("unknown client {client}"))),
+        }
+    }
+
+    /// (delivered, shed-or-dropped) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        let lost: u64 = inner
+            .clients
+            .values()
+            .map(|c| match c {
+                ClientState::Push { shed, .. } => *shed,
+                ClientState::Pull { dropped, .. } => *dropped,
+                ClientState::Prioritized { dropped, .. } => *dropped,
+            })
+            .sum();
+        (inner.delivered, lost)
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.inner.lock().clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    fn t(x: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(x)
+            .at(Timestamp::logical(x))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_delivery_fans_out_by_subscription() {
+        let r = EgressRouter::new();
+        let rx1 = r.register_push_client(1, 16).unwrap();
+        let rx2 = r.register_push_client(2, 16).unwrap();
+        r.subscribe(1, 100).unwrap();
+        r.subscribe(2, 200).unwrap();
+        r.deliver([100usize], &t(1));
+        r.deliver([200usize], &t(2));
+        r.deliver([100usize, 200], &t(3));
+        let got1: Vec<_> = rx1.try_iter().collect();
+        let got2: Vec<_> = rx2.try_iter().collect();
+        assert_eq!(got1.len(), 2);
+        assert!(got1.iter().all(|(q, _)| *q == 100));
+        assert_eq!(got2.len(), 2);
+    }
+
+    #[test]
+    fn slow_push_client_sheds_not_blocks() {
+        let r = EgressRouter::new();
+        let _rx = r.register_push_client(1, 2).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..10 {
+            r.deliver([5usize], &t(i));
+        }
+        let (delivered, shed) = r.stats();
+        assert_eq!(delivered, 2);
+        assert_eq!(shed, 8);
+    }
+
+    #[test]
+    fn pull_client_intermittent_fetch() {
+        let r = EgressRouter::new();
+        r.register_pull_client(7, 100).unwrap();
+        r.subscribe(7, 1).unwrap();
+        for i in 0..5 {
+            r.deliver([1usize], &t(i));
+        }
+        // client reconnects and fetches
+        let first = r.fetch(7, 3).unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].1, t(0));
+        let rest = r.fetch(7, 100).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert!(r.fetch(7, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pull_buffer_rotates_oldest_out() {
+        let r = EgressRouter::new();
+        r.register_pull_client(7, 3).unwrap();
+        r.subscribe(7, 1).unwrap();
+        for i in 0..10 {
+            r.deliver([1usize], &t(i));
+        }
+        let got = r.fetch(7, 10).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, t(7), "oldest results rotated out");
+        assert_eq!(r.stats().1, 7);
+    }
+
+    #[test]
+    fn disconnect_cleans_subscriptions() {
+        let r = EgressRouter::new();
+        r.register_pull_client(1, 4).unwrap();
+        r.subscribe(1, 9).unwrap();
+        r.disconnect(1);
+        assert_eq!(r.client_count(), 0);
+        // delivering to the orphaned query is a no-op
+        r.deliver([9usize], &t(0));
+        assert!(r.fetch(1, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_and_wrong_mode_errors() {
+        let r = EgressRouter::new();
+        r.register_pull_client(1, 4).unwrap();
+        assert!(r.register_pull_client(1, 4).is_err());
+        assert!(r.register_push_client(1, 4).is_err());
+        let _rx = r.register_push_client(2, 4).unwrap();
+        assert!(r.fetch(2, 1).is_err());
+        assert!(r.subscribe(99, 1).is_err());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let r = EgressRouter::new();
+        r.register_pull_client(1, 10).unwrap();
+        r.subscribe(1, 5).unwrap();
+        r.deliver([5usize], &t(1));
+        r.unsubscribe(1, 5);
+        r.deliver([5usize], &t(2));
+        assert_eq!(r.fetch(1, 10).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prioritized_tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    fn t(x: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(x)
+            .at(Timestamp::logical(x))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prioritized_client_fetches_best_first() {
+        let r = EgressRouter::new();
+        r.register_prioritized_client(
+            1,
+            16,
+            Box::new(|t: &Tuple| t.value(0).as_int().unwrap_or(0) as f64),
+        )
+        .unwrap();
+        r.subscribe(1, 7).unwrap();
+        for x in [3, 9, 1, 5] {
+            r.deliver([7usize], &t(x));
+        }
+        let got = r.fetch(1, 2).unwrap();
+        let xs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        assert_eq!(xs, vec![9, 5], "highest priority first");
+        assert!(got.iter().all(|(q, _)| *q == 7));
+        // Remaining entries still buffered in priority order.
+        let rest = r.fetch(1, 10).unwrap();
+        let xs: Vec<i64> = rest.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        assert_eq!(xs, vec![3, 1]);
+    }
+
+    #[test]
+    fn prioritized_overflow_drops_and_counts() {
+        let r = EgressRouter::new();
+        r.register_prioritized_client(
+            1,
+            2,
+            Box::new(|t: &Tuple| t.value(0).as_int().unwrap_or(0) as f64),
+        )
+        .unwrap();
+        r.subscribe(1, 1).unwrap();
+        for x in 0..10 {
+            r.deliver([1usize], &t(x));
+        }
+        let (_, dropped) = r.stats();
+        assert_eq!(dropped, 8);
+        // The BEST two survive the shedding.
+        let got = r.fetch(1, 10).unwrap();
+        let xs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        assert_eq!(xs, vec![9, 8]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The TelegraphCQ executor (§4.2.2).
+//!
+//! > "The TelegraphCQ executor is being developed using a multi-threaded
+//! > approach in which the threads provide execution context for multiple
+//! > queries encoded using a non-preemptive, state machine-based
+//! > programming model. We use the term 'Execution Object' (EO) to describe
+//! > the threads of control … An EO consists of a scheduler, one or more
+//! > event queues, and a set of non-preemptive Dispatch Units (DUs) that
+//! > can be executed based on some scheduling policy."
+//!
+//! * [`DispatchUnit`] — the non-preemptive state machine: given a quantum,
+//!   do bounded work, report Ready/Idle/Done. Eddies, window drivers, and
+//!   traditional plans all run as DUs (the three modes of §4.2.2).
+//! * [`Executor`] — owns N Execution Objects (OS threads). Queries are
+//!   grouped into **classes by footprint** ("the set of streams and tables
+//!   over which the queries are defined"); DUs of the same class are pinned
+//!   to the same EO so they can share state without synchronization, and
+//!   new classes go to the least-loaded EO.
+//! * The **QPQueue** of Figure 5 is the submission channel: the front-end
+//!   enqueues plans; EOs "continually pick up fresh queries … dynamically
+//!   folded into the running queries".
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod eo;
+
+pub use dispatch::{DispatchUnit, DuId, FnDu};
+pub use eo::{Executor, ExecutorConfig, ExecutorStats};
+pub use tcq_fjords::ModuleStatus;

@@ -1,0 +1,38 @@
+//! Fjords — the inter-module communication API (TelegraphCQ §2.3).
+//!
+//! > "The key advantage of Fjords is that they allow query plans to use a
+//! > mixture of push and pull connections between modules, thereby being
+//! > able to execute query plans over any combination of streaming and
+//! > static data sources."
+//!
+//! A Fjord is a bounded queue of [`FjordMessage`]s connecting a producer
+//! module to a consumer module. The paper distinguishes three wirings,
+//! realized here by choosing blocking vs non-blocking endpoint operations:
+//!
+//! | kind       | enqueue (producer) | dequeue (consumer) |
+//! |------------|--------------------|--------------------|
+//! | *pull*     | blocking           | blocking           |
+//! | *push*     | non-blocking       | non-blocking       |
+//! | *exchange* | non-blocking       | blocking           |
+//!
+//! All endpoints expose both blocking and non-blocking calls; [`QueueKind`]
+//! merely records the intended discipline so plan wiring is self-describing
+//! and so the executor can assert that its non-preemptive dispatch units
+//! only ever use the non-blocking calls ("an overarching principle of
+//! TelegraphCQ is to avoid blocking operations", §4.2.3).
+//!
+//! The [`Module`] trait is the state-machine contract every dataflow module
+//! implements: the executor repeatedly grants a module a *quantum* of work;
+//! the module does bounded work using only non-blocking queue operations and
+//! reports whether it is [`ModuleStatus::Ready`] for more,
+//! [`ModuleStatus::Idle`] (no input available), or [`ModuleStatus::Done`].
+
+#![warn(missing_docs)]
+
+pub mod module;
+pub mod queue;
+
+pub use module::{Module, ModuleStatus};
+pub use queue::{
+    fjord, Consumer, DequeueResult, EnqueueError, FjordMessage, Producer, QueueKind, QueueStats,
+};

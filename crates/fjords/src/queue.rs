@@ -1,0 +1,542 @@
+//! The Fjord queue itself: a bounded MPMC queue with both blocking and
+//! non-blocking endpoints, disconnection tracking, and counters for
+//! back-pressure-aware routing policies.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use tcq_common::{Result, TcqError, Timestamp, Tuple};
+
+/// What flows along a Fjord: data tuples plus in-band control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FjordMessage {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// A punctuation/heartbeat: no tuple with timestamp ≤ this will follow.
+    /// Window operators use punctuations to close windows on sparse streams.
+    Punct(Timestamp),
+    /// End of stream ("the Eddy shuts down its connected modules when the
+    /// end of all of its input streams has been reached", §2.2).
+    Eof,
+}
+
+impl FjordMessage {
+    /// The contained tuple, if any.
+    pub fn tuple(self) -> Option<Tuple> {
+        match self {
+            FjordMessage::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for `Eof`.
+    pub fn is_eof(&self) -> bool {
+        matches!(self, FjordMessage::Eof)
+    }
+}
+
+/// The intended endpoint discipline for a queue (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Blocking enqueue, blocking dequeue — iterator-style pull pipelines.
+    Pull,
+    /// Non-blocking enqueue and dequeue — streaming push pipelines.
+    Push,
+    /// Non-blocking enqueue, blocking dequeue — Graefe Exchange semantics.
+    Exchange,
+}
+
+/// Non-blocking enqueue failure.
+#[derive(Debug, PartialEq)]
+pub enum EnqueueError {
+    /// Queue at capacity; caller should yield and retry (back-pressure).
+    Full(FjordMessage),
+    /// All consumers dropped; message returned so the caller can spill it.
+    Disconnected(FjordMessage),
+}
+
+/// Non-blocking dequeue outcome.
+#[derive(Debug, PartialEq)]
+pub enum DequeueResult {
+    /// A message was available.
+    Msg(FjordMessage),
+    /// Queue empty; "control is returned to the consumer when the queue is
+    /// empty" (§2.3) — the consumer should pursue other work or yield.
+    Empty,
+    /// Queue empty and all producers dropped: no message will ever arrive.
+    Disconnected,
+}
+
+/// Point-in-time statistics for a queue, used by back-pressure routing and
+/// by the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Messages currently buffered.
+    pub len: usize,
+    /// Capacity.
+    pub capacity: usize,
+    /// Total successful enqueues since creation.
+    pub enqueued: u64,
+    /// Total successful dequeues since creation.
+    pub dequeued: u64,
+    /// Enqueue attempts rejected with `Full`.
+    pub full_rejections: u64,
+}
+
+impl QueueStats {
+    /// Fill fraction in [0, 1].
+    pub fn fill(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.capacity as f64
+        }
+    }
+}
+
+struct Shared {
+    q: Mutex<VecDeque<FjordMessage>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    kind: QueueKind,
+    producers: AtomicUsize,
+    consumers: AtomicUsize,
+    enqueued: AtomicUsize,
+    dequeued: AtomicUsize,
+    full_rejections: AtomicUsize,
+}
+
+/// Create a Fjord of the given capacity and discipline, returning its two
+/// endpoints. Capacity must be at least 1.
+pub fn fjord(capacity: usize, kind: QueueKind) -> (Producer, Consumer) {
+    assert!(capacity >= 1, "fjord capacity must be >= 1");
+    let shared = Arc::new(Shared {
+        q: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        kind,
+        producers: AtomicUsize::new(1),
+        consumers: AtomicUsize::new(1),
+        enqueued: AtomicUsize::new(0),
+        dequeued: AtomicUsize::new(0),
+        full_rejections: AtomicUsize::new(0),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+/// Writing end of a Fjord. Clonable: several producers may feed one queue
+/// (e.g. many modules bounce tuples back to one eddy).
+pub struct Producer {
+    shared: Arc<Shared>,
+}
+
+/// Reading end of a Fjord. Clonable for work-sharing consumers.
+pub struct Consumer {
+    shared: Arc<Shared>,
+}
+
+impl Producer {
+    /// Non-blocking enqueue.
+    pub fn enqueue(&self, msg: FjordMessage) -> std::result::Result<(), EnqueueError> {
+        if self.shared.consumers.load(Ordering::Acquire) == 0 {
+            return Err(EnqueueError::Disconnected(msg));
+        }
+        let mut q = self.shared.q.lock();
+        if q.len() >= self.shared.capacity {
+            self.shared.full_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(EnqueueError::Full(msg));
+        }
+        q.push_back(msg);
+        drop(q);
+        self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits while full, errors when all consumers left.
+    pub fn enqueue_blocking(&self, msg: FjordMessage) -> Result<()> {
+        let mut q = self.shared.q.lock();
+        loop {
+            if self.shared.consumers.load(Ordering::Acquire) == 0 {
+                return Err(TcqError::Disconnected("consumer side"));
+            }
+            if q.len() < self.shared.capacity {
+                q.push_back(msg);
+                drop(q);
+                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            // Bounded wait so we recheck disconnection even if the consumer
+            // vanished without a final notify.
+            self.shared.not_full.wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
+    /// Convenience: enqueue a tuple, blocking.
+    pub fn send_tuple(&self, t: Tuple) -> Result<()> {
+        self.enqueue_blocking(FjordMessage::Tuple(t))
+    }
+
+    /// Convenience: signal end-of-stream, blocking.
+    pub fn send_eof(&self) -> Result<()> {
+        self.enqueue_blocking(FjordMessage::Eof)
+    }
+
+    /// The queue's discipline.
+    pub fn kind(&self) -> QueueKind {
+        self.shared.kind
+    }
+
+    /// Snapshot statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.shared.stats()
+    }
+}
+
+impl Consumer {
+    /// Non-blocking dequeue.
+    pub fn dequeue(&self) -> DequeueResult {
+        let mut q = self.shared.q.lock();
+        match q.pop_front() {
+            Some(msg) => {
+                drop(q);
+                self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_full.notify_one();
+                DequeueResult::Msg(msg)
+            }
+            None => {
+                drop(q);
+                if self.shared.producers.load(Ordering::Acquire) == 0 {
+                    DequeueResult::Disconnected
+                } else {
+                    DequeueResult::Empty
+                }
+            }
+        }
+    }
+
+    /// Blocking dequeue: waits for a message, errors once the queue is empty
+    /// and every producer has disconnected.
+    pub fn dequeue_blocking(&self) -> Result<FjordMessage> {
+        let mut q = self.shared.q.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.producers.load(Ordering::Acquire) == 0 {
+                return Err(TcqError::Disconnected("producer side"));
+            }
+            self.shared.not_empty.wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
+    /// Drain every currently buffered message without blocking.
+    pub fn drain(&self) -> Vec<FjordMessage> {
+        let mut q = self.shared.q.lock();
+        let msgs: Vec<FjordMessage> = q.drain(..).collect();
+        drop(q);
+        self.shared.dequeued.fetch_add(msgs.len(), Ordering::Relaxed);
+        if !msgs.is_empty() {
+            self.shared.not_full.notify_all();
+        }
+        msgs
+    }
+
+    /// The queue's discipline.
+    pub fn kind(&self) -> QueueKind {
+        self.shared.kind
+    }
+
+    /// Snapshot statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.shared.stats()
+    }
+
+    /// Current buffered length (for back-pressure policies).
+    pub fn len(&self) -> usize {
+        self.shared.q.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Shared {
+    fn stats(&self) -> QueueStats {
+        QueueStats {
+            len: self.q.lock().len(),
+            capacity: self.capacity,
+            enqueued: self.enqueued.load(Ordering::Relaxed) as u64,
+            dequeued: self.dequeued.load(Ordering::Relaxed) as u64,
+            full_rejections: self.full_rejections.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+impl Clone for Producer {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::AcqRel);
+        Producer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Clone for Consumer {
+    fn clone(&self) -> Self {
+        self.shared.consumers.fetch_add(1, Ordering::AcqRel);
+        Consumer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        if self.shared.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last producer gone: wake blocked consumers so they observe it.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        if self.shared.consumers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, TupleBuilder};
+
+    fn t(x: i64) -> Tuple {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        TupleBuilder::new(schema).push(x).at(Timestamp::logical(x)).build().unwrap()
+    }
+
+    #[test]
+    fn push_queue_nonblocking_roundtrip() {
+        let (p, c) = fjord(4, QueueKind::Push);
+        assert_eq!(c.dequeue(), DequeueResult::Empty);
+        p.enqueue(FjordMessage::Tuple(t(1))).unwrap();
+        p.enqueue(FjordMessage::Eof).unwrap();
+        assert_eq!(c.dequeue(), DequeueResult::Msg(FjordMessage::Tuple(t(1))));
+        assert_eq!(c.dequeue(), DequeueResult::Msg(FjordMessage::Eof));
+        assert_eq!(c.dequeue(), DequeueResult::Empty);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counts() {
+        let (p, c) = fjord(2, QueueKind::Push);
+        p.enqueue(FjordMessage::Tuple(t(1))).unwrap();
+        p.enqueue(FjordMessage::Tuple(t(2))).unwrap();
+        match p.enqueue(FjordMessage::Tuple(t(3))) {
+            Err(EnqueueError::Full(FjordMessage::Tuple(back))) => assert_eq!(back, t(3)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(c.stats().full_rejections, 1);
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn disconnected_consumer_detected() {
+        let (p, c) = fjord(2, QueueKind::Push);
+        drop(c);
+        assert!(matches!(
+            p.enqueue(FjordMessage::Eof),
+            Err(EnqueueError::Disconnected(_))
+        ));
+        assert!(p.enqueue_blocking(FjordMessage::Eof).is_err());
+    }
+
+    #[test]
+    fn disconnected_producer_detected_after_drain() {
+        let (p, c) = fjord(2, QueueKind::Push);
+        p.enqueue(FjordMessage::Tuple(t(9))).unwrap();
+        drop(p);
+        // Buffered message still delivered...
+        assert!(matches!(c.dequeue(), DequeueResult::Msg(_)));
+        // ...then disconnection reported.
+        assert_eq!(c.dequeue(), DequeueResult::Disconnected);
+        assert!(c.dequeue_blocking().is_err());
+    }
+
+    #[test]
+    fn blocking_pull_across_threads() {
+        let (p, c) = fjord(1, QueueKind::Pull);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                p.send_tuple(t(i)).unwrap();
+            }
+            p.send_eof().unwrap();
+        });
+        let mut seen = 0;
+        loop {
+            match c.dequeue_blocking().unwrap() {
+                FjordMessage::Tuple(tp) => {
+                    assert_eq!(tp, t(seen));
+                    seen += 1;
+                }
+                FjordMessage::Eof => break,
+                FjordMessage::Punct(_) => {}
+            }
+        }
+        assert_eq!(seen, 100);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_producers_all_count() {
+        let (p, c) = fjord(8, QueueKind::Push);
+        let p2 = p.clone();
+        drop(p);
+        p2.enqueue(FjordMessage::Tuple(t(1))).unwrap();
+        drop(p2);
+        assert!(matches!(c.dequeue(), DequeueResult::Msg(_)));
+        assert_eq!(c.dequeue(), DequeueResult::Disconnected);
+    }
+
+    #[test]
+    fn drain_takes_everything() {
+        let (p, c) = fjord(8, QueueKind::Push);
+        for i in 0..5 {
+            p.enqueue(FjordMessage::Tuple(t(i))).unwrap();
+        }
+        let msgs = c.drain();
+        assert_eq!(msgs.len(), 5);
+        assert_eq!(c.stats().dequeued, 5);
+        assert_eq!(c.dequeue(), DequeueResult::Empty);
+    }
+
+    #[test]
+    fn exchange_semantics_nonblocking_enqueue_blocking_dequeue() {
+        // §2.3: "Fjords can provide Exchange semantics using a blocking
+        // dequeue and a non-blocking enqueue."
+        let (p, c) = fjord(4, QueueKind::Exchange);
+        assert_eq!(p.kind(), QueueKind::Exchange);
+        let h = std::thread::spawn(move || c.dequeue_blocking().unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        p.enqueue(FjordMessage::Tuple(t(42))).unwrap();
+        assert_eq!(h.join().unwrap(), FjordMessage::Tuple(t(42)));
+    }
+
+    #[test]
+    fn stats_fill_fraction() {
+        let (p, c) = fjord(4, QueueKind::Push);
+        p.enqueue(FjordMessage::Tuple(t(1))).unwrap();
+        p.enqueue(FjordMessage::Tuple(t(2))).unwrap();
+        assert!((c.stats().fill() - 0.5).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, Timestamp, Tuple, TupleBuilder};
+
+    fn tagged(producer: i64, seq: i64) -> Tuple {
+        let schema = Schema::new(vec![
+            Field::new("producer", DataType::Int),
+            Field::new("seq", DataType::Int),
+        ])
+        .into_ref();
+        TupleBuilder::new(schema)
+            .push(producer)
+            .push(seq)
+            .at(Timestamp::logical(seq))
+            .build()
+            .unwrap()
+    }
+
+    /// Many producers, one consumer, a tiny queue: nothing lost, nothing
+    /// duplicated, per-producer FIFO preserved.
+    #[test]
+    fn mpsc_stress_preserves_per_producer_order() {
+        const PRODUCERS: i64 = 4;
+        const PER_PRODUCER: i64 = 5_000;
+        let (p, c) = fjord(16, QueueKind::Push);
+        let mut handles = Vec::new();
+        for producer in 0..PRODUCERS {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for seq in 0..PER_PRODUCER {
+                    p.enqueue_blocking(FjordMessage::Tuple(tagged(producer, seq)))
+                        .unwrap();
+                }
+            }));
+        }
+        drop(p);
+        let mut last_seq = vec![-1i64; PRODUCERS as usize];
+        let mut total = 0u64;
+        loop {
+            match c.dequeue_blocking() {
+                Ok(FjordMessage::Tuple(t)) => {
+                    let producer = t.value(0).as_int().unwrap() as usize;
+                    let seq = t.value(1).as_int().unwrap();
+                    assert!(
+                        seq > last_seq[producer],
+                        "producer {producer} reordered: {seq} after {}",
+                        last_seq[producer]
+                    );
+                    last_seq[producer] = seq;
+                    total += 1;
+                }
+                Ok(_) => {}
+                Err(_) => break, // all producers disconnected, queue drained
+            }
+        }
+        assert_eq!(total, (PRODUCERS * PER_PRODUCER) as u64);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Work-sharing consumers: several consumers split one queue's messages
+    /// with no loss or duplication.
+    #[test]
+    fn mpmc_stress_splits_without_loss() {
+        const N: i64 = 20_000;
+        const CONSUMERS: usize = 3;
+        let (p, c) = fjord(32, QueueKind::Push);
+        let mut consumer_handles = Vec::new();
+        for _ in 0..CONSUMERS {
+            let c = c.clone();
+            consumer_handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match c.dequeue_blocking() {
+                        Ok(FjordMessage::Tuple(t)) => {
+                            seen.push(t.value(1).as_int().unwrap());
+                        }
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
+                seen
+            }));
+        }
+        drop(c);
+        for seq in 0..N {
+            p.enqueue_blocking(FjordMessage::Tuple(tagged(0, seq))).unwrap();
+        }
+        drop(p);
+        let mut all: Vec<i64> = Vec::new();
+        for h in consumer_handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>(), "exactly-once across consumers");
+    }
+}

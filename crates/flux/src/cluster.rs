@@ -1,0 +1,639 @@
+//! The simulated shared-nothing cluster running a Flux-partitioned
+//! grouped aggregate.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use tcq_common::{Result, TcqError, Tuple, Value};
+
+/// Configuration for a [`FluxCluster`].
+#[derive(Debug, Clone)]
+pub struct FluxConfig {
+    /// Number of (simulated) machines.
+    pub nodes: usize,
+    /// Number of hash partitions (≫ nodes, so repartitioning has units to
+    /// move; Flux's "fine-grained partitions").
+    pub partitions: u32,
+    /// Per-node processing speed: tuples per tick. Length must equal
+    /// `nodes`; heterogeneity here models slow/overloaded machines.
+    pub speeds: Vec<u32>,
+    /// Maintain a replica of each partition on a second node (process-pair
+    /// fault tolerance). Costs double processing.
+    pub replication: bool,
+    /// Rebalance check interval in ticks (0 = never — the plain Exchange
+    /// baseline).
+    pub rebalance_every: u64,
+    /// Trigger rebalancing when max/min node backlog exceeds this ratio.
+    pub imbalance_threshold: f64,
+    /// Ticks of stall a node pays per 64 state entries moved in (the cost
+    /// of installing moved state).
+    pub move_cost_per_64: u64,
+}
+
+impl FluxConfig {
+    /// A uniform cluster of `nodes` machines at speed 4, 64 partitions,
+    /// no replication, no rebalancing.
+    pub fn uniform(nodes: usize) -> Self {
+        FluxConfig {
+            nodes,
+            partitions: 64,
+            speeds: vec![4; nodes],
+            replication: false,
+            rebalance_every: 0,
+            imbalance_threshold: 1.5,
+            move_cost_per_64: 1,
+        }
+    }
+
+    /// Enable online repartitioning every `ticks`.
+    pub fn with_rebalancing(mut self, ticks: u64) -> Self {
+        self.rebalance_every = ticks;
+        self
+    }
+
+    /// Enable process-pair replication.
+    pub fn with_replication(mut self) -> Self {
+        self.replication = true;
+        self
+    }
+
+    /// Override node speeds.
+    pub fn with_speeds(mut self, speeds: Vec<u32>) -> Self {
+        assert_eq!(speeds.len(), self.nodes);
+        self.speeds = speeds;
+        self
+    }
+}
+
+/// Per-key aggregate state: (count, sum).
+type GroupState = HashMap<Value, (u64, f64)>;
+
+struct Node {
+    alive: bool,
+    speed: u32,
+    /// Pending (partition, key, value) work items.
+    queue: VecDeque<(u32, Value, f64)>,
+    /// partition -> group-by state for partitions primary or replica here.
+    state: HashMap<u32, GroupState>,
+    processed: u64,
+    /// Remaining stall ticks (state installation cost).
+    stall: u64,
+}
+
+impl Node {
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Per-node statistics snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeStats {
+    /// Is the node alive?
+    pub alive: bool,
+    /// Tuples processed.
+    pub processed: u64,
+    /// Current input backlog.
+    pub backlog: usize,
+    /// Partitions for which this node is primary.
+    pub primaries: usize,
+}
+
+/// Cluster-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FluxStats {
+    /// Simulated ticks elapsed.
+    pub ticks: u64,
+    /// Tuples ingested.
+    pub ingested: u64,
+    /// Tuples fully processed (primary copies only).
+    pub processed: u64,
+    /// Partitions moved by the load balancer.
+    pub partitions_moved: u64,
+    /// Failovers performed.
+    pub failovers: u64,
+    /// Tuples lost to failures (non-replicated runs).
+    pub lost_inflight: u64,
+}
+
+/// The simulated cluster.
+pub struct FluxCluster {
+    config: FluxConfig,
+    nodes: Vec<Node>,
+    /// partition -> primary node.
+    primary: Vec<usize>,
+    /// partition -> replica node (replication mode).
+    replica: Vec<Option<usize>>,
+    key_col: usize,
+    val_col: usize,
+    stats: FluxStats,
+}
+
+impl FluxCluster {
+    /// Build a cluster computing `GROUP BY key_col: COUNT, SUM(val_col)`.
+    pub fn new(config: FluxConfig, key_col: usize, val_col: usize) -> Result<Self> {
+        if config.nodes == 0 {
+            return Err(TcqError::Flux("cluster needs at least one node".into()));
+        }
+        if config.speeds.len() != config.nodes {
+            return Err(TcqError::Flux("speeds.len() must equal nodes".into()));
+        }
+        if config.partitions == 0 {
+            return Err(TcqError::Flux("need at least one partition".into()));
+        }
+        let nodes: Vec<Node> = config
+            .speeds
+            .iter()
+            .map(|&speed| Node {
+                alive: true,
+                speed,
+                queue: VecDeque::new(),
+                state: HashMap::new(),
+                processed: 0,
+                stall: 0,
+            })
+            .collect();
+        let n = config.nodes;
+        let primary: Vec<usize> = (0..config.partitions).map(|p| p as usize % n).collect();
+        let replica: Vec<Option<usize>> = if config.replication {
+            (0..config.partitions)
+                .map(|p| if n > 1 { Some((p as usize + 1) % n) } else { None })
+                .collect()
+        } else {
+            vec![None; config.partitions as usize]
+        };
+        Ok(FluxCluster { config, nodes, primary, replica, key_col, val_col, stats: FluxStats::default() })
+    }
+
+    fn partition_of(&self, key: &Value) -> u32 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.config.partitions as u64) as u32
+    }
+
+    /// Route one tuple into the cluster (to the primary's queue, and the
+    /// replica's in replication mode).
+    pub fn ingest(&mut self, tuple: &Tuple) -> Result<()> {
+        let key = tuple.value(self.key_col).clone();
+        let val = tuple.value(self.val_col).as_float().unwrap_or(0.0);
+        let p = self.partition_of(&key);
+        self.stats.ingested += 1;
+        let primary = self.primary[p as usize];
+        if !self.nodes[primary].alive {
+            return Err(TcqError::Flux(format!(
+                "partition {p} routed to dead node {primary}; failover required"
+            )));
+        }
+        self.nodes[primary].queue.push_back((p, key.clone(), val));
+        if let Some(r) = self.replica[p as usize] {
+            if self.nodes[r].alive {
+                self.nodes[r].queue.push_back((p, key, val));
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance simulated time by one tick: every alive node processes up to
+    /// its speed; the balancer runs on its schedule.
+    pub fn tick(&mut self) {
+        self.stats.ticks += 1;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            if self.nodes[i].stall > 0 {
+                self.nodes[i].stall -= 1;
+                continue;
+            }
+            for _ in 0..self.nodes[i].speed {
+                let Some((p, key, val)) = self.nodes[i].queue.pop_front() else { break };
+                let node = &mut self.nodes[i];
+                let group = node.state.entry(p).or_default();
+                let entry = group.entry(key).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += val;
+                node.processed += 1;
+                if self.primary[p as usize] == i {
+                    self.stats.processed += 1;
+                }
+            }
+        }
+        if self.config.rebalance_every > 0
+            && self.stats.ticks.is_multiple_of(self.config.rebalance_every)
+        {
+            self.rebalance();
+        }
+    }
+
+    /// Run ticks until every queue is empty (or `max_ticks` elapse).
+    /// Returns ticks consumed.
+    pub fn run_until_drained(&mut self, max_ticks: u64) -> u64 {
+        let start = self.stats.ticks;
+        for _ in 0..max_ticks {
+            if self
+                .nodes
+                .iter()
+                .all(|n| !n.alive || (n.queue.is_empty() && n.stall == 0))
+            {
+                break;
+            }
+            self.tick();
+        }
+        self.stats.ticks - start
+    }
+
+    /// The state-movement protocol: reassign partition `p` from its current
+    /// primary to `dst`. Pending inputs for `p` are drained from the old
+    /// queue and replayed to the new one ("buffering and reordering
+    /// mechanisms to smoothly repartition operator state", §2.4), state is
+    /// extracted and installed, and the destination pays an installation
+    /// stall proportional to the state size.
+    pub fn move_partition(&mut self, p: u32, dst: usize) -> Result<()> {
+        let src = self.primary[p as usize];
+        if src == dst {
+            return Ok(());
+        }
+        if !self.nodes[dst].alive {
+            return Err(TcqError::Flux(format!("cannot move partition {p} to dead node {dst}")));
+        }
+        // Pause + drain: pending inputs for p leave the old primary's queue.
+        let mut pending = VecDeque::new();
+        self.nodes[src].queue.retain(|item| {
+            if item.0 == p {
+                pending.push_back(item.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let state = self.nodes[src].state.remove(&p).unwrap_or_default();
+        if self.replica[p as usize] == Some(dst) {
+            // Promoting the replica to primary: dst's state + queued copies
+            // already equal src's state + pending (every input was
+            // delivered to both), so transferring either would double-count.
+            // Re-establish the pair in the opposite direction: src becomes
+            // the replica, mirroring dst's current state and its queued
+            // inputs for p.
+            self.primary[p as usize] = dst;
+            self.replica[p as usize] = Some(src);
+            let mirror = self.nodes[dst].state.get(&p).cloned().unwrap_or_default();
+            let queued: Vec<(u32, Value, f64)> = self
+                .nodes[dst]
+                .queue
+                .iter()
+                .filter(|item| item.0 == p)
+                .cloned()
+                .collect();
+            let src_node = &mut self.nodes[src];
+            src_node.stall += (mirror.len() as u64 / 64) * self.config.move_cost_per_64;
+            src_node.state.insert(p, mirror);
+            for item in queued {
+                src_node.queue.push_back(item);
+            }
+        } else {
+            // Plain move: state and pending inputs travel to dst.
+            let entries = state.len() as u64;
+            self.nodes[dst].state.insert(p, state);
+            self.nodes[dst].stall += (entries / 64) * self.config.move_cost_per_64;
+            for item in pending {
+                self.nodes[dst].queue.push_back(item);
+            }
+            self.primary[p as usize] = dst;
+        }
+        self.stats.partitions_moved += 1;
+        Ok(())
+    }
+
+    /// One load-balancing pass: while the most backlogged node exceeds the
+    /// least by the configured ratio, move one of its partitions over.
+    pub fn rebalance(&mut self) {
+        for _ in 0..4 {
+            let alive: Vec<usize> =
+                (0..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect();
+            if alive.len() < 2 {
+                return;
+            }
+            let (&max_node, &min_node) = match (
+                alive.iter().max_by_key(|&&i| self.nodes[i].backlog()),
+                alive.iter().min_by_key(|&&i| self.nodes[i].backlog()),
+            ) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return,
+            };
+            let (hi, lo) = (self.nodes[max_node].backlog(), self.nodes[min_node].backlog());
+            if hi < 8 || (hi as f64) < (lo.max(1) as f64) * self.config.imbalance_threshold {
+                return;
+            }
+            // Move the max node's most backlogged partition.
+            let mut per_partition: HashMap<u32, usize> = HashMap::new();
+            for (p, _, _) in &self.nodes[max_node].queue {
+                *per_partition.entry(*p).or_default() += 1;
+            }
+            // Don't move a partition that IS the whole backlog story if it
+            // would just swap the hotspot: pick the largest partition whose
+            // backlog <= half the gap, else the smallest.
+            let gap = hi - lo;
+            let mut candidates: Vec<(u32, usize)> = per_partition.into_iter().collect();
+            candidates.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+            let pick = candidates
+                .iter()
+                .find(|&&(_, n)| n <= gap / 2 + 1)
+                .or_else(|| candidates.last())
+                .copied();
+            let Some((p, _)) = pick else { return };
+            if self.move_partition(p, min_node).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Kill a node. With replication, every partition it owned fails over
+    /// to its replica (and in-flight replica inputs preserve the data);
+    /// without, that state and backlog are lost (counted in
+    /// [`FluxStats::lost_inflight`]).
+    pub fn kill_node(&mut self, node: usize) -> Result<()> {
+        if !self.nodes[node].alive {
+            return Err(TcqError::Flux(format!("node {node} already dead")));
+        }
+        self.nodes[node].alive = false;
+        let lost_backlog = self.nodes[node].queue.len() as u64;
+        self.nodes[node].queue.clear();
+        let owned: Vec<u32> = (0..self.config.partitions)
+            .filter(|&p| self.primary[p as usize] == node)
+            .collect();
+        for p in owned {
+            match self.replica[p as usize] {
+                Some(r) if self.nodes[r].alive => {
+                    // Promote the replica; its state and queue already hold
+                    // everything the primary had seen or would see.
+                    self.primary[p as usize] = r;
+                    self.replica[p as usize] = self.pick_new_replica(r);
+                    if let Some(nr) = self.replica[p as usize] {
+                        self.mirror_partition(p, r, nr);
+                    }
+                    self.stats.failovers += 1;
+                }
+                _ => {
+                    // Data loss: no replica. The partition restarts empty on
+                    // a surviving node.
+                    let fallback = self.pick_new_replica(node);
+                    if let Some(f) = fallback {
+                        self.primary[p as usize] = f;
+                        self.nodes[f].state.entry(p).or_default();
+                    }
+                    self.stats.lost_inflight += lost_backlog;
+                }
+            }
+        }
+        // Partitions replicated ON the dead node lose their replica.
+        for p in 0..self.config.partitions as usize {
+            if self.replica[p] == Some(node) {
+                let pr = self.primary[p];
+                self.replica[p] = self.pick_new_replica(pr);
+                if let Some(nr) = self.replica[p] {
+                    self.mirror_partition(p as u32, pr, nr);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn pick_new_replica(&self, not: usize) -> Option<usize> {
+        (0..self.nodes.len()).find(|&i| i != not && self.nodes[i].alive)
+    }
+
+    /// Re-establish a replica: copy `from`'s state for `p` AND its queued
+    /// inputs to `to`, so the pair invariant (replica state + queue ≡
+    /// primary state + queue) holds after the copy.
+    fn mirror_partition(&mut self, p: u32, from: usize, to: usize) {
+        let state = self.nodes[from].state.get(&p).cloned().unwrap_or_default();
+        let queued: Vec<(u32, Value, f64)> = self
+            .nodes[from]
+            .queue
+            .iter()
+            .filter(|item| item.0 == p)
+            .cloned()
+            .collect();
+        let dst = &mut self.nodes[to];
+        dst.stall += (state.len() as u64 / 64) * self.config.move_cost_per_64;
+        dst.state.insert(p, state);
+        for item in queued {
+            dst.queue.push_back(item);
+        }
+    }
+
+    /// Merged group-by results over primary partitions: key -> (count, sum).
+    pub fn results(&self) -> HashMap<Value, (u64, f64)> {
+        let mut out: HashMap<Value, (u64, f64)> = HashMap::new();
+        for p in 0..self.config.partitions as usize {
+            let node = self.primary[p];
+            if let Some(groups) = self.nodes[node].state.get(&(p as u32)) {
+                for (k, (c, s)) in groups {
+                    let e = out.entry(k.clone()).or_insert((0, 0.0));
+                    e.0 += c;
+                    e.1 += s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-node statistics.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        (0..self.nodes.len())
+            .map(|i| NodeStats {
+                alive: self.nodes[i].alive,
+                processed: self.nodes[i].processed,
+                backlog: self.nodes[i].backlog(),
+                primaries: self.primary.iter().filter(|&&n| n == i).count(),
+            })
+            .collect()
+    }
+
+    /// Cluster counters.
+    pub fn stats(&self) -> FluxStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("key", DataType::Int),
+            Field::new("val", DataType::Float),
+        ])
+        .into_ref()
+    }
+
+    fn t(key: i64, val: f64, ts: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(key)
+            .push(val)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    /// Reference group-by for correctness checks.
+    fn reference(tuples: &[Tuple]) -> HashMap<Value, (u64, f64)> {
+        let mut out: HashMap<Value, (u64, f64)> = HashMap::new();
+        for tp in tuples {
+            let e = out.entry(tp.value(0).clone()).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += tp.value(1).as_float().unwrap();
+        }
+        out
+    }
+
+    fn workload(n: i64, keys: i64) -> Vec<Tuple> {
+        (0..n).map(|i| t(i % keys, 1.0, i)).collect()
+    }
+
+    #[test]
+    fn partitioned_group_by_matches_reference() {
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(4), 0, 1).unwrap();
+        let tuples = workload(2000, 37);
+        for tp in &tuples {
+            cluster.ingest(tp).unwrap();
+        }
+        cluster.run_until_drained(10_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        let st = cluster.stats();
+        assert_eq!(st.processed, 2000);
+    }
+
+    #[test]
+    fn rebalancing_helps_with_heterogeneous_nodes() {
+        // One node is 8x slower; without rebalancing it gates the drain.
+        let run = |rebalance: u64| {
+            let cfg = FluxConfig::uniform(4)
+                .with_speeds(vec![1, 8, 8, 8])
+                .with_rebalancing(rebalance);
+            let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+            let tuples = workload(8000, 101);
+            for tp in &tuples {
+                cluster.ingest(tp).unwrap();
+            }
+            let ticks = cluster.run_until_drained(100_000);
+            assert_eq!(cluster.results(), reference(&tuples), "answers must survive moves");
+            (ticks, cluster.stats().partitions_moved)
+        };
+        let (ticks_static, moved_static) = run(0);
+        let (ticks_flux, moved_flux) = run(8);
+        assert_eq!(moved_static, 0);
+        assert!(moved_flux > 0, "balancer should move partitions");
+        assert!(
+            (ticks_flux as f64) < ticks_static as f64 * 0.7,
+            "rebalancing should cut drain time: static={ticks_static}, flux={ticks_flux}"
+        );
+    }
+
+    #[test]
+    fn failover_with_replication_loses_nothing() {
+        let cfg = FluxConfig::uniform(4).with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let tuples = workload(4000, 53);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 16 == 0 {
+                cluster.tick();
+            }
+            if i == 2000 {
+                cluster.kill_node(2).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        let st = cluster.stats();
+        assert!(st.failovers > 0);
+        assert_eq!(st.lost_inflight, 0);
+        assert!(!cluster.node_stats()[2].alive);
+    }
+
+    #[test]
+    fn failure_without_replication_loses_data() {
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(4), 0, 1).unwrap();
+        let tuples = workload(4000, 53);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 16 == 0 {
+                cluster.tick();
+            }
+            if i == 2000 {
+                cluster.kill_node(2).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        let got = cluster.results();
+        let want = reference(&tuples);
+        let got_total: u64 = got.values().map(|(c, _)| c).sum();
+        let want_total: u64 = want.values().map(|(c, _)| c).sum();
+        assert!(
+            got_total < want_total,
+            "without replicas a failure must lose tuples ({got_total} vs {want_total})"
+        );
+    }
+
+    #[test]
+    fn ingest_after_failover_keeps_working() {
+        let cfg = FluxConfig::uniform(3).with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        for i in 0..100 {
+            cluster.ingest(&t(i % 7, 1.0, i)).unwrap();
+        }
+        cluster.kill_node(0).unwrap();
+        // All partitions now primary on 1 or 2; ingestion continues.
+        for i in 100..200 {
+            cluster.ingest(&t(i % 7, 1.0, i)).unwrap();
+        }
+        cluster.run_until_drained(10_000);
+        let total: u64 = cluster.results().values().map(|(c, _)| c).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn explicit_partition_move_preserves_pending_work() {
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(2), 0, 1).unwrap();
+        let tuples = workload(100, 5);
+        for tp in &tuples {
+            cluster.ingest(tp).unwrap();
+        }
+        // Move every partition to node 1 before processing anything.
+        for p in 0..64 {
+            cluster.move_partition(p, 1).unwrap();
+        }
+        cluster.run_until_drained(10_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert_eq!(cluster.node_stats()[0].processed, 0);
+        assert_eq!(cluster.node_stats()[1].processed, 100);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FluxCluster::new(
+            FluxConfig { nodes: 0, ..FluxConfig::uniform(1) },
+            0,
+            1
+        )
+        .is_err());
+        let mut bad = FluxConfig::uniform(2);
+        bad.partitions = 0;
+        assert!(FluxCluster::new(bad, 0, 1).is_err());
+        let mut mismatched = FluxConfig::uniform(2);
+        mismatched.speeds = vec![1];
+        assert!(FluxCluster::new(mismatched, 0, 1).is_err());
+    }
+
+    #[test]
+    fn kill_dead_node_rejected() {
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(2).with_replication(), 0, 1)
+            .unwrap();
+        cluster.kill_node(0).unwrap();
+        assert!(cluster.kill_node(0).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! Synthetic stream generators with experiment-grade control knobs.
+
+use rand::Rng;
+
+use tcq_common::rng::{seeded, TcqRng};
+use tcq_common::{DataType, Field, Result, Schema, SchemaRef, Timestamp, Tuple, Value};
+
+use crate::source::{Source, SourceStatus};
+
+/// The paper's `ClosingStockPrices(timestamp, stockSymbol, closingPrice)`
+/// stream (§4.1.1): one tick per (trading day, symbol), prices following a
+/// per-symbol random walk. Deterministic under a fixed seed.
+pub struct StockTicks {
+    schema: SchemaRef,
+    symbols: Vec<(String, f64)>,
+    day: i64,
+    next_symbol: usize,
+    max_days: Option<i64>,
+    rng: TcqRng,
+    /// Per-step price drift scale.
+    volatility: f64,
+}
+
+impl StockTicks {
+    /// The `ClosingStockPrices` schema, qualified by `qualifier`.
+    pub fn schema_for(qualifier: &str) -> SchemaRef {
+        Schema::qualified(
+            qualifier,
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    /// A generator over `symbols`, starting at day 1, all prices at 50.
+    pub fn new(qualifier: &str, symbols: &[&str], seed: u64) -> Self {
+        StockTicks {
+            schema: Self::schema_for(qualifier),
+            symbols: symbols.iter().map(|s| (s.to_string(), 50.0)).collect(),
+            day: 1,
+            next_symbol: 0,
+            max_days: None,
+            rng: seeded(seed),
+            volatility: 1.0,
+        }
+    }
+
+    /// Stop after `days` trading days (finite source).
+    pub fn with_max_days(mut self, days: i64) -> Self {
+        self.max_days = Some(days);
+        self
+    }
+
+    /// Scale the per-step random walk.
+    pub fn with_volatility(mut self, volatility: f64) -> Self {
+        self.volatility = volatility;
+        self
+    }
+
+    fn tick(&mut self) -> Option<Tuple> {
+        if let Some(max) = self.max_days {
+            if self.day > max {
+                return None;
+            }
+        }
+        let idx = self.next_symbol;
+        let drift: f64 = self.rng.gen_range(-1.0..1.0) * self.volatility;
+        let (sym, price) = {
+            let entry = &mut self.symbols[idx];
+            entry.1 = (entry.1 + drift).max(0.01);
+            (entry.0.clone(), entry.1)
+        };
+        let day = self.day;
+        self.next_symbol += 1;
+        if self.next_symbol == self.symbols.len() {
+            self.next_symbol = 0;
+            self.day += 1;
+        }
+        Some(Tuple::new_unchecked(
+            self.schema.clone(),
+            vec![Value::Int(day), Value::Str(sym.into()), Value::Float(price)],
+            Timestamp::logical(day),
+        ))
+    }
+}
+
+impl Source for StockTicks {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        for _ in 0..max {
+            match self.tick() {
+                Some(t) => out.push(t),
+                None => return Ok(SourceStatus::Exhausted),
+            }
+        }
+        Ok(SourceStatus::Ready)
+    }
+}
+
+/// A network-monitor stream: `(timestamp, srcAddr, dstAddr, bytes, proto)`
+/// with Zipf-like skew on source addresses — the partitioning-hostile
+/// workload of the Flux experiments (\[SHCF03\]).
+pub struct NetworkPackets {
+    schema: SchemaRef,
+    seq: i64,
+    hosts: i64,
+    /// Zipf exponent; 0.0 = uniform, larger = more skew.
+    skew: f64,
+    /// Precomputed CDF over host ranks.
+    cdf: Vec<f64>,
+    max_packets: Option<i64>,
+    rng: TcqRng,
+    /// Burst pattern: (on, off) packets; during off phases the source is
+    /// Idle, modelling bursty arrival.
+    burst: Option<(u32, u32)>,
+    burst_pos: u32,
+}
+
+impl NetworkPackets {
+    /// The packet schema, qualified.
+    pub fn schema_for(qualifier: &str) -> SchemaRef {
+        Schema::qualified(
+            qualifier,
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("srcAddr", DataType::Int),
+                Field::new("dstAddr", DataType::Int),
+                Field::new("bytes", DataType::Int),
+                Field::new("proto", DataType::Str),
+            ],
+        )
+        .into_ref()
+    }
+
+    /// A generator over `hosts` source addresses with the given skew.
+    pub fn new(qualifier: &str, hosts: i64, skew: f64, seed: u64) -> Self {
+        assert!(hosts >= 1);
+        let mut weights: Vec<f64> = (1..=hosts).map(|r| 1.0 / (r as f64).powf(skew)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        NetworkPackets {
+            schema: Self::schema_for(qualifier),
+            seq: 0,
+            hosts,
+            skew,
+            cdf: weights,
+            max_packets: None,
+            rng: seeded(seed),
+            burst: None,
+            burst_pos: 0,
+        }
+    }
+
+    /// Finite source of `n` packets.
+    pub fn with_max_packets(mut self, n: i64) -> Self {
+        self.max_packets = Some(n);
+        self
+    }
+
+    /// Bursty arrival: `on` packets available, then `off` idle polls.
+    pub fn with_burst(mut self, on: u32, off: u32) -> Self {
+        self.burst = Some((on, off));
+        self
+    }
+
+    /// The configured skew exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    fn draw_host(&mut self) -> i64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf")) {
+            Ok(i) | Err(i) => (i as i64 + 1).min(self.hosts),
+        }
+    }
+}
+
+impl Source for NetworkPackets {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        for _ in 0..max {
+            if let Some(n) = self.max_packets {
+                if self.seq >= n {
+                    return Ok(SourceStatus::Exhausted);
+                }
+            }
+            if let Some((on, off)) = self.burst {
+                self.burst_pos = (self.burst_pos + 1) % (on + off);
+                if self.burst_pos >= on {
+                    return Ok(SourceStatus::Idle);
+                }
+            }
+            self.seq += 1;
+            let src = self.draw_host();
+            let dst = self.rng.gen_range(1..=self.hosts);
+            let bytes = self.rng.gen_range(40..1500i64);
+            let proto = if self.rng.gen_bool(0.8) { "tcp" } else { "udp" };
+            out.push(Tuple::new_unchecked(
+                self.schema.clone(),
+                vec![
+                    Value::Int(self.seq),
+                    Value::Int(src),
+                    Value::Int(dst),
+                    Value::Int(bytes),
+                    Value::str(proto),
+                ],
+                Timestamp::logical(self.seq),
+            ));
+        }
+        Ok(SourceStatus::Ready)
+    }
+}
+
+/// Sensor readings `(timestamp, sensorId, temperature)` with slow drift and
+/// dropout periods per sensor.
+pub struct SensorReadings {
+    schema: SchemaRef,
+    seq: i64,
+    sensors: Vec<SensorState>,
+    next_sensor: usize,
+    max_readings: Option<i64>,
+    rng: TcqRng,
+    dropout_prob: f64,
+}
+
+struct SensorState {
+    id: i64,
+    temp: f64,
+    /// Remaining readings to skip (powered down).
+    down_for: u32,
+}
+
+impl SensorReadings {
+    /// The reading schema, qualified.
+    pub fn schema_for(qualifier: &str) -> SchemaRef {
+        Schema::qualified(
+            qualifier,
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("sensorId", DataType::Int),
+                Field::new("temperature", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    /// `n_sensors` sensors starting at 20°C.
+    pub fn new(qualifier: &str, n_sensors: usize, seed: u64) -> Self {
+        SensorReadings {
+            schema: Self::schema_for(qualifier),
+            seq: 0,
+            sensors: (0..n_sensors)
+                .map(|i| SensorState { id: i as i64, temp: 20.0, down_for: 0 })
+                .collect(),
+            next_sensor: 0,
+            max_readings: None,
+            rng: seeded(seed),
+            dropout_prob: 0.0,
+        }
+    }
+
+    /// Probability per reading that a sensor goes down for a while.
+    pub fn with_dropout(mut self, prob: f64) -> Self {
+        self.dropout_prob = prob;
+        self
+    }
+
+    /// Finite source of `n` readings.
+    pub fn with_max_readings(mut self, n: i64) -> Self {
+        self.max_readings = Some(n);
+        self
+    }
+}
+
+impl Source for SensorReadings {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        let mut produced = 0;
+        let mut attempts = 0;
+        while produced < max {
+            if let Some(n) = self.max_readings {
+                if self.seq >= n {
+                    return Ok(SourceStatus::Exhausted);
+                }
+            }
+            attempts += 1;
+            if attempts > max * 4 + 8 {
+                // Everything is down; report idle rather than spin.
+                return Ok(SourceStatus::Idle);
+            }
+            let idx = self.next_sensor;
+            self.next_sensor = (self.next_sensor + 1) % self.sensors.len();
+            let dropout = self.dropout_prob > 0.0 && self.rng.gen_bool(self.dropout_prob);
+            let down_len = if dropout { self.rng.gen_range(3..20u32) } else { 0 };
+            let drift = self.rng.gen_range(-0.2..0.2);
+            let s = &mut self.sensors[idx];
+            if s.down_for > 0 {
+                s.down_for -= 1;
+                continue;
+            }
+            if dropout {
+                s.down_for = down_len;
+                continue;
+            }
+            s.temp += drift;
+            self.seq += 1;
+            out.push(Tuple::new_unchecked(
+                self.schema.clone(),
+                vec![Value::Int(self.seq), Value::Int(s.id), Value::Float(s.temp)],
+                Timestamp::logical(self.seq),
+            ));
+            produced += 1;
+        }
+        Ok(SourceStatus::Ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_ticks_cover_all_symbols_each_day() {
+        let mut g = StockTicks::new("ClosingStockPrices", &["MSFT", "IBM", "ORCL"], 1)
+            .with_max_days(10);
+        let mut out = Vec::new();
+        assert_eq!(g.next_batch(1000, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(out.len(), 30);
+        // day 1 has exactly the three symbols
+        let day1: Vec<&str> = out
+            .iter()
+            .filter(|t| t.timestamp().seq() == 1)
+            .map(|t| t.value(1).as_str().unwrap())
+            .collect();
+        assert_eq!(day1, vec!["MSFT", "IBM", "ORCL"]);
+        // prices positive
+        assert!(out.iter().all(|t| t.value(2).as_float().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn stock_ticks_deterministic_under_seed() {
+        let collect = || {
+            let mut g = StockTicks::new("s", &["A", "B"], 42).with_max_days(50);
+            let mut out = Vec::new();
+            g.next_batch(10_000, &mut out).unwrap();
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn network_skew_concentrates_traffic() {
+        let count_top_host = |skew: f64| {
+            let mut g = NetworkPackets::new("net", 100, skew, 7).with_max_packets(5000);
+            let mut out = Vec::new();
+            g.next_batch(10_000, &mut out).unwrap();
+            out.iter()
+                .filter(|t| t.value(1).as_int().unwrap() == 1)
+                .count()
+        };
+        let uniform = count_top_host(0.0);
+        let skewed = count_top_host(1.5);
+        assert!(
+            skewed > uniform * 5,
+            "skew should concentrate on host 1: uniform={uniform}, skewed={skewed}"
+        );
+    }
+
+    #[test]
+    fn network_burst_reports_idle() {
+        let mut g = NetworkPackets::new("net", 10, 0.0, 3).with_burst(5, 5);
+        let mut out = Vec::new();
+        let mut idles = 0;
+        for _ in 0..20 {
+            if g.next_batch(3, &mut out).unwrap() == SourceStatus::Idle {
+                idles += 1;
+            }
+        }
+        assert!(idles > 0, "bursty source must sometimes be idle");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn sensors_drop_out_but_stream_continues() {
+        let mut g = SensorReadings::new("sensors", 5, 11)
+            .with_dropout(0.2)
+            .with_max_readings(500);
+        let mut out = Vec::new();
+        loop {
+            match g.next_batch(64, &mut out).unwrap() {
+                SourceStatus::Exhausted => break,
+                SourceStatus::Ready | SourceStatus::Idle => {}
+            }
+        }
+        assert_eq!(out.len(), 500);
+        // timestamps strictly increasing
+        assert!(out.windows(2).all(|w| w[0].timestamp().seq() < w[1].timestamp().seq()));
+    }
+}

@@ -1,0 +1,217 @@
+//! The source abstraction and simple sources.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use tcq_common::{DataType, Result, SchemaRef, TcqError, Timestamp, Tuple, Value};
+
+/// What a source reports after a batch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// Produced tuples and has more immediately available.
+    Ready,
+    /// Nothing right now (bursty source in an off period); try again later.
+    Idle,
+    /// The source is finished (finite sources; infinite ones never report
+    /// this).
+    Exhausted,
+}
+
+/// A data source a wrapper can drain.
+pub trait Source: Send {
+    /// The schema of produced tuples.
+    fn schema(&self) -> &SchemaRef;
+
+    /// Produce up to `max` tuples into `out`.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus>;
+}
+
+/// Replays a fixed vector of tuples (tests and benches).
+pub struct VecSource {
+    schema: SchemaRef,
+    tuples: std::vec::IntoIter<Tuple>,
+}
+
+impl VecSource {
+    /// Wrap a vector. All tuples must match `schema`'s arity.
+    pub fn new(schema: SchemaRef, tuples: Vec<Tuple>) -> Result<Self> {
+        if let Some(bad) = tuples.iter().find(|t| t.arity() != schema.len()) {
+            return Err(TcqError::SchemaMismatch(format!(
+                "VecSource tuple {bad:?} does not match schema {schema}"
+            )));
+        }
+        Ok(VecSource { schema, tuples: tuples.into_iter() })
+    }
+}
+
+impl Source for VecSource {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        for _ in 0..max {
+            match self.tuples.next() {
+                Some(t) => out.push(t),
+                None => return Ok(SourceStatus::Exhausted),
+            }
+        }
+        Ok(SourceStatus::Ready)
+    }
+}
+
+/// Reads a comma-separated file against a schema, stamping logical
+/// timestamps by line number (1-based).
+pub struct CsvSource {
+    schema: SchemaRef,
+    lines: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    line_no: i64,
+    exhausted: bool,
+}
+
+impl CsvSource {
+    /// Open `path`; fields are parsed per the schema's column types.
+    pub fn open(path: impl AsRef<Path>, schema: SchemaRef) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Ok(CsvSource {
+            schema,
+            lines: std::io::BufReader::new(file).lines(),
+            line_no: 0,
+            exhausted: false,
+        })
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Tuple> {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != self.schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "CSV line {} has {} fields, schema {} needs {}",
+                self.line_no,
+                parts.len(),
+                self.schema,
+                self.schema.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(parts.len());
+        for (i, raw) in parts.iter().enumerate() {
+            let raw = raw.trim();
+            let v = if raw.is_empty() {
+                Value::Null
+            } else {
+                match self.schema.field(i).data_type {
+                    DataType::Int => Value::Int(raw.parse::<i64>().map_err(|_| {
+                        TcqError::Storage(format!("line {}: bad int '{raw}'", self.line_no))
+                    })?),
+                    DataType::Float => Value::Float(raw.parse::<f64>().map_err(|_| {
+                        TcqError::Storage(format!("line {}: bad float '{raw}'", self.line_no))
+                    })?),
+                    DataType::Bool => Value::Bool(raw.eq_ignore_ascii_case("true") || raw == "1"),
+                    DataType::Str => Value::str(raw),
+                }
+            };
+            values.push(v);
+        }
+        Tuple::new(self.schema.clone(), values, Timestamp::logical(self.line_no))
+    }
+}
+
+impl Source for CsvSource {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        if self.exhausted {
+            return Ok(SourceStatus::Exhausted);
+        }
+        for _ in 0..max {
+            match self.lines.next() {
+                Some(line) => {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.line_no += 1;
+                    out.push(self.parse_line(&line)?);
+                }
+                None => {
+                    self.exhausted = true;
+                    return Ok(SourceStatus::Exhausted);
+                }
+            }
+        }
+        Ok(SourceStatus::Ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{Field, Schema, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("ts", DataType::Int),
+                Field::new("sym", DataType::Str),
+                Field::new("price", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    #[test]
+    fn vec_source_batches_and_exhausts() {
+        let ts: Vec<Tuple> = (1..=5)
+            .map(|i| {
+                TupleBuilder::new(schema())
+                    .push(i)
+                    .push("A")
+                    .push(i as f64)
+                    .at(Timestamp::logical(i))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let mut src = VecSource::new(schema(), ts).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(3, &mut out).unwrap(), SourceStatus::Ready);
+        assert_eq!(out.len(), 3);
+        assert_eq!(src.next_batch(10, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(out.len(), 5);
+        assert_eq!(src.next_batch(1, &mut out).unwrap(), SourceStatus::Exhausted);
+    }
+
+    #[test]
+    fn vec_source_rejects_wrong_arity() {
+        let other = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        let t = TupleBuilder::new(other).push(1i64).build().unwrap();
+        assert!(VecSource::new(schema(), vec![t]).is_err());
+    }
+
+    #[test]
+    fn csv_source_parses_types_and_stamps_timestamps() {
+        let path = std::env::temp_dir().join(format!("tcq-csv-{}.csv", std::process::id()));
+        std::fs::write(&path, "1,MSFT,50.5\n2,IBM,80.0\n\n3,,2.5\n").unwrap();
+        let mut src = CsvSource::open(&path, schema()).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(10, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value(1), &Value::str("MSFT"));
+        assert_eq!(out[0].value(2), &Value::Float(50.5));
+        assert_eq!(out[1].timestamp().seq(), 2);
+        assert_eq!(out[2].value(1), &Value::Null, "empty field is NULL");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_source_reports_bad_fields() {
+        let path = std::env::temp_dir().join(format!("tcq-badcsv-{}.csv", std::process::id()));
+        std::fs::write(&path, "1,MSFT,not_a_float\n").unwrap();
+        let mut src = CsvSource::open(&path, schema()).unwrap();
+        let mut out = Vec::new();
+        assert!(src.next_batch(10, &mut out).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

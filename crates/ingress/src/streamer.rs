@@ -1,0 +1,225 @@
+//! Streamers: wrapper-process threads delivering sources into Fjords.
+//!
+//! §4.2.3: "Streamed data is delivered from the Wrapper process to the
+//! Executor via streamers. A streamer produces tuples for a stream …
+//! the responsibility of fetching data from the network devolves to the
+//! Wrapper process, which uses a pool of threads to implement non-blocking
+//! I/O." A [`Streamer`] is one such thread: it drains a [`Source`] and
+//! enqueues into a push Fjord, yielding under back-pressure instead of
+//! blocking the pipeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tcq_common::Result;
+use tcq_fjords::{EnqueueError, FjordMessage, Producer};
+
+use crate::source::{Source, SourceStatus};
+
+/// Handle to a running streamer thread.
+pub struct Streamer {
+    handle: Option<JoinHandle<Result<()>>>,
+    stop: Arc<AtomicBool>,
+    delivered: Arc<AtomicU64>,
+    name: String,
+}
+
+impl Streamer {
+    /// Spawn a streamer draining `source` into `output`. Sends `Eof` when
+    /// the source exhausts or the streamer is stopped.
+    pub fn spawn(
+        name: impl Into<String>,
+        mut source: Box<dyn Source>,
+        output: Producer,
+    ) -> Streamer {
+        let name = name.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let delivered2 = Arc::clone(&delivered);
+        let tname = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("streamer-{tname}"))
+            .spawn(move || -> Result<()> {
+                let mut batch: Vec<tcq_common::Tuple> = Vec::with_capacity(64);
+                'outer: loop {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    batch.clear();
+                    let status = source.next_batch(64, &mut batch)?;
+                    for t in batch.drain(..) {
+                        let mut msg = FjordMessage::Tuple(t);
+                        loop {
+                            match output.enqueue(msg) {
+                                Ok(()) => {
+                                    delivered2.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(EnqueueError::Full(m)) => {
+                                    // Back-pressure: yield, retry.
+                                    if stop2.load(Ordering::Acquire) {
+                                        break 'outer;
+                                    }
+                                    msg = m;
+                                    std::thread::yield_now();
+                                }
+                                Err(EnqueueError::Disconnected(_)) => break 'outer,
+                            }
+                        }
+                    }
+                    match status {
+                        SourceStatus::Exhausted => break,
+                        SourceStatus::Idle => std::thread::yield_now(),
+                        SourceStatus::Ready => {}
+                    }
+                }
+                // Best effort EOF; consumer may already be gone.
+                let _ = output.enqueue(FjordMessage::Eof);
+                Ok(())
+            })
+            .expect("spawn streamer thread");
+        Streamer { handle: Some(handle), stop, delivered, name }
+    }
+
+    /// Tuples delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// The streamer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Request stop and wait for the thread.
+    pub fn stop(mut self) -> Result<()> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().map_err(|_| {
+                tcq_common::TcqError::Executor(format!("streamer {} panicked", self.name))
+            })??;
+        }
+        Ok(())
+    }
+
+    /// Wait for the source to exhaust (finite sources).
+    pub fn join(mut self) -> Result<()> {
+        if let Some(h) = self.handle.take() {
+            h.join().map_err(|_| {
+                tcq_common::TcqError::Executor(format!("streamer {} panicked", self.name))
+            })??;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Streamer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::StockTicks;
+    use crate::source::VecSource;
+    use tcq_fjords::{fjord, DequeueResult, QueueKind};
+
+    #[test]
+    fn streamer_delivers_everything_then_eof() {
+        let g = StockTicks::new("s", &["A", "B"], 5).with_max_days(100);
+        let (p, c) = fjord(16, QueueKind::Push);
+        let s = Streamer::spawn("stocks", Box::new(g), p);
+        let mut got = 0;
+        loop {
+            match c.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(_)) => got += 1,
+                DequeueResult::Msg(FjordMessage::Eof) => break,
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Empty => std::thread::yield_now(),
+                DequeueResult::Disconnected => break,
+            }
+        }
+        assert_eq!(got, 200);
+        assert_eq!(s.delivered(), 200);
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn backpressure_does_not_lose_tuples() {
+        // Tiny queue + slow consumer: all tuples still arrive, in order.
+        let g = StockTicks::new("s", &["A"], 7).with_max_days(500);
+        let (p, c) = fjord(2, QueueKind::Push);
+        let s = Streamer::spawn("stocks", Box::new(g), p);
+        let mut seqs = Vec::new();
+        loop {
+            match c.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
+                    seqs.push(t.timestamp().seq());
+                    if seqs.len() % 50 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+                DequeueResult::Msg(FjordMessage::Eof) => break,
+                DequeueResult::Empty => std::thread::yield_now(),
+                _ => break,
+            }
+        }
+        assert_eq!(seqs.len(), 500);
+        assert!(seqs.windows(2).all(|w| w[0] <= w[1]), "order preserved");
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn stop_terminates_infinite_sources() {
+        let g = StockTicks::new("s", &["A"], 9); // infinite
+        let (p, c) = fjord(8, QueueKind::Push);
+        let s = Streamer::spawn("stocks", Box::new(g), p);
+        // consume a few then stop
+        let mut got = 0;
+        while got < 20 {
+            if let DequeueResult::Msg(FjordMessage::Tuple(_)) = c.dequeue() {
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        s.stop().unwrap();
+        // queue drains to Eof or disconnect; either way we terminate
+    }
+
+    #[test]
+    fn dropped_consumer_stops_streamer() {
+        let g = StockTicks::new("s", &["A"], 9);
+        let (p, c) = fjord(8, QueueKind::Push);
+        let s = Streamer::spawn("stocks", Box::new(g), p);
+        drop(c);
+        // join returns (thread noticed disconnection)
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn finite_vec_source_roundtrip() {
+        let schema = StockTicks::schema_for("s");
+        let tuples: Vec<_> = {
+            let mut g = StockTicks::new("s", &["A"], 3).with_max_days(10);
+            let mut out = Vec::new();
+            g.next_batch(100, &mut out).unwrap();
+            out
+        };
+        let n = tuples.len();
+        let src = VecSource::new(schema, tuples).unwrap();
+        let (p, c) = fjord(64, QueueKind::Push);
+        let s = Streamer::spawn("vec", Box::new(src), p);
+        s.join().unwrap();
+        let msgs = c.drain();
+        assert_eq!(msgs.len(), n + 1); // + Eof
+        assert!(msgs.last().unwrap().is_eof());
+    }
+}

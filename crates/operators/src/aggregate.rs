@@ -1,0 +1,488 @@
+//! Windowed aggregation.
+//!
+//! §4.1.2 of the paper singles aggregation out as the operator whose memory
+//! behaviour depends on window type:
+//!
+//! > "Consider the execution of a MAX aggregate over a stream. For a
+//! > landmark window, it is possible to compute the answer iteratively by
+//! > simply comparing the current maximum to the newest element as the
+//! > window expands. On the other hand, for a sliding window, computing the
+//! > maximum requires the maintenance of the entire window."
+//!
+//! [`WindowAggregator`] implements both modes — O(1)-state incremental
+//! landmark aggregation and buffered sliding-window aggregation — so
+//! experiment E8 can measure exactly this asymmetry. [`GroupByAggregator`]
+//! adds hash grouping (the partitioned operator Flux rebalances).
+
+use std::collections::{HashMap, VecDeque};
+
+use tcq_common::{Result, TcqError, Tuple, Value};
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT of non-NULL inputs.
+    Count,
+    /// SUM (numeric).
+    Sum,
+    /// AVG (numeric).
+    Avg,
+    /// MIN.
+    Min,
+    /// MAX.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse from a (case-insensitive) SQL name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate to compute: function over a column, or `COUNT(*)`.
+#[derive(Debug, Clone, Copy)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column index; `None` means "the whole row" (`COUNT(*)` —
+    /// counts rows regardless of NULLs; only meaningful for COUNT).
+    pub column: Option<usize>,
+}
+
+impl AggSpec {
+    /// `func(column)`.
+    pub fn over(func: AggFunc, column: usize) -> Self {
+        AggSpec { func, column: Some(column) }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggSpec { func: AggFunc::Count, column: None }
+    }
+}
+
+/// Window discipline for a [`WindowAggregator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Landmark: the window only ever grows; aggregates update in O(1)
+    /// state ("computed iteratively", §4.1.2).
+    Landmark,
+    /// Sliding: the trailing edge advances; the whole window is buffered.
+    Sliding,
+}
+
+/// Incremental scalar accumulator for one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum(f64, u64),
+    Avg(f64, u64),
+    /// Min/Max for landmark mode: running extremum.
+    Extremum(Option<Value>, bool /* is_max */),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0, 0),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::Extremum(None, false),
+            AggFunc::Max => AggState::Extremum(None, true),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s, n) | AggState::Avg(s, n) => {
+                *s += v.as_float()?;
+                *n += 1;
+            }
+            AggState::Extremum(cur, is_max) => {
+                let better = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.total_cmp(c);
+                        if *is_max {
+                            ord.is_gt()
+                        } else {
+                            ord.is_lt()
+                        }
+                    }
+                };
+                if better {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn result(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n as i64),
+            AggState::Sum(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*s)
+                }
+            }
+            AggState::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*s / *n as f64)
+                }
+            }
+            AggState::Extremum(cur, _) => cur.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Aggregates over one (landmark or sliding) window of a single stream.
+///
+/// Feed tuples with [`WindowAggregator::update`]; read the current window's
+/// aggregates with [`WindowAggregator::results`]. For sliding mode, advance
+/// the trailing edge with [`WindowAggregator::slide_to`].
+pub struct WindowAggregator {
+    specs: Vec<AggSpec>,
+    mode: WindowMode,
+    /// Landmark: incremental states.
+    states: Vec<AggState>,
+    /// Sliding: the buffered window, (seq, column values needed).
+    buffer: VecDeque<(i64, Vec<Value>)>,
+    /// Peak buffered tuples — the paper's memory argument, observable.
+    peak_buffer: usize,
+}
+
+impl WindowAggregator {
+    /// Create an aggregator.
+    pub fn new(specs: Vec<AggSpec>, mode: WindowMode) -> Self {
+        let states = specs.iter().map(|s| AggState::new(s.func)).collect();
+        WindowAggregator { specs, mode, states, buffer: VecDeque::new(), peak_buffer: 0 }
+    }
+
+    /// Feed one tuple (must carry a logical timestamp for sliding mode).
+    pub fn update(&mut self, tuple: &Tuple) -> Result<()> {
+        match self.mode {
+            WindowMode::Landmark => {
+                for (spec, st) in self.specs.iter().zip(self.states.iter_mut()) {
+                    match spec.column {
+                        Some(c) => st.update(tuple.value(c))?,
+                        None => st.update(&Value::Bool(true))?,
+                    }
+                }
+            }
+            WindowMode::Sliding => {
+                let vals: Vec<Value> = self
+                    .specs
+                    .iter()
+                    .map(|s| match s.column {
+                        Some(c) => tuple.value(c).clone(),
+                        None => Value::Bool(true),
+                    })
+                    .collect();
+                self.buffer.push_back((tuple.timestamp().seq(), vals));
+                self.peak_buffer = self.peak_buffer.max(self.buffer.len());
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the trailing edge: drop buffered tuples with seq < `seq`.
+    /// Errors in landmark mode (whose trailing edge is fixed).
+    pub fn slide_to(&mut self, seq: i64) -> Result<usize> {
+        if self.mode != WindowMode::Sliding {
+            return Err(TcqError::InvalidWindow(
+                "slide_to on a landmark aggregator".into(),
+            ));
+        }
+        let before = self.buffer.len();
+        while let Some(&(s, _)) = self.buffer.front() {
+            if s >= seq {
+                break;
+            }
+            self.buffer.pop_front();
+        }
+        Ok(before - self.buffer.len())
+    }
+
+    /// Current aggregate values, one per spec.
+    ///
+    /// Landmark mode reads the O(1) states; sliding mode recomputes over the
+    /// buffered window — "the maintenance of the entire window" the paper
+    /// warns about.
+    pub fn results(&self) -> Result<Vec<Value>> {
+        match self.mode {
+            WindowMode::Landmark => Ok(self.states.iter().map(|s| s.result()).collect()),
+            WindowMode::Sliding => {
+                let mut states: Vec<AggState> =
+                    self.specs.iter().map(|s| AggState::new(s.func)).collect();
+                for (_, vals) in &self.buffer {
+                    for (st, v) in states.iter_mut().zip(vals.iter()) {
+                        st.update(v)?;
+                    }
+                }
+                Ok(states.iter().map(|s| s.result()).collect())
+            }
+        }
+    }
+
+    /// Tuples currently buffered (0 in landmark mode).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Largest buffer ever held.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffer
+    }
+
+    /// The window discipline.
+    pub fn mode(&self) -> WindowMode {
+        self.mode
+    }
+}
+
+/// Hash-grouped aggregation: `GROUP BY key` with per-group accumulators.
+/// This is the stateful, partitionable operator of the Flux experiments —
+/// its state can be extracted per group for online repartitioning.
+pub struct GroupByAggregator {
+    key_col: usize,
+    specs: Vec<AggSpec>,
+    groups: HashMap<Value, Vec<AggState>>,
+}
+
+impl GroupByAggregator {
+    /// Group by `key_col`, computing `specs` per group.
+    pub fn new(key_col: usize, specs: Vec<AggSpec>) -> Self {
+        GroupByAggregator { key_col, specs, groups: HashMap::new() }
+    }
+
+    /// Feed one tuple.
+    pub fn update(&mut self, tuple: &Tuple) -> Result<()> {
+        let key = tuple.value(self.key_col);
+        let states = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| self.specs.iter().map(|s| AggState::new(s.func)).collect());
+        for (spec, st) in self.specs.iter().zip(states.iter_mut()) {
+            match spec.column {
+                Some(c) => st.update(tuple.value(c))?,
+                None => st.update(&Value::Bool(true))?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot results: (group key, aggregate values), unordered.
+    pub fn results(&self) -> Vec<(Value, Vec<Value>)> {
+        self.groups
+            .iter()
+            .map(|(k, states)| (k.clone(), states.iter().map(|s| s.result()).collect()))
+            .collect()
+    }
+
+    /// Results sorted by group key (deterministic for tests).
+    pub fn results_sorted(&self) -> Vec<(Value, Vec<Value>)> {
+        let mut out = self.results();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no group exists.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Remove and return the state of groups selected by `pred` — Flux's
+    /// state-movement primitive: the selected partitions migrate to another
+    /// node. (Aggregate states move as opaque values.)
+    pub fn extract_groups(&mut self, mut pred: impl FnMut(&Value) -> bool) -> Vec<(Value, Vec<Value>)> {
+        let keys: Vec<Value> = self.groups.keys().filter(|k| pred(k)).cloned().collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(states) = self.groups.remove(&k) {
+                out.push((k, states.iter().map(|s| s.result()).collect()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("sym", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+        .into_ref()
+    }
+
+    fn tick(ts: i64, sym: &str, price: f64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(sym)
+            .push(price)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn landmark_max_is_constant_state() {
+        let mut agg = WindowAggregator::new(
+            vec![AggSpec::over(AggFunc::Max, 1)],
+            WindowMode::Landmark,
+        );
+        for ts in 1..=1000 {
+            agg.update(&tick(ts, "M", (ts % 97) as f64)).unwrap();
+        }
+        assert_eq!(agg.results().unwrap(), vec![Value::Float(96.0)]);
+        assert_eq!(agg.buffered(), 0, "landmark keeps no window buffer");
+    }
+
+    #[test]
+    fn sliding_max_requires_window_and_slides_correctly() {
+        let mut agg = WindowAggregator::new(
+            vec![AggSpec::over(AggFunc::Max, 1)],
+            WindowMode::Sliding,
+        );
+        // prices 1..=10 at ts 1..=10
+        for ts in 1..=10 {
+            agg.update(&tick(ts, "M", ts as f64)).unwrap();
+        }
+        assert_eq!(agg.results().unwrap(), vec![Value::Float(10.0)]);
+        assert_eq!(agg.buffered(), 10);
+        // Slide so the window is [6, 10]: max still 10, but after dropping
+        // the high value...
+        agg.slide_to(6).unwrap();
+        assert_eq!(agg.buffered(), 5);
+        // feed decreasing values and slide past the old max
+        agg.update(&tick(11, "M", 2.0)).unwrap();
+        agg.slide_to(11).unwrap();
+        assert_eq!(agg.results().unwrap(), vec![Value::Float(2.0)]);
+        assert_eq!(agg.peak_buffered(), 10);
+    }
+
+    #[test]
+    fn paper_sliding_avg_example() {
+        // §4.1.1 example 3: AVG of the five most recent trading days.
+        let mut agg = WindowAggregator::new(
+            vec![AggSpec::over(AggFunc::Avg, 1)],
+            WindowMode::Sliding,
+        );
+        for ts in 1..=10 {
+            agg.update(&tick(ts, "MSFT", ts as f64 * 10.0)).unwrap();
+        }
+        // window [6, 10]
+        agg.slide_to(6).unwrap();
+        assert_eq!(agg.results().unwrap(), vec![Value::Float(80.0)]);
+    }
+
+    #[test]
+    fn count_sum_avg_min_together() {
+        let specs = vec![
+            AggSpec::over(AggFunc::Count, 1),
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Avg, 1),
+            AggSpec::over(AggFunc::Min, 1),
+        ];
+        let mut agg = WindowAggregator::new(specs, WindowMode::Landmark);
+        for (ts, p) in [(1, 4.0), (2, 2.0), (3, 6.0)] {
+            agg.update(&tick(ts, "M", p)).unwrap();
+        }
+        assert_eq!(
+            agg.results().unwrap(),
+            vec![
+                Value::Int(3),
+                Value::Float(12.0),
+                Value::Float(4.0),
+                Value::Float(2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_window_yields_null_aggregates_and_zero_count() {
+        let specs = vec![
+            AggSpec::over(AggFunc::Count, 1),
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Max, 1),
+        ];
+        let agg = WindowAggregator::new(specs, WindowMode::Sliding);
+        assert_eq!(
+            agg.results().unwrap(),
+            vec![Value::Int(0), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let s = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        let mut agg = WindowAggregator::new(
+            vec![
+                AggSpec::over(AggFunc::Count, 0),
+                AggSpec::over(AggFunc::Sum, 0),
+            ],
+            WindowMode::Landmark,
+        );
+        agg.update(&Tuple::new(s.clone(), vec![Value::Int(5)], Timestamp::logical(1)).unwrap())
+            .unwrap();
+        agg.update(&Tuple::new(s, vec![Value::Null], Timestamp::logical(2)).unwrap())
+            .unwrap();
+        assert_eq!(agg.results().unwrap(), vec![Value::Int(1), Value::Float(5.0)]);
+    }
+
+    #[test]
+    fn slide_on_landmark_errors() {
+        let mut agg = WindowAggregator::new(
+            vec![AggSpec::over(AggFunc::Count, 0)],
+            WindowMode::Landmark,
+        );
+        assert!(agg.slide_to(5).is_err());
+    }
+
+    #[test]
+    fn group_by_and_state_extraction() {
+        let mut g = GroupByAggregator::new(0, vec![AggSpec::over(AggFunc::Sum, 1)]);
+        for (ts, sym, p) in [(1, "A", 1.0), (2, "B", 2.0), (3, "A", 3.0), (4, "C", 4.0)] {
+            g.update(&tick(ts, sym, p)).unwrap();
+        }
+        assert_eq!(g.len(), 3);
+        let sorted = g.results_sorted();
+        assert_eq!(sorted[0], (Value::str("A"), vec![Value::Float(4.0)]));
+        // Extract B and C (repartition them away).
+        let moved = g.extract_groups(|k| matches!(k, Value::Str(s) if s.as_ref() != "A"));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn agg_func_parse() {
+        assert_eq!(AggFunc::parse("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("MAX"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

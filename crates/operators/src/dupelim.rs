@@ -1,0 +1,113 @@
+//! Duplicate elimination as a windowed eddy module.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use tcq_common::{Result, Tuple, Value};
+
+use crate::module::{EddyModule, Routed};
+
+/// Passes only the first occurrence of each distinct value vector within
+/// the active window; later duplicates are dropped.
+///
+/// State is evictable: each distinct key remembers how many live copies are
+/// in the window so that eviction re-admits values that fully aged out.
+pub struct DupElimOp {
+    name: String,
+    seen: HashMap<Vec<Value>, usize>,
+    arrivals: VecDeque<(i64, Vec<Value>)>,
+}
+
+impl DupElimOp {
+    /// A fresh duplicate eliminator.
+    pub fn new(name: impl Into<String>) -> Self {
+        DupElimOp { name: name.into(), seen: HashMap::new(), arrivals: VecDeque::new() }
+    }
+
+    /// Distinct values currently tracked.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl EddyModule for DupElimOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, tuple: &Tuple) -> Result<Routed> {
+        let key: Vec<Value> = tuple.values().to_vec();
+        let count = self.seen.entry(key.clone()).or_insert(0);
+        let first = *count == 0;
+        *count += 1;
+        self.arrivals.push_back((tuple.timestamp().seq(), key));
+        Ok(if first { Routed::pass() } else { Routed::drop() })
+    }
+
+    fn evict_before_seq(&mut self, seq: i64) {
+        while let Some((s, _)) = self.arrivals.front() {
+            if *s >= seq {
+                break;
+            }
+            let (_, key) = self.arrivals.pop_front().expect("front checked");
+            if let Some(count) = self.seen.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.seen.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    fn t(x: i64, ts: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(x)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_passes_duplicates_drop() {
+        let mut op = DupElimOp::new("distinct");
+        assert!(op.process(&t(1, 1)).unwrap().keep);
+        assert!(!op.process(&t(1, 2)).unwrap().keep);
+        assert!(op.process(&t(2, 3)).unwrap().keep);
+        assert_eq!(op.distinct(), 2);
+    }
+
+    #[test]
+    fn eviction_readmits_aged_out_values() {
+        let mut op = DupElimOp::new("distinct");
+        op.process(&t(1, 1)).unwrap();
+        op.process(&t(1, 2)).unwrap();
+        // Evict ts < 3: both copies of value 1 age out.
+        op.evict_before_seq(3);
+        assert_eq!(op.distinct(), 0);
+        assert!(op.process(&t(1, 5)).unwrap().keep, "re-admitted after aging out");
+    }
+
+    #[test]
+    fn partial_eviction_keeps_suppressing() {
+        let mut op = DupElimOp::new("distinct");
+        op.process(&t(1, 1)).unwrap();
+        op.process(&t(1, 5)).unwrap();
+        // Only the first copy ages out; a live copy remains in-window.
+        op.evict_before_seq(3);
+        assert!(!op.process(&t(1, 6)).unwrap().keep);
+    }
+}

@@ -1,0 +1,220 @@
+//! Juggle: online reordering for prioritized delivery (\[RRH99\], §2.1).
+//!
+//! > "Juggle performs online reordering for prioritizing records by
+//! > content."
+//!
+//! A [`Juggle`] sits between a producer and a consumer. It buffers up to a
+//! bounded number of tuples and always releases the highest-priority one
+//! first, so interactive clients see interesting records early even when
+//! the stream delivers them late. When the buffer is full, the *best*
+//! tuple is released to make room — the consumer should see high-priority
+//! records as early as possible.
+//!
+//! The buffer is generic over a payload `P` carried alongside each tuple
+//! (e.g. the query id at the egress boundary); use `Juggle<()>` when no
+//! payload is needed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tcq_common::{Result, Tuple, Value};
+
+/// Priority function: bigger value = deliver sooner.
+pub type PriorityFn = Box<dyn Fn(&Tuple) -> f64 + Send>;
+
+struct Entry<P> {
+    priority: f64,
+    /// Arrival order breaks ties FIFO.
+    arrival: u64,
+    tuple: Tuple,
+    payload: P,
+}
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<P> Eq for Entry<P> {}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on priority; FIFO (smaller arrival first) on ties.
+        match self.priority.partial_cmp(&other.priority) {
+            Some(Ordering::Equal) | None => other.arrival.cmp(&self.arrival),
+            Some(o) => o,
+        }
+    }
+}
+
+/// Online reordering buffer.
+pub struct Juggle<P = ()> {
+    name: String,
+    priority: PriorityFn,
+    heap: BinaryHeap<Entry<P>>,
+    capacity: usize,
+    next_arrival: u64,
+}
+
+impl<P> Juggle<P> {
+    /// A juggle holding at most `capacity` tuples, prioritized by `priority`.
+    pub fn new(name: impl Into<String>, capacity: usize, priority: PriorityFn) -> Self {
+        assert!(capacity >= 1, "juggle capacity must be >= 1");
+        Juggle {
+            name: name.into(),
+            priority,
+            heap: BinaryHeap::with_capacity(capacity),
+            capacity,
+            next_arrival: 0,
+        }
+    }
+
+    /// Convenience: prioritize by a numeric column, descending.
+    pub fn by_column_desc(name: impl Into<String>, capacity: usize, column: usize) -> Self {
+        Juggle::new(
+            name,
+            capacity,
+            Box::new(move |t: &Tuple| match t.value(column) {
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                _ => f64::NEG_INFINITY,
+            }),
+        )
+    }
+
+    /// The juggle's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Offer a tuple (with its payload); if the buffer was full, the
+    /// highest-priority entry (the one to deliver now) is returned.
+    pub fn push(&mut self, tuple: Tuple, payload: P) -> Result<Option<(Tuple, P)>> {
+        let priority = (self.priority)(&tuple);
+        self.heap.push(Entry { priority, arrival: self.next_arrival, tuple, payload });
+        self.next_arrival += 1;
+        if self.heap.len() > self.capacity {
+            Ok(self.heap.pop().map(|e| (e.tuple, e.payload)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Deliver the highest-priority buffered entry, if any.
+    pub fn pop(&mut self) -> Option<(Tuple, P)> {
+        self.heap.pop().map(|e| (e.tuple, e.payload))
+    }
+
+    /// Drain everything in priority order (end of stream).
+    pub fn drain(&mut self) -> Vec<(Tuple, P)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push((e.tuple, e.payload));
+        }
+        out
+    }
+
+    /// Buffered entry count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    fn t(x: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(x)
+            .at(Timestamp::logical(x))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn delivers_highest_priority_first() {
+        let mut j: Juggle = Juggle::by_column_desc("j", 10, 0);
+        for x in [3, 1, 4, 1, 5, 9, 2, 6] {
+            assert!(j.push(t(x), ()).unwrap().is_none());
+        }
+        let order: Vec<i64> = j
+            .drain()
+            .iter()
+            .map(|(t, _)| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(order, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn full_buffer_releases_best_immediately() {
+        let mut j: Juggle = Juggle::by_column_desc("j", 3, 0);
+        assert!(j.push(t(1), ()).unwrap().is_none());
+        assert!(j.push(t(5), ()).unwrap().is_none());
+        assert!(j.push(t(3), ()).unwrap().is_none());
+        // buffer full: pushing releases the current best (5)
+        let (released, _) = j.push(t(2), ()).unwrap().unwrap();
+        assert_eq!(released.value(0).as_int().unwrap(), 5);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let s = schema();
+        let mk = |x: i64, ts: i64| {
+            TupleBuilder::new(s.clone())
+                .push(x)
+                .at(Timestamp::logical(ts))
+                .build()
+                .unwrap()
+        };
+        let mut j: Juggle = Juggle::by_column_desc("j", 10, 0);
+        j.push(mk(7, 100), ()).unwrap();
+        j.push(mk(7, 200), ()).unwrap();
+        let (first, _) = j.pop().unwrap();
+        assert_eq!(first.timestamp().seq(), 100, "equal priority delivers FIFO");
+    }
+
+    #[test]
+    fn custom_priority_function() {
+        // prioritize small values
+        let mut j: Juggle = Juggle::new(
+            "asc",
+            8,
+            Box::new(|t: &Tuple| -(t.value(0).as_int().unwrap_or(0) as f64)),
+        );
+        for x in [3, 1, 2] {
+            j.push(t(x), ()).unwrap();
+        }
+        let order: Vec<i64> = j
+            .drain()
+            .iter()
+            .map(|(t, _)| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn payload_rides_along() {
+        let mut j: Juggle<&'static str> = Juggle::by_column_desc("j", 8, 0);
+        j.push(t(1), "low").unwrap();
+        j.push(t(9), "high").unwrap();
+        let (tuple, tag) = j.pop().unwrap();
+        assert_eq!(tuple.value(0).as_int().unwrap(), 9);
+        assert_eq!(tag, "high");
+    }
+}

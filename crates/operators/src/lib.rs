@@ -1,0 +1,42 @@
+//! Query-processing modules (TelegraphCQ §2.1).
+//!
+//! > "In Telegraph, query processing is performed by routing tuples through
+//! > query modules. These modules are pipelined, non-blocking versions of
+//! > standard relational operators such as joins, selections, projections,
+//! > grouping and aggregation, and duplicate elimination."
+//!
+//! Modules come in two flavours here:
+//!
+//! * **Eddy modules** ([`EddyModule`]) — commutative, tuple-at-a-time
+//!   operators an eddy routes through: [`SelectOp`], [`GroupedFilterOp`],
+//!   [`StemOp`] (build/probe halves of joins), [`RemoteIndexOp`] (the
+//!   simulated remote access method used for join hybridization), and
+//!   [`DupElimOp`].
+//! * **Consumers** — operators applied to the eddy's *output* stream, where
+//!   ordering is fixed: [`ProjectOp`], the window aggregates
+//!   ([`WindowAggregator`], [`GroupByAggregator`]), and [`Juggle`] (online
+//!   reordering for prioritized delivery, \[RRH99\]).
+//!
+//! The split mirrors the paper: eddies adaptively order the *commutative*
+//! part of the plan; modules at the eddy's input or output "are not
+//! considered in the Eddy's adaptive decision-making" (§2.2).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod dupelim;
+pub mod juggle;
+pub mod module;
+pub mod project;
+pub mod remote_index;
+pub mod select;
+pub mod stem_op;
+
+pub use aggregate::{AggFunc, AggSpec, GroupByAggregator, WindowAggregator, WindowMode};
+pub use dupelim::DupElimOp;
+pub use juggle::Juggle;
+pub use module::{EddyModule, Routed};
+pub use project::ProjectOp;
+pub use remote_index::{RemoteIndex, RemoteIndexOp};
+pub use select::{GroupedFilterOp, SelectOp};
+pub use stem_op::{symmetric_hash_join, StemOp};

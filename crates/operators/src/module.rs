@@ -1,0 +1,74 @@
+//! The eddy-module contract.
+//!
+//! An eddy "continuously route\[s\] tuples among a set of other modules
+//! according to a routing policy … When one of the modules processes a
+//! tuple t, it can generate other tuples … and send them back to the Eddy
+//! for further routing" (§2.2). [`Routed`] captures exactly that protocol.
+
+use tcq_common::{Result, Tuple};
+
+/// What a module did with one routed tuple.
+#[derive(Debug, Default)]
+pub struct Routed {
+    /// Whether the original tuple survives this module and should continue
+    /// routing (filters: predicate held; SteM build: yes; SteM probe: no —
+    /// the concatenations carry it forward).
+    pub keep: bool,
+    /// Newly generated tuples (join concatenations, index lookups) returned
+    /// "back to the Eddy for further routing".
+    pub outputs: Vec<Tuple>,
+}
+
+impl Routed {
+    /// The tuple passed through unchanged.
+    pub fn pass() -> Routed {
+        Routed { keep: true, outputs: Vec::new() }
+    }
+
+    /// The tuple was filtered out or absorbed.
+    pub fn drop() -> Routed {
+        Routed { keep: false, outputs: Vec::new() }
+    }
+
+    /// The tuple was consumed and replaced by `outputs`.
+    pub fn consume_into(outputs: Vec<Tuple>) -> Routed {
+        Routed { keep: false, outputs }
+    }
+}
+
+/// A commutative, tuple-at-a-time query module an eddy can route through.
+///
+/// Implementations must be cheap to call: the eddy invokes `process` once
+/// per (tuple, module) visit, and routing policies time these calls to
+/// estimate module costs.
+pub trait EddyModule: Send {
+    /// Short diagnostic name, e.g. `"sel(closingPrice>50)"`.
+    fn name(&self) -> &str;
+
+    /// Handle one routed tuple.
+    fn process(&mut self, tuple: &Tuple) -> Result<Routed>;
+
+    /// Window maintenance: drop internal state older than logical time
+    /// `seq`. Default: stateless, nothing to do.
+    fn evict_before_seq(&mut self, _seq: i64) {}
+
+    /// Approximate retained state in tuples (for memory accounting and the
+    /// out-of-core experiments). Default 0 for stateless modules.
+    fn state_size(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_constructors() {
+        assert!(Routed::pass().keep);
+        assert!(Routed::pass().outputs.is_empty());
+        assert!(!Routed::drop().keep);
+        let r = Routed::consume_into(vec![]);
+        assert!(!r.keep && r.outputs.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Selection modules: single-predicate filters and CACQ grouped filters.
+
+use tcq_common::{BitSet, BoundExpr, CmpOp, Expr, Result, SchemaRef, TcqError, Tuple, Value};
+use tcq_stems::GroupedFilter;
+
+/// A pipelined selection: passes tuples satisfying a predicate.
+///
+/// An eddy may route tuples of *several* schemas through the same filter —
+/// a filter on `S.x` applies to base `S` tuples and to any join output
+/// containing `S` columns, whose column order depends on which side probed.
+/// The op therefore keeps the unbound predicate and a per-schema bound
+/// cache (schemas are interned by `Arc` pointer, so the cache hit is one
+/// hash probe).
+///
+/// An optional artificial cost (in "work units" of busy looping) lets
+/// experiments reproduce the expensive-predicate scenarios of the eddies
+/// paper \[AH00\], where operator costs differ by orders of magnitude.
+pub struct SelectOp {
+    name: String,
+    pred: Expr,
+    bound: std::collections::HashMap<usize, BoundExpr>,
+    cost_units: u64,
+}
+
+impl SelectOp {
+    /// Build from an unbound predicate; `schema` is the primary input
+    /// schema, bound eagerly so construction surfaces name errors.
+    pub fn new(name: impl Into<String>, pred: &Expr, schema: &SchemaRef) -> Result<Self> {
+        let mut bound = std::collections::HashMap::new();
+        bound.insert(std::sync::Arc::as_ptr(schema) as usize, pred.bind(schema)?);
+        Ok(SelectOp { name: name.into(), pred: pred.clone(), bound, cost_units: 0 })
+    }
+
+    /// Add an artificial per-tuple cost (busy-loop iterations), for
+    /// reproducing expensive-operator workloads.
+    pub fn with_cost_units(mut self, units: u64) -> Self {
+        self.cost_units = units;
+        self
+    }
+
+    /// Evaluate the predicate against a tuple of any schema the predicate
+    /// binds to.
+    pub fn matches(&mut self, tuple: &Tuple) -> Result<bool> {
+        burn(self.cost_units);
+        let key = std::sync::Arc::as_ptr(tuple.schema()) as usize;
+        if !self.bound.contains_key(&key) {
+            let b = self.pred.bind(tuple.schema())?;
+            self.bound.insert(key, b);
+        }
+        self.bound[&key].eval_pred(tuple)
+    }
+}
+
+impl crate::module::EddyModule for SelectOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, tuple: &Tuple) -> Result<crate::module::Routed> {
+        Ok(if self.matches(tuple)? {
+            crate::module::Routed::pass()
+        } else {
+            crate::module::Routed::drop()
+        })
+    }
+}
+
+/// Spin for roughly `units` cheap iterations; the compiler cannot elide it.
+#[inline]
+pub(crate) fn burn(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
+}
+
+/// A CACQ grouped-filter module: evaluates the single-column factors of
+/// *many* queries in one pass over each tuple (§3.1).
+///
+/// `process` passes every tuple (shared processing cannot drop a tuple any
+/// single query still needs — that decision belongs to the eddy's lineage
+/// logic); callers use [`GroupedFilterOp::matching`] to learn which factors
+/// a tuple satisfied.
+pub struct GroupedFilterOp {
+    name: String,
+    column: usize,
+    filter: GroupedFilter,
+    /// Scratch reused across calls; taken by `matching`.
+    last_matches: BitSet,
+}
+
+impl GroupedFilterOp {
+    /// A grouped filter over `column` of the stream schema.
+    pub fn new(name: impl Into<String>, schema: &SchemaRef, column: usize) -> Result<Self> {
+        if column >= schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "grouped filter column {column} out of range for {schema}"
+            )));
+        }
+        Ok(GroupedFilterOp {
+            name: name.into(),
+            column,
+            filter: GroupedFilter::new(),
+            last_matches: BitSet::new(),
+        })
+    }
+
+    /// Register a factor (see [`GroupedFilter::insert`]).
+    pub fn insert_factor(&mut self, id: usize, op: CmpOp, constant: Value) -> Result<()> {
+        self.filter.insert(id, op, constant)
+    }
+
+    /// Remove a factor.
+    pub fn remove_factor(&mut self, id: usize) {
+        self.filter.remove(id);
+    }
+
+    /// All registered factor ids.
+    pub fn owners(&self) -> &BitSet {
+        self.filter.owners()
+    }
+
+    /// Factors satisfied by the most recently processed tuple.
+    pub fn matching(&self) -> &BitSet {
+        &self.last_matches
+    }
+
+    /// Probe without going through the module interface.
+    pub fn eval(&self, value: &Value, out: &mut BitSet) {
+        self.filter.eval(value, out);
+    }
+}
+
+impl crate::module::EddyModule for GroupedFilterOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, tuple: &Tuple) -> Result<crate::module::Routed> {
+        self.last_matches.clear();
+        self.filter.eval(tuple.value(self.column), &mut self.last_matches);
+        Ok(crate::module::Routed::pass())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::EddyModule;
+    use tcq_common::{DataType, Field, Schema, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("sym", DataType::Str),
+                Field::new("price", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn tick(sym: &str, price: f64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(sym)
+            .push(price)
+            .at(Timestamp::logical(1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn select_passes_and_drops() {
+        let pred = Expr::col("price").cmp(CmpOp::Gt, Expr::lit(50.0));
+        let mut op = SelectOp::new("sel", &pred, &schema()).unwrap();
+        assert!(op.process(&tick("MSFT", 60.0)).unwrap().keep);
+        assert!(!op.process(&tick("MSFT", 40.0)).unwrap().keep);
+    }
+
+    #[test]
+    fn select_binding_fails_on_bad_column() {
+        let pred = Expr::col("nope").cmp(CmpOp::Gt, Expr::lit(1i64));
+        assert!(SelectOp::new("sel", &pred, &schema()).is_err());
+    }
+
+    #[test]
+    fn grouped_filter_op_tracks_last_matches() {
+        let mut op = GroupedFilterOp::new("gf(price)", &schema(), 1).unwrap();
+        op.insert_factor(0, CmpOp::Gt, Value::Float(50.0)).unwrap();
+        op.insert_factor(1, CmpOp::Lt, Value::Float(50.0)).unwrap();
+        let r = op.process(&tick("MSFT", 60.0)).unwrap();
+        assert!(r.keep); // grouped filters never drop
+        assert_eq!(op.matching().iter().collect::<Vec<_>>(), vec![0]);
+        op.process(&tick("MSFT", 40.0)).unwrap();
+        assert_eq!(op.matching().iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn grouped_filter_bad_column_rejected() {
+        assert!(GroupedFilterOp::new("gf", &schema(), 9).is_err());
+    }
+
+    #[test]
+    fn cost_units_burn_without_changing_semantics() {
+        let pred = Expr::col("price").cmp(CmpOp::Gt, Expr::lit(50.0));
+        let mut op = SelectOp::new("sel", &pred, &schema())
+            .unwrap()
+            .with_cost_units(1000);
+        assert!(op.process(&tick("MSFT", 60.0)).unwrap().keep);
+    }
+}

@@ -1,0 +1,384 @@
+//! The SteM as an eddy module: build tuples in, concatenated matches out.
+//!
+//! Paper Figure 2: "When an S tuple arrives, it is first sent as a build
+//! tuple to SteM_S and then sent as a probe tuple to SteM_T. ST matches
+//! produced from either SteM are routed to the output. This routing,
+//! combined with hash indexes on the two SteMs, implements an adaptive
+//! symmetric hash join."
+//!
+//! A [`StemOp`] wraps one SteM. It decides build-vs-probe per the paper's
+//! definition: a tuple *t ∈ T* (same footprint as the stored side) is a
+//! build tuple; a tuple *p ∉ T* is a probe tuple and yields the
+//! concatenations `{p} ⋈ SteM_T`. Because join output schemas depend on the
+//! probing tuple's schema, the op caches a per-schema probe plan.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tcq_common::{Result, Schema, SchemaRef, TcqError, Tuple, Value};
+use tcq_stems::{IndexKind, SteM};
+
+use crate::module::{EddyModule, Routed};
+
+/// Cached plan for probing with tuples of one schema.
+struct ProbePlan {
+    /// Column in the probing tuple whose value keys the probe.
+    key_col: usize,
+    /// Schema of `probe ⋈ stored` outputs.
+    joined: SchemaRef,
+}
+
+/// One State Module wrapped as an eddy module.
+pub struct StemOp {
+    name: String,
+    stem: SteM,
+    /// Qualifier identifying build tuples (e.g. the stream alias).
+    build_qualifier: String,
+    /// Candidate probe-key columns, tried in order against each probing
+    /// schema. Multiple candidates let one SteM serve several probing
+    /// sources in multiway joins (an RS intermediate can probe SteM_T via
+    /// `R.k` or `S.k`; after the equi-join they are equal).
+    probe_keys: Vec<(Option<String>, String)>,
+    /// Probe plans keyed by schema identity.
+    plans: HashMap<usize, ProbePlan>,
+    /// Optional sliding-window width in logical time; tuples older than
+    /// (latest - width) are evicted on insert.
+    window_width: Option<i64>,
+    latest_seq: i64,
+}
+
+impl StemOp {
+    /// Create a SteM module.
+    ///
+    /// * `build_qualifier` — tuples whose schema is qualified solely by this
+    ///   name are stored (build); everything else probes.
+    /// * `build_key` — indexed column of the stored schema.
+    /// * `probe_key` — `(qualifier, column)` to read from probing tuples;
+    ///   the qualifier defaults to searching unambiguously by name. For
+    ///   multiway joins use [`StemOp::with_extra_probe_key`] to add
+    ///   fallbacks.
+    pub fn new(
+        name: impl Into<String>,
+        stored_schema: SchemaRef,
+        build_qualifier: impl Into<String>,
+        build_key: usize,
+        probe_key: (Option<String>, String),
+        index: IndexKind,
+    ) -> Result<Self> {
+        let name = name.into();
+        let stem = SteM::new(name.clone(), stored_schema, build_key, index)?;
+        Ok(StemOp {
+            name,
+            stem,
+            build_qualifier: build_qualifier.into(),
+            probe_keys: vec![probe_key],
+            plans: HashMap::new(),
+            window_width: None,
+            latest_seq: i64::MIN,
+        })
+    }
+
+    /// Add a fallback probe-key spec, tried when earlier specs do not
+    /// resolve against a probing tuple's schema.
+    pub fn with_extra_probe_key(mut self, probe_key: (Option<String>, String)) -> Self {
+        self.probe_keys.push(probe_key);
+        self
+    }
+
+    /// Bound the SteM to a sliding window of `width` logical time units;
+    /// state older than the newest build's timestamp minus `width` is
+    /// evicted automatically.
+    pub fn with_window_width(mut self, width: i64) -> Self {
+        self.window_width = Some(width);
+        self
+    }
+
+    /// Is `tuple` a build tuple for this SteM? True when its schema is
+    /// qualified entirely by our build qualifier (i.e. it is a base tuple of
+    /// the stored stream, not an intermediate join result).
+    fn is_build(&self, tuple: &Tuple) -> bool {
+        let schema = tuple.schema();
+        schema.len() == self.stem.schema().len()
+            && (0..schema.len()).all(|i| {
+                schema.qualifier(i).eq_ignore_ascii_case(&self.build_qualifier)
+            })
+    }
+
+    fn probe_plan(&mut self, schema: &SchemaRef) -> Result<&ProbePlan> {
+        let key = Arc::as_ptr(schema) as usize;
+        if !self.plans.contains_key(&key) {
+            let mut resolved = None;
+            let mut last_err = None;
+            for (q, name) in &self.probe_keys {
+                match schema.index_of(q.as_deref(), name) {
+                    Ok(col) => {
+                        resolved = Some(col);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            let key_col = match resolved {
+                Some(c) => c,
+                None => {
+                    return Err(last_err
+                        .unwrap_or_else(|| TcqError::Analysis("no probe key spec".into())))
+                }
+            };
+            let joined: SchemaRef = Arc::new(Schema::concat(schema, self.stem.schema()));
+            self.plans.insert(key, ProbePlan { key_col, joined });
+        }
+        Ok(&self.plans[&key])
+    }
+
+    /// Direct probe access (used by hybrid-join experiments to compare the
+    /// SteM against the remote index on identical keys).
+    pub fn probe(&mut self, key: &Value, out: &mut Vec<Tuple>) -> usize {
+        self.stem.probe_eq(key, out)
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.stem.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.stem.is_empty()
+    }
+
+    /// (builds, probes, matches) counters from the underlying SteM.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        self.stem.counters()
+    }
+
+    /// Drain all stored tuples (Flux state movement).
+    pub fn drain_all(&mut self) -> Vec<Tuple> {
+        self.stem.drain_all()
+    }
+
+    /// Re-insert tuples previously drained from a peer partition.
+    pub fn absorb(&mut self, tuples: Vec<Tuple>) -> Result<()> {
+        for t in tuples {
+            self.stem.insert(t)?;
+        }
+        Ok(())
+    }
+}
+
+impl EddyModule for StemOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, tuple: &Tuple) -> Result<Routed> {
+        if self.is_build(tuple) {
+            let seq = tuple.timestamp().seq();
+            self.latest_seq = self.latest_seq.max(seq);
+            self.stem.insert(tuple.clone())?;
+            if let Some(w) = self.window_width {
+                self.stem.evict_before_seq(self.latest_seq - w + 1);
+            }
+            // Build tuples continue routing ("first sent as a build tuple to
+            // SteM_S and then sent as a probe tuple to SteM_T").
+            return Ok(Routed::pass());
+        }
+        // Probe.
+        let (key_col, joined) = {
+            let plan = self.probe_plan(tuple.schema())?;
+            (plan.key_col, plan.joined.clone())
+        };
+        let key = tuple.value(key_col).clone();
+        let mut matches = Vec::new();
+        self.stem.probe_eq(&key, &mut matches);
+        let outputs: Vec<Tuple> = matches
+            .into_iter()
+            .map(|stored| tuple.concat(&stored, joined.clone()))
+            .collect();
+        Ok(Routed::consume_into(outputs))
+    }
+
+    fn evict_before_seq(&mut self, seq: i64) {
+        self.stem.evict_before_seq(seq);
+    }
+
+    fn state_size(&self) -> usize {
+        self.stem.len()
+    }
+}
+
+/// Wire the two SteMs of a symmetric hash join between streams `left` and
+/// `right` (paper Figure 2), equi-joined on `left.left_key = right.right_key`.
+///
+/// Returns `(stem_left, stem_right)`: `stem_left` stores left tuples and is
+/// probed by right tuples, and vice versa.
+pub fn symmetric_hash_join(
+    left: &SchemaRef,
+    left_qualifier: &str,
+    left_key: &str,
+    right: &SchemaRef,
+    right_qualifier: &str,
+    right_key: &str,
+) -> Result<(StemOp, StemOp)> {
+    let lk = left.index_of(Some(left_qualifier), left_key)?;
+    let rk = right.index_of(Some(right_qualifier), right_key)?;
+    let stem_l = StemOp::new(
+        format!("SteM({left_qualifier})"),
+        left.clone(),
+        left_qualifier,
+        lk,
+        (Some(right_qualifier.to_string()), right_key.to_string()),
+        IndexKind::Hash,
+    )?;
+    let stem_r = StemOp::new(
+        format!("SteM({right_qualifier})"),
+        right.clone(),
+        right_qualifier,
+        rk,
+        (Some(left_qualifier.to_string()), left_key.to_string()),
+        IndexKind::Hash,
+    )?;
+    Ok((stem_l, stem_r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Timestamp, TupleBuilder};
+
+    fn schema(q: &str) -> SchemaRef {
+        Schema::qualified(
+            q,
+            vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)],
+        )
+        .into_ref()
+    }
+
+    fn t(schema: &SchemaRef, k: i64, v: &str, ts: i64) -> Tuple {
+        TupleBuilder::new(schema.clone())
+            .push(k)
+            .push(v)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn symmetric_hash_join_produces_each_match_once() {
+        let s = schema("S");
+        let r = schema("T");
+        let (mut stem_s, mut stem_t) =
+            symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+
+        // Simulate the eddy's serial routing: each tuple builds into its own
+        // SteM then probes the other.
+        let mut results = Vec::new();
+        let route = |tuple: &Tuple,
+                         own: &mut StemOp,
+                         other: &mut StemOp,
+                         results: &mut Vec<Tuple>| {
+            let r1 = own.process(tuple).unwrap();
+            assert!(r1.keep, "build keeps the tuple");
+            let r2 = other.process(tuple).unwrap();
+            assert!(!r2.keep, "probe consumes the tuple");
+            results.extend(r2.outputs);
+        };
+
+        route(&t(&s, 1, "s1", 1), &mut stem_s, &mut stem_t, &mut results);
+        route(&t(&r, 1, "t1", 2), &mut stem_t, &mut stem_s, &mut results);
+        route(&t(&r, 1, "t2", 3), &mut stem_t, &mut stem_s, &mut results);
+        route(&t(&s, 2, "s2", 4), &mut stem_s, &mut stem_t, &mut results);
+        route(&t(&r, 2, "t3", 5), &mut stem_t, &mut stem_s, &mut results);
+
+        // Matches: (s1,t1), (s1,t2), (s2,t3) — exactly once each.
+        assert_eq!(results.len(), 3);
+        for j in &results {
+            assert_eq!(j.arity(), 4);
+            // join key equal on both sides
+            assert_eq!(j.value(0), j.value(2));
+        }
+    }
+
+    #[test]
+    fn join_output_schema_is_disambiguated() {
+        let s = schema("S");
+        let r = schema("T");
+        let (mut stem_s, _) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+        stem_s.process(&t(&s, 1, "x", 1)).unwrap();
+        let out = stem_s.process(&t(&r, 1, "y", 2)).unwrap();
+        assert_eq!(out.outputs.len(), 1);
+        let j = &out.outputs[0];
+        // probe tuple first, stored tuple second
+        assert_eq!(j.get(Some("T"), "v").unwrap(), &Value::str("y"));
+        assert_eq!(j.get(Some("S"), "v").unwrap(), &Value::str("x"));
+        // timestamp is max of parents
+        assert_eq!(j.timestamp().seq(), 2);
+    }
+
+    #[test]
+    fn window_width_bounds_state() {
+        let s = schema("S");
+        let mut op = StemOp::new(
+            "SteM(S)",
+            s.clone(),
+            "S",
+            0,
+            (None, "k".to_string()),
+            IndexKind::Hash,
+        )
+        .unwrap()
+        .with_window_width(5);
+        for ts in 1..=20 {
+            op.process(&t(&s, ts % 3, "x", ts)).unwrap();
+        }
+        // only ts in [16, 20] retained
+        assert_eq!(op.len(), 5);
+        assert_eq!(op.state_size(), 5);
+    }
+
+    #[test]
+    fn intermediate_tuples_probe_not_build() {
+        // A joined (S,T) tuple arriving at SteM_S must probe, not build:
+        // its schema is not solely S-qualified.
+        let s = schema("S");
+        let r = schema("T");
+        let (mut stem_s, mut stem_t) =
+            symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+        stem_s.process(&t(&s, 1, "a", 1)).unwrap();
+        let st = stem_s.process(&t(&r, 1, "b", 2)).unwrap().outputs;
+        assert_eq!(st.len(), 1);
+        // Route the joined tuple to SteM_T: T-side columns resolve, probe
+        // happens (and finds nothing — T never built).
+        let res = stem_t.process(&st[0]).unwrap();
+        assert!(!res.keep);
+        assert!(res.outputs.is_empty());
+        assert_eq!(stem_t.len(), 0, "intermediate tuple must not build");
+    }
+
+    #[test]
+    fn drain_and_absorb_roundtrip() {
+        let s = schema("S");
+        let mut a = StemOp::new("a", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash)
+            .unwrap();
+        for ts in 1..=4 {
+            a.process(&t(&s, ts, "x", ts)).unwrap();
+        }
+        let moved = a.drain_all();
+        assert_eq!(moved.len(), 4);
+        let mut b = StemOp::new("b", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash)
+            .unwrap();
+        b.absorb(moved).unwrap();
+        assert_eq!(b.len(), 4);
+        let mut out = Vec::new();
+        assert_eq!(b.probe(&Value::Int(3), &mut out), 1);
+    }
+
+    #[test]
+    fn probe_key_resolution_failure_is_an_error() {
+        let s = schema("S");
+        let other = Schema::qualified("Z", vec![Field::new("z", DataType::Int)]).into_ref();
+        let mut op = StemOp::new("a", s, "S", 0, (None, "k".into()), IndexKind::Hash).unwrap();
+        let zt = TupleBuilder::new(other).push(1i64).build().unwrap();
+        assert!(op.process(&zt).is_err());
+    }
+}

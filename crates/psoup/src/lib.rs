@@ -1,0 +1,425 @@
+//! PSoup: streaming queries over streaming data (§3.2, \[CF02\]).
+//!
+//! > "The key innovation in PSoup is that it treats data and queries
+//! > symmetrically, thereby allowing new queries to be applied to old data
+//! > and new data to be applied to old queries. … PSoup also supports
+//! > intermittent connectivity by separating the computation of query
+//! > results from the delivery of those results."
+//!
+//! The [`PSoup`] engine is the symmetric join of paper Figure 3:
+//!
+//! * **new data** (`push`) is inserted into the Data SteM and probed
+//!   against the Query SteM; matches are *materialized* into per-query
+//!   [`ResultsStructure`]s;
+//! * **new queries** (`register`) are inserted into the Query SteM and
+//!   probed against the Data SteM — historical matches materialize
+//!   immediately, so queries over past data work;
+//! * **invocation** (`invoke`) imposes the query's time window on the
+//!   Results Structure and returns the current answer set without any
+//!   recomputation — this is what makes disconnected operation cheap.
+//!
+//! [`PSoup::recompute`] is the non-materialized baseline (re-run the
+//! predicate over the Data SteM at invocation time); experiment E5
+//! reproduces \[CF02\]'s materialization-vs-recompute comparison with it.
+//!
+//! # Example
+//!
+//! ```
+//! use tcq_common::{CmpOp, DataType, Expr, Field, Schema, Timestamp, TupleBuilder};
+//! use tcq_psoup::PSoup;
+//!
+//! let schema = Schema::new(vec![Field::new("v", DataType::Int)]).into_ref();
+//! let mut psoup = PSoup::new(schema.clone(), 100);
+//!
+//! // Old data...
+//! for ts in 1..=20i64 {
+//!     let t = TupleBuilder::new(schema.clone())
+//!         .push(ts)
+//!         .at(Timestamp::logical(ts))
+//!         .build()
+//!         .unwrap();
+//!     psoup.push(t).unwrap();
+//! }
+//! // ...meets a NEW query over a 10-unit window: history answers instantly.
+//! psoup
+//!     .register(0, Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(15i64))), 10)
+//!     .unwrap();
+//! let answer = psoup.invoke(0).unwrap();
+//! assert_eq!(answer.len(), 5); // v in {16..=20} within window [11, 20]
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use tcq_common::{BoundExpr, Expr, Result, SchemaRef, TcqError, Tuple};
+use tcq_stems::{QueryId, QueryStem};
+
+/// Per-query materialized results, ordered by logical time.
+#[derive(Default)]
+pub struct ResultsStructure {
+    /// seq -> matches at that time.
+    by_time: BTreeMap<i64, Vec<Tuple>>,
+    len: usize,
+}
+
+impl ResultsStructure {
+    /// Record a match.
+    fn insert(&mut self, tuple: Tuple) {
+        self.by_time.entry(tuple.timestamp().seq()).or_default().push(tuple);
+        self.len += 1;
+    }
+
+    /// All matches within `[left, right]`, oldest first.
+    pub fn window(&self, left: i64, right: i64) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for (_, v) in self.by_time.range(left..=right) {
+            out.extend(v.iter().cloned());
+        }
+        out
+    }
+
+    /// Drop results older than `seq`.
+    fn evict_before(&mut self, seq: i64) {
+        let keep = self.by_time.split_off(&seq);
+        let dropped: usize = self.by_time.values().map(Vec::len).sum();
+        self.by_time = keep;
+        self.len -= dropped;
+    }
+
+    /// Materialized match count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no match is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+struct RegisteredQuery {
+    /// Sliding window width imposed at invocation.
+    window_width: i64,
+    /// Bound predicate kept for the recompute baseline.
+    pred: Option<BoundExpr>,
+    results: ResultsStructure,
+}
+
+/// Counters for PSoup experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PSoupStats {
+    /// Data tuples pushed.
+    pub data_in: u64,
+    /// Matches materialized (data × query).
+    pub materialized: u64,
+    /// Invocations served from the Results Structure.
+    pub invocations: u64,
+    /// Tuples scanned by `recompute` calls (the baseline's work).
+    pub recompute_scans: u64,
+}
+
+/// The PSoup engine over one stream.
+pub struct PSoup {
+    schema: SchemaRef,
+    query_stem: QueryStem,
+    /// The Data SteM: retained history, arrival order.
+    data: VecDeque<Tuple>,
+    /// History retention in logical time units (must cover the largest
+    /// query window).
+    history_width: i64,
+    queries: HashMap<QueryId, RegisteredQuery>,
+    latest_seq: i64,
+    stats: PSoupStats,
+}
+
+impl PSoup {
+    /// An engine retaining `history_width` logical time units of data.
+    pub fn new(schema: SchemaRef, history_width: i64) -> Self {
+        PSoup {
+            schema: schema.clone(),
+            query_stem: QueryStem::new(schema),
+            data: VecDeque::new(),
+            history_width: history_width.max(1),
+            queries: HashMap::new(),
+            latest_seq: 0,
+            stats: PSoupStats::default(),
+        }
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Register a standing query: SELECT * WHERE `pred` over a sliding
+    /// window of `window_width`. Historical data already in the Data SteM
+    /// is matched immediately ("applying 'new' queries to 'old' data").
+    pub fn register(
+        &mut self,
+        id: QueryId,
+        pred: Option<&Expr>,
+        window_width: i64,
+    ) -> Result<()> {
+        if self.queries.contains_key(&id) {
+            return Err(TcqError::Capacity(format!("query {id} already registered")));
+        }
+        if window_width < 1 {
+            return Err(TcqError::InvalidWindow(format!(
+                "window width {window_width} must be >= 1"
+            )));
+        }
+        if window_width > self.history_width {
+            return Err(TcqError::InvalidWindow(format!(
+                "window width {window_width} exceeds retained history {}",
+                self.history_width
+            )));
+        }
+        self.query_stem.insert_query(id, pred)?;
+        let bound = match pred {
+            Some(p) => Some(p.bind(&self.schema)?),
+            None => None,
+        };
+        let mut rq = RegisteredQuery { window_width, pred: bound, results: ResultsStructure::default() };
+        // New query ⋈ old data.
+        for t in &self.data {
+            let matches = match &rq.pred {
+                Some(p) => p.eval_pred(t)?,
+                None => true,
+            };
+            if matches {
+                rq.results.insert(t.clone());
+                self.stats.materialized += 1;
+            }
+        }
+        self.queries.insert(id, rq);
+        Ok(())
+    }
+
+    /// Remove a standing query.
+    pub fn remove(&mut self, id: QueryId) -> Result<()> {
+        self.query_stem.remove_query(id)?;
+        self.queries.remove(&id);
+        Ok(())
+    }
+
+    /// New data ⋈ old queries: insert, match, materialize, evict.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        let seq = tuple.timestamp().seq();
+        self.latest_seq = self.latest_seq.max(seq);
+        self.stats.data_in += 1;
+        let matching = self.query_stem.matching(&tuple)?;
+        for qid in matching.iter() {
+            if let Some(rq) = self.queries.get_mut(&qid) {
+                rq.results.insert(tuple.clone());
+                self.stats.materialized += 1;
+            }
+        }
+        self.data.push_back(tuple);
+        // Evict history and results beyond the retention horizon.
+        let horizon = self.latest_seq - self.history_width + 1;
+        while let Some(front) = self.data.front() {
+            if front.timestamp().seq() >= horizon {
+                break;
+            }
+            self.data.pop_front();
+        }
+        for rq in self.queries.values_mut() {
+            rq.results.evict_before(self.latest_seq - rq.window_width + 1);
+        }
+        Ok(())
+    }
+
+    /// Invoke a standing query: impose its window on the Results Structure
+    /// and return the current answer — no recomputation.
+    pub fn invoke(&mut self, id: QueryId) -> Result<Vec<Tuple>> {
+        let rq = self
+            .queries
+            .get(&id)
+            .ok_or_else(|| TcqError::Executor(format!("query {id} not registered")))?;
+        self.stats.invocations += 1;
+        let left = self.latest_seq - rq.window_width + 1;
+        Ok(rq.results.window(left, self.latest_seq))
+    }
+
+    /// The non-materialized baseline: answer by re-scanning the Data SteM
+    /// and re-evaluating the predicate at invocation time.
+    pub fn recompute(&mut self, id: QueryId) -> Result<Vec<Tuple>> {
+        let rq = self
+            .queries
+            .get(&id)
+            .ok_or_else(|| TcqError::Executor(format!("query {id} not registered")))?;
+        let left = self.latest_seq - rq.window_width + 1;
+        let mut out = Vec::new();
+        for t in &self.data {
+            self.stats.recompute_scans += 1;
+            let seq = t.timestamp().seq();
+            if seq < left || seq > self.latest_seq {
+                continue;
+            }
+            let ok = match &rq.pred {
+                Some(p) => p.eval_pred(t)?,
+                None => true,
+            };
+            if ok {
+                out.push(t.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Standing query count.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Retained data tuples.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PSoupStats {
+        self.stats
+    }
+
+    /// Latest stream time seen.
+    pub fn now(&self) -> i64 {
+        self.latest_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{CmpOp, DataType, Field, Schema, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("ts", DataType::Int),
+                Field::new("sym", DataType::Str),
+                Field::new("price", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn tick(ts: i64, sym: &str, price: f64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(ts)
+            .push(sym)
+            .push(price)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    fn over(p: f64) -> Expr {
+        Expr::col("price").cmp(CmpOp::Gt, Expr::lit(p))
+    }
+
+    #[test]
+    fn new_data_applied_to_old_queries() {
+        let mut ps = PSoup::new(schema(), 100);
+        ps.register(0, Some(&over(50.0)), 10).unwrap();
+        for ts in 1..=20 {
+            ps.push(tick(ts, "A", ts as f64 * 5.0)).unwrap();
+        }
+        // window [11, 20], matches where 5*ts > 50 → ts >= 11
+        let ans = ps.invoke(0).unwrap();
+        assert_eq!(ans.len(), 10);
+        assert!(ans.iter().all(|t| t.timestamp().seq() >= 11));
+    }
+
+    #[test]
+    fn new_queries_applied_to_old_data() {
+        let mut ps = PSoup::new(schema(), 100);
+        for ts in 1..=30 {
+            ps.push(tick(ts, "A", ts as f64)).unwrap();
+        }
+        // Register AFTER data arrived: historical matches materialize.
+        ps.register(1, Some(&over(25.0)), 20).unwrap();
+        let ans = ps.invoke(1).unwrap();
+        // window [11, 30]; price > 25 → ts in [26, 30]
+        assert_eq!(ans.len(), 5);
+    }
+
+    #[test]
+    fn invoke_matches_recompute_exactly() {
+        let mut ps = PSoup::new(schema(), 50);
+        ps.register(0, Some(&over(10.0)), 25).unwrap();
+        ps.register(1, None, 15).unwrap();
+        for ts in 1..=200 {
+            ps.push(tick(ts, if ts % 2 == 0 { "A" } else { "B" }, (ts % 30) as f64)).unwrap();
+            if ts % 17 == 0 {
+                for q in [0usize, 1] {
+                    let fast = ps.invoke(q).unwrap();
+                    let slow = ps.recompute(q).unwrap();
+                    assert_eq!(fast, slow, "divergence at ts={ts} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_client_pattern() {
+        // Client registers, disconnects, returns much later: answer is the
+        // CURRENT window, computed while away.
+        let mut ps = PSoup::new(schema(), 100);
+        ps.register(0, Some(&over(0.0)), 5).unwrap();
+        for ts in 1..=50 {
+            ps.push(tick(ts, "A", 1.0)).unwrap();
+        }
+        let ans = ps.invoke(0).unwrap();
+        let seqs: Vec<i64> = ans.iter().map(|t| t.timestamp().seq()).collect();
+        assert_eq!(seqs, vec![46, 47, 48, 49, 50]);
+        assert_eq!(ps.stats().invocations, 1);
+    }
+
+    #[test]
+    fn history_and_results_are_bounded() {
+        let mut ps = PSoup::new(schema(), 20);
+        ps.register(0, None, 10).unwrap();
+        for ts in 1..=500 {
+            ps.push(tick(ts, "A", 1.0)).unwrap();
+        }
+        assert!(ps.data_len() <= 20);
+        let ans = ps.invoke(0).unwrap();
+        assert_eq!(ans.len(), 10);
+    }
+
+    #[test]
+    fn window_wider_than_history_rejected() {
+        let mut ps = PSoup::new(schema(), 10);
+        assert!(ps.register(0, None, 50).is_err());
+        assert!(ps.register(0, None, 0).is_err());
+    }
+
+    #[test]
+    fn remove_query_stops_materialization() {
+        let mut ps = PSoup::new(schema(), 50);
+        ps.register(0, None, 10).unwrap();
+        ps.push(tick(1, "A", 1.0)).unwrap();
+        ps.remove(0).unwrap();
+        assert!(ps.invoke(0).is_err());
+        assert_eq!(ps.query_count(), 0);
+        // pushing more data is fine
+        ps.push(tick(2, "A", 1.0)).unwrap();
+        assert!(ps.remove(0).is_err());
+    }
+
+    #[test]
+    fn shared_matching_via_query_stem() {
+        // Many queries, one pass per tuple: stats.materialized counts only
+        // actual matches.
+        let mut ps = PSoup::new(schema(), 100);
+        for q in 0..10usize {
+            ps.register(q, Some(&over(q as f64 * 10.0)), 50).unwrap();
+        }
+        ps.push(tick(1, "A", 35.0)).unwrap();
+        // matches queries with threshold < 35: q0..q3 (0,10,20,30)
+        assert_eq!(ps.stats().materialized, 4);
+    }
+}

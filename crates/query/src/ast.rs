@@ -1,0 +1,69 @@
+//! Abstract syntax for the query dialect.
+
+use tcq_common::Expr;
+use tcq_windows::ForLoop;
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `alias.*` (the paper's `SELECT c2.*`).
+    QualifiedStar(String),
+    /// A scalar expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+    /// An aggregate call: `AVG(closingPrice)`, `COUNT(*)`.
+    Agg {
+        /// Function name, upper-cased (COUNT/SUM/AVG/MIN/MAX).
+        func: String,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<Expr>,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// One FROM-clause source: stream/table name plus optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromSource {
+    /// Catalog name.
+    pub name: String,
+    /// Alias (`FROM ClosingStockPrices as c1`); defaults to the name.
+    pub alias: Option<String>,
+}
+
+impl FromSource {
+    /// The effective qualifier for this source's columns.
+    pub fn qualifier(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A parsed query: SELECT-FROM-WHERE [GROUP BY] [for-loop window clause].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM sources in order.
+    pub from: Vec<FromSource>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY column (optionally qualified).
+    pub group_by: Option<(Option<String>, String)>,
+    /// The §4.1 window clause; `None` means every input is "assumed to be a
+    /// static table by default" (§4.1.1) — or, for a pure stream query, an
+    /// unbounded landmark window.
+    pub window: Option<ForLoop>,
+}
+
+impl SelectStmt {
+    /// True if any select item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
+    }
+}

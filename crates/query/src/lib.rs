@@ -1,0 +1,65 @@
+//! The TelegraphCQ-rs front-end: query language and semantic analysis.
+//!
+//! TelegraphCQ reuses PostgreSQL's parser and optimizer; this crate is our
+//! from-scratch equivalent. It accepts the paper's query dialect verbatim —
+//! a SQL subset (`SELECT`-`FROM`-`WHERE`, aliases, aggregates, `GROUP BY`)
+//! followed by the §4.1 for-loop window construct:
+//!
+//! ```text
+//! SELECT closingPrice, timestamp
+//! FROM ClosingStockPrices
+//! WHERE stockSymbol = 'MSFT' and closingPrice > 50.00
+//! for (t = 101; t <= 1000; t++ ) {
+//!     WindowIs(ClosingStockPrices, 101, t);
+//! }
+//! ```
+//!
+//! Pipeline: [`lex`](lexer::lex) → [`parse`] →
+//! [`analyze`](analyze::analyze) (name resolution against the
+//! [`tcq_common::Catalog`], conjunct classification, type checks),
+//! producing an [`AnalyzedQuery`] the executor's planner consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use tcq_common::{Catalog, DataType, Field, Schema, SourceKind};
+//! use tcq_query::{analyze, parse};
+//!
+//! let catalog = Catalog::new();
+//! catalog
+//!     .register(
+//!         "ClosingStockPrices",
+//!         Schema::new(vec![
+//!             Field::new("timestamp", DataType::Int),
+//!             Field::new("stockSymbol", DataType::Str),
+//!             Field::new("closingPrice", DataType::Float),
+//!         ])
+//!         .into_ref(),
+//!         SourceKind::PushStream,
+//!     )
+//!     .unwrap();
+//!
+//! let stmt = parse(
+//!     "SELECT closingPrice, timestamp \
+//!      FROM ClosingStockPrices \
+//!      WHERE stockSymbol = 'MSFT' and closingPrice > 50.00 \
+//!      for (t = 101; t <= 1000; t++ ){ \
+//!          WindowIs(ClosingStockPrices, 101, t); \
+//!      }",
+//! )
+//! .unwrap();
+//! let analyzed = analyze(&stmt, &catalog).unwrap();
+//! assert_eq!(analyzed.single_factors.len(), 2);
+//! assert!(!analyzed.is_join());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use analyze::{analyze, AnalyzedQuery, BoundSource, JoinPair};
+pub use ast::{FromSource, SelectItem, SelectStmt};
+pub use parser::parse;

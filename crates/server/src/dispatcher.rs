@@ -1,0 +1,245 @@
+//! The per-stream dispatcher DU.
+//!
+//! "In a traditional system, the arrival of queries initiates access to a
+//! stored collection of data, while here, the arrival of data initiates
+//! access to a stored collection of queries" (§1.1). The dispatcher is the
+//! point of that inversion: it drains a stream's ingress Fjord, stamps
+//! arrival order, spools history to the stream's archive, and forwards
+//! every tuple to each standing query's input queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tcq_common::{Result, Timestamp, Tuple};
+use tcq_executor::{DispatchUnit, ModuleStatus};
+use tcq_fjords::{Consumer, DequeueResult, EnqueueError, FjordMessage, Producer};
+use tcq_storage::StreamArchive;
+
+/// One query's subscription to a stream.
+pub struct Subscription {
+    /// Where to forward tuples.
+    pub producer: Producer,
+    /// Subscription id, for removal.
+    pub id: u64,
+}
+
+/// Shared handle the server uses to add/remove subscriptions while the
+/// dispatcher DU runs.
+#[derive(Clone)]
+pub struct SubscriberSet {
+    subs: Arc<Mutex<Vec<Subscription>>>,
+    next_id: Arc<AtomicI64>,
+}
+
+impl Default for SubscriberSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubscriberSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        SubscriberSet { subs: Arc::new(Mutex::new(Vec::new())), next_id: Arc::new(AtomicI64::new(1)) }
+    }
+
+    /// Add a subscriber; returns its id.
+    pub fn add(&self, producer: Producer) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u64;
+        self.subs.lock().push(Subscription { producer, id });
+        id
+    }
+
+    /// Remove a subscriber by id.
+    pub fn remove(&self, id: u64) {
+        self.subs.lock().retain(|s| s.id != id);
+    }
+
+    /// Current subscriber count.
+    pub fn len(&self) -> usize {
+        self.subs.lock().len()
+    }
+
+    /// True when nobody is subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Overload behaviour when a query's input queue is full (§4.3's QoS
+/// question: "deciding what work to drop when the system is in danger of
+/// falling behind the incoming data stream").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Stall the stream (lossless back-pressure, the default): slow
+    /// consumers slow the whole stream down.
+    #[default]
+    Backpressure,
+    /// Shed: drop the slow subscriber's copy (other queries still get the
+    /// tuple) and count it — "degrade in a controlled fashion".
+    Shed,
+}
+
+/// The dispatcher DU for one stream.
+pub struct StreamDispatcher {
+    name: String,
+    input: Consumer,
+    subscribers: SubscriberSet,
+    /// Stream history spool; `None` disables archiving.
+    archive: Option<Arc<Mutex<StreamArchive>>>,
+    /// Latest logical timestamp seen (shared with the server for ST
+    /// assignment and window bookkeeping).
+    latest_seq: Arc<AtomicI64>,
+    /// Arrival counter used to stamp tuples lacking logical timestamps.
+    arrivals: i64,
+    /// Tuples accepted so far.
+    forwarded: u64,
+    /// Tuples waiting for a full subscriber queue: (subscriber index cursor
+    /// handled inside), preserving order.
+    pending: VecDeque<Tuple>,
+    overload: OverloadPolicy,
+    /// Per-subscriber copies shed under overload (shared for observability).
+    shed: Arc<AtomicI64>,
+    eof_seen: bool,
+    eof_sent: bool,
+}
+
+impl StreamDispatcher {
+    /// Build a dispatcher.
+    pub fn new(
+        name: impl Into<String>,
+        input: Consumer,
+        subscribers: SubscriberSet,
+        archive: Option<Arc<Mutex<StreamArchive>>>,
+        latest_seq: Arc<AtomicI64>,
+    ) -> Self {
+        StreamDispatcher {
+            name: name.into(),
+            input,
+            subscribers,
+            archive,
+            latest_seq,
+            arrivals: 0,
+            forwarded: 0,
+            pending: VecDeque::new(),
+            overload: OverloadPolicy::Backpressure,
+            shed: Arc::new(AtomicI64::new(0)),
+            eof_seen: false,
+            eof_sent: false,
+        }
+    }
+
+    /// Select the overload policy (default: lossless back-pressure).
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
+    /// Shared counter of copies shed under [`OverloadPolicy::Shed`].
+    pub fn shed_counter(&self) -> Arc<AtomicI64> {
+        Arc::clone(&self.shed)
+    }
+
+    /// Forward `tuple` to every subscriber; returns false (and stashes it)
+    /// if any subscriber queue is full — all-or-nothing delivery so no
+    /// subscriber ever sees reordered input.
+    ///
+    /// The capacity check is race-free because each subscription queue has
+    /// exactly one producer (this dispatcher): its length can only shrink
+    /// between the check and the enqueue.
+    fn forward(&mut self, tuple: Tuple) -> bool {
+        let subs = self.subscribers.subs.lock();
+        if self.overload == OverloadPolicy::Backpressure {
+            for s in subs.iter() {
+                let st = s.producer.stats();
+                if st.len >= st.capacity {
+                    drop(subs);
+                    self.pending.push_back(tuple);
+                    return false;
+                }
+            }
+        }
+        for s in subs.iter() {
+            match s.producer.enqueue(FjordMessage::Tuple(tuple.clone())) {
+                Ok(()) => {}
+                Err(EnqueueError::Full(_)) => {
+                    // Only reachable under OverloadPolicy::Shed: this
+                    // subscriber's copy is dropped, others proceed.
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(EnqueueError::Disconnected(_)) => {
+                    // Query went away; its subscription is removed lazily
+                    // by the server. Dropping its copy is correct.
+                }
+            }
+        }
+        drop(subs);
+        self.forwarded += 1;
+        true
+    }
+}
+
+impl DispatchUnit for StreamDispatcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        if self.eof_sent {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut did_work = false;
+        for _ in 0..quantum {
+            // Deliver stalled tuples first to preserve order.
+            if let Some(t) = self.pending.pop_front() {
+                if !self.forward(t) {
+                    return Ok(ModuleStatus::Idle);
+                }
+                did_work = true;
+                continue;
+            }
+            if self.eof_seen {
+                break;
+            }
+            match self.input.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
+                    self.arrivals += 1;
+                    let t = if t.timestamp().logical.is_some() {
+                        t
+                    } else {
+                        t.with_timestamp(Timestamp::logical(self.arrivals))
+                    };
+                    let seq = t.timestamp().seq();
+                    self.latest_seq.fetch_max(seq, Ordering::AcqRel);
+                    if let Some(archive) = &self.archive {
+                        archive.lock().append(&t)?;
+                    }
+                    if !self.forward(t) {
+                        return Ok(ModuleStatus::Idle);
+                    }
+                    did_work = true;
+                }
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
+                    self.eof_seen = true;
+                    break;
+                }
+                DequeueResult::Empty => {
+                    return Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle });
+                }
+            }
+        }
+        if self.eof_seen && self.pending.is_empty() {
+            let subs = self.subscribers.subs.lock();
+            for s in subs.iter() {
+                let _ = s.producer.enqueue(FjordMessage::Eof);
+            }
+            self.eof_sent = true;
+            return Ok(ModuleStatus::Done);
+        }
+        Ok(ModuleStatus::Ready)
+    }
+}

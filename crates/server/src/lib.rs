@@ -1,0 +1,38 @@
+//! The TelegraphCQ server: everything from Figure 5, in one process.
+//!
+//! > "The listener accepts multiple continuous queries and adds them
+//! > dynamically to the running executor. When a query is received, the
+//! > server parses, analyzes, and optimizes it into an adaptive plan …
+//! > The plans are then placed in the query plan queue (QPQueue) … The
+//! > executor continually picks up fresh queries … Query results are placed
+//! > in client-specific output queues."
+//!
+//! [`TelegraphCQ`] wires the crates below into that architecture:
+//!
+//! * catalog + front-end ([`tcq_query`]) — parse / analyze / plan;
+//! * ingress ([`tcq_ingress`]) — wrapper threads (streamers) feeding
+//!   per-stream Fjords;
+//! * a **stream dispatcher** DU per stream — stamps arrival order, spools
+//!   history to a [`tcq_storage::StreamArchive`], and fans tuples out to
+//!   every standing query's input queue;
+//! * query DUs ([`plans`]) — a *shared* CACQ-style filter DU per stream
+//!   (all single-stream selection queries share one QueryStem pass), plus
+//!   dedicated eddy DUs for joins and window-driver DUs for aggregates;
+//! * the executor ([`tcq_executor`]) — EO threads hosting the DUs, classed
+//!   by query footprint;
+//! * egress ([`tcq_egress`]) — push/pull result delivery per client.
+//!
+//! The paper's FrontEnd/Executor/Wrapper *process* split (a PostgreSQL
+//! artifact) becomes a thread split; the shared-memory queues become
+//! Fjords. See DESIGN.md's substitution table.
+
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod planner;
+pub mod plans;
+pub mod server;
+pub mod shared_join;
+
+pub use dispatcher::OverloadPolicy;
+pub use server::{PolicyKind, QueryInfo, ServerConfig, TelegraphCQ};

@@ -1,0 +1,709 @@
+//! Query dispatch units: the three §4.2.2 execution modes.
+//!
+//! * [`FilterCqDu`] — "shared 'continuous query' mode": ALL single-stream
+//!   selection queries over one stream run in one DU, sharing a CACQ
+//!   [`QueryStem`] pass per tuple.
+//! * [`JoinCqDu`] — "single-Eddy query plan with Fjord-style operators":
+//!   a dedicated eddy (SteMs + filters) per join query.
+//! * [`AggregateCqDu`] — the window driver for aggregate queries: buffers
+//!   the windowed stream, closes each window of the §4.1 for-loop as
+//!   stream time passes it, emits one result set per window.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tcq_common::{
+    BoundExpr, DataType, Expr, Field, Result, Schema, SchemaRef, Timestamp, Tuple, Value,
+};
+use tcq_eddy::Eddy;
+use tcq_egress::EgressRouter;
+use tcq_executor::{DispatchUnit, ModuleStatus};
+use tcq_fjords::{Consumer, DequeueResult, FjordMessage};
+use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowMode, WindowAggregator};
+use tcq_stems::QueryStem;
+use tcq_windows::{WindowAssignment, WindowSeq};
+
+/// Query identifier (server-wide).
+pub type QueryId = usize;
+
+// ---------------------------------------------------------------- filters
+
+struct FilterInner {
+    qstem: QueryStem,
+    projections: HashMap<QueryId, ProjectOp>,
+    /// Per-query lower bound on logical time: the earliest left edge of the
+    /// query's window sequence. Tuples older than it are outside every
+    /// window and must not be delivered (paper example 2: the landmark
+    /// query over `[101, t]` never matches days 1–100).
+    min_seq: HashMap<QueryId, i64>,
+}
+
+/// Handle shared between the server (which adds/removes queries) and the
+/// running [`FilterCqDu`].
+#[derive(Clone)]
+pub struct FilterCqShared {
+    inner: Arc<Mutex<FilterInner>>,
+}
+
+impl FilterCqShared {
+    /// Empty shared state over a stream's schema.
+    pub fn new(schema: SchemaRef) -> Self {
+        FilterCqShared {
+            inner: Arc::new(Mutex::new(FilterInner {
+                qstem: QueryStem::new(schema),
+                projections: HashMap::new(),
+                min_seq: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Register query `id`: predicate (qualifier-stripped) + projection +
+    /// the earliest logical time its windows reach (`i64::MIN` = no bound).
+    pub fn add_query(
+        &self,
+        id: QueryId,
+        pred: Option<&Expr>,
+        projection: &[(Expr, Option<String>)],
+        min_seq: i64,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let schema = inner.qstem.schema().clone();
+        let project = ProjectOp::new(projection, &schema)?;
+        inner.qstem.insert_query(id, pred)?;
+        inner.projections.insert(id, project);
+        inner.min_seq.insert(id, min_seq);
+        Ok(())
+    }
+
+    /// Remove query `id`.
+    pub fn remove_query(&self, id: QueryId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.qstem.remove_query(id)?;
+        inner.projections.remove(&id);
+        inner.min_seq.remove(&id);
+        Ok(())
+    }
+
+    /// Standing query count.
+    pub fn query_count(&self) -> usize {
+        self.inner.lock().qstem.len()
+    }
+}
+
+/// The shared filter DU for one stream.
+pub struct FilterCqDu {
+    name: String,
+    input: Consumer,
+    shared: FilterCqShared,
+    egress: EgressRouter,
+    done: bool,
+}
+
+impl FilterCqDu {
+    /// Build the DU.
+    pub fn new(
+        name: impl Into<String>,
+        input: Consumer,
+        shared: FilterCqShared,
+        egress: EgressRouter,
+    ) -> Self {
+        FilterCqDu { name: name.into(), input, shared, egress, done: false }
+    }
+}
+
+impl DispatchUnit for FilterCqDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        if self.done {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut did_work = false;
+        for _ in 0..quantum {
+            match self.input.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
+                    did_work = true;
+                    let seq = t.timestamp().seq();
+                    let inner = self.shared.inner.lock();
+                    let matching = inner.qstem.matching(&t)?;
+                    for qid in matching.iter() {
+                        if inner.min_seq.get(&qid).is_some_and(|&m| seq < m) {
+                            continue;
+                        }
+                        if let Some(project) = inner.projections.get(&qid) {
+                            let out = project.apply(&t)?;
+                            self.egress.deliver([qid], &out);
+                        }
+                    }
+                }
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
+                    self.done = true;
+                    return Ok(ModuleStatus::Done);
+                }
+                DequeueResult::Empty => {
+                    return Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle });
+                }
+            }
+        }
+        Ok(ModuleStatus::Ready)
+    }
+}
+
+// ------------------------------------------------------------------ joins
+
+/// A projection that binds lazily per input schema — join outputs arrive
+/// with column orders that depend on which side probed.
+pub struct LazyProject {
+    items: Vec<(Expr, Option<String>)>,
+    bound: HashMap<usize, ProjectOp>,
+}
+
+impl LazyProject {
+    /// From resolved select items.
+    pub fn new(items: Vec<(Expr, Option<String>)>) -> Self {
+        LazyProject { items, bound: HashMap::new() }
+    }
+
+    /// Apply to a tuple of any compatible schema.
+    pub fn apply(&mut self, tuple: &Tuple) -> Result<Tuple> {
+        let key = Arc::as_ptr(tuple.schema()) as usize;
+        if !self.bound.contains_key(&key) {
+            let op = ProjectOp::new(&self.items, tuple.schema())?;
+            self.bound.insert(key, op);
+        }
+        self.bound[&key].apply(tuple)
+    }
+}
+
+/// One physical input of a join DU: a stream consumed under 1+ aliases.
+pub struct JoinInput {
+    /// The subscription queue.
+    pub consumer: Consumer,
+    /// Alias schemas; each arriving tuple enters the eddy once per alias
+    /// (twice for the paper's self-join).
+    pub alias_schemas: Vec<SchemaRef>,
+    /// Exhausted?
+    pub eof: bool,
+}
+
+/// A dedicated single-query eddy DU for a join.
+pub struct JoinCqDu {
+    name: String,
+    inputs: Vec<JoinInput>,
+    eddy: Eddy,
+    project: LazyProject,
+    egress: EgressRouter,
+    qid: QueryId,
+    emitted_buf: Vec<Tuple>,
+    /// Tuples before this logical time precede every window — skipped.
+    floor: i64,
+    /// Tuples after this logical time follow the final window: the query's
+    /// stopping condition has been reached (§4.1.1's "keep the query
+    /// standing for twenty trading days"). `i64::MAX` = run forever.
+    deadline: i64,
+    done: bool,
+}
+
+impl JoinCqDu {
+    /// Build the DU from a wired eddy. `floor`/`deadline` bound the query's
+    /// lifetime in stream time (use `i64::MIN`/`i64::MAX` for unbounded).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<JoinInput>,
+        eddy: Eddy,
+        project: LazyProject,
+        egress: EgressRouter,
+        qid: QueryId,
+        floor: i64,
+        deadline: i64,
+    ) -> Self {
+        JoinCqDu {
+            name: name.into(),
+            inputs,
+            eddy,
+            project,
+            egress,
+            qid,
+            emitted_buf: Vec::new(),
+            floor,
+            deadline,
+            done: false,
+        }
+    }
+
+    /// Observed eddy statistics (experiments).
+    pub fn eddy_stats(&self) -> tcq_eddy::EddyStats {
+        self.eddy.stats()
+    }
+}
+
+impl DispatchUnit for JoinCqDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        if self.done {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut did_work = false;
+        let per_input = quantum.div_ceil(self.inputs.len().max(1));
+        for i in 0..self.inputs.len() {
+            if self.inputs[i].eof {
+                continue;
+            }
+            for _ in 0..per_input {
+                match self.inputs[i].consumer.dequeue() {
+                    DequeueResult::Msg(FjordMessage::Tuple(t)) => {
+                        did_work = true;
+                        let seq = t.timestamp().seq();
+                        if seq < self.floor {
+                            continue;
+                        }
+                        if seq > self.deadline {
+                            // Stream time passed the final window: the
+                            // query's stopping condition fired (timestamps
+                            // are monotone per stream).
+                            self.inputs[i].eof = true;
+                            break;
+                        }
+                        let aliases = self.inputs[i].alias_schemas.clone();
+                        for alias in &aliases {
+                            let qualified = t.with_schema(alias.clone())?;
+                            self.emitted_buf.clear();
+                            self.eddy.process_into(qualified, &mut self.emitted_buf)?;
+                            for e in self.emitted_buf.drain(..) {
+                                let out = self.project.apply(&e)?;
+                                self.egress.deliver([self.qid], &out);
+                            }
+                        }
+                    }
+                    DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                    DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
+                        self.inputs[i].eof = true;
+                        break;
+                    }
+                    DequeueResult::Empty => break,
+                }
+            }
+        }
+        if self.inputs.iter().all(|i| i.eof) {
+            // "The Eddy shuts down its connected modules when the end of
+            // all of its input streams has been reached" (§2.2).
+            self.done = true;
+            return Ok(ModuleStatus::Done);
+        }
+        Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle })
+    }
+}
+
+// ------------------------------------------------------------- aggregates
+
+/// A resolved aggregate item: spec + output field.
+#[derive(Debug, Clone)]
+pub struct ResolvedAgg {
+    /// What to compute.
+    pub spec: AggSpec,
+    /// Output column name.
+    pub name: String,
+}
+
+/// The window-driving aggregate DU for one stream.
+///
+/// Buffers predicate-passing tuples; each time stream time reaches a window
+/// assignment's close time, computes the aggregates over that window from
+/// the buffer and emits one row (or one row per group), stamped with the
+/// loop variable `t`. The output is exactly the paper's "sequence of sets,
+/// each set being associated with an instant in time" (§4.1.1).
+pub struct AggregateCqDu {
+    name: String,
+    input: Consumer,
+    pred: Option<BoundExpr>,
+    aggs: Vec<ResolvedAgg>,
+    group_by: Option<usize>,
+    windows: std::iter::Peekable<WindowSeq>,
+    stream_alias: String,
+    buffer: VecDeque<Tuple>,
+    out_schema: SchemaRef,
+    latest: i64,
+    egress: EgressRouter,
+    qid: QueryId,
+    eof: bool,
+    done: bool,
+    /// Largest buffer held (the §4.1.2 memory story, observable).
+    peak_buffer: usize,
+}
+
+impl AggregateCqDu {
+    /// Build the DU. `input_schema` is the stream's base schema; `windows`
+    /// must reference `stream_alias`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        input: Consumer,
+        input_schema: &SchemaRef,
+        pred: Option<BoundExpr>,
+        aggs: Vec<ResolvedAgg>,
+        group_by: Option<usize>,
+        windows: WindowSeq,
+        stream_alias: String,
+        egress: EgressRouter,
+        qid: QueryId,
+    ) -> Self {
+        let mut fields = vec![Field::new("t", DataType::Int)];
+        if let Some(g) = group_by {
+            let f = input_schema.field(g);
+            fields.push(Field::new(f.name.clone(), f.data_type));
+        }
+        for a in &aggs {
+            // COUNT is Int; others are Float except MIN/MAX which follow the
+            // input column type.
+            let dt = match (a.spec.func, a.spec.column) {
+                (tcq_operators::AggFunc::Count, _) => DataType::Int,
+                (tcq_operators::AggFunc::Min | tcq_operators::AggFunc::Max, Some(c)) => {
+                    input_schema.field(c).data_type
+                }
+                _ => DataType::Float,
+            };
+            fields.push(Field::new(a.name.clone(), dt));
+        }
+        AggregateCqDu {
+            name: name.into(),
+            input,
+            pred,
+            aggs,
+            group_by,
+            windows: windows.peekable(),
+            stream_alias,
+            buffer: VecDeque::new(),
+            out_schema: Schema::new(fields).into_ref(),
+            latest: 0,
+            egress,
+            qid,
+            eof: false,
+            done: false,
+            peak_buffer: 0,
+        }
+    }
+
+    /// The output row schema: `(t, [group], aggs...)`.
+    pub fn out_schema(&self) -> &SchemaRef {
+        &self.out_schema
+    }
+
+    fn close_ready_windows(&mut self) -> Result<()> {
+        loop {
+            let close_time = match self.windows.peek() {
+                Some(Ok(wa)) => wa.close_time(),
+                Some(Err(_)) => {
+                    // Surface the spec error once.
+                    let e = self.windows.next().expect("peeked");
+                    e?;
+                    unreachable!("error returned above");
+                }
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+            };
+            if close_time > self.latest {
+                // A window closes only once stream time passes its right
+                // edge; at EOF, windows that never closed are dropped
+                // (their data ended mid-window).
+                if self.eof {
+                    self.done = true;
+                }
+                return Ok(());
+            }
+            let wa = self.windows.next().expect("peeked Some")?;
+            self.emit_window(&wa)?;
+            self.evict(&wa);
+        }
+    }
+
+    fn emit_window(&mut self, wa: &WindowAssignment) -> Result<()> {
+        let Some(win) = wa.window_for(&self.stream_alias) else {
+            return Ok(());
+        };
+        let in_window =
+            self.buffer.iter().filter(|t| win.contains(t.timestamp().seq()));
+        let specs: Vec<AggSpec> = self.aggs.iter().map(|a| a.spec).collect();
+        match self.group_by {
+            Some(g) => {
+                let mut agg = GroupByAggregator::new(g, specs);
+                for t in in_window {
+                    agg.update(t)?;
+                }
+                for (key, vals) in agg.results_sorted() {
+                    let mut row = Vec::with_capacity(2 + vals.len());
+                    row.push(Value::Int(wa.t));
+                    row.push(key);
+                    row.extend(vals);
+                    let out = Tuple::new_unchecked(
+                        self.out_schema.clone(),
+                        row,
+                        Timestamp::logical(wa.t),
+                    );
+                    self.egress.deliver([self.qid], &out);
+                }
+            }
+            None => {
+                let mut agg = WindowAggregator::new(specs, WindowMode::Landmark);
+                for t in in_window {
+                    agg.update(t)?;
+                }
+                let mut row = Vec::with_capacity(1 + self.aggs.len());
+                row.push(Value::Int(wa.t));
+                row.extend(agg.results()?);
+                let out = Tuple::new_unchecked(
+                    self.out_schema.clone(),
+                    row,
+                    Timestamp::logical(wa.t),
+                );
+                self.egress.deliver([self.qid], &out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evict buffered tuples that can never appear in a future window.
+    /// Only forward-moving windows shrink the buffer; landmark windows keep
+    /// everything — the paper's memory asymmetry, faithfully.
+    fn evict(&mut self, just_closed: &WindowAssignment) {
+        let next_left = match self.windows.peek() {
+            Some(Ok(wa)) => wa.window_for(&self.stream_alias).map(|w| w.left),
+            _ => None,
+        };
+        let horizon = match next_left {
+            Some(l) => l.min(
+                just_closed
+                    .window_for(&self.stream_alias)
+                    .map(|w| w.left)
+                    .unwrap_or(l),
+            ),
+            None => return,
+        };
+        while let Some(front) = self.buffer.front() {
+            if front.timestamp().seq() >= horizon {
+                break;
+            }
+            self.buffer.pop_front();
+        }
+    }
+
+    /// Peak number of buffered tuples (experiments).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffer
+    }
+}
+
+impl DispatchUnit for AggregateCqDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        if self.done {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut did_work = false;
+        for _ in 0..quantum {
+            match self.input.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
+                    did_work = true;
+                    self.latest = self.latest.max(t.timestamp().seq());
+                    let passes = match &self.pred {
+                        Some(p) => p.eval_pred(&t)?,
+                        None => true,
+                    };
+                    if passes {
+                        self.buffer.push_back(t);
+                        self.peak_buffer = self.peak_buffer.max(self.buffer.len());
+                    }
+                }
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
+                    self.eof = true;
+                    break;
+                }
+                DequeueResult::Empty => break,
+            }
+        }
+        self.close_ready_windows()?;
+        if self.eof && !self.done {
+            // Remaining windows were handled in close_ready_windows (it
+            // closes everything reachable once eof is set); anything left
+            // means the spec is infinite with nothing more to fill it.
+            self.done = true;
+        }
+        Ok(if self.done {
+            ModuleStatus::Done
+        } else if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{CmpOp, DataType, Field, Schema, TupleBuilder};
+    use tcq_fjords::{fjord, QueueKind};
+    use tcq_operators::AggFunc;
+    use tcq_windows::{CondOp, Condition, ForLoop, LinExpr, Step, WindowIs};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![Field::new("ts", DataType::Int), Field::new("v", DataType::Int)],
+        )
+        .into_ref()
+    }
+
+    fn row(s: &SchemaRef, ts: i64, v: i64) -> Tuple {
+        TupleBuilder::new(s.clone())
+            .push(ts)
+            .push(v)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lazy_project_binds_per_schema() {
+        let mut lp = LazyProject::new(vec![(Expr::col("v"), None)]);
+        let a = schema();
+        let b = Schema::qualified(
+            "other",
+            vec![Field::new("x", DataType::Int), Field::new("v", DataType::Int)],
+        )
+        .into_ref();
+        let out_a = lp.apply(&row(&a, 1, 10)).unwrap();
+        assert_eq!(out_a.value(0).as_int().unwrap(), 10);
+        // Different column order, same expression: rebinding required.
+        let tb = TupleBuilder::new(b).push(99i64).push(42i64).build().unwrap();
+        let out_b = lp.apply(&tb).unwrap();
+        assert_eq!(out_b.value(0).as_int().unwrap(), 42);
+    }
+
+    #[test]
+    fn filter_cq_shared_respects_min_seq() {
+        let shared = FilterCqShared::new(schema());
+        shared.add_query(0, None, &[(Expr::col("ts"), None)], 5).unwrap();
+        let (p, c) = fjord(64, QueueKind::Push);
+        let egress = EgressRouter::new();
+        egress.register_pull_client(1, 64).unwrap();
+        egress.subscribe(1, 0).unwrap();
+        let mut du = FilterCqDu::new("f", c, shared, egress.clone());
+        let s = schema();
+        for ts in 1..=10 {
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0))).unwrap();
+        }
+        p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
+        while du.run(16).unwrap() != ModuleStatus::Done {}
+        let got = egress.fetch(1, 64).unwrap();
+        assert_eq!(got.len(), 6, "only ts >= 5 delivered");
+    }
+
+    #[test]
+    fn aggregate_du_emits_one_row_per_closed_window() {
+        let s = schema();
+        let (p, c) = fjord(256, QueueKind::Push);
+        let egress = EgressRouter::new();
+        egress.register_pull_client(1, 256).unwrap();
+        egress.subscribe(1, 9).unwrap();
+        let windows = WindowSeq::new(
+            ForLoop {
+                init: LinExpr::constant(4),
+                cond: Condition { op: CondOp::Le, bound: LinExpr::constant(20) },
+                step: Step::Add(4),
+                windows: vec![WindowIs::new("s", LinExpr::t_plus(-3), LinExpr::t())],
+            },
+            1,
+        );
+        let mut du = AggregateCqDu::new(
+            "agg",
+            c,
+            &s,
+            None,
+            vec![ResolvedAgg { spec: AggSpec::count_star(), name: "n".into() }],
+            None,
+            windows,
+            "s".into(),
+            egress.clone(),
+            9,
+        );
+        assert_eq!(du.out_schema().len(), 2); // (t, n)
+        for ts in 1..=20 {
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0))).unwrap();
+        }
+        p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
+        while du.run(64).unwrap() != ModuleStatus::Done {}
+        let got = egress.fetch(1, 256).unwrap();
+        // windows close at t = 4, 8, 12, 16, 20 — 4 tuples each.
+        assert_eq!(got.len(), 5);
+        for (_, r) in &got {
+            assert_eq!(r.value(1).as_int().unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn aggregate_du_respects_predicate_and_group() {
+        let s = schema();
+        let (p, c) = fjord(256, QueueKind::Push);
+        let egress = EgressRouter::new();
+        egress.register_pull_client(1, 256).unwrap();
+        egress.subscribe(1, 3).unwrap();
+        let windows = WindowSeq::new(
+            ForLoop {
+                init: LinExpr::constant(10),
+                cond: Condition { op: CondOp::Le, bound: LinExpr::constant(10) },
+                step: Step::Add(10),
+                windows: vec![WindowIs::new("s", LinExpr::constant(1), LinExpr::t())],
+            },
+            1,
+        );
+        let pred = Expr::col("ts")
+            .cmp(CmpOp::Gt, Expr::lit(2i64))
+            .bind(&s)
+            .unwrap();
+        let mut du = AggregateCqDu::new(
+            "agg",
+            c,
+            &s,
+            Some(pred),
+            vec![ResolvedAgg {
+                spec: AggSpec::over(AggFunc::Sum, 0),
+                name: "total".into(),
+            }],
+            Some(1), // group by v
+            windows,
+            "s".into(),
+            egress.clone(),
+            3,
+        );
+        for ts in 1..=10 {
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, ts % 2))).unwrap();
+        }
+        p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
+        while du.run(64).unwrap() != ModuleStatus::Done {}
+        let got = egress.fetch(1, 256).unwrap();
+        // One window [1,10], grouped by parity, ts > 2.
+        assert_eq!(got.len(), 2);
+        let mut sums: Vec<(i64, f64)> = got
+            .iter()
+            .map(|(_, r)| (r.value(1).as_int().unwrap(), r.value(2).as_float().unwrap()))
+            .collect();
+        sums.sort_by_key(|&(g, _)| g);
+        // group 0 (even ts > 2): 4+6+8+10 = 28; group 1 (odd > 2): 3+5+7+9 = 24
+        assert_eq!(sums, vec![(0, 28.0), (1, 24.0)]);
+    }
+}

@@ -1,0 +1,849 @@
+//! The `TelegraphCQ` server facade.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use tcq_common::{Catalog, Result, SchemaRef, SourceKind, TcqError, Tuple};
+use tcq_eddy::{
+    Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
+    RoutingPolicy,
+};
+use tcq_egress::{ClientId, Delivery, EgressRouter};
+use tcq_executor::{DuId, Executor, ExecutorConfig};
+use tcq_fjords::{fjord, Producer, QueueKind};
+use tcq_ingress::{Source, Streamer};
+use tcq_operators::{SelectOp, StemOp};
+use tcq_query::{analyze, parse, AnalyzedQuery};
+use tcq_stems::IndexKind;
+use tcq_storage::{BufferPool, StreamArchive};
+use tcq_windows::WindowSeq;
+
+use crate::dispatcher::{OverloadPolicy, StreamDispatcher, SubscriberSet};
+use crate::shared_join::{SharedJoinDu, SharedJoinKey, SharedJoinShared};
+use crate::planner::{
+    self, plan_kind, resolve_aggregates, source_predicate, stripped_predicate, PlanKind,
+};
+use crate::plans::{
+    AggregateCqDu, FilterCqDu, FilterCqShared, JoinCqDu, JoinInput, LazyProject, QueryId,
+};
+
+/// Which routing policy new eddies use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Ticket lottery (the adaptive default).
+    Lottery,
+    /// Static order (non-adaptive baseline).
+    Fixed,
+    /// Uniform random.
+    Random,
+    /// Rank by observed selectivity/cost.
+    Greedy,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Execution Objects (threads).
+    pub eos: usize,
+    /// DU scheduling quantum.
+    pub quantum: usize,
+    /// Capacity of every Fjord queue.
+    pub queue_capacity: usize,
+    /// Directory for stream archives; `None` disables history (historical
+    /// queries will error).
+    pub archive_dir: Option<PathBuf>,
+    /// Buffer pool size in pages.
+    pub pool_pages: usize,
+    /// Buffer pool page size in bytes.
+    pub page_size: usize,
+    /// Routing policy for join eddies.
+    pub policy: PolicyKind,
+    /// Eddy batching knob (§4.3 "adapting adaptivity").
+    pub eddy_batch: usize,
+    /// What dispatchers do when a query's input queue is full (§4.3 QoS).
+    pub overload: OverloadPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            eos: 2,
+            quantum: 128,
+            queue_capacity: 1024,
+            archive_dir: None,
+            pool_pages: 256,
+            page_size: 8192,
+            policy: PolicyKind::Lottery,
+            eddy_batch: 1,
+            overload: OverloadPolicy::Backpressure,
+            seed: 0x7E1E_C001,
+        }
+    }
+}
+
+struct StreamState {
+    def: tcq_common::StreamDef,
+    ingress: Producer,
+    subscribers: SubscriberSet,
+    latest_seq: Arc<AtomicI64>,
+    archive: Option<Arc<Mutex<StreamArchive>>>,
+    filter_shared: FilterCqShared,
+    class: u64,
+    /// Copies shed by the dispatcher under OverloadPolicy::Shed.
+    shed: Arc<AtomicI64>,
+}
+
+enum QueryRecord {
+    SharedFilter { stream: String },
+    SharedJoin { key: SharedJoinKey },
+    Dedicated { du: DuId, subscriptions: Vec<(String, u64)> },
+    Completed,
+}
+
+struct SharedJoinEntry {
+    shared: SharedJoinShared,
+    du: DuId,
+    subscriptions: Vec<(String, u64)>,
+}
+
+/// The running TelegraphCQ instance (paper Figure 5, one process).
+pub struct TelegraphCQ {
+    config: ServerConfig,
+    catalog: Catalog,
+    executor: Executor,
+    egress: EgressRouter,
+    pool: BufferPool,
+    streams: Mutex<HashMap<String, Arc<StreamState>>>,
+    shared_joins: Mutex<HashMap<SharedJoinKey, SharedJoinEntry>>,
+    queries: Mutex<HashMap<QueryId, QueryRecord>>,
+    streamers: Mutex<Vec<Streamer>>,
+    next_query: AtomicUsize,
+    next_client: AtomicU64,
+}
+
+impl TelegraphCQ {
+    /// Boot the server.
+    pub fn start(config: ServerConfig) -> Result<Self> {
+        let executor = Executor::start(ExecutorConfig {
+            eos: config.eos,
+            quantum: config.quantum,
+            idle_park: Duration::from_micros(200),
+        })?;
+        if let Some(dir) = &config.archive_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let pool = BufferPool::new(config.pool_pages, config.page_size);
+        Ok(TelegraphCQ {
+            config,
+            catalog: Catalog::new(),
+            executor,
+            egress: EgressRouter::new(),
+            pool,
+            streams: Mutex::new(HashMap::new()),
+            shared_joins: Mutex::new(HashMap::new()),
+            queries: Mutex::new(HashMap::new()),
+            streamers: Mutex::new(Vec::new()),
+            next_query: AtomicUsize::new(1),
+            next_client: AtomicU64::new(1),
+        })
+    }
+
+    /// The catalog (for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared buffer pool (storage experiments).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Register a stream: catalog entry, ingress queue, dispatcher DU, and
+    /// the stream's shared filter DU. `schema` is the base schema; columns
+    /// will be addressed both bare and qualified by the stream name.
+    pub fn register_stream(&self, name: &str, schema: SchemaRef) -> Result<()> {
+        self.register_source(name, schema, SourceKind::PushStream)
+    }
+
+    /// Register a (slowly changing) table: same plumbing as a stream, but
+    /// queries may join against it without a WindowIs clause — "an input
+    /// without a corresponding WindowIs statement is assumed to be a static
+    /// table by default" (§4.1.1). Rows are appended with [`TelegraphCQ::push`].
+    pub fn register_table(&self, name: &str, schema: SchemaRef) -> Result<()> {
+        self.register_source(name, schema, SourceKind::Table)
+    }
+
+    fn register_source(&self, name: &str, schema: SchemaRef, kind: SourceKind) -> Result<()> {
+        let def = self.catalog.register(name, schema.clone(), kind)?;
+        let qualified = schema.with_qualifier(name).into_ref();
+        let (ingress_p, ingress_c) = fjord(self.config.queue_capacity, QueueKind::Push);
+        let subscribers = SubscriberSet::new();
+        let latest_seq = Arc::new(AtomicI64::new(0));
+        let archive = match &self.config.archive_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{}.seg", name.to_ascii_lowercase()));
+                Some(Arc::new(Mutex::new(StreamArchive::create(
+                    path,
+                    qualified.clone(),
+                    self.pool.clone(),
+                )?)))
+            }
+            None => None,
+        };
+        let class = 1u64 << (def.id % 64);
+        let dispatcher = StreamDispatcher::new(
+            format!("dispatch({name})"),
+            ingress_c,
+            subscribers.clone(),
+            archive.clone(),
+            Arc::clone(&latest_seq),
+        )
+        .with_overload_policy(self.config.overload);
+        let shed = dispatcher.shed_counter();
+        self.executor.submit(class, Box::new(dispatcher))?;
+
+        // The shared CACQ filter DU for this stream.
+        let filter_shared = FilterCqShared::new(qualified);
+        let (fp, fc) = fjord(self.config.queue_capacity, QueueKind::Push);
+        subscribers.add(fp);
+        let filter_du = FilterCqDu::new(
+            format!("filter-cq({name})"),
+            fc,
+            filter_shared.clone(),
+            self.egress.clone(),
+        );
+        self.executor.submit(class, Box::new(filter_du))?;
+
+        let state = StreamState {
+            def,
+            ingress: ingress_p,
+            subscribers,
+            latest_seq,
+            archive,
+            filter_shared,
+            class,
+            shed,
+        };
+        self.streams
+            .lock()
+            .insert(name.to_ascii_lowercase(), Arc::new(state));
+        Ok(())
+    }
+
+    fn stream(&self, name: &str) -> Result<Arc<StreamState>> {
+        self.streams
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| TcqError::UnknownStream(name.to_string()))
+    }
+
+    /// Attach a wrapper: spawn a streamer thread draining `source` into the
+    /// stream's ingress queue.
+    pub fn attach_source(&self, stream: &str, source: Box<dyn Source>) -> Result<()> {
+        let st = self.stream(stream)?;
+        let streamer = Streamer::spawn(stream, source, st.ingress.clone());
+        self.streamers.lock().push(streamer);
+        Ok(())
+    }
+
+    /// Inject one tuple directly (tests, examples). Blocks under
+    /// back-pressure.
+    pub fn push(&self, stream: &str, tuple: Tuple) -> Result<()> {
+        self.stream(stream)?.ingress.send_tuple(tuple)
+    }
+
+    /// Signal end-of-stream (finite runs).
+    pub fn finish_stream(&self, stream: &str) -> Result<()> {
+        self.stream(stream)?.ingress.send_eof()
+    }
+
+    /// Latest logical time seen on a stream.
+    pub fn stream_time(&self, stream: &str) -> Result<i64> {
+        Ok(self.stream(stream)?.latest_seq.load(Ordering::Acquire))
+    }
+
+    /// Copies shed by a stream's dispatcher under
+    /// [`OverloadPolicy::Shed`] (0 under back-pressure).
+    pub fn shed_count(&self, stream: &str) -> Result<i64> {
+        Ok(self.stream(stream)?.shed.load(Ordering::Relaxed))
+    }
+
+    /// Connect a push client; results stream into the returned receiver.
+    pub fn connect_push_client(&self, capacity: usize) -> Result<(ClientId, Receiver<Delivery>)> {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let rx = self.egress.register_push_client(id, capacity)?;
+        Ok((id, rx))
+    }
+
+    /// Connect a pull client with a result buffer.
+    pub fn connect_pull_client(&self, capacity: usize) -> Result<ClientId> {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        self.egress.register_pull_client(id, capacity)?;
+        Ok(id)
+    }
+
+    /// Connect a pull client with Juggle-style prioritized retrieval
+    /// (\[RRH99\], §4.3): `fetch` returns the highest-`priority` buffered
+    /// results first, and overflow sheds the least interesting.
+    pub fn connect_prioritized_client(
+        &self,
+        capacity: usize,
+        priority: Box<dyn Fn(&Tuple) -> f64 + Send>,
+    ) -> Result<ClientId> {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        self.egress.register_prioritized_client(id, capacity, priority)?;
+        Ok(id)
+    }
+
+    /// Pull client: fetch buffered results.
+    pub fn fetch(&self, client: ClientId, max: usize) -> Result<Vec<Delivery>> {
+        self.egress.fetch(client, max)
+    }
+
+    /// Parse, analyze, plan, and start a continuous query on behalf of
+    /// `client`. Returns the query id.
+    pub fn submit(&self, sql: &str, client: ClientId) -> Result<QueryId> {
+        let stmt = parse(sql)?;
+        let aq = analyze(&stmt, &self.catalog)?;
+        let kind = plan_kind(&aq)?;
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        self.egress.subscribe(client, qid)?;
+        let record = match kind {
+            PlanKind::SharedFilter => self.start_shared_filter(qid, &aq)?,
+            PlanKind::Aggregate => self.start_aggregate(qid, &aq)?,
+            PlanKind::Join => self.start_join(qid, &aq)?,
+            PlanKind::Historical => self.run_historical(qid, &aq)?,
+        };
+        self.queries.lock().insert(qid, record);
+        Ok(qid)
+    }
+
+    fn start_shared_filter(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
+        let source = &aq.sources[0];
+        let st = self.stream(&source.name)?;
+        let pred = stripped_predicate(aq);
+        let projection: Vec<(tcq_common::Expr, Option<String>)> = aq
+            .projection
+            .iter()
+            .map(|(e, a)| (planner::strip_qualifiers(e), a.clone()))
+            .collect();
+
+        // Windowed filter queries: the earliest window left edge bounds
+        // which live tuples qualify, and the part of the window sequence
+        // that lies in the past is answered from the archive (PSoup's
+        // "new queries applied to old data", §3.2). Logical time is
+        // monotonic per stream, so splitting at `now` is exact.
+        let mut min_seq = i64::MIN;
+        let mut replay_until = i64::MIN;
+        if let Some(w) = &aq.window {
+            let now = st.latest_seq.load(Ordering::Acquire);
+            if let Some(Ok(wa)) = WindowSeq::new(w.clone(), now.max(1)).next() {
+                if let Some(win) = wa.window_for(&source.alias) {
+                    min_seq = win.left;
+                    if st.archive.is_some() && min_seq <= now {
+                        replay_until = now;
+                    }
+                }
+            }
+        }
+        let live_floor = if replay_until > i64::MIN { replay_until + 1 } else { min_seq };
+        st.filter_shared.add_query(qid, pred.as_ref(), &projection, live_floor)?;
+
+        if replay_until > i64::MIN {
+            let archive = st.archive.as_ref().expect("checked above");
+            let base = st.def.schema.with_qualifier(&source.name).into_ref();
+            let bound = match &pred {
+                Some(p) => Some(p.bind(&base)?),
+                None => None,
+            };
+            let project = tcq_operators::ProjectOp::new(&projection, &base)?;
+            let mut scratch = Vec::new();
+            archive.lock().scan_window(min_seq, replay_until, &mut scratch)?;
+            for t in &scratch {
+                let passes = match &bound {
+                    Some(p) => p.eval_pred(t)?,
+                    None => true,
+                };
+                if passes {
+                    self.egress.deliver([qid], &project.apply(t)?);
+                }
+            }
+        }
+        Ok(QueryRecord::SharedFilter { stream: source.name.clone() })
+    }
+
+    fn start_aggregate(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
+        let source = &aq.sources[0];
+        let st = self.stream(&source.name)?;
+        let window = aq.window.clone().ok_or_else(|| {
+            TcqError::Analysis(
+                "aggregates over a stream require a window clause (for-loop)".into(),
+            )
+        })?;
+        let base = st.def.schema.with_qualifier(&source.name).into_ref();
+        let pred = match stripped_predicate(aq) {
+            Some(p) => Some(p.bind(&base)?),
+            None => None,
+        };
+        let aggs = resolve_aggregates(aq)?;
+        let group_by = aq.group_by.map(|(_, col)| col);
+        let stt = st.latest_seq.load(Ordering::Acquire);
+        let windows = WindowSeq::new(window, stt.max(1));
+        let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
+        let sub_id = st.subscribers.add(p);
+        let du = AggregateCqDu::new(
+            format!("agg-cq(q{qid})"),
+            c,
+            &base,
+            pred,
+            aggs,
+            group_by,
+            windows,
+            source.alias.clone(),
+            self.egress.clone(),
+            qid,
+        );
+        let du_id = self.executor.submit(st.class, Box::new(du))?;
+        Ok(QueryRecord::Dedicated {
+            du: du_id,
+            subscriptions: vec![(source.name.clone(), sub_id)],
+        })
+    }
+
+    fn make_policy(&self) -> Box<dyn RoutingPolicy> {
+        match self.config.policy {
+            PolicyKind::Lottery => Box::new(LotteryPolicy::new()),
+            PolicyKind::Random => Box::new(RandomPolicy),
+            PolicyKind::Greedy => Box::new(GreedyPolicy::new()),
+            // A fixed order over however many modules get registered; the
+            // natural order is registration order.
+            PolicyKind::Fixed => Box::new(FixedPolicy::new((0..64).collect())),
+        }
+    }
+
+    fn start_join(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
+        if planner::shareable_join(aq)? {
+            return self.start_shared_join(qid, aq);
+        }
+        // Eddy over the query's aliases.
+        let aliases: Vec<String> = aq.sources.iter().map(|s| s.alias.clone()).collect();
+        let mut eddy = Eddy::new(
+            &aliases,
+            self.make_policy(),
+            EddyConfig { batch_size: self.config.eddy_batch, seed: self.config.seed },
+        )?;
+
+        // One SteM per source; key column from the join pairs. A SteM is
+        // probed by its join *partners* (their tuples carry the probe key);
+        // an intermediate tuple qualifies as soon as it spans any partner.
+        let mut key_col: Vec<Option<usize>> = vec![None; aq.sources.len()];
+        let mut probe_specs: Vec<Vec<(Option<String>, String)>> =
+            vec![Vec::new(); aq.sources.len()];
+        let mut partners: Vec<u64> = vec![0; aq.sources.len()];
+        for jp in &aq.join_pairs {
+            for (src, col, other, other_col) in [
+                (jp.left, jp.left_col, jp.right, jp.right_col),
+                (jp.right, jp.right_col, jp.left, jp.left_col),
+            ] {
+                match key_col[src] {
+                    None => key_col[src] = Some(col),
+                    Some(existing) if existing == col => {}
+                    Some(_) => {
+                        return Err(TcqError::Analysis(format!(
+                            "source '{}' joins on two different columns; \
+                             multi-key SteMs are not supported",
+                            aq.sources[src].alias
+                        )))
+                    }
+                }
+                let other_schema = &aq.sources[other].schema;
+                probe_specs[src].push((
+                    Some(aq.sources[other].alias.clone()),
+                    other_schema.field(other_col).name.clone(),
+                ));
+                partners[src] |= eddy.source_bit(&aq.sources[other].alias)?;
+            }
+        }
+        for (i, source) in aq.sources.iter().enumerate() {
+            let Some(kc) = key_col[i] else {
+                return Err(TcqError::Analysis(format!(
+                    "source '{}' participates in no equi-join predicate",
+                    source.alias
+                )));
+            };
+            let my_bit = eddy.source_bit(&source.alias)?;
+            let mut specs = probe_specs[i].clone().into_iter();
+            let first = specs.next().expect("at least one probe spec per joined source");
+            let mut stem = StemOp::new(
+                format!("SteM({})", source.alias),
+                source.schema.clone(),
+                source.alias.clone(),
+                kc,
+                first,
+                IndexKind::Hash,
+            )?;
+            for extra in specs {
+                stem = stem.with_extra_probe_key(extra);
+            }
+            if let Some(width) = planner::join_window_width(aq, &source.alias)? {
+                stem = stem.with_window_width(width);
+            }
+            eddy.add_module(ModuleSpec::stem(Box::new(stem), my_bit, partners[i]))?;
+        }
+        // Per-source filters.
+        for (i, source) in aq.sources.iter().enumerate() {
+            if let Some(pred) = source_predicate(aq, i) {
+                let bit = eddy.source_bit(&source.alias)?;
+                let op = SelectOp::new(
+                    format!("sel({})", source.alias),
+                    &pred,
+                    &source.schema,
+                )?;
+                eddy.add_module(ModuleSpec::filter(Box::new(op), bit))?;
+            }
+        }
+        // Cross factors (band predicates): filters over joined tuples.
+        for (k, factor) in aq.cross_factors.iter().enumerate() {
+            let mut bits = 0u64;
+            for (q, name) in factor.columns() {
+                let idx = match q {
+                    Some(q) => aq.source_index(q).ok_or_else(|| {
+                        TcqError::Analysis(format!("unknown qualifier '{q}'"))
+                    })?,
+                    None => {
+                        // analyzer guarantees resolvability; find the owner
+                        aq.sources
+                            .iter()
+                            .position(|s| s.schema.index_of(None, name).is_ok())
+                            .ok_or_else(|| {
+                                TcqError::Analysis(format!("unknown column '{name}'"))
+                            })?
+                    }
+                };
+                bits |= eddy.source_bit(&aq.sources[idx].alias)?;
+            }
+            let op = SelectOp::new(format!("band{k}"), factor, &aq.combined_schema)?;
+            eddy.add_module(ModuleSpec::filter(Box::new(op), bits))?;
+        }
+
+        // Inputs: one subscription per physical stream; aliases grouped.
+        let mut by_stream: HashMap<String, Vec<SchemaRef>> = HashMap::new();
+        for source in &aq.sources {
+            by_stream
+                .entry(source.name.to_ascii_lowercase())
+                .or_default()
+                .push(source.schema.clone());
+        }
+        let mut inputs = Vec::new();
+        let mut subscriptions = Vec::new();
+        let mut class = 0u64;
+        for (stream_name, alias_schemas) in by_stream {
+            let st = self.stream(&stream_name)?;
+            class |= st.class;
+            let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let sub_id = st.subscribers.add(p);
+            subscriptions.push((stream_name.clone(), sub_id));
+            inputs.push(JoinInput { consumer: c, alias_schemas, eof: false });
+        }
+
+        // The window sequence's extent bounds the query's lifetime: tuples
+        // before the first window are skipped, and once stream time passes
+        // the final window's close the query retires (the for-loop's
+        // stopping condition).
+        let mut floor = i64::MIN;
+        let mut deadline = i64::MAX;
+        if let Some(w) = &aq.window {
+            let now = aq
+                .sources
+                .iter()
+                .filter_map(|s| self.stream(&s.name).ok())
+                .map(|st| st.latest_seq.load(Ordering::Acquire))
+                .max()
+                .unwrap_or(0);
+            const CAP: u64 = 1_000_000;
+            let mut iterations = 0u64;
+            let mut last_close = i64::MIN;
+            for wa in WindowSeq::new(w.clone(), now.max(1)).with_max_iterations(CAP) {
+                let wa = wa?;
+                if iterations == 0 {
+                    floor = wa
+                        .windows
+                        .iter()
+                        .map(|(_, win)| win.left)
+                        .min()
+                        .unwrap_or(i64::MIN);
+                }
+                iterations += 1;
+                last_close = last_close.max(wa.close_time());
+            }
+            // Loops that hit the iteration cap are treated as unbounded;
+            // finite loops retire the query after their final window.
+            if iterations > 0 && iterations < CAP {
+                deadline = last_close;
+            }
+        }
+        let project = LazyProject::new(aq.projection.clone());
+        let du = JoinCqDu::new(
+            format!("join-cq(q{qid})"),
+            inputs,
+            eddy,
+            project,
+            self.egress.clone(),
+            qid,
+            floor,
+            deadline,
+        );
+        let du_id = self.executor.submit(class, Box::new(du))?;
+        Ok(QueryRecord::Dedicated { du: du_id, subscriptions })
+    }
+
+    /// CACQ shared-join path: queries with the same join signature share one
+    /// SharedEddy DU — one pair of SteMs built/probed once per tuple, with
+    /// per-query lineage deciding delivery (§3.1).
+    fn start_shared_join(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
+        let jp = aq.join_pairs[0];
+        // Normalize side order by stream name so A⋈B and B⋈A share a key.
+        let (l_src, l_col, r_src, r_col) = {
+            let a = (jp.left, jp.left_col, jp.right, jp.right_col);
+            let name_l = aq.sources[jp.left].name.to_ascii_lowercase();
+            let name_r = aq.sources[jp.right].name.to_ascii_lowercase();
+            if name_l <= name_r {
+                a
+            } else {
+                (jp.right, jp.right_col, jp.left, jp.left_col)
+            }
+        };
+        let left_state = self.stream(&aq.sources[l_src].name)?;
+        let right_state = self.stream(&aq.sources[r_src].name)?;
+        let window_width = planner::join_window_width(aq, &aq.sources[l_src].alias)?;
+        let key = SharedJoinKey {
+            left: aq.sources[l_src].name.to_ascii_lowercase(),
+            left_col: l_col,
+            right: aq.sources[r_src].name.to_ascii_lowercase(),
+            right_col: r_col,
+            window_width,
+        };
+
+        // Per-side predicates, qualifier-stripped (each references exactly
+        // one source, and the shared schemas are stream-name qualified).
+        let side_pred = |src: usize| -> Option<tcq_common::Expr> {
+            let parts: Vec<tcq_common::Expr> = aq
+                .single_factors
+                .iter()
+                .filter(|(s, _)| *s == src)
+                .map(|(_, f)| planner::strip_qualifiers(f))
+                .collect();
+            tcq_common::Expr::from_conjuncts(parts)
+        };
+        let left_pred = side_pred(l_src);
+        let right_pred = side_pred(r_src);
+
+        // Projection over the joined (left ++ right) schema: alias
+        // qualifiers become stream names.
+        let mut alias_map = HashMap::new();
+        for s in &aq.sources {
+            alias_map.insert(s.alias.to_ascii_lowercase(), s.name.clone());
+        }
+        let projection: Vec<(tcq_common::Expr, Option<String>)> = aq
+            .projection
+            .iter()
+            .map(|(e, a)| (planner::requalify(e, &alias_map), a.clone()))
+            .collect();
+
+        let mut joins = self.shared_joins.lock();
+        if !joins.contains_key(&key) {
+            // First query with this signature: build the shared eddy + DU.
+            let left_schema = left_state
+                .def
+                .schema
+                .with_qualifier(&aq.sources[l_src].name)
+                .into_ref();
+            let right_schema = right_state
+                .def
+                .schema
+                .with_qualifier(&aq.sources[r_src].name)
+                .into_ref();
+            let left_key_name = left_schema.field(l_col).name.clone();
+            let right_key_name = right_schema.field(r_col).name.clone();
+            let shared = SharedJoinShared::new(
+                left_schema,
+                &left_key_name,
+                right_schema,
+                &right_key_name,
+                window_width,
+            )?;
+            let (lp, lc) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let (rp, rc) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let l_sub = left_state.subscribers.add(lp);
+            let r_sub = right_state.subscribers.add(rp);
+            let du = SharedJoinDu::new(
+                format!("shared-join({}~{})", key.left, key.right),
+                lc,
+                rc,
+                shared.clone(),
+                self.egress.clone(),
+            );
+            let du_id = self
+                .executor
+                .submit(left_state.class | right_state.class, Box::new(du))?;
+            joins.insert(
+                key.clone(),
+                SharedJoinEntry {
+                    shared,
+                    du: du_id,
+                    subscriptions: vec![
+                        (key.left.clone(), l_sub),
+                        (key.right.clone(), r_sub),
+                    ],
+                },
+            );
+        }
+        let entry = joins.get(&key).expect("inserted above");
+        entry
+            .shared
+            .add_query(qid, left_pred.as_ref(), right_pred.as_ref(), &projection)?;
+        Ok(QueryRecord::SharedJoin { key })
+    }
+
+    /// Number of distinct shared-join plans currently running (tests).
+    pub fn shared_join_count(&self) -> usize {
+        self.shared_joins.lock().len()
+    }
+
+    /// Snapshot/backward windows: answer from the archive now, then close.
+    fn run_historical(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
+        let source = &aq.sources[0];
+        let st = self.stream(&source.name)?;
+        let archive = st.archive.as_ref().ok_or_else(|| {
+            TcqError::Storage(
+                "historical queries need archiving (set ServerConfig::archive_dir)".into(),
+            )
+        })?;
+        let base = st.def.schema.with_qualifier(&source.name).into_ref();
+        let pred = match stripped_predicate(aq) {
+            Some(p) => Some(p.bind(&base)?),
+            None => None,
+        };
+        let projection: Vec<(tcq_common::Expr, Option<String>)> = aq
+            .projection
+            .iter()
+            .map(|(e, a)| (planner::strip_qualifiers(e), a.clone()))
+            .collect();
+        let project = tcq_operators::ProjectOp::new(&projection, &base)?;
+        let window = aq.window.clone().expect("historical implies window");
+        let stt = st.latest_seq.load(Ordering::Acquire);
+        let mut scratch = Vec::new();
+        for wa in WindowSeq::new(window, stt.max(1)).with_max_iterations(100_000) {
+            let wa = wa?;
+            let Some(win) = wa.window_for(&source.alias) else { continue };
+            scratch.clear();
+            archive.lock().scan_window(win.left, win.right, &mut scratch)?;
+            for t in &scratch {
+                let passes = match &pred {
+                    Some(p) => p.eval_pred(t)?,
+                    None => true,
+                };
+                if passes {
+                    let out = project.apply(t)?;
+                    self.egress.deliver([qid], &out);
+                }
+            }
+        }
+        Ok(QueryRecord::Completed)
+    }
+
+    /// Stop a standing query.
+    pub fn stop_query(&self, qid: QueryId) -> Result<()> {
+        let record = self
+            .queries
+            .lock()
+            .remove(&qid)
+            .ok_or_else(|| TcqError::Executor(format!("unknown query {qid}")))?;
+        match record {
+            QueryRecord::SharedFilter { stream } => {
+                self.stream(&stream)?.filter_shared.remove_query(qid)?;
+            }
+            QueryRecord::SharedJoin { key } => {
+                let mut joins = self.shared_joins.lock();
+                if let Some(entry) = joins.get(&key) {
+                    let remaining = entry.shared.remove_query(qid)?;
+                    if remaining == 0 {
+                        let entry = joins.remove(&key).expect("present");
+                        self.executor.cancel(entry.du)?;
+                        for (stream, sub_id) in entry.subscriptions {
+                            if let Ok(st) = self.stream(&stream) {
+                                st.subscribers.remove(sub_id);
+                            }
+                        }
+                    }
+                }
+            }
+            QueryRecord::Dedicated { du, subscriptions } => {
+                self.executor.cancel(du)?;
+                for (stream, sub_id) in subscriptions {
+                    if let Ok(st) = self.stream(&stream) {
+                        st.subscribers.remove(sub_id);
+                    }
+                }
+            }
+            QueryRecord::Completed => {}
+        }
+        Ok(())
+    }
+
+    /// Standing query count (historical queries complete immediately and
+    /// still count until stopped).
+    pub fn query_count(&self) -> usize {
+        self.queries.lock().len()
+    }
+
+    /// Wait until every DU has retired (finite-stream runs) or the timeout
+    /// elapses. Returns whether the executor went idle.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let stats = self.executor.stats();
+            if stats.dus_per_eo.iter().sum::<usize>() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Executor statistics.
+    pub fn executor_stats(&self) -> tcq_executor::ExecutorStats {
+        self.executor.stats()
+    }
+
+    /// Egress statistics: (delivered, shed).
+    pub fn egress_stats(&self) -> (u64, u64) {
+        self.egress.stats()
+    }
+
+    /// Stop streamers and the executor.
+    pub fn shutdown(self) -> Result<()> {
+        for s in self.streamers.lock().drain(..) {
+            let _ = s.stop();
+        }
+        self.executor.shutdown()
+    }
+}
+
+/// Information about a submitted query (reserved for richer introspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryInfo {
+    /// The query id.
+    pub id: QueryId,
+}

@@ -1,0 +1,340 @@
+//! Grouped filters (CACQ, §3.1).
+//!
+//! > "A grouped filter is an index for single-variable boolean factors over
+//! > the same attribute. When a new query is inserted into the system, it is
+//! > decomposed into its individual boolean factors. The single-variable
+//! > boolean factors are then inserted into appropriate grouped filters."
+//!
+//! One grouped filter indexes all registered factors over **one attribute**.
+//! Probing with an attribute value returns, in one pass, the set of factors
+//! the value satisfies — instead of evaluating each query's predicate
+//! separately. Internally:
+//!
+//! * `=` factors live in a hash map constant → factor set;
+//! * `!=` factors live in a hash map of *exceptions* (all `!=` factors match
+//!   unless the constant equals the probe value);
+//! * `>` / `>=` factors live in a constant-sorted vector probed by binary
+//!   search (factors with constants below the value match);
+//! * `<` / `<=` factors likewise, mirrored.
+
+use std::collections::HashMap;
+
+use tcq_common::{BitSet, CmpOp, Result, TcqError, Value};
+
+/// Identifies one registered boolean factor within a grouped filter. Factor
+/// ids are assigned by the caller (typically a [`crate::QueryStem`]) so one
+/// id space spans all of a query's factors across filters.
+pub type FactorId = usize;
+
+/// An entry in one of the two sorted range tables.
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    constant: Value,
+    /// True for strict (`>` / `<`), false for inclusive (`>=` / `<=`).
+    strict: bool,
+    factor: FactorId,
+}
+
+/// A grouped filter over a single attribute.
+#[derive(Default)]
+pub struct GroupedFilter {
+    eq: HashMap<Value, BitSet>,
+    ne: HashMap<Value, BitSet>,
+    /// All `!=` factors (they match unless excepted).
+    ne_all: BitSet,
+    /// Sorted ascending by constant: `value > constant` (and `>=`) factors.
+    gt: Vec<RangeEntry>,
+    /// Sorted ascending by constant: `value < constant` (and `<=`) factors.
+    lt: Vec<RangeEntry>,
+    /// Every factor registered in this filter.
+    owners: BitSet,
+    /// Per-factor record for removal: (op, constant).
+    registered: HashMap<FactorId, (CmpOp, Value)>,
+}
+
+impl GroupedFilter {
+    /// An empty grouped filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register factor `id`: `attribute <op> constant`. Errors if `id` is
+    /// already present.
+    pub fn insert(&mut self, id: FactorId, op: CmpOp, constant: Value) -> Result<()> {
+        if self.registered.contains_key(&id) {
+            return Err(TcqError::Capacity(format!(
+                "factor {id} already registered in grouped filter"
+            )));
+        }
+        match op {
+            CmpOp::Eq => self.eq.entry(constant.clone()).or_default().insert(id),
+            CmpOp::Ne => {
+                self.ne.entry(constant.clone()).or_default().insert(id);
+                self.ne_all.insert(id);
+            }
+            CmpOp::Gt | CmpOp::Ge => {
+                let e = RangeEntry { constant: constant.clone(), strict: op == CmpOp::Gt, factor: id };
+                let pos = self
+                    .gt
+                    .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
+                self.gt.insert(pos, e);
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                let e = RangeEntry { constant: constant.clone(), strict: op == CmpOp::Lt, factor: id };
+                let pos = self
+                    .lt
+                    .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
+                self.lt.insert(pos, e);
+            }
+        }
+        self.owners.insert(id);
+        self.registered.insert(id, (op, constant));
+        Ok(())
+    }
+
+    /// Remove factor `id`; no-op if absent.
+    pub fn remove(&mut self, id: FactorId) {
+        let Some((op, constant)) = self.registered.remove(&id) else {
+            return;
+        };
+        self.owners.remove(id);
+        match op {
+            CmpOp::Eq => {
+                if let Some(set) = self.eq.get_mut(&constant) {
+                    set.remove(id);
+                    if set.is_empty() {
+                        self.eq.remove(&constant);
+                    }
+                }
+            }
+            CmpOp::Ne => {
+                self.ne_all.remove(id);
+                if let Some(set) = self.ne.get_mut(&constant) {
+                    set.remove(id);
+                    if set.is_empty() {
+                        self.ne.remove(&constant);
+                    }
+                }
+            }
+            CmpOp::Gt | CmpOp::Ge => self.gt.retain(|e| e.factor != id),
+            CmpOp::Lt | CmpOp::Le => self.lt.retain(|e| e.factor != id),
+        }
+    }
+
+    /// All factors registered here.
+    pub fn owners(&self) -> &BitSet {
+        &self.owners
+    }
+
+    /// Number of registered factors.
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// True when no factor is registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// Probe with an attribute value: union into `out` the ids of every
+    /// factor the value satisfies. A NULL probe satisfies nothing (SQL
+    /// three-valued logic).
+    pub fn eval(&self, value: &Value, out: &mut BitSet) {
+        if value.is_null() {
+            return;
+        }
+        if let Some(set) = self.eq.get(value) {
+            out.union_with(set);
+        }
+        if !self.ne_all.is_empty() {
+            match self.ne.get(value) {
+                Some(excepted) => {
+                    let mut satisfied = self.ne_all.clone();
+                    satisfied.difference_with(excepted);
+                    out.union_with(&satisfied);
+                }
+                None => out.union_with(&self.ne_all),
+            }
+        }
+        // value > c (strict) or value >= c: all entries with c < value, plus
+        // entries with c == value that are inclusive.
+        let upper = self
+            .gt
+            .partition_point(|e| e.constant.total_cmp(value).is_lt());
+        for e in &self.gt[..upper] {
+            out.insert(e.factor);
+        }
+        for e in &self.gt[upper..] {
+            if e.constant.total_cmp(value).is_gt() {
+                break;
+            }
+            if !e.strict {
+                out.insert(e.factor);
+            }
+        }
+        // value < c (strict) or value <= c: all entries with c > value, plus
+        // inclusive entries with c == value.
+        let lower = self
+            .lt
+            .partition_point(|e| e.constant.total_cmp(value).is_le());
+        for e in &self.lt[lower..] {
+            out.insert(e.factor);
+        }
+        // Walk the equal run backwards from `lower`.
+        for e in self.lt[..lower].iter().rev() {
+            if e.constant.total_cmp(value).is_lt() {
+                break;
+            }
+            if !e.strict {
+                out.insert(e.factor);
+            }
+        }
+    }
+
+    /// Convenience: probe and collect into a fresh set.
+    pub fn eval_collect(&self, value: &Value) -> BitSet {
+        let mut out = BitSet::new();
+        self.eval(value, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with(factors: &[(FactorId, CmpOp, Value)]) -> GroupedFilter {
+        let mut f = GroupedFilter::new();
+        for (id, op, v) in factors {
+            f.insert(*id, *op, v.clone()).unwrap();
+        }
+        f
+    }
+
+    /// Reference implementation: evaluate each factor directly.
+    fn naive(factors: &[(FactorId, CmpOp, Value)], v: &Value) -> BitSet {
+        let mut out = BitSet::new();
+        for (id, op, c) in factors {
+            if let Ok(Some(ord)) = v.sql_cmp(c) {
+                if op.matches(ord) {
+                    out.insert(*id);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn equality_factors() {
+        let f = filter_with(&[
+            (0, CmpOp::Eq, Value::str("MSFT")),
+            (1, CmpOp::Eq, Value::str("IBM")),
+            (2, CmpOp::Eq, Value::str("MSFT")),
+        ]);
+        let got = f.eval_collect(&Value::str("MSFT"));
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(f.eval_collect(&Value::str("ORCL")).is_empty());
+    }
+
+    #[test]
+    fn inequality_factors_match_unless_excepted() {
+        let f = filter_with(&[
+            (0, CmpOp::Ne, Value::Int(5)),
+            (1, CmpOp::Ne, Value::Int(7)),
+        ]);
+        assert_eq!(f.eval_collect(&Value::Int(5)).iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(f.eval_collect(&Value::Int(6)).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn range_factors_strict_and_inclusive() {
+        let f = filter_with(&[
+            (0, CmpOp::Gt, Value::Float(50.0)),
+            (1, CmpOp::Ge, Value::Float(50.0)),
+            (2, CmpOp::Lt, Value::Float(50.0)),
+            (3, CmpOp::Le, Value::Float(50.0)),
+        ]);
+        assert_eq!(
+            f.eval_collect(&Value::Float(50.0)).iter().collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(
+            f.eval_collect(&Value::Float(51.0)).iter().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            f.eval_collect(&Value::Float(49.0)).iter().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn null_probe_satisfies_nothing() {
+        let f = filter_with(&[
+            (0, CmpOp::Ne, Value::Int(5)),
+            (1, CmpOp::Gt, Value::Int(0)),
+            (2, CmpOp::Eq, Value::Null),
+        ]);
+        assert!(f.eval_collect(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn removal_unregisters() {
+        let factors = [
+            (0, CmpOp::Gt, Value::Int(10)),
+            (1, CmpOp::Gt, Value::Int(20)),
+            (2, CmpOp::Eq, Value::Int(30)),
+            (3, CmpOp::Ne, Value::Int(30)),
+        ];
+        let mut f = filter_with(&factors);
+        assert_eq!(f.len(), 4);
+        f.remove(1);
+        f.remove(3);
+        assert_eq!(f.len(), 2);
+        let got = f.eval_collect(&Value::Int(30));
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![0, 2]);
+        // Double-remove is a no-op.
+        f.remove(1);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_factor_id_rejected() {
+        let mut f = GroupedFilter::new();
+        f.insert(0, CmpOp::Eq, Value::Int(1)).unwrap();
+        assert!(f.insert(0, CmpOp::Gt, Value::Int(2)).is_err());
+    }
+
+    #[test]
+    fn mixed_int_float_constants_compare_numerically() {
+        let f = filter_with(&[
+            (0, CmpOp::Gt, Value::Int(50)),
+            (1, CmpOp::Gt, Value::Float(49.5)),
+        ]);
+        let got = f.eval_collect(&Value::Float(49.8));
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_dense_grid() {
+        // All ops × constants 0..10 against probes -1..11 — exhaustive
+        // agreement with per-factor evaluation.
+        let mut factors = Vec::new();
+        let mut id = 0;
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for c in 0..10i64 {
+                factors.push((id, op, Value::Int(c)));
+                id += 1;
+            }
+        }
+        let f = filter_with(&factors);
+        for probe in -1..=11i64 {
+            let v = Value::Int(probe);
+            assert_eq!(
+                f.eval_collect(&v),
+                naive(&factors, &v),
+                "disagreement at probe {probe}"
+            );
+        }
+    }
+}

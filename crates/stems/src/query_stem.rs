@@ -1,0 +1,338 @@
+//! The Query SteM (PSoup, §3.2).
+//!
+//! > "It does this by indexing queries into a query SteM, which can be
+//! > thought of as a generalization of the notion of a grouped filter."
+//!
+//! A [`QueryStem`] stores the SELECT-FROM-WHERE predicates of standing
+//! queries over one stream schema. Each query's predicate is decomposed
+//! into boolean factors; single-column factors go into per-column
+//! [`GroupedFilter`]s, anything else becomes a *residual* predicate
+//! evaluated only for queries that survived the indexed factors. Probing a
+//! tuple returns the exact set of satisfied query ids.
+
+use std::collections::HashMap;
+
+use tcq_common::{BitSet, BoundExpr, Expr, Result, SchemaRef, TcqError, Tuple};
+
+use crate::grouped_filter::{FactorId, GroupedFilter};
+
+/// Identifies a standing query in a [`QueryStem`].
+pub type QueryId = usize;
+
+struct QueryEntry {
+    /// Factor ids this query owns (for removal).
+    factors: Vec<FactorId>,
+    /// Residual conjuncts not indexable by grouped filters.
+    residual: Vec<BoundExpr>,
+}
+
+/// An index over standing queries: probe with a tuple, get satisfied queries.
+pub struct QueryStem {
+    schema: SchemaRef,
+    /// One grouped filter per referenced column.
+    filters: HashMap<usize, GroupedFilter>,
+    /// factor id -> owning query.
+    factor_owner: Vec<QueryId>,
+    /// Recycled factor ids.
+    free_factors: Vec<FactorId>,
+    queries: HashMap<QueryId, QueryEntry>,
+    all_queries: BitSet,
+    /// Queries with at least one residual conjunct.
+    has_residual: BitSet,
+}
+
+impl QueryStem {
+    /// An empty query SteM over tuples of `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        QueryStem {
+            schema,
+            filters: HashMap::new(),
+            factor_owner: Vec::new(),
+            free_factors: Vec::new(),
+            queries: HashMap::new(),
+            all_queries: BitSet::new(),
+            has_residual: BitSet::new(),
+        }
+    }
+
+    /// The stream schema queries are registered against.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Register query `id` with predicate `pred` (`None` = no WHERE clause,
+    /// matches everything). Errors if `id` is taken or the predicate does
+    /// not bind against the schema.
+    pub fn insert_query(&mut self, id: QueryId, pred: Option<&Expr>) -> Result<()> {
+        if self.queries.contains_key(&id) {
+            return Err(TcqError::Capacity(format!("query {id} already registered")));
+        }
+        let mut entry = QueryEntry { factors: Vec::new(), residual: Vec::new() };
+        if let Some(pred) = pred {
+            for factor in pred.conjuncts() {
+                match factor.as_single_column_factor() {
+                    Some((qual, name, op, constant)) if !constant.is_null() => {
+                        let col = self.schema.index_of(qual, name)?;
+                        let fid = self.alloc_factor(id);
+                        self.filters
+                            .entry(col)
+                            .or_default()
+                            .insert(fid, op, constant.clone())
+                            .expect("fresh factor id cannot collide");
+                        entry.factors.push(fid);
+                    }
+                    _ => {
+                        entry.residual.push(factor.bind(&self.schema)?);
+                    }
+                }
+            }
+        }
+        if !entry.residual.is_empty() {
+            self.has_residual.insert(id);
+        }
+        self.queries.insert(id, entry);
+        self.all_queries.insert(id);
+        Ok(())
+    }
+
+    /// Remove query `id`; errors if unknown.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        let entry = self
+            .queries
+            .remove(&id)
+            .ok_or_else(|| TcqError::Executor(format!("query {id} not registered")))?;
+        for fid in entry.factors {
+            for filter in self.filters.values_mut() {
+                filter.remove(fid);
+            }
+            self.free_factors.push(fid);
+        }
+        self.filters.retain(|_, f| !f.is_empty());
+        self.all_queries.remove(id);
+        self.has_residual.remove(id);
+        Ok(())
+    }
+
+    /// Number of standing queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Probe: the exact set of queries `tuple` satisfies.
+    ///
+    /// One pass over the per-column grouped filters kills every query owning
+    /// an unsatisfied indexed factor; residual predicates are then evaluated
+    /// only for surviving queries that have them.
+    pub fn matching(&self, tuple: &Tuple) -> Result<BitSet> {
+        let mut alive = self.all_queries.clone();
+        for (&col, filter) in &self.filters {
+            let satisfied = filter.eval_collect(tuple.value(col));
+            // Factors registered here but not satisfied kill their owners.
+            let mut unsat = filter.owners().clone();
+            unsat.difference_with(&satisfied);
+            for fid in unsat.iter() {
+                alive.remove(self.factor_owner[fid]);
+            }
+        }
+        if self.has_residual.intersects(&alive) {
+            let mut to_kill = Vec::new();
+            for qid in alive.iter() {
+                if !self.has_residual.contains(qid) {
+                    continue;
+                }
+                let entry = &self.queries[&qid];
+                for pred in &entry.residual {
+                    if !pred.eval_pred(tuple)? {
+                        to_kill.push(qid);
+                        break;
+                    }
+                }
+            }
+            for qid in to_kill {
+                alive.remove(qid);
+            }
+        }
+        Ok(alive)
+    }
+
+    fn alloc_factor(&mut self, owner: QueryId) -> FactorId {
+        match self.free_factors.pop() {
+            Some(fid) => {
+                self.factor_owner[fid] = owner;
+                fid
+            }
+            None => {
+                self.factor_owner.push(owner);
+                self.factor_owner.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{CmpOp, DataType, Field, Schema, Timestamp, TupleBuilder, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "ClosingStockPrices",
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn tick(ts: i64, sym: &str, price: f64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(ts)
+            .push(sym)
+            .push(price)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    fn msft_over(price: f64) -> Expr {
+        Expr::col("stockSymbol")
+            .cmp(CmpOp::Eq, Expr::lit("MSFT"))
+            .and(Expr::col("closingPrice").cmp(CmpOp::Gt, Expr::lit(price)))
+    }
+
+    #[test]
+    fn multi_query_matching() {
+        let mut qs = QueryStem::new(schema());
+        qs.insert_query(0, Some(&msft_over(50.0))).unwrap();
+        qs.insert_query(1, Some(&msft_over(60.0))).unwrap();
+        qs.insert_query(
+            2,
+            Some(&Expr::col("stockSymbol").cmp(CmpOp::Eq, Expr::lit("IBM"))),
+        )
+        .unwrap();
+        qs.insert_query(3, None).unwrap(); // match-all
+
+        let m = qs.matching(&tick(1, "MSFT", 55.0)).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+        let m = qs.matching(&tick(2, "MSFT", 65.0)).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        let m = qs.matching(&tick(3, "IBM", 10.0)).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn two_factors_on_same_column_both_required() {
+        // price > 10 AND price < 20: both factors land in the same grouped
+        // filter; the query must match only when BOTH hold.
+        let mut qs = QueryStem::new(schema());
+        let pred = Expr::col("closingPrice")
+            .cmp(CmpOp::Gt, Expr::lit(10.0))
+            .and(Expr::col("closingPrice").cmp(CmpOp::Lt, Expr::lit(20.0)));
+        qs.insert_query(0, Some(&pred)).unwrap();
+        assert!(qs.matching(&tick(1, "X", 15.0)).unwrap().contains(0));
+        assert!(!qs.matching(&tick(1, "X", 25.0)).unwrap().contains(0));
+        assert!(!qs.matching(&tick(1, "X", 5.0)).unwrap().contains(0));
+    }
+
+    #[test]
+    fn residual_predicates_evaluated_for_survivors() {
+        let mut qs = QueryStem::new(schema());
+        // timestamp * 2 > closingPrice is not single-column -> residual.
+        let residual = Expr::Arith {
+            op: tcq_common::ArithOp::Mul,
+            lhs: Box::new(Expr::col("timestamp")),
+            rhs: Box::new(Expr::lit(2i64)),
+        }
+        .cmp(CmpOp::Gt, Expr::col("closingPrice"));
+        let pred = Expr::col("stockSymbol")
+            .cmp(CmpOp::Eq, Expr::lit("MSFT"))
+            .and(residual);
+        qs.insert_query(0, Some(&pred)).unwrap();
+        assert!(qs.matching(&tick(100, "MSFT", 150.0)).unwrap().contains(0));
+        assert!(!qs.matching(&tick(10, "MSFT", 150.0)).unwrap().contains(0));
+        // indexed factor fails -> residual never matters
+        assert!(!qs.matching(&tick(100, "IBM", 150.0)).unwrap().contains(0));
+    }
+
+    #[test]
+    fn remove_query_and_id_reuse() {
+        let mut qs = QueryStem::new(schema());
+        qs.insert_query(0, Some(&msft_over(50.0))).unwrap();
+        qs.insert_query(1, Some(&msft_over(10.0))).unwrap();
+        qs.remove_query(0).unwrap();
+        assert_eq!(qs.len(), 1);
+        let m = qs.matching(&tick(1, "MSFT", 60.0)).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1]);
+        // Re-register id 0 with a different predicate; recycled factor ids
+        // must not leak old ownership.
+        qs.insert_query(0, Some(&Expr::col("stockSymbol").cmp(CmpOp::Eq, Expr::lit("ORCL"))))
+            .unwrap();
+        let m = qs.matching(&tick(1, "ORCL", 60.0)).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0]);
+        assert!(qs.remove_query(7).is_err());
+    }
+
+    #[test]
+    fn duplicate_query_id_rejected() {
+        let mut qs = QueryStem::new(schema());
+        qs.insert_query(0, None).unwrap();
+        assert!(qs.insert_query(0, None).is_err());
+    }
+
+    #[test]
+    fn unknown_column_in_predicate_rejected() {
+        let mut qs = QueryStem::new(schema());
+        let pred = Expr::col("volume").cmp(CmpOp::Gt, Expr::lit(0i64));
+        assert!(qs.insert_query(0, Some(&pred)).is_err());
+    }
+
+    #[test]
+    fn null_attribute_kills_indexed_queries() {
+        let s = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        let mut qs = QueryStem::new(s.clone());
+        qs.insert_query(0, Some(&Expr::col("x").cmp(CmpOp::Ne, Expr::lit(5i64))))
+            .unwrap();
+        qs.insert_query(1, None).unwrap();
+        let t = Tuple::new(s, vec![Value::Null], Timestamp::unknown()).unwrap();
+        let m = qs.matching(&t).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn agrees_with_naive_evaluation_randomized() {
+        use rand::Rng;
+        let mut rng = tcq_common::rng::seeded(0xBEEF);
+        let mut qs = QueryStem::new(schema());
+        let mut preds = Vec::new();
+        let syms = ["MSFT", "IBM", "ORCL"];
+        for id in 0..64 {
+            let sym = syms[rng.gen_range(0..3)];
+            let lo = rng.gen_range(0.0..50.0);
+            let hi = lo + rng.gen_range(0.0..50.0);
+            let pred = Expr::col("stockSymbol")
+                .cmp(CmpOp::Eq, Expr::lit(sym))
+                .and(Expr::col("closingPrice").cmp(CmpOp::Ge, Expr::lit(lo)))
+                .and(Expr::col("closingPrice").cmp(CmpOp::Le, Expr::lit(hi)));
+            qs.insert_query(id, Some(&pred)).unwrap();
+            preds.push(pred.bind(&schema()).unwrap());
+        }
+        for i in 0..500 {
+            let t = tick(i, syms[rng.gen_range(0..3)], rng.gen_range(0.0..100.0));
+            let fast = qs.matching(&t).unwrap();
+            let slow: BitSet = preds
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.eval_pred(&t).unwrap())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, slow, "mismatch on tuple {t:?}");
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The SteM: a temporary, indexed repository of homogeneous tuples.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use tcq_common::{Result, TcqError, SchemaRef, Tuple, Value};
+
+/// Which index a SteM maintains on its key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) equality probes (symmetric hash join, Figure 2).
+    Hash,
+    /// Ordered index: supports range probes (temporal band joins, §4.1.1
+    /// example 4) in addition to equality probes.
+    Ordered,
+    /// Both indexes maintained.
+    Both,
+}
+
+impl IndexKind {
+    fn has_hash(self) -> bool {
+        matches!(self, IndexKind::Hash | IndexKind::Both)
+    }
+    fn has_ordered(self) -> bool {
+        matches!(self, IndexKind::Ordered | IndexKind::Both)
+    }
+}
+
+/// Wrapper giving [`Value`] the total order needed for `BTreeMap` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OrdValue(Value);
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A State Module: build / probe / evict over homogeneous tuples.
+///
+/// Eviction is timestamp-ordered: sliding windows call
+/// [`SteM::evict_before_seq`] as the window's trailing edge advances, which
+/// is how TelegraphCQ bounds the state of joins over infinite streams.
+pub struct SteM {
+    name: String,
+    schema: SchemaRef,
+    key_col: usize,
+    kind: IndexKind,
+    /// Slot-addressed storage; `None` marks an evicted slot.
+    slots: Vec<Option<Tuple>>,
+    hash: HashMap<Value, Vec<u32>>,
+    ordered: BTreeMap<OrdValue, Vec<u32>>,
+    /// (logical timestamp, slot) in arrival order, for eviction.
+    arrival: VecDeque<(i64, u32)>,
+    live: usize,
+    /// Counters for adaptive routing policies and experiments.
+    builds: u64,
+    probes: u64,
+    matches: u64,
+}
+
+impl SteM {
+    /// Create a SteM over `schema`, indexed on column `key_col`.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        key_col: usize,
+        kind: IndexKind,
+    ) -> Result<Self> {
+        if key_col >= schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "key column {key_col} out of range for schema {schema}"
+            )));
+        }
+        Ok(SteM {
+            name: name.into(),
+            schema,
+            key_col,
+            kind,
+            slots: Vec::new(),
+            hash: HashMap::new(),
+            ordered: BTreeMap::new(),
+            arrival: VecDeque::new(),
+            live: 0,
+            builds: 0,
+            probes: 0,
+            matches: 0,
+        })
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema of stored tuples.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The indexed column.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Insert (build) a tuple.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "SteM {} expects arity {}, got {}",
+                self.name,
+                self.schema.len(),
+                tuple.arity()
+            )));
+        }
+        let key = tuple.value(self.key_col).clone();
+        let seq = tuple.timestamp().seq();
+        let slot = self.slots.len() as u32;
+        self.slots.push(Some(tuple));
+        if self.kind.has_hash() {
+            self.hash.entry(key.clone()).or_default().push(slot);
+        }
+        if self.kind.has_ordered() {
+            self.ordered.entry(OrdValue(key)).or_default().push(slot);
+        }
+        // Keep the eviction index sorted by timestamp. Streams deliver in
+        // timestamp order (O(1) append); out-of-order inserts (e.g. state
+        // absorbed from a Flux peer) pay a positional insert.
+        if self.arrival.back().is_some_and(|&(last, _)| last > seq) {
+            let pos = self.arrival.partition_point(|&(s, _)| s <= seq);
+            self.arrival.insert(pos, (seq, slot));
+        } else {
+            self.arrival.push_back((seq, slot));
+        }
+        self.live += 1;
+        self.builds += 1;
+        Ok(())
+    }
+
+    /// Probe for tuples whose key equals `key`, appending matches to `out`.
+    /// Returns the number of matches.
+    pub fn probe_eq(&mut self, key: &Value, out: &mut Vec<Tuple>) -> usize {
+        self.probes += 1;
+        let mut n = 0;
+        if self.kind.has_hash() {
+            if let Some(slots) = self.hash.get(key) {
+                for &s in slots {
+                    if let Some(t) = &self.slots[s as usize] {
+                        out.push(t.clone());
+                        n += 1;
+                    }
+                }
+            }
+        } else if let Some(slots) = self.ordered.get(&OrdValue(key.clone())) {
+            for &s in slots {
+                if let Some(t) = &self.slots[s as usize] {
+                    out.push(t.clone());
+                    n += 1;
+                }
+            }
+        }
+        self.matches += n as u64;
+        n
+    }
+
+    /// Probe for tuples whose key lies in `[lo, hi]` (inclusive), appending
+    /// matches to `out`. Requires an ordered index.
+    pub fn probe_range(&mut self, lo: &Value, hi: &Value, out: &mut Vec<Tuple>) -> Result<usize> {
+        if !self.kind.has_ordered() {
+            return Err(TcqError::Executor(format!(
+                "SteM {} has no ordered index for range probes",
+                self.name
+            )));
+        }
+        self.probes += 1;
+        let mut n = 0;
+        let range = self.ordered.range(OrdValue(lo.clone())..=OrdValue(hi.clone()));
+        for (_, slots) in range {
+            for &s in slots {
+                if let Some(t) = &self.slots[s as usize] {
+                    out.push(t.clone());
+                    n += 1;
+                }
+            }
+        }
+        self.matches += n as u64;
+        Ok(n)
+    }
+
+    /// Iterate over all live tuples (used for residual predicates the
+    /// indexes cannot answer, and by Flux state movement).
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Evict every tuple with logical timestamp `< seq` (the trailing edge
+    /// of a sliding window). Returns the number evicted.
+    pub fn evict_before_seq(&mut self, seq: i64) -> usize {
+        let mut evicted = 0;
+        while let Some(&(ts, slot)) = self.arrival.front() {
+            if ts >= seq {
+                break;
+            }
+            self.arrival.pop_front();
+            if let Some(t) = self.slots[slot as usize].take() {
+                let key = t.value(self.key_col);
+                if self.kind.has_hash() {
+                    if let Some(slots) = self.hash.get_mut(key) {
+                        slots.retain(|&s| s != slot);
+                        if slots.is_empty() {
+                            self.hash.remove(key);
+                        }
+                    }
+                }
+                if self.kind.has_ordered() {
+                    let ok = OrdValue(key.clone());
+                    if let Some(slots) = self.ordered.get_mut(&ok) {
+                        slots.retain(|&s| s != slot);
+                        if slots.is_empty() {
+                            self.ordered.remove(&ok);
+                        }
+                    }
+                }
+                self.live -= 1;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Drain all tuples out (Flux state movement: the whole partition moves
+    /// to another node). Leaves the SteM empty but reusable.
+    pub fn drain_all(&mut self) -> Vec<Tuple> {
+        let out: Vec<Tuple> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        self.hash.clear();
+        self.ordered.clear();
+        self.arrival.clear();
+        self.slots.clear();
+        self.live = 0;
+        out
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live tuple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// (builds, probes, matches) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.builds, self.probes, self.matches)
+    }
+
+    /// Reclaim slot storage when most slots are evicted. Called
+    /// opportunistically by long-running joins; invalidates nothing callers
+    /// can observe (slots are private).
+    pub fn compact(&mut self) {
+        if self.slots.len() < 64 || self.live * 2 > self.slots.len() {
+            return;
+        }
+        let old_slots = std::mem::take(&mut self.slots);
+        self.hash.clear();
+        self.ordered.clear();
+        let mut old_arrival = std::mem::take(&mut self.arrival);
+        // Rebuild in arrival order to preserve eviction semantics.
+        let mut remap: HashMap<u32, Tuple> = HashMap::new();
+        for (slot, t) in old_slots.into_iter().enumerate() {
+            if let Some(t) = t {
+                remap.insert(slot as u32, t);
+            }
+        }
+        self.live = 0;
+        let builds = self.builds; // insert() increments; restore after
+        while let Some((_, slot)) = old_arrival.pop_front() {
+            if let Some(t) = remap.remove(&slot) {
+                // insert cannot fail: tuples came from this SteM
+                let _ = self.insert(t);
+            }
+        }
+        self.builds = builds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)],
+        )
+        .into_ref()
+    }
+
+    fn t(k: i64, v: &str, ts: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(k)
+            .push(v)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_probe_eq() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        stem.insert(t(1, "a", 1)).unwrap();
+        stem.insert(t(2, "b", 2)).unwrap();
+        stem.insert(t(1, "c", 3)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(stem.probe_eq(&Value::Int(1), &mut out), 2);
+        assert_eq!(stem.probe_eq(&Value::Int(9), &mut out), 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stem.counters(), (3, 2, 2));
+    }
+
+    #[test]
+    fn range_probe_needs_ordered_index() {
+        let mut hash_only = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        let mut out = Vec::new();
+        assert!(hash_only
+            .probe_range(&Value::Int(0), &Value::Int(5), &mut out)
+            .is_err());
+
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Ordered).unwrap();
+        for k in 0..10 {
+            stem.insert(t(k, "x", k)).unwrap();
+        }
+        let n = stem
+            .probe_range(&Value::Int(3), &Value::Int(6), &mut out)
+            .unwrap();
+        assert_eq!(n, 4);
+        let mut keys: Vec<i64> = out.iter().map(|t| t.value(0).as_int().unwrap()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ordered_index_answers_eq_probes_too() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Ordered).unwrap();
+        stem.insert(t(5, "x", 1)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(stem.probe_eq(&Value::Int(5), &mut out), 1);
+    }
+
+    #[test]
+    fn eviction_respects_window_edge() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Both).unwrap();
+        for ts in 1..=10 {
+            stem.insert(t(ts % 3, "x", ts)).unwrap();
+        }
+        assert_eq!(stem.len(), 10);
+        // Slide window: keep ts >= 6.
+        assert_eq!(stem.evict_before_seq(6), 5);
+        assert_eq!(stem.len(), 5);
+        // Probes no longer see evicted tuples in either index.
+        let mut out = Vec::new();
+        stem.probe_eq(&Value::Int(0), &mut out);
+        assert!(out.iter().all(|t| t.timestamp().seq() >= 6));
+        out.clear();
+        stem.probe_range(&Value::Int(0), &Value::Int(2), &mut out).unwrap();
+        assert!(out.iter().all(|t| t.timestamp().seq() >= 6));
+        // Idempotent.
+        assert_eq!(stem.evict_before_seq(6), 0);
+    }
+
+    #[test]
+    fn drain_all_for_state_movement() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        for ts in 1..=4 {
+            stem.insert(t(ts, "x", ts)).unwrap();
+        }
+        let moved = stem.drain_all();
+        assert_eq!(moved.len(), 4);
+        assert!(stem.is_empty());
+        // Reusable after drain.
+        stem.insert(t(9, "y", 9)).unwrap();
+        assert_eq!(stem.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        let other = Schema::new(vec![Field::new("z", DataType::Int)]).into_ref();
+        let bad = TupleBuilder::new(other).push(1i64).build().unwrap();
+        assert!(stem.insert(bad).is_err());
+    }
+
+    #[test]
+    fn key_col_out_of_range_rejected() {
+        assert!(SteM::new("S", schema(), 7, IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn compact_preserves_contents_and_eviction_order() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Both).unwrap();
+        for ts in 1..=100 {
+            stem.insert(t(ts % 5, "x", ts)).unwrap();
+        }
+        stem.evict_before_seq(80);
+        assert_eq!(stem.len(), 21);
+        stem.compact();
+        assert_eq!(stem.len(), 21);
+        let mut out = Vec::new();
+        stem.probe_eq(&Value::Int(0), &mut out);
+        assert!(out.iter().all(|t| t.timestamp().seq() >= 80));
+        // Eviction still works post-compaction.
+        assert_eq!(stem.evict_before_seq(90), 10);
+        assert_eq!(stem.len(), 11);
+    }
+
+    #[test]
+    fn scan_sees_only_live() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        for ts in 1..=6 {
+            stem.insert(t(ts, "x", ts)).unwrap();
+        }
+        stem.evict_before_seq(4);
+        let seqs: Vec<i64> = stem.scan().map(|t| t.timestamp().seq()).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+    }
+}

@@ -1,0 +1,368 @@
+//! The stream archive: append-only page-structured history of one stream.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tcq_common::{Result, SchemaRef, TcqError, Tuple};
+
+use crate::codec::{decode_tuple, encode_tuple};
+use crate::pool::BufferPool;
+
+/// Page layout: `[u32 n_records][records...]` padded with zeros to the page
+/// size. Record boundaries are implicit in the codec.
+const PAGE_HEADER: usize = 4;
+
+static NEXT_ARCHIVE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Metadata for one sealed page.
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    min_seq: i64,
+    max_seq: i64,
+    records: u32,
+}
+
+/// Append-only on-disk history of one stream, windowed-readable.
+///
+/// Writes go to an in-memory tail page, sealed (written through the shared
+/// [`BufferPool`]) when full, so disk writes are strictly sequential.
+/// Reads serve window scans: each sealed page records its logical-timestamp
+/// range, and [`StreamArchive::scan_window`] touches only overlapping pages.
+pub struct StreamArchive {
+    id: u64,
+    schema: SchemaRef,
+    pool: BufferPool,
+    path: PathBuf,
+    file: File,
+    pages: Vec<PageMeta>,
+    tail: Vec<u8>,
+    tail_records: u32,
+    tail_min: i64,
+    tail_max: i64,
+    total_records: u64,
+}
+
+impl StreamArchive {
+    /// Create (truncating) an archive at `path` for a stream of `schema`.
+    pub fn create(path: impl AsRef<Path>, schema: SchemaRef, pool: BufferPool) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(StreamArchive {
+            id: NEXT_ARCHIVE_ID.fetch_add(1, Ordering::Relaxed),
+            schema,
+            pool,
+            path,
+            file,
+            pages: Vec::new(),
+            tail: Vec::new(),
+            tail_records: 0,
+            tail_min: i64::MAX,
+            tail_max: i64::MIN,
+            total_records: 0,
+        })
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// File system path of the segment file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one tuple (must carry a logical timestamp; archives are
+    /// ordered by it).
+    pub fn append(&mut self, tuple: &Tuple) -> Result<()> {
+        let seq = tuple
+            .timestamp()
+            .logical
+            .ok_or_else(|| TcqError::Storage("archived tuples need logical timestamps".into()))?;
+        let mut record = Vec::new();
+        encode_tuple(tuple, &mut record);
+        let payload_capacity = self.pool.page_size() - PAGE_HEADER;
+        if record.len() > payload_capacity {
+            return Err(TcqError::Storage(format!(
+                "tuple of {} bytes exceeds page payload of {payload_capacity} bytes",
+                record.len()
+            )));
+        }
+        if self.tail.len() + record.len() > payload_capacity {
+            self.seal_tail()?;
+        }
+        self.tail.extend_from_slice(&record);
+        self.tail_records += 1;
+        self.tail_min = self.tail_min.min(seq);
+        self.tail_max = self.tail_max.max(seq);
+        self.total_records += 1;
+        Ok(())
+    }
+
+    fn seal_tail(&mut self) -> Result<()> {
+        if self.tail_records == 0 {
+            return Ok(());
+        }
+        let mut page = Vec::with_capacity(self.pool.page_size());
+        page.extend_from_slice(&self.tail_records.to_le_bytes());
+        page.extend_from_slice(&self.tail);
+        page.resize(self.pool.page_size(), 0);
+        let page_no = self.pages.len() as u64;
+        self.pool.write_page(&mut self.file, (self.id, page_no), page)?;
+        self.pages.push(PageMeta {
+            min_seq: self.tail_min,
+            max_seq: self.tail_max,
+            records: self.tail_records,
+        });
+        self.tail.clear();
+        self.tail_records = 0;
+        self.tail_min = i64::MAX;
+        self.tail_max = i64::MIN;
+        Ok(())
+    }
+
+    /// Force the tail page to disk (e.g. before handing the archive to a
+    /// historical query).
+    pub fn flush(&mut self) -> Result<()> {
+        self.seal_tail()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Total appended tuples.
+    pub fn len(&self) -> u64 {
+        self.total_records
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.total_records == 0
+    }
+
+    /// Sealed pages so far.
+    pub fn sealed_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Scan the window `[left, right]` (inclusive, logical time), appending
+    /// matching tuples to `out` in storage order. Touches only pages whose
+    /// range overlaps the window, plus the in-memory tail.
+    pub fn scan_window(&mut self, left: i64, right: i64, out: &mut Vec<Tuple>) -> Result<usize> {
+        let before = out.len();
+        for page_no in 0..self.pages.len() {
+            let meta = self.pages[page_no];
+            if meta.max_seq < left || meta.min_seq > right {
+                continue;
+            }
+            let data = self.pool.read_page(&mut self.file, (self.id, page_no as u64))?;
+            let n = u32::from_le_bytes(
+                data[..PAGE_HEADER].try_into().expect("page header present"),
+            );
+            if n != meta.records {
+                return Err(TcqError::Storage(format!(
+                    "page {page_no} corrupt: header says {n} records, index says {}",
+                    meta.records
+                )));
+            }
+            let mut slice = &data[PAGE_HEADER..];
+            for _ in 0..n {
+                let t = decode_tuple(&mut slice, &self.schema)?;
+                let seq = t.timestamp().seq();
+                if left <= seq && seq <= right {
+                    out.push(t);
+                }
+            }
+        }
+        // Tail (unsealed) records.
+        if self.tail_records > 0 && self.tail_min <= right && self.tail_max >= left {
+            let mut slice = self.tail.as_slice();
+            for _ in 0..self.tail_records {
+                let t = decode_tuple(&mut slice, &self.schema)?;
+                let seq = t.timestamp().seq();
+                if left <= seq && seq <= right {
+                    out.push(t);
+                }
+            }
+        }
+        Ok(out.len() - before)
+    }
+}
+
+impl Drop for StreamArchive {
+    fn drop(&mut self) {
+        let _ = self.seal_tail();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("seq", DataType::Int),
+                Field::new("payload", DataType::Str),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn tuple(seq: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(seq)
+            .push(format!("payload-{seq}"))
+            .at(Timestamp::logical(seq))
+            .build()
+            .unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tcq-archive-{tag}-{}-{n}.seg", std::process::id()))
+    }
+
+    #[test]
+    fn spool_and_scan_roundtrip() {
+        let pool = BufferPool::new(8, 512);
+        let path = temp_path("roundtrip");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        for seq in 1..=500 {
+            a.append(&tuple(seq)).unwrap();
+        }
+        assert_eq!(a.len(), 500);
+        assert!(a.sealed_pages() > 1, "should spill to multiple pages");
+
+        let mut out = Vec::new();
+        let n = a.scan_window(100, 150, &mut out).unwrap();
+        assert_eq!(n, 51);
+        let seqs: Vec<i64> = out.iter().map(|t| t.timestamp().seq()).collect();
+        assert_eq!(seqs, (100..=150).collect::<Vec<_>>());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_includes_unsealed_tail() {
+        let pool = BufferPool::new(8, 4096);
+        let path = temp_path("tail");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        for seq in 1..=10 {
+            a.append(&tuple(seq)).unwrap();
+        }
+        assert_eq!(a.sealed_pages(), 0, "everything still in the tail");
+        let mut out = Vec::new();
+        assert_eq!(a.scan_window(5, 20, &mut out).unwrap(), 6);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn windowed_scan_skips_unrelated_pages() {
+        // Small pool so cold reads are visible; page range pruning means a
+        // narrow window reads only 1-2 pages.
+        let pool = BufferPool::new(2, 512);
+        let path = temp_path("prune");
+        let mut a = StreamArchive::create(&path, schema(), pool.clone()).unwrap();
+        for seq in 1..=2000 {
+            a.append(&tuple(seq)).unwrap();
+        }
+        a.flush().unwrap();
+        pool.clear();
+        let before = pool.stats().misses;
+        let mut out = Vec::new();
+        a.scan_window(1000, 1005, &mut out).unwrap();
+        assert_eq!(out.len(), 6);
+        let touched = pool.stats().misses - before;
+        assert!(
+            touched <= 2,
+            "narrow window should touch at most 2 pages, touched {touched}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn backward_windows_replay_history() {
+        // The browsing pattern of §4.1: windows moving backward from now.
+        let pool = BufferPool::new(4, 512);
+        let path = temp_path("backward");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        for seq in 1..=100 {
+            a.append(&tuple(seq)).unwrap();
+        }
+        for (l, r) in [(91, 100), (81, 90), (71, 80)] {
+            let mut out = Vec::new();
+            assert_eq!(a.scan_window(l, r, &mut out).unwrap(), 10);
+            assert!(out.iter().all(|t| {
+                let s = t.timestamp().seq();
+                l <= s && s <= r
+            }));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tuple_without_logical_timestamp_rejected() {
+        let pool = BufferPool::new(2, 512);
+        let path = temp_path("nots");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        let t = TupleBuilder::new(schema())
+            .push(1i64)
+            .push("x")
+            .at(Timestamp::physical(5))
+            .build()
+            .unwrap();
+        assert!(a.append(&t).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let pool = BufferPool::new(2, 128);
+        let path = temp_path("big");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        let big = TupleBuilder::new(schema())
+            .push(1i64)
+            .push("y".repeat(1000))
+            .at(Timestamp::logical(1))
+            .build()
+            .unwrap();
+        assert!(a.append(&big).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bounded_memory_via_shared_pool() {
+        // Many archives share one small pool; total cached pages stays at
+        // the pool capacity regardless of data volume.
+        let pool = BufferPool::new(4, 512);
+        let mut archives = Vec::new();
+        let mut paths = Vec::new();
+        for i in 0..4 {
+            let p = temp_path(&format!("multi{i}"));
+            archives.push(StreamArchive::create(&p, schema(), pool.clone()).unwrap());
+            paths.push(p);
+        }
+        for a in &mut archives {
+            for seq in 1..=300 {
+                a.append(&tuple(seq)).unwrap();
+            }
+        }
+        assert!(pool.cached_pages() <= 4);
+        // All archives still readable.
+        for a in &mut archives {
+            let mut out = Vec::new();
+            assert_eq!(a.scan_window(250, 260, &mut out).unwrap(), 11);
+        }
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

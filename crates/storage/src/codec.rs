@@ -1,0 +1,245 @@
+//! Binary tuple codec.
+//!
+//! Schema-aware: the schema travels out of band (one archive stores one
+//! stream), so records carry only a timestamp, an arity, and tagged values.
+
+use bytes::{Buf, BufMut};
+
+use tcq_common::{Result, SchemaRef, TcqError, Timestamp, Tuple, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Append the encoding of `tuple` to `buf`. Returns encoded length.
+pub fn encode_tuple(tuple: &Tuple, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    let ts = tuple.timestamp();
+    let flags: u8 =
+        (ts.logical.is_some() as u8) | ((ts.physical.is_some() as u8) << 1);
+    buf.put_u8(flags);
+    if let Some(l) = ts.logical {
+        buf.put_i64_le(l);
+    }
+    if let Some(p) = ts.physical {
+        buf.put_i64_le(p);
+    }
+    buf.put_u16_le(tuple.arity() as u16);
+    for v in tuple.values() {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(*b as u8);
+            }
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64_le(*f);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+    buf.len() - start
+}
+
+/// Decode one tuple from the front of `buf`, advancing it. The tuple is
+/// rebuilt against `schema` (arity is validated).
+pub fn decode_tuple(buf: &mut &[u8], schema: &SchemaRef) -> Result<Tuple> {
+    if buf.remaining() < 1 {
+        return Err(TcqError::Storage("truncated record: missing flags".into()));
+    }
+    let flags = buf.get_u8();
+    let mut ts = Timestamp::unknown();
+    if flags & 1 != 0 {
+        if buf.remaining() < 8 {
+            return Err(TcqError::Storage("truncated record: logical ts".into()));
+        }
+        ts.logical = Some(buf.get_i64_le());
+    }
+    if flags & 2 != 0 {
+        if buf.remaining() < 8 {
+            return Err(TcqError::Storage("truncated record: physical ts".into()));
+        }
+        ts.physical = Some(buf.get_i64_le());
+    }
+    if buf.remaining() < 2 {
+        return Err(TcqError::Storage("truncated record: arity".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    if arity != schema.len() {
+        return Err(TcqError::SchemaMismatch(format!(
+            "stored arity {arity} != schema arity {}",
+            schema.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        if buf.remaining() < 1 {
+            return Err(TcqError::Storage("truncated record: value tag".into()));
+        }
+        let v = match buf.get_u8() {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => {
+                if buf.remaining() < 1 {
+                    return Err(TcqError::Storage("truncated bool".into()));
+                }
+                Value::Bool(buf.get_u8() != 0)
+            }
+            TAG_INT => {
+                if buf.remaining() < 8 {
+                    return Err(TcqError::Storage("truncated int".into()));
+                }
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_FLOAT => {
+                if buf.remaining() < 8 {
+                    return Err(TcqError::Storage("truncated float".into()));
+                }
+                Value::Float(buf.get_f64_le())
+            }
+            TAG_STR => {
+                if buf.remaining() < 4 {
+                    return Err(TcqError::Storage("truncated string length".into()));
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(TcqError::Storage("truncated string body".into()));
+                }
+                let s = std::str::from_utf8(&buf[..len])
+                    .map_err(|_| TcqError::Storage("invalid utf8 in stored string".into()))?
+                    .to_string();
+                buf.advance(len);
+                Value::Str(s.into())
+            }
+            tag => return Err(TcqError::Storage(format!("unknown value tag {tag}"))),
+        };
+        values.push(v);
+    }
+    Tuple::new(schema.clone(), values, ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field, Schema, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Str),
+                Field::new("c", DataType::Float),
+                Field::new("d", DataType::Bool),
+            ],
+        )
+        .into_ref()
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let t = TupleBuilder::new(schema())
+            .push(-42i64)
+            .push("hello 'world'")
+            .push(2.5)
+            .push(true)
+            .at(Timestamp::both(7, 123456))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        let n = encode_tuple(&t, &mut buf);
+        assert_eq!(n, buf.len());
+        let mut slice = buf.as_slice();
+        let back = decode_tuple(&mut slice, &schema()).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back, t);
+        assert_eq!(back.timestamp(), t.timestamp());
+    }
+
+    #[test]
+    fn roundtrip_nulls_and_unknown_timestamp() {
+        let t = Tuple::new(
+            schema(),
+            vec![Value::Null, Value::Null, Value::Null, Value::Null],
+            Timestamp::unknown(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let back = decode_tuple(&mut buf.as_slice(), &schema()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.timestamp(), Timestamp::unknown());
+    }
+
+    #[test]
+    fn multiple_tuples_stream_decode() {
+        let mut buf = Vec::new();
+        for i in 0..10i64 {
+            let t = TupleBuilder::new(schema())
+                .push(i)
+                .push(format!("s{i}"))
+                .push(i as f64)
+                .push(i % 2 == 0)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap();
+            encode_tuple(&t, &mut buf);
+        }
+        let mut slice = buf.as_slice();
+        for i in 0..10i64 {
+            let t = decode_tuple(&mut slice, &schema()).unwrap();
+            assert_eq!(t.timestamp().seq(), i);
+        }
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let t = TupleBuilder::new(schema())
+            .push(1i64)
+            .push("abc")
+            .push(1.0)
+            .push(false)
+            .at(Timestamp::logical(1))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                decode_tuple(&mut slice, &schema()).is_err(),
+                "cut at {cut} should error"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let narrow = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        let t = TupleBuilder::new(narrow.clone())
+            .push(1i64)
+            .at(Timestamp::logical(1))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        assert!(decode_tuple(&mut buf.as_slice(), &schema()).is_err());
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let buf = vec![0u8, 1, 0, 99]; // flags=0, arity=1, tag=99
+        assert!(decode_tuple(&mut buf.as_slice(), &Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()).is_err());
+    }
+}

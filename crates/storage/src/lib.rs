@@ -1,0 +1,53 @@
+//! Stream storage: spooling history to disk, reading it back by window.
+//!
+//! §4.2.3/§4.3 of the paper: streamed data is prepared "for materialization
+//! in the buffer pool (and possibly to disk)", and the storage manager must
+//! serve "queries that access historical data" — backward windows, PSoup's
+//! new-query-over-old-data — while absorbing "new bursty streaming data"
+//! with sequential writes.
+//!
+//! The design follows that read/write asymmetry:
+//!
+//! * [`codec`] — a compact binary encoding for tuples (values + timestamps).
+//! * [`StreamArchive`] — an append-only, page-structured segment file per
+//!   stream. Writes are strictly sequential ("a log-structured file system
+//!   would enhance write performance"); each sealed page records its
+//!   logical-timestamp range so windowed reads touch only relevant pages
+//!   (the "broadcast-disk style read behavior" the paper wants).
+//! * [`BufferPool`] — a shared page cache with CLOCK eviction between the
+//!   archives and the disk, with hit/miss counters for the experiments.
+//!
+//! # Example: spool a stream, read a window back
+//!
+//! ```
+//! use tcq_common::{DataType, Field, Schema, Timestamp, TupleBuilder};
+//! use tcq_storage::{BufferPool, StreamArchive};
+//!
+//! let schema = Schema::new(vec![Field::new("v", DataType::Int)]).into_ref();
+//! let pool = BufferPool::new(16, 4096);
+//! let path = std::env::temp_dir().join(format!("tcq-doc-{}.seg", std::process::id()));
+//! let mut archive = StreamArchive::create(&path, schema.clone(), pool).unwrap();
+//!
+//! for seq in 1..=1000i64 {
+//!     let t = TupleBuilder::new(schema.clone())
+//!         .push(seq)
+//!         .at(Timestamp::logical(seq))
+//!         .build()
+//!         .unwrap();
+//!     archive.append(&t).unwrap();
+//! }
+//! let mut window = Vec::new();
+//! archive.scan_window(500, 509, &mut window).unwrap();
+//! assert_eq!(window.len(), 10);
+//! # std::fs::remove_file(path).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod codec;
+pub mod pool;
+
+pub use archive::StreamArchive;
+pub use codec::{decode_tuple, encode_tuple};
+pub use pool::{BufferPool, PoolStats};

@@ -1,0 +1,258 @@
+//! A shared buffer pool with CLOCK eviction.
+//!
+//! The paper (§4.3): "The buffer pool manager must be tuned to both accept
+//! new bursty streaming data, as well as service queries that access
+//! historical data." Archives write sealed pages through the pool and read
+//! historical pages back through it; the pool bounds total memory across
+//! all streams and evicts with a second-chance (CLOCK) policy.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tcq_common::{Result, TcqError};
+
+/// Identifies a page: (archive id, page number).
+pub type PageKey = (u64, u64);
+
+/// Pool statistics for the storage experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Page reads served from memory.
+    pub hits: u64,
+    /// Page reads that went to disk.
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Pages written to disk.
+    pub writes: u64,
+}
+
+struct Frame {
+    key: PageKey,
+    data: Arc<Vec<u8>>,
+    referenced: bool,
+}
+
+struct PoolInner {
+    capacity: usize,
+    frames: Vec<Frame>,
+    by_key: HashMap<PageKey, usize>,
+    clock_hand: usize,
+    stats: PoolStats,
+}
+
+/// A shared page cache. Cloning shares the pool (it is the process-wide
+/// buffer pool of Figure 5's shared-memory infrastructure).
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Mutex<PoolInner>>,
+    page_size: usize,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages of `page_size` bytes.
+    pub fn new(capacity: usize, page_size: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                capacity,
+                frames: Vec::with_capacity(capacity),
+                by_key: HashMap::new(),
+                clock_hand: 0,
+                stats: PoolStats::default(),
+            })),
+            page_size,
+        }
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Write a sealed page through the pool to `file` at the page's offset,
+    /// and cache it.
+    pub fn write_page(&self, file: &mut File, key: PageKey, data: Vec<u8>) -> Result<()> {
+        if data.len() != self.page_size {
+            return Err(TcqError::Storage(format!(
+                "page size {} != pool page size {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        let offset = key.1 * self.page_size as u64;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&data)?;
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        let data = Arc::new(data);
+        Self::install(&mut inner, key, data);
+        Ok(())
+    }
+
+    /// Read a page, through the cache.
+    pub fn read_page(&self, file: &mut File, key: PageKey) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&idx) = inner.by_key.get(&key) {
+                inner.stats.hits += 1;
+                inner.frames[idx].referenced = true;
+                return Ok(Arc::clone(&inner.frames[idx].data));
+            }
+            inner.stats.misses += 1;
+        }
+        // Miss: read outside the lock, then install.
+        let mut data = vec![0u8; self.page_size];
+        let offset = key.1 * self.page_size as u64;
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut data)?;
+        let data = Arc::new(data);
+        let mut inner = self.inner.lock();
+        Self::install(&mut inner, key, Arc::clone(&data));
+        Ok(data)
+    }
+
+    fn install(inner: &mut PoolInner, key: PageKey, data: Arc<Vec<u8>>) {
+        if let Some(&idx) = inner.by_key.get(&key) {
+            inner.frames[idx].data = data;
+            inner.frames[idx].referenced = true;
+            return;
+        }
+        if inner.frames.len() < inner.capacity {
+            inner.frames.push(Frame { key, data, referenced: true });
+            inner.by_key.insert(key, inner.frames.len() - 1);
+            return;
+        }
+        // CLOCK: find a frame with referenced == false, clearing bits as we
+        // sweep. Terminates within two sweeps.
+        loop {
+            let idx = inner.clock_hand;
+            inner.clock_hand = (inner.clock_hand + 1) % inner.frames.len();
+            if inner.frames[idx].referenced {
+                inner.frames[idx].referenced = false;
+            } else {
+                let old = inner.frames[idx].key;
+                inner.by_key.remove(&old);
+                inner.stats.evictions += 1;
+                inner.frames[idx] = Frame { key, data, referenced: true };
+                inner.by_key.insert(key, idx);
+                return;
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Drop every cached page (tests; simulates cold cache).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.by_key.clear();
+        inner.clock_hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file() -> (std::path::PathBuf, File) {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "tcq-pool-test-{}-{n}.dat",
+            std::process::id()
+        ));
+        let file = File::options()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        (path, file)
+    }
+
+    fn page(fill: u8, size: usize) -> Vec<u8> {
+        vec![fill; size]
+    }
+
+    #[test]
+    fn write_then_read_hits_cache() {
+        let pool = BufferPool::new(4, 64);
+        let (path, mut f) = temp_file();
+        pool.write_page(&mut f, (1, 0), page(7, 64)).unwrap();
+        let data = pool.read_page(&mut f, (1, 0)).unwrap();
+        assert_eq!(data[0], 7);
+        let st = pool.stats();
+        assert_eq!((st.hits, st.misses), (1, 0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eviction_and_reread_from_disk() {
+        let pool = BufferPool::new(2, 64);
+        let (path, mut f) = temp_file();
+        for p in 0..4u64 {
+            pool.write_page(&mut f, (1, p), page(p as u8, 64)).unwrap();
+        }
+        assert_eq!(pool.cached_pages(), 2);
+        assert!(pool.stats().evictions >= 2);
+        // Page 0 was evicted; re-read goes to disk and returns the data.
+        let data = pool.read_page(&mut f, (1, 0)).unwrap();
+        assert_eq!(data[0], 0);
+        assert!(pool.stats().misses >= 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let pool = BufferPool::new(2, 64);
+        let (path, mut f) = temp_file();
+        assert!(pool.write_page(&mut f, (1, 0), page(0, 32)).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let pool = BufferPool::new(2, 64);
+        let (path, mut f) = temp_file();
+        pool.write_page(&mut f, (1, 0), page(0, 64)).unwrap();
+        pool.write_page(&mut f, (1, 1), page(1, 64)).unwrap();
+        // Installing page 2 sweeps: clears both reference bits, evicts the
+        // frame the hand lands on second time (page 0). State afterwards:
+        // [page2 referenced, page1 unreferenced].
+        pool.write_page(&mut f, (1, 2), page(2, 64)).unwrap();
+        // Installing page 3 must choose the UNreferenced page 1 and give
+        // the referenced page 2 its second chance.
+        pool.write_page(&mut f, (1, 3), page(3, 64)).unwrap();
+        let before = pool.stats().hits;
+        pool.read_page(&mut f, (1, 2)).unwrap();
+        assert_eq!(pool.stats().hits, before + 1, "referenced page must survive");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_clones_see_same_cache() {
+        let pool = BufferPool::new(4, 64);
+        let pool2 = pool.clone();
+        let (path, mut f) = temp_file();
+        pool.write_page(&mut f, (9, 0), page(9, 64)).unwrap();
+        let d = pool2.read_page(&mut f, (9, 0)).unwrap();
+        assert_eq!(d[0], 9);
+        assert_eq!(pool2.stats().hits, 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,596 @@
+//! The for-loop window specification and its semantics.
+
+use std::fmt;
+
+use tcq_common::{Result, TcqError};
+
+/// A linear expression over the loop variable `t` and the query start time
+/// `ST`: `t_coeff·t + st_coeff·ST + constant`. This covers every window
+/// expression in the paper's examples (`1`, `5`, `101`, `t`, `t - 4`,
+/// `ST + 50`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Coefficient of `t`.
+    pub t_coeff: i64,
+    /// Coefficient of `ST` (query start time).
+    pub st_coeff: i64,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    /// The constant `c`.
+    pub const fn constant(c: i64) -> Self {
+        LinExpr { t_coeff: 0, st_coeff: 0, constant: c }
+    }
+
+    /// The loop variable `t`.
+    pub const fn t() -> Self {
+        LinExpr { t_coeff: 1, st_coeff: 0, constant: 0 }
+    }
+
+    /// `t + off`.
+    pub const fn t_plus(off: i64) -> Self {
+        LinExpr { t_coeff: 1, st_coeff: 0, constant: off }
+    }
+
+    /// The query start time `ST`.
+    pub const fn st() -> Self {
+        LinExpr { t_coeff: 0, st_coeff: 1, constant: 0 }
+    }
+
+    /// `ST + off`.
+    pub const fn st_plus(off: i64) -> Self {
+        LinExpr { t_coeff: 0, st_coeff: 1, constant: off }
+    }
+
+    /// Evaluate at concrete `t` and `st`.
+    pub fn eval(&self, t: i64, st: i64) -> i64 {
+        self.t_coeff * t + self.st_coeff * st + self.constant
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if self.t_coeff != 0 {
+            if self.t_coeff == 1 {
+                write!(f, "t")?;
+            } else {
+                write!(f, "{}*t", self.t_coeff)?;
+            }
+            wrote = true;
+        }
+        if self.st_coeff != 0 {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            if self.st_coeff == 1 {
+                write!(f, "ST")?;
+            } else {
+                write!(f, "{}*ST", self.st_coeff)?;
+            }
+            wrote = true;
+        }
+        if self.constant != 0 || !wrote {
+            if wrote {
+                if self.constant >= 0 {
+                    write!(f, " + {}", self.constant)?;
+                } else {
+                    write!(f, " - {}", -self.constant)?;
+                }
+            } else {
+                write!(f, "{}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The continue-condition operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondOp {
+    /// `t == bound` (the paper's snapshot idiom `t == 0`).
+    Eq,
+    /// `t < bound`.
+    Lt,
+    /// `t <= bound`.
+    Le,
+    /// `t > bound` (backward-moving windows).
+    Gt,
+    /// `t >= bound`.
+    Ge,
+}
+
+/// The loop's continue condition: `t <op> bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Condition {
+    /// Operator.
+    pub op: CondOp,
+    /// Bound expression (may reference ST, not `t`).
+    pub bound: LinExpr,
+}
+
+impl Condition {
+    /// Check at concrete `t`, `st`.
+    pub fn holds(&self, t: i64, st: i64) -> Result<bool> {
+        if self.bound.t_coeff != 0 {
+            return Err(TcqError::InvalidWindow(
+                "continue condition bound must not reference t".into(),
+            ));
+        }
+        let b = self.bound.eval(0, st);
+        Ok(match self.op {
+            CondOp::Eq => t == b,
+            CondOp::Lt => t < b,
+            CondOp::Le => t <= b,
+            CondOp::Gt => t > b,
+            CondOp::Ge => t >= b,
+        })
+    }
+}
+
+/// The loop's per-iteration change to `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// `t += k` (k may be negative: backward windows; the paper: "windows
+    /// can also be defined to move … in the reverse-timestamp direction").
+    Add(i64),
+    /// `t = k` (the paper's snapshot idiom `t = -1`, which falsifies
+    /// `t == 0` after the single iteration).
+    Set(i64),
+}
+
+impl Step {
+    /// Apply to `t`.
+    pub fn apply(&self, t: i64) -> i64 {
+        match self {
+            Step::Add(k) => t + k,
+            Step::Set(k) => *k,
+        }
+    }
+}
+
+/// One `WindowIs(stream, left, right)` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowIs {
+    /// The stream (or alias) this window applies to.
+    pub stream: String,
+    /// Left end, inclusive.
+    pub left: LinExpr,
+    /// Right end, inclusive.
+    pub right: LinExpr,
+}
+
+impl WindowIs {
+    /// Construct.
+    pub fn new(stream: impl Into<String>, left: LinExpr, right: LinExpr) -> Self {
+        WindowIs { stream: stream.into(), left, right }
+    }
+}
+
+/// The for-loop: one per "group of streams that exhibit the same window
+/// transition behavior" (§4.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForLoop {
+    /// Initial value of `t` (may reference ST).
+    pub init: LinExpr,
+    /// Continue condition.
+    pub cond: Condition,
+    /// Per-iteration change.
+    pub step: Step,
+    /// One WindowIs per stream in the group.
+    pub windows: Vec<WindowIs>,
+}
+
+/// One stream's concrete window at one loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowInstance {
+    /// Left end (inclusive).
+    pub left: i64,
+    /// Right end (inclusive).
+    pub right: i64,
+}
+
+impl WindowInstance {
+    /// Does the window contain logical time `seq`?
+    pub fn contains(&self, seq: i64) -> bool {
+        self.left <= seq && seq <= self.right
+    }
+
+    /// Window width in logical time units (0 for an empty window).
+    pub fn width(&self) -> i64 {
+        (self.right - self.left + 1).max(0)
+    }
+}
+
+/// All streams' windows at one loop iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowAssignment {
+    /// The loop variable's value.
+    pub t: i64,
+    /// Per-stream windows, parallel to [`ForLoop::windows`].
+    pub windows: Vec<(String, WindowInstance)>,
+}
+
+impl WindowAssignment {
+    /// The window for a given stream.
+    pub fn window_for(&self, stream: &str) -> Option<WindowInstance> {
+        self.windows
+            .iter()
+            .find(|(s, _)| s.eq_ignore_ascii_case(stream))
+            .map(|(_, w)| *w)
+    }
+
+    /// The largest right end across streams — the stream time at which this
+    /// iteration's answer can be finalized.
+    pub fn close_time(&self) -> i64 {
+        self.windows.iter().map(|(_, w)| w.right).max().unwrap_or(i64::MIN)
+    }
+}
+
+/// Iterator over a for-loop's concrete window assignments.
+pub struct WindowSeq {
+    spec: ForLoop,
+    st: i64,
+    t: i64,
+    done: bool,
+    iterations: u64,
+    /// Safety valve for run-away specs in tests/analysis; `None` for
+    /// continuous queries which are legitimately infinite.
+    max_iterations: Option<u64>,
+}
+
+impl WindowSeq {
+    /// Instantiate a loop at query start time `st`.
+    pub fn new(spec: ForLoop, st: i64) -> Self {
+        let t = spec.init.eval(0, st);
+        WindowSeq { spec, st, t, done: false, iterations: 0, max_iterations: None }
+    }
+
+    /// Bound the number of iterations (for analysis of infinite specs).
+    pub fn with_max_iterations(mut self, max: u64) -> Self {
+        self.max_iterations = Some(max);
+        self
+    }
+
+    /// Classify this loop's first WindowIs (see [`classify`]).
+    pub fn kind(&self) -> Result<WindowKind> {
+        classify(&self.spec)
+    }
+}
+
+impl Iterator for WindowSeq {
+    type Item = Result<WindowAssignment>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(max) = self.max_iterations {
+            if self.iterations >= max {
+                self.done = true;
+                return None;
+            }
+        }
+        match self.spec.cond.holds(self.t, self.st) {
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+            Ok(false) => {
+                self.done = true;
+                return None;
+            }
+            Ok(true) => {}
+        }
+        let mut windows = Vec::with_capacity(self.spec.windows.len());
+        for w in &self.spec.windows {
+            let left = w.left.eval(self.t, self.st);
+            let right = w.right.eval(self.t, self.st);
+            if left > right {
+                self.done = true;
+                return Some(Err(TcqError::InvalidWindow(format!(
+                    "window [{left}, {right}] on {} has left > right at t={}",
+                    w.stream, self.t
+                ))));
+            }
+            windows.push((w.stream.clone(), WindowInstance { left, right }));
+        }
+        let t = self.t;
+        self.t = self.spec.step.apply(self.t);
+        self.iterations += 1;
+        // A Set step that leaves t unchanged would loop forever on the same
+        // assignment; treat the iteration after a no-op Set as terminal.
+        if let Step::Set(k) = self.spec.step {
+            if k == t {
+                self.done = true;
+            }
+        }
+        Some(Ok(WindowAssignment { t, windows }))
+    }
+}
+
+/// The §4.1 window taxonomy, derived from the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Executes exactly once over one window.
+    Snapshot,
+    /// Fixed left end, right end moves forward.
+    Landmark,
+    /// Both ends move forward. `hop` = distance between consecutive
+    /// windows, `width` = window size; `hop > width` means "some portions
+    /// of the stream are never involved in the processing of the query"
+    /// (§4.1.2).
+    Sliding {
+        /// Distance between consecutive windows.
+        hop: i64,
+        /// Window width.
+        width: i64,
+    },
+    /// Both ends move backward over history.
+    Backward,
+    /// Degenerate: a fixed window repeated (e.g. zero step).
+    Fixed,
+}
+
+impl WindowKind {
+    /// Whether per-window memory is bounded by the spec alone ("if [logical
+    /// timestamps are] used, then the memory requirements of a window can
+    /// be known a priori", §4.1.2).
+    pub fn bounded_memory(&self) -> bool {
+        !matches!(self, WindowKind::Landmark)
+    }
+
+    /// Hop size exceeding width ⇒ stream segments skipped (§4.1.2).
+    pub fn skips_data(&self) -> bool {
+        matches!(self, WindowKind::Sliding { hop, width } if hop > width)
+    }
+}
+
+/// Classify a for-loop's first WindowIs.
+pub fn classify(spec: &ForLoop) -> Result<WindowKind> {
+    let w = spec
+        .windows
+        .first()
+        .ok_or_else(|| TcqError::InvalidWindow("for-loop with no WindowIs".into()))?;
+    // Snapshot idioms: an Eq condition (true for exactly one t) or a Set
+    // step (which either terminates after one iteration or degenerates).
+    if spec.cond.op == CondOp::Eq {
+        return Ok(WindowKind::Snapshot);
+    }
+    let step = match spec.step {
+        Step::Add(k) => k,
+        Step::Set(_) => return Ok(WindowKind::Snapshot),
+    };
+    if step == 0 {
+        return Ok(WindowKind::Fixed);
+    }
+    let left_rate = w.left.t_coeff * step;
+    let right_rate = w.right.t_coeff * step;
+    Ok(match (left_rate, right_rate) {
+        (0, 0) => WindowKind::Fixed,
+        (0, r) if r > 0 => WindowKind::Landmark,
+        (l, r) if l > 0 && r > 0 => {
+            // width from the expressions at the same t (t-independent when
+            // both coefficients are equal; otherwise report the initial).
+            let t0 = spec.init.eval(0, 0);
+            let width = w.right.eval(t0, 0) - w.left.eval(t0, 0) + 1;
+            WindowKind::Sliding { hop: right_rate, width }
+        }
+        (l, r) if l < 0 && r < 0 => WindowKind::Backward,
+        _ => {
+            return Err(TcqError::InvalidWindow(format!(
+                "window ends move in opposite directions (left rate {left_rate}, right rate {right_rate})"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §4.1.1 example 1 — snapshot: first five trading days.
+    fn snapshot_spec() -> ForLoop {
+        ForLoop {
+            init: LinExpr::constant(0),
+            cond: Condition { op: CondOp::Eq, bound: LinExpr::constant(0) },
+            step: Step::Set(-1),
+            windows: vec![WindowIs::new(
+                "ClosingStockPrices",
+                LinExpr::constant(1),
+                LinExpr::constant(5),
+            )],
+        }
+    }
+
+    /// §4.1.1 example 2 — landmark: [101, t] for t in 101..=1000.
+    fn landmark_spec() -> ForLoop {
+        ForLoop {
+            init: LinExpr::constant(101),
+            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(1000) },
+            step: Step::Add(1),
+            windows: vec![WindowIs::new(
+                "ClosingStockPrices",
+                LinExpr::constant(101),
+                LinExpr::t(),
+            )],
+        }
+    }
+
+    /// §4.1.1 example 3 — sliding: [t-4, t], t from ST by 5, for 50 days.
+    fn sliding_spec() -> ForLoop {
+        ForLoop {
+            init: LinExpr::st(),
+            cond: Condition { op: CondOp::Lt, bound: LinExpr::st_plus(50) },
+            step: Step::Add(5),
+            windows: vec![WindowIs::new(
+                "ClosingStockPrices",
+                LinExpr::t_plus(-4),
+                LinExpr::t(),
+            )],
+        }
+    }
+
+    /// §4.1.1 example 4 — band join: both aliases share [t-4, t].
+    fn band_spec() -> ForLoop {
+        ForLoop {
+            init: LinExpr::st(),
+            cond: Condition { op: CondOp::Lt, bound: LinExpr::st_plus(20) },
+            step: Step::Add(1),
+            windows: vec![
+                WindowIs::new("c1", LinExpr::t_plus(-4), LinExpr::t()),
+                WindowIs::new("c2", LinExpr::t_plus(-4), LinExpr::t()),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_runs_exactly_once() {
+        let seq: Vec<_> = WindowSeq::new(snapshot_spec(), 7)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(
+            seq[0].window_for("closingstockprices").unwrap(),
+            WindowInstance { left: 1, right: 5 }
+        );
+        assert_eq!(classify(&snapshot_spec()).unwrap(), WindowKind::Snapshot);
+    }
+
+    #[test]
+    fn landmark_grows_from_fixed_left() {
+        let seq: Vec<_> = WindowSeq::new(landmark_spec(), 0)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(seq.len(), 900);
+        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 101, right: 101 });
+        assert_eq!(
+            seq.last().unwrap().windows[0].1,
+            WindowInstance { left: 101, right: 1000 }
+        );
+        let kind = classify(&landmark_spec()).unwrap();
+        assert_eq!(kind, WindowKind::Landmark);
+        assert!(!kind.bounded_memory());
+    }
+
+    #[test]
+    fn sliding_hops_by_five() {
+        let st = 100;
+        let seq: Vec<_> = WindowSeq::new(sliding_spec(), st)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(seq.len(), 10);
+        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 96, right: 100 });
+        assert_eq!(seq[1].windows[0].1, WindowInstance { left: 101, right: 105 });
+        let kind = classify(&sliding_spec()).unwrap();
+        assert_eq!(kind, WindowKind::Sliding { hop: 5, width: 5 });
+        assert!(!kind.skips_data(), "hop == width covers the stream exactly");
+        assert!(kind.bounded_memory());
+    }
+
+    #[test]
+    fn hop_exceeding_width_skips_data() {
+        let mut spec = sliding_spec();
+        spec.step = Step::Add(10);
+        assert!(classify(&spec).unwrap().skips_data());
+    }
+
+    #[test]
+    fn band_join_windows_move_in_unison() {
+        let seq: Vec<_> = WindowSeq::new(band_spec(), 50)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(seq.len(), 20);
+        for wa in &seq {
+            assert_eq!(wa.window_for("c1"), wa.window_for("c2"));
+            assert_eq!(wa.close_time(), wa.t);
+        }
+    }
+
+    #[test]
+    fn backward_windows() {
+        // "windows that move backwards starting from the present time"
+        let spec = ForLoop {
+            init: LinExpr::st(),
+            cond: Condition { op: CondOp::Gt, bound: LinExpr::constant(0) },
+            step: Step::Add(-10),
+            windows: vec![WindowIs::new("s", LinExpr::t_plus(-9), LinExpr::t())],
+        };
+        assert_eq!(classify(&spec).unwrap(), WindowKind::Backward);
+        let seq: Vec<_> = WindowSeq::new(spec, 30).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 21, right: 30 });
+        assert_eq!(seq[2].windows[0].1, WindowInstance { left: 1, right: 10 });
+    }
+
+    #[test]
+    fn invalid_window_left_after_right() {
+        let spec = ForLoop {
+            init: LinExpr::constant(0),
+            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(5) },
+            step: Step::Add(1),
+            windows: vec![WindowIs::new("s", LinExpr::constant(10), LinExpr::t())],
+        };
+        let mut seq = WindowSeq::new(spec, 0);
+        assert!(seq.next().unwrap().is_err());
+        assert!(seq.next().is_none(), "iterator fuses after error");
+    }
+
+    #[test]
+    fn condition_referencing_t_in_bound_rejected() {
+        let spec = ForLoop {
+            init: LinExpr::constant(0),
+            cond: Condition { op: CondOp::Lt, bound: LinExpr::t() },
+            step: Step::Add(1),
+            windows: vec![WindowIs::new("s", LinExpr::t(), LinExpr::t())],
+        };
+        assert!(WindowSeq::new(spec, 0).next().unwrap().is_err());
+    }
+
+    #[test]
+    fn max_iterations_bounds_infinite_specs() {
+        // An unbounded continuous query: t >= 0 forever.
+        let spec = ForLoop {
+            init: LinExpr::constant(0),
+            cond: Condition { op: CondOp::Ge, bound: LinExpr::constant(0) },
+            step: Step::Add(1),
+            windows: vec![WindowIs::new("s", LinExpr::t(), LinExpr::t())],
+        };
+        let n = WindowSeq::new(spec, 0)
+            .with_max_iterations(100)
+            .count();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn window_instance_queries() {
+        let w = WindowInstance { left: 3, right: 7 };
+        assert!(w.contains(3) && w.contains(7) && !w.contains(8));
+        assert_eq!(w.width(), 5);
+    }
+
+    #[test]
+    fn linexpr_display() {
+        assert_eq!(LinExpr::t_plus(-4).to_string(), "t - 4");
+        assert_eq!(LinExpr::st_plus(50).to_string(), "ST + 50");
+        assert_eq!(LinExpr::constant(0).to_string(), "0");
+        assert_eq!(LinExpr::constant(101).to_string(), "101");
+    }
+
+    #[test]
+    fn opposite_direction_windows_rejected() {
+        let spec = ForLoop {
+            init: LinExpr::constant(0),
+            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(5) },
+            step: Step::Add(1),
+            windows: vec![WindowIs::new(
+                "s",
+                LinExpr { t_coeff: -1, st_coeff: 0, constant: 0 },
+                LinExpr::t(),
+            )],
+        };
+        assert!(classify(&spec).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Watching an eddy adapt (paper §2.2): two commutative filters whose
+//! selectivities *swap* halfway through the stream. A static plan commits
+//! to one order and pays for it in the second half; the lottery eddy
+//! re-learns the ordering on the fly, tuple by tuple.
+//!
+//! ```text
+//! cargo run --example adaptive_routing --release
+//! ```
+
+use telegraphcq::eddy::{FixedPolicy, LotteryPolicy, RoutingPolicy};
+use telegraphcq::prelude::*;
+
+fn build_eddy(policy: Box<dyn RoutingPolicy>, cost_units: u64) -> (Eddy, SchemaRef) {
+    let schema = Schema::qualified(
+        "S",
+        vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)],
+    )
+    .into_ref();
+    let mut eddy = Eddy::new(&["S"], policy, EddyConfig::default()).unwrap();
+    let s = eddy.source_bit("S").unwrap();
+    // f_a passes when a < 20 (selective in phase 1, permissive in phase 2)
+    let fa = SelectOp::new("a<20", &Expr::col("a").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
+        .unwrap()
+        .with_cost_units(cost_units);
+    // f_b passes when b < 20 (permissive in phase 1, selective in phase 2)
+    let fb = SelectOp::new("b<20", &Expr::col("b").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
+        .unwrap()
+        .with_cost_units(cost_units);
+    eddy.add_module(ModuleSpec::filter(Box::new(fa), s)).unwrap();
+    eddy.add_module(ModuleSpec::filter(Box::new(fb), s)).unwrap();
+    (eddy, schema)
+}
+
+/// Phase 1: a ∈ [0,100) (f_a passes 20%), b ∈ [0,25) (f_b passes 80%).
+/// Phase 2: the distributions swap.
+fn run(mut eddy: Eddy, schema: &SchemaRef, n: i64) -> (Eddy, u64) {
+    use rand::Rng;
+    let mut rng = telegraphcq::common::rng::seeded(17);
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        let phase2 = i >= n / 2;
+        let (a, b) = if phase2 {
+            (rng.gen_range(0..25i64), rng.gen_range(0..100i64))
+        } else {
+            (rng.gen_range(0..100i64), rng.gen_range(0..25i64))
+        };
+        let t = TupleBuilder::new(schema.clone())
+            .push(a)
+            .push(b)
+            .at(Timestamp::logical(i))
+            .build()
+            .unwrap();
+        eddy.process(t).unwrap();
+    }
+    (eddy, start.elapsed().as_micros() as u64)
+}
+
+fn main() {
+    const N: i64 = 200_000;
+    const COST: u64 = 60; // make filter work dominate routing overhead
+
+    println!("{N} tuples; selectivities of the two filters swap at the midpoint\n");
+    for (label, policy) in [
+        (
+            "static plan (f_a first — right for phase 1 only)",
+            Box::new(FixedPolicy::new(vec![0, 1])) as Box<dyn RoutingPolicy>,
+        ),
+        (
+            "static plan (f_b first — right for phase 2 only)",
+            Box::new(FixedPolicy::new(vec![1, 0])),
+        ),
+        (
+            "lottery eddy (adapts continuously)",
+            Box::new(LotteryPolicy::new().with_decay(0.5, 512)),
+        ),
+    ] {
+        let (eddy, schema) = build_eddy(policy, COST);
+        let (eddy, micros) = run(eddy, &schema, N);
+        let stats = eddy.stats();
+        let m = eddy.module_stats();
+        println!("{label}");
+        println!(
+            "  wall: {:>7} us | visits: {:>7} | emitted: {} | routed f_a: {} f_b: {}",
+            micros, stats.visits, stats.emitted, m[0].routed, m[1].routed
+        );
+        println!(
+            "  observed pass rates: f_a {:.2}, f_b {:.2}\n",
+            m[0].pass_rate(),
+            m[1].pass_rate()
+        );
+    }
+    println!(
+        "the eddy's total visits track the better static plan in BOTH phases —\n\
+         no optimizer, no statistics, just per-tuple lottery routing (AH00)."
+    );
+}

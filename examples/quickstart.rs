@@ -1,0 +1,58 @@
+//! Quickstart: boot a TelegraphCQ server, register a stream, submit a
+//! continuous query, stream data through it, read results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use telegraphcq::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Boot the engine: 2 Execution Objects, lottery routing.
+    let server = TelegraphCQ::start(ServerConfig::default())?;
+
+    // 2. Register the paper's ClosingStockPrices stream.
+    server.register_stream(
+        "ClosingStockPrices",
+        StockTicks::schema_for("ClosingStockPrices"),
+    )?;
+
+    // 3. Connect a client and submit a standing query (paper §4.1.1
+    //    example 2's predicate, as a pure continuous filter).
+    let client = server.connect_pull_client(10_000)?;
+    let qid = server.submit(
+        "SELECT timestamp, stockSymbol, closingPrice \
+         FROM ClosingStockPrices \
+         WHERE closingPrice > 50.00",
+        client,
+    )?;
+    println!("standing query q{qid} registered");
+
+    // 4. Attach a wrapper: 500 trading days of synthetic ticks.
+    server.attach_source(
+        "ClosingStockPrices",
+        Box::new(
+            StockTicks::new("ClosingStockPrices", &["MSFT", "IBM", "ORCL"], 42)
+                .with_max_days(500)
+                .with_volatility(2.0),
+        ),
+    )?;
+
+    // 5. Wait for the finite stream to drain, then fetch results.
+    server.quiesce(Duration::from_secs(10));
+    let results = server.fetch(client, 10_000)?;
+    println!("{} ticks closed above $50; first five:", results.len());
+    for (_, row) in results.iter().take(5) {
+        println!(
+            "  day {:>3}  {:<5} ${:.2}",
+            row.value(0).as_int()?,
+            row.value(1).as_str()?,
+            row.value(2).as_float()?
+        );
+    }
+
+    server.shutdown()?;
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The paper's own motivating scenario (§4.1.1): a battery of windowed
+//! continuous queries over the `ClosingStockPrices` stream — a snapshot
+//! over history, a landmark filter, a sliding-window average, and the
+//! temporal band self-join — all standing simultaneously in one engine.
+//!
+//! ```text
+//! cargo run --example stock_monitor
+//! ```
+
+use std::time::Duration;
+
+use telegraphcq::prelude::*;
+
+fn main() -> Result<()> {
+    let archive_dir = std::env::temp_dir().join(format!("tcq-stock-monitor-{}", std::process::id()));
+    let server = TelegraphCQ::start(ServerConfig {
+        archive_dir: Some(archive_dir.clone()),
+        ..ServerConfig::default()
+    })?;
+    server.register_stream(
+        "ClosingStockPrices",
+        StockTicks::schema_for("ClosingStockPrices"),
+    )?;
+
+    // --- standing queries, registered before trading opens ---------------
+    let landmark_client = server.connect_pull_client(100_000)?;
+    server.submit(
+        "SELECT closingPrice, timestamp \
+         FROM ClosingStockPrices \
+         WHERE stockSymbol = 'MSFT' and closingPrice > 50.00 \
+         for (t = 101; t <= 1000; t++ ){ \
+             WindowIs(ClosingStockPrices, 101, t); \
+         }",
+        landmark_client,
+    )?;
+
+    let sliding_client = server.connect_pull_client(100_000)?;
+    server.submit(
+        "Select AVG(closingPrice) \
+         From ClosingStockPrices \
+         Where stockSymbol = 'MSFT' \
+         for (t = ST; t < ST + 50; t +=5 ){ \
+             WindowIs(ClosingStockPrices, t - 4, t); \
+         }",
+        sliding_client,
+    )?;
+
+    let band_client = server.connect_pull_client(100_000)?;
+    server.submit(
+        "Select c2.* \
+         FROM ClosingStockPrices as c1, ClosingStockPrices as c2 \
+         WHERE c1.stockSymbol = 'MSFT' and \
+               c2.stockSymbol != 'MSFT' and \
+               c2.closingPrice > c1.closingPrice and \
+               c2.timestamp = c1.timestamp \
+         for (t = ST; t < ST +20 ; t++ ){ \
+             WindowIs(c1, t - 4, t); \
+             WindowIs(c2, t - 4, t); \
+         }",
+        band_client,
+    )?;
+
+    // --- trade for 300 days ----------------------------------------------
+    server.attach_source(
+        "ClosingStockPrices",
+        Box::new(
+            StockTicks::new("ClosingStockPrices", &["MSFT", "IBM", "ORCL", "SUNW"], 7)
+                .with_max_days(300)
+                .with_volatility(1.5),
+        ),
+    )?;
+    server.quiesce(Duration::from_secs(15));
+
+    // --- a snapshot query over history, after the fact (PSoup mode) ------
+    let snapshot_client = server.connect_pull_client(1024)?;
+    server.submit(
+        "SELECT closingPrice, timestamp \
+         FROM ClosingStockPrices \
+         WHERE stockSymbol = 'MSFT' \
+         for (; t==0; t = -1 ){ \
+             WindowIs(ClosingStockPrices, 1, 5); \
+         }",
+        snapshot_client,
+    )?;
+
+    // --- report ------------------------------------------------------------
+    let snapshot = server.fetch(snapshot_client, 1024)?;
+    println!("snapshot — MSFT's first five closes (answered from the archive):");
+    for (_, row) in &snapshot {
+        println!("  day {:>2}: ${:.2}", row.value(1).as_int()?, row.value(0).as_float()?);
+    }
+
+    let landmark = server.fetch(landmark_client, 100_000)?;
+    println!(
+        "\nlandmark — MSFT closed above $50 on {} of the days in [101, 300]",
+        landmark.len()
+    );
+
+    let sliding = server.fetch(sliding_client, 100_000)?;
+    println!("\nsliding — 5-day MSFT averages every 5th day:");
+    for (_, row) in sliding.iter().take(6) {
+        println!(
+            "  window ending day {:>2}: avg ${:.2}",
+            row.value(0).as_int()?,
+            row.value(1).as_float()?
+        );
+    }
+
+    let band = server.fetch(band_client, 100_000)?;
+    println!(
+        "\nband join — {} (day, stock) pairs closed above MSFT in the first 20 days",
+        band.len()
+    );
+    for (_, row) in band.iter().take(5) {
+        println!(
+            "  day {:>2}: {:<5} at ${:.2}",
+            row.value(0).as_int()?,
+            row.value(1).as_str()?,
+            row.value(2).as_float()?
+        );
+    }
+
+    server.shutdown()?;
+    std::fs::remove_dir_all(archive_dir).ok();
+    Ok(())
+}

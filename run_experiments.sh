@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate every experiment in DESIGN.md's per-experiment index.
+# Results are discussed in EXPERIMENTS.md.
+set -e
+cargo build --release -p tcq-bench
+for e in exp_eddy_adaptivity exp_cacq_sharing exp_psoup exp_hybrid_join \
+         exp_flux exp_window_memory exp_adaptivity_knobs exp_storage \
+         exp_dynamic_queries; do
+    echo
+    echo "================ $e ================"
+    ./target/release/$e
+done
+echo
+echo "================ Criterion microbenchmarks ================"
+cargo bench -p tcq-bench

@@ -1,0 +1,175 @@
+//! Model-based and robustness properties: the front-end never panics on
+//! arbitrary input, algebraic laws hold for the value lattice, and compact
+//! data structures agree with their obvious reference models.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use telegraphcq::common::{BitSet, CmpOp, Expr, Value};
+use telegraphcq::query::{lexer::lex, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer returns Ok or Err on arbitrary input — never panics.
+    #[test]
+    fn lexer_total_on_arbitrary_strings(s in ".{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// The parser is total too (errors, never panics), including on
+    /// plausible-looking query fragments.
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "[ -~]{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_total_on_query_shaped_input(
+        cols in "[a-z]{1,8}",
+        tail in "[a-zA-Z0-9<>=!(){};.,*+' -]{0,80}",
+    ) {
+        let _ = parse(&format!("SELECT {cols} FROM s WHERE {tail}"));
+    }
+
+    /// Value::total_cmp is a lawful total order (antisymmetric, transitive,
+    /// total) across mixed types — sampled.
+    #[test]
+    fn value_total_order_laws(raw in proptest::collection::vec(value_strategy(), 3)) {
+        use std::cmp::Ordering;
+        let (a, b, c) = (&raw[0], &raw[1], &raw[2]);
+        // totality + antisymmetry
+        match a.total_cmp(b) {
+            Ordering::Less => prop_assert_eq!(b.total_cmp(a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.total_cmp(a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.total_cmp(a), Ordering::Equal),
+        }
+        // transitivity (sampled)
+        if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
+        }
+        // reflexivity
+        prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+    }
+
+    /// Eq/Hash consistency: equal values hash equal (the hash-join
+    /// invariant), across Int/Float mixing.
+    #[test]
+    fn value_eq_implies_hash_eq(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b));
+        }
+    }
+
+    /// BitSet agrees with a HashSet model under arbitrary op sequences.
+    #[test]
+    fn bitset_matches_hashset_model(
+        ops in proptest::collection::vec((0u8..5, 0usize..300), 0..200),
+    ) {
+        let mut bs = BitSet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        let mut other = BitSet::new();
+        let mut other_model: HashSet<usize> = HashSet::new();
+        for (op, i) in ops {
+            match op {
+                0 => {
+                    bs.insert(i);
+                    model.insert(i);
+                }
+                1 => {
+                    bs.remove(i);
+                    model.remove(&i);
+                }
+                2 => {
+                    other.insert(i);
+                    other_model.insert(i);
+                }
+                3 => {
+                    bs.union_with(&other);
+                    model.extend(other_model.iter().copied());
+                }
+                _ => {
+                    bs.intersect_with(&other);
+                    model.retain(|x| other_model.contains(x));
+                }
+            }
+        }
+        prop_assert_eq!(bs.len(), model.len());
+        let got: HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(got, model);
+    }
+
+    /// decode(encode(t)) == t for random tuples; decoding random bytes is
+    /// total (errors, never panics).
+    #[test]
+    fn codec_roundtrip_and_fuzz(
+        vals in proptest::collection::vec(value_strategy(), 1..8),
+        noise in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use telegraphcq::common::{DataType, Field, Schema, Timestamp, Tuple};
+        use telegraphcq::storage::{decode_tuple, encode_tuple};
+        let fields: Vec<Field> = (0..vals.len())
+            .map(|i| Field::new(format!("c{i}"), DataType::Int))
+            .collect();
+        // Schema types are not enforced by Tuple::new (only arity), which
+        // is exactly what the codec relies on.
+        let schema = Schema::new(fields).into_ref();
+        let t = Tuple::new(schema.clone(), vals, Timestamp::logical(7)).unwrap();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let back = decode_tuple(&mut buf.as_slice(), &schema).unwrap();
+        prop_assert_eq!(&back, &t);
+        // Fuzz: arbitrary bytes must not panic.
+        let _ = decode_tuple(&mut noise.as_slice(), &schema);
+    }
+
+    /// Parse(print(expr)) == expr: `Display` fully parenthesizes, so the
+    /// parser must reconstruct the exact tree.
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+        let sql = format!("SELECT * FROM s WHERE {e}");
+        let stmt = parse(&sql).unwrap();
+        prop_assert_eq!(stmt.where_clause.as_ref(), Some(&e));
+    }
+}
+
+/// Random values over the full lattice (strings avoid quotes so the expr
+/// roundtrip test can print them).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
+        "[a-zA-Z0-9_ ]{0,12}".prop_map(|s| Value::str(&s)),
+    ]
+}
+
+/// Random boolean expression trees over columns a/b/c.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (prop::sample::select(vec!["a", "b", "c"]), cmp_op(), -100i64..100)
+            .prop_map(|(c, op, v)| Expr::col(c).cmp(op, Expr::lit(v))),
+        (prop::sample::select(vec!["a", "b"]), cmp_op(), "[a-zA-Z]{1,6}")
+            .prop_map(|(c, op, s)| Expr::col(c).cmp(op, Expr::lit(s.as_str()))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+}

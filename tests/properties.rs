@@ -1,0 +1,328 @@
+//! Property-based tests over the engine's core invariants.
+//!
+//! Each property pins an algebraic contract from the paper to a reference
+//! implementation: eddies must not change query semantics no matter how
+//! they route; shared indexes must agree with per-query evaluation;
+//! spooling to disk must be lossless; repartitioning and failover must not
+//! corrupt answers.
+
+use proptest::prelude::*;
+
+use telegraphcq::common::rng::seeded;
+use telegraphcq::prelude::*;
+use telegraphcq::windows::{CondOp, Condition, Step, WindowIs};
+
+fn kv_schema(q: &str) -> SchemaRef {
+    Schema::qualified(
+        q,
+        vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)],
+    )
+    .into_ref()
+}
+
+fn kv(schema: &SchemaRef, k: i64, v: i64, ts: i64) -> Tuple {
+    TupleBuilder::new(schema.clone())
+        .push(k)
+        .push(v)
+        .at(Timestamp::logical(ts))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any routing policy, any seed, any interleaving: the eddy's join ∪
+    /// filter output equals the nested-loop reference as a multiset.
+    #[test]
+    fn eddy_semantics_invariant_under_routing(
+        seed in 0u64..1000,
+        policy_sel in 0usize..3,
+        threshold in 0i64..10,
+        rows in proptest::collection::vec((0i64..12, 0i64..10, prop::bool::ANY), 1..120),
+    ) {
+        use telegraphcq::eddy::{FixedPolicy, RandomPolicy, RoutingPolicy};
+        let s = kv_schema("S");
+        let t = kv_schema("T");
+        let policy: Box<dyn RoutingPolicy> = match policy_sel {
+            0 => Box::new(FixedPolicy::new(vec![0, 1, 2])),
+            1 => Box::new(RandomPolicy),
+            _ => Box::new(LotteryPolicy::new()),
+        };
+        let mut eddy = Eddy::new(&["S", "T"], policy, EddyConfig { batch_size: 1, seed }).unwrap();
+        let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+        let (stem_s, stem_t) = telegraphcq::operators::symmetric_hash_join(
+            &s, "S", "k", &t, "T", "k",
+        ).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        let filter = SelectOp::new(
+            "fS",
+            &Expr::qcol("S", "v").cmp(CmpOp::Ge, Expr::lit(threshold)),
+            &s,
+        ).unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(filter), sb)).unwrap();
+
+        let mut s_rows = Vec::new();
+        let mut t_rows = Vec::new();
+        let mut emitted = Vec::new();
+        for (i, (k, v, left)) in rows.iter().enumerate() {
+            let ts = i as i64 + 1;
+            if *left {
+                let r = kv(&s, *k, *v, ts);
+                s_rows.push(r.clone());
+                emitted.extend(eddy.process(r).unwrap());
+            } else {
+                let r = kv(&t, *k, *v, ts);
+                t_rows.push(r.clone());
+                emitted.extend(eddy.process(r).unwrap());
+            }
+        }
+        let mut expected = 0usize;
+        for sr in &s_rows {
+            for tr in &t_rows {
+                if sr.value(0) == tr.value(0) && sr.value(1).as_int().unwrap() >= threshold {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(emitted.len(), expected);
+    }
+
+    /// Grouped filters agree with per-factor evaluation for arbitrary
+    /// mixed-type factor sets and probes.
+    #[test]
+    fn grouped_filter_matches_naive(
+        factors in proptest::collection::vec((0usize..6, -20i64..20), 0..64),
+        probes in proptest::collection::vec(-25i64..25, 1..40),
+    ) {
+        use telegraphcq::stems::GroupedFilter;
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let mut gf = GroupedFilter::new();
+        for (id, (op_i, c)) in factors.iter().enumerate() {
+            gf.insert(id, ops[*op_i], Value::Int(*c)).unwrap();
+        }
+        for p in probes {
+            let v = Value::Int(p);
+            let fast = gf.eval_collect(&v);
+            let slow: BitSet = factors
+                .iter()
+                .enumerate()
+                .filter(|(_, (op_i, c))| {
+                    v.sql_cmp(&Value::Int(*c)).unwrap().is_some_and(|o| ops[*op_i].matches(o))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// Spool-then-scan is lossless and window scans return exactly the
+    /// requested range, in order.
+    #[test]
+    fn archive_roundtrip(
+        n in 1usize..400,
+        window in (1i64..400, 0i64..100),
+        page_size in prop::sample::select(vec![256usize, 512, 4096]),
+    ) {
+        use telegraphcq::storage::{BufferPool, StreamArchive};
+        let schema = kv_schema("s");
+        let pool = BufferPool::new(3, page_size);
+        let path = std::env::temp_dir().join(format!(
+            "tcq-prop-archive-{}-{n}-{page_size}.seg", std::process::id()
+        ));
+        let mut archive = StreamArchive::create(&path, schema.clone(), pool).unwrap();
+        for i in 1..=n as i64 {
+            archive.append(&kv(&schema, i % 7, i, i)).unwrap();
+        }
+        // Full scan.
+        let mut all = Vec::new();
+        archive.scan_window(i64::MIN, i64::MAX, &mut all).unwrap();
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(all.windows(2).all(|w| w[0].timestamp().seq() < w[1].timestamp().seq()));
+        // Window scan.
+        let (l, width) = window;
+        let r = l + width;
+        let mut out = Vec::new();
+        archive.scan_window(l, r, &mut out).unwrap();
+        let expect = (l.max(1)..=r.min(n as i64)).count();
+        prop_assert_eq!(out.len(), expect);
+        let in_range = out.iter().all(|t| {
+            let s = t.timestamp().seq();
+            l <= s && s <= r
+        });
+        prop_assert!(in_range);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// SteM eviction: after sliding the window, probes never return evicted
+    /// tuples, and always return every live match.
+    #[test]
+    fn stem_eviction_exactness(
+        inserts in proptest::collection::vec((0i64..5, 1i64..200), 1..120),
+        cutoff in 1i64..200,
+    ) {
+        use telegraphcq::stems::{IndexKind, SteM};
+        let schema = kv_schema("s");
+        let mut stem = SteM::new("s", schema.clone(), 0, IndexKind::Both).unwrap();
+        for (k, ts) in &inserts {
+            stem.insert(kv(&schema, *k, 0, *ts)).unwrap();
+        }
+        stem.evict_before_seq(cutoff);
+        for key in 0..5i64 {
+            let mut out = Vec::new();
+            stem.probe_eq(&Value::Int(key), &mut out);
+            let expect: Vec<i64> = inserts
+                .iter()
+                .filter(|(k, ts)| *k == key && *ts >= cutoff)
+                .map(|(_, ts)| *ts)
+                .collect();
+            let mut got: Vec<i64> = out.iter().map(|t| t.timestamp().seq()).collect();
+            got.sort_unstable();
+            let mut expect_sorted = expect;
+            expect_sorted.sort_unstable();
+            prop_assert_eq!(got, expect_sorted);
+        }
+    }
+
+    /// PSoup's materialized invoke path equals predicate recomputation for
+    /// arbitrary push/invoke interleavings.
+    #[test]
+    fn psoup_invoke_equals_recompute(
+        vals in proptest::collection::vec(0i64..50, 1..150),
+        width in 1i64..40,
+        threshold in 0i64..50,
+    ) {
+        let schema = kv_schema("s");
+        let mut ps = PSoup::new(schema.clone(), 64.max(width));
+        let pred = Expr::col("v").cmp(CmpOp::Gt, Expr::lit(threshold));
+        ps.register(0, Some(&pred), width).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            ps.push(kv(&schema, 0, *v, i as i64 + 1)).unwrap();
+            if i % 13 == 0 {
+                prop_assert_eq!(ps.invoke(0).unwrap(), ps.recompute(0).unwrap());
+            }
+        }
+        prop_assert_eq!(ps.invoke(0).unwrap(), ps.recompute(0).unwrap());
+    }
+
+    /// Flux: random rebalance cadence, random victim, replication on —
+    /// group-by answers always equal the reference.
+    #[test]
+    fn flux_correct_under_failure_and_rebalance(
+        n in 100usize..800,
+        keys in 1i64..40,
+        kill_at in 0usize..800,
+        rebalance in prop::sample::select(vec![0u64, 4, 16]),
+        victim in 0usize..4,
+    ) {
+        use telegraphcq::flux::{FluxCluster, FluxConfig};
+        let schema = kv_schema("s");
+        let cfg = FluxConfig::uniform(4).with_replication().with_rebalancing(rebalance);
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let mut reference: std::collections::HashMap<i64, (u64, f64)> = Default::default();
+        let mut killed = false;
+        for i in 0..n {
+            let k = (i as i64 * 31 + 7) % keys;
+            let t = kv(&schema, k, 1, i as i64 + 1);
+            cluster.ingest(&t).unwrap();
+            let e = reference.entry(k).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += 1.0;
+            if i % 8 == 0 {
+                cluster.tick();
+            }
+            if !killed && i == kill_at.min(n - 1) {
+                cluster.kill_node(victim).unwrap();
+                killed = true;
+            }
+        }
+        cluster.run_until_drained(1_000_000);
+        let got = cluster.results();
+        prop_assert_eq!(got.len(), reference.len());
+        for (k, (c, s)) in reference {
+            let (gc, gs) = got.get(&Value::Int(k)).copied().unwrap();
+            prop_assert_eq!(gc, c);
+            prop_assert!((gs - s).abs() < 1e-9);
+        }
+    }
+
+    /// Window sequences: every generated window respects its declared
+    /// direction and bounds, and forward specs produce monotonically
+    /// advancing right edges.
+    #[test]
+    fn window_sequences_well_formed(
+        init in 0i64..50,
+        span in 1i64..60,
+        hop in 1i64..10,
+        width in 0i64..10,
+    ) {
+        let spec = ForLoop {
+            init: LinExpr::constant(init),
+            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(init + span) },
+            step: Step::Add(hop),
+            windows: vec![WindowIs::new("s", LinExpr::t_plus(-width), LinExpr::t())],
+        };
+        let kind = telegraphcq::windows::classify(&spec).unwrap();
+        let is_sliding = matches!(kind, WindowKind::Sliding { .. });
+        prop_assert!(is_sliding);
+        if let WindowKind::Sliding { hop: h, width: w } = kind {
+            prop_assert_eq!(h, hop);
+            prop_assert_eq!(w, width + 1);
+        }
+        let assignments: Vec<_> = WindowSeq::new(spec, 1)
+            .collect::<telegraphcq::common::Result<Vec<_>>>()
+            .unwrap();
+        prop_assert_eq!(assignments.len() as i64, span / hop + 1);
+        let mut prev_right = i64::MIN;
+        for wa in &assignments {
+            let w = wa.window_for("s").unwrap();
+            prop_assert!(w.left <= w.right);
+            prop_assert!(w.right > prev_right);
+            prev_right = w.right;
+        }
+    }
+
+    /// The shared eddy delivers exactly the per-query reference answer for
+    /// random query sets and streams.
+    #[test]
+    fn shared_eddy_matches_per_query_reference(
+        thresholds in proptest::collection::vec(0i64..20, 1..24),
+        vals in proptest::collection::vec(0i64..20, 1..120),
+    ) {
+        let schema = kv_schema("s");
+        let mut eddy = SharedEddy::single_stream(schema.clone());
+        for (q, th) in thresholds.iter().enumerate() {
+            let pred = Expr::col("v").cmp(CmpOp::Gt, Expr::lit(*th));
+            eddy.add_select_query(q, Some(&pred)).unwrap();
+        }
+        for (i, v) in vals.iter().enumerate() {
+            let t = kv(&schema, 0, *v, i as i64 + 1);
+            let out = eddy.push_left(t).unwrap();
+            let expect: BitSet = thresholds
+                .iter()
+                .enumerate()
+                .filter(|(_, th)| *v > **th)
+                .map(|(q, _)| q)
+                .collect();
+            if expect.is_empty() {
+                prop_assert!(out.is_empty());
+            } else {
+                prop_assert_eq!(out.len(), 1);
+                prop_assert_eq!(&out[0].1, &expect);
+            }
+        }
+    }
+}
+
+/// Deterministic seeds are reproducible across the whole pipeline (not a
+/// proptest: one fixed check).
+#[test]
+fn seeded_rng_stability() {
+    use rand::Rng;
+    let mut a = seeded(123);
+    let mut b = seeded(123);
+    let va: Vec<u32> = (0..32).map(|_| a.gen()).collect();
+    let vb: Vec<u32> = (0..32).map(|_| b.gen()).collect();
+    assert_eq!(va, vb);
+}

@@ -1,0 +1,254 @@
+//! QoS load shedding (§4.3), historical/backward windows over the archive,
+//! and front-end error surfaces of the server.
+
+use std::time::Duration;
+
+use telegraphcq::prelude::*;
+use telegraphcq::server::{OverloadPolicy, ServerConfig as Cfg};
+
+fn schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("ts", DataType::Int),
+        Field::new("v", DataType::Float),
+    ])
+    .into_ref()
+}
+
+fn row(s: &SchemaRef, ts: i64, v: f64) -> Tuple {
+    TupleBuilder::new(s.clone())
+        .push(ts)
+        .push(v)
+        .at(Timestamp::logical(ts))
+        .build()
+        .unwrap()
+}
+
+fn settle(server: &TelegraphCQ) {
+    let mut last = server.egress_stats();
+    for _ in 0..400 {
+        std::thread::sleep(Duration::from_millis(5));
+        let now = server.egress_stats();
+        if now == last {
+            return;
+        }
+        last = now;
+    }
+}
+
+#[test]
+fn backpressure_is_lossless() {
+    // Default policy: tiny queues + a slow consumer stall the stream but
+    // lose nothing.
+    let server = TelegraphCQ::start(Cfg {
+        queue_capacity: 4,
+        ..Cfg::default()
+    })
+    .unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(100_000).unwrap();
+    server.submit("SELECT ts FROM s", client).unwrap();
+    let s = schema();
+    for ts in 1..=2000 {
+        server.push("s", row(&s, ts, 1.0)).unwrap();
+    }
+    settle(&server);
+    assert_eq!(server.shed_count("s").unwrap(), 0);
+    let got = server.fetch(client, 100_000).unwrap();
+    assert_eq!(got.len(), 2000, "backpressure must not drop tuples");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shed_policy_degrades_but_reports() {
+    // Overload: queue capacity 1 and a single busy EO. Under Shed the
+    // dispatcher never stalls; whatever could not be queued is counted.
+    // Invariant: pushed = delivered + shed for a single-subscriber stream.
+    let server = TelegraphCQ::start(Cfg {
+        queue_capacity: 1,
+        overload: OverloadPolicy::Shed,
+        eos: 1,
+        ..Cfg::default()
+    })
+    .unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(1_000_000).unwrap();
+    server.submit("SELECT ts FROM s", client).unwrap();
+    let s = schema();
+    let n = 20_000;
+    for ts in 1..=n {
+        server.push("s", row(&s, ts, 1.0)).unwrap();
+    }
+    settle(&server);
+    let shed = server.shed_count("s").unwrap();
+    let delivered = server.fetch(client, 1_000_000).unwrap().len() as i64;
+    assert_eq!(
+        delivered + shed,
+        n,
+        "every tuple is either delivered or counted as shed"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn backward_windows_browse_history() {
+    // §4.1: "a browsing system where the user might want to query
+    // historical portions of the stream using windows that move backwards
+    // starting from the present time".
+    let dir = std::env::temp_dir().join(format!("tcq-backward-{}", std::process::id()));
+    let server = TelegraphCQ::start(Cfg {
+        archive_dir: Some(dir.clone()),
+        ..Cfg::default()
+    })
+    .unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let s = schema();
+    for ts in 1..=100 {
+        server.push("s", row(&s, ts, ts as f64)).unwrap();
+    }
+    // Let the dispatcher archive everything.
+    std::thread::sleep(Duration::from_millis(100));
+    settle(&server);
+
+    let client = server.connect_pull_client(4096).unwrap();
+    // Three 10-wide hops backward from the present (ST = 100).
+    server
+        .submit(
+            "SELECT ts, v FROM s \
+             WHERE v > 95.0 OR v <= 75.0 \
+             for (t = ST; t > ST - 30; t -=10) { WindowIs(s, t - 9, t); }",
+            client,
+        )
+        .unwrap();
+    let got = server.fetch(client, 4096).unwrap();
+    // Windows: [91,100], [81,90], [71,80]. Predicate keeps v>95 (96..100)
+    // and v<=75 (71..75) → 5 + 0 + 5 = 10 rows.
+    assert_eq!(got.len(), 10);
+    let mut seqs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![71, 72, 73, 74, 75, 96, 97, 98, 99, 100]);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn historical_query_without_archive_errors() {
+    let server = TelegraphCQ::start(Cfg::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(64).unwrap();
+    let err = server
+        .submit(
+            "SELECT ts FROM s for (; t==0; t = -1) { WindowIs(s, 1, 5); }",
+            client,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("archive"));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn submit_error_surfaces() {
+    let server = TelegraphCQ::start(Cfg::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(64).unwrap();
+    // parse error
+    assert!(server.submit("SELEKT * FROM s", client).is_err());
+    // unknown stream
+    assert!(server.submit("SELECT * FROM nope", client).is_err());
+    // unknown column
+    assert!(server.submit("SELECT volume FROM s", client).is_err());
+    // aggregates need windows
+    assert!(server.submit("SELECT AVG(v) FROM s", client).is_err());
+    // unknown client
+    assert!(server.submit("SELECT * FROM s", 99_999).is_err());
+    // duplicate stream registration
+    assert!(server.register_stream("s", schema()).is_err());
+    // stop unknown query
+    assert!(server.stop_query(777).is_err());
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn aggregate_windows_close_only_when_time_passes() {
+    let server = TelegraphCQ::start(Cfg::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(4096).unwrap();
+    server
+        .submit(
+            "SELECT COUNT(*) FROM s \
+             for (t = 10; t <= 40; t += 10) { WindowIs(s, t - 9, t); }",
+            client,
+        )
+        .unwrap();
+    let s = schema();
+    // Push up to ts 25: only windows closing at 10 and 20 may emit.
+    for ts in 1..=25 {
+        server.push("s", row(&s, ts, 1.0)).unwrap();
+    }
+    settle(&server);
+    let mid = server.fetch(client, 4096).unwrap();
+    assert_eq!(mid.len(), 2, "windows ending 10 and 20 closed");
+    // Continue to 45: windows at 30 and 40 close too; the loop ends.
+    for ts in 26..=45 {
+        server.push("s", row(&s, ts, 1.0)).unwrap();
+    }
+    settle(&server);
+    let rest = server.fetch(client, 4096).unwrap();
+    assert_eq!(rest.len(), 2);
+    for (_, r) in mid.iter().chain(rest.iter()) {
+        assert_eq!(r.value(1).as_int().unwrap(), 10, "each window holds 10 tuples");
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn landmark_aggregate_grows_without_bound_until_eof() {
+    // The §4.1.2 memory story at the server level: a landmark COUNT keeps
+    // growing; each emission covers [1, t].
+    let server = TelegraphCQ::start(Cfg::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server.connect_pull_client(4096).unwrap();
+    server
+        .submit(
+            "SELECT COUNT(*) FROM s \
+             for (t = 5; t <= 25; t += 5) { WindowIs(s, 1, t); }",
+            client,
+        )
+        .unwrap();
+    let s = schema();
+    for ts in 1..=30 {
+        server.push("s", row(&s, ts, 1.0)).unwrap();
+    }
+    settle(&server);
+    let got = server.fetch(client, 4096).unwrap();
+    let counts: Vec<i64> = got.iter().map(|(_, r)| r.value(1).as_int().unwrap()).collect();
+    assert_eq!(counts, vec![5, 10, 15, 20, 25]);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn prioritized_client_sees_interesting_results_first() {
+    // Juggle at the egress boundary (§4.3): a reconnecting analyst wants
+    // the biggest readings first, not the oldest.
+    let server = TelegraphCQ::start(Cfg::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let client = server
+        .connect_prioritized_client(
+            5,
+            Box::new(|t: &Tuple| t.value(1).as_float().unwrap_or(0.0)),
+        )
+        .unwrap();
+    server.submit("SELECT ts, v FROM s", client).unwrap();
+    let s = schema();
+    for ts in 1..=100 {
+        server.push("s", row(&s, ts, ((ts * 37) % 100) as f64)).unwrap();
+    }
+    settle(&server);
+    let got = server.fetch(client, 10).unwrap();
+    assert_eq!(got.len(), 5, "only the 5 best survive the bounded buffer");
+    let vs: Vec<f64> = got.iter().map(|(_, t)| t.value(1).as_float().unwrap()).collect();
+    let mut sorted = vs.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert_eq!(vs, sorted, "best-first order");
+    assert!(vs[0] >= 95.0, "the top readings were retained");
+    server.shutdown().unwrap();
+}

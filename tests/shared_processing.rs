@@ -1,0 +1,403 @@
+//! Shared continuous-query processing across many clients (CACQ, §3.1) and
+//! dynamic query add/remove (§1.1: "shared processing must be made robust
+//! to the addition of new queries and the removal of old ones over time").
+
+use std::time::Duration;
+
+use telegraphcq::prelude::*;
+
+fn sensor_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("ts", DataType::Int),
+        Field::new("sensorId", DataType::Int),
+        Field::new("temperature", DataType::Float),
+    ])
+    .into_ref()
+}
+
+fn reading(schema: &SchemaRef, ts: i64, id: i64, temp: f64) -> Tuple {
+    TupleBuilder::new(schema.clone())
+        .push(ts)
+        .push(id)
+        .push(temp)
+        .at(Timestamp::logical(ts))
+        .build()
+        .unwrap()
+}
+
+fn settle(server: &TelegraphCQ) {
+    let mut last = server.egress_stats();
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(5));
+        let now = server.egress_stats();
+        if now == last {
+            return;
+        }
+        last = now;
+    }
+}
+
+#[test]
+fn many_queries_share_one_stream_pass() {
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("sensors", sensor_schema()).unwrap();
+    let schema = sensor_schema();
+
+    // 32 standing queries with different thresholds, one client each.
+    let mut clients = Vec::new();
+    for i in 0..32i64 {
+        let client = server.connect_pull_client(4096).unwrap();
+        let qid = server
+            .submit(
+                &format!("SELECT ts, temperature FROM sensors WHERE temperature > {}", i),
+                client,
+            )
+            .unwrap();
+        clients.push((client, qid, i));
+    }
+    assert_eq!(server.query_count(), 32);
+
+    // temperatures 0.5, 1.5, ..., 63.5
+    for ts in 1..=64i64 {
+        server
+            .push("sensors", reading(&schema, ts, ts % 8, ts as f64 - 0.5))
+            .unwrap();
+    }
+    settle(&server);
+
+    for (client, qid, threshold) in clients {
+        let got = server.fetch(client, 4096).unwrap();
+        // temp > threshold ⇔ ts - 0.5 > threshold ⇔ ts >= threshold + 1
+        let expect = 64 - threshold;
+        assert_eq!(
+            got.len() as i64,
+            expect,
+            "client with threshold {threshold} got {} rows",
+            got.len()
+        );
+        assert!(got.iter().all(|(q, _)| *q == qid));
+        assert!(got
+            .iter()
+            .all(|(_, t)| t.value(1).as_float().unwrap() > threshold as f64));
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn queries_join_and_leave_mid_stream() {
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("sensors", sensor_schema()).unwrap();
+    let schema = sensor_schema();
+
+    let c1 = server.connect_pull_client(4096).unwrap();
+    let q1 = server
+        .submit("SELECT ts FROM sensors WHERE temperature > 0.0", c1)
+        .unwrap();
+
+    for ts in 1..=10 {
+        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+    }
+    settle(&server);
+
+    // Second query arrives mid-stream.
+    let c2 = server.connect_pull_client(4096).unwrap();
+    let q2 = server
+        .submit("SELECT ts FROM sensors WHERE temperature > 0.0", c2)
+        .unwrap();
+    for ts in 11..=20 {
+        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+    }
+    settle(&server);
+
+    // First query leaves; more data flows.
+    server.stop_query(q1).unwrap();
+    for ts in 21..=30 {
+        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+    }
+    settle(&server);
+
+    let got1 = server.fetch(c1, 4096).unwrap();
+    let got2 = server.fetch(c2, 4096).unwrap();
+    assert_eq!(got1.len(), 20, "q1 saw ts 1..=20 then left");
+    assert_eq!(got2.len(), 20, "q2 saw ts 11..=30");
+    assert!(got1.iter().all(|(q, _)| *q == q1));
+    assert!(got2.iter().all(|(q, _)| *q == q2));
+    assert_eq!(
+        got2.iter().map(|(_, t)| t.value(0).as_int().unwrap()).min(),
+        Some(11)
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn push_and_pull_clients_coexist() {
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("sensors", sensor_schema()).unwrap();
+    let schema = sensor_schema();
+
+    let (push_client, rx) = server.connect_push_client(4096).unwrap();
+    let pull_client = server.connect_pull_client(4096).unwrap();
+    let q_push = server.submit("SELECT ts FROM sensors", push_client).unwrap();
+    let q_pull = server.submit("SELECT ts FROM sensors", pull_client).unwrap();
+
+    for ts in 1..=50 {
+        server.push("sensors", reading(&schema, ts, 0, 1.0)).unwrap();
+    }
+    settle(&server);
+
+    let pushed: Vec<_> = rx.try_iter().collect();
+    let pulled = server.fetch(pull_client, 4096).unwrap();
+    assert_eq!(pushed.len(), 50);
+    assert_eq!(pulled.len(), 50);
+    assert!(pushed.iter().all(|(q, _)| *q == q_push));
+    assert!(pulled.iter().all(|(q, _)| *q == q_pull));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn group_by_aggregate_over_sliding_windows() {
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("sensors", sensor_schema()).unwrap();
+    let schema = sensor_schema();
+    let client = server.connect_pull_client(4096).unwrap();
+    let qid = server
+        .submit(
+            "SELECT sensorId, COUNT(*), AVG(temperature) FROM sensors \
+             GROUP BY sensorId \
+             for (t = 10; t <= 30; t +=10) { WindowIs(sensors, t - 9, t); }",
+            client,
+        )
+        .unwrap();
+
+    // Two sensors alternate; sensor 0 at temp = ts, sensor 1 at temp = -ts.
+    for ts in 1..=40i64 {
+        let id = ts % 2;
+        let temp = if id == 0 { ts as f64 } else { -(ts as f64) };
+        server.push("sensors", reading(&schema, ts, id, temp)).unwrap();
+    }
+    settle(&server);
+
+    let rows = server.fetch(client, 4096).unwrap();
+    // 3 windows × 2 groups.
+    assert_eq!(rows.len(), 6);
+    for (q, row) in &rows {
+        assert_eq!(*q, qid);
+        let t = row.value(0).as_int().unwrap();
+        let sensor = row.value(1).as_int().unwrap();
+        let count = row.value(2).as_int().unwrap();
+        let avg = row.value(3).as_float().unwrap();
+        assert!([10, 20, 30].contains(&t));
+        assert_eq!(count, 5, "each sensor has 5 readings per 10-day window");
+        // window [t-9, t]; sensor 0 readings are the even ts in range.
+        let expect: f64 = ((t - 9)..=t)
+            .filter(|ts| ts % 2 == sensor)
+            .map(|ts| if sensor == 0 { ts as f64 } else { -(ts as f64) })
+            .sum::<f64>()
+            / 5.0;
+        assert!((avg - expect).abs() < 1e-9, "t={t} sensor={sensor}");
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn two_stream_join_via_server() {
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("sensors", sensor_schema()).unwrap();
+    let meta = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("room", DataType::Str),
+    ])
+    .into_ref();
+    server.register_table("meta", meta.clone()).unwrap();
+
+    let client = server.connect_pull_client(4096).unwrap();
+    let qid = server
+        .submit(
+            "SELECT s.ts, m.room FROM sensors s, meta m \
+             WHERE s.sensorId = m.id AND s.temperature > 10.0 \
+             for (t = ST; t >= 0; t++) { WindowIs(s, t - 99, t); }",
+            client,
+        )
+        .unwrap();
+
+    // meta is a (small) stream joined as a table-like side.
+    for id in 0..4i64 {
+        let row = TupleBuilder::new(meta.clone())
+            .push(id)
+            .push(format!("room-{id}"))
+            .at(Timestamp::logical(id + 1))
+            .build()
+            .unwrap();
+        server.push("meta", row).unwrap();
+    }
+    let schema = sensor_schema();
+    for ts in 1..=40i64 {
+        // temp > 10 for even ts
+        let temp = if ts % 2 == 0 { 20.0 } else { 5.0 };
+        server.push("sensors", reading(&schema, ts, ts % 4, temp)).unwrap();
+    }
+    settle(&server);
+
+    let rows = server.fetch(client, 4096).unwrap();
+    assert_eq!(rows.len(), 20, "even ts readings join their room");
+    for (q, row) in &rows {
+        assert_eq!(*q, qid);
+        let ts = row.value(0).as_int().unwrap();
+        assert_eq!(ts % 2, 0);
+        let room = row.value(1).as_str().unwrap().to_string();
+        assert_eq!(room, format!("room-{}", ts % 4));
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn join_queries_share_one_stem_pair() {
+    // CACQ's shared join at the server level: N join queries with the same
+    // join signature share ONE SharedEddy (one pair of SteMs), each seeing
+    // exactly its own answers.
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    let left = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("lv", DataType::Int),
+    ])
+    .into_ref();
+    let right = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("rv", DataType::Int),
+    ])
+    .into_ref();
+    server.register_stream("L", left.clone()).unwrap();
+    server.register_stream("R", right.clone()).unwrap();
+
+    // Three queries over the same equi-join (same window) with different
+    // per-side filters and different aliases — sharing must still kick in,
+    // including for q2, which writes the join in the opposite order.
+    let c0 = server.connect_pull_client(100_000).unwrap();
+    let q0 = server
+        .submit(
+            "SELECT a.k, b.rv FROM L a, R b WHERE a.k = b.k \
+             for (t = ST; t >= 0; t++) { WindowIs(a, t - 49, t); WindowIs(b, t - 49, t); }",
+            c0,
+        )
+        .unwrap();
+    let c1 = server.connect_pull_client(100_000).unwrap();
+    let q1 = server
+        .submit(
+            "SELECT x.k FROM L x, R y WHERE x.k = y.k AND x.lv > 5 \
+             for (t = ST; t >= 0; t++) { WindowIs(x, t - 49, t); WindowIs(y, t - 49, t); }",
+            c1,
+        )
+        .unwrap();
+    let c2 = server.connect_pull_client(100_000).unwrap();
+    let q2 = server
+        .submit(
+            "SELECT y.rv FROM R y, L x WHERE y.k = x.k AND y.rv > 7 \
+             for (t = ST; t >= 0; t++) { WindowIs(x, t - 49, t); WindowIs(y, t - 49, t); }",
+            c2,
+        )
+        .unwrap();
+    assert_eq!(
+        server.shared_join_count(),
+        1,
+        "all three queries must share one SteM pair"
+    );
+
+    // Interleave L and R rows: L(k, lv=k), R(k, rv=k) for k in 0..10 — each
+    // key matches once.
+    for k in 0..10i64 {
+        let lrow = TupleBuilder::new(left.clone())
+            .push(k)
+            .push(k)
+            .at(Timestamp::logical(2 * k + 1))
+            .build()
+            .unwrap();
+        server.push("L", lrow).unwrap();
+        let rrow = TupleBuilder::new(right.clone())
+            .push(k)
+            .push(k)
+            .at(Timestamp::logical(2 * k + 2))
+            .build()
+            .unwrap();
+        server.push("R", rrow).unwrap();
+    }
+    settle(&server);
+
+    let got0 = server.fetch(c0, 100_000).unwrap();
+    let got1 = server.fetch(c1, 100_000).unwrap();
+    let got2 = server.fetch(c2, 100_000).unwrap();
+    assert_eq!(got0.len(), 10, "q0 sees every match");
+    assert!(got0.iter().all(|(q, _)| *q == q0));
+    assert_eq!(got1.len(), 4, "q1: lv > 5 → k in 6..=9");
+    assert!(got1.iter().all(|(q, _)| *q == q1));
+    assert_eq!(got2.len(), 2, "q2: rv > 7 → k in 8..=9");
+    assert!(got2.iter().all(|(q, _)| *q == q2));
+
+    // Teardown: the shared plan survives until the LAST query leaves.
+    server.stop_query(q0).unwrap();
+    server.stop_query(q1).unwrap();
+    assert_eq!(server.shared_join_count(), 1);
+    server.stop_query(q2).unwrap();
+    assert_eq!(server.shared_join_count(), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn three_way_star_join_via_server() {
+    // Three streams joined on a common key; the dedicated eddy builds one
+    // SteM per source and completes RST triples exactly once.
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    let mk = |_name: &str, val: &str| {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new(val, DataType::Int),
+        ])
+        .into_ref()
+    };
+    let (ra, sa, ta) = (mk("R", "rv"), mk("S", "sv"), mk("T", "tv"));
+    server.register_stream("R", ra.clone()).unwrap();
+    server.register_stream("S", sa.clone()).unwrap();
+    server.register_stream("T", ta.clone()).unwrap();
+
+    let client = server.connect_pull_client(100_000).unwrap();
+    let qid = server
+        .submit(
+            "SELECT r.k, s.sv, t.tv FROM R r, S s, T t \
+             WHERE r.k = s.k AND s.k = t.k \
+             for (t = ST; t >= 0; t++) { \
+                 WindowIs(r, t - 99, t); WindowIs(s, t - 99, t); WindowIs(t, t - 99, t); \
+             }",
+            client,
+        )
+        .unwrap();
+
+    let mut ts = 0i64;
+    let mut push = |stream: &str, schema: &SchemaRef, k: i64, v: i64| {
+        ts += 1;
+        let row = TupleBuilder::new(schema.clone())
+            .push(k)
+            .push(v)
+            .at(Timestamp::logical(ts))
+            .build()
+            .unwrap();
+        server.push(stream, row).unwrap();
+    };
+    // keys 1..=5 appear in all three; key 9 only in R and S.
+    for k in 1..=5 {
+        push("R", &ra, k, 10 * k);
+        push("S", &sa, k, 20 * k);
+        push("T", &ta, k, 30 * k);
+    }
+    push("R", &ra, 9, 90);
+    push("S", &sa, 9, 180);
+    settle(&server);
+
+    let got = server.fetch(client, 100_000).unwrap();
+    assert_eq!(got.len(), 5, "one triple per common key");
+    for (q, row) in &got {
+        assert_eq!(*q, qid);
+        let k = row.value(0).as_int().unwrap();
+        assert_eq!(row.value(1).as_int().unwrap(), 20 * k);
+        assert_eq!(row.value(2).as_int().unwrap(), 30 * k);
+    }
+    server.shutdown().unwrap();
+}
