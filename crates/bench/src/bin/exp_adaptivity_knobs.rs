@@ -14,7 +14,6 @@
 //! cargo run --release -p tcq-bench --bin exp_adaptivity_knobs
 //! ```
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, timed, Table};
 use tcq_common::rng::seeded;
 use tcq_common::{CmpOp, Expr};
@@ -28,7 +27,10 @@ fn build(batch: usize) -> Eddy {
     let mut eddy = Eddy::new(
         &["S"],
         Box::new(LotteryPolicy::new().with_decay(0.5, 256)),
-        EddyConfig { batch_size: batch, seed: 5 },
+        EddyConfig {
+            batch_size: batch,
+            seed: 5,
+        },
     )
     .unwrap();
     let s = eddy.source_bit("S").unwrap();

@@ -12,7 +12,6 @@
 //! cargo run --release -p tcq-bench --bin exp_cacq_sharing
 //! ```
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, timed, Table};
 use tcq_common::rng::seeded;
 use tcq_common::{BitSet, BoundExpr, CmpOp, Expr, Value};
@@ -25,16 +24,17 @@ fn experiment_e3() {
     let schema = kv_schema("S");
     let mut rng = seeded(31);
     let tuples: Vec<_> = (0..TUPLES)
-        .map(|i| kv(&schema, rng.gen_range(0..100), rng.gen_range(0..1000), i as i64))
+        .map(|i| {
+            kv(
+                &schema,
+                rng.gen_range(0..100),
+                rng.gen_range(0..1000),
+                i as i64,
+            )
+        })
         .collect();
 
-    let mut table = Table::new(&[
-        "queries",
-        "shared us",
-        "per-query us",
-        "speedup",
-        "matches",
-    ]);
+    let mut table = Table::new(&["queries", "shared us", "per-query us", "speedup", "matches"]);
     for n in [1usize, 4, 16, 64, 256, 1024] {
         // Each query: v in [lo, lo+50) — selective ranges.
         let preds: Vec<Expr> = (0..n)
@@ -72,7 +72,10 @@ fn experiment_e3() {
             }
             total
         });
-        assert_eq!(shared_matches, naive_matches, "sharing must not change answers");
+        assert_eq!(
+            shared_matches, naive_matches,
+            "sharing must not change answers"
+        );
         table.row(vec![
             n.to_string(),
             shared_us.to_string(),
@@ -92,11 +95,20 @@ fn experiment_e3() {
 fn experiment_e4() {
     println!("E4 — one grouped filter vs per-factor evaluation (probe cost)\n");
     let mut rng = seeded(37);
-    let probes: Vec<Value> = (0..TUPLES).map(|_| Value::Int(rng.gen_range(0..1000))).collect();
+    let probes: Vec<Value> = (0..TUPLES)
+        .map(|_| Value::Int(rng.gen_range(0..1000)))
+        .collect();
 
     let mut table = Table::new(&["factors", "grouped us", "naive us", "speedup"]);
     for n in [16usize, 64, 256, 1024, 4096] {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         let factors: Vec<(usize, CmpOp, Value)> = (0..n)
             .map(|i| (i, ops[i % 6], Value::Int((i as i64 * 7) % 1000)))
             .collect();
@@ -160,7 +172,13 @@ fn experiment_e3b() {
     let mut rng = seeded(47);
     let n_rows = 5_000usize;
     let rows: Vec<(bool, i64, i64)> = (0..n_rows)
-        .map(|_| (rng.gen_bool(0.5), rng.gen_range(0..200i64), rng.gen_range(0..100i64)))
+        .map(|_| {
+            (
+                rng.gen_bool(0.5),
+                rng.gen_range(0..200i64),
+                rng.gen_range(0..100i64),
+            )
+        })
         .collect();
 
     let mut table = Table::new(&[
@@ -203,8 +221,10 @@ fn experiment_e3b() {
                 .unwrap();
                 let (lb, rb) = (e.source_bit("L").unwrap(), e.source_bit("R").unwrap());
                 let (sl, sr) = symmetric_hash_join(&l, "L", "k", &r, "R", "k").unwrap();
-                e.add_module(ModuleSpec::stem(Box::new(sl), lb, rb)).unwrap();
-                e.add_module(ModuleSpec::stem(Box::new(sr), rb, lb)).unwrap();
+                e.add_module(ModuleSpec::stem(Box::new(sl), lb, rb))
+                    .unwrap();
+                e.add_module(ModuleSpec::stem(Box::new(sr), rb, lb))
+                    .unwrap();
                 let pred = Expr::qcol("L", "v").cmp(CmpOp::Ge, Expr::lit((q % 100) as i64));
                 let f = tcq_operators::SelectOp::new("f", &pred, &l).unwrap();
                 e.add_module(ModuleSpec::filter(Box::new(f), lb)).unwrap();
@@ -225,7 +245,10 @@ fn experiment_e3b() {
             }
             outs
         });
-        assert_eq!(shared_outs, dedicated_outs, "sharing must not change answers");
+        assert_eq!(
+            shared_outs, dedicated_outs,
+            "sharing must not change answers"
+        );
         table.row(vec![
             n.to_string(),
             shared_us.to_string(),

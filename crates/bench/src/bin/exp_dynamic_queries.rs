@@ -47,7 +47,8 @@ fn experiment_throughput_vs_queries() {
                 .submit(
                     &format!(
                         "SELECT ts FROM sensors WHERE temperature > {}.0 AND temperature < {}.0",
-                        q, q + 2
+                        q,
+                        q + 2
                     ),
                     client,
                 )
@@ -145,7 +146,11 @@ fn experiment_churn() {
 /// Footprint classes: queries over disjoint streams land on different EOs.
 fn experiment_classes() {
     println!("\nE11 — footprint classes spread disjoint workloads over EOs\n");
-    let server = TelegraphCQ::start(ServerConfig { eos: 4, ..ServerConfig::default() }).unwrap();
+    let server = TelegraphCQ::start(ServerConfig {
+        eos: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
     for i in 0..4 {
         server
             .register_stream(&format!("stream{i}"), sensor_schema())

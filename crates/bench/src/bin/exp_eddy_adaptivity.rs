@@ -13,7 +13,6 @@
 //! cargo run --release -p tcq-bench --bin exp_eddy_adaptivity
 //! ```
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, Table};
 use tcq_common::rng::seeded;
 use tcq_common::{CmpOp, Expr};
@@ -27,12 +26,22 @@ fn two_filter_eddy(policy: Box<dyn RoutingPolicy>) -> Eddy {
     let schema = kv_schema("S");
     let mut eddy = Eddy::new(&["S"], policy, EddyConfig::default()).unwrap();
     let s = eddy.source_bit("S").unwrap();
-    let fa = SelectOp::new("k<20", &Expr::col("k").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
+    let fa = SelectOp::new(
+        "k<20",
+        &Expr::col("k").cmp(CmpOp::Lt, Expr::lit(20i64)),
+        &schema,
+    )
+    .unwrap();
+    let fb = SelectOp::new(
+        "v<20",
+        &Expr::col("v").cmp(CmpOp::Lt, Expr::lit(20i64)),
+        &schema,
+    )
+    .unwrap();
+    eddy.add_module(ModuleSpec::filter(Box::new(fa), s))
         .unwrap();
-    let fb = SelectOp::new("v<20", &Expr::col("v").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
+    eddy.add_module(ModuleSpec::filter(Box::new(fb), s))
         .unwrap();
-    eddy.add_module(ModuleSpec::filter(Box::new(fa), s)).unwrap();
-    eddy.add_module(ModuleSpec::filter(Box::new(fb), s)).unwrap();
     eddy
 }
 
@@ -54,13 +63,22 @@ fn run_flip(mut eddy: Eddy) -> EddyStats {
 }
 
 fn experiment_e1() {
-    println!("E1 — selectivity flip at tuple {}/{N} (visits = work; lower is better)\n", N / 2);
+    println!(
+        "E1 — selectivity flip at tuple {}/{N} (visits = work; lower is better)\n",
+        N / 2
+    );
     let mut table = Table::new(&["plan", "visits", "visits/tuple", "emitted"]);
     for (label, policy) in [
-        ("static f_a→f_b", Box::new(FixedPolicy::new(vec![0, 1])) as Box<dyn RoutingPolicy>),
+        (
+            "static f_a→f_b",
+            Box::new(FixedPolicy::new(vec![0, 1])) as Box<dyn RoutingPolicy>,
+        ),
         ("static f_b→f_a", Box::new(FixedPolicy::new(vec![1, 0]))),
         ("random", Box::new(RandomPolicy)),
-        ("lottery eddy", Box::new(LotteryPolicy::new().with_decay(0.5, 512))),
+        (
+            "lottery eddy",
+            Box::new(LotteryPolicy::new().with_decay(0.5, 512)),
+        ),
         ("greedy eddy", Box::new(GreedyPolicy::new())),
     ] {
         let stats = run_flip(two_filter_eddy(policy));
@@ -100,7 +118,8 @@ fn run_fixed_workload(mut eddy: Eddy) -> EddyStats {
     let schema = kv_schema("S");
     let mut rng = seeded(23);
     for i in 0..N {
-        eddy.process(kv(&schema, 0, rng.gen_range(0..100i64), i)).unwrap();
+        eddy.process(kv(&schema, 0, rng.gen_range(0..100i64), i))
+            .unwrap();
     }
     eddy.stats()
 }
@@ -149,7 +168,9 @@ fn experiment_e1b() {
         ("x0.5 / 1024 decisions", 0.5, 1024),
         ("x0.5 / 256 decisions", 0.5, 256),
     ] {
-        let policy = LotteryPolicy::new().with_decay(decay, every).with_explore(0.02);
+        let policy = LotteryPolicy::new()
+            .with_decay(decay, every)
+            .with_explore(0.02);
         let stats = run_flip(two_filter_eddy(Box::new(policy)));
         table.row(vec![
             label.to_string(),

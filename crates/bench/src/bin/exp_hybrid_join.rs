@@ -16,7 +16,6 @@
 
 use std::time::Duration;
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, timed, Table};
 use tcq_common::rng::seeded;
 use tcq_common::Tuple;
@@ -60,7 +59,8 @@ fn build_eddy(
             IndexKind::Hash,
         )
         .unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+            .unwrap();
     }
     if with_index {
         let index = RemoteIndex::new(kv_schema("T"), 0, t_rows(), latency);
@@ -95,7 +95,10 @@ fn run(mut eddy: Eddy, feed_t: bool) -> (u64, u64) {
         }
         emitted
     });
-    assert_eq!(emitted as i64, N_S as i64, "every S row has exactly one T match");
+    assert_eq!(
+        emitted as i64, N_S as i64,
+        "every S row has exactly one T match"
+    );
     (us, eddy.stats().visits)
 }
 
@@ -104,7 +107,12 @@ fn main() {
         "E6 — hybridized join: S ({N_S} rows) ⋈ T ({N_T} rows); T reachable as a\n\
          local SteM (hash join) or a remote index (latency swept)\n"
     );
-    let mut table = Table::new(&["remote latency", "hash join us", "index join us", "hybrid eddy us"]);
+    let mut table = Table::new(&[
+        "remote latency",
+        "hash join us",
+        "index join us",
+        "hybrid eddy us",
+    ]);
     for micros in [0u64, 5, 50, 500] {
         let latency = Duration::from_micros(micros);
         let (hash_us, _) = run(

@@ -8,7 +8,6 @@
 //! cargo run --release -p tcq-bench --bin exp_psoup
 //! ```
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, timed, Table};
 use tcq_common::rng::seeded;
 use tcq_common::{CmpOp, Expr};

@@ -13,7 +13,6 @@
 //! cargo run --release -p tcq-bench --bin exp_window_memory
 //! ```
 
-use rand::Rng;
 use tcq_bench::{kv, kv_schema, timed, Table};
 use tcq_common::rng::seeded;
 use tcq_operators::{AggFunc, AggSpec, WindowAggregator, WindowMode};
@@ -38,10 +37,8 @@ fn main() {
 
     // Landmark: incremental, read the running max every 1000 tuples.
     {
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Max, 1)],
-            WindowMode::Landmark,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Max, 1)], WindowMode::Landmark);
         let mut read_us = 0u64;
         let mut reads = 0u64;
         let ((), feed_us) = timed(|| {
@@ -65,10 +62,8 @@ fn main() {
 
     // Sliding windows of width w, read + slide every 1000 tuples.
     for width in [1_000i64, 10_000, 50_000] {
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Max, 1)],
-            WindowMode::Sliding,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Max, 1)], WindowMode::Sliding);
         let mut read_us = 0u64;
         let mut reads = 0u64;
         let ((), feed_us) = timed(|| {

@@ -27,7 +27,11 @@ impl Eq for BitSet {}
 impl std::hash::Hash for BitSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last nonzero word, consistent with PartialEq.
-        let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
         self.words[..last].hash(state);
     }
 }
@@ -40,7 +44,9 @@ impl BitSet {
 
     /// An empty set with room for `bits` without reallocating.
     pub fn with_capacity(bits: usize) -> Self {
-        BitSet { words: Vec::with_capacity(bits.div_ceil(64)) }
+        BitSet {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+        }
     }
 
     /// Set bit `i`.

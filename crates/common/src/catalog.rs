@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::error::{Result, TcqError};
 use crate::schema::SchemaRef;
@@ -81,7 +81,12 @@ impl Catalog {
         if inner.by_name.contains_key(&key) {
             return Err(TcqError::DuplicateStream(name));
         }
-        let def = StreamDef { id: inner.next_id, name, schema, kind };
+        let def = StreamDef {
+            id: inner.next_id,
+            name,
+            schema,
+            kind,
+        };
         inner.next_id += 1;
         inner.by_name.insert(key, def.clone());
         Ok(def)
@@ -136,7 +141,8 @@ mod tests {
     #[test]
     fn register_and_lookup_case_insensitive() {
         let c = Catalog::new();
-        c.register("ClosingStockPrices", schema(), SourceKind::PushStream).unwrap();
+        c.register("ClosingStockPrices", schema(), SourceKind::PushStream)
+            .unwrap();
         let def = c.lookup("closingstockprices").unwrap();
         assert_eq!(def.name, "ClosingStockPrices");
         assert!(def.kind.is_stream());

@@ -1,0 +1,324 @@
+//! Deterministic fault injection.
+//!
+//! TelegraphCQ's pitch is continuous dataflow "for an uncertain world":
+//! Flux (§2.4) exists to survive node failure and load imbalance, and the
+//! ingress wrappers must ride out flaky sources. This module provides the
+//! engine-wide chaos layer: a seeded [`FaultPlan`] compiled into a
+//! [`FaultInjector`] that components poll at well-known [`FaultPoint`]s.
+//! Every fault — scheduled or probabilistic — derives from the plan's seed
+//! through [`crate::rng`], so a failing run replays exactly from its seed.
+//!
+//! Components stay chaos-free by default: polling a point with no injector
+//! attached costs one `Option` check and injects nothing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::rng::{seeded, TcqRng};
+use crate::sync::Mutex;
+
+/// Where in the engine a fault can be injected. Each point has its own
+/// monotonically increasing poll counter, so schedules are expressed as
+/// "the Nth time this point is reached".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultPoint {
+    /// Ingress: a `Source::next_batch` call.
+    SourceRead,
+    /// Ingress: one tuple about to be enqueued into a Fjord.
+    FjordEnqueue,
+    /// Flux: one cluster tick (kills, restarts, stragglers).
+    ClusterTick,
+    /// Flux: one tuple routed into the cluster.
+    Ingest,
+    /// Flux: mid-way through a partition state movement (state drained
+    /// from the source node, not yet installed at the destination).
+    StateMove,
+    /// Executor: one Dispatch Unit quantum.
+    OperatorRun,
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// The faulted operation returns this error.
+    Error(String),
+    /// The faulted component panics with this message (exercises
+    /// supervision; never used by library code on its own).
+    Panic(String),
+    /// Ingress emits a malformed (wrong-arity) tuple.
+    MalformedTuple,
+    /// The queue/target behaves as full: the item is rejected or dropped
+    /// under the consumer's degradation policy.
+    Overflow,
+    /// Kill a Flux node.
+    KillNode(usize),
+    /// Restart (rejoin) a previously killed Flux node.
+    RestartNode(usize),
+    /// A Flux node straggles: reduced speed for `ticks` ticks.
+    Straggler {
+        /// Node to slow down.
+        node: usize,
+        /// Duration of the slowdown in ticks.
+        ticks: u64,
+    },
+    /// The component stalls for `ticks` scheduling units.
+    Stall {
+        /// Stall length.
+        ticks: u64,
+    },
+}
+
+/// One scheduled fault: fires the `at`-th time `point` is polled
+/// (1-based: `at == 1` fires on the first poll).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Injection point.
+    pub point: FaultPoint,
+    /// 1-based poll count at which to fire.
+    pub at: u64,
+    /// The fault.
+    pub action: FaultAction,
+}
+
+/// A reproducible fault schedule: explicit events plus per-point
+/// probabilistic rates, all derived from one seed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    rates: Vec<(FaultPoint, f64, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    /// Schedule `action` for the `at`-th poll of `point` (1-based).
+    pub fn at(mut self, point: FaultPoint, at: u64, action: FaultAction) -> Self {
+        assert!(at >= 1, "fault schedules are 1-based");
+        self.events.push(FaultEvent { point, at, action });
+        self
+    }
+
+    /// Fire `action` with probability `rate` on every poll of `point`.
+    pub fn rate(mut self, point: FaultPoint, rate: f64, action: FaultAction) -> Self {
+        self.rates.push((point, rate.clamp(0.0, 1.0), action));
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Compile into an injector.
+    pub fn build(self) -> FaultInjector {
+        FaultInjector::new(self)
+    }
+
+    /// Compile into a thread-safe shared injector.
+    pub fn build_shared(self) -> SharedInjector {
+        SharedInjector::new(self.build())
+    }
+}
+
+/// A fault that fired: (point, poll count at that point, action).
+pub type FiredFault = (FaultPoint, u64, FaultAction);
+
+/// Polls [`FaultPoint`]s against a [`FaultPlan`]. Deterministic: the same
+/// plan polled in the same order fires the same faults.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: TcqRng,
+    events: Vec<(FaultEvent, bool)>,
+    rates: Vec<(FaultPoint, f64, FaultAction)>,
+    counters: HashMap<FaultPoint, u64>,
+    log: Vec<FiredFault>,
+}
+
+impl FaultInjector {
+    /// Compile `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            rng: seeded(plan.seed),
+            events: plan.events.into_iter().map(|e| (e, false)).collect(),
+            rates: plan.rates,
+            counters: HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Reach `point` once. Returns the fault to apply, if any fires.
+    /// Scheduled events take priority over probabilistic rates; at most
+    /// one fault fires per poll.
+    pub fn poll(&mut self, point: FaultPoint) -> Option<FaultAction> {
+        let count = self.counters.entry(point).or_insert(0);
+        *count += 1;
+        let count = *count;
+        for (event, fired) in &mut self.events {
+            if !*fired && event.point == point && event.at == count {
+                *fired = true;
+                let action = event.action.clone();
+                self.log.push((point, count, action.clone()));
+                return Some(action);
+            }
+        }
+        // Probabilistic rates: one RNG draw per configured rate at this
+        // point, in plan order, so the stream of draws is a pure function
+        // of the poll sequence.
+        for (p, rate, action) in &self.rates {
+            if *p == point && self.rng.gen_bool(*rate) {
+                let action = action.clone();
+                self.log.push((point, count, action.clone()));
+                return Some(action);
+            }
+        }
+        None
+    }
+
+    /// How often `point` has been polled.
+    pub fn polls(&self, point: FaultPoint) -> u64 {
+        self.counters.get(&point).copied().unwrap_or(0)
+    }
+
+    /// Every fault fired so far, in firing order. Two runs of the same
+    /// seeded scenario must produce identical logs — the determinism
+    /// check the chaos experiment asserts.
+    pub fn log(&self) -> &[FiredFault] {
+        &self.log
+    }
+
+    /// Scheduled events that have not fired (e.g. the poll count was never
+    /// reached). Useful for asserting a schedule was fully exercised.
+    pub fn pending(&self) -> Vec<FaultEvent> {
+        self.events
+            .iter()
+            .filter(|(_, fired)| !fired)
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+}
+
+/// Clonable, thread-safe handle to a [`FaultInjector`] — streamer threads,
+/// executor EOs, and the Flux driver can share one schedule.
+#[derive(Debug, Clone)]
+pub struct SharedInjector {
+    inner: Arc<Mutex<FaultInjector>>,
+}
+
+impl SharedInjector {
+    /// Wrap an injector.
+    pub fn new(injector: FaultInjector) -> Self {
+        SharedInjector {
+            inner: Arc::new(Mutex::new(injector)),
+        }
+    }
+
+    /// See [`FaultInjector::poll`].
+    pub fn poll(&self, point: FaultPoint) -> Option<FaultAction> {
+        self.inner.lock().poll(point)
+    }
+
+    /// See [`FaultInjector::polls`].
+    pub fn polls(&self, point: FaultPoint) -> u64 {
+        self.inner.lock().polls(point)
+    }
+
+    /// Snapshot of the fired-fault log.
+    pub fn log(&self) -> Vec<FiredFault> {
+        self.inner.lock().log().to_vec()
+    }
+
+    /// See [`FaultInjector::pending`].
+    pub fn pending(&self) -> Vec<FaultEvent> {
+        self.inner.lock().pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_events_fire_exactly_once_at_their_count() {
+        let mut inj = FaultPlan::new(1)
+            .at(FaultPoint::SourceRead, 3, FaultAction::Panic("boom".into()))
+            .build();
+        assert_eq!(inj.poll(FaultPoint::SourceRead), None);
+        assert_eq!(inj.poll(FaultPoint::SourceRead), None);
+        assert_eq!(
+            inj.poll(FaultPoint::SourceRead),
+            Some(FaultAction::Panic("boom".into()))
+        );
+        for _ in 0..10 {
+            assert_eq!(inj.poll(FaultPoint::SourceRead), None);
+        }
+        assert_eq!(inj.log().len(), 1);
+        assert!(inj.pending().is_empty());
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let mut inj = FaultPlan::new(1)
+            .at(FaultPoint::Ingest, 2, FaultAction::Overflow)
+            .at(FaultPoint::ClusterTick, 2, FaultAction::KillNode(1))
+            .build();
+        assert_eq!(inj.poll(FaultPoint::Ingest), None);
+        assert_eq!(inj.poll(FaultPoint::ClusterTick), None);
+        assert_eq!(inj.poll(FaultPoint::Ingest), Some(FaultAction::Overflow));
+        assert_eq!(
+            inj.poll(FaultPoint::ClusterTick),
+            Some(FaultAction::KillNode(1))
+        );
+        assert_eq!(inj.polls(FaultPoint::Ingest), 2);
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultPlan::new(seed)
+                .rate(FaultPoint::Ingest, 0.2, FaultAction::Overflow)
+                .build();
+            (0..200)
+                .map(|_| inj.poll(FaultPoint::Ingest).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same faults");
+        assert_ne!(run(7), run(8), "different seed, different faults");
+        let fired = run(7).iter().filter(|&&b| b).count();
+        assert!((10..80).contains(&fired), "rate roughly respected: {fired}");
+    }
+
+    #[test]
+    fn shared_injector_is_usable_across_threads() {
+        let inj = FaultPlan::new(3)
+            .at(FaultPoint::OperatorRun, 5, FaultAction::Error("inj".into()))
+            .build_shared();
+        let inj2 = inj.clone();
+        let h = std::thread::spawn(move || {
+            let mut fired = 0;
+            for _ in 0..10 {
+                if inj2.poll(FaultPoint::OperatorRun).is_some() {
+                    fired += 1;
+                }
+            }
+            fired
+        });
+        assert_eq!(h.join().unwrap(), 1);
+        assert_eq!(inj.log().len(), 1);
+    }
+
+    #[test]
+    fn pending_lists_unreached_events() {
+        let inj = FaultPlan::new(1)
+            .at(FaultPoint::StateMove, 99, FaultAction::KillNode(0))
+            .build();
+        assert_eq!(inj.pending().len(), 1);
+    }
+}

@@ -37,6 +37,8 @@ pub enum TcqError {
     InvalidWindow(String),
     /// Flux cluster operation failed (unknown node, no replica, ...).
     Flux(String),
+    /// Ingress failure (a source read error, a wrapper that died).
+    Ingress(String),
     /// Value-level type error (e.g. comparing Int with Str).
     Type(String),
     /// Resource limits exceeded (queue capacity, module count, query count).
@@ -46,22 +48,34 @@ pub enum TcqError {
 impl TcqError {
     /// Build a parse error with no position information.
     pub fn parse(message: impl Into<String>) -> Self {
-        TcqError::Parse { message: message.into(), offset: None }
+        TcqError::Parse {
+            message: message.into(),
+            offset: None,
+        }
     }
 
     /// Build a parse error at a byte offset.
     pub fn parse_at(message: impl Into<String>, offset: usize) -> Self {
-        TcqError::Parse { message: message.into(), offset: Some(offset) }
+        TcqError::Parse {
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
 }
 
 impl fmt::Display for TcqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TcqError::Parse { message, offset: Some(off) } => {
+            TcqError::Parse {
+                message,
+                offset: Some(off),
+            } => {
                 write!(f, "parse error at byte {off}: {message}")
             }
-            TcqError::Parse { message, offset: None } => write!(f, "parse error: {message}"),
+            TcqError::Parse {
+                message,
+                offset: None,
+            } => write!(f, "parse error: {message}"),
             TcqError::Analysis(m) => write!(f, "analysis error: {m}"),
             TcqError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             TcqError::UnknownStream(name) => write!(f, "unknown stream or table: {name}"),
@@ -71,6 +85,7 @@ impl fmt::Display for TcqError {
             TcqError::Storage(m) => write!(f, "storage error: {m}"),
             TcqError::InvalidWindow(m) => write!(f, "invalid window: {m}"),
             TcqError::Flux(m) => write!(f, "flux error: {m}"),
+            TcqError::Ingress(m) => write!(f, "ingress error: {m}"),
             TcqError::Type(m) => write!(f, "type error: {m}"),
             TcqError::Capacity(m) => write!(f, "capacity exceeded: {m}"),
         }

@@ -141,12 +141,18 @@ pub enum Expr {
 impl Expr {
     /// A bare column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { qualifier: None, name: name.into() }
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// A qualified column reference.
     pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { qualifier: Some(qualifier.into()), name: name.into() }
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 
     /// A literal.
@@ -156,7 +162,11 @@ impl Expr {
 
     /// `self <op> rhs`.
     pub fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
-        Expr::Cmp { op, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `self AND rhs`.
@@ -188,7 +198,11 @@ impl Expr {
     /// Rebuild an expression from conjuncts (inverse of [`Expr::conjuncts`];
     /// `None` for an empty list, meaning TRUE).
     pub fn from_conjuncts(mut parts: Vec<Expr>) -> Option<Expr> {
-        let first = if parts.is_empty() { return None } else { parts.remove(0) };
+        let first = if parts.is_empty() {
+            return None;
+        } else {
+            parts.remove(0)
+        };
         Some(parts.into_iter().fold(first, |acc, e| acc.and(e)))
     }
 
@@ -263,7 +277,9 @@ impl Expr {
         Ok(match self {
             Expr::Literal(v) => v.data_type().unwrap_or(DataType::Int),
             Expr::Column { qualifier, name } => {
-                schema.field(schema.index_of(qualifier.as_deref(), name)?).data_type
+                schema
+                    .field(schema.index_of(qualifier.as_deref(), name)?)
+                    .data_type
             }
             Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(_) => DataType::Bool,
             Expr::Arith { op, lhs, rhs } => {
@@ -288,8 +304,14 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(v) => write!(f, "{v}"),
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Expr::Cmp { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
             Expr::Arith { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
             Expr::And(a, b) => write!(f, "({a} AND {b})"),
@@ -454,8 +476,7 @@ mod tests {
             .and(Expr::col("c").cmp(CmpOp::Lt, Expr::lit(3i64)));
         let parts = pred.conjuncts();
         assert_eq!(parts.len(), 3);
-        let rebuilt =
-            Expr::from_conjuncts(parts.into_iter().cloned().collect::<Vec<_>>()).unwrap();
+        let rebuilt = Expr::from_conjuncts(parts.into_iter().cloned().collect::<Vec<_>>()).unwrap();
         assert_eq!(rebuilt, pred);
     }
 
@@ -481,7 +502,10 @@ mod tests {
         let s = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
         let with_null = Tuple::new(s.clone(), vec![Value::Null], Timestamp::unknown()).unwrap();
         // NULL > 5 is unknown -> filtered out
-        let pred = Expr::col("x").cmp(CmpOp::Gt, Expr::lit(5i64)).bind(&s).unwrap();
+        let pred = Expr::col("x")
+            .cmp(CmpOp::Gt, Expr::lit(5i64))
+            .bind(&s)
+            .unwrap();
         assert!(!pred.eval_pred(&with_null).unwrap());
         // NULL OR TRUE is TRUE
         let or = Expr::col("x")
@@ -507,7 +531,10 @@ mod tests {
         };
         assert_eq!(e.data_type(&s).unwrap(), DataType::Float);
         let bound = e.bind(&s).unwrap();
-        assert_eq!(bound.eval(&tick(1, "MSFT", 10.0)).unwrap(), Value::Float(20.0));
+        assert_eq!(
+            bound.eval(&tick(1, "MSFT", 10.0)).unwrap(),
+            Value::Float(20.0)
+        );
 
         let bad = Expr::Arith {
             op: ArithOp::Add,
@@ -552,8 +579,9 @@ mod tests {
 
     #[test]
     fn display_roundtrip_readable() {
-        let pred = Expr::col("price").cmp(CmpOp::Gt, Expr::lit(50.0)).and(Expr::col("sym")
-            .cmp(CmpOp::Eq, Expr::lit("MSFT")));
+        let pred = Expr::col("price")
+            .cmp(CmpOp::Gt, Expr::lit(50.0))
+            .and(Expr::col("sym").cmp(CmpOp::Eq, Expr::lit("MSFT")));
         assert_eq!(pred.to_string(), "((price > 50) AND (sym = 'MSFT'))");
     }
 }

@@ -17,16 +17,19 @@
 
 pub mod bitset;
 pub mod catalog;
+pub mod chaos;
 pub mod error;
 pub mod expr;
 pub mod rng;
 pub mod schema;
+pub mod sync;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
 pub use bitset::BitSet;
 pub use catalog::{Catalog, SourceKind, StreamDef};
+pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, SharedInjector};
 pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
 pub use schema::{DataType, Field, Schema, SchemaRef};

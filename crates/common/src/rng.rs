@@ -3,31 +3,175 @@
 //! Everything stochastic in the engine — workload generators, lottery
 //! routing, fault injection — takes an explicit seeded RNG so experiments
 //! and tests are reproducible. This module centralizes construction.
+//!
+//! The generator is a self-contained xoshiro256** (Blackman & Vigna),
+//! seeded through a SplitMix64 expansion, so the workspace builds with no
+//! external crates and the byte-for-byte output of a seed never changes
+//! under our feet with a dependency upgrade.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
-/// The RNG type used across the workspace.
-pub type TcqRng = StdRng;
+/// The RNG type used across the workspace: xoshiro256**.
+#[derive(Debug, Clone)]
+pub struct TcqRng {
+    s: [u64; 4],
+}
 
 /// Build a deterministic RNG from a 64-bit seed.
 pub fn seeded(seed: u64) -> TcqRng {
-    StdRng::seed_from_u64(seed)
+    TcqRng::seed_from_u64(seed)
 }
 
 /// Derive a child seed so parallel components (e.g. Flux nodes) get
 /// independent but reproducible streams. SplitMix64 finalizer.
 pub fn derive_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
+impl TcqRng {
+    /// Seed via SplitMix64 expansion (the construction the xoshiro authors
+    /// recommend for filling the state from a single word).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(sm)
+        };
+        let s = [next(), next(), next(), next()];
+        TcqRng { s }
+    }
+
+    /// The raw 64-bit output of xoshiro256**.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample a value of a supported primitive type uniformly over its
+    /// whole domain (floats: `[0, 1)`).
+    pub fn gen<T: SampleUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range, e.g. `rng.gen_range(0..10)`,
+    /// `rng.gen_range(1..=6)`, `rng.gen_range(-1.0..1.0)`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Unbiased-enough integer in `[0, span)` via 128-bit widening multiply.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Types [`TcqRng::gen`] can produce.
+pub trait SampleUniform {
+    /// Draw one value.
+    fn sample(rng: &mut TcqRng) -> Self;
+}
+
+impl SampleUniform for u64 {
+    fn sample(rng: &mut TcqRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample(rng: &mut TcqRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleUniform for u8 {
+    fn sample(rng: &mut TcqRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample(rng: &mut TcqRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample(rng: &mut TcqRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut TcqRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Ranges [`TcqRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range. Panics on an empty range.
+    fn sample(self, rng: &mut TcqRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut TcqRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut TcqRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i64, u64, i32, u32, u16, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut TcqRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty float range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_sequence() {
@@ -45,5 +189,34 @@ mod tests {
         assert_ne!(s0, s1);
         // and are stable
         assert_eq!(derive_seed(7, 1), s1);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = seeded(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+            let z = rng.gen_range(1i64..=6);
+            assert!((1..=6).contains(&z));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = seeded(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn full_range_covers_both_halves() {
+        let mut rng = seeded(1);
+        let vals: Vec<i64> = (0..64).map(|_| rng.gen()).collect();
+        assert!(vals.iter().any(|&v| v < 0) && vals.iter().any(|&v| v >= 0));
     }
 }

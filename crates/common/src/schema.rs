@@ -54,7 +54,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -79,14 +82,20 @@ impl Schema {
     /// Build an unqualified schema.
     pub fn new(fields: Vec<Field>) -> Self {
         let n = fields.len();
-        Schema { fields, qualifiers: vec![String::new(); n] }
+        Schema {
+            fields,
+            qualifiers: vec![String::new(); n],
+        }
     }
 
     /// Build a schema where every column is qualified by `qualifier`.
     pub fn qualified(qualifier: impl Into<String>, fields: Vec<Field>) -> Self {
         let q = qualifier.into();
         let n = fields.len();
-        Schema { fields, qualifiers: vec![q; n] }
+        Schema {
+            fields,
+            qualifiers: vec![q; n],
+        }
     }
 
     /// Wrap in an `Arc`.
@@ -173,7 +182,10 @@ impl Schema {
     pub fn project(&self, indices: &[usize]) -> Schema {
         Schema {
             fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
-            qualifiers: indices.iter().map(|&i| self.qualifiers[i].clone()).collect(),
+            qualifiers: indices
+                .iter()
+                .map(|&i| self.qualifiers[i].clone())
+                .collect(),
         }
     }
 }
@@ -213,7 +225,10 @@ mod tests {
     fn lookup_is_case_insensitive() {
         let s = stock_schema();
         assert_eq!(s.index_of(None, "CLOSINGPRICE").unwrap(), 2);
-        assert_eq!(s.index_of(Some("closingstockprices"), "timestamp").unwrap(), 0);
+        assert_eq!(
+            s.index_of(Some("closingstockprices"), "timestamp").unwrap(),
+            0
+        );
     }
 
     #[test]

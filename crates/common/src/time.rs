@@ -50,22 +50,34 @@ pub struct Timestamp {
 impl Timestamp {
     /// A purely logical timestamp (tuple sequence number).
     pub const fn logical(seq: i64) -> Self {
-        Timestamp { logical: Some(seq), physical: None }
+        Timestamp {
+            logical: Some(seq),
+            physical: None,
+        }
     }
 
     /// A purely physical timestamp (wall-clock micros).
     pub const fn physical(micros: i64) -> Self {
-        Timestamp { logical: None, physical: Some(micros) }
+        Timestamp {
+            logical: None,
+            physical: Some(micros),
+        }
     }
 
     /// Both notions at once.
     pub const fn both(seq: i64, micros: i64) -> Self {
-        Timestamp { logical: Some(seq), physical: Some(micros) }
+        Timestamp {
+            logical: Some(seq),
+            physical: Some(micros),
+        }
     }
 
     /// The completely unknown timestamp.
     pub const fn unknown() -> Self {
-        Timestamp { logical: None, physical: None }
+        Timestamp {
+            logical: None,
+            physical: None,
+        }
     }
 
     /// Partial-order comparison (see module docs).

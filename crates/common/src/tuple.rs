@@ -32,14 +32,22 @@ impl Tuple {
                 schema.len()
             )));
         }
-        Ok(Tuple { values: values.into(), schema, ts })
+        Ok(Tuple {
+            values: values.into(),
+            schema,
+            ts,
+        })
     }
 
     /// Build without the arity check (hot path; used by operators that have
     /// already validated shapes at plan time).
     pub fn new_unchecked(schema: SchemaRef, values: Vec<Value>, ts: Timestamp) -> Self {
         debug_assert_eq!(values.len(), schema.len());
-        Tuple { values: values.into(), schema, ts }
+        Tuple {
+            values: values.into(),
+            schema,
+            ts,
+        }
     }
 
     /// The values in column order.
@@ -69,7 +77,11 @@ impl Tuple {
 
     /// Replace the timestamp (used by ingress when stamping arrival order).
     pub fn with_timestamp(&self, ts: Timestamp) -> Tuple {
-        Tuple { values: Arc::clone(&self.values), schema: Arc::clone(&self.schema), ts }
+        Tuple {
+            values: Arc::clone(&self.values),
+            schema: Arc::clone(&self.schema),
+            ts,
+        }
     }
 
     /// Re-schema the tuple (used when a stream tuple enters a query under
@@ -84,7 +96,11 @@ impl Tuple {
                 schema.len()
             )));
         }
-        Ok(Tuple { values: Arc::clone(&self.values), schema, ts: self.ts })
+        Ok(Tuple {
+            values: Arc::clone(&self.values),
+            schema,
+            ts: self.ts,
+        })
     }
 
     /// Concatenate two tuples into a join output. The result's timestamp is
@@ -106,7 +122,11 @@ impl Tuple {
     pub fn project(&self, indices: &[usize], projected_schema: SchemaRef) -> Tuple {
         let values: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
         debug_assert_eq!(values.len(), projected_schema.len());
-        Tuple { values: values.into(), schema: projected_schema, ts: self.ts }
+        Tuple {
+            values: values.into(),
+            schema: projected_schema,
+            ts: self.ts,
+        }
     }
 
     /// Look a value up by (optionally qualified) column name.
@@ -148,7 +168,11 @@ impl TupleBuilder {
     /// Start building a tuple for `schema`.
     pub fn new(schema: SchemaRef) -> Self {
         let cap = schema.len();
-        TupleBuilder { schema, values: Vec::with_capacity(cap), ts: Timestamp::unknown() }
+        TupleBuilder {
+            schema,
+            values: Vec::with_capacity(cap),
+            ts: Timestamp::unknown(),
+        }
     }
 
     /// Append the next column value.
@@ -245,7 +269,10 @@ mod tests {
     fn get_by_name() {
         let t = tick(3, "MSFT", 51.5);
         assert_eq!(t.get(None, "closingPrice").unwrap(), &Value::Float(51.5));
-        assert_eq!(t.get(Some("s"), "stockSymbol").unwrap(), &Value::str("MSFT"));
+        assert_eq!(
+            t.get(Some("s"), "stockSymbol").unwrap(),
+            &Value::str("MSFT")
+        );
         assert!(t.get(None, "nope").is_err());
     }
 

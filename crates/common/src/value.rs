@@ -220,9 +220,7 @@ fn numeric_binop(
     match (a, b) {
         (Null, _) | (_, Null) => Ok(Null),
         (Int(x), Int(y)) => Ok(Int(int_op(*x, *y))),
-        (Int(_) | Float(_), Int(_) | Float(_)) => {
-            Ok(Float(float_op(a.as_float()?, b.as_float()?)))
-        }
+        (Int(_) | Float(_), Int(_) | Float(_)) => Ok(Float(float_op(a.as_float()?, b.as_float()?))),
         _ => Err(TcqError::Type(format!("cannot apply {op} to {a} and {b}"))),
     }
 }

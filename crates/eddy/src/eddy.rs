@@ -34,7 +34,13 @@ impl ModuleSpec {
     /// A filter-style module over the given sources (applies to any tuple
     /// spanning them all).
     pub fn filter(module: Box<dyn EddyModule>, required_all: SourceSet) -> Self {
-        ModuleSpec { module, required_all, required_any: 0, excluded: 0, build_exact: None }
+        ModuleSpec {
+            module,
+            required_all,
+            required_any: 0,
+            excluded: 0,
+            build_exact: None,
+        }
     }
 
     /// A SteM-style module: stores base tuples of `stores`; probed by
@@ -77,7 +83,10 @@ pub struct EddyConfig {
 
 impl Default for EddyConfig {
     fn default() -> Self {
-        EddyConfig { batch_size: 1, seed: 0x7E1E_64AF }
+        EddyConfig {
+            batch_size: 1,
+            seed: 0x7E1E_64AF,
+        }
     }
 }
 
@@ -147,7 +156,9 @@ impl Eddy {
     /// Register a module; at most 64 per eddy (done-sets are one word).
     pub fn add_module(&mut self, spec: ModuleSpec) -> Result<usize> {
         if self.modules.len() >= 64 {
-            return Err(TcqError::Capacity("an eddy supports at most 64 modules".into()));
+            return Err(TcqError::Capacity(
+                "an eddy supports at most 64 modules".into(),
+            ));
         }
         self.modules.push(spec);
         self.stats.push(ModuleStats::default());
@@ -172,7 +183,11 @@ impl Eddy {
     pub fn process_into(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         self.eddy_stats.tuples_in += 1;
         let sig = self.sig_cache.signature(tuple.schema())?;
-        self.queue.push_back(InFlight { tuple, sig, done: 0 });
+        self.queue.push_back(InFlight {
+            tuple,
+            sig,
+            done: 0,
+        });
         while let Some(inf) = self.queue.pop_front() {
             self.route_to_completion(inf, out)?;
         }
@@ -233,7 +248,11 @@ impl Eddy {
 
             for o in routed.outputs {
                 let osig = self.sig_cache.signature(o.schema())?;
-                self.queue.push_back(InFlight { tuple: o, sig: osig, done: inf.done });
+                self.queue.push_back(InFlight {
+                    tuple: o,
+                    sig: osig,
+                    done: inf.done,
+                });
             }
             if !routed.keep {
                 return Ok(());
@@ -262,7 +281,9 @@ impl Eddy {
             }
         }
         self.eddy_stats.decisions += 1;
-        let m = self.policy.choose(&self.candidates, &self.stats, &mut self.rng);
+        let m = self
+            .policy
+            .choose(&self.candidates, &self.stats, &mut self.rng);
         if self.config.batch_size > 1 {
             let entry = self.batch.entry(sig).or_insert((Vec::new(), 1));
             if !entry.0.contains(&m) {
@@ -320,7 +341,10 @@ mod tests {
     fn s_schema(q: &str) -> SchemaRef {
         Schema::qualified(
             q,
-            vec![Field::new("k", DataType::Int), Field::new("x", DataType::Int)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("x", DataType::Int),
+            ],
         )
         .into_ref()
     }
@@ -351,8 +375,10 @@ mod tests {
             &schema,
         )
         .unwrap();
-        eddy.add_module(ModuleSpec::filter(Box::new(f1), s_bit)).unwrap();
-        eddy.add_module(ModuleSpec::filter(Box::new(f2), s_bit)).unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f1), s_bit))
+            .unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f2), s_bit))
+            .unwrap();
         (eddy, schema)
     }
 
@@ -369,8 +395,15 @@ mod tests {
             for x in 0..100 {
                 emitted.extend(eddy.process(row(&schema, x, x, x)).unwrap());
             }
-            let xs: Vec<i64> = emitted.iter().map(|t| t.value(1).as_int().unwrap()).collect();
-            assert_eq!(xs, (50..75).collect::<Vec<i64>>(), "policy changed semantics");
+            let xs: Vec<i64> = emitted
+                .iter()
+                .map(|t| t.value(1).as_int().unwrap())
+                .collect();
+            assert_eq!(
+                xs,
+                (50..75).collect::<Vec<i64>>(),
+                "policy changed semantics"
+            );
         }
     }
 
@@ -379,9 +412,7 @@ mod tests {
         // f1 (x>=50) passes 50%, f2 (x<75) passes 75% on uniform 0..100.
         // After warm-up, lottery should route most tuples to f1 first, so
         // f1.routed >> f2.routed (f2 sees only survivors of f1 most times).
-        let (mut eddy, schema) = filter_eddy(Box::new(
-            LotteryPolicy::new().with_explore(0.02),
-        ));
+        let (mut eddy, schema) = filter_eddy(Box::new(LotteryPolicy::new().with_explore(0.02)));
         for i in 0..20_000i64 {
             let x = i % 100;
             eddy.process(row(&schema, x, x, i)).unwrap();
@@ -408,8 +439,10 @@ mod tests {
         .unwrap();
         let (s_bit, t_bit) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
         let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), s_bit, t_bit)).unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), t_bit, s_bit)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), s_bit, t_bit))
+            .unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), t_bit, s_bit))
+            .unwrap();
         // filter on S side: S.x > 5
         let f = SelectOp::new(
             "S.x>5",
@@ -417,10 +450,10 @@ mod tests {
             &s,
         )
         .unwrap();
-        eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit)).unwrap();
+        eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit))
+            .unwrap();
 
         let mut rng = tcq_common::rng::seeded(99);
-        use rand::Rng;
         let mut s_rows = Vec::new();
         let mut t_rows = Vec::new();
         let mut emitted = Vec::new();
@@ -449,7 +482,10 @@ mod tests {
         assert_eq!(emitted.len(), expected);
         for e in &emitted {
             assert_eq!(e.arity(), 4);
-            assert_eq!(e.get(Some("S"), "k").unwrap(), e.get(Some("T"), "k").unwrap());
+            assert_eq!(
+                e.get(Some("S"), "k").unwrap(),
+                e.get(Some("T"), "k").unwrap()
+            );
             assert!(e.get(Some("S"), "x").unwrap().as_int().unwrap() > 5);
         }
     }
@@ -483,7 +519,8 @@ mod tests {
             )
             .unwrap()
             .with_extra_probe_key((Some(others[1].to_string()), "k".to_string()));
-            eddy.add_module(ModuleSpec::stem(Box::new(op), stores, probed)).unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(op), stores, probed))
+                .unwrap();
         }
         let mut emitted = Vec::new();
         // keys: R{1,2}, S{1,2}, T{1}: expect RST matches only for k=1
@@ -507,7 +544,10 @@ mod tests {
                 let mut eddy = Eddy::new(
                     &["S"],
                     Box::new(LotteryPolicy::new()),
-                    EddyConfig { batch_size: batch, seed: 42 },
+                    EddyConfig {
+                        batch_size: batch,
+                        seed: 42,
+                    },
                 )
                 .unwrap();
                 let s_bit = eddy.source_bit("S").unwrap();
@@ -516,13 +556,10 @@ mod tests {
                     ("f2", CmpOp::Lt, 75i64),
                     ("f3", CmpOp::Ne, 60i64),
                 ] {
-                    let f = SelectOp::new(
-                        name,
-                        &Expr::col("x").cmp(op, Expr::lit(c)),
-                        &schema,
-                    )
-                    .unwrap();
-                    eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit)).unwrap();
+                    let f = SelectOp::new(name, &Expr::col("x").cmp(op, Expr::lit(c)), &schema)
+                        .unwrap();
+                    eddy.add_module(ModuleSpec::filter(Box::new(f), s_bit))
+                        .unwrap();
                 }
                 (eddy, schema)
             };
@@ -547,16 +584,14 @@ mod tests {
     fn base_tuples_never_emitted_for_join_footprint() {
         let s = s_schema("S");
         let t = s_schema("T");
-        let mut eddy = Eddy::new(
-            &["S", "T"],
-            Box::new(RandomPolicy),
-            EddyConfig::default(),
-        )
-        .unwrap();
+        let mut eddy =
+            Eddy::new(&["S", "T"], Box::new(RandomPolicy), EddyConfig::default()).unwrap();
         let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
         let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb))
+            .unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+            .unwrap();
         // No matching partner: nothing emitted, though tuples completed.
         assert!(eddy.process(row(&s, 1, 0, 1)).unwrap().is_empty());
         assert!(eddy.process(row(&t, 2, 0, 2)).unwrap().is_empty());
@@ -568,12 +603,14 @@ mod tests {
     fn eviction_forwards_to_modules() {
         let s = s_schema("S");
         let t = s_schema("T");
-        let mut eddy = Eddy::new(&["S", "T"], Box::new(RandomPolicy), EddyConfig::default())
-            .unwrap();
+        let mut eddy =
+            Eddy::new(&["S", "T"], Box::new(RandomPolicy), EddyConfig::default()).unwrap();
         let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
         let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb)).unwrap();
-        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb)).unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb))
+            .unwrap();
+        eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+            .unwrap();
         for i in 0..10 {
             eddy.process(row(&s, i, 0, i)).unwrap();
         }

@@ -43,14 +43,20 @@ impl SignatureCache {
         }
         let mut bits = HashMap::with_capacity(sources.len());
         for (i, s) in sources.iter().enumerate() {
-            if bits.insert(s.as_ref().to_ascii_lowercase(), i as u8).is_some() {
+            if bits
+                .insert(s.as_ref().to_ascii_lowercase(), i as u8)
+                .is_some()
+            {
                 return Err(TcqError::Analysis(format!(
                     "duplicate source '{}' in eddy",
                     s.as_ref()
                 )));
             }
         }
-        Ok(SignatureCache { bits, cache: HashMap::new() })
+        Ok(SignatureCache {
+            bits,
+            cache: HashMap::new(),
+        })
     }
 
     /// Bit for one source qualifier.

@@ -7,7 +7,6 @@
 //! the ticket-based lottery of Avnur & Hellerstein \[AH00\], which CACQ
 //! extended and TelegraphCQ §4.3 proposes to tune further.
 
-use rand::Rng;
 use tcq_common::rng::TcqRng;
 
 /// Running per-module observations maintained by the eddy.
@@ -305,8 +304,18 @@ mod tests {
         let mut rng = seeded(7);
         // Module 0 drops everything (selective), module 1 passes everything.
         for _ in 0..200 {
-            p.observe(ModuleObservation { module: 0, kept: false, produced: 0, nanos: 10 });
-            p.observe(ModuleObservation { module: 1, kept: true, produced: 0, nanos: 10 });
+            p.observe(ModuleObservation {
+                module: 0,
+                kept: false,
+                produced: 0,
+                nanos: 10,
+            });
+            p.observe(ModuleObservation {
+                module: 1,
+                kept: true,
+                produced: 0,
+                nanos: 10,
+            });
         }
         let mut wins0 = 0;
         for _ in 0..1000 {
@@ -324,7 +333,12 @@ mod tests {
     fn lottery_decay_enables_readaptation() {
         let mut p = LotteryPolicy::new().with_decay(0.5, 10).with_explore(0.0);
         for _ in 0..100 {
-            p.observe(ModuleObservation { module: 0, kept: false, produced: 0, nanos: 1 });
+            p.observe(ModuleObservation {
+                module: 0,
+                kept: false,
+                produced: 0,
+                nanos: 1,
+            });
         }
         let before = p.tickets[0];
         let stats = vec![ModuleStats::default(); 1];
@@ -340,12 +354,32 @@ mod tests {
         let mut p = GreedyPolicy::new().with_warmup(0);
         let mut rng = seeded(5);
         let mut stats = vec![ModuleStats::default(); 2];
-        stats[0] = ModuleStats { routed: 100, kept: 90, produced: 0, nanos: 100 };
-        stats[1] = ModuleStats { routed: 100, kept: 10, produced: 0, nanos: 100 };
+        stats[0] = ModuleStats {
+            routed: 100,
+            kept: 90,
+            produced: 0,
+            nanos: 100,
+        };
+        stats[1] = ModuleStats {
+            routed: 100,
+            kept: 10,
+            produced: 0,
+            nanos: 100,
+        };
         assert_eq!(p.choose(&[0, 1], &stats, &mut rng), 1);
         // Equal selectivity, module 0 cheaper.
-        stats[0] = ModuleStats { routed: 100, kept: 50, produced: 0, nanos: 100 };
-        stats[1] = ModuleStats { routed: 100, kept: 50, produced: 0, nanos: 100_000 };
+        stats[0] = ModuleStats {
+            routed: 100,
+            kept: 50,
+            produced: 0,
+            nanos: 100,
+        };
+        stats[1] = ModuleStats {
+            routed: 100,
+            kept: 50,
+            produced: 0,
+            nanos: 100_000,
+        };
         assert_eq!(p.choose(&[0, 1], &stats, &mut rng), 0);
     }
 
@@ -354,7 +388,12 @@ mod tests {
         let mut p = GreedyPolicy::new().with_warmup(5);
         let mut rng = seeded(5);
         let mut stats = vec![ModuleStats::default(); 2];
-        stats[0] = ModuleStats { routed: 100, kept: 0, produced: 0, nanos: 1 };
+        stats[0] = ModuleStats {
+            routed: 100,
+            kept: 0,
+            produced: 0,
+            nanos: 1,
+        };
         // module 1 unexplored -> chosen despite module 0 being perfect
         assert_eq!(p.choose(&[0, 1], &stats, &mut rng), 1);
     }
@@ -376,7 +415,12 @@ mod tests {
         let s = ModuleStats::default();
         assert_eq!(s.pass_rate(), 1.0);
         assert_eq!(s.mean_cost(), 1.0);
-        let s = ModuleStats { routed: 10, kept: 3, produced: 0, nanos: 1000 };
+        let s = ModuleStats {
+            routed: 10,
+            kept: 3,
+            produced: 0,
+            nanos: 1000,
+        };
         assert!((s.pass_rate() - 0.3).abs() < 1e-9);
         assert!((s.mean_cost() - 100.0).abs() < 1e-9);
     }

@@ -144,7 +144,9 @@ impl SharedEddy {
     /// A shared eddy over a single stream.
     pub fn single_stream(schema: SchemaRef) -> Self {
         SharedEddy {
-            left: SideState { qstem: QueryStem::new(schema) },
+            left: SideState {
+                qstem: QueryStem::new(schema),
+            },
             right: None,
             join: None,
             all_queries: BitSet::new(),
@@ -167,8 +169,12 @@ impl SharedEddy {
         let rk = right.index_of(None, right_key)?;
         let joined_schema = Schema::concat(&left, &right).into_ref();
         Ok(SharedEddy {
-            left: SideState { qstem: QueryStem::new(left) },
-            right: Some(SideState { qstem: QueryStem::new(right) }),
+            left: SideState {
+                qstem: QueryStem::new(left),
+            },
+            right: Some(SideState {
+                qstem: QueryStem::new(right),
+            }),
             join: Some(JoinState {
                 left_key: lk,
                 right_key: rk,
@@ -417,7 +423,10 @@ mod tests {
     fn sided(q: &str) -> SchemaRef {
         Schema::qualified(
             q,
-            vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
         )
         .into_ref()
     }
@@ -438,10 +447,18 @@ mod tests {
         let mut eddy = SharedEddy::joined(l.clone(), "k", r.clone(), "k", None).unwrap();
         // q0: no extra filters; q1: L.v > 5; q2: R.v > 5.
         eddy.add_join_query(0, None, None).unwrap();
-        eddy.add_join_query(1, Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(5i64))), None)
-            .unwrap();
-        eddy.add_join_query(2, None, Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(5i64))))
-            .unwrap();
+        eddy.add_join_query(
+            1,
+            Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(5i64))),
+            None,
+        )
+        .unwrap();
+        eddy.add_join_query(
+            2,
+            None,
+            Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(5i64))),
+        )
+        .unwrap();
 
         // L(k=1, v=10): passes q0, q1, q2 left side (q2 has no left filter).
         assert!(eddy.push_left(row(&l, 1, 10, 1)).unwrap().is_empty());
@@ -485,7 +502,11 @@ mod tests {
         for ts in 1..=20 {
             eddy.push_left(row(&l, ts, 0, ts)).unwrap();
         }
-        assert!(eddy.state_size() <= 5, "state {} exceeds window", eddy.state_size());
+        assert!(
+            eddy.state_size() <= 5,
+            "state {} exceeds window",
+            eddy.state_size()
+        );
         // Old partner (k=3, ts=3) evicted -> no match.
         assert!(eddy.push_right(row(&r, 3, 0, 21)).unwrap().is_empty());
         // Recent partner (k=19, ts=19) still in window [17, 21] -> match.
@@ -497,8 +518,12 @@ mod tests {
         let l = sided("L");
         let r = sided("R");
         let mut eddy = SharedEddy::joined(l.clone(), "k", r.clone(), "k", None).unwrap();
-        eddy.add_join_query(0, Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(100i64))), None)
-            .unwrap();
+        eddy.add_join_query(
+            0,
+            Some(&Expr::col("v").cmp(CmpOp::Gt, Expr::lit(100i64))),
+            None,
+        )
+        .unwrap();
         // Fails every query's left filters -> never stored.
         eddy.push_left(row(&l, 1, 5, 1)).unwrap();
         assert_eq!(eddy.state_size(), 0);

@@ -20,8 +20,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 
-use parking_lot::Mutex;
 use std::sync::Arc;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{Result, TcqError, Tuple};
 
@@ -34,13 +34,23 @@ pub type QueryId = usize;
 pub type Delivery = (QueryId, Tuple);
 
 enum ClientState {
-    Push { tx: SyncSender<Delivery>, shed: u64 },
-    Pull { buffer: VecDeque<Delivery>, capacity: usize, dropped: u64 },
+    Push {
+        tx: SyncSender<Delivery>,
+        shed: u64,
+    },
+    Pull {
+        buffer: VecDeque<Delivery>,
+        capacity: usize,
+        dropped: u64,
+    },
     /// A pull client with Juggle-style prioritized retrieval (\[RRH99\]):
     /// fetch returns the most *interesting* buffered results first, and
     /// overflow sheds the least interesting — user preferences pushed down
     /// into result delivery (§4.3).
-    Prioritized { buffer: PriorityBuffer, dropped: u64 },
+    Prioritized {
+        buffer: PriorityBuffer,
+        dropped: u64,
+    },
 }
 
 /// Monotone map from f64 to u64 (IEEE-754 total-order trick), so floats can
@@ -147,7 +157,9 @@ impl EgressRouter {
         let (tx, rx) = sync_channel(capacity.max(1));
         let mut inner = self.inner.lock();
         if inner.clients.contains_key(&id) {
-            return Err(TcqError::Capacity(format!("client {id} already registered")));
+            return Err(TcqError::Capacity(format!(
+                "client {id} already registered"
+            )));
         }
         inner.clients.insert(id, ClientState::Push { tx, shed: 0 });
         Ok(rx)
@@ -166,11 +178,16 @@ impl EgressRouter {
     ) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.clients.contains_key(&id) {
-            return Err(TcqError::Capacity(format!("client {id} already registered")));
+            return Err(TcqError::Capacity(format!(
+                "client {id} already registered"
+            )));
         }
         inner.clients.insert(
             id,
-            ClientState::Prioritized { buffer: PriorityBuffer::new(capacity, priority), dropped: 0 },
+            ClientState::Prioritized {
+                buffer: PriorityBuffer::new(capacity, priority),
+                dropped: 0,
+            },
         );
         Ok(())
     }
@@ -179,11 +196,17 @@ impl EgressRouter {
     pub fn register_pull_client(&self, id: ClientId, capacity: usize) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.clients.contains_key(&id) {
-            return Err(TcqError::Capacity(format!("client {id} already registered")));
+            return Err(TcqError::Capacity(format!(
+                "client {id} already registered"
+            )));
         }
         inner.clients.insert(
             id,
-            ClientState::Pull { buffer: VecDeque::new(), capacity: capacity.max(1), dropped: 0 },
+            ClientState::Pull {
+                buffer: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            },
         );
         Ok(())
     }
@@ -228,7 +251,9 @@ impl EgressRouter {
     pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
         let mut inner = self.inner.lock();
         for q in queries {
-            let Some(subs) = inner.by_query.get(&q) else { continue };
+            let Some(subs) = inner.by_query.get(&q) else {
+                continue;
+            };
             let subs: Vec<ClientId> = subs.clone();
             for cid in subs {
                 if let Some(state) = inner.clients.get_mut(&cid) {
@@ -242,7 +267,11 @@ impl EgressRouter {
                                 }
                             }
                         }
-                        ClientState::Pull { buffer, capacity, dropped } => {
+                        ClientState::Pull {
+                            buffer,
+                            capacity,
+                            dropped,
+                        } => {
                             if buffer.len() >= *capacity {
                                 buffer.pop_front();
                                 *dropped += 1;
@@ -443,12 +472,18 @@ mod prioritized_tests {
             r.deliver([7usize], &t(x));
         }
         let got = r.fetch(1, 2).unwrap();
-        let xs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        let xs: Vec<i64> = got
+            .iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect();
         assert_eq!(xs, vec![9, 5], "highest priority first");
         assert!(got.iter().all(|(q, _)| *q == 7));
         // Remaining entries still buffered in priority order.
         let rest = r.fetch(1, 10).unwrap();
-        let xs: Vec<i64> = rest.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        let xs: Vec<i64> = rest
+            .iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect();
         assert_eq!(xs, vec![3, 1]);
     }
 
@@ -469,7 +504,10 @@ mod prioritized_tests {
         assert_eq!(dropped, 8);
         // The BEST two survive the shedding.
         let got = r.fetch(1, 10).unwrap();
-        let xs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+        let xs: Vec<i64> = got
+            .iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect();
         assert_eq!(xs, vec![9, 8]);
     }
 }

@@ -31,7 +31,10 @@ where
 {
     /// Create a closure-backed DU.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnDu { name: name.into(), f }
+        FnDu {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ mod tests {
         {
             let mut du = FnDu::new("counter", |q| {
                 calls += q;
-                Ok(if calls >= 10 { ModuleStatus::Done } else { ModuleStatus::Ready })
+                Ok(if calls >= 10 {
+                    ModuleStatus::Done
+                } else {
+                    ModuleStatus::Ready
+                })
             });
             assert_eq!(du.name(), "counter");
             assert_eq!(du.run(4).unwrap(), ModuleStatus::Ready);

@@ -1,14 +1,15 @@
 //! Execution Objects and the executor that hosts them.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use tcq_common::sync::{Condvar, Mutex};
 
-use tcq_common::{Result, TcqError};
+use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError};
 use tcq_fjords::ModuleStatus;
 
 use crate::dispatch::{DispatchUnit, DuId};
@@ -22,11 +23,19 @@ pub struct ExecutorConfig {
     pub quantum: usize,
     /// How long an EO parks when all of its DUs are idle.
     pub idle_park: Duration,
+    /// Optional fault injector polled at [`FaultPoint::OperatorRun`]
+    /// before each DU quantum (chaos testing).
+    pub injector: Option<SharedInjector>,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { eos: 2, quantum: 64, idle_park: Duration::from_micros(200) }
+        ExecutorConfig {
+            eos: 2,
+            quantum: 64,
+            idle_park: Duration::from_micros(200),
+            injector: None,
+        }
     }
 }
 
@@ -39,6 +48,9 @@ pub struct ExecutorStats {
     pub rounds_per_eo: Vec<u64>,
     /// DUs that ran to completion.
     pub completed: u64,
+    /// DUs retired because they errored, panicked, or had a fault
+    /// injected (subset of `completed`).
+    pub faulted: u64,
 }
 
 struct EoShared {
@@ -51,6 +63,7 @@ struct EoShared {
     rounds: AtomicU64,
     du_count: AtomicU64,
     completed: AtomicU64,
+    faulted: AtomicU64,
 }
 
 struct Registry {
@@ -89,6 +102,7 @@ impl Executor {
                 rounds: AtomicU64::new(0),
                 du_count: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
+                faulted: AtomicU64::new(0),
             });
             shared.push(Arc::clone(&sh));
             let stop2 = Arc::clone(&stop);
@@ -183,6 +197,11 @@ impl Executor {
                 .iter()
                 .map(|s| s.completed.load(Ordering::Relaxed))
                 .sum(),
+            faulted: self
+                .shared
+                .iter()
+                .map(|s| s.faulted.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 
@@ -254,15 +273,41 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
         shared.rounds.fetch_add(1, Ordering::Relaxed);
         let mut any_ready = false;
         let mut finished: Vec<usize> = Vec::new();
+        let mut faulted: u64 = 0;
         for (i, (_, du)) in dus.iter_mut().enumerate() {
-            match du.run(config.quantum) {
-                Ok(ModuleStatus::Ready) => any_ready = true,
-                Ok(ModuleStatus::Idle) => {}
-                Ok(ModuleStatus::Done) => finished.push(i),
-                Err(_) => {
-                    // A failing DU is retired; the engine must not wedge the
-                    // whole EO ("degrade in a controlled fashion").
+            // Chaos hook: an injected fault stands in for the operator
+            // itself misbehaving.
+            match config
+                .injector
+                .as_ref()
+                .and_then(|inj| inj.poll(FaultPoint::OperatorRun))
+            {
+                Some(FaultAction::Error(_)) => {
                     finished.push(i);
+                    faulted += 1;
+                    continue;
+                }
+                Some(FaultAction::Panic(msg)) => {
+                    // Simulated operator panic: isolated exactly like a
+                    // real one below.
+                    let _ = catch_unwind(AssertUnwindSafe(|| panic!("{msg}")));
+                    finished.push(i);
+                    faulted += 1;
+                    continue;
+                }
+                Some(FaultAction::Stall { .. }) => continue, // skip this quantum
+                _ => {}
+            }
+            // A panicking DU is retired like an erroring one; the engine
+            // must not wedge the whole EO ("degrade in a controlled
+            // fashion").
+            match catch_unwind(AssertUnwindSafe(|| du.run(config.quantum))) {
+                Ok(Ok(ModuleStatus::Ready)) => any_ready = true,
+                Ok(Ok(ModuleStatus::Idle)) => {}
+                Ok(Ok(ModuleStatus::Done)) => finished.push(i),
+                Ok(Err(_)) | Err(_) => {
+                    finished.push(i);
+                    faulted += 1;
                 }
             }
         }
@@ -271,6 +316,7 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
             shared.du_count.fetch_sub(1, Ordering::Relaxed);
             shared.completed.fetch_add(1, Ordering::Relaxed);
         }
+        shared.faulted.fetch_add(faulted, Ordering::Relaxed);
         if !any_ready {
             // Everyone idle: park briefly instead of spinning.
             let mut guard = shared.wake_lock.lock();
@@ -285,10 +331,7 @@ mod tests {
     use crate::dispatch::FnDu;
     use std::sync::atomic::AtomicUsize;
 
-    fn counting_du(
-        target: usize,
-        counter: Arc<AtomicUsize>,
-    ) -> Box<dyn DispatchUnit> {
+    fn counting_du(target: usize, counter: Arc<AtomicUsize>) -> Box<dyn DispatchUnit> {
         Box::new(FnDu::new("count", move |q| {
             let before = counter.load(Ordering::Relaxed);
             if before >= target {
@@ -296,7 +339,11 @@ mod tests {
             }
             let step = q.min(target - before);
             counter.fetch_add(step, Ordering::Relaxed);
-            Ok(if before + step >= target { ModuleStatus::Done } else { ModuleStatus::Ready })
+            Ok(if before + step >= target {
+                ModuleStatus::Done
+            } else {
+                ModuleStatus::Ready
+            })
         }))
     }
 
@@ -317,7 +364,8 @@ mod tests {
         let counters: Vec<Arc<AtomicUsize>> =
             (0..8).map(|_| Arc::new(AtomicUsize::new(0))).collect();
         for (i, c) in counters.iter().enumerate() {
-            ex.submit(i as u64, counting_du(10_000, Arc::clone(c))).unwrap();
+            ex.submit(i as u64, counting_du(10_000, Arc::clone(c)))
+                .unwrap();
         }
         assert!(wait_for(
             || counters.iter().all(|c| c.load(Ordering::Relaxed) == 10_000),
@@ -329,13 +377,29 @@ mod tests {
 
     #[test]
     fn same_class_shares_an_eo_and_new_classes_spread() {
-        let ex = Executor::start(ExecutorConfig { eos: 3, ..Default::default() }).unwrap();
+        let ex = Executor::start(ExecutorConfig {
+            eos: 3,
+            ..Default::default()
+        })
+        .unwrap();
         let c = Arc::new(AtomicUsize::new(0));
-        let a1 = ex.submit(7, counting_du(usize::MAX, Arc::clone(&c))).unwrap();
-        let a2 = ex.submit(7, counting_du(usize::MAX, Arc::clone(&c))).unwrap();
-        let b = ex.submit(8, counting_du(usize::MAX, Arc::clone(&c))).unwrap();
-        let d = ex.submit(9, counting_du(usize::MAX, Arc::clone(&c))).unwrap();
-        assert_eq!(ex.eo_of(a1), ex.eo_of(a2), "same footprint class -> same EO");
+        let a1 = ex
+            .submit(7, counting_du(usize::MAX, Arc::clone(&c)))
+            .unwrap();
+        let a2 = ex
+            .submit(7, counting_du(usize::MAX, Arc::clone(&c)))
+            .unwrap();
+        let b = ex
+            .submit(8, counting_du(usize::MAX, Arc::clone(&c)))
+            .unwrap();
+        let d = ex
+            .submit(9, counting_du(usize::MAX, Arc::clone(&c)))
+            .unwrap();
+        assert_eq!(
+            ex.eo_of(a1),
+            ex.eo_of(a2),
+            "same footprint class -> same EO"
+        );
         let eos: std::collections::HashSet<_> =
             [a1, b, d].iter().map(|&id| ex.eo_of(id).unwrap()).collect();
         assert_eq!(eos.len(), 3, "three classes spread over three EOs");
@@ -346,7 +410,9 @@ mod tests {
     fn cancellation_removes_running_du() {
         let ex = Executor::start(ExecutorConfig::default()).unwrap();
         let c = Arc::new(AtomicUsize::new(0));
-        let id = ex.submit(1, counting_du(usize::MAX, Arc::clone(&c))).unwrap();
+        let id = ex
+            .submit(1, counting_du(usize::MAX, Arc::clone(&c)))
+            .unwrap();
         assert!(wait_for(|| c.load(Ordering::Relaxed) > 0, 2000));
         ex.cancel(id).unwrap();
         assert!(wait_for(
@@ -363,12 +429,17 @@ mod tests {
 
     #[test]
     fn dynamic_submission_while_running() {
-        let ex = Executor::start(ExecutorConfig { eos: 2, ..Default::default() }).unwrap();
+        let ex = Executor::start(ExecutorConfig {
+            eos: 2,
+            ..Default::default()
+        })
+        .unwrap();
         let mut counters = Vec::new();
         for wave in 0..4 {
             for i in 0..4 {
                 let c = Arc::new(AtomicUsize::new(0));
-                ex.submit(wave * 4 + i, counting_du(5_000, Arc::clone(&c))).unwrap();
+                ex.submit(wave * 4 + i, counting_du(5_000, Arc::clone(&c)))
+                    .unwrap();
                 counters.push(c);
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -385,14 +456,60 @@ mod tests {
         let ex = Executor::start(ExecutorConfig::default()).unwrap();
         ex.submit(
             1,
-            Box::new(FnDu::new("bad", |_| {
-                Err(TcqError::Executor("boom".into()))
-            })),
+            Box::new(FnDu::new("bad", |_| Err(TcqError::Executor("boom".into())))),
         )
         .unwrap();
         let c = Arc::new(AtomicUsize::new(0));
         ex.submit(2, counting_du(1000, Arc::clone(&c))).unwrap();
         assert!(wait_for(|| c.load(Ordering::Relaxed) == 1000, 2000));
+        ex.shutdown().unwrap();
+    }
+
+    #[test]
+    fn panicking_du_is_isolated_and_counted() {
+        let ex = Executor::start(ExecutorConfig {
+            eos: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        ex.submit(
+            1,
+            Box::new(FnDu::new("explode", |_| panic!("operator blew up"))),
+        )
+        .unwrap();
+        let c = Arc::new(AtomicUsize::new(0));
+        ex.submit(2, counting_du(1000, Arc::clone(&c))).unwrap();
+        assert!(wait_for(|| c.load(Ordering::Relaxed) == 1000, 2000));
+        assert!(wait_for(|| ex.stats().faulted == 1, 2000));
+        ex.shutdown().unwrap();
+    }
+
+    #[test]
+    fn injected_operator_fault_retires_one_du() {
+        use tcq_common::{FaultAction, FaultPlan, FaultPoint};
+        let injector = FaultPlan::new(7)
+            .at(
+                FaultPoint::OperatorRun,
+                1,
+                FaultAction::Error("injected operator fault".into()),
+            )
+            .build_shared();
+        let ex = Executor::start(ExecutorConfig {
+            eos: 1,
+            injector: Some(injector),
+            ..Default::default()
+        })
+        .unwrap();
+        // The first DU quantum polled draws the fault and is retired; the
+        // second DU still runs to completion.
+        let c1 = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::new(AtomicUsize::new(0));
+        ex.submit(1, counting_du(usize::MAX, Arc::clone(&c1)))
+            .unwrap();
+        ex.submit(2, counting_du(2000, Arc::clone(&c2))).unwrap();
+        assert!(wait_for(|| c2.load(Ordering::Relaxed) == 2000, 2000));
+        assert!(wait_for(|| ex.stats().faulted == 1, 2000));
+        assert_eq!(c1.load(Ordering::Relaxed), 0, "faulted DU never ran");
         ex.shutdown().unwrap();
     }
 
@@ -403,12 +520,20 @@ mod tests {
         assert_eq!(stats0.completed, 0);
         ex.shutdown().unwrap();
         // (can't call submit on moved value; construct another and drop it)
-        let ex2 = Executor::start(ExecutorConfig { eos: 1, ..Default::default() }).unwrap();
+        let ex2 = Executor::start(ExecutorConfig {
+            eos: 1,
+            ..Default::default()
+        })
+        .unwrap();
         drop(ex2); // Drop path also joins threads cleanly.
     }
 
     #[test]
     fn zero_eos_rejected() {
-        assert!(Executor::start(ExecutorConfig { eos: 0, ..Default::default() }).is_err());
+        assert!(Executor::start(ExecutorConfig {
+            eos: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

@@ -97,7 +97,11 @@ mod tests {
     fn quantum_bounds_work_and_statuses_progress() {
         let (src_p, src_c) = fjord(64, QueueKind::Push);
         let (out_p, out_c) = fjord(64, QueueKind::Push);
-        let mut m = Identity { input: src_c, output: out_p, done: false };
+        let mut m = Identity {
+            input: src_c,
+            output: out_p,
+            done: false,
+        };
 
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
         for i in 0..10i64 {

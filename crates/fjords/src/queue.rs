@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use tcq_common::sync::{Condvar, Mutex};
 
 use tcq_common::{Result, TcqError, Timestamp, Tuple};
 
@@ -85,6 +85,9 @@ pub struct QueueStats {
     pub dequeued: u64,
     /// Enqueue attempts rejected with `Full`.
     pub full_rejections: u64,
+    /// Buffered tuples displaced by [`Producer::enqueue_displacing`]
+    /// (shed-oldest degradation).
+    pub displaced: u64,
 }
 
 impl QueueStats {
@@ -109,6 +112,7 @@ struct Shared {
     enqueued: AtomicUsize,
     dequeued: AtomicUsize,
     full_rejections: AtomicUsize,
+    displaced: AtomicUsize,
 }
 
 /// Create a Fjord of the given capacity and discipline, returning its two
@@ -126,8 +130,14 @@ pub fn fjord(capacity: usize, kind: QueueKind) -> (Producer, Consumer) {
         enqueued: AtomicUsize::new(0),
         dequeued: AtomicUsize::new(0),
         full_rejections: AtomicUsize::new(0),
+        displaced: AtomicUsize::new(0),
     });
-    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
 }
 
 /// Writing end of a Fjord. Clonable: several producers may feed one queue
@@ -159,6 +169,40 @@ impl Producer {
         Ok(())
     }
 
+    /// Enqueue `msg`, displacing the oldest buffered *tuple* when the
+    /// queue is full — the shed-oldest degradation policy ("drop from the
+    /// front", keeping the freshest data). Returns the displaced message,
+    /// if any. Control messages (punctuations, Eof) are never displaced;
+    /// if the buffer holds only control messages the call fails `Full`.
+    pub fn enqueue_displacing(
+        &self,
+        msg: FjordMessage,
+    ) -> std::result::Result<Option<FjordMessage>, EnqueueError> {
+        if self.shared.consumers.load(Ordering::Acquire) == 0 {
+            return Err(EnqueueError::Disconnected(msg));
+        }
+        let mut q = self.shared.q.lock();
+        if q.len() < self.shared.capacity {
+            q.push_back(msg);
+            drop(q);
+            self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+            self.shared.not_empty.notify_one();
+            return Ok(None);
+        }
+        let Some(idx) = q.iter().position(|m| matches!(m, FjordMessage::Tuple(_))) else {
+            drop(q);
+            self.shared.full_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(EnqueueError::Full(msg));
+        };
+        let displaced = q.remove(idx);
+        q.push_back(msg);
+        drop(q);
+        self.shared.displaced.fetch_add(1, Ordering::Relaxed);
+        self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(displaced)
+    }
+
     /// Blocking enqueue: waits while full, errors when all consumers left.
     pub fn enqueue_blocking(&self, msg: FjordMessage) -> Result<()> {
         let mut q = self.shared.q.lock();
@@ -175,7 +219,9 @@ impl Producer {
             }
             // Bounded wait so we recheck disconnection even if the consumer
             // vanished without a final notify.
-            self.shared.not_full.wait_for(&mut q, Duration::from_millis(50));
+            self.shared
+                .not_full
+                .wait_for(&mut q, Duration::from_millis(50));
         }
     }
 
@@ -236,7 +282,9 @@ impl Consumer {
             if self.shared.producers.load(Ordering::Acquire) == 0 {
                 return Err(TcqError::Disconnected("producer side"));
             }
-            self.shared.not_empty.wait_for(&mut q, Duration::from_millis(50));
+            self.shared
+                .not_empty
+                .wait_for(&mut q, Duration::from_millis(50));
         }
     }
 
@@ -245,7 +293,9 @@ impl Consumer {
         let mut q = self.shared.q.lock();
         let msgs: Vec<FjordMessage> = q.drain(..).collect();
         drop(q);
-        self.shared.dequeued.fetch_add(msgs.len(), Ordering::Relaxed);
+        self.shared
+            .dequeued
+            .fetch_add(msgs.len(), Ordering::Relaxed);
         if !msgs.is_empty() {
             self.shared.not_full.notify_all();
         }
@@ -281,6 +331,7 @@ impl Shared {
             enqueued: self.enqueued.load(Ordering::Relaxed) as u64,
             dequeued: self.dequeued.load(Ordering::Relaxed) as u64,
             full_rejections: self.full_rejections.load(Ordering::Relaxed) as u64,
+            displaced: self.displaced.load(Ordering::Relaxed) as u64,
         }
     }
 }
@@ -288,14 +339,18 @@ impl Shared {
 impl Clone for Producer {
     fn clone(&self) -> Self {
         self.shared.producers.fetch_add(1, Ordering::AcqRel);
-        Producer { shared: Arc::clone(&self.shared) }
+        Producer {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
 impl Clone for Consumer {
     fn clone(&self) -> Self {
         self.shared.consumers.fetch_add(1, Ordering::AcqRel);
-        Consumer { shared: Arc::clone(&self.shared) }
+        Consumer {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -323,7 +378,11 @@ mod tests {
 
     fn t(x: i64) -> Tuple {
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
-        TupleBuilder::new(schema).push(x).at(Timestamp::logical(x)).build().unwrap()
+        TupleBuilder::new(schema)
+            .push(x)
+            .at(Timestamp::logical(x))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -348,6 +407,26 @@ mod tests {
         }
         assert_eq!(c.stats().full_rejections, 1);
         assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn enqueue_displacing_sheds_oldest_tuple_only() {
+        let (p, c) = fjord(2, QueueKind::Push);
+        p.enqueue(FjordMessage::Tuple(t(1))).unwrap();
+        p.enqueue(FjordMessage::Tuple(t(2))).unwrap();
+        // Full: the oldest tuple (1) makes room for 3.
+        let displaced = p.enqueue_displacing(FjordMessage::Tuple(t(3))).unwrap();
+        assert_eq!(displaced, Some(FjordMessage::Tuple(t(1))));
+        assert_eq!(c.stats().displaced, 1);
+        assert_eq!(c.dequeue(), DequeueResult::Msg(FjordMessage::Tuple(t(2))));
+        assert_eq!(c.dequeue(), DequeueResult::Msg(FjordMessage::Tuple(t(3))));
+        // Control messages are never displaced.
+        let (p, _c2) = fjord(1, QueueKind::Push);
+        p.enqueue(FjordMessage::Eof).unwrap();
+        assert!(matches!(
+            p.enqueue_displacing(FjordMessage::Tuple(t(4))),
+            Err(EnqueueError::Full(_))
+        ));
     }
 
     #[test]
@@ -529,7 +608,8 @@ mod stress_tests {
         }
         drop(c);
         for seq in 0..N {
-            p.enqueue_blocking(FjordMessage::Tuple(tagged(0, seq))).unwrap();
+            p.enqueue_blocking(FjordMessage::Tuple(tagged(0, seq)))
+                .unwrap();
         }
         drop(p);
         let mut all: Vec<i64> = Vec::new();
@@ -537,6 +617,10 @@ mod stress_tests {
             all.extend(h.join().unwrap());
         }
         all.sort_unstable();
-        assert_eq!(all, (0..N).collect::<Vec<_>>(), "exactly-once across consumers");
+        assert_eq!(
+            all,
+            (0..N).collect::<Vec<_>>(),
+            "exactly-once across consumers"
+        );
     }
 }

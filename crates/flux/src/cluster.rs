@@ -5,7 +5,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
-use tcq_common::{Result, TcqError, Tuple, Value};
+use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple, Value};
 
 /// Configuration for a [`FluxCluster`].
 #[derive(Debug, Clone)]
@@ -113,8 +113,15 @@ pub struct FluxStats {
     pub partitions_moved: u64,
     /// Failovers performed.
     pub failovers: u64,
-    /// Tuples lost to failures (non-replicated runs).
+    /// Tuples lost to failures (non-replicated runs): for each partition
+    /// that died without a live replica, its queued inputs plus every
+    /// tuple already folded into its state. The cluster's output shortfall
+    /// equals this counter exactly.
     pub lost_inflight: u64,
+    /// Nodes restarted (rejoined) after a kill.
+    pub restarts: u64,
+    /// Tuples dropped at ingest by injected queue overflow.
+    pub overflow_dropped: u64,
 }
 
 /// The simulated cluster.
@@ -128,6 +135,8 @@ pub struct FluxCluster {
     key_col: usize,
     val_col: usize,
     stats: FluxStats,
+    /// Optional chaos injector polled at tick/ingest/state-move points.
+    injector: Option<SharedInjector>,
 }
 
 impl FluxCluster {
@@ -158,12 +167,36 @@ impl FluxCluster {
         let primary: Vec<usize> = (0..config.partitions).map(|p| p as usize % n).collect();
         let replica: Vec<Option<usize>> = if config.replication {
             (0..config.partitions)
-                .map(|p| if n > 1 { Some((p as usize + 1) % n) } else { None })
+                .map(|p| {
+                    if n > 1 {
+                        Some((p as usize + 1) % n)
+                    } else {
+                        None
+                    }
+                })
                 .collect()
         } else {
             vec![None; config.partitions as usize]
         };
-        Ok(FluxCluster { config, nodes, primary, replica, key_col, val_col, stats: FluxStats::default() })
+        Ok(FluxCluster {
+            config,
+            nodes,
+            primary,
+            replica,
+            key_col,
+            val_col,
+            stats: FluxStats::default(),
+            injector: None,
+        })
+    }
+
+    /// Attach a chaos injector. The cluster polls it once per tick
+    /// ([`FaultPoint::ClusterTick`]: kills, restarts, stragglers), once per
+    /// ingested tuple ([`FaultPoint::Ingest`]: overflow, errors), and once
+    /// per state movement with the state in flight
+    /// ([`FaultPoint::StateMove`]: kill-during-move).
+    pub fn attach_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
     }
 
     fn partition_of(&self, key: &Value) -> u32 {
@@ -174,7 +207,32 @@ impl FluxCluster {
 
     /// Route one tuple into the cluster (to the primary's queue, and the
     /// replica's in replication mode).
+    ///
+    /// Malformed (too-narrow) tuples are rejected with an error rather
+    /// than panicking — the exchange must survive garbage from upstream.
+    /// Injected overflow drops the tuple and accounts it in
+    /// [`FluxStats::overflow_dropped`].
     pub fn ingest(&mut self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() <= self.key_col.max(self.val_col) {
+            return Err(TcqError::Flux(format!(
+                "malformed tuple: arity {} too small for key column {} / value column {}",
+                tuple.arity(),
+                self.key_col,
+                self.val_col
+            )));
+        }
+        if let Some(inj) = &self.injector {
+            match inj.poll(FaultPoint::Ingest) {
+                Some(FaultAction::Overflow) => {
+                    self.stats.overflow_dropped += 1;
+                    return Ok(());
+                }
+                Some(FaultAction::Error(msg)) => {
+                    return Err(TcqError::Flux(format!("injected ingest fault: {msg}")));
+                }
+                _ => {}
+            }
+        }
         let key = tuple.value(self.key_col).clone();
         let val = tuple.value(self.val_col).as_float().unwrap_or(0.0);
         let p = self.partition_of(&key);
@@ -198,6 +256,11 @@ impl FluxCluster {
     /// its speed; the balancer runs on its schedule.
     pub fn tick(&mut self) {
         self.stats.ticks += 1;
+        if let Some(inj) = self.injector.clone() {
+            if let Some(action) = inj.poll(FaultPoint::ClusterTick) {
+                self.apply_tick_fault(action);
+            }
+        }
         for i in 0..self.nodes.len() {
             if !self.nodes[i].alive {
                 continue;
@@ -207,7 +270,9 @@ impl FluxCluster {
                 continue;
             }
             for _ in 0..self.nodes[i].speed {
-                let Some((p, key, val)) = self.nodes[i].queue.pop_front() else { break };
+                let Some((p, key, val)) = self.nodes[i].queue.pop_front() else {
+                    break;
+                };
                 let node = &mut self.nodes[i];
                 let group = node.state.entry(p).or_default();
                 let entry = group.entry(key).or_insert((0, 0.0));
@@ -223,6 +288,31 @@ impl FluxCluster {
             && self.stats.ticks.is_multiple_of(self.config.rebalance_every)
         {
             self.rebalance();
+        }
+    }
+
+    /// Apply a [`FaultPoint::ClusterTick`] chaos action. Kills and
+    /// restarts of already-dead/alive nodes are no-ops, so probabilistic
+    /// schedules cannot wedge the simulation.
+    fn apply_tick_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::KillNode(n) if n < self.nodes.len() && self.nodes[n].alive => {
+                let _ = self.kill_node(n);
+            }
+            FaultAction::RestartNode(n) if n < self.nodes.len() && !self.nodes[n].alive => {
+                let _ = self.restart_node(n);
+            }
+            FaultAction::Straggler { node, ticks }
+                if node < self.nodes.len() && self.nodes[node].alive =>
+            {
+                self.nodes[node].stall += ticks;
+            }
+            FaultAction::Stall { ticks } => {
+                for node in self.nodes.iter_mut().filter(|n| n.alive) {
+                    node.stall += ticks;
+                }
+            }
+            _ => {}
         }
     }
 
@@ -255,7 +345,9 @@ impl FluxCluster {
             return Ok(());
         }
         if !self.nodes[dst].alive {
-            return Err(TcqError::Flux(format!("cannot move partition {p} to dead node {dst}")));
+            return Err(TcqError::Flux(format!(
+                "cannot move partition {p} to dead node {dst}"
+            )));
         }
         // Pause + drain: pending inputs for p leave the old primary's queue.
         let mut pending = VecDeque::new();
@@ -278,8 +370,7 @@ impl FluxCluster {
             self.primary[p as usize] = dst;
             self.replica[p as usize] = Some(src);
             let mirror = self.nodes[dst].state.get(&p).cloned().unwrap_or_default();
-            let queued: Vec<(u32, Value, f64)> = self
-                .nodes[dst]
+            let queued: Vec<(u32, Value, f64)> = self.nodes[dst]
                 .queue
                 .iter()
                 .filter(|item| item.0 == p)
@@ -292,7 +383,33 @@ impl FluxCluster {
                 src_node.queue.push_back(item);
             }
         } else {
-            // Plain move: state and pending inputs travel to dst.
+            // Plain move: state and pending inputs travel to dst. With the
+            // state in flight (drained from src, not yet installed), either
+            // endpoint may die; the protocol installs at a survivor so the
+            // movement itself never loses data.
+            let mut kill_after: Option<usize> = None;
+            if let Some(inj) = self.injector.clone() {
+                match inj.poll(FaultPoint::StateMove) {
+                    Some(FaultAction::KillNode(n)) if n < self.nodes.len() => {
+                        kill_after = Some(n);
+                    }
+                    Some(FaultAction::Stall { ticks }) => self.nodes[dst].stall += ticks,
+                    _ => {}
+                }
+            }
+            if kill_after == Some(dst) {
+                // Destination died mid-move: reinstall at the source and
+                // abort; the balancer can retry against a live target.
+                let node = &mut self.nodes[src];
+                node.state.insert(p, state);
+                for item in pending {
+                    node.queue.push_back(item);
+                }
+                if self.nodes[dst].alive {
+                    self.kill_node(dst)?;
+                }
+                return Ok(());
+            }
             let entries = state.len() as u64;
             self.nodes[dst].state.insert(p, state);
             self.nodes[dst].stall += (entries / 64) * self.config.move_cost_per_64;
@@ -300,6 +417,16 @@ impl FluxCluster {
                 self.nodes[dst].queue.push_back(item);
             }
             self.primary[p as usize] = dst;
+            if let Some(k) = kill_after {
+                // Source (or a bystander) died after the install landed:
+                // the moved partition is already safe at dst; the kill
+                // follows the normal failover path for everything else.
+                self.stats.partitions_moved += 1;
+                if self.nodes[k].alive {
+                    self.kill_node(k)?;
+                }
+                return Ok(());
+            }
         }
         self.stats.partitions_moved += 1;
         Ok(())
@@ -309,8 +436,9 @@ impl FluxCluster {
     /// least by the configured ratio, move one of its partitions over.
     pub fn rebalance(&mut self) {
         for _ in 0..4 {
-            let alive: Vec<usize> =
-                (0..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect();
+            let alive: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].alive)
+                .collect();
             if alive.len() < 2 {
                 return;
             }
@@ -321,7 +449,10 @@ impl FluxCluster {
                 (Some(a), Some(b)) => (a, b),
                 _ => return,
             };
-            let (hi, lo) = (self.nodes[max_node].backlog(), self.nodes[min_node].backlog());
+            let (hi, lo) = (
+                self.nodes[max_node].backlog(),
+                self.nodes[min_node].backlog(),
+            );
             if hi < 8 || (hi as f64) < (lo.max(1) as f64) * self.config.imbalance_threshold {
                 return;
             }
@@ -357,8 +488,15 @@ impl FluxCluster {
             return Err(TcqError::Flux(format!("node {node} already dead")));
         }
         self.nodes[node].alive = false;
-        let lost_backlog = self.nodes[node].queue.len() as u64;
+        // Per-partition accounting of what died with the node: queued
+        // inputs plus tuples already folded into its aggregate state.
+        // Only partitions with no live replica actually lose them.
+        let mut queued: HashMap<u32, u64> = HashMap::new();
+        for (p, _, _) in &self.nodes[node].queue {
+            *queued.entry(*p).or_default() += 1;
+        }
         self.nodes[node].queue.clear();
+        let dead_state = std::mem::take(&mut self.nodes[node].state);
         let owned: Vec<u32> = (0..self.config.partitions)
             .filter(|&p| self.primary[p as usize] == node)
             .collect();
@@ -366,7 +504,9 @@ impl FluxCluster {
             match self.replica[p as usize] {
                 Some(r) if self.nodes[r].alive => {
                     // Promote the replica; its state and queue already hold
-                    // everything the primary had seen or would see.
+                    // everything the primary had seen or would see. Then
+                    // re-replicate so the replication factor survives the
+                    // failure, not just the data.
                     self.primary[p as usize] = r;
                     self.replica[p as usize] = self.pick_new_replica(r);
                     if let Some(nr) = self.replica[p as usize] {
@@ -375,14 +515,25 @@ impl FluxCluster {
                     self.stats.failovers += 1;
                 }
                 _ => {
-                    // Data loss: no replica. The partition restarts empty on
-                    // a surviving node.
+                    // Data loss: no live replica. The partition restarts
+                    // empty on a surviving node; its queued inputs and
+                    // aggregated tuples are gone and accounted exactly.
+                    let absorbed: u64 = dead_state
+                        .get(&p)
+                        .map(|g| g.values().map(|(c, _)| *c).sum())
+                        .unwrap_or(0);
+                    self.stats.lost_inflight += queued.get(&p).copied().unwrap_or(0) + absorbed;
                     let fallback = self.pick_new_replica(node);
                     if let Some(f) = fallback {
                         self.primary[p as usize] = f;
                         self.nodes[f].state.entry(p).or_default();
+                        if self.config.replication {
+                            self.replica[p as usize] = self.pick_new_replica(f);
+                            if let Some(nr) = self.replica[p as usize] {
+                                self.mirror_partition(p, f, nr);
+                            }
+                        }
                     }
-                    self.stats.lost_inflight += lost_backlog;
                 }
             }
         }
@@ -399,8 +550,68 @@ impl FluxCluster {
         Ok(())
     }
 
+    /// Pick a host for a new replica: the least-loaded live node other
+    /// than `not` (backlog plus resident partitions, ties broken by
+    /// index so the choice is deterministic). Returns `None` when the
+    /// cluster is down to a single live node.
     fn pick_new_replica(&self, not: usize) -> Option<usize> {
-        (0..self.nodes.len()).find(|&i| i != not && self.nodes[i].alive)
+        (0..self.nodes.len())
+            .filter(|&i| i != not && self.nodes[i].alive)
+            .min_by_key(|&i| (self.nodes[i].backlog() + self.nodes[i].state.len(), i))
+    }
+
+    /// Restart (rejoin) a previously killed node. The node comes back
+    /// empty — its pre-crash state is assumed gone — and with replication
+    /// enabled it is immediately drafted as the replica for every
+    /// partition whose replication factor is degraded, paying the normal
+    /// state-installation stall as catch-up cost.
+    pub fn restart_node(&mut self, node: usize) -> Result<()> {
+        if node >= self.nodes.len() {
+            return Err(TcqError::Flux(format!("no such node {node}")));
+        }
+        if self.nodes[node].alive {
+            return Err(TcqError::Flux(format!("node {node} is already alive")));
+        }
+        let n = &mut self.nodes[node];
+        n.alive = true;
+        n.queue.clear();
+        n.state.clear();
+        n.stall = 0;
+        self.stats.restarts += 1;
+        if self.config.replication {
+            for p in 0..self.config.partitions as usize {
+                let pr = self.primary[p];
+                if !self.nodes[pr].alive || pr == node {
+                    continue;
+                }
+                let degraded = match self.replica[p] {
+                    Some(r) => !self.nodes[r].alive,
+                    None => true,
+                };
+                if degraded {
+                    self.replica[p] = Some(node);
+                    self.mirror_partition(p as u32, pr, node);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every partition has a live primary and, in replication
+    /// mode with ≥2 live nodes, a live replica distinct from it. The
+    /// invariant the recovery paths maintain.
+    pub fn fully_replicated(&self) -> bool {
+        let live = self.nodes.iter().filter(|n| n.alive).count();
+        (0..self.config.partitions as usize).all(|p| {
+            let pr = self.primary[p];
+            if !self.nodes[pr].alive {
+                return false;
+            }
+            if !self.config.replication || live < 2 {
+                return true;
+            }
+            matches!(self.replica[p], Some(r) if r != pr && self.nodes[r].alive)
+        })
     }
 
     /// Re-establish a replica: copy `from`'s state for `p` AND its queued
@@ -408,8 +619,7 @@ impl FluxCluster {
     /// primary state + queue) holds after the copy.
     fn mirror_partition(&mut self, p: u32, from: usize, to: usize) {
         let state = self.nodes[from].state.get(&p).cloned().unwrap_or_default();
-        let queued: Vec<(u32, Value, f64)> = self
-            .nodes[from]
+        let queued: Vec<(u32, Value, f64)> = self.nodes[from]
             .queue
             .iter()
             .filter(|item| item.0 == p)
@@ -437,6 +647,21 @@ impl FluxCluster {
             }
         }
         out
+    }
+
+    /// The node currently serving partition `p` as primary.
+    pub fn primary_of(&self, p: u32) -> usize {
+        self.primary[p as usize]
+    }
+
+    /// The node currently holding partition `p`'s replica, if any.
+    pub fn replica_of(&self, p: u32) -> Option<usize> {
+        self.replica[p as usize]
+    }
+
+    /// Number of hash partitions.
+    pub fn partitions(&self) -> u32 {
+        self.config.partitions
     }
 
     /// Per-node statistics.
@@ -520,7 +745,11 @@ mod tests {
                 cluster.ingest(tp).unwrap();
             }
             let ticks = cluster.run_until_drained(100_000);
-            assert_eq!(cluster.results(), reference(&tuples), "answers must survive moves");
+            assert_eq!(
+                cluster.results(),
+                reference(&tuples),
+                "answers must survive moves"
+            );
             (ticks, cluster.stats().partitions_moved)
         };
         let (ticks_static, moved_static) = run(0);
@@ -616,7 +845,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(FluxCluster::new(
-            FluxConfig { nodes: 0, ..FluxConfig::uniform(1) },
+            FluxConfig {
+                nodes: 0,
+                ..FluxConfig::uniform(1)
+            },
             0,
             1
         )
@@ -631,9 +863,229 @@ mod tests {
 
     #[test]
     fn kill_dead_node_rejected() {
-        let mut cluster = FluxCluster::new(FluxConfig::uniform(2).with_replication(), 0, 1)
-            .unwrap();
+        let mut cluster =
+            FluxCluster::new(FluxConfig::uniform(2).with_replication(), 0, 1).unwrap();
         cluster.kill_node(0).unwrap();
         assert!(cluster.kill_node(0).is_err());
+    }
+
+    #[test]
+    fn replication_factor_restored_after_any_single_kill() {
+        for victim in 0..4 {
+            let cfg = FluxConfig::uniform(4).with_replication();
+            let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+            for tp in workload(500, 23) {
+                cluster.ingest(&tp).unwrap();
+            }
+            assert!(cluster.fully_replicated());
+            cluster.kill_node(victim).unwrap();
+            assert!(
+                cluster.fully_replicated(),
+                "after killing node {victim} every partition must regain a live replica"
+            );
+        }
+    }
+
+    #[test]
+    fn double_fault_primary_then_promoted_replica_loses_nothing() {
+        // Kill a primary, then kill the node its replicas were promoted
+        // onto. Because failover immediately re-replicates, the second
+        // fault still finds a live copy of everything.
+        let cfg = FluxConfig::uniform(4).with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let tuples = workload(3000, 41);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 16 == 0 {
+                cluster.tick();
+            }
+            if i == 1000 {
+                cluster.kill_node(1).unwrap();
+            }
+            if i == 2000 {
+                // Node 1's partitions were promoted to node 2 (its paired
+                // replica in the initial (p+1)%n layout); kill that too.
+                cluster.kill_node(2).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        let st = cluster.stats();
+        assert_eq!(st.lost_inflight, 0, "double fault must not lose data");
+        assert!(cluster.fully_replicated());
+    }
+
+    #[test]
+    fn kill_down_to_one_node_keeps_answers() {
+        // Sequential kills down to a single survivor: each failover finds
+        // a live replica, so the lone node ends up holding everything.
+        let cfg = FluxConfig::uniform(3).with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let tuples = workload(1500, 29);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 8 == 0 {
+                cluster.tick();
+            }
+            if i == 500 {
+                cluster.kill_node(0).unwrap();
+            }
+            if i == 1000 {
+                cluster.kill_node(1).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert_eq!(cluster.stats().lost_inflight, 0);
+        // pick_new_replica has nowhere to go: replicas are gone, primaries
+        // all on the survivor.
+        let stats = cluster.node_stats();
+        assert!(!stats[0].alive && !stats[1].alive && stats[2].alive);
+        assert_eq!(stats[2].primaries, 64);
+    }
+
+    #[test]
+    fn loss_without_replication_equals_lost_inflight_exactly() {
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(4), 0, 1).unwrap();
+        let tuples = workload(4000, 53);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 16 == 0 {
+                cluster.tick();
+            }
+            if i == 2000 {
+                cluster.kill_node(2).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        let got_total: u64 = cluster.results().values().map(|(c, _)| c).sum();
+        let st = cluster.stats();
+        assert!(st.lost_inflight > 0);
+        assert_eq!(
+            got_total + st.lost_inflight,
+            4000,
+            "output shortfall must equal the accounted loss"
+        );
+    }
+
+    #[test]
+    fn restart_node_rejoins_as_replica_and_serves_after_next_failover() {
+        let cfg = FluxConfig::uniform(3).with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let tuples = workload(3000, 31);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 8 == 0 {
+                cluster.tick();
+            }
+            if i == 500 {
+                cluster.kill_node(0).unwrap();
+            }
+            if i == 1500 {
+                cluster.restart_node(0).unwrap();
+            }
+            if i == 2500 {
+                // The restarted node is a replica again; killing another
+                // node must promote onto it without loss.
+                cluster.kill_node(1).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        let st = cluster.stats();
+        assert_eq!(st.restarts, 1);
+        assert_eq!(st.lost_inflight, 0);
+        assert!(cluster.fully_replicated());
+        assert!(cluster.node_stats()[0].alive);
+        // Restarting an alive node is rejected.
+        assert!(cluster.restart_node(0).is_err());
+    }
+
+    #[test]
+    fn kill_during_move_with_state_in_flight_is_lossless() {
+        use tcq_common::{FaultAction, FaultPlan, FaultPoint};
+        // Destination dies with the state in flight: the move aborts and
+        // reinstalls at the source.
+        let mut cluster =
+            FluxCluster::new(FluxConfig::uniform(3).with_replication(), 0, 1).unwrap();
+        let tuples = workload(600, 19);
+        for tp in &tuples {
+            cluster.ingest(tp).unwrap();
+        }
+        cluster.attach_injector(
+            FaultPlan::new(11)
+                .at(FaultPoint::StateMove, 1, FaultAction::KillNode(2))
+                .build_shared(),
+        );
+        // Find a partition owned by node 0 and push it toward node 2.
+        let p = (0..64u32).find(|&p| cluster.primary_of(p) == 0).unwrap();
+        cluster.move_partition(p, 2).unwrap();
+        assert!(!cluster.node_stats()[2].alive, "injected kill must land");
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert_eq!(cluster.stats().lost_inflight, 0);
+
+        // Source dies mid-move: the state already travelled, dst serves it.
+        let mut cluster =
+            FluxCluster::new(FluxConfig::uniform(3).with_replication(), 0, 1).unwrap();
+        for tp in &tuples {
+            cluster.ingest(tp).unwrap();
+        }
+        cluster.attach_injector(
+            FaultPlan::new(12)
+                .at(FaultPoint::StateMove, 1, FaultAction::KillNode(0))
+                .build_shared(),
+        );
+        let p = (0..64u32).find(|&p| cluster.primary_of(p) == 0).unwrap();
+        cluster.move_partition(p, 2).unwrap();
+        assert!(!cluster.node_stats()[0].alive);
+        assert_eq!(
+            cluster.primary_of(p),
+            2,
+            "install must land before the kill"
+        );
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert_eq!(cluster.stats().lost_inflight, 0);
+    }
+
+    #[test]
+    fn injected_overflow_and_malformed_tuples_are_accounted() {
+        use tcq_common::{FaultAction, FaultPlan, FaultPoint};
+        let mut cluster = FluxCluster::new(FluxConfig::uniform(2), 0, 1).unwrap();
+        cluster.attach_injector(
+            FaultPlan::new(5)
+                .at(FaultPoint::Ingest, 3, FaultAction::Overflow)
+                .at(
+                    FaultPoint::Ingest,
+                    7,
+                    FaultAction::Error("queue wedged".into()),
+                )
+                .build_shared(),
+        );
+        let mut accepted = 0u64;
+        let mut errors = 0u64;
+        for i in 0..10 {
+            match cluster.ingest(&t(i % 3, 1.0, i)) {
+                Ok(()) => accepted += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        // Poll 3 dropped (counted, Ok), poll 7 errored.
+        assert_eq!(errors, 1);
+        assert_eq!(accepted, 9);
+        assert_eq!(cluster.stats().overflow_dropped, 1);
+        cluster.run_until_drained(10_000);
+        let total: u64 = cluster.results().values().map(|(c, _)| c).sum();
+        assert_eq!(total + cluster.stats().overflow_dropped + errors, 10);
+
+        // Malformed (narrow) tuple rejected without panicking.
+        let narrow = Schema::new(vec![Field::new("only", DataType::Int)]).into_ref();
+        let bad = TupleBuilder::new(narrow)
+            .push(1i64)
+            .at(Timestamp::logical(1))
+            .build()
+            .unwrap();
+        assert!(cluster.ingest(&bad).is_err());
     }
 }

@@ -1,7 +1,5 @@
 //! Synthetic stream generators with experiment-grade control knobs.
 
-use rand::Rng;
-
 use tcq_common::rng::{seeded, TcqRng};
 use tcq_common::{DataType, Field, Result, Schema, SchemaRef, Timestamp, Tuple, Value};
 
@@ -180,7 +178,10 @@ impl NetworkPackets {
 
     fn draw_host(&mut self) -> i64 {
         let u: f64 = self.rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf"))
+        {
             Ok(i) | Err(i) => (i as i64 + 1).min(self.hosts),
         }
     }
@@ -264,7 +265,11 @@ impl SensorReadings {
             schema: Self::schema_for(qualifier),
             seq: 0,
             sensors: (0..n_sensors)
-                .map(|i| SensorState { id: i as i64, temp: 20.0, down_for: 0 })
+                .map(|i| SensorState {
+                    id: i as i64,
+                    temp: 20.0,
+                    down_for: 0,
+                })
                 .collect(),
             next_sensor: 0,
             max_readings: None,
@@ -308,7 +313,11 @@ impl Source for SensorReadings {
             let idx = self.next_sensor;
             self.next_sensor = (self.next_sensor + 1) % self.sensors.len();
             let dropout = self.dropout_prob > 0.0 && self.rng.gen_bool(self.dropout_prob);
-            let down_len = if dropout { self.rng.gen_range(3..20u32) } else { 0 };
+            let down_len = if dropout {
+                self.rng.gen_range(3..20u32)
+            } else {
+                0
+            };
             let drift = self.rng.gen_range(-0.2..0.2);
             let s = &mut self.sensors[idx];
             if s.down_for > 0 {
@@ -338,10 +347,13 @@ mod tests {
 
     #[test]
     fn stock_ticks_cover_all_symbols_each_day() {
-        let mut g = StockTicks::new("ClosingStockPrices", &["MSFT", "IBM", "ORCL"], 1)
-            .with_max_days(10);
+        let mut g =
+            StockTicks::new("ClosingStockPrices", &["MSFT", "IBM", "ORCL"], 1).with_max_days(10);
         let mut out = Vec::new();
-        assert_eq!(g.next_batch(1000, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(
+            g.next_batch(1000, &mut out).unwrap(),
+            SourceStatus::Exhausted
+        );
         assert_eq!(out.len(), 30);
         // day 1 has exactly the three symbols
         let day1: Vec<&str> = out
@@ -411,6 +423,8 @@ mod tests {
         }
         assert_eq!(out.len(), 500);
         // timestamps strictly increasing
-        assert!(out.windows(2).all(|w| w[0].timestamp().seq() < w[1].timestamp().seq()));
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].timestamp().seq() < w[1].timestamp().seq()));
     }
 }

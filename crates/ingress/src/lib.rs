@@ -20,13 +20,21 @@
 //!   file.
 //! * [`Streamer`] — the wrapper-process thread: drains any [`Source`] into
 //!   a Fjord push queue, honouring back-pressure, stamping arrival order.
+//! * [`Supervisor`] — a chaos-hardened streamer: restarts panicking or
+//!   erroring sources with capped exponential backoff, filters malformed
+//!   tuples, and degrades gracefully (shed/sample) under sustained
+//!   overflow, with every lost tuple accounted in [`SupervisorStats`].
 
 #![warn(missing_docs)]
 
 pub mod generators;
 pub mod source;
 pub mod streamer;
+pub mod supervisor;
 
 pub use generators::{NetworkPackets, SensorReadings, StockTicks};
 pub use source::{CsvSource, Source, SourceStatus, VecSource};
 pub use streamer::Streamer;
+pub use supervisor::{
+    ChaosSource, DegradePolicy, SourceFactory, Supervisor, SupervisorConfig, SupervisorStats,
+};

@@ -40,7 +40,10 @@ impl VecSource {
                 "VecSource tuple {bad:?} does not match schema {schema}"
             )));
         }
-        Ok(VecSource { schema, tuples: tuples.into_iter() })
+        Ok(VecSource {
+            schema,
+            tuples: tuples.into_iter(),
+        })
     }
 }
 
@@ -111,7 +114,11 @@ impl CsvSource {
             };
             values.push(v);
         }
-        Tuple::new(self.schema.clone(), values, Timestamp::logical(self.line_no))
+        Tuple::new(
+            self.schema.clone(),
+            values,
+            Timestamp::logical(self.line_no),
+        )
     }
 }
 
@@ -178,9 +185,15 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(src.next_batch(3, &mut out).unwrap(), SourceStatus::Ready);
         assert_eq!(out.len(), 3);
-        assert_eq!(src.next_batch(10, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(
+            src.next_batch(10, &mut out).unwrap(),
+            SourceStatus::Exhausted
+        );
         assert_eq!(out.len(), 5);
-        assert_eq!(src.next_batch(1, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(
+            src.next_batch(1, &mut out).unwrap(),
+            SourceStatus::Exhausted
+        );
     }
 
     #[test]
@@ -196,7 +209,10 @@ mod tests {
         std::fs::write(&path, "1,MSFT,50.5\n2,IBM,80.0\n\n3,,2.5\n").unwrap();
         let mut src = CsvSource::open(&path, schema()).unwrap();
         let mut out = Vec::new();
-        assert_eq!(src.next_batch(10, &mut out).unwrap(), SourceStatus::Exhausted);
+        assert_eq!(
+            src.next_batch(10, &mut out).unwrap(),
+            SourceStatus::Exhausted
+        );
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].value(1), &Value::str("MSFT"));
         assert_eq!(out[0].value(2), &Value::Float(50.5));

@@ -80,7 +80,12 @@ impl Streamer {
                 Ok(())
             })
             .expect("spawn streamer thread");
-        Streamer { handle: Some(handle), stop, delivered, name }
+        Streamer {
+            handle: Some(handle),
+            stop,
+            delivered,
+            name,
+        }
     }
 
     /// Tuples delivered so far.
@@ -97,9 +102,7 @@ impl Streamer {
     pub fn stop(mut self) -> Result<()> {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
-            h.join().map_err(|_| {
-                tcq_common::TcqError::Executor(format!("streamer {} panicked", self.name))
-            })??;
+            join_streamer(h, &self.name)?;
         }
         Ok(())
     }
@@ -107,11 +110,28 @@ impl Streamer {
     /// Wait for the source to exhaust (finite sources).
     pub fn join(mut self) -> Result<()> {
         if let Some(h) = self.handle.take() {
-            h.join().map_err(|_| {
-                tcq_common::TcqError::Executor(format!("streamer {} panicked", self.name))
-            })??;
+            join_streamer(h, &self.name)?;
         }
         Ok(())
+    }
+}
+
+/// Join the streamer thread, converting a panic into an error that
+/// carries the panic message (`&str` and `String` payloads — the two
+/// `panic!` produces) instead of discarding it.
+fn join_streamer(h: JoinHandle<Result<()>>, name: &str) -> Result<()> {
+    match h.join() {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(tcq_common::TcqError::Executor(format!(
+                "streamer {name} panicked: {msg}"
+            )))
+        }
     }
 }
 
@@ -202,6 +222,33 @@ mod tests {
         drop(c);
         // join returns (thread noticed disconnection)
         s.join().unwrap();
+    }
+
+    #[test]
+    fn panic_message_survives_join() {
+        use crate::source::SourceStatus;
+        use tcq_common::{Result, SchemaRef, Tuple};
+
+        struct PanickingSource(SchemaRef);
+        impl crate::source::Source for PanickingSource {
+            fn schema(&self) -> &SchemaRef {
+                &self.0
+            }
+            fn next_batch(&mut self, _max: usize, _out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+                panic!("sensor wire cut at packet 17");
+            }
+        }
+
+        let (p, _c) = fjord(8, QueueKind::Push);
+        let src = PanickingSource(StockTicks::schema_for("s"));
+        let s = Streamer::spawn("flaky", Box::new(src), p);
+        let err = s.join().unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("sensor wire cut at packet 17"),
+            "panic payload must reach the caller, got: {text}"
+        );
+        assert!(text.contains("flaky"), "error names the streamer: {text}");
     }
 
     #[test]

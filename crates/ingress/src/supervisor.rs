@@ -1,0 +1,725 @@
+//! Supervised ingress: keep flaky sources flowing.
+//!
+//! TelegraphCQ ingests "from an uncertain world": wrappers talk to network
+//! feeds and sensors that disconnect, emit garbage, or crash (§2.3 notes
+//! sensors "may have run out of power or temporarily disconnected"). A
+//! [`Supervisor`] is a [`Streamer`](crate::Streamer) hardened for that
+//! world: it catches source panics and errors, restarts the source with
+//! capped exponential backoff, filters malformed tuples, and applies a
+//! configurable [`DegradePolicy`] when the downstream Fjord stays full —
+//! all reported through [`SupervisorStats`] so loss is *accounted*, never
+//! silent.
+//!
+//! The source is rebuilt by a [`SourceFactory`] closure receiving the
+//! restart attempt number and the count of tuples already delivered, so
+//! resumable sources can skip what the pipeline has already seen
+//! (exactly-once across restarts).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tcq_common::sync::Mutex;
+use tcq_common::{
+    FaultAction, FaultPoint, Result, Schema, SharedInjector, TcqError, Timestamp, Tuple,
+};
+use tcq_fjords::{EnqueueError, FjordMessage, Producer};
+
+use crate::source::{Source, SourceStatus};
+
+/// Rebuilds the supervised source after a failure. Receives the restart
+/// attempt (0 for the initial build) and how many tuples have already
+/// been delivered downstream, so a resumable source can skip them.
+pub type SourceFactory = Box<dyn FnMut(u64, u64) -> Result<Box<dyn Source>> + Send>;
+
+/// What to do with tuples when the downstream Fjord stays full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Never drop: yield and retry until the consumer catches up (the
+    /// default — loss-free but the source stalls).
+    Backpressure,
+    /// Drop the *oldest* queued tuple to make room (freshest data wins —
+    /// the right policy for monitoring streams).
+    ShedOldest,
+    /// Drop the incoming tuple (cheapest; keeps the queue's history).
+    ShedNewest,
+    /// Under overflow keep one tuple in `keep_one_in`, dropping the rest
+    /// (graceful quality degradation instead of a hard stall).
+    Sample {
+        /// Keep every `keep_one_in`-th overflowing tuple (≥ 1).
+        keep_one_in: u32,
+    },
+}
+
+/// Supervision knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Give up after this many restarts (the stream then EOFs).
+    pub max_restarts: u64,
+    /// First restart delay; doubles per consecutive failure.
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Overflow behaviour.
+    pub policy: DegradePolicy,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 8,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            policy: DegradePolicy::Backpressure,
+        }
+    }
+}
+
+/// Per-stream supervision counters. Every dropped or rejected tuple shows
+/// up here: `delivered + shed + malformed` accounts for every tuple the
+/// source produced.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorStats {
+    /// Tuples delivered downstream.
+    pub delivered: u64,
+    /// Source restarts performed (panics + errors that were retried).
+    pub restarts: u64,
+    /// Restarts caused by a panicking source.
+    pub panics: u64,
+    /// Restarts caused by a source read error.
+    pub source_errors: u64,
+    /// Tuples dropped by the degradation policy (shed-oldest counts the
+    /// displaced victim, shed-newest/sample the rejected arrival).
+    pub shed: u64,
+    /// Malformed (schema-arity-mismatched) tuples filtered out.
+    pub malformed: u64,
+    /// True once the restart budget is exhausted and the stream EOFed.
+    pub gave_up: bool,
+    /// Message of the most recent failure, if any.
+    pub last_failure: Option<String>,
+}
+
+#[derive(Default)]
+struct SharedStats {
+    delivered: AtomicU64,
+    restarts: AtomicU64,
+    panics: AtomicU64,
+    source_errors: AtomicU64,
+    shed: AtomicU64,
+    malformed: AtomicU64,
+    gave_up: AtomicBool,
+    last_failure: Mutex<Option<String>>,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> SupervisorStats {
+        SupervisorStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            source_errors: self.source_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
+            last_failure: self.last_failure.lock().clone(),
+        }
+    }
+}
+
+/// Why one supervised run of the source ended.
+enum RunEnd {
+    Exhausted,
+    Stopped,
+    Disconnected,
+    Failed(String),
+}
+
+/// Handle to a supervised ingress thread.
+pub struct Supervisor {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    name: String,
+}
+
+impl Supervisor {
+    /// Spawn a supervised streamer: build a source via `factory`, drain it
+    /// into `output`, and on panic or error rebuild and resume per
+    /// `config`. EOF is sent exactly once — when the source exhausts, the
+    /// restart budget runs out, or `stop` is requested.
+    pub fn spawn(
+        name: impl Into<String>,
+        mut factory: SourceFactory,
+        output: Producer,
+        config: SupervisorConfig,
+    ) -> Supervisor {
+        let name = name.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        let tname = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("supervisor-{tname}"))
+            .spawn(move || {
+                let mut attempt: u64 = 0;
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let delivered = stats2.delivered.load(Ordering::Relaxed);
+                    let mut source = match factory(attempt, delivered) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            record_failure(&stats2, &format!("factory: {e}"));
+                            stats2.source_errors.fetch_add(1, Ordering::Relaxed);
+                            attempt += 1;
+                            if attempt > config.max_restarts {
+                                stats2.gave_up.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            stats2.restarts.fetch_add(1, Ordering::Relaxed);
+                            backoff(&config, attempt, &stop2);
+                            continue;
+                        }
+                    };
+                    let end = catch_unwind(AssertUnwindSafe(|| {
+                        run_source(&mut source, &output, &stop2, &stats2, config.policy)
+                    }));
+                    match end {
+                        Ok(RunEnd::Exhausted) | Ok(RunEnd::Stopped) => break,
+                        Ok(RunEnd::Disconnected) => return, // consumer gone: no Eof possible
+                        Ok(RunEnd::Failed(msg)) => {
+                            record_failure(&stats2, &msg);
+                            stats2.source_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            record_failure(&stats2, &format!("panic: {msg}"));
+                            stats2.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    attempt += 1;
+                    if attempt > config.max_restarts {
+                        stats2.gave_up.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    stats2.restarts.fetch_add(1, Ordering::Relaxed);
+                    backoff(&config, attempt, &stop2);
+                }
+                let _ = output.enqueue(FjordMessage::Eof);
+            })
+            .expect("spawn supervisor thread");
+        Supervisor {
+            handle: Some(handle),
+            stop,
+            stats,
+            name,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats.snapshot()
+    }
+
+    /// Tuples delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.stats.delivered.load(Ordering::Relaxed)
+    }
+
+    /// The supervised stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Request stop and wait; returns the final counters.
+    pub fn stop(mut self) -> SupervisorStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+
+    /// Wait for the stream to end (exhaustion or exhausted restart
+    /// budget); returns the final counters.
+    pub fn join(mut self) -> SupervisorStats {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn record_failure(stats: &SharedStats, msg: &str) {
+    *stats.last_failure.lock() = Some(msg.to_string());
+}
+
+/// Sleep `initial * 2^(attempt-1)` capped at `max_backoff`, in small
+/// chunks so a stop request interrupts the wait.
+fn backoff(config: &SupervisorConfig, attempt: u64, stop: &AtomicBool) {
+    let exp = attempt.saturating_sub(1).min(20) as u32;
+    let delay = config
+        .initial_backoff
+        .saturating_mul(1u32 << exp)
+        .min(config.max_backoff);
+    let chunk = Duration::from_millis(5);
+    let mut remaining = delay;
+    while remaining > Duration::ZERO && !stop.load(Ordering::Acquire) {
+        let step = remaining.min(chunk);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+/// Drain `source` into `output` until it ends, honouring the degradation
+/// policy. Malformed tuples (arity != source schema arity) are filtered
+/// and counted, not delivered.
+fn run_source(
+    source: &mut Box<dyn Source>,
+    output: &Producer,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+    policy: DegradePolicy,
+) -> RunEnd {
+    let expected_arity = source.schema().len();
+    let mut batch: Vec<Tuple> = Vec::with_capacity(64);
+    let mut overflow_seq: u64 = 0;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return RunEnd::Stopped;
+        }
+        batch.clear();
+        let status = match source.next_batch(64, &mut batch) {
+            Ok(s) => s,
+            Err(e) => return RunEnd::Failed(e.to_string()),
+        };
+        for t in batch.drain(..) {
+            if t.arity() != expected_arity {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match deliver(output, t, stop, stats, policy, &mut overflow_seq) {
+                Ok(true) => {}
+                Ok(false) => return RunEnd::Stopped,
+                Err(()) => return RunEnd::Disconnected,
+            }
+        }
+        match status {
+            SourceStatus::Exhausted => return RunEnd::Exhausted,
+            SourceStatus::Idle => std::thread::yield_now(),
+            SourceStatus::Ready => {}
+        }
+    }
+}
+
+/// Deliver one tuple under `policy`. `Ok(true)` = continue, `Ok(false)` =
+/// stop requested mid-backpressure, `Err(())` = consumer disconnected.
+fn deliver(
+    output: &Producer,
+    t: Tuple,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+    policy: DegradePolicy,
+    overflow_seq: &mut u64,
+) -> std::result::Result<bool, ()> {
+    let mut msg = FjordMessage::Tuple(t);
+    loop {
+        match policy {
+            DegradePolicy::ShedOldest => {
+                return match output.enqueue_displacing(msg) {
+                    Ok(displaced) => {
+                        stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        if displaced.is_some() {
+                            // The victim moves from delivered to shed:
+                            // delivered + shed still equals produced.
+                            stats.delivered.fetch_sub(1, Ordering::Relaxed);
+                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(true)
+                    }
+                    Err(EnqueueError::Full(_)) => {
+                        // Queue full of control messages: fall back to shed.
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        Ok(true)
+                    }
+                    Err(EnqueueError::Disconnected(_)) => Err(()),
+                };
+            }
+            _ => match output.enqueue(msg) {
+                Ok(()) => {
+                    stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    return Ok(true);
+                }
+                Err(EnqueueError::Full(m)) => match policy {
+                    DegradePolicy::Backpressure => {
+                        if stop.load(Ordering::Acquire) {
+                            return Ok(false);
+                        }
+                        msg = m;
+                        std::thread::yield_now();
+                    }
+                    DegradePolicy::ShedNewest => {
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        return Ok(true);
+                    }
+                    DegradePolicy::Sample { keep_one_in } => {
+                        *overflow_seq += 1;
+                        if keep_one_in > 1 && !(*overflow_seq).is_multiple_of(keep_one_in as u64) {
+                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                            return Ok(true);
+                        }
+                        // The kept sample waits for room (backpressure).
+                        if stop.load(Ordering::Acquire) {
+                            return Ok(false);
+                        }
+                        msg = m;
+                        std::thread::yield_now();
+                    }
+                    DegradePolicy::ShedOldest => unreachable!("handled above"),
+                },
+                Err(EnqueueError::Disconnected(_)) => return Err(()),
+            },
+        }
+    }
+}
+
+/// Wrap a source with a chaos injector: [`FaultPoint::SourceRead`] faults
+/// turn into read errors, panics, stalls, or malformed (empty) tuples —
+/// the adversary the [`Supervisor`] exists to survive.
+pub struct ChaosSource {
+    inner: Box<dyn Source>,
+    injector: SharedInjector,
+}
+
+impl ChaosSource {
+    /// Wrap `inner`, polling `injector` before every read.
+    pub fn new(inner: Box<dyn Source>, injector: SharedInjector) -> Self {
+        ChaosSource { inner, injector }
+    }
+}
+
+impl Source for ChaosSource {
+    fn schema(&self) -> &tcq_common::SchemaRef {
+        self.inner.schema()
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        match self.injector.poll(FaultPoint::SourceRead) {
+            Some(FaultAction::Error(msg)) => {
+                return Err(TcqError::Ingress(format!("injected read error: {msg}")));
+            }
+            Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+            Some(FaultAction::MalformedTuple) => {
+                // An arity-0 tuple: garbage relative to any real schema.
+                let empty = Schema::new(vec![]).into_ref();
+                out.push(Tuple::new(empty, vec![], Timestamp::unknown())?);
+                return Ok(SourceStatus::Ready);
+            }
+            Some(FaultAction::Stall { .. }) => return Ok(SourceStatus::Idle),
+            _ => {}
+        }
+        self.inner.next_batch(max, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::StockTicks;
+    use crate::source::VecSource;
+    use tcq_common::{FaultPlan, SchemaRef};
+    use tcq_fjords::{fjord, DequeueResult, QueueKind};
+
+    fn quick_config(policy: DegradePolicy) -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: 8,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            policy,
+        }
+    }
+
+    fn stock_tuples(n: u32) -> (SchemaRef, Vec<Tuple>) {
+        let schema = StockTicks::schema_for("s");
+        let mut g = StockTicks::new("s", &["A"], 5).with_max_days(n as i64);
+        let mut out = Vec::new();
+        loop {
+            if g.next_batch(1024, &mut out).unwrap() == SourceStatus::Exhausted {
+                break;
+            }
+        }
+        (schema, out)
+    }
+
+    /// Delivers one tuple per call; panics once it has handed out
+    /// `panic_after` tuples (if set).
+    struct FlakyVec {
+        schema: SchemaRef,
+        tuples: Vec<Tuple>,
+        pos: usize,
+        panic_after: Option<usize>,
+    }
+
+    impl Source for FlakyVec {
+        fn schema(&self) -> &SchemaRef {
+            &self.schema
+        }
+        fn next_batch(&mut self, _max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+            if let Some(n) = self.panic_after {
+                if self.pos >= n {
+                    panic!("flaky source died after {n} tuples");
+                }
+            }
+            if self.pos >= self.tuples.len() {
+                return Ok(SourceStatus::Exhausted);
+            }
+            out.push(self.tuples[self.pos].clone());
+            self.pos += 1;
+            Ok(SourceStatus::Ready)
+        }
+    }
+
+    #[test]
+    fn restart_after_panic_resumes_exactly_once() {
+        let (schema, master) = stock_tuples(100);
+        let total = master.len();
+        let expect: Vec<i64> = master.iter().map(|t| t.timestamp().seq()).collect();
+        let factory: SourceFactory = {
+            let master = master.clone();
+            let schema = schema.clone();
+            Box::new(move |attempt, delivered| {
+                Ok(Box::new(FlakyVec {
+                    schema: schema.clone(),
+                    tuples: master[delivered as usize..].to_vec(),
+                    pos: 0,
+                    // only the first incarnation is flaky
+                    panic_after: if attempt == 0 { Some(40) } else { None },
+                }))
+            })
+        };
+        let (p, c) = fjord(256, QueueKind::Push);
+        let s = Supervisor::spawn(
+            "flaky",
+            factory,
+            p,
+            quick_config(DegradePolicy::Backpressure),
+        );
+        let mut seqs = Vec::new();
+        loop {
+            match c.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(t)) => seqs.push(t.timestamp().seq()),
+                DequeueResult::Msg(FjordMessage::Eof) => break,
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Empty => std::thread::yield_now(),
+                DequeueResult::Disconnected => break,
+            }
+        }
+        let stats = s.join();
+        assert_eq!(seqs, expect, "every tuple exactly once, in order");
+        assert_eq!(stats.delivered, total as u64);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(!stats.gave_up);
+        let failure = stats.last_failure.unwrap();
+        assert!(failure.contains("flaky source died"), "got: {failure}");
+    }
+
+    #[test]
+    fn gives_up_after_restart_budget() {
+        struct AlwaysErr(SchemaRef);
+        impl Source for AlwaysErr {
+            fn schema(&self) -> &SchemaRef {
+                &self.0
+            }
+            fn next_batch(&mut self, _max: usize, _out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+                Err(TcqError::Ingress("wire down".into()))
+            }
+        }
+        let schema = StockTicks::schema_for("s");
+        let factory: SourceFactory = Box::new(move |_, _| Ok(Box::new(AlwaysErr(schema.clone()))));
+        let (p, c) = fjord(8, QueueKind::Push);
+        let mut cfg = quick_config(DegradePolicy::Backpressure);
+        cfg.max_restarts = 3;
+        let s = Supervisor::spawn("doomed", factory, p, cfg);
+        let stats = s.join();
+        assert!(stats.gave_up);
+        assert_eq!(stats.restarts, 3);
+        assert_eq!(stats.source_errors, 4, "initial try + 3 retries");
+        assert_eq!(stats.delivered, 0);
+        // The stream still terminates cleanly for the consumer.
+        let msgs = c.drain();
+        assert!(msgs.last().unwrap().is_eof());
+    }
+
+    #[test]
+    fn shed_newest_drops_arrivals_and_accounts_them() {
+        let (schema, master) = stock_tuples(50);
+        let total = master.len() as u64;
+        let src = VecSource::new(schema, master).unwrap();
+        let factory: SourceFactory = {
+            let mut src = Some(src);
+            Box::new(move |_, _| Ok(Box::new(src.take().expect("single run")) as Box<dyn Source>))
+        };
+        let (p, c) = fjord(4, QueueKind::Push);
+        let s = Supervisor::spawn("shed", factory, p, quick_config(DegradePolicy::ShedNewest));
+        let stats = s.join();
+        let got = c
+            .drain()
+            .iter()
+            .filter(|m| matches!(m, FjordMessage::Tuple(_)))
+            .count() as u64;
+        assert_eq!(stats.delivered + stats.shed, total, "every tuple accounted");
+        assert_eq!(
+            got, stats.delivered,
+            "delivered matches what is in the queue"
+        );
+        assert!(stats.shed > 0, "tiny queue must overflow");
+    }
+
+    #[test]
+    fn shed_oldest_keeps_the_freshest_tuples() {
+        let (schema, master) = stock_tuples(50);
+        let total = master.len() as u64;
+        let tail: Vec<i64> = master[master.len() - 4..]
+            .iter()
+            .map(|t| t.timestamp().seq())
+            .collect();
+        let src = VecSource::new(schema, master).unwrap();
+        let factory: SourceFactory = {
+            let mut src = Some(src);
+            Box::new(move |_, _| Ok(Box::new(src.take().expect("single run")) as Box<dyn Source>))
+        };
+        let (p, c) = fjord(4, QueueKind::Push);
+        let s = Supervisor::spawn("fresh", factory, p, quick_config(DegradePolicy::ShedOldest));
+        let stats = s.join();
+        let seqs: Vec<i64> = c
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                FjordMessage::Tuple(t) => Some(t.timestamp().seq()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, tail, "queue holds exactly the 4 freshest tuples");
+        assert_eq!(stats.delivered + stats.shed, total, "every tuple accounted");
+        assert_eq!(stats.delivered, 4);
+    }
+
+    #[test]
+    fn sample_policy_degrades_instead_of_stalling() {
+        let (schema, master) = stock_tuples(200);
+        let total = master.len() as u64;
+        let src = VecSource::new(schema, master).unwrap();
+        let factory: SourceFactory = {
+            let mut src = Some(src);
+            Box::new(move |_, _| Ok(Box::new(src.take().expect("single run")) as Box<dyn Source>))
+        };
+        let (p, c) = fjord(2, QueueKind::Push);
+        let s = Supervisor::spawn(
+            "sampled",
+            factory,
+            p,
+            quick_config(DegradePolicy::Sample { keep_one_in: 4 }),
+        );
+        // Slow consumer: drains with a delay so the queue stays hot.
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            loop {
+                match c.dequeue() {
+                    DequeueResult::Msg(FjordMessage::Tuple(_)) => {
+                        got += 1;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    DequeueResult::Msg(FjordMessage::Eof) => break,
+                    DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                    DequeueResult::Empty => std::thread::yield_now(),
+                    DequeueResult::Disconnected => break,
+                }
+            }
+            got
+        });
+        let stats = s.join();
+        let got = consumer.join().unwrap();
+        assert_eq!(stats.delivered + stats.shed, total, "every tuple accounted");
+        assert_eq!(got, stats.delivered);
+        assert!(!stats.gave_up);
+    }
+
+    #[test]
+    fn chaos_source_faults_are_survived_and_counted() {
+        let (schema, master) = stock_tuples(60);
+        let total = master.len();
+        let injector = FaultPlan::new(0xC0FFEE)
+            .at(FaultPoint::SourceRead, 3, FaultAction::MalformedTuple)
+            .at(
+                FaultPoint::SourceRead,
+                5,
+                FaultAction::Error("carrier lost".into()),
+            )
+            .at(
+                FaultPoint::SourceRead,
+                9,
+                FaultAction::Panic("wrapper segfault".into()),
+            )
+            .build_shared();
+        let factory: SourceFactory = {
+            let master = master.clone();
+            let schema = schema.clone();
+            let injector = injector.clone();
+            Box::new(move |_, delivered| {
+                let inner = FlakyVec {
+                    schema: schema.clone(),
+                    tuples: master[delivered as usize..].to_vec(),
+                    pos: 0,
+                    panic_after: None,
+                };
+                Ok(Box::new(ChaosSource::new(
+                    Box::new(inner),
+                    injector.clone(),
+                )))
+            })
+        };
+        let (p, c) = fjord(256, QueueKind::Push);
+        let s = Supervisor::spawn(
+            "chaos",
+            factory,
+            p,
+            quick_config(DegradePolicy::Backpressure),
+        );
+        let mut got = 0usize;
+        loop {
+            match c.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(_)) => got += 1,
+                DequeueResult::Msg(FjordMessage::Eof) => break,
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Empty => std::thread::yield_now(),
+                DequeueResult::Disconnected => break,
+            }
+        }
+        let stats = s.join();
+        assert_eq!(got, total, "all real tuples still arrive");
+        assert_eq!(stats.delivered, total as u64);
+        assert_eq!(stats.malformed, 1, "injected garbage filtered out");
+        assert_eq!(stats.source_errors, 1);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.restarts, 2);
+        assert!(!stats.gave_up);
+    }
+}

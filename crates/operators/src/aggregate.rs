@@ -60,12 +60,18 @@ pub struct AggSpec {
 impl AggSpec {
     /// `func(column)`.
     pub fn over(func: AggFunc, column: usize) -> Self {
-        AggSpec { func, column: Some(column) }
+        AggSpec {
+            func,
+            column: Some(column),
+        }
     }
 
     /// `COUNT(*)`.
     pub fn count_star() -> Self {
-        AggSpec { func: AggFunc::Count, column: None }
+        AggSpec {
+            func: AggFunc::Count,
+            column: None,
+        }
     }
 }
 
@@ -172,7 +178,13 @@ impl WindowAggregator {
     /// Create an aggregator.
     pub fn new(specs: Vec<AggSpec>, mode: WindowMode) -> Self {
         let states = specs.iter().map(|s| AggState::new(s.func)).collect();
-        WindowAggregator { specs, mode, states, buffer: VecDeque::new(), peak_buffer: 0 }
+        WindowAggregator {
+            specs,
+            mode,
+            states,
+            buffer: VecDeque::new(),
+            peak_buffer: 0,
+        }
     }
 
     /// Feed one tuple (must carry a logical timestamp for sliding mode).
@@ -269,7 +281,11 @@ pub struct GroupByAggregator {
 impl GroupByAggregator {
     /// Group by `key_col`, computing `specs` per group.
     pub fn new(key_col: usize, specs: Vec<AggSpec>) -> Self {
-        GroupByAggregator { key_col, specs, groups: HashMap::new() }
+        GroupByAggregator {
+            key_col,
+            specs,
+            groups: HashMap::new(),
+        }
     }
 
     /// Feed one tuple.
@@ -316,7 +332,10 @@ impl GroupByAggregator {
     /// Remove and return the state of groups selected by `pred` — Flux's
     /// state-movement primitive: the selected partitions migrate to another
     /// node. (Aggregate states move as opaque values.)
-    pub fn extract_groups(&mut self, mut pred: impl FnMut(&Value) -> bool) -> Vec<(Value, Vec<Value>)> {
+    pub fn extract_groups(
+        &mut self,
+        mut pred: impl FnMut(&Value) -> bool,
+    ) -> Vec<(Value, Vec<Value>)> {
         let keys: Vec<Value> = self.groups.keys().filter(|k| pred(k)).cloned().collect();
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
@@ -352,10 +371,8 @@ mod tests {
 
     #[test]
     fn landmark_max_is_constant_state() {
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Max, 1)],
-            WindowMode::Landmark,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Max, 1)], WindowMode::Landmark);
         for ts in 1..=1000 {
             agg.update(&tick(ts, "M", (ts % 97) as f64)).unwrap();
         }
@@ -365,10 +382,8 @@ mod tests {
 
     #[test]
     fn sliding_max_requires_window_and_slides_correctly() {
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Max, 1)],
-            WindowMode::Sliding,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Max, 1)], WindowMode::Sliding);
         // prices 1..=10 at ts 1..=10
         for ts in 1..=10 {
             agg.update(&tick(ts, "M", ts as f64)).unwrap();
@@ -389,10 +404,8 @@ mod tests {
     #[test]
     fn paper_sliding_avg_example() {
         // §4.1.1 example 3: AVG of the five most recent trading days.
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Avg, 1)],
-            WindowMode::Sliding,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Avg, 1)], WindowMode::Sliding);
         for ts in 1..=10 {
             agg.update(&tick(ts, "MSFT", ts as f64 * 10.0)).unwrap();
         }
@@ -452,15 +465,16 @@ mod tests {
             .unwrap();
         agg.update(&Tuple::new(s, vec![Value::Null], Timestamp::logical(2)).unwrap())
             .unwrap();
-        assert_eq!(agg.results().unwrap(), vec![Value::Int(1), Value::Float(5.0)]);
+        assert_eq!(
+            agg.results().unwrap(),
+            vec![Value::Int(1), Value::Float(5.0)]
+        );
     }
 
     #[test]
     fn slide_on_landmark_errors() {
-        let mut agg = WindowAggregator::new(
-            vec![AggSpec::over(AggFunc::Count, 0)],
-            WindowMode::Landmark,
-        );
+        let mut agg =
+            WindowAggregator::new(vec![AggSpec::over(AggFunc::Count, 0)], WindowMode::Landmark);
         assert!(agg.slide_to(5).is_err());
     }
 

@@ -21,7 +21,11 @@ pub struct DupElimOp {
 impl DupElimOp {
     /// A fresh duplicate eliminator.
     pub fn new(name: impl Into<String>) -> Self {
-        DupElimOp { name: name.into(), seen: HashMap::new(), arrivals: VecDeque::new() }
+        DupElimOp {
+            name: name.into(),
+            seen: HashMap::new(),
+            arrivals: VecDeque::new(),
+        }
     }
 
     /// Distinct values currently tracked.
@@ -41,7 +45,11 @@ impl EddyModule for DupElimOp {
         let first = *count == 0;
         *count += 1;
         self.arrivals.push_back((tuple.timestamp().seq(), key));
-        Ok(if first { Routed::pass() } else { Routed::drop() })
+        Ok(if first {
+            Routed::pass()
+        } else {
+            Routed::drop()
+        })
     }
 
     fn evict_before_seq(&mut self, seq: i64) {
@@ -98,7 +106,10 @@ mod tests {
         // Evict ts < 3: both copies of value 1 age out.
         op.evict_before_seq(3);
         assert_eq!(op.distinct(), 0);
-        assert!(op.process(&t(1, 5)).unwrap().keep, "re-admitted after aging out");
+        assert!(
+            op.process(&t(1, 5)).unwrap().keep,
+            "re-admitted after aging out"
+        );
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl<P> Juggle<P> {
     /// highest-priority entry (the one to deliver now) is returned.
     pub fn push(&mut self, tuple: Tuple, payload: P) -> Result<Option<(Tuple, P)>> {
         let priority = (self.priority)(&tuple);
-        self.heap.push(Entry { priority, arrival: self.next_arrival, tuple, payload });
+        self.heap.push(Entry {
+            priority,
+            arrival: self.next_arrival,
+            tuple,
+            payload,
+        });
         self.next_arrival += 1;
         if self.heap.len() > self.capacity {
             Ok(self.heap.pop().map(|e| (e.tuple, e.payload)))

@@ -22,17 +22,26 @@ pub struct Routed {
 impl Routed {
     /// The tuple passed through unchanged.
     pub fn pass() -> Routed {
-        Routed { keep: true, outputs: Vec::new() }
+        Routed {
+            keep: true,
+            outputs: Vec::new(),
+        }
     }
 
     /// The tuple was filtered out or absorbed.
     pub fn drop() -> Routed {
-        Routed { keep: false, outputs: Vec::new() }
+        Routed {
+            keep: false,
+            outputs: Vec::new(),
+        }
     }
 
     /// The tuple was consumed and replaced by `outputs`.
     pub fn consume_into(outputs: Vec<Tuple>) -> Routed {
-        Routed { keep: false, outputs }
+        Routed {
+            keep: false,
+            outputs,
+        }
     }
 }
 

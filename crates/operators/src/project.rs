@@ -30,7 +30,10 @@ impl ProjectOp {
             };
             fields.push(Field::new(name, dt));
         }
-        Ok(ProjectOp { exprs: bound, out_schema: Schema::new(fields).into_ref() })
+        Ok(ProjectOp {
+            exprs: bound,
+            out_schema: Schema::new(fields).into_ref(),
+        })
     }
 
     /// The identity projection (`SELECT *`).
@@ -58,19 +61,26 @@ impl ProjectOp {
     /// Apply to one tuple.
     pub fn apply(&self, tuple: &Tuple) -> Result<Tuple> {
         let values: Result<Vec<Value>> = self.exprs.iter().map(|e| e.eval(tuple)).collect();
-        Ok(Tuple::new_unchecked(self.out_schema.clone(), values?, tuple.timestamp()))
+        Ok(Tuple::new_unchecked(
+            self.out_schema.clone(),
+            values?,
+            tuple.timestamp(),
+        ))
     }
 
     /// Output column types.
     pub fn out_types(&self) -> Vec<DataType> {
-        self.out_schema.fields().iter().map(|f| f.data_type).collect()
+        self.out_schema
+            .fields()
+            .iter()
+            .map(|f| f.data_type)
+            .collect()
     }
 }
 
 /// Convenience: project by column names only.
 pub fn project_columns(names: &[&str], input: &SchemaRef) -> Result<ProjectOp> {
-    let items: Vec<(Expr, Option<String>)> =
-        names.iter().map(|n| (Expr::col(*n), None)).collect();
+    let items: Vec<(Expr, Option<String>)> = names.iter().map(|n| (Expr::col(*n), None)).collect();
     ProjectOp::new(&items, input)
 }
 

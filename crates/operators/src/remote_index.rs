@@ -38,7 +38,13 @@ impl RemoteIndex {
         for r in rows {
             table.entry(r.value(key_col).clone()).or_default().push(r);
         }
-        RemoteIndex { schema, key_col, table, latency, lookups: 0 }
+        RemoteIndex {
+            schema,
+            key_col,
+            table,
+            latency,
+            lookups: 0,
+        }
     }
 
     /// Change the simulated latency mid-run (source volatility).
@@ -130,8 +136,7 @@ impl EddyModule for RemoteIndexOp {
             let col = tuple
                 .schema()
                 .index_of(self.probe_key_qualifier.as_deref(), &self.probe_key_name)?;
-            let joined: SchemaRef =
-                Arc::new(Schema::concat(tuple.schema(), self.index.schema()));
+            let joined: SchemaRef = Arc::new(Schema::concat(tuple.schema(), self.index.schema()));
             self.plans.insert(key, (col, joined));
         }
         let (col, joined) = {
@@ -156,7 +161,10 @@ mod tests {
     fn t_schema() -> SchemaRef {
         Schema::qualified(
             "T",
-            vec![Field::new("k", DataType::Int), Field::new("name", DataType::Str)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("name", DataType::Str),
+            ],
         )
         .into_ref()
     }
@@ -164,7 +172,10 @@ mod tests {
     fn s_schema() -> SchemaRef {
         Schema::qualified(
             "S",
-            vec![Field::new("k", DataType::Int), Field::new("x", DataType::Float)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("x", DataType::Float),
+            ],
         )
         .into_ref()
     }
@@ -200,7 +211,10 @@ mod tests {
         assert!(!r.keep);
         assert_eq!(r.outputs.len(), 2);
         for j in &r.outputs {
-            assert_eq!(j.get(Some("S"), "k").unwrap(), j.get(Some("T"), "k").unwrap());
+            assert_eq!(
+                j.get(Some("S"), "k").unwrap(),
+                j.get(Some("T"), "k").unwrap()
+            );
         }
         assert_eq!(op.lookups(), 1);
     }

@@ -28,7 +28,12 @@ impl SelectOp {
     pub fn new(name: impl Into<String>, pred: &Expr, schema: &SchemaRef) -> Result<Self> {
         let mut bound = std::collections::HashMap::new();
         bound.insert(std::sync::Arc::as_ptr(schema) as usize, pred.bind(schema)?);
-        Ok(SelectOp { name: name.into(), pred: pred.clone(), bound, cost_units: 0 })
+        Ok(SelectOp {
+            name: name.into(),
+            pred: pred.clone(),
+            bound,
+            cost_units: 0,
+        })
     }
 
     /// Add an artificial per-tuple cost (busy-loop iterations), for
@@ -139,7 +144,8 @@ impl crate::module::EddyModule for GroupedFilterOp {
 
     fn process(&mut self, tuple: &Tuple) -> Result<crate::module::Routed> {
         self.last_matches.clear();
-        self.filter.eval(tuple.value(self.column), &mut self.last_matches);
+        self.filter
+            .eval(tuple.value(self.column), &mut self.last_matches);
         Ok(crate::module::Routed::pass())
     }
 }

@@ -100,7 +100,9 @@ impl StemOp {
         let schema = tuple.schema();
         schema.len() == self.stem.schema().len()
             && (0..schema.len()).all(|i| {
-                schema.qualifier(i).eq_ignore_ascii_case(&self.build_qualifier)
+                schema
+                    .qualifier(i)
+                    .eq_ignore_ascii_case(&self.build_qualifier)
             })
     }
 
@@ -121,8 +123,9 @@ impl StemOp {
             let key_col = match resolved {
                 Some(c) => c,
                 None => {
-                    return Err(last_err
-                        .unwrap_or_else(|| TcqError::Analysis("no probe key spec".into())))
+                    return Err(
+                        last_err.unwrap_or_else(|| TcqError::Analysis("no probe key spec".into()))
+                    )
                 }
             };
             let joined: SchemaRef = Arc::new(Schema::concat(schema, self.stem.schema()));
@@ -249,7 +252,10 @@ mod tests {
     fn schema(q: &str) -> SchemaRef {
         Schema::qualified(
             q,
-            vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Str),
+            ],
         )
         .into_ref()
     }
@@ -267,22 +273,19 @@ mod tests {
     fn symmetric_hash_join_produces_each_match_once() {
         let s = schema("S");
         let r = schema("T");
-        let (mut stem_s, mut stem_t) =
-            symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+        let (mut stem_s, mut stem_t) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
 
         // Simulate the eddy's serial routing: each tuple builds into its own
         // SteM then probes the other.
         let mut results = Vec::new();
-        let route = |tuple: &Tuple,
-                         own: &mut StemOp,
-                         other: &mut StemOp,
-                         results: &mut Vec<Tuple>| {
-            let r1 = own.process(tuple).unwrap();
-            assert!(r1.keep, "build keeps the tuple");
-            let r2 = other.process(tuple).unwrap();
-            assert!(!r2.keep, "probe consumes the tuple");
-            results.extend(r2.outputs);
-        };
+        let route =
+            |tuple: &Tuple, own: &mut StemOp, other: &mut StemOp, results: &mut Vec<Tuple>| {
+                let r1 = own.process(tuple).unwrap();
+                assert!(r1.keep, "build keeps the tuple");
+                let r2 = other.process(tuple).unwrap();
+                assert!(!r2.keep, "probe consumes the tuple");
+                results.extend(r2.outputs);
+            };
 
         route(&t(&s, 1, "s1", 1), &mut stem_s, &mut stem_t, &mut results);
         route(&t(&r, 1, "t1", 2), &mut stem_t, &mut stem_s, &mut results);
@@ -342,8 +345,7 @@ mod tests {
         // its schema is not solely S-qualified.
         let s = schema("S");
         let r = schema("T");
-        let (mut stem_s, mut stem_t) =
-            symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+        let (mut stem_s, mut stem_t) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
         stem_s.process(&t(&s, 1, "a", 1)).unwrap();
         let st = stem_s.process(&t(&r, 1, "b", 2)).unwrap().outputs;
         assert_eq!(st.len(), 1);
@@ -358,15 +360,15 @@ mod tests {
     #[test]
     fn drain_and_absorb_roundtrip() {
         let s = schema("S");
-        let mut a = StemOp::new("a", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash)
-            .unwrap();
+        let mut a =
+            StemOp::new("a", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash).unwrap();
         for ts in 1..=4 {
             a.process(&t(&s, ts, "x", ts)).unwrap();
         }
         let moved = a.drain_all();
         assert_eq!(moved.len(), 4);
-        let mut b = StemOp::new("b", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash)
-            .unwrap();
+        let mut b =
+            StemOp::new("b", s.clone(), "S", 0, (None, "k".into()), IndexKind::Hash).unwrap();
         b.absorb(moved).unwrap();
         assert_eq!(b.len(), 4);
         let mut out = Vec::new();

@@ -66,7 +66,10 @@ pub struct ResultsStructure {
 impl ResultsStructure {
     /// Record a match.
     fn insert(&mut self, tuple: Tuple) {
-        self.by_time.entry(tuple.timestamp().seq()).or_default().push(tuple);
+        self.by_time
+            .entry(tuple.timestamp().seq())
+            .or_default()
+            .push(tuple);
         self.len += 1;
     }
 
@@ -155,12 +158,7 @@ impl PSoup {
     /// Register a standing query: SELECT * WHERE `pred` over a sliding
     /// window of `window_width`. Historical data already in the Data SteM
     /// is matched immediately ("applying 'new' queries to 'old' data").
-    pub fn register(
-        &mut self,
-        id: QueryId,
-        pred: Option<&Expr>,
-        window_width: i64,
-    ) -> Result<()> {
+    pub fn register(&mut self, id: QueryId, pred: Option<&Expr>, window_width: i64) -> Result<()> {
         if self.queries.contains_key(&id) {
             return Err(TcqError::Capacity(format!("query {id} already registered")));
         }
@@ -180,7 +178,11 @@ impl PSoup {
             Some(p) => Some(p.bind(&self.schema)?),
             None => None,
         };
-        let mut rq = RegisteredQuery { window_width, pred: bound, results: ResultsStructure::default() };
+        let mut rq = RegisteredQuery {
+            window_width,
+            pred: bound,
+            results: ResultsStructure::default(),
+        };
         // New query ⋈ old data.
         for t in &self.data {
             let matches = match &rq.pred {
@@ -225,7 +227,8 @@ impl PSoup {
             self.data.pop_front();
         }
         for rq in self.queries.values_mut() {
-            rq.results.evict_before(self.latest_seq - rq.window_width + 1);
+            rq.results
+                .evict_before(self.latest_seq - rq.window_width + 1);
         }
         Ok(())
     }
@@ -352,7 +355,12 @@ mod tests {
         ps.register(0, Some(&over(10.0)), 25).unwrap();
         ps.register(1, None, 15).unwrap();
         for ts in 1..=200 {
-            ps.push(tick(ts, if ts % 2 == 0 { "A" } else { "B" }, (ts % 30) as f64)).unwrap();
+            ps.push(tick(
+                ts,
+                if ts % 2 == 0 { "A" } else { "B" },
+                (ts % 30) as f64,
+            ))
+            .unwrap();
             if ts % 17 == 0 {
                 for q in [0usize, 1] {
                     let fast = ps.invoke(q).unwrap();

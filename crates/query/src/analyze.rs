@@ -109,7 +109,13 @@ pub fn analyze(stmt: &SelectStmt, catalog: &Catalog) -> Result<AnalyzedQuery> {
             )));
         }
         let schema = def.schema.with_qualifier(&alias).into_ref();
-        sources.push(BoundSource { name: f.name.clone(), alias, def, schema, windowed: false });
+        sources.push(BoundSource {
+            name: f.name.clone(),
+            alias,
+            def,
+            schema,
+            windowed: false,
+        });
     }
 
     // 2. Window clause: WindowIs streams must be sources; mark them.
@@ -219,8 +225,14 @@ pub fn analyze(stmt: &SelectStmt, catalog: &Catalog) -> Result<AnalyzedQuery> {
                         )));
                     }
                 }
-                let name = alias.clone().unwrap_or_else(|| format!("{}_{i}", func.to_lowercase()));
-                aggregates.push(AggItem { func: func.clone(), arg: arg.clone(), name });
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| format!("{}_{i}", func.to_lowercase()));
+                aggregates.push(AggItem {
+                    func: func.clone(),
+                    arg: arg.clone(),
+                    name,
+                });
             }
         }
     }
@@ -306,11 +318,24 @@ fn resolve_source(sources: &[BoundSource], qualifier: Option<&str>, name: &str) 
 
 /// Recognize `colA = colB` across two different sources.
 fn as_join_pair(factor: &Expr, sources: &[BoundSource]) -> Result<Option<JoinPair>> {
-    let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = factor else {
+    let Expr::Cmp {
+        op: CmpOp::Eq,
+        lhs,
+        rhs,
+    } = factor
+    else {
         return Ok(None);
     };
-    let (Expr::Column { qualifier: ql, name: nl }, Expr::Column { qualifier: qr, name: nr }) =
-        (lhs.as_ref(), rhs.as_ref())
+    let (
+        Expr::Column {
+            qualifier: ql,
+            name: nl,
+        },
+        Expr::Column {
+            qualifier: qr,
+            name: nr,
+        },
+    ) = (lhs.as_ref(), rhs.as_ref())
     else {
         return Ok(None);
     };
@@ -321,7 +346,12 @@ fn as_join_pair(factor: &Expr, sources: &[BoundSource]) -> Result<Option<JoinPai
     }
     let col_l = sources[si_l].schema.index_of(ql.as_deref(), nl)?;
     let col_r = sources[si_r].schema.index_of(qr.as_deref(), nr)?;
-    Ok(Some(JoinPair { left: si_l, left_col: col_l, right: si_r, right_col: col_r }))
+    Ok(Some(JoinPair {
+        left: si_l,
+        left_col: col_l,
+        right: si_r,
+        right_col: col_r,
+    }))
 }
 
 #[cfg(test)]
@@ -338,20 +368,23 @@ mod tests {
             Field::new("closingPrice", DataType::Float),
         ])
         .into_ref();
-        c.register("ClosingStockPrices", stock, SourceKind::PushStream).unwrap();
+        c.register("ClosingStockPrices", stock, SourceKind::PushStream)
+            .unwrap();
         let trades = Schema::new(vec![
             Field::new("timestamp", DataType::Int),
             Field::new("sym", DataType::Str),
             Field::new("volume", DataType::Int),
         ])
         .into_ref();
-        c.register("Trades", trades, SourceKind::PushStream).unwrap();
+        c.register("Trades", trades, SourceKind::PushStream)
+            .unwrap();
         let static_info = Schema::new(vec![
             Field::new("sym", DataType::Str),
             Field::new("sector", DataType::Str),
         ])
         .into_ref();
-        c.register("CompanyInfo", static_info, SourceKind::Table).unwrap();
+        c.register("CompanyInfo", static_info, SourceKind::Table)
+            .unwrap();
         c
     }
 
@@ -456,10 +489,9 @@ mod tests {
 
     #[test]
     fn group_by_without_aggregate_rejected() {
-        assert!(analyze_src(
-            "SELECT stockSymbol FROM ClosingStockPrices GROUP BY stockSymbol"
-        )
-        .is_err());
+        assert!(
+            analyze_src("SELECT stockSymbol FROM ClosingStockPrices GROUP BY stockSymbol").is_err()
+        );
     }
 
     #[test]
@@ -472,10 +504,7 @@ mod tests {
     fn unknown_things_rejected() {
         assert!(analyze_src("SELECT * FROM NoSuchStream").is_err());
         assert!(analyze_src("SELECT nope FROM ClosingStockPrices").is_err());
-        assert!(analyze_src(
-            "SELECT * FROM ClosingStockPrices WHERE q.closingPrice > 1"
-        )
-        .is_err());
+        assert!(analyze_src("SELECT * FROM ClosingStockPrices WHERE q.closingPrice > 1").is_err());
         assert!(analyze_src(
             "SELECT * FROM ClosingStockPrices for (t=0; t >= 0; t++) { WindowIs(Other, 1, t); }"
         )

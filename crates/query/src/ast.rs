@@ -64,6 +64,8 @@ pub struct SelectStmt {
 impl SelectStmt {
     /// True if any select item is an aggregate.
     pub fn has_aggregates(&self) -> bool {
-        self.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }))
     }
 }

@@ -137,62 +137,107 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i = j + 2;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'+') {
-                    tokens.push(Token { kind: TokenKind::PlusPlus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::PlusPlus,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::PlusEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::PlusEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Plus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    tokens.push(Token { kind: TokenKind::MinusMinus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::MinusMinus,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::MinusEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::MinusEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -203,11 +248,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 } else {
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(TcqError::parse_at("expected '=' after '!'", start));
@@ -215,22 +266,37 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -253,7 +319,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     s.push(bytes[j] as char);
                     j += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
                 i = j + 1;
             }
             '0'..='9' => {
@@ -277,12 +346,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     let v: f64 = text
                         .parse()
                         .map_err(|_| TcqError::parse_at(format!("bad float '{text}'"), start))?;
-                    tokens.push(Token { kind: TokenKind::Float(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Float(v),
+                        offset: start,
+                    });
                 } else {
                     let v: i64 = text
                         .parse()
                         .map_err(|_| TcqError::parse_at(format!("bad integer '{text}'"), start))?;
-                    tokens.push(Token { kind: TokenKind::Int(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        offset: start,
+                    });
                 }
                 i = j;
             }
@@ -293,15 +368,24 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 {
                     j += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Ident(src[i..j].to_string()), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    offset: start,
+                });
                 i = j;
             }
             other => {
-                return Err(TcqError::parse_at(format!("unexpected character '{other}'"), start));
+                return Err(TcqError::parse_at(
+                    format!("unexpected character '{other}'"),
+                    start,
+                ));
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -375,14 +459,18 @@ mod tests {
     #[test]
     fn operators_and_equality_forms() {
         use TokenKind::*;
-        assert_eq!(kinds("== != <> <= >= ++ -- += -="), vec![
-            Eq, Ne, Ne, Le, Ge, PlusPlus, MinusMinus, PlusEq, MinusEq, Eof
-        ]);
+        assert_eq!(
+            kinds("== != <> <= >= ++ -- += -="),
+            vec![Eq, Ne, Ne, Le, Ge, PlusPlus, MinusMinus, PlusEq, MinusEq, Eof]
+        );
     }
 
     #[test]
     fn string_escapes_and_errors() {
-        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
         assert!(lex("'unterminated").is_err());
         assert!(lex("a ! b").is_err());
         assert!(lex("€").is_err());
@@ -392,7 +480,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("SELECT /* everything */ *"),
-            vec![TokenKind::Ident("SELECT".into()), TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
         assert!(lex("/* unterminated").is_err());
     }
@@ -400,9 +492,6 @@ mod tests {
     #[test]
     fn qualified_star() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("c2.*"),
-            vec![Ident("c2".into()), Dot, Star, Eof]
-        );
+        assert_eq!(kinds("c2.*"), vec![Ident("c2".into()), Dot, Star, Eof]);
     }
 }

@@ -116,15 +116,29 @@ impl Parser {
         let items = self.select_list()?;
         self.expect_kw("FROM")?;
         let from = self.parse_from_list()?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let group_by = if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
             Some(self.column_ref()?)
         } else {
             None
         };
-        let window = if self.at_kw("for") { Some(self.for_loop()?) } else { None };
-        Ok(SelectStmt { items, from, where_clause, group_by, window })
+        let window = if self.at_kw("for") {
+            Some(self.for_loop()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            window,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -168,7 +182,11 @@ impl Parser {
                 };
                 self.expect(TokenKind::RParen)?;
                 let alias = self.opt_alias()?;
-                return Ok(SelectItem::Agg { func: name.to_ascii_uppercase(), arg, alias });
+                return Ok(SelectItem::Agg {
+                    func: name.to_ascii_uppercase(),
+                    arg,
+                    alias,
+                });
             }
         }
         let expr = self.expr()?;
@@ -279,7 +297,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -294,7 +316,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -426,9 +452,16 @@ impl Parser {
             windows.push(WindowIs::new(stream, left, right));
         }
         if windows.is_empty() {
-            return Err(TcqError::parse("for-loop must contain at least one WindowIs"));
+            return Err(TcqError::parse(
+                "for-loop must contain at least one WindowIs",
+            ));
         }
-        Ok(ForLoop { init, cond: Condition { op, bound }, step, windows })
+        Ok(ForLoop {
+            init,
+            cond: Condition { op, bound },
+            step,
+            windows,
+        })
     }
 
     fn int_literal(&mut self) -> Result<i64> {
@@ -550,7 +583,13 @@ mod tests {
         assert_eq!(q.from[0].name, "ClosingStockPrices");
         let w = q.window.unwrap();
         assert_eq!(w.init, LinExpr::constant(0));
-        assert_eq!(w.cond, Condition { op: CondOp::Eq, bound: LinExpr::constant(0) });
+        assert_eq!(
+            w.cond,
+            Condition {
+                op: CondOp::Eq,
+                bound: LinExpr::constant(0)
+            }
+        );
         assert_eq!(w.step, Step::Set(-1));
         assert_eq!(w.windows[0].left, LinExpr::constant(1));
         assert_eq!(w.windows[0].right, LinExpr::constant(5));
@@ -632,9 +671,7 @@ mod tests {
         .unwrap();
         assert_eq!(q.group_by, Some((None, "stockSymbol".into())));
         assert!(matches!(&q.items[1], SelectItem::Agg { func, arg: None, .. } if func == "COUNT"));
-        assert!(
-            matches!(&q.items[2], SelectItem::Agg { alias: Some(a), .. } if a == "avgPrice")
-        );
+        assert!(matches!(&q.items[2], SelectItem::Agg { alias: Some(a), .. } if a == "avgPrice"));
     }
 
     #[test]
@@ -644,8 +681,16 @@ mod tests {
         match q.where_clause.unwrap() {
             Expr::Or(lhs, _) => match *lhs {
                 Expr::And(l, _) => match *l {
-                    Expr::Cmp { op: CmpOp::Gt, lhs, .. } => {
-                        assert!(matches!(*lhs, Expr::Arith { op: ArithOp::Add, .. }));
+                    Expr::Cmp {
+                        op: CmpOp::Gt, lhs, ..
+                    } => {
+                        assert!(matches!(
+                            *lhs,
+                            Expr::Arith {
+                                op: ArithOp::Add,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("expected >, got {other:?}"),
                 },
@@ -684,10 +729,8 @@ mod tests {
 
     #[test]
     fn backward_window_syntax() {
-        let q = parse(
-            "SELECT * FROM s for (t = ST; t > 0; t -=10) { WindowIs(s, t - 9, t); }",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM s for (t = ST; t > 0; t -=10) { WindowIs(s, t - 9, t); }")
+            .unwrap();
         let w = q.window.unwrap();
         assert_eq!(w.step, Step::Add(-10));
         assert_eq!(w.cond.op, CondOp::Gt);
@@ -695,12 +738,24 @@ mod tests {
 
     #[test]
     fn coefficient_syntax_in_windows() {
-        let q = parse(
-            "SELECT * FROM s for (t = 0; t <= 10; t++) { WindowIs(s, 2*t, 2*t + 1); }",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM s for (t = 0; t <= 10; t++) { WindowIs(s, 2*t, 2*t + 1); }")
+            .unwrap();
         let w = q.window.unwrap();
-        assert_eq!(w.windows[0].left, LinExpr { t_coeff: 2, st_coeff: 0, constant: 0 });
-        assert_eq!(w.windows[0].right, LinExpr { t_coeff: 2, st_coeff: 0, constant: 1 });
+        assert_eq!(
+            w.windows[0].left,
+            LinExpr {
+                t_coeff: 2,
+                st_coeff: 0,
+                constant: 0
+            }
+        );
+        assert_eq!(
+            w.windows[0].right,
+            LinExpr {
+                t_coeff: 2,
+                st_coeff: 0,
+                constant: 1
+            }
+        );
     }
 }

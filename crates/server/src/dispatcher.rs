@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{Result, Timestamp, Tuple};
 use tcq_executor::{DispatchUnit, ModuleStatus};
@@ -43,7 +43,10 @@ impl Default for SubscriberSet {
 impl SubscriberSet {
     /// Empty set.
     pub fn new() -> Self {
-        SubscriberSet { subs: Arc::new(Mutex::new(Vec::new())), next_id: Arc::new(AtomicI64::new(1)) }
+        SubscriberSet {
+            subs: Arc::new(Mutex::new(Vec::new())),
+            next_id: Arc::new(AtomicI64::new(1)),
+        }
     }
 
     /// Add a subscriber; returns its id.
@@ -228,7 +231,11 @@ impl DispatchUnit for StreamDispatcher {
                     break;
                 }
                 DequeueResult::Empty => {
-                    return Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle });
+                    return Ok(if did_work {
+                        ModuleStatus::Ready
+                    } else {
+                        ModuleStatus::Idle
+                    });
                 }
             }
         }

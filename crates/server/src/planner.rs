@@ -80,9 +80,7 @@ pub fn strip_qualifiers(expr: &Expr) -> Expr {
             lhs: Box::new(strip_qualifiers(lhs)),
             rhs: Box::new(strip_qualifiers(rhs)),
         },
-        Expr::And(a, b) => {
-            Expr::And(Box::new(strip_qualifiers(a)), Box::new(strip_qualifiers(b)))
-        }
+        Expr::And(a, b) => Expr::And(Box::new(strip_qualifiers(a)), Box::new(strip_qualifiers(b))),
         Expr::Or(a, b) => Expr::Or(Box::new(strip_qualifiers(a)), Box::new(strip_qualifiers(b))),
         Expr::Not(e) => Expr::Not(Box::new(strip_qualifiers(e))),
     }
@@ -120,16 +118,17 @@ pub fn resolve_aggregates(aq: &AnalyzedQuery) -> Result<Vec<ResolvedAgg>> {
             .ok_or_else(|| TcqError::Analysis(format!("unknown aggregate {}", item.func)))?;
         let spec = match &item.arg {
             None => AggSpec::count_star(),
-            Some(Expr::Column { name, .. }) => {
-                AggSpec::over(func, schema.index_of(None, name)?)
-            }
+            Some(Expr::Column { name, .. }) => AggSpec::over(func, schema.index_of(None, name)?),
             Some(other) => {
                 return Err(TcqError::Analysis(format!(
                     "aggregate arguments must be bare columns, got {other}"
                 )))
             }
         };
-        out.push(ResolvedAgg { spec, name: item.name.clone() });
+        out.push(ResolvedAgg {
+            spec,
+            name: item.name.clone(),
+        });
     }
     Ok(out)
 }
@@ -171,7 +170,10 @@ pub fn requalify(expr: &Expr, map: &std::collections::HashMap<String, String>) -
                     .cloned()
                     .unwrap_or_else(|| q.clone())
             });
-            Expr::Column { qualifier, name: name.clone() }
+            Expr::Column {
+                qualifier,
+                name: name.clone(),
+            }
         }
         Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
             op: *op,
@@ -219,7 +221,8 @@ mod tests {
             Field::new("closingPrice", DataType::Float),
         ])
         .into_ref();
-        c.register("ClosingStockPrices", stock, SourceKind::PushStream).unwrap();
+        c.register("ClosingStockPrices", stock, SourceKind::PushStream)
+            .unwrap();
         c
     }
 
@@ -234,7 +237,10 @@ mod tests {
             PlanKind::SharedFilter
         );
         assert_eq!(
-            plan_kind(&analyzed("SELECT AVG(closingPrice) FROM ClosingStockPrices")).unwrap(),
+            plan_kind(&analyzed(
+                "SELECT AVG(closingPrice) FROM ClosingStockPrices"
+            ))
+            .unwrap(),
             PlanKind::Aggregate
         );
         assert_eq!(

@@ -12,7 +12,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{
     BoundExpr, DataType, Expr, Field, Result, Schema, SchemaRef, Timestamp, Tuple, Value,
@@ -21,7 +21,7 @@ use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
 use tcq_executor::{DispatchUnit, ModuleStatus};
 use tcq_fjords::{Consumer, DequeueResult, FjordMessage};
-use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowMode, WindowAggregator};
+use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowAggregator, WindowMode};
 use tcq_stems::QueryStem;
 use tcq_windows::{WindowAssignment, WindowSeq};
 
@@ -109,7 +109,13 @@ impl FilterCqDu {
         shared: FilterCqShared,
         egress: EgressRouter,
     ) -> Self {
-        FilterCqDu { name: name.into(), input, shared, egress, done: false }
+        FilterCqDu {
+            name: name.into(),
+            input,
+            shared,
+            egress,
+            done: false,
+        }
     }
 }
 
@@ -146,7 +152,11 @@ impl DispatchUnit for FilterCqDu {
                     return Ok(ModuleStatus::Done);
                 }
                 DequeueResult::Empty => {
-                    return Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle });
+                    return Ok(if did_work {
+                        ModuleStatus::Ready
+                    } else {
+                        ModuleStatus::Idle
+                    });
                 }
             }
         }
@@ -166,7 +176,10 @@ pub struct LazyProject {
 impl LazyProject {
     /// From resolved select items.
     pub fn new(items: Vec<(Expr, Option<String>)>) -> Self {
-        LazyProject { items, bound: HashMap::new() }
+        LazyProject {
+            items,
+            bound: HashMap::new(),
+        }
     }
 
     /// Apply to a tuple of any compatible schema.
@@ -299,7 +312,11 @@ impl DispatchUnit for JoinCqDu {
             self.done = true;
             return Ok(ModuleStatus::Done);
         }
-        Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle })
+        Ok(if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
     }
 }
 
@@ -431,8 +448,10 @@ impl AggregateCqDu {
         let Some(win) = wa.window_for(&self.stream_alias) else {
             return Ok(());
         };
-        let in_window =
-            self.buffer.iter().filter(|t| win.contains(t.timestamp().seq()));
+        let in_window = self
+            .buffer
+            .iter()
+            .filter(|t| win.contains(t.timestamp().seq()));
         let specs: Vec<AggSpec> = self.aggs.iter().map(|a| a.spec).collect();
         match self.group_by {
             Some(g) => {
@@ -461,11 +480,8 @@ impl AggregateCqDu {
                 let mut row = Vec::with_capacity(1 + self.aggs.len());
                 row.push(Value::Int(wa.t));
                 row.extend(agg.results()?);
-                let out = Tuple::new_unchecked(
-                    self.out_schema.clone(),
-                    row,
-                    Timestamp::logical(wa.t),
-                );
+                let out =
+                    Tuple::new_unchecked(self.out_schema.clone(), row, Timestamp::logical(wa.t));
                 self.egress.deliver([self.qid], &out);
             }
         }
@@ -563,7 +579,10 @@ mod tests {
     fn schema() -> SchemaRef {
         Schema::qualified(
             "s",
-            vec![Field::new("ts", DataType::Int), Field::new("v", DataType::Int)],
+            vec![
+                Field::new("ts", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
         )
         .into_ref()
     }
@@ -583,13 +602,20 @@ mod tests {
         let a = schema();
         let b = Schema::qualified(
             "other",
-            vec![Field::new("x", DataType::Int), Field::new("v", DataType::Int)],
+            vec![
+                Field::new("x", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
         )
         .into_ref();
         let out_a = lp.apply(&row(&a, 1, 10)).unwrap();
         assert_eq!(out_a.value(0).as_int().unwrap(), 10);
         // Different column order, same expression: rebinding required.
-        let tb = TupleBuilder::new(b).push(99i64).push(42i64).build().unwrap();
+        let tb = TupleBuilder::new(b)
+            .push(99i64)
+            .push(42i64)
+            .build()
+            .unwrap();
         let out_b = lp.apply(&tb).unwrap();
         assert_eq!(out_b.value(0).as_int().unwrap(), 42);
     }
@@ -597,7 +623,9 @@ mod tests {
     #[test]
     fn filter_cq_shared_respects_min_seq() {
         let shared = FilterCqShared::new(schema());
-        shared.add_query(0, None, &[(Expr::col("ts"), None)], 5).unwrap();
+        shared
+            .add_query(0, None, &[(Expr::col("ts"), None)], 5)
+            .unwrap();
         let (p, c) = fjord(64, QueueKind::Push);
         let egress = EgressRouter::new();
         egress.register_pull_client(1, 64).unwrap();
@@ -605,7 +633,8 @@ mod tests {
         let mut du = FilterCqDu::new("f", c, shared, egress.clone());
         let s = schema();
         for ts in 1..=10 {
-            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0))).unwrap();
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0)))
+                .unwrap();
         }
         p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
         while du.run(16).unwrap() != ModuleStatus::Done {}
@@ -623,7 +652,10 @@ mod tests {
         let windows = WindowSeq::new(
             ForLoop {
                 init: LinExpr::constant(4),
-                cond: Condition { op: CondOp::Le, bound: LinExpr::constant(20) },
+                cond: Condition {
+                    op: CondOp::Le,
+                    bound: LinExpr::constant(20),
+                },
                 step: Step::Add(4),
                 windows: vec![WindowIs::new("s", LinExpr::t_plus(-3), LinExpr::t())],
             },
@@ -634,7 +666,10 @@ mod tests {
             c,
             &s,
             None,
-            vec![ResolvedAgg { spec: AggSpec::count_star(), name: "n".into() }],
+            vec![ResolvedAgg {
+                spec: AggSpec::count_star(),
+                name: "n".into(),
+            }],
             None,
             windows,
             "s".into(),
@@ -643,7 +678,8 @@ mod tests {
         );
         assert_eq!(du.out_schema().len(), 2); // (t, n)
         for ts in 1..=20 {
-            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0))).unwrap();
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, 0)))
+                .unwrap();
         }
         p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
         while du.run(64).unwrap() != ModuleStatus::Done {}
@@ -665,7 +701,10 @@ mod tests {
         let windows = WindowSeq::new(
             ForLoop {
                 init: LinExpr::constant(10),
-                cond: Condition { op: CondOp::Le, bound: LinExpr::constant(10) },
+                cond: Condition {
+                    op: CondOp::Le,
+                    bound: LinExpr::constant(10),
+                },
                 step: Step::Add(10),
                 windows: vec![WindowIs::new("s", LinExpr::constant(1), LinExpr::t())],
             },
@@ -691,7 +730,8 @@ mod tests {
             3,
         );
         for ts in 1..=10 {
-            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, ts % 2))).unwrap();
+            p.enqueue(tcq_fjords::FjordMessage::Tuple(row(&s, ts, ts % 2)))
+                .unwrap();
         }
         p.enqueue(tcq_fjords::FjordMessage::Eof).unwrap();
         while du.run(64).unwrap() != ModuleStatus::Done {}

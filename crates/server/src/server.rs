@@ -7,7 +7,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{Catalog, Result, SchemaRef, SourceKind, TcqError, Tuple};
 use tcq_eddy::{
@@ -25,13 +25,13 @@ use tcq_storage::{BufferPool, StreamArchive};
 use tcq_windows::WindowSeq;
 
 use crate::dispatcher::{OverloadPolicy, StreamDispatcher, SubscriberSet};
-use crate::shared_join::{SharedJoinDu, SharedJoinKey, SharedJoinShared};
 use crate::planner::{
     self, plan_kind, resolve_aggregates, source_predicate, stripped_predicate, PlanKind,
 };
 use crate::plans::{
     AggregateCqDu, FilterCqDu, FilterCqShared, JoinCqDu, JoinInput, LazyProject, QueryId,
 };
+use crate::shared_join::{SharedJoinDu, SharedJoinKey, SharedJoinShared};
 
 /// Which routing policy new eddies use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,9 +102,16 @@ struct StreamState {
 }
 
 enum QueryRecord {
-    SharedFilter { stream: String },
-    SharedJoin { key: SharedJoinKey },
-    Dedicated { du: DuId, subscriptions: Vec<(String, u64)> },
+    SharedFilter {
+        stream: String,
+    },
+    SharedJoin {
+        key: SharedJoinKey,
+    },
+    Dedicated {
+        du: DuId,
+        subscriptions: Vec<(String, u64)>,
+    },
     Completed,
 }
 
@@ -136,6 +143,7 @@ impl TelegraphCQ {
             eos: config.eos,
             quantum: config.quantum,
             idle_park: Duration::from_micros(200),
+            injector: None,
         })?;
         if let Some(dir) = &config.archive_dir {
             std::fs::create_dir_all(dir)?;
@@ -300,7 +308,8 @@ impl TelegraphCQ {
         priority: Box<dyn Fn(&Tuple) -> f64 + Send>,
     ) -> Result<ClientId> {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
-        self.egress.register_prioritized_client(id, capacity, priority)?;
+        self.egress
+            .register_prioritized_client(id, capacity, priority)?;
         Ok(id)
     }
 
@@ -355,8 +364,13 @@ impl TelegraphCQ {
                 }
             }
         }
-        let live_floor = if replay_until > i64::MIN { replay_until + 1 } else { min_seq };
-        st.filter_shared.add_query(qid, pred.as_ref(), &projection, live_floor)?;
+        let live_floor = if replay_until > i64::MIN {
+            replay_until + 1
+        } else {
+            min_seq
+        };
+        st.filter_shared
+            .add_query(qid, pred.as_ref(), &projection, live_floor)?;
 
         if replay_until > i64::MIN {
             let archive = st.archive.as_ref().expect("checked above");
@@ -367,7 +381,9 @@ impl TelegraphCQ {
             };
             let project = tcq_operators::ProjectOp::new(&projection, &base)?;
             let mut scratch = Vec::new();
-            archive.lock().scan_window(min_seq, replay_until, &mut scratch)?;
+            archive
+                .lock()
+                .scan_window(min_seq, replay_until, &mut scratch)?;
             for t in &scratch {
                 let passes = match &bound {
                     Some(p) => p.eval_pred(t)?,
@@ -378,16 +394,16 @@ impl TelegraphCQ {
                 }
             }
         }
-        Ok(QueryRecord::SharedFilter { stream: source.name.clone() })
+        Ok(QueryRecord::SharedFilter {
+            stream: source.name.clone(),
+        })
     }
 
     fn start_aggregate(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
         let source = &aq.sources[0];
         let st = self.stream(&source.name)?;
         let window = aq.window.clone().ok_or_else(|| {
-            TcqError::Analysis(
-                "aggregates over a stream require a window clause (for-loop)".into(),
-            )
+            TcqError::Analysis("aggregates over a stream require a window clause (for-loop)".into())
         })?;
         let base = st.def.schema.with_qualifier(&source.name).into_ref();
         let pred = match stripped_predicate(aq) {
@@ -439,7 +455,10 @@ impl TelegraphCQ {
         let mut eddy = Eddy::new(
             &aliases,
             self.make_policy(),
-            EddyConfig { batch_size: self.config.eddy_batch, seed: self.config.seed },
+            EddyConfig {
+                batch_size: self.config.eddy_batch,
+                seed: self.config.seed,
+            },
         )?;
 
         // One SteM per source; key column from the join pairs. A SteM is
@@ -482,7 +501,9 @@ impl TelegraphCQ {
             };
             let my_bit = eddy.source_bit(&source.alias)?;
             let mut specs = probe_specs[i].clone().into_iter();
-            let first = specs.next().expect("at least one probe spec per joined source");
+            let first = specs
+                .next()
+                .expect("at least one probe spec per joined source");
             let mut stem = StemOp::new(
                 format!("SteM({})", source.alias),
                 source.schema.clone(),
@@ -503,11 +524,7 @@ impl TelegraphCQ {
         for (i, source) in aq.sources.iter().enumerate() {
             if let Some(pred) = source_predicate(aq, i) {
                 let bit = eddy.source_bit(&source.alias)?;
-                let op = SelectOp::new(
-                    format!("sel({})", source.alias),
-                    &pred,
-                    &source.schema,
-                )?;
+                let op = SelectOp::new(format!("sel({})", source.alias), &pred, &source.schema)?;
                 eddy.add_module(ModuleSpec::filter(Box::new(op), bit))?;
             }
         }
@@ -516,17 +533,15 @@ impl TelegraphCQ {
             let mut bits = 0u64;
             for (q, name) in factor.columns() {
                 let idx = match q {
-                    Some(q) => aq.source_index(q).ok_or_else(|| {
-                        TcqError::Analysis(format!("unknown qualifier '{q}'"))
-                    })?,
+                    Some(q) => aq
+                        .source_index(q)
+                        .ok_or_else(|| TcqError::Analysis(format!("unknown qualifier '{q}'")))?,
                     None => {
                         // analyzer guarantees resolvability; find the owner
                         aq.sources
                             .iter()
                             .position(|s| s.schema.index_of(None, name).is_ok())
-                            .ok_or_else(|| {
-                                TcqError::Analysis(format!("unknown column '{name}'"))
-                            })?
+                            .ok_or_else(|| TcqError::Analysis(format!("unknown column '{name}'")))?
                     }
                 };
                 bits |= eddy.source_bit(&aq.sources[idx].alias)?;
@@ -552,7 +567,11 @@ impl TelegraphCQ {
             let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
             let sub_id = st.subscribers.add(p);
             subscriptions.push((stream_name.clone(), sub_id));
-            inputs.push(JoinInput { consumer: c, alias_schemas, eof: false });
+            inputs.push(JoinInput {
+                consumer: c,
+                alias_schemas,
+                eof: false,
+            });
         }
 
         // The window sequence's extent bounds the query's lifetime: tuples
@@ -603,7 +622,10 @@ impl TelegraphCQ {
             deadline,
         );
         let du_id = self.executor.submit(class, Box::new(du))?;
-        Ok(QueryRecord::Dedicated { du: du_id, subscriptions })
+        Ok(QueryRecord::Dedicated {
+            du: du_id,
+            subscriptions,
+        })
     }
 
     /// CACQ shared-join path: queries with the same join signature share one
@@ -700,10 +722,7 @@ impl TelegraphCQ {
                 SharedJoinEntry {
                     shared,
                     du: du_id,
-                    subscriptions: vec![
-                        (key.left.clone(), l_sub),
-                        (key.right.clone(), r_sub),
-                    ],
+                    subscriptions: vec![(key.left.clone(), l_sub), (key.right.clone(), r_sub)],
                 },
             );
         }
@@ -744,9 +763,13 @@ impl TelegraphCQ {
         let mut scratch = Vec::new();
         for wa in WindowSeq::new(window, stt.max(1)).with_max_iterations(100_000) {
             let wa = wa?;
-            let Some(win) = wa.window_for(&source.alias) else { continue };
+            let Some(win) = wa.window_for(&source.alias) else {
+                continue;
+            };
             scratch.clear();
-            archive.lock().scan_window(win.left, win.right, &mut scratch)?;
+            archive
+                .lock()
+                .scan_window(win.left, win.right, &mut scratch)?;
             for t in &scratch {
                 let passes = match &pred {
                     Some(p) => p.eval_pred(t)?,

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{Expr, Result, SchemaRef, Tuple};
 use tcq_eddy::SharedEddy;
@@ -62,13 +62,8 @@ impl SharedJoinShared {
         window_width: Option<i64>,
     ) -> Result<Self> {
         let joined_schema = left_schema.concat(&right_schema).into_ref();
-        let eddy = SharedEddy::joined(
-            left_schema,
-            left_key,
-            right_schema,
-            right_key,
-            window_width,
-        )?;
+        let eddy =
+            SharedEddy::joined(left_schema, left_key, right_schema, right_key, window_width)?;
         Ok(SharedJoinShared {
             inner: Arc::new(Mutex::new(SharedJoinInner {
                 eddy,
@@ -213,6 +208,10 @@ impl DispatchUnit for SharedJoinDu {
         if self.left_eof && self.right_eof {
             return Ok(ModuleStatus::Done);
         }
-        Ok(if did_work { ModuleStatus::Ready } else { ModuleStatus::Idle })
+        Ok(if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
     }
 }

@@ -73,14 +73,22 @@ impl GroupedFilter {
                 self.ne_all.insert(id);
             }
             CmpOp::Gt | CmpOp::Ge => {
-                let e = RangeEntry { constant: constant.clone(), strict: op == CmpOp::Gt, factor: id };
+                let e = RangeEntry {
+                    constant: constant.clone(),
+                    strict: op == CmpOp::Gt,
+                    factor: id,
+                };
                 let pos = self
                     .gt
                     .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
                 self.gt.insert(pos, e);
             }
             CmpOp::Lt | CmpOp::Le => {
-                let e = RangeEntry { constant: constant.clone(), strict: op == CmpOp::Lt, factor: id };
+                let e = RangeEntry {
+                    constant: constant.clone(),
+                    strict: op == CmpOp::Lt,
+                    factor: id,
+                };
                 let pos = self
                     .lt
                     .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
@@ -238,12 +246,15 @@ mod tests {
 
     #[test]
     fn inequality_factors_match_unless_excepted() {
-        let f = filter_with(&[
-            (0, CmpOp::Ne, Value::Int(5)),
-            (1, CmpOp::Ne, Value::Int(7)),
-        ]);
-        assert_eq!(f.eval_collect(&Value::Int(5)).iter().collect::<Vec<_>>(), vec![1]);
-        assert_eq!(f.eval_collect(&Value::Int(6)).iter().collect::<Vec<_>>(), vec![0, 1]);
+        let f = filter_with(&[(0, CmpOp::Ne, Value::Int(5)), (1, CmpOp::Ne, Value::Int(7))]);
+        assert_eq!(
+            f.eval_collect(&Value::Int(5)).iter().collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            f.eval_collect(&Value::Int(6)).iter().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]
@@ -255,15 +266,21 @@ mod tests {
             (3, CmpOp::Le, Value::Float(50.0)),
         ]);
         assert_eq!(
-            f.eval_collect(&Value::Float(50.0)).iter().collect::<Vec<_>>(),
+            f.eval_collect(&Value::Float(50.0))
+                .iter()
+                .collect::<Vec<_>>(),
             vec![1, 3]
         );
         assert_eq!(
-            f.eval_collect(&Value::Float(51.0)).iter().collect::<Vec<_>>(),
+            f.eval_collect(&Value::Float(51.0))
+                .iter()
+                .collect::<Vec<_>>(),
             vec![0, 1]
         );
         assert_eq!(
-            f.eval_collect(&Value::Float(49.0)).iter().collect::<Vec<_>>(),
+            f.eval_collect(&Value::Float(49.0))
+                .iter()
+                .collect::<Vec<_>>(),
             vec![2, 3]
         );
     }
@@ -321,7 +338,14 @@ mod tests {
         // agreement with per-factor evaluation.
         let mut factors = Vec::new();
         let mut id = 0;
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for c in 0..10i64 {
                 factors.push((id, op, Value::Int(c)));
                 id += 1;

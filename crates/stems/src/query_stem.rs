@@ -67,7 +67,10 @@ impl QueryStem {
         if self.queries.contains_key(&id) {
             return Err(TcqError::Capacity(format!("query {id} already registered")));
         }
-        let mut entry = QueryEntry { factors: Vec::new(), residual: Vec::new() };
+        let mut entry = QueryEntry {
+            factors: Vec::new(),
+            residual: Vec::new(),
+        };
         if let Some(pred) = pred {
             for factor in pred.conjuncts() {
                 match factor.as_single_column_factor() {
@@ -272,8 +275,11 @@ mod tests {
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![1]);
         // Re-register id 0 with a different predicate; recycled factor ids
         // must not leak old ownership.
-        qs.insert_query(0, Some(&Expr::col("stockSymbol").cmp(CmpOp::Eq, Expr::lit("ORCL"))))
-            .unwrap();
+        qs.insert_query(
+            0,
+            Some(&Expr::col("stockSymbol").cmp(CmpOp::Eq, Expr::lit("ORCL"))),
+        )
+        .unwrap();
         let m = qs.matching(&tick(1, "ORCL", 60.0)).unwrap();
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![0]);
         assert!(qs.remove_query(7).is_err());
@@ -307,13 +313,12 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_evaluation_randomized() {
-        use rand::Rng;
         let mut rng = tcq_common::rng::seeded(0xBEEF);
         let mut qs = QueryStem::new(schema());
         let mut preds = Vec::new();
         let syms = ["MSFT", "IBM", "ORCL"];
         for id in 0..64 {
-            let sym = syms[rng.gen_range(0..3)];
+            let sym = syms[rng.gen_range(0..3usize)];
             let lo = rng.gen_range(0.0..50.0);
             let hi = lo + rng.gen_range(0.0..50.0);
             let pred = Expr::col("stockSymbol")
@@ -324,7 +329,7 @@ mod tests {
             preds.push(pred.bind(&schema()).unwrap());
         }
         for i in 0..500 {
-            let t = tick(i, syms[rng.gen_range(0..3)], rng.gen_range(0.0..100.0));
+            let t = tick(i, syms[rng.gen_range(0..3usize)], rng.gen_range(0.0..100.0));
             let fast = qs.matching(&t).unwrap();
             let slow: BitSet = preds
                 .iter()

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use tcq_common::{Result, TcqError, SchemaRef, Tuple, Value};
+use tcq_common::{Result, SchemaRef, TcqError, Tuple, Value};
 
 /// Which index a SteM maintains on its key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,7 +178,9 @@ impl SteM {
         }
         self.probes += 1;
         let mut n = 0;
-        let range = self.ordered.range(OrdValue(lo.clone())..=OrdValue(hi.clone()));
+        let range = self
+            .ordered
+            .range(OrdValue(lo.clone())..=OrdValue(hi.clone()));
         for (_, slots) in range {
             for &s in slots {
                 if let Some(t) = &self.slots[s as usize] {
@@ -297,7 +299,10 @@ mod tests {
     fn schema() -> SchemaRef {
         Schema::qualified(
             "s",
-            vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)],
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Str),
+            ],
         )
         .into_ref()
     }
@@ -368,7 +373,8 @@ mod tests {
         stem.probe_eq(&Value::Int(0), &mut out);
         assert!(out.iter().all(|t| t.timestamp().seq() >= 6));
         out.clear();
-        stem.probe_range(&Value::Int(0), &Value::Int(2), &mut out).unwrap();
+        stem.probe_range(&Value::Int(0), &Value::Int(2), &mut out)
+            .unwrap();
         assert!(out.iter().all(|t| t.timestamp().seq() >= 6));
         // Idempotent.
         assert_eq!(stem.evict_before_seq(6), 0);

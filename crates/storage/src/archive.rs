@@ -114,7 +114,8 @@ impl StreamArchive {
         page.extend_from_slice(&self.tail);
         page.resize(self.pool.page_size(), 0);
         let page_no = self.pages.len() as u64;
-        self.pool.write_page(&mut self.file, (self.id, page_no), page)?;
+        self.pool
+            .write_page(&mut self.file, (self.id, page_no), page)?;
         self.pages.push(PageMeta {
             min_seq: self.tail_min,
             max_seq: self.tail_max,
@@ -160,10 +161,11 @@ impl StreamArchive {
             if meta.max_seq < left || meta.min_seq > right {
                 continue;
             }
-            let data = self.pool.read_page(&mut self.file, (self.id, page_no as u64))?;
-            let n = u32::from_le_bytes(
-                data[..PAGE_HEADER].try_into().expect("page header present"),
-            );
+            let data = self
+                .pool
+                .read_page(&mut self.file, (self.id, page_no as u64))?;
+            let n =
+                u32::from_le_bytes(data[..PAGE_HEADER].try_into().expect("page header present"));
             if n != meta.records {
                 return Err(TcqError::Storage(format!(
                     "page {page_no} corrupt: header says {n} records, index says {}",

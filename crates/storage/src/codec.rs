@@ -3,9 +3,86 @@
 //! Schema-aware: the schema travels out of band (one archive stores one
 //! stream), so records carry only a timestamp, an arity, and tagged values.
 
-use bytes::{Buf, BufMut};
-
 use tcq_common::{Result, SchemaRef, TcqError, Timestamp, Tuple, Value};
+
+/// Little-endian append helpers (the `BufMut` subset the codec needs,
+/// implemented locally so storage carries no external dependency).
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Little-endian cursor helpers over `&mut &[u8]` (the `Buf` subset the
+/// codec needs). Callers bounds-check via `remaining()` before each `get_*`.
+trait TakeLe {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_i64_le(&mut self) -> i64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl TakeLe for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        let v = u16::from_le_bytes(head.try_into().expect("2 bytes"));
+        *self = rest;
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().expect("4 bytes"));
+        *self = rest;
+        v
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        let (head, rest) = self.split_at(8);
+        let v = i64::from_le_bytes(head.try_into().expect("8 bytes"));
+        *self = rest;
+        v
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_i64_le() as u64)
+    }
+}
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -17,8 +94,7 @@ const TAG_STR: u8 = 4;
 pub fn encode_tuple(tuple: &Tuple, buf: &mut Vec<u8>) -> usize {
     let start = buf.len();
     let ts = tuple.timestamp();
-    let flags: u8 =
-        (ts.logical.is_some() as u8) | ((ts.physical.is_some() as u8) << 1);
+    let flags: u8 = (ts.logical.is_some() as u8) | ((ts.physical.is_some() as u8) << 1);
     buf.put_u8(flags);
     if let Some(l) = ts.logical {
         buf.put_i64_le(l);
@@ -240,6 +316,10 @@ mod tests {
     #[test]
     fn garbage_tag_rejected() {
         let buf = vec![0u8, 1, 0, 99]; // flags=0, arity=1, tag=99
-        assert!(decode_tuple(&mut buf.as_slice(), &Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()).is_err());
+        assert!(decode_tuple(
+            &mut buf.as_slice(),
+            &Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+        )
+        .is_err());
     }
 }

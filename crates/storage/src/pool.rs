@@ -11,7 +11,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tcq_common::sync::Mutex;
 
 use tcq_common::{Result, TcqError};
 
@@ -123,7 +123,11 @@ impl BufferPool {
             return;
         }
         if inner.frames.len() < inner.capacity {
-            inner.frames.push(Frame { key, data, referenced: true });
+            inner.frames.push(Frame {
+                key,
+                data,
+                referenced: true,
+            });
             inner.by_key.insert(key, inner.frames.len() - 1);
             return;
         }
@@ -138,7 +142,11 @@ impl BufferPool {
                 let old = inner.frames[idx].key;
                 inner.by_key.remove(&old);
                 inner.stats.evictions += 1;
-                inner.frames[idx] = Frame { key, data, referenced: true };
+                inner.frames[idx] = Frame {
+                    key,
+                    data,
+                    referenced: true,
+                };
                 inner.by_key.insert(key, idx);
                 return;
             }
@@ -171,10 +179,8 @@ mod tests {
     fn temp_file() -> (std::path::PathBuf, File) {
         static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "tcq-pool-test-{}-{n}.dat",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("tcq-pool-test-{}-{n}.dat", std::process::id()));
         let file = File::options()
             .create(true)
             .read(true)
@@ -240,7 +246,11 @@ mod tests {
         pool.write_page(&mut f, (1, 3), page(3, 64)).unwrap();
         let before = pool.stats().hits;
         pool.read_page(&mut f, (1, 2)).unwrap();
-        assert_eq!(pool.stats().hits, before + 1, "referenced page must survive");
+        assert_eq!(
+            pool.stats().hits,
+            before + 1,
+            "referenced page must survive"
+        );
         std::fs::remove_file(path).ok();
     }
 

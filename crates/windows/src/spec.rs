@@ -21,27 +21,47 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant `c`.
     pub const fn constant(c: i64) -> Self {
-        LinExpr { t_coeff: 0, st_coeff: 0, constant: c }
+        LinExpr {
+            t_coeff: 0,
+            st_coeff: 0,
+            constant: c,
+        }
     }
 
     /// The loop variable `t`.
     pub const fn t() -> Self {
-        LinExpr { t_coeff: 1, st_coeff: 0, constant: 0 }
+        LinExpr {
+            t_coeff: 1,
+            st_coeff: 0,
+            constant: 0,
+        }
     }
 
     /// `t + off`.
     pub const fn t_plus(off: i64) -> Self {
-        LinExpr { t_coeff: 1, st_coeff: 0, constant: off }
+        LinExpr {
+            t_coeff: 1,
+            st_coeff: 0,
+            constant: off,
+        }
     }
 
     /// The query start time `ST`.
     pub const fn st() -> Self {
-        LinExpr { t_coeff: 0, st_coeff: 1, constant: 0 }
+        LinExpr {
+            t_coeff: 0,
+            st_coeff: 1,
+            constant: 0,
+        }
     }
 
     /// `ST + off`.
     pub const fn st_plus(off: i64) -> Self {
-        LinExpr { t_coeff: 0, st_coeff: 1, constant: off }
+        LinExpr {
+            t_coeff: 0,
+            st_coeff: 1,
+            constant: off,
+        }
     }
 
     /// Evaluate at concrete `t` and `st`.
@@ -165,7 +185,11 @@ pub struct WindowIs {
 impl WindowIs {
     /// Construct.
     pub fn new(stream: impl Into<String>, left: LinExpr, right: LinExpr) -> Self {
-        WindowIs { stream: stream.into(), left, right }
+        WindowIs {
+            stream: stream.into(),
+            left,
+            right,
+        }
     }
 }
 
@@ -225,7 +249,11 @@ impl WindowAssignment {
     /// The largest right end across streams — the stream time at which this
     /// iteration's answer can be finalized.
     pub fn close_time(&self) -> i64 {
-        self.windows.iter().map(|(_, w)| w.right).max().unwrap_or(i64::MIN)
+        self.windows
+            .iter()
+            .map(|(_, w)| w.right)
+            .max()
+            .unwrap_or(i64::MIN)
     }
 }
 
@@ -245,7 +273,14 @@ impl WindowSeq {
     /// Instantiate a loop at query start time `st`.
     pub fn new(spec: ForLoop, st: i64) -> Self {
         let t = spec.init.eval(0, st);
-        WindowSeq { spec, st, t, done: false, iterations: 0, max_iterations: None }
+        WindowSeq {
+            spec,
+            st,
+            t,
+            done: false,
+            iterations: 0,
+            max_iterations: None,
+        }
     }
 
     /// Bound the number of iterations (for analysis of infinite specs).
@@ -395,7 +430,10 @@ mod tests {
     fn snapshot_spec() -> ForLoop {
         ForLoop {
             init: LinExpr::constant(0),
-            cond: Condition { op: CondOp::Eq, bound: LinExpr::constant(0) },
+            cond: Condition {
+                op: CondOp::Eq,
+                bound: LinExpr::constant(0),
+            },
             step: Step::Set(-1),
             windows: vec![WindowIs::new(
                 "ClosingStockPrices",
@@ -409,7 +447,10 @@ mod tests {
     fn landmark_spec() -> ForLoop {
         ForLoop {
             init: LinExpr::constant(101),
-            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(1000) },
+            cond: Condition {
+                op: CondOp::Le,
+                bound: LinExpr::constant(1000),
+            },
             step: Step::Add(1),
             windows: vec![WindowIs::new(
                 "ClosingStockPrices",
@@ -423,7 +464,10 @@ mod tests {
     fn sliding_spec() -> ForLoop {
         ForLoop {
             init: LinExpr::st(),
-            cond: Condition { op: CondOp::Lt, bound: LinExpr::st_plus(50) },
+            cond: Condition {
+                op: CondOp::Lt,
+                bound: LinExpr::st_plus(50),
+            },
             step: Step::Add(5),
             windows: vec![WindowIs::new(
                 "ClosingStockPrices",
@@ -437,7 +481,10 @@ mod tests {
     fn band_spec() -> ForLoop {
         ForLoop {
             init: LinExpr::st(),
-            cond: Condition { op: CondOp::Lt, bound: LinExpr::st_plus(20) },
+            cond: Condition {
+                op: CondOp::Lt,
+                bound: LinExpr::st_plus(20),
+            },
             step: Step::Add(1),
             windows: vec![
                 WindowIs::new("c1", LinExpr::t_plus(-4), LinExpr::t()),
@@ -465,10 +512,19 @@ mod tests {
             .collect::<Result<Vec<_>>>()
             .unwrap();
         assert_eq!(seq.len(), 900);
-        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 101, right: 101 });
+        assert_eq!(
+            seq[0].windows[0].1,
+            WindowInstance {
+                left: 101,
+                right: 101
+            }
+        );
         assert_eq!(
             seq.last().unwrap().windows[0].1,
-            WindowInstance { left: 101, right: 1000 }
+            WindowInstance {
+                left: 101,
+                right: 1000
+            }
         );
         let kind = classify(&landmark_spec()).unwrap();
         assert_eq!(kind, WindowKind::Landmark);
@@ -482,8 +538,20 @@ mod tests {
             .collect::<Result<Vec<_>>>()
             .unwrap();
         assert_eq!(seq.len(), 10);
-        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 96, right: 100 });
-        assert_eq!(seq[1].windows[0].1, WindowInstance { left: 101, right: 105 });
+        assert_eq!(
+            seq[0].windows[0].1,
+            WindowInstance {
+                left: 96,
+                right: 100
+            }
+        );
+        assert_eq!(
+            seq[1].windows[0].1,
+            WindowInstance {
+                left: 101,
+                right: 105
+            }
+        );
         let kind = classify(&sliding_spec()).unwrap();
         assert_eq!(kind, WindowKind::Sliding { hop: 5, width: 5 });
         assert!(!kind.skips_data(), "hop == width covers the stream exactly");
@@ -514,14 +582,25 @@ mod tests {
         // "windows that move backwards starting from the present time"
         let spec = ForLoop {
             init: LinExpr::st(),
-            cond: Condition { op: CondOp::Gt, bound: LinExpr::constant(0) },
+            cond: Condition {
+                op: CondOp::Gt,
+                bound: LinExpr::constant(0),
+            },
             step: Step::Add(-10),
             windows: vec![WindowIs::new("s", LinExpr::t_plus(-9), LinExpr::t())],
         };
         assert_eq!(classify(&spec).unwrap(), WindowKind::Backward);
-        let seq: Vec<_> = WindowSeq::new(spec, 30).collect::<Result<Vec<_>>>().unwrap();
+        let seq: Vec<_> = WindowSeq::new(spec, 30)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
         assert_eq!(seq.len(), 3);
-        assert_eq!(seq[0].windows[0].1, WindowInstance { left: 21, right: 30 });
+        assert_eq!(
+            seq[0].windows[0].1,
+            WindowInstance {
+                left: 21,
+                right: 30
+            }
+        );
         assert_eq!(seq[2].windows[0].1, WindowInstance { left: 1, right: 10 });
     }
 
@@ -529,7 +608,10 @@ mod tests {
     fn invalid_window_left_after_right() {
         let spec = ForLoop {
             init: LinExpr::constant(0),
-            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(5) },
+            cond: Condition {
+                op: CondOp::Le,
+                bound: LinExpr::constant(5),
+            },
             step: Step::Add(1),
             windows: vec![WindowIs::new("s", LinExpr::constant(10), LinExpr::t())],
         };
@@ -542,7 +624,10 @@ mod tests {
     fn condition_referencing_t_in_bound_rejected() {
         let spec = ForLoop {
             init: LinExpr::constant(0),
-            cond: Condition { op: CondOp::Lt, bound: LinExpr::t() },
+            cond: Condition {
+                op: CondOp::Lt,
+                bound: LinExpr::t(),
+            },
             step: Step::Add(1),
             windows: vec![WindowIs::new("s", LinExpr::t(), LinExpr::t())],
         };
@@ -554,13 +639,14 @@ mod tests {
         // An unbounded continuous query: t >= 0 forever.
         let spec = ForLoop {
             init: LinExpr::constant(0),
-            cond: Condition { op: CondOp::Ge, bound: LinExpr::constant(0) },
+            cond: Condition {
+                op: CondOp::Ge,
+                bound: LinExpr::constant(0),
+            },
             step: Step::Add(1),
             windows: vec![WindowIs::new("s", LinExpr::t(), LinExpr::t())],
         };
-        let n = WindowSeq::new(spec, 0)
-            .with_max_iterations(100)
-            .count();
+        let n = WindowSeq::new(spec, 0).with_max_iterations(100).count();
         assert_eq!(n, 100);
     }
 
@@ -583,11 +669,18 @@ mod tests {
     fn opposite_direction_windows_rejected() {
         let spec = ForLoop {
             init: LinExpr::constant(0),
-            cond: Condition { op: CondOp::Le, bound: LinExpr::constant(5) },
+            cond: Condition {
+                op: CondOp::Le,
+                bound: LinExpr::constant(5),
+            },
             step: Step::Add(1),
             windows: vec![WindowIs::new(
                 "s",
-                LinExpr { t_coeff: -1, st_coeff: 0, constant: 0 },
+                LinExpr {
+                    t_coeff: -1,
+                    st_coeff: 0,
+                    constant: 0,
+                },
                 LinExpr::t(),
             )],
         };

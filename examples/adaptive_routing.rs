@@ -13,28 +13,40 @@ use telegraphcq::prelude::*;
 fn build_eddy(policy: Box<dyn RoutingPolicy>, cost_units: u64) -> (Eddy, SchemaRef) {
     let schema = Schema::qualified(
         "S",
-        vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)],
+        vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ],
     )
     .into_ref();
     let mut eddy = Eddy::new(&["S"], policy, EddyConfig::default()).unwrap();
     let s = eddy.source_bit("S").unwrap();
     // f_a passes when a < 20 (selective in phase 1, permissive in phase 2)
-    let fa = SelectOp::new("a<20", &Expr::col("a").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
-        .unwrap()
-        .with_cost_units(cost_units);
+    let fa = SelectOp::new(
+        "a<20",
+        &Expr::col("a").cmp(CmpOp::Lt, Expr::lit(20i64)),
+        &schema,
+    )
+    .unwrap()
+    .with_cost_units(cost_units);
     // f_b passes when b < 20 (permissive in phase 1, selective in phase 2)
-    let fb = SelectOp::new("b<20", &Expr::col("b").cmp(CmpOp::Lt, Expr::lit(20i64)), &schema)
-        .unwrap()
-        .with_cost_units(cost_units);
-    eddy.add_module(ModuleSpec::filter(Box::new(fa), s)).unwrap();
-    eddy.add_module(ModuleSpec::filter(Box::new(fb), s)).unwrap();
+    let fb = SelectOp::new(
+        "b<20",
+        &Expr::col("b").cmp(CmpOp::Lt, Expr::lit(20i64)),
+        &schema,
+    )
+    .unwrap()
+    .with_cost_units(cost_units);
+    eddy.add_module(ModuleSpec::filter(Box::new(fa), s))
+        .unwrap();
+    eddy.add_module(ModuleSpec::filter(Box::new(fb), s))
+        .unwrap();
     (eddy, schema)
 }
 
 /// Phase 1: a ∈ [0,100) (f_a passes 20%), b ∈ [0,25) (f_b passes 80%).
 /// Phase 2: the distributions swap.
 fn run(mut eddy: Eddy, schema: &SchemaRef, n: i64) -> (Eddy, u64) {
-    use rand::Rng;
     let mut rng = telegraphcq::common::rng::seeded(17);
     let start = std::time::Instant::now();
     for i in 0..n {

@@ -12,7 +12,8 @@ use std::time::Duration;
 use telegraphcq::prelude::*;
 
 fn main() -> Result<()> {
-    let archive_dir = std::env::temp_dir().join(format!("tcq-stock-monitor-{}", std::process::id()));
+    let archive_dir =
+        std::env::temp_dir().join(format!("tcq-stock-monitor-{}", std::process::id()));
     let server = TelegraphCQ::start(ServerConfig {
         archive_dir: Some(archive_dir.clone()),
         ..ServerConfig::default()
@@ -87,7 +88,11 @@ fn main() -> Result<()> {
     let snapshot = server.fetch(snapshot_client, 1024)?;
     println!("snapshot — MSFT's first five closes (answered from the archive):");
     for (_, row) in &snapshot {
-        println!("  day {:>2}: ${:.2}", row.value(1).as_int()?, row.value(0).as_float()?);
+        println!(
+            "  day {:>2}: ${:.2}",
+            row.value(1).as_int()?,
+            row.value(0).as_float()?
+        );
     }
 
     let landmark = server.fetch(landmark_client, 100_000)?;

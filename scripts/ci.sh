@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: everything here must pass before merging.
+# Fully offline — no network, no external dev-dependencies.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo
+echo "ci: all green"

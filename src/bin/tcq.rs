@@ -208,12 +208,14 @@ fn push_csv(server: &TelegraphCQ, stream: &str, csv: &str) -> Result<()> {
     let mut b = TupleBuilder::new(def.schema.clone());
     for (i, raw) in parts.iter().enumerate() {
         let v = match def.schema.field(i).data_type {
-            DataType::Int => Value::Int(raw.parse().map_err(|_| {
-                TcqError::Type(format!("bad int '{raw}'"))
-            })?),
-            DataType::Float => Value::Float(raw.parse().map_err(|_| {
-                TcqError::Type(format!("bad float '{raw}'"))
-            })?),
+            DataType::Int => Value::Int(
+                raw.parse()
+                    .map_err(|_| TcqError::Type(format!("bad int '{raw}'")))?,
+            ),
+            DataType::Float => Value::Float(
+                raw.parse()
+                    .map_err(|_| TcqError::Type(format!("bad float '{raw}'")))?,
+            ),
             DataType::Bool => Value::Bool(raw.eq_ignore_ascii_case("true")),
             DataType::Str => Value::str(raw),
         };

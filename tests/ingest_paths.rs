@@ -42,7 +42,10 @@ fn csv_wrapper_end_to_end() {
         )
         .unwrap();
     server
-        .attach_source("readings", Box::new(CsvSource::open(&path, schema).unwrap()))
+        .attach_source(
+            "readings",
+            Box::new(CsvSource::open(&path, schema).unwrap()),
+        )
         .unwrap();
     server.quiesce(Duration::from_secs(10));
     settle(&server);
@@ -75,13 +78,20 @@ fn three_generators_feed_one_engine() {
         .unwrap();
 
     let c_quotes = server.connect_pull_client(100_000).unwrap();
-    server.submit("SELECT timestamp FROM quotes", c_quotes).unwrap();
+    server
+        .submit("SELECT timestamp FROM quotes", c_quotes)
+        .unwrap();
     let c_packets = server.connect_pull_client(100_000).unwrap();
     server
-        .submit("SELECT timestamp FROM packets WHERE proto = 'udp'", c_packets)
+        .submit(
+            "SELECT timestamp FROM packets WHERE proto = 'udp'",
+            c_packets,
+        )
         .unwrap();
     let c_sensors = server.connect_pull_client(100_000).unwrap();
-    server.submit("SELECT timestamp FROM sensors", c_sensors).unwrap();
+    server
+        .submit("SELECT timestamp FROM sensors", c_sensors)
+        .unwrap();
 
     server
         .attach_source(

@@ -1,79 +1,181 @@
 //! Model-based and robustness properties: the front-end never panics on
 //! arbitrary input, algebraic laws hold for the value lattice, and compact
 //! data structures agree with their obvious reference models.
+//!
+//! Cases are generated deterministically from `tcq_common::rng` (see
+//! `tests/properties.rs` for the scheme), so the suite needs no external
+//! property-testing crate and every case replays from (stream, index).
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
-
+use telegraphcq::common::rng::{derive_seed, seeded, TcqRng};
 use telegraphcq::common::{BitSet, CmpOp, Expr, Value};
 use telegraphcq::query::{lexer::lex, parse};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Run `body` for `cases` deterministic cases (same scheme as
+/// `tests/properties.rs`).
+fn check(stream: u64, cases: u64, mut body: impl FnMut(&mut TcqRng)) {
+    for case in 0..cases {
+        let mut rng = seeded(derive_seed(stream, case));
+        body(&mut rng);
+    }
+}
 
-    /// The lexer returns Ok or Err on arbitrary input — never panics.
-    #[test]
-    fn lexer_total_on_arbitrary_strings(s in ".{0,200}") {
+/// A random string of length `0..max_len` drawn from `alphabet`.
+fn rand_string(rng: &mut TcqRng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+        .collect()
+}
+
+/// Printable ASCII plus a few multibyte and control characters, so the
+/// lexer sees arbitrary unicode without needing a fuzzer.
+fn wild_alphabet() -> Vec<char> {
+    let mut a: Vec<char> = (' '..='~').collect();
+    a.extend(['\n', '\t', '\u{0}', 'é', '→', '𝄞']);
+    a
+}
+
+/// Random values over the full lattice (strings avoid quotes so the expr
+/// roundtrip test can print them).
+fn rand_value(rng: &mut TcqRng) -> Value {
+    const STR_CHARS: &[char] = &['a', 'b', 'c', 'x', 'y', 'Z', '0', '7', '_', ' '];
+    match rng.gen_range(0usize..5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen()),
+        2 => Value::Int(rng.gen_range(-1000i64..1000)),
+        3 => Value::Float(rng.gen_range(-1000i64..1000) as f64 / 8.0),
+        _ => Value::str(rand_string(rng, STR_CHARS, 13)),
+    }
+}
+
+/// Random comparison operator.
+fn rand_cmp(rng: &mut TcqRng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.gen_range(0usize..6)]
+}
+
+/// Random boolean expression tree over columns a/b/c, depth-bounded.
+fn rand_expr(rng: &mut TcqRng, depth: usize) -> Expr {
+    const NAME_CHARS: &[char] = &['d', 'e', 'f', 'g', 'h', 'k'];
+    if depth == 0 || rng.gen_bool(0.4) {
+        // Leaf: column vs int or string literal.
+        if rng.gen_bool(0.6) {
+            let col = ["a", "b", "c"][rng.gen_range(0usize..3)];
+            Expr::col(col).cmp(rand_cmp(rng), Expr::lit(rng.gen_range(-100i64..100)))
+        } else {
+            let col = ["a", "b"][rng.gen_range(0usize..2)];
+            let mut s = rand_string(rng, NAME_CHARS, 6);
+            if s.is_empty() {
+                s.push('x');
+            }
+            Expr::col(col).cmp(rand_cmp(rng), Expr::lit(s.as_str()))
+        }
+    } else {
+        match rng.gen_range(0usize..3) {
+            0 => rand_expr(rng, depth - 1).and(rand_expr(rng, depth - 1)),
+            1 => rand_expr(rng, depth - 1).or(rand_expr(rng, depth - 1)),
+            _ => Expr::Not(Box::new(rand_expr(rng, depth - 1))),
+        }
+    }
+}
+
+/// The lexer returns Ok or Err on arbitrary input — never panics.
+#[test]
+fn lexer_total_on_arbitrary_strings() {
+    let alphabet = wild_alphabet();
+    check(0xA1, 64, |rng| {
+        let s = rand_string(rng, &alphabet, 200);
         let _ = lex(&s);
-    }
+    });
+}
 
-    /// The parser is total too (errors, never panics), including on
-    /// plausible-looking query fragments.
-    #[test]
-    fn parser_total_on_arbitrary_strings(s in "[ -~]{0,200}") {
+/// The parser is total too (errors, never panics), including on
+/// plausible-looking query fragments.
+#[test]
+fn parser_total_on_arbitrary_strings() {
+    let printable: Vec<char> = (' '..='~').collect();
+    check(0xA2, 64, |rng| {
+        let s = rand_string(rng, &printable, 200);
         let _ = parse(&s);
-    }
+    });
+}
 
-    #[test]
-    fn parser_total_on_query_shaped_input(
-        cols in "[a-z]{1,8}",
-        tail in "[a-zA-Z0-9<>=!(){};.,*+' -]{0,80}",
-    ) {
+#[test]
+fn parser_total_on_query_shaped_input() {
+    let lower: Vec<char> = ('a'..='z').collect();
+    let tail_alphabet: Vec<char> = {
+        let mut a: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+        a.extend("<>=!(){};.,*+' -".chars());
+        a
+    };
+    check(0xA3, 64, |rng| {
+        let mut cols = rand_string(rng, &lower, 8);
+        if cols.is_empty() {
+            cols.push('c');
+        }
+        let tail = rand_string(rng, &tail_alphabet, 80);
         let _ = parse(&format!("SELECT {cols} FROM s WHERE {tail}"));
-    }
+    });
+}
 
-    /// Value::total_cmp is a lawful total order (antisymmetric, transitive,
-    /// total) across mixed types — sampled.
-    #[test]
-    fn value_total_order_laws(raw in proptest::collection::vec(value_strategy(), 3)) {
-        use std::cmp::Ordering;
-        let (a, b, c) = (&raw[0], &raw[1], &raw[2]);
+/// Value::total_cmp is a lawful total order (antisymmetric, transitive,
+/// total) across mixed types — sampled.
+#[test]
+fn value_total_order_laws() {
+    use std::cmp::Ordering;
+    check(0xA4, 64, |rng| {
+        let (a, b, c) = (rand_value(rng), rand_value(rng), rand_value(rng));
         // totality + antisymmetry
-        match a.total_cmp(b) {
-            Ordering::Less => prop_assert_eq!(b.total_cmp(a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.total_cmp(a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(b.total_cmp(a), Ordering::Equal),
+        match a.total_cmp(&b) {
+            Ordering::Less => assert_eq!(b.total_cmp(&a), Ordering::Greater),
+            Ordering::Greater => assert_eq!(b.total_cmp(&a), Ordering::Less),
+            Ordering::Equal => assert_eq!(b.total_cmp(&a), Ordering::Equal),
         }
         // transitivity (sampled)
-        if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            assert_ne!(a.total_cmp(&c), Ordering::Greater);
         }
         // reflexivity
-        prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
-    }
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    });
+}
 
-    /// Eq/Hash consistency: equal values hash equal (the hash-join
-    /// invariant), across Int/Float mixing.
-    #[test]
-    fn value_eq_implies_hash_eq(a in value_strategy(), b in value_strategy()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let hash = |v: &Value| {
-            let mut h = DefaultHasher::new();
-            v.hash(&mut h);
-            h.finish()
-        };
+/// Eq/Hash consistency: equal values hash equal (the hash-join
+/// invariant), across Int/Float mixing.
+#[test]
+fn value_eq_implies_hash_eq() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let hash = |v: &Value| {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    };
+    check(0xA5, 64, |rng| {
+        let (a, b) = (rand_value(rng), rand_value(rng));
         if a == b {
-            prop_assert_eq!(hash(&a), hash(&b));
+            assert_eq!(hash(&a), hash(&b));
         }
-    }
+        // And trivially: every value hashes equal to itself.
+        assert_eq!(hash(&a), hash(&a.clone()));
+    });
+}
 
-    /// BitSet agrees with a HashSet model under arbitrary op sequences.
-    #[test]
-    fn bitset_matches_hashset_model(
-        ops in proptest::collection::vec((0u8..5, 0usize..300), 0..200),
-    ) {
+/// BitSet agrees with a HashSet model under arbitrary op sequences.
+#[test]
+fn bitset_matches_hashset_model() {
+    check(0xA6, 64, |rng| {
+        let ops: Vec<(u8, usize)> = (0..rng.gen_range(0usize..200))
+            .map(|_| (rng.gen_range(0u32..5) as u8, rng.gen_range(0usize..300)))
+            .collect();
         let mut bs = BitSet::new();
         let mut model: HashSet<usize> = HashSet::new();
         let mut other = BitSet::new();
@@ -102,20 +204,25 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(bs.len(), model.len());
+        assert_eq!(bs.len(), model.len());
         let got: HashSet<usize> = bs.iter().collect();
-        prop_assert_eq!(got, model);
-    }
+        assert_eq!(got, model);
+    });
+}
 
-    /// decode(encode(t)) == t for random tuples; decoding random bytes is
-    /// total (errors, never panics).
-    #[test]
-    fn codec_roundtrip_and_fuzz(
-        vals in proptest::collection::vec(value_strategy(), 1..8),
-        noise in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        use telegraphcq::common::{DataType, Field, Schema, Timestamp, Tuple};
-        use telegraphcq::storage::{decode_tuple, encode_tuple};
+/// decode(encode(t)) == t for random tuples; decoding random bytes is
+/// total (errors, never panics).
+#[test]
+fn codec_roundtrip_and_fuzz() {
+    use telegraphcq::common::{DataType, Field, Schema, Timestamp, Tuple};
+    use telegraphcq::storage::{decode_tuple, encode_tuple};
+    check(0xA7, 64, |rng| {
+        let vals: Vec<Value> = (0..rng.gen_range(1usize..8))
+            .map(|_| rand_value(rng))
+            .collect();
+        let noise: Vec<u8> = (0..rng.gen_range(0usize..64))
+            .map(|_| rng.gen::<u8>())
+            .collect();
         let fields: Vec<Field> = (0..vals.len())
             .map(|i| Field::new(format!("c{i}"), DataType::Int))
             .collect();
@@ -126,50 +233,20 @@ proptest! {
         let mut buf = Vec::new();
         encode_tuple(&t, &mut buf);
         let back = decode_tuple(&mut buf.as_slice(), &schema).unwrap();
-        prop_assert_eq!(&back, &t);
+        assert_eq!(back, t);
         // Fuzz: arbitrary bytes must not panic.
         let _ = decode_tuple(&mut noise.as_slice(), &schema);
-    }
+    });
+}
 
-    /// Parse(print(expr)) == expr: `Display` fully parenthesizes, so the
-    /// parser must reconstruct the exact tree.
-    #[test]
-    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+/// Parse(print(expr)) == expr: `Display` fully parenthesizes, so the
+/// parser must reconstruct the exact tree.
+#[test]
+fn expr_print_parse_roundtrip() {
+    check(0xA8, 64, |rng| {
+        let e = rand_expr(rng, 3);
         let sql = format!("SELECT * FROM s WHERE {e}");
         let stmt = parse(&sql).unwrap();
-        prop_assert_eq!(stmt.where_clause.as_ref(), Some(&e));
-    }
-}
-
-/// Random values over the full lattice (strings avoid quotes so the expr
-/// roundtrip test can print them).
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1000i64..1000).prop_map(Value::Int),
-        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
-        "[a-zA-Z0-9_ ]{0,12}".prop_map(|s| Value::str(&s)),
-    ]
-}
-
-/// Random boolean expression trees over columns a/b/c.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (prop::sample::select(vec!["a", "b", "c"]), cmp_op(), -100i64..100)
-            .prop_map(|(c, op, v)| Expr::col(c).cmp(op, Expr::lit(v))),
-        (prop::sample::select(vec!["a", "b"]), cmp_op(), "[a-zA-Z]{1,6}")
-            .prop_map(|(c, op, s)| Expr::col(c).cmp(op, Expr::lit(s.as_str()))),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-    })
-}
-
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+        assert_eq!(stmt.where_clause.as_ref(), Some(&e));
+    });
 }

@@ -33,7 +33,10 @@ fn feed_market(server: &TelegraphCQ, days: i64) {
     let schema = stock_schema();
     for day in 1..=days {
         server
-            .push("ClosingStockPrices", tick(&schema, day, "MSFT", 40.0 + day as f64))
+            .push(
+                "ClosingStockPrices",
+                tick(&schema, day, "MSFT", 40.0 + day as f64),
+            )
             .unwrap();
         server
             .push(
@@ -47,10 +50,7 @@ fn feed_market(server: &TelegraphCQ, days: i64) {
 fn archived_server() -> TelegraphCQ {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "tcq-paper-queries-{}-{n}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("tcq-paper-queries-{}-{n}", std::process::id()));
     let server = TelegraphCQ::start(ServerConfig {
         archive_dir: Some(dir),
         ..ServerConfig::default()
@@ -141,7 +141,10 @@ fn example2_landmark_query() {
     for (q, t) in &results {
         assert_eq!(*q, qid);
         let day = t.value(1).as_int().unwrap();
-        assert!((21..=60).contains(&day), "day {day} outside the landmark window");
+        assert!(
+            (21..=60).contains(&day),
+            "day {day} outside the landmark window"
+        );
         assert!(t.value(0).as_float().unwrap() > 50.0);
     }
     server.shutdown().unwrap();
@@ -177,8 +180,7 @@ fn example3_sliding_avg_query() {
         let t = row.value(0).as_int().unwrap();
         // AVG over days [max(t-4, 1), t] of (40 + day).
         let lo = (t - 4).max(1);
-        let expect: f64 =
-            (lo..=t).map(|d| 40.0 + d as f64).sum::<f64>() / (t - lo + 1) as f64;
+        let expect: f64 = (lo..=t).map(|d| 40.0 + d as f64).sum::<f64>() / (t - lo + 1) as f64;
         let got = row.value(1).as_float().unwrap();
         assert!(
             (got - expect).abs() < 1e-9,
@@ -218,7 +220,11 @@ fn example4_temporal_band_join() {
     // but the query only stands "for twenty trading days": ST = 1, so the
     // final window closes at day 20 and the query retires. One (c1=MSFT,
     // c2=IBM) match per day in 1..=20.
-    assert_eq!(results.len(), 20, "the query stands for twenty trading days");
+    assert_eq!(
+        results.len(),
+        20,
+        "the query stands for twenty trading days"
+    );
     for (q, row) in &results {
         assert_eq!(*q, qid);
         // c2.* = (timestamp, stockSymbol, closingPrice) of the non-MSFT row

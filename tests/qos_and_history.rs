@@ -123,7 +123,10 @@ fn backward_windows_browse_history() {
     // Windows: [91,100], [81,90], [71,80]. Predicate keeps v>95 (96..100)
     // and v<=75 (71..75) → 5 + 0 + 5 = 10 rows.
     assert_eq!(got.len(), 10);
-    let mut seqs: Vec<i64> = got.iter().map(|(_, t)| t.value(0).as_int().unwrap()).collect();
+    let mut seqs: Vec<i64> = got
+        .iter()
+        .map(|(_, t)| t.value(0).as_int().unwrap())
+        .collect();
     seqs.sort_unstable();
     assert_eq!(seqs, vec![71, 72, 73, 74, 75, 96, 97, 98, 99, 100]);
     server.shutdown().unwrap();
@@ -195,7 +198,11 @@ fn aggregate_windows_close_only_when_time_passes() {
     let rest = server.fetch(client, 4096).unwrap();
     assert_eq!(rest.len(), 2);
     for (_, r) in mid.iter().chain(rest.iter()) {
-        assert_eq!(r.value(1).as_int().unwrap(), 10, "each window holds 10 tuples");
+        assert_eq!(
+            r.value(1).as_int().unwrap(),
+            10,
+            "each window holds 10 tuples"
+        );
     }
     server.shutdown().unwrap();
 }
@@ -220,7 +227,10 @@ fn landmark_aggregate_grows_without_bound_until_eof() {
     }
     settle(&server);
     let got = server.fetch(client, 4096).unwrap();
-    let counts: Vec<i64> = got.iter().map(|(_, r)| r.value(1).as_int().unwrap()).collect();
+    let counts: Vec<i64> = got
+        .iter()
+        .map(|(_, r)| r.value(1).as_int().unwrap())
+        .collect();
     assert_eq!(counts, vec![5, 10, 15, 20, 25]);
     server.shutdown().unwrap();
 }
@@ -240,12 +250,17 @@ fn prioritized_client_sees_interesting_results_first() {
     server.submit("SELECT ts, v FROM s", client).unwrap();
     let s = schema();
     for ts in 1..=100 {
-        server.push("s", row(&s, ts, ((ts * 37) % 100) as f64)).unwrap();
+        server
+            .push("s", row(&s, ts, ((ts * 37) % 100) as f64))
+            .unwrap();
     }
     settle(&server);
     let got = server.fetch(client, 10).unwrap();
     assert_eq!(got.len(), 5, "only the 5 best survive the bounded buffer");
-    let vs: Vec<f64> = got.iter().map(|(_, t)| t.value(1).as_float().unwrap()).collect();
+    let vs: Vec<f64> = got
+        .iter()
+        .map(|(_, t)| t.value(1).as_float().unwrap())
+        .collect();
     let mut sorted = vs.clone();
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
     assert_eq!(vs, sorted, "best-first order");

@@ -49,7 +49,10 @@ fn many_queries_share_one_stream_pass() {
         let client = server.connect_pull_client(4096).unwrap();
         let qid = server
             .submit(
-                &format!("SELECT ts, temperature FROM sensors WHERE temperature > {}", i),
+                &format!(
+                    "SELECT ts, temperature FROM sensors WHERE temperature > {}",
+                    i
+                ),
                 client,
             )
             .unwrap();
@@ -95,7 +98,9 @@ fn queries_join_and_leave_mid_stream() {
         .unwrap();
 
     for ts in 1..=10 {
-        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, 0, 5.0))
+            .unwrap();
     }
     settle(&server);
 
@@ -105,14 +110,18 @@ fn queries_join_and_leave_mid_stream() {
         .submit("SELECT ts FROM sensors WHERE temperature > 0.0", c2)
         .unwrap();
     for ts in 11..=20 {
-        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, 0, 5.0))
+            .unwrap();
     }
     settle(&server);
 
     // First query leaves; more data flows.
     server.stop_query(q1).unwrap();
     for ts in 21..=30 {
-        server.push("sensors", reading(&schema, ts, 0, 5.0)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, 0, 5.0))
+            .unwrap();
     }
     settle(&server);
 
@@ -137,11 +146,17 @@ fn push_and_pull_clients_coexist() {
 
     let (push_client, rx) = server.connect_push_client(4096).unwrap();
     let pull_client = server.connect_pull_client(4096).unwrap();
-    let q_push = server.submit("SELECT ts FROM sensors", push_client).unwrap();
-    let q_pull = server.submit("SELECT ts FROM sensors", pull_client).unwrap();
+    let q_push = server
+        .submit("SELECT ts FROM sensors", push_client)
+        .unwrap();
+    let q_pull = server
+        .submit("SELECT ts FROM sensors", pull_client)
+        .unwrap();
 
     for ts in 1..=50 {
-        server.push("sensors", reading(&schema, ts, 0, 1.0)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, 0, 1.0))
+            .unwrap();
     }
     settle(&server);
 
@@ -173,7 +188,9 @@ fn group_by_aggregate_over_sliding_windows() {
     for ts in 1..=40i64 {
         let id = ts % 2;
         let temp = if id == 0 { ts as f64 } else { -(ts as f64) };
-        server.push("sensors", reading(&schema, ts, id, temp)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, id, temp))
+            .unwrap();
     }
     settle(&server);
 
@@ -234,7 +251,9 @@ fn two_stream_join_via_server() {
     for ts in 1..=40i64 {
         // temp > 10 for even ts
         let temp = if ts % 2 == 0 { 20.0 } else { 5.0 };
-        server.push("sensors", reading(&schema, ts, ts % 4, temp)).unwrap();
+        server
+            .push("sensors", reading(&schema, ts, ts % 4, temp))
+            .unwrap();
     }
     settle(&server);
 
