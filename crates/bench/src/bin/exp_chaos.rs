@@ -10,23 +10,37 @@
 //!   overflow_dropped` **exactly** — loss is accounted, never silent;
 //! * after every kill the cluster re-replicates back to full replication;
 //! * two runs from the same seed produce identical answers *and* an
-//!   identical fired-fault log (determinism: any chaos failure replays).
+//!   identical fired-fault log (determinism: any chaos failure replays);
+//! * the whole server (ingress → dispatcher → archive → egress) quiesces
+//!   under one schedule mixing a source panic, an enqueue overflow, a soft
+//!   archive failure, a torn page write, and a dead client — with every
+//!   produced tuple delivered or accounted.
 //!
 //! ```text
-//! cargo run --release -p tcq-bench --bin exp_chaos
+//! cargo run --release -p tcq-bench --bin exp_chaos [-- --smoke]
 //! ```
+//!
+//! `--smoke` runs the reduced-scale CI variant (smaller server workload,
+//! single server pass).
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use tcq_bench::{kv, kv_schema, Table};
 use tcq_common::chaos::FiredFault;
-use tcq_common::{FaultAction, FaultPlan, FaultPoint, Result, SchemaRef, Tuple, Value};
+use tcq_common::{
+    DataType, FaultAction, FaultPlan, FaultPoint, Field, Result, Schema, SchemaRef, Timestamp,
+    Tuple, TupleBuilder, Value,
+};
+use tcq_egress::{EgressPolicy, EgressStats};
 use tcq_fjords::{fjord, DequeueResult, FjordMessage, QueueKind};
 use tcq_flux::{FluxCluster, FluxConfig, FluxStats};
 use tcq_ingress::{
     ChaosSource, DegradePolicy, Source, SourceFactory, SourceStatus, Supervisor, SupervisorConfig,
     SupervisorStats,
 };
+use tcq_server::{ServerConfig, TelegraphCQ};
 
 const TUPLES: i64 = 12_000;
 const KEYS: i64 = 211;
@@ -200,6 +214,7 @@ fn experiment_loss_accounting() {
         "answered",
         "lost in-flight",
         "overflow drops",
+        "rejoin stall",
         "exactly accounted",
         "re-replicated",
     ]);
@@ -236,6 +251,7 @@ fn experiment_loss_accounting() {
             got.to_string(),
             outcome.flux.lost_inflight.to_string(),
             outcome.flux.overflow_dropped.to_string(),
+            outcome.flux.rejoin_stall_ticks.to_string(),
             "true".to_string(),
             if replication {
                 outcome.replicated_after_kills.to_string()
@@ -249,7 +265,9 @@ fn experiment_loss_accounting() {
         "\n  shape check: with process pairs the kills are invisible in the answer\n\
          \x20 (zero in-flight loss, replication factor restored); without them the\n\
          \x20 shortfall equals lost_inflight + overflow_dropped exactly — loss is\n\
-         \x20 accounted, never silent.\n"
+         \x20 accounted, never silent. \"rejoin stall\" is the catch-up latency the\n\
+         \x20 rejoining node paid mirroring state back in (0 when spares already\n\
+         \x20 repaired replication before the rejoin).\n"
     );
 }
 
@@ -289,7 +307,208 @@ fn experiment_determinism() {
     );
 }
 
+fn server_schema() -> SchemaRef {
+    Schema::new(vec![Field::new("v", DataType::Int)]).into_ref()
+}
+
+fn server_workload(n: i64) -> Vec<Tuple> {
+    let schema = server_schema();
+    (1..=n)
+        .map(|i| {
+            TupleBuilder::new(schema.clone())
+                .push(i)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// One schedule across four server layers: a wrapper panic (ingress), a
+/// dropped fan-out (dispatcher), a failed append plus a torn page seal
+/// (storage), and two failed delivery offers (egress). The dead client is
+/// not injected — it really disconnects.
+fn server_plan(seed: u64, n: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .at(
+            FaultPoint::SourceRead,
+            20,
+            FaultAction::Panic("wrapper segfault".into()),
+        )
+        .at(FaultPoint::FjordEnqueue, n / 6, FaultAction::Overflow)
+        .at(
+            FaultPoint::ArchiveAppend,
+            50,
+            FaultAction::Error("disk hiccup".into()),
+        )
+        .at(FaultPoint::ArchiveAppend, 100, FaultAction::Overflow)
+        .at(
+            FaultPoint::EgressDeliver,
+            n / 3,
+            FaultAction::Error("socket reset".into()),
+        )
+        .at(
+            FaultPoint::EgressDeliver,
+            2 * n / 3,
+            FaultAction::Error("socket reset".into()),
+        )
+}
+
+struct ServerOutcome {
+    results: Vec<i64>,
+    egress: EgressStats,
+    dispatcher_shed: i64,
+    archive: tcq_storage::ArchiveStats,
+    sup: SupervisorStats,
+    log: Vec<FiredFault>,
+}
+
+fn run_server_scenario(n: i64, dir: &Path) -> ServerOutcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        archive_dir: Some(dir.to_path_buf()),
+        fault_plan: Some(server_plan(SEED, n as u64)),
+        egress_policy: EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 4,
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", server_schema()).unwrap();
+
+    // A healthy push client and a dead one (receiver dropped before any
+    // delivery): the router must disconnect the dead one after its first
+    // offer and keep the healthy one flowing.
+    let (healthy, rx) = server.connect_push_client(n as usize + 16).unwrap();
+    let (dead, dead_rx) = server.connect_push_client(4).unwrap();
+    drop(dead_rx);
+    server.submit("SELECT v FROM s", healthy).unwrap();
+    server.submit("SELECT v FROM s", dead).unwrap();
+
+    let master = server_workload(n);
+    let factory: SourceFactory = {
+        let schema = server_schema();
+        Box::new(move |_attempt, delivered| {
+            Ok(Box::new(ReplaySource {
+                schema: schema.clone(),
+                tuples: master[delivered as usize..].to_vec(),
+                pos: 0,
+            }) as Box<dyn Source>)
+        })
+    };
+    server
+        .attach_supervised_source("s", factory, SupervisorConfig::default())
+        .unwrap();
+
+    assert!(
+        server.quiesce(Duration::from_secs(60)),
+        "server must quiesce despite the chaos schedule"
+    );
+
+    let sup = server.supervisor_stats().remove(0).1;
+    let outcome = ServerOutcome {
+        results: rx
+            .try_iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect(),
+        egress: server.egress_stats_full(),
+        dispatcher_shed: server.shed_count("s").unwrap(),
+        archive: server.archive_stats("s").unwrap().unwrap(),
+        sup,
+        log: server.fired_faults(),
+    };
+    server.shutdown().unwrap();
+    outcome
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcq-exp-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn experiment_server_chaos(n: i64, determinism: bool) {
+    println!(
+        "E-chaos-c — whole-server chaos ({n} tuples): source panic, enqueue\n\
+         overflow, soft archive failure, torn page write, dead client\n"
+    );
+    let mut table = Table::new(&[
+        "run",
+        "delivered",
+        "egress shed",
+        "dispatch shed",
+        "disconnects",
+        "archived",
+        "torn pages",
+        "lost records",
+        "accounted",
+    ]);
+    let runs = if determinism { 2 } else { 1 };
+    let mut first: Option<ServerOutcome> = None;
+    for run in 0..runs {
+        let dir = temp_dir(&format!("server-{run}"));
+        let o = run_server_scenario(n, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Ingress survived the panic and replayed every tuple once; the
+        // dispatcher dropped exactly one fan-out; the archive counted one
+        // soft failure and one torn page; egress accounted every offer.
+        assert_eq!(o.sup.delivered, n as u64);
+        assert_eq!((o.sup.panics, o.sup.restarts), (1, 1));
+        assert_eq!(o.dispatcher_shed, 1);
+        assert_eq!(o.archive.appended, n as u64 - 1);
+        assert_eq!(o.archive.torn_pages, 1);
+        assert!(o.archive.lost_records > 0);
+        let e = &o.egress;
+        assert_eq!(e.offered, n as u64);
+        assert_eq!((e.shed, e.disconnected, e.disconnected_loss), (2, 1, 1));
+        assert!(e.accounted(), "offered == delivered+shed+displaced+loss");
+        assert_eq!(o.results.len() as u64, e.delivered);
+        assert_eq!(o.log.len(), 6, "all six scheduled faults fired");
+
+        table.row(vec![
+            ((b'A' + run as u8) as char).to_string(),
+            e.delivered.to_string(),
+            e.shed.to_string(),
+            o.dispatcher_shed.to_string(),
+            e.disconnected.to_string(),
+            o.archive.appended.to_string(),
+            o.archive.torn_pages.to_string(),
+            o.archive.lost_records.to_string(),
+            "true".to_string(),
+        ]);
+        if let Some(a) = &first {
+            assert_eq!(a.results, o.results, "answers diverged across runs");
+            assert_eq!(a.egress, o.egress, "egress accounting diverged");
+            assert_eq!(
+                normalised(a.log.clone()),
+                normalised(o.log.clone()),
+                "fired-fault logs diverged across same-seed runs"
+            );
+        } else {
+            first = Some(o);
+        }
+    }
+    table.print();
+    println!(
+        "\n  shape check: the full stack quiesces under the schedule; every offer\n\
+         \x20 is delivered, shed, or charged to the disconnected client{}.\n",
+        if determinism {
+            ", and the\n\x20 same seed replays the identical catastrophe"
+        } else {
+            ""
+        }
+    );
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     experiment_loss_accounting();
     experiment_determinism();
+    if smoke {
+        experiment_server_chaos(1_200, false);
+    } else {
+        experiment_server_chaos(3_000, true);
+    }
 }

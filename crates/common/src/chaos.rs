@@ -35,6 +35,16 @@ pub enum FaultPoint {
     StateMove,
     /// Executor: one Dispatch Unit quantum.
     OperatorRun,
+    /// Storage: one tuple appended to a stream archive. `Error` makes
+    /// the append fail softly (the tuple is not archived); `Overflow`
+    /// makes the *next page seal* a torn write — only a partial page
+    /// reaches disk, exercising the archive recovery path.
+    ArchiveAppend,
+    /// Egress: one delivery offer to one subscribed client. `Error` and
+    /// `Overflow` fail the offer (the copy is shed); `Stall` marks the
+    /// client stuck, forcing an immediate disconnect under the router's
+    /// slow-client policy.
+    EgressDeliver,
 }
 
 /// What happens when a fault fires.
@@ -320,5 +330,104 @@ mod tests {
             .at(FaultPoint::StateMove, 99, FaultAction::KillNode(0))
             .build();
         assert_eq!(inj.pending().len(), 1);
+    }
+
+    #[test]
+    fn pending_and_log_partition_the_schedule() {
+        // A three-event schedule, partially exercised: fired events land in
+        // the log, unfired ones stay pending, and together they always
+        // cover the whole plan.
+        let mut inj = FaultPlan::new(5)
+            .at(FaultPoint::ArchiveAppend, 2, FaultAction::Overflow)
+            .at(
+                FaultPoint::EgressDeliver,
+                4,
+                FaultAction::Error("slow".into()),
+            )
+            .at(
+                FaultPoint::EgressDeliver,
+                50,
+                FaultAction::Stall { ticks: 1 },
+            )
+            .build();
+        assert_eq!(inj.pending().len(), 3);
+        assert_eq!(inj.log().len(), 0);
+
+        for _ in 0..3 {
+            inj.poll(FaultPoint::ArchiveAppend);
+        }
+        for _ in 0..10 {
+            inj.poll(FaultPoint::EgressDeliver);
+        }
+        let pending = inj.pending();
+        assert_eq!(pending.len(), 1, "only the count-50 event is unreached");
+        assert_eq!(pending[0].point, FaultPoint::EgressDeliver);
+        assert_eq!(pending[0].at, 50);
+        assert_eq!(inj.log().len(), 2);
+        assert_eq!(
+            inj.log().len() + pending.len(),
+            3,
+            "log + pending covers the schedule"
+        );
+
+        for _ in 0..40 {
+            inj.poll(FaultPoint::EgressDeliver);
+        }
+        assert!(inj.pending().is_empty(), "fully exercised schedule");
+        assert_eq!(inj.log().len(), 3);
+    }
+
+    #[test]
+    fn event_takes_priority_over_rate_on_the_same_point() {
+        // A certain rate (p = 1.0) and a scheduled event on the same point:
+        // the event wins its poll (at most one fault per poll), the rate
+        // fires on every other poll, and no RNG draw happens on the event's
+        // poll — so the draw stream stays a pure function of the schedule.
+        let run = |seed| {
+            let mut inj = FaultPlan::new(seed)
+                .at(
+                    FaultPoint::FjordEnqueue,
+                    3,
+                    FaultAction::Panic("evt".into()),
+                )
+                .rate(FaultPoint::FjordEnqueue, 1.0, FaultAction::Overflow)
+                .build();
+            (0..6)
+                .map(|_| inj.poll(FaultPoint::FjordEnqueue))
+                .collect::<Vec<_>>()
+        };
+        let fired = run(11);
+        assert_eq!(fired[0], Some(FaultAction::Overflow));
+        assert_eq!(fired[1], Some(FaultAction::Overflow));
+        assert_eq!(
+            fired[2],
+            Some(FaultAction::Panic("evt".into())),
+            "scheduled event preempts the rate on its poll"
+        );
+        assert_eq!(fired[3], Some(FaultAction::Overflow));
+        assert_eq!(run(11), run(11), "mixed schedules replay deterministically");
+    }
+
+    #[test]
+    fn rate_and_event_log_shares_one_poll_counter() {
+        let mut inj = FaultPlan::new(2)
+            .at(FaultPoint::ArchiveAppend, 2, FaultAction::Overflow)
+            .rate(
+                FaultPoint::ArchiveAppend,
+                1.0,
+                FaultAction::Error("io".into()),
+            )
+            .build();
+        for _ in 0..3 {
+            inj.poll(FaultPoint::ArchiveAppend);
+        }
+        // Log records the shared per-point poll count for both kinds.
+        let counts: Vec<u64> = inj.log().iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+        assert_eq!(
+            inj.log()[1],
+            (FaultPoint::ArchiveAppend, 2, FaultAction::Overflow)
+        );
+        assert!(inj.pending().is_empty());
     }
 }

@@ -29,7 +29,7 @@ pub mod value;
 
 pub use bitset::BitSet;
 pub use catalog::{Catalog, SourceKind, StreamDef};
-pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, SharedInjector};
+pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FiredFault, SharedInjector};
 pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
 pub use schema::{DataType, Field, Schema, SchemaRef};

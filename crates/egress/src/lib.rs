@@ -14,6 +14,14 @@
 //! * **pull clients** get a bounded ring of recent results they can fetch
 //!   on reconnect — the PSoup-style "disconnected operation" mode, where
 //!   computation is separated from delivery.
+//!
+//! Slow-client resilience: an [`EgressPolicy`] bounds how long the router
+//! humours a stuck client — a full push channel gets `max_retries` extra
+//! immediate attempts, and after `disconnect_after` consecutive failed
+//! deliveries the client is forcibly disconnected and counted, so one dead
+//! client can never wedge a shared eddy. Every delivery offer is accounted
+//! in [`EgressStats`]: `delivered + shed + displaced + disconnected_loss ==
+//! offered`, always.
 
 #![warn(missing_docs)]
 
@@ -23,7 +31,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
-use tcq_common::{Result, TcqError, Tuple};
+use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple};
 
 /// Client identifier.
 pub type ClientId = u64;
@@ -33,24 +41,67 @@ pub type QueryId = usize;
 /// A result delivered to a client: which query it answers, and the tuple.
 pub type Delivery = (QueryId, Tuple);
 
+/// Slow-client handling knobs (§4.3's QoS stance applied at the egress
+/// boundary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgressPolicy {
+    /// Extra immediate retries (with a scheduler yield between attempts)
+    /// when a push client's channel is full, before the copy is shed.
+    pub max_retries: u32,
+    /// After this many *consecutive* failed deliveries a push client is
+    /// declared stuck and forcibly disconnected. `0` disables forced
+    /// disconnection (the default: shed-and-keep, the pre-policy
+    /// behaviour).
+    pub disconnect_after: u32,
+}
+
+/// Exact per-router delivery accounting. Invariant (checked by
+/// [`EgressStats::accounted`]): every offer ends in exactly one bucket,
+/// `delivered + shed + displaced + disconnected_loss == offered`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgressStats {
+    /// Delivery offers made: one per (tuple, subscribed client) pair.
+    pub offered: u64,
+    /// Offers currently delivered (buffered or streamed). A pull-buffer
+    /// victim later rotated out moves from here to `displaced`.
+    pub delivered: u64,
+    /// Push copies dropped after the retry budget (full channel or
+    /// injected delivery fault).
+    pub shed: u64,
+    /// Pull/prioritized buffer entries rotated out to make room.
+    pub displaced: u64,
+    /// Retry attempts made against full push channels.
+    pub retried: u64,
+    /// Clients forcibly disconnected (stuck past `disconnect_after`, or
+    /// found dead mid-delivery).
+    pub disconnected: u64,
+    /// Offers lost because the client was dead or declared stuck.
+    pub disconnected_loss: u64,
+}
+
+impl EgressStats {
+    /// True when every offer is accounted for — the router's core
+    /// invariant.
+    pub fn accounted(&self) -> bool {
+        self.delivered + self.shed + self.displaced + self.disconnected_loss == self.offered
+    }
+}
+
 enum ClientState {
     Push {
         tx: SyncSender<Delivery>,
-        shed: u64,
+        /// Consecutive failed deliveries (reset on success).
+        failures: u32,
     },
     Pull {
         buffer: VecDeque<Delivery>,
         capacity: usize,
-        dropped: u64,
     },
     /// A pull client with Juggle-style prioritized retrieval (\[RRH99\]):
     /// fetch returns the most *interesting* buffered results first, and
     /// overflow sheds the least interesting — user preferences pushed down
     /// into result delivery (§4.3).
-    Prioritized {
-        buffer: PriorityBuffer,
-        dropped: u64,
-    },
+    Prioritized { buffer: PriorityBuffer },
 }
 
 /// Monotone map from f64 to u64 (IEEE-754 total-order trick), so floats can
@@ -101,6 +152,11 @@ impl PriorityBuffer {
         }
     }
 
+    /// Drop the worst buffered delivery; true if one existed.
+    fn evict_worst(&mut self) -> bool {
+        self.entries.pop_first().is_some()
+    }
+
     /// Remove and return up to `max` deliveries, best first.
     fn fetch(&mut self, max: usize) -> Vec<Delivery> {
         let mut out = Vec::with_capacity(self.entries.len().min(max));
@@ -117,7 +173,21 @@ impl PriorityBuffer {
 struct RouterInner {
     clients: HashMap<ClientId, ClientState>,
     by_query: HashMap<QueryId, Vec<ClientId>>,
-    delivered: u64,
+    stats: EgressStats,
+    policy: EgressPolicy,
+    injector: Option<SharedInjector>,
+}
+
+impl RouterInner {
+    /// Remove a client and its subscriptions; true if it existed.
+    fn drop_client(&mut self, client: ClientId) -> bool {
+        let existed = self.clients.remove(&client).is_some();
+        self.by_query.retain(|_, subs| {
+            subs.retain(|&c| c != client);
+            !subs.is_empty()
+        });
+        existed
+    }
 }
 
 /// Routes `(tuple, query ids)` outputs to subscribed clients.
@@ -136,15 +206,35 @@ impl Default for EgressRouter {
 }
 
 impl EgressRouter {
-    /// An empty router.
+    /// An empty router with the default (never-disconnect) policy.
     pub fn new() -> Self {
         EgressRouter {
             inner: Arc::new(Mutex::new(RouterInner {
                 clients: HashMap::new(),
                 by_query: HashMap::new(),
-                delivered: 0,
+                stats: EgressStats::default(),
+                policy: EgressPolicy::default(),
+                injector: None,
             })),
         }
+    }
+
+    /// Set the slow-client policy (builder form).
+    pub fn with_policy(self, policy: EgressPolicy) -> Self {
+        self.inner.lock().policy = policy;
+        self
+    }
+
+    /// Set the slow-client policy on a running router.
+    pub fn set_policy(&self, policy: EgressPolicy) {
+        self.inner.lock().policy = policy;
+    }
+
+    /// Attach a chaos injector: every delivery offer polls
+    /// [`FaultPoint::EgressDeliver`], and every pull/prioritized buffer
+    /// insert polls [`FaultPoint::FjordEnqueue`].
+    pub fn attach_injector(&self, injector: SharedInjector) {
+        self.inner.lock().injector = Some(injector);
     }
 
     /// Register a push client with a bounded stream of `capacity` results.
@@ -161,7 +251,9 @@ impl EgressRouter {
                 "client {id} already registered"
             )));
         }
-        inner.clients.insert(id, ClientState::Push { tx, shed: 0 });
+        inner
+            .clients
+            .insert(id, ClientState::Push { tx, failures: 0 });
         Ok(rx)
     }
 
@@ -186,7 +278,6 @@ impl EgressRouter {
             id,
             ClientState::Prioritized {
                 buffer: PriorityBuffer::new(capacity, priority),
-                dropped: 0,
             },
         );
         Ok(())
@@ -205,7 +296,6 @@ impl EgressRouter {
             ClientState::Pull {
                 buffer: VecDeque::new(),
                 capacity: capacity.max(1),
-                dropped: 0,
             },
         );
         Ok(())
@@ -237,56 +327,135 @@ impl EgressRouter {
 
     /// Drop a client and all its subscriptions.
     pub fn disconnect(&self, client: ClientId) {
-        let mut inner = self.inner.lock();
-        inner.clients.remove(&client);
-        inner.by_query.retain(|_, subs| {
-            subs.retain(|&c| c != client);
-            !subs.is_empty()
-        });
+        self.inner.lock().drop_client(client);
     }
 
     /// Deliver `tuple` as an answer to each query in `queries`, fanning out
-    /// to all subscribed clients. Slow/absent clients shed (push) or rotate
-    /// (pull) — delivery never blocks the executor.
+    /// to all subscribed clients. Slow/absent clients shed (push, after the
+    /// policy's bounded retry) or rotate (pull) — delivery never blocks the
+    /// executor — and a client stuck past `disconnect_after` consecutive
+    /// failures is forcibly disconnected and counted.
     pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let policy = inner.policy;
+        // Clients found dead or stuck during this fan-out; removed after
+        // the loop so accounting stays per-offer.
+        let mut dead: Vec<ClientId> = Vec::new();
         for q in queries {
             let Some(subs) = inner.by_query.get(&q) else {
                 continue;
             };
             let subs: Vec<ClientId> = subs.clone();
             for cid in subs {
-                if let Some(state) = inner.clients.get_mut(&cid) {
-                    match state {
-                        ClientState::Push { tx, shed } => {
+                let Some(state) = inner.clients.get_mut(&cid) else {
+                    continue;
+                };
+                inner.stats.offered += 1;
+                let fault = inner
+                    .injector
+                    .as_ref()
+                    .and_then(|i| i.poll(FaultPoint::EgressDeliver));
+                match fault {
+                    Some(FaultAction::Stall { .. }) => {
+                        // The client is stuck. With disconnection enabled it
+                        // is dropped immediately; otherwise the copy sheds.
+                        if policy.disconnect_after > 0 {
+                            inner.stats.disconnected_loss += 1;
+                            dead.push(cid);
+                        } else {
+                            inner.stats.shed += 1;
+                        }
+                        continue;
+                    }
+                    Some(FaultAction::Error(_)) | Some(FaultAction::Overflow) => {
+                        // The offer fails as if the client's buffer were
+                        // full; failure streaks still count toward
+                        // disconnection.
+                        inner.stats.shed += 1;
+                        if let ClientState::Push { failures, .. } = state {
+                            *failures += 1;
+                            if policy.disconnect_after > 0 && *failures >= policy.disconnect_after {
+                                dead.push(cid);
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                match state {
+                    ClientState::Push { tx, failures } => {
+                        let mut attempt = 0u32;
+                        loop {
                             match tx.try_send((q, tuple.clone())) {
-                                Ok(()) => inner.delivered += 1,
-                                Err(TrySendError::Full(_)) => *shed += 1,
+                                Ok(()) => {
+                                    inner.stats.delivered += 1;
+                                    *failures = 0;
+                                    break;
+                                }
+                                Err(TrySendError::Full(_)) => {
+                                    if attempt < policy.max_retries {
+                                        attempt += 1;
+                                        inner.stats.retried += 1;
+                                        std::thread::yield_now();
+                                        continue;
+                                    }
+                                    inner.stats.shed += 1;
+                                    *failures += 1;
+                                    if policy.disconnect_after > 0
+                                        && *failures >= policy.disconnect_after
+                                    {
+                                        dead.push(cid);
+                                    }
+                                    break;
+                                }
                                 Err(TrySendError::Disconnected(_)) => {
-                                    // Client went away; cleaned up lazily.
+                                    inner.stats.disconnected_loss += 1;
+                                    dead.push(cid);
+                                    break;
                                 }
                             }
                         }
-                        ClientState::Pull {
-                            buffer,
-                            capacity,
-                            dropped,
-                        } => {
-                            if buffer.len() >= *capacity {
-                                buffer.pop_front();
-                                *dropped += 1;
-                            }
-                            buffer.push_back((q, tuple.clone()));
-                            inner.delivered += 1;
+                    }
+                    ClientState::Pull { buffer, capacity } => {
+                        let forced = inner.injector.as_ref().is_some_and(|i| {
+                            matches!(
+                                i.poll(FaultPoint::FjordEnqueue),
+                                Some(FaultAction::Overflow)
+                            )
+                        });
+                        if buffer.len() >= *capacity || (forced && !buffer.is_empty()) {
+                            buffer.pop_front();
+                            // The victim moves from delivered to displaced.
+                            inner.stats.displaced += 1;
+                            inner.stats.delivered -= 1;
                         }
-                        ClientState::Prioritized { buffer, dropped } => {
-                            if buffer.insert((q, tuple.clone())) {
-                                *dropped += 1;
-                            }
-                            inner.delivered += 1;
+                        buffer.push_back((q, tuple.clone()));
+                        inner.stats.delivered += 1;
+                    }
+                    ClientState::Prioritized { buffer } => {
+                        let forced = inner.injector.as_ref().is_some_and(|i| {
+                            matches!(
+                                i.poll(FaultPoint::FjordEnqueue),
+                                Some(FaultAction::Overflow)
+                            )
+                        });
+                        if forced && buffer.evict_worst() {
+                            inner.stats.displaced += 1;
+                            inner.stats.delivered -= 1;
                         }
+                        if buffer.insert((q, tuple.clone())) {
+                            inner.stats.displaced += 1;
+                            inner.stats.delivered -= 1;
+                        }
+                        inner.stats.delivered += 1;
                     }
                 }
+            }
+        }
+        for cid in dead {
+            if inner.drop_client(cid) {
+                inner.stats.disconnected += 1;
             }
         }
     }
@@ -307,19 +476,16 @@ impl EgressRouter {
         }
     }
 
-    /// (delivered, shed-or-dropped) counters.
+    /// (delivered, lost) counters — the legacy compact view; `lost` is
+    /// `shed + displaced + disconnected_loss`.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        let lost: u64 = inner
-            .clients
-            .values()
-            .map(|c| match c {
-                ClientState::Push { shed, .. } => *shed,
-                ClientState::Pull { dropped, .. } => *dropped,
-                ClientState::Prioritized { dropped, .. } => *dropped,
-            })
-            .sum();
-        (inner.delivered, lost)
+        let s = self.inner.lock().stats;
+        (s.delivered, s.shed + s.displaced + s.disconnected_loss)
+    }
+
+    /// Full delivery accounting.
+    pub fn egress_stats(&self) -> EgressStats {
+        self.inner.lock().stats
     }
 
     /// Number of registered clients.
@@ -438,6 +604,191 @@ mod tests {
         r.unsubscribe(1, 5);
         r.deliver([5usize], &t(2));
         assert_eq!(r.fetch(1, 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stuck_push_client_disconnected_after_threshold() {
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 3,
+        });
+        let _rx = r.register_push_client(1, 1).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..10 {
+            r.deliver([5usize], &t(i));
+        }
+        let s = r.egress_stats();
+        // Offer 1 fills the channel; offers 2-4 shed (failure streak 1..3);
+        // the 4th offer trips disconnect_after=3; offers 5-10 find no
+        // subscriber and are never offered.
+        assert_eq!(s.offered, 4);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.disconnected, 1);
+        assert!(
+            s.retried >= 3,
+            "each full offer retried once: {}",
+            s.retried
+        );
+        assert!(s.accounted(), "every offer accounted: {s:?}");
+        assert_eq!(r.client_count(), 0, "stuck client forcibly removed");
+    }
+
+    #[test]
+    fn dead_push_client_is_disconnected_and_counted() {
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: 0,
+            disconnect_after: 4,
+        });
+        let rx = r.register_push_client(1, 8).unwrap();
+        r.subscribe(1, 5).unwrap();
+        drop(rx);
+        r.deliver([5usize], &t(1));
+        let s = r.egress_stats();
+        assert_eq!(s.disconnected_loss, 1);
+        assert_eq!(s.disconnected, 1);
+        assert!(s.accounted());
+        assert_eq!(r.client_count(), 0, "dead client cleaned up eagerly");
+        // Later deliveries are no-ops, not errors.
+        r.deliver([5usize], &t(2));
+        assert_eq!(r.egress_stats().offered, 1);
+    }
+
+    #[test]
+    fn delivery_success_resets_failure_streak() {
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: 0,
+            disconnect_after: 3,
+        });
+        let rx = r.register_push_client(1, 1).unwrap();
+        r.subscribe(1, 5).unwrap();
+        // Alternate fill/drain: two consecutive failures max, never three.
+        for round in 0..6 {
+            r.deliver([5usize], &t(round * 3)); // delivered (channel empty)
+            r.deliver([5usize], &t(round * 3 + 1)); // shed, streak 1
+            r.deliver([5usize], &t(round * 3 + 2)); // shed, streak 2
+            let _ = rx.try_iter().count(); // client catches up
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.disconnected, 0, "recovering client never disconnected");
+        assert_eq!(s.delivered, 6);
+        assert_eq!(s.shed, 12);
+        assert!(s.accounted());
+    }
+
+    #[test]
+    fn accounting_invariant_across_mixed_clients() {
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 2,
+        });
+        let _rx = r.register_push_client(1, 2).unwrap();
+        r.register_pull_client(2, 3).unwrap();
+        let rx_dead = r.register_push_client(3, 1).unwrap();
+        drop(rx_dead);
+        for c in 1..=3 {
+            r.subscribe(c, 9).unwrap();
+        }
+        for i in 0..50 {
+            r.deliver([9usize], &t(i));
+        }
+        let s = r.egress_stats();
+        assert!(s.accounted(), "invariant must hold under churn: {s:?}");
+        assert!(s.displaced > 0, "pull ring rotated");
+        assert!(s.disconnected >= 2, "stuck + dead clients removed");
+        // Pull client survives and holds the freshest results.
+        assert_eq!(r.fetch(2, 10).unwrap().len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use tcq_common::{DataType, FaultPlan, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    fn t(x: i64) -> Tuple {
+        TupleBuilder::new(schema())
+            .push(x)
+            .at(Timestamp::logical(x))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn injected_stall_forces_disconnect() {
+        let injector = FaultPlan::new(1)
+            .at(
+                FaultPoint::EgressDeliver,
+                3,
+                FaultAction::Stall { ticks: 5 },
+            )
+            .build_shared();
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: 0,
+            disconnect_after: 8,
+        });
+        r.attach_injector(injector.clone());
+        let _rx = r.register_push_client(1, 16).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..10 {
+            r.deliver([5usize], &t(i));
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.offered, 3, "client gone after the injected stall");
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.disconnected, 1);
+        assert_eq!(s.disconnected_loss, 1);
+        assert!(s.accounted());
+        assert_eq!(injector.log().len(), 1);
+    }
+
+    #[test]
+    fn injected_enqueue_overflow_displaces_pull_buffer() {
+        let injector = FaultPlan::new(1)
+            .at(FaultPoint::FjordEnqueue, 3, FaultAction::Overflow)
+            .build_shared();
+        let r = EgressRouter::new();
+        r.attach_injector(injector);
+        r.register_pull_client(1, 100).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..5 {
+            r.deliver([5usize], &t(i));
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.displaced, 1, "forced rotation despite spare capacity");
+        assert_eq!(s.delivered, 4);
+        assert!(s.accounted());
+        let got = r.fetch(1, 10).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].1, t(1), "oldest entry was the displaced victim");
+    }
+
+    #[test]
+    fn injected_delivery_error_sheds_copy() {
+        let injector = FaultPlan::new(1)
+            .at(
+                FaultPoint::EgressDeliver,
+                2,
+                FaultAction::Error("wire".into()),
+            )
+            .build_shared();
+        let r = EgressRouter::new();
+        r.attach_injector(injector);
+        let rx = r.register_push_client(1, 16).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..4 {
+            r.deliver([5usize], &t(i));
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.shed, 1);
+        assert!(s.accounted());
+        assert_eq!(rx.try_iter().count(), 3);
+        assert_eq!(r.client_count(), 1, "no disconnect with policy disabled");
     }
 }
 

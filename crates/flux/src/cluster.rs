@@ -120,6 +120,10 @@ pub struct FluxStats {
     pub lost_inflight: u64,
     /// Nodes restarted (rejoined) after a kill.
     pub restarts: u64,
+    /// Total catch-up stall ticks charged to rejoining nodes: the ticks a
+    /// restarted node spends re-installing partition state before it can
+    /// serve — the cluster's rejoin latency, summed over all restarts.
+    pub rejoin_stall_ticks: u64,
     /// Tuples dropped at ingest by injected queue overflow.
     pub overflow_dropped: u64,
 }
@@ -564,8 +568,10 @@ impl FluxCluster {
     /// empty — its pre-crash state is assumed gone — and with replication
     /// enabled it is immediately drafted as the replica for every
     /// partition whose replication factor is degraded, paying the normal
-    /// state-installation stall as catch-up cost.
-    pub fn restart_node(&mut self, node: usize) -> Result<()> {
+    /// state-installation stall as catch-up cost. Returns that cost: the
+    /// stall ticks this rejoin charged the node (its rejoin latency, also
+    /// accumulated into [`FluxStats::rejoin_stall_ticks`]).
+    pub fn restart_node(&mut self, node: usize) -> Result<u64> {
         if node >= self.nodes.len() {
             return Err(TcqError::Flux(format!("no such node {node}")));
         }
@@ -594,7 +600,11 @@ impl FluxCluster {
                 }
             }
         }
-        Ok(())
+        // Stall was reset to 0 above, so whatever the mirror installs is
+        // exactly this rejoin's catch-up bill.
+        let catch_up = self.nodes[node].stall;
+        self.stats.rejoin_stall_ticks += catch_up;
+        Ok(catch_up)
     }
 
     /// True when every partition has a live primary and, in replication
@@ -999,6 +1009,37 @@ mod tests {
         assert!(cluster.node_stats()[0].alive);
         // Restarting an alive node is rejected.
         assert!(cluster.restart_node(0).is_err());
+    }
+
+    #[test]
+    fn rejoin_latency_is_measured_and_accumulated() {
+        // Two nodes: while one is down there is no spare to re-replicate
+        // onto, so every partition stays degraded until the node rejoins
+        // and pays the full state-installation stall. Few partitions +
+        // many keys make that state heavy enough to bill ticks.
+        let mut cfg = FluxConfig::uniform(2).with_replication();
+        cfg.partitions = 8;
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let tuples = workload(6000, 2000);
+        for (i, tp) in tuples.iter().enumerate() {
+            cluster.ingest(tp).unwrap();
+            if i % 8 == 0 {
+                cluster.tick();
+            }
+            if i == 3000 {
+                cluster.kill_node(0).unwrap();
+            }
+        }
+        cluster.run_until_drained(100_000);
+        let catch_up = cluster.restart_node(0).unwrap();
+        assert!(
+            catch_up > 0,
+            "rejoining with heavy partition state must pay catch-up ticks"
+        );
+        assert_eq!(cluster.stats().rejoin_stall_ticks, catch_up);
+        cluster.run_until_drained(100_000);
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert!(cluster.fully_replicated());
     }
 
     #[test]

@@ -36,5 +36,6 @@ pub use generators::{NetworkPackets, SensorReadings, StockTicks};
 pub use source::{CsvSource, Source, SourceStatus, VecSource};
 pub use streamer::Streamer;
 pub use supervisor::{
-    ChaosSource, DegradePolicy, SourceFactory, Supervisor, SupervisorConfig, SupervisorStats,
+    ChaosSource, DegradePolicy, OverflowGate, SourceFactory, Supervisor, SupervisorConfig,
+    SupervisorStats,
 };

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use tcq_common::Result;
+use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector};
 use tcq_fjords::{EnqueueError, FjordMessage, Producer};
 
 use crate::source::{Source, SourceStatus};
@@ -22,22 +22,34 @@ pub struct Streamer {
     handle: Option<JoinHandle<Result<()>>>,
     stop: Arc<AtomicBool>,
     delivered: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
     name: String,
 }
 
 impl Streamer {
     /// Spawn a streamer draining `source` into `output`. Sends `Eof` when
     /// the source exhausts or the streamer is stopped.
-    pub fn spawn(
+    pub fn spawn(name: impl Into<String>, source: Box<dyn Source>, output: Producer) -> Streamer {
+        Self::spawn_with_injector(name, source, output, None)
+    }
+
+    /// Spawn a streamer that polls `injector` at
+    /// [`FaultPoint::FjordEnqueue`] before enqueuing each tuple: an
+    /// injected `Overflow` sheds the tuple (counted), an injected `Error`
+    /// fails the streamer.
+    pub fn spawn_with_injector(
         name: impl Into<String>,
         mut source: Box<dyn Source>,
         output: Producer,
+        injector: Option<SharedInjector>,
     ) -> Streamer {
         let name = name.into();
         let stop = Arc::new(AtomicBool::new(false));
         let delivered = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
         let stop2 = Arc::clone(&stop);
         let delivered2 = Arc::clone(&delivered);
+        let shed2 = Arc::clone(&shed);
         let tname = name.clone();
         let handle = std::thread::Builder::new()
             .name(format!("streamer-{tname}"))
@@ -50,6 +62,22 @@ impl Streamer {
                     batch.clear();
                     let status = source.next_batch(64, &mut batch)?;
                     for t in batch.drain(..) {
+                        if let Some(injector) = &injector {
+                            match injector.poll(FaultPoint::FjordEnqueue) {
+                                Some(FaultAction::Overflow) => {
+                                    // Injected full queue: shed and count.
+                                    shed2.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                Some(FaultAction::Error(msg)) => {
+                                    let _ = output.enqueue(FjordMessage::Eof);
+                                    return Err(tcq_common::TcqError::Ingress(format!(
+                                        "injected enqueue fault: {msg}"
+                                    )));
+                                }
+                                _ => {}
+                            }
+                        }
                         let mut msg = FjordMessage::Tuple(t);
                         loop {
                             match output.enqueue(msg) {
@@ -84,6 +112,7 @@ impl Streamer {
             handle: Some(handle),
             stop,
             delivered,
+            shed,
             name,
         }
     }
@@ -91,6 +120,11 @@ impl Streamer {
     /// Tuples delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Tuples shed by injected enqueue overflows.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// The streamer's name.

@@ -51,6 +51,89 @@ pub enum DegradePolicy {
         /// Keep every `keep_one_in`-th overflowing tuple (≥ 1).
         keep_one_in: u32,
     },
+    /// Token-bucket admission: each *offered* tuple refills `rate`
+    /// millitokens (capped at `burst` whole tokens); keeping an
+    /// overflowing tuple spends one whole token (1000 millitokens),
+    /// otherwise it sheds. Time advances per tuple, not per wall-clock
+    /// second, so drop patterns are deterministic and seed-reproducible.
+    /// Compared with [`DegradePolicy::Sample`], short bursts are absorbed
+    /// loss-free (the bucket drains instead of shedding) while sustained
+    /// overflow converges to keeping `rate / 1000` of the overflow.
+    TokenBucket {
+        /// Millitokens refilled per offered tuple (1000 keeps every
+        /// overflowing tuple; 250 converges to one in four).
+        rate: u32,
+        /// Bucket capacity in whole tokens — the number of back-to-back
+        /// overflowing tuples absorbable after a quiet spell.
+        burst: u32,
+    },
+}
+
+/// Deterministic overflow-admission state for one supervised run.
+///
+/// Pure bookkeeping — no threads, no clock. [`OverflowGate::offered`] is
+/// called exactly once per tuple the source hands over, advancing
+/// token-bucket time; the admit/shed decision for an overflowing tuple is
+/// then made once (never re-rolled on enqueue retries), keeping the shed
+/// pattern a pure function of the tuple sequence.
+#[derive(Debug, Clone)]
+pub struct OverflowGate {
+    /// Millitokens regained per offered tuple.
+    rate: u64,
+    /// Bucket capacity in millitokens.
+    cap: u64,
+    /// Current fill, in millitokens.
+    tokens: u64,
+    /// Overflow arrivals seen (drives [`DegradePolicy::Sample`]).
+    overflow_seq: u64,
+}
+
+/// Millitokens spent to keep one overflowing tuple.
+const TOKEN: u64 = 1000;
+
+impl OverflowGate {
+    /// Gate for `policy`; non-token-bucket policies get an inert gate.
+    pub fn new(policy: DegradePolicy) -> Self {
+        match policy {
+            DegradePolicy::TokenBucket { rate, burst } => OverflowGate {
+                rate: rate as u64,
+                cap: burst as u64 * TOKEN,
+                // Start full: the configured burst is available immediately.
+                tokens: burst as u64 * TOKEN,
+                overflow_seq: 0,
+            },
+            _ => OverflowGate {
+                rate: 0,
+                cap: 0,
+                tokens: 0,
+                overflow_seq: 0,
+            },
+        }
+    }
+
+    /// One tuple offered: refill the bucket. Call exactly once per tuple.
+    pub fn offered(&mut self) {
+        self.tokens = (self.tokens + self.rate).min(self.cap);
+    }
+
+    /// Decide an overflowing tuple's fate under the token bucket: `true`
+    /// spends a token and keeps it (back-pressure until it fits), `false`
+    /// sheds it.
+    pub fn admit_overflow(&mut self) -> bool {
+        if self.tokens >= TOKEN {
+            self.tokens -= TOKEN;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decide an overflow arrival under [`DegradePolicy::Sample`]: `true`
+    /// keeps this one (it is the `keep_one_in`-th), `false` sheds it.
+    pub fn sample_keeps(&mut self, keep_one_in: u32) -> bool {
+        self.overflow_seq += 1;
+        keep_one_in <= 1 || self.overflow_seq.is_multiple_of(keep_one_in as u64)
+    }
 }
 
 /// Supervision knobs.
@@ -300,7 +383,7 @@ fn run_source(
 ) -> RunEnd {
     let expected_arity = source.schema().len();
     let mut batch: Vec<Tuple> = Vec::with_capacity(64);
-    let mut overflow_seq: u64 = 0;
+    let mut gate = OverflowGate::new(policy);
     loop {
         if stop.load(Ordering::Acquire) {
             return RunEnd::Stopped;
@@ -315,7 +398,7 @@ fn run_source(
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            match deliver(output, t, stop, stats, policy, &mut overflow_seq) {
+            match deliver(output, t, stop, stats, policy, &mut gate) {
                 Ok(true) => {}
                 Ok(false) => return RunEnd::Stopped,
                 Err(()) => return RunEnd::Disconnected,
@@ -337,9 +420,13 @@ fn deliver(
     stop: &AtomicBool,
     stats: &SharedStats,
     policy: DegradePolicy,
-    overflow_seq: &mut u64,
+    gate: &mut OverflowGate,
 ) -> std::result::Result<bool, ()> {
+    gate.offered();
     let mut msg = FjordMessage::Tuple(t);
+    // The token-bucket verdict is rolled once per tuple, on its first
+    // overflow — not per retry — so shed patterns stay deterministic.
+    let mut admitted = false;
     loop {
         match policy {
             DegradePolicy::ShedOldest => {
@@ -380,12 +467,25 @@ fn deliver(
                         return Ok(true);
                     }
                     DegradePolicy::Sample { keep_one_in } => {
-                        *overflow_seq += 1;
-                        if keep_one_in > 1 && !(*overflow_seq).is_multiple_of(keep_one_in as u64) {
+                        if !gate.sample_keeps(keep_one_in) {
                             stats.shed.fetch_add(1, Ordering::Relaxed);
                             return Ok(true);
                         }
                         // The kept sample waits for room (backpressure).
+                        if stop.load(Ordering::Acquire) {
+                            return Ok(false);
+                        }
+                        msg = m;
+                        std::thread::yield_now();
+                    }
+                    DegradePolicy::TokenBucket { .. } => {
+                        if !admitted && !gate.admit_overflow() {
+                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                            return Ok(true);
+                        }
+                        admitted = true;
+                        // A token was spent: this tuple is kept, waiting
+                        // for room like backpressure.
                         if stop.load(Ordering::Acquire) {
                             return Ok(false);
                         }
@@ -659,6 +759,147 @@ mod tests {
         let got = consumer.join().unwrap();
         assert_eq!(stats.delivered + stats.shed, total, "every tuple accounted");
         assert_eq!(got, stats.delivered);
+        assert!(!stats.gave_up);
+    }
+
+    /// Drive a gate over a synthetic overflow pattern: `overflows(i)` says
+    /// whether tuple `i` hits a full queue. Returns each overflowing
+    /// tuple's fate (`true` = kept) in offer order.
+    fn drive_gate(
+        policy: DegradePolicy,
+        tuples: usize,
+        overflows: impl Fn(usize) -> bool,
+    ) -> Vec<bool> {
+        let mut gate = OverflowGate::new(policy);
+        let mut fates = Vec::new();
+        for i in 0..tuples {
+            gate.offered();
+            if overflows(i) {
+                let kept = match policy {
+                    DegradePolicy::TokenBucket { .. } => gate.admit_overflow(),
+                    DegradePolicy::Sample { keep_one_in } => gate.sample_keeps(keep_one_in),
+                    _ => true,
+                };
+                fates.push(kept);
+            }
+        }
+        fates
+    }
+
+    fn longest_shed_run(fates: &[bool]) -> usize {
+        let mut worst = 0;
+        let mut run = 0;
+        for &kept in fates {
+            if kept {
+                run = 0;
+            } else {
+                run += 1;
+                worst = worst.max(run);
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn token_bucket_absorbs_intermittent_overflow_sample_sheds() {
+        // Every 10th of 1000 tuples overflows: nine quiet tuples refill
+        // 2250 millitokens between overflows, so the bucket never runs
+        // dry — zero loss. Sample{4} sheds three out of four regardless.
+        let bucket = drive_gate(
+            DegradePolicy::TokenBucket {
+                rate: 250,
+                burst: 2,
+            },
+            1000,
+            |i| i % 10 == 9,
+        );
+        let sample = drive_gate(DegradePolicy::Sample { keep_one_in: 4 }, 1000, |i| {
+            i % 10 == 9
+        });
+        assert_eq!(bucket.len(), 100);
+        assert!(bucket.iter().all(|&kept| kept), "bucket absorbs the burst");
+        let sample_shed = sample.iter().filter(|&&kept| !kept).count();
+        assert_eq!(sample_shed, 75, "sample blindly sheds 3 in 4");
+    }
+
+    #[test]
+    fn token_bucket_matches_sample_rate_under_sustained_overflow() {
+        // Every tuple overflows: both policies converge to keeping one in
+        // four, and the bucket's worst consecutive-shed run is no longer
+        // than sample's (equal smoothness at the same average rate).
+        let bucket = drive_gate(
+            DegradePolicy::TokenBucket {
+                rate: 250,
+                burst: 2,
+            },
+            1000,
+            |_| true,
+        );
+        let sample = drive_gate(DegradePolicy::Sample { keep_one_in: 4 }, 1000, |_| true);
+        let bucket_kept = bucket.iter().filter(|&&kept| kept).count();
+        let sample_kept = sample.iter().filter(|&&kept| kept).count();
+        assert!(
+            (bucket_kept as i64 - sample_kept as i64).abs() <= 3,
+            "both keep ~1 in 4: bucket {bucket_kept}, sample {sample_kept}"
+        );
+        assert!(
+            longest_shed_run(&bucket) <= longest_shed_run(&sample),
+            "token bucket is no burstier than sampling"
+        );
+    }
+
+    #[test]
+    fn overflow_gate_is_deterministic() {
+        let policy = DegradePolicy::TokenBucket {
+            rate: 333,
+            burst: 3,
+        };
+        let a = drive_gate(policy, 5000, |i| i % 7 < 3);
+        let b = drive_gate(policy, 5000, |i| i % 7 < 3);
+        assert_eq!(a, b, "same pattern, same fates");
+    }
+
+    #[test]
+    fn token_bucket_policy_degrades_instead_of_stalling() {
+        let (schema, master) = stock_tuples(200);
+        let total = master.len() as u64;
+        let src = VecSource::new(schema, master).unwrap();
+        let factory: SourceFactory = {
+            let mut src = Some(src);
+            Box::new(move |_, _| Ok(Box::new(src.take().expect("single run")) as Box<dyn Source>))
+        };
+        let (p, c) = fjord(2, QueueKind::Push);
+        let s = Supervisor::spawn(
+            "bucketed",
+            factory,
+            p,
+            quick_config(DegradePolicy::TokenBucket {
+                rate: 100,
+                burst: 1,
+            }),
+        );
+        // Slow consumer keeps the queue hot so the bucket actually gates.
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            loop {
+                match c.dequeue() {
+                    DequeueResult::Msg(FjordMessage::Tuple(_)) => {
+                        got += 1;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    DequeueResult::Msg(FjordMessage::Eof) => break,
+                    DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                    DequeueResult::Empty => std::thread::yield_now(),
+                    DequeueResult::Disconnected => break,
+                }
+            }
+            got
+        });
+        let stats = s.join();
+        let got = consumer.join().unwrap();
+        assert_eq!(stats.delivered + stats.shed, total, "every tuple accounted");
+        assert_eq!(got, stats.delivered);
+        assert!(stats.shed > 0, "tiny queue plus slow consumer must shed");
         assert!(!stats.gave_up);
     }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use tcq_common::sync::Mutex;
 
-use tcq_common::{Result, Timestamp, Tuple};
+use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, Timestamp, Tuple};
 use tcq_executor::{DispatchUnit, ModuleStatus};
 use tcq_fjords::{Consumer, DequeueResult, EnqueueError, FjordMessage, Producer};
 use tcq_storage::StreamArchive;
@@ -66,6 +66,16 @@ impl SubscriberSet {
         self.subs.lock().len()
     }
 
+    /// Total tuples queued across all subscriber queues (shutdown drain
+    /// bookkeeping).
+    pub fn backlog(&self) -> usize {
+        self.subs
+            .lock()
+            .iter()
+            .map(|s| s.producer.stats().len)
+            .sum()
+    }
+
     /// True when nobody is subscribed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -106,6 +116,12 @@ pub struct StreamDispatcher {
     overload: OverloadPolicy,
     /// Per-subscriber copies shed under overload (shared for observability).
     shed: Arc<AtomicI64>,
+    /// Archive appends that failed (the live path keeps flowing; history
+    /// degrades and the loss is counted, never silent).
+    archive_errors: Arc<AtomicI64>,
+    /// Chaos injector polled at [`FaultPoint::FjordEnqueue`] per forwarded
+    /// tuple.
+    injector: Option<SharedInjector>,
     eof_seen: bool,
     eof_sent: bool,
 }
@@ -130,6 +146,8 @@ impl StreamDispatcher {
             pending: VecDeque::new(),
             overload: OverloadPolicy::Backpressure,
             shed: Arc::new(AtomicI64::new(0)),
+            archive_errors: Arc::new(AtomicI64::new(0)),
+            injector: None,
             eof_seen: false,
             eof_sent: false,
         }
@@ -141,9 +159,25 @@ impl StreamDispatcher {
         self
     }
 
-    /// Shared counter of copies shed under [`OverloadPolicy::Shed`].
+    /// Attach a chaos injector: each forwarded tuple polls
+    /// [`FaultPoint::FjordEnqueue`]; an `Overflow` fault drops that
+    /// tuple's fan-out (every subscriber copy sheds and is counted),
+    /// regardless of overload policy — an injected full is a full that
+    /// does not clear.
+    pub fn with_injector(mut self, injector: SharedInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Shared counter of copies shed under [`OverloadPolicy::Shed`] or an
+    /// injected enqueue overflow.
     pub fn shed_counter(&self) -> Arc<AtomicI64> {
         Arc::clone(&self.shed)
+    }
+
+    /// Shared counter of failed (skipped) archive appends.
+    pub fn archive_error_counter(&self) -> Arc<AtomicI64> {
+        Arc::clone(&self.archive_errors)
     }
 
     /// Forward `tuple` to every subscriber; returns false (and stashes it)
@@ -153,6 +187,28 @@ impl StreamDispatcher {
     /// The capacity check is race-free because each subscription queue has
     /// exactly one producer (this dispatcher): its length can only shrink
     /// between the check and the enqueue.
+    /// Poll the injector once for a fresh tuple's fan-out. True when an
+    /// injected `Overflow` drops the fan-out whole: one shed per
+    /// subscriber copy, even under back-pressure — an injected full never
+    /// clears, so waiting would wedge the stream. (Polled per *fresh*
+    /// tuple, not per retry, so the poll count is a pure function of the
+    /// tuple sequence.)
+    fn injected_overflow(&mut self) -> bool {
+        let Some(injector) = &self.injector else {
+            return false;
+        };
+        if matches!(
+            injector.poll(FaultPoint::FjordEnqueue),
+            Some(FaultAction::Overflow)
+        ) {
+            let copies = self.subscribers.len() as i64;
+            self.shed.fetch_add(copies, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
     fn forward(&mut self, tuple: Tuple) -> bool {
         let subs = self.subscribers.subs.lock();
         if self.overload == OverloadPolicy::Backpressure {
@@ -218,7 +274,17 @@ impl DispatchUnit for StreamDispatcher {
                     let seq = t.timestamp().seq();
                     self.latest_seq.fetch_max(seq, Ordering::AcqRel);
                     if let Some(archive) = &self.archive {
-                        archive.lock().append(&t)?;
+                        // A failed append degrades history, not the live
+                        // path: the tuple still reaches every subscriber
+                        // and the loss is counted.
+                        if archive.lock().append(&t).is_err() {
+                            self.archive_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if self.injected_overflow() {
+                        self.forwarded += 1;
+                        did_work = true;
+                        continue;
                     }
                     if !self.forward(t) {
                         return Ok(ModuleStatus::Idle);

@@ -9,15 +9,19 @@ use std::time::{Duration, Instant};
 
 use tcq_common::sync::Mutex;
 
-use tcq_common::{Catalog, Result, SchemaRef, SourceKind, TcqError, Tuple};
+use tcq_common::{
+    Catalog, FaultPlan, FiredFault, Result, SchemaRef, SharedInjector, SourceKind, TcqError, Tuple,
+};
 use tcq_eddy::{
     Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
     RoutingPolicy,
 };
-use tcq_egress::{ClientId, Delivery, EgressRouter};
+use tcq_egress::{ClientId, Delivery, EgressPolicy, EgressRouter, EgressStats};
 use tcq_executor::{DuId, Executor, ExecutorConfig};
 use tcq_fjords::{fjord, Producer, QueueKind};
-use tcq_ingress::{Source, Streamer};
+use tcq_ingress::{
+    ChaosSource, Source, SourceFactory, Streamer, Supervisor, SupervisorConfig, SupervisorStats,
+};
 use tcq_operators::{SelectOp, StemOp};
 use tcq_query::{analyze, parse, AnalyzedQuery};
 use tcq_stems::IndexKind;
@@ -70,6 +74,13 @@ pub struct ServerConfig {
     pub overload: OverloadPolicy,
     /// RNG seed.
     pub seed: u64,
+    /// Seeded chaos schedule threaded through the whole server — the
+    /// executor, every streamer and supervisor, each stream's dispatcher
+    /// and archive, and the egress router. `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Slow-client policy for the egress router (default: never
+    /// disconnect, pure legacy behaviour).
+    pub egress_policy: EgressPolicy,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +96,8 @@ impl Default for ServerConfig {
             eddy_batch: 1,
             overload: OverloadPolicy::Backpressure,
             seed: 0x7E1E_C001,
+            fault_plan: None,
+            egress_policy: EgressPolicy::default(),
         }
     }
 }
@@ -97,8 +110,11 @@ struct StreamState {
     archive: Option<Arc<Mutex<StreamArchive>>>,
     filter_shared: FilterCqShared,
     class: u64,
-    /// Copies shed by the dispatcher under OverloadPolicy::Shed.
+    /// Copies shed by the dispatcher under OverloadPolicy::Shed or an
+    /// injected enqueue overflow.
     shed: Arc<AtomicI64>,
+    /// Archive appends that failed (history degraded, loss counted).
+    archive_errors: Arc<AtomicI64>,
 }
 
 enum QueryRecord {
@@ -132,6 +148,10 @@ pub struct TelegraphCQ {
     shared_joins: Mutex<HashMap<SharedJoinKey, SharedJoinEntry>>,
     queries: Mutex<HashMap<QueryId, QueryRecord>>,
     streamers: Mutex<Vec<Streamer>>,
+    supervisors: Mutex<Vec<Supervisor>>,
+    /// One injector for the whole process, shared by every layer, so the
+    /// fired-fault log is a single seed-deterministic account of the run.
+    injector: Option<SharedInjector>,
     next_query: AtomicUsize,
     next_client: AtomicU64,
 }
@@ -139,26 +159,33 @@ pub struct TelegraphCQ {
 impl TelegraphCQ {
     /// Boot the server.
     pub fn start(config: ServerConfig) -> Result<Self> {
+        let injector = config.fault_plan.clone().map(FaultPlan::build_shared);
         let executor = Executor::start(ExecutorConfig {
             eos: config.eos,
             quantum: config.quantum,
             idle_park: Duration::from_micros(200),
-            injector: None,
+            injector: injector.clone(),
         })?;
         if let Some(dir) = &config.archive_dir {
             std::fs::create_dir_all(dir)?;
         }
         let pool = BufferPool::new(config.pool_pages, config.page_size);
+        let egress = EgressRouter::new().with_policy(config.egress_policy);
+        if let Some(inj) = &injector {
+            egress.attach_injector(inj.clone());
+        }
         Ok(TelegraphCQ {
             config,
             catalog: Catalog::new(),
             executor,
-            egress: EgressRouter::new(),
+            egress,
             pool,
             streams: Mutex::new(HashMap::new()),
             shared_joins: Mutex::new(HashMap::new()),
             queries: Mutex::new(HashMap::new()),
             streamers: Mutex::new(Vec::new()),
+            supervisors: Mutex::new(Vec::new()),
+            injector,
             next_query: AtomicUsize::new(1),
             next_client: AtomicU64::new(1),
         })
@@ -198,16 +225,20 @@ impl TelegraphCQ {
         let archive = match &self.config.archive_dir {
             Some(dir) => {
                 let path = dir.join(format!("{}.seg", name.to_ascii_lowercase()));
-                Some(Arc::new(Mutex::new(StreamArchive::create(
-                    path,
-                    qualified.clone(),
-                    self.pool.clone(),
-                )?)))
+                // `open` (not `create`): a segment left behind by a crash
+                // is recovered — torn tail truncated, corrupt pages
+                // skipped — and appends resume where the valid prefix
+                // ends, instead of silently wiping history.
+                let mut archive = StreamArchive::open(path, qualified.clone(), self.pool.clone())?;
+                if let Some(inj) = &self.injector {
+                    archive.attach_injector(inj.clone());
+                }
+                Some(Arc::new(Mutex::new(archive)))
             }
             None => None,
         };
         let class = 1u64 << (def.id % 64);
-        let dispatcher = StreamDispatcher::new(
+        let mut dispatcher = StreamDispatcher::new(
             format!("dispatch({name})"),
             ingress_c,
             subscribers.clone(),
@@ -215,7 +246,11 @@ impl TelegraphCQ {
             Arc::clone(&latest_seq),
         )
         .with_overload_policy(self.config.overload);
+        if let Some(inj) = &self.injector {
+            dispatcher = dispatcher.with_injector(inj.clone());
+        }
         let shed = dispatcher.shed_counter();
+        let archive_errors = dispatcher.archive_error_counter();
         self.executor.submit(class, Box::new(dispatcher))?;
 
         // The shared CACQ filter DU for this stream.
@@ -239,6 +274,7 @@ impl TelegraphCQ {
             filter_shared,
             class,
             shed,
+            archive_errors,
         };
         self.streams
             .lock()
@@ -255,12 +291,57 @@ impl TelegraphCQ {
     }
 
     /// Attach a wrapper: spawn a streamer thread draining `source` into the
-    /// stream's ingress queue.
+    /// stream's ingress queue. Under a fault plan the source is wrapped in
+    /// a [`ChaosSource`] (read faults) and the streamer polls
+    /// [`tcq_common::FaultPoint::FjordEnqueue`] per tuple.
     pub fn attach_source(&self, stream: &str, source: Box<dyn Source>) -> Result<()> {
         let st = self.stream(stream)?;
-        let streamer = Streamer::spawn(stream, source, st.ingress.clone());
+        let source: Box<dyn Source> = match &self.injector {
+            Some(inj) => Box::new(ChaosSource::new(source, inj.clone())),
+            None => source,
+        };
+        let streamer = Streamer::spawn_with_injector(
+            stream,
+            source,
+            st.ingress.clone(),
+            self.injector.clone(),
+        );
         self.streamers.lock().push(streamer);
         Ok(())
+    }
+
+    /// Attach a supervised wrapper: like [`TelegraphCQ::attach_source`],
+    /// but the source is rebuilt by `factory` after panics and errors per
+    /// `config` — the ingress survives a flaky wrapper instead of dying
+    /// with it. Under a fault plan each rebuilt source is chaos-wrapped.
+    pub fn attach_supervised_source(
+        &self,
+        stream: &str,
+        mut factory: SourceFactory,
+        config: SupervisorConfig,
+    ) -> Result<()> {
+        let st = self.stream(stream)?;
+        let injector = self.injector.clone();
+        let wrapped: SourceFactory = Box::new(move |attempt, delivered| {
+            let inner = factory(attempt, delivered)?;
+            Ok(match &injector {
+                Some(inj) => Box::new(ChaosSource::new(inner, inj.clone())) as Box<dyn Source>,
+                None => inner,
+            })
+        });
+        let supervisor = Supervisor::spawn(stream, wrapped, st.ingress.clone(), config);
+        self.supervisors.lock().push(supervisor);
+        Ok(())
+    }
+
+    /// Per-stream supervision counters, keyed by the supervisor's stream
+    /// name (empty when no supervised sources are attached).
+    pub fn supervisor_stats(&self) -> Vec<(String, SupervisorStats)> {
+        self.supervisors
+            .lock()
+            .iter()
+            .map(|s| (s.name().to_string(), s.stats()))
+            .collect()
     }
 
     /// Inject one tuple directly (tests, examples). Blocks under
@@ -280,9 +361,45 @@ impl TelegraphCQ {
     }
 
     /// Copies shed by a stream's dispatcher under
-    /// [`OverloadPolicy::Shed`] (0 under back-pressure).
+    /// [`OverloadPolicy::Shed`] or an injected enqueue overflow (0 under
+    /// fault-free back-pressure).
     pub fn shed_count(&self, stream: &str) -> Result<i64> {
         Ok(self.stream(stream)?.shed.load(Ordering::Relaxed))
+    }
+
+    /// Archive appends that failed on a stream (history degraded; the
+    /// live path kept flowing and the loss was counted).
+    pub fn archive_error_count(&self, stream: &str) -> Result<i64> {
+        Ok(self.stream(stream)?.archive_errors.load(Ordering::Relaxed))
+    }
+
+    /// A stream archive's counters (`None` when archiving is disabled).
+    pub fn archive_stats(&self, stream: &str) -> Result<Option<tcq_storage::ArchiveStats>> {
+        Ok(self
+            .stream(stream)?
+            .archive
+            .as_ref()
+            .map(|a| a.lock().stats()))
+    }
+
+    /// What archive recovery found when this stream's segment was opened
+    /// (`None` when archiving is disabled or the segment was fresh).
+    pub fn archive_recovery(&self, stream: &str) -> Result<Option<tcq_storage::RecoveryReport>> {
+        Ok(self
+            .stream(stream)?
+            .archive
+            .as_ref()
+            .and_then(|a| a.lock().recovery()))
+    }
+
+    /// The process-wide chaos injector, when a fault plan is configured.
+    pub fn injector(&self) -> Option<&SharedInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Faults fired so far, in firing order (empty without a fault plan).
+    pub fn fired_faults(&self) -> Vec<FiredFault> {
+        self.injector.as_ref().map(|i| i.log()).unwrap_or_default()
     }
 
     /// Connect a push client; results stream into the returned receiver.
@@ -855,12 +972,52 @@ impl TelegraphCQ {
         self.egress.stats()
     }
 
-    /// Stop streamers and the executor.
+    /// Full egress accounting (per-disposition counters).
+    pub fn egress_stats_full(&self) -> EgressStats {
+        self.egress.egress_stats()
+    }
+
+    /// Stop ingress, drain what was admitted, then stop the executor.
+    ///
+    /// Ordering matters: streamers and supervisors stop *first* so no new
+    /// tuples arrive, then the executor keeps running until every ingress
+    /// queue and subscriber queue is empty (bounded wait), and only then
+    /// shuts down. Stopping the executor first would strand admitted
+    /// tuples in the queues — results a client was already promised.
     pub fn shutdown(self) -> Result<()> {
         for s in self.streamers.lock().drain(..) {
             let _ = s.stop();
         }
-        self.executor.shutdown()
+        for s in self.supervisors.lock().drain(..) {
+            let _ = s.stop();
+        }
+        self.drain_ingress(Duration::from_secs(2));
+        self.executor.shutdown()?;
+        // Executor stopped: no appends can race the final flush. Sealing
+        // the tail makes every archived tuple recoverable by `open`.
+        for st in self.streams.lock().values() {
+            if let Some(archive) = &st.archive {
+                archive.lock().flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Wait (bounded) until every stream's ingress queue and subscriber
+    /// backlog stays empty across a few consecutive polls — "stays",
+    /// because a dispatcher may be mid-quantum between the two queues.
+    fn drain_ingress(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut calm = 0;
+        while calm < 3 && Instant::now() < deadline {
+            let drained = self
+                .streams
+                .lock()
+                .values()
+                .all(|st| st.ingress.stats().len == 0 && st.subscribers.backlog() == 0);
+            calm = if drained { calm + 1 } else { 0 };
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }
 

@@ -22,7 +22,9 @@ for e in exp_eddy_adaptivity exp_cacq_sharing exp_psoup exp_hybrid_join \
     if [ "$SMOKE" = "1" ]; then
         # Experiments assert their own claims; in smoke mode we only keep
         # the exit status (stderr still surfaces assertion failures).
-        ./target/release/$e > /dev/null
+        # Binaries that understand --smoke (exp_chaos) run reduced-scale;
+        # the rest ignore the flag.
+        ./target/release/$e --smoke > /dev/null
         echo "ok"
     else
         ./target/release/$e

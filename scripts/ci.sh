@@ -17,5 +17,8 @@ cargo build --release
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== exp_chaos --smoke (server-level chaos, reduced scale) =="
+./target/release/exp_chaos --smoke
+
 echo
 echo "ci: all green"

@@ -79,15 +79,17 @@ pub use tcq_windows as windows;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use tcq_common::{
-        BitSet, Catalog, CmpOp, DataType, Expr, Field, Result, Schema, SchemaRef, SourceKind,
-        TcqError, Timestamp, Tuple, TupleBuilder, Value,
+        BitSet, Catalog, CmpOp, DataType, Expr, FaultAction, FaultPlan, FaultPoint, Field, Result,
+        Schema, SchemaRef, SourceKind, TcqError, Timestamp, Tuple, TupleBuilder, Value,
     };
     pub use tcq_eddy::{Eddy, EddyConfig, LotteryPolicy, ModuleSpec, SharedEddy};
+    pub use tcq_egress::{EgressPolicy, EgressStats};
     pub use tcq_ingress::{
-        CsvSource, NetworkPackets, SensorReadings, Source, SourceStatus, StockTicks, VecSource,
+        ChaosSource, CsvSource, DegradePolicy, NetworkPackets, SensorReadings, Source,
+        SourceFactory, SourceStatus, StockTicks, SupervisorConfig, VecSource,
     };
     pub use tcq_operators::{AggFunc, AggSpec, ProjectOp, SelectOp, StemOp};
     pub use tcq_psoup::PSoup;
-    pub use tcq_server::{ServerConfig, TelegraphCQ};
+    pub use tcq_server::{OverloadPolicy, ServerConfig, TelegraphCQ};
     pub use tcq_windows::{ForLoop, LinExpr, WindowKind, WindowSeq};
 }

@@ -1,0 +1,295 @@
+//! Whole-server chaos: the full TelegraphCQ stack booted under one seeded
+//! fault schedule mixing a source panic, an injected enqueue overflow, a
+//! soft archive failure, a torn archive write, and a dead client — then
+//! held to *exact* accounting: every produced tuple is delivered, shed,
+//! displaced, or counted against the disconnected client; the archive
+//! reopens cleanly; and the same seed replays the identical catastrophe.
+
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+use telegraphcq::common::FiredFault;
+use telegraphcq::egress::Delivery;
+use telegraphcq::prelude::*;
+use telegraphcq::storage::{BufferPool, StreamArchive};
+
+const TUPLES: i64 = 3000;
+const SEED: u64 = 0x5EED_CA05;
+
+fn schema() -> SchemaRef {
+    Schema::new(vec![Field::new("v", DataType::Int)]).into_ref()
+}
+
+fn workload() -> Vec<Tuple> {
+    let schema = schema();
+    (1..=TUPLES)
+        .map(|i| {
+            TupleBuilder::new(schema.clone())
+                .push(i)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Replays a fixed tuple set in fixed-size batches; resumable from an
+/// offset so the supervisor's factory can skip already-delivered tuples.
+struct ReplaySource {
+    schema: SchemaRef,
+    tuples: Vec<Tuple>,
+    pos: usize,
+}
+
+impl Source for ReplaySource {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        if self.pos >= self.tuples.len() {
+            return Ok(SourceStatus::Exhausted);
+        }
+        let n = max.min(self.tuples.len() - self.pos);
+        out.extend_from_slice(&self.tuples[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(SourceStatus::Ready)
+    }
+}
+
+/// One seeded schedule across four layers: a wrapper panic (ingress), a
+/// dropped fan-out (dispatcher), a failed append plus a torn page seal
+/// (storage), and two failed delivery offers (egress). The dead client is
+/// not injected — it really disconnects.
+fn plan() -> FaultPlan {
+    FaultPlan::new(SEED)
+        .at(
+            FaultPoint::SourceRead,
+            20,
+            FaultAction::Panic("wrapper segfault".into()),
+        )
+        .at(FaultPoint::FjordEnqueue, 500, FaultAction::Overflow)
+        .at(
+            FaultPoint::ArchiveAppend,
+            50,
+            FaultAction::Error("disk hiccup".into()),
+        )
+        .at(FaultPoint::ArchiveAppend, 100, FaultAction::Overflow)
+        .at(
+            FaultPoint::EgressDeliver,
+            1000,
+            FaultAction::Error("socket reset".into()),
+        )
+        .at(
+            FaultPoint::EgressDeliver,
+            2000,
+            FaultAction::Error("socket reset".into()),
+        )
+}
+
+struct Outcome {
+    results: Vec<i64>,
+    egress: EgressStats,
+    dispatcher_shed: i64,
+    archive_errors: i64,
+    archive: telegraphcq::storage::ArchiveStats,
+    sup: telegraphcq::ingress::SupervisorStats,
+    log: Vec<FiredFault>,
+    archive_path: PathBuf,
+}
+
+fn run_scenario(dir: &std::path::Path) -> Outcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        archive_dir: Some(dir.to_path_buf()),
+        fault_plan: Some(plan()),
+        egress_policy: EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 4,
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", schema()).unwrap();
+
+    // A healthy push client and a dead one (receiver dropped before any
+    // delivery): the router must disconnect the dead one after its first
+    // offer and keep the healthy one flowing.
+    let (healthy, rx): (_, Receiver<Delivery>) = server.connect_push_client(4096).unwrap();
+    let (dead, dead_rx): (_, Receiver<Delivery>) = server.connect_push_client(4).unwrap();
+    drop(dead_rx);
+    server.submit("SELECT v FROM s", healthy).unwrap();
+    server.submit("SELECT v FROM s", dead).unwrap();
+
+    let master = workload();
+    let factory: SourceFactory = {
+        let schema = schema();
+        Box::new(move |_attempt, delivered| {
+            Ok(Box::new(ReplaySource {
+                schema: schema.clone(),
+                tuples: master[delivered as usize..].to_vec(),
+                pos: 0,
+            }) as Box<dyn Source>)
+        })
+    };
+    server
+        .attach_supervised_source("s", factory, SupervisorConfig::default())
+        .unwrap();
+
+    assert!(
+        server.quiesce(Duration::from_secs(30)),
+        "server must quiesce despite the chaos schedule"
+    );
+
+    let sup = server.supervisor_stats().remove(0).1;
+    let outcome = Outcome {
+        results: rx
+            .try_iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect(),
+        egress: server.egress_stats_full(),
+        dispatcher_shed: server.shed_count("s").unwrap(),
+        archive_errors: server.archive_error_count("s").unwrap(),
+        archive: server.archive_stats("s").unwrap().unwrap(),
+        sup,
+        log: server.fired_faults(),
+        archive_path: dir.join("s.seg"),
+    };
+    server.shutdown().unwrap();
+    outcome
+}
+
+/// The determinism contract is per fault point (each point's poll counter
+/// advances on one component's schedule); normalise to (point, poll#)
+/// order before comparing logs across runs.
+fn normalised(mut log: Vec<FiredFault>) -> Vec<FiredFault> {
+    log.sort_by_key(|&(point, count, _)| (point, count));
+    log
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcq-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn whole_server_chaos_quiesces_with_exact_accounting() {
+    let dir = temp_dir("acct");
+    let o = run_scenario(&dir);
+
+    // Ingress: the panic was survived, every tuple replayed exactly once.
+    assert_eq!(o.sup.delivered, TUPLES as u64);
+    assert_eq!(o.sup.panics, 1);
+    assert_eq!(o.sup.restarts, 1);
+    assert_eq!(o.sup.shed + o.sup.malformed, 0);
+
+    // Dispatcher: exactly one fan-out (one subscriber copy) dropped by the
+    // injected enqueue overflow.
+    assert_eq!(o.dispatcher_shed, 1);
+
+    // Storage: one soft append failure, one torn page seal, all counted.
+    assert_eq!(o.archive_errors, 1);
+    assert_eq!(o.archive.appended, TUPLES as u64 - 1);
+    assert_eq!(o.archive.torn_pages, 1);
+    assert!(o.archive.lost_records > 0);
+
+    // Egress: tuple 1 was offered to both clients (the dead one paid with
+    // a disconnect), every later tuple only to the healthy one.
+    let e = &o.egress;
+    assert_eq!(e.offered, TUPLES as u64);
+    assert_eq!(e.disconnected, 1);
+    assert_eq!(e.disconnected_loss, 1);
+    assert_eq!(e.shed, 2, "two injected delivery errors");
+    assert_eq!(e.displaced, 0);
+    assert!(
+        e.accounted(),
+        "delivered + shed + displaced + disconnected_loss == offered"
+    );
+    assert_eq!(
+        e.delivered + e.shed + e.displaced + e.disconnected_loss,
+        o.sup.delivered - o.dispatcher_shed as u64 + 1,
+        "egress accounts for every copy the dispatcher fanned out"
+    );
+    assert_eq!(o.results.len() as u64, e.delivered);
+
+    // The client never sees the dispatcher-dropped tuple or the two
+    // egress-shed ones, and sees everything else in order.
+    assert!(o.results.windows(2).all(|w| w[0] < w[1]), "in order");
+    assert!(!o.results.contains(&500), "tuple 500's fan-out was dropped");
+
+    // Six faults fired, none left pending.
+    assert_eq!(o.log.len(), 6);
+}
+
+#[test]
+fn chaos_archive_reopens_cleanly_after_shutdown() {
+    let dir = temp_dir("reopen");
+    let o = run_scenario(&dir);
+
+    // Reopen the crashed-over segment: the torn page is skipped, every
+    // surviving record is readable, and the counts agree exactly with the
+    // live archive's own accounting.
+    let pool = BufferPool::new(64, 8192);
+    let mut archive = StreamArchive::open(
+        &o.archive_path,
+        schema().with_qualifier("s").into_ref(),
+        pool,
+    )
+    .unwrap();
+    let recovery = archive.recovery().unwrap();
+    assert_eq!(recovery.pages_skipped, 1, "the torn page fails validation");
+    assert_eq!(
+        recovery.records_recovered,
+        o.archive.appended - o.archive.lost_records
+    );
+    let mut out = Vec::new();
+    archive.scan_window(1, TUPLES, &mut out).unwrap();
+    assert_eq!(out.len() as u64, recovery.records_recovered);
+    // The soft-failed append (tuple 50) is the only gap outside the torn
+    // page's contiguous range.
+    assert!(!out.iter().any(|t| t.timestamp().seq() == 50));
+}
+
+#[test]
+fn chaos_schedule_replays_identically_from_its_seed() {
+    let dir_a = temp_dir("det-a");
+    let dir_b = temp_dir("det-b");
+    let a = run_scenario(&dir_a);
+    let b = run_scenario(&dir_b);
+    assert_eq!(
+        a.results, b.results,
+        "answers diverged across same-seed runs"
+    );
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across same-seed runs"
+    );
+}
+
+#[test]
+fn shutdown_under_load_delivers_everything_admitted() {
+    // Regression for shutdown ordering: results admitted before shutdown
+    // must reach the client even when shutdown races active dispatch.
+    // (Stopping the executor before draining would strand them.)
+    let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+    server.register_stream("s", schema()).unwrap();
+    let (client, rx) = server.connect_push_client(8192).unwrap();
+    server.submit("SELECT v FROM s", client).unwrap();
+
+    let n = 2000i64;
+    for t in workload().into_iter().take(n as usize) {
+        server.push("s", t).unwrap();
+    }
+    // No quiesce, no settling: shutdown immediately, mid-flight.
+    server.shutdown().unwrap();
+
+    let got: Vec<i64> = rx
+        .try_iter()
+        .map(|(_, t)| t.value(0).as_int().unwrap())
+        .collect();
+    assert_eq!(got.len() as i64, n, "every admitted tuple was delivered");
+    assert!(got.windows(2).all(|w| w[0] < w[1]), "in order");
+}
