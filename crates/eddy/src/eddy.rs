@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use tcq_common::rng::{seeded, TcqRng};
 use tcq_common::{Result, SchemaRef, TcqError, Tuple};
-use tcq_operators::EddyModule;
+use tcq_operators::{EddyModule, Routed};
 
 use crate::lineage::{SignatureCache, SourceSet};
 use crate::policy::{ModuleObservation, ModuleStats, RoutingPolicy};
@@ -111,6 +111,17 @@ struct InFlight {
     done: u64,
 }
 
+/// A group of in-flight tuples sharing one lineage signature and one
+/// visit history, routed together: each module visit costs the group one
+/// routing decision, one timing probe, and one virtual dispatch (via
+/// [`EddyModule::process_batch`]) instead of one per tuple.
+struct BatchInFlight {
+    tuples: Vec<Tuple>,
+    sig: SourceSet,
+    /// Bit i set ⇔ module i visited (shared by the whole group).
+    done: u64,
+}
+
 /// The adaptive tuple router for one continuous query (paper §2.2).
 pub struct Eddy {
     sig_cache: SignatureCache,
@@ -126,6 +137,8 @@ pub struct Eddy {
     batch: HashMap<SourceSet, (Vec<usize>, usize)>,
     /// Scratch candidate buffer.
     candidates: Vec<usize>,
+    /// Scratch per-tuple results buffer for batched visits.
+    routed_scratch: Vec<Routed>,
 }
 
 impl Eddy {
@@ -150,6 +163,7 @@ impl Eddy {
             eddy_stats: EddyStats::default(),
             batch: HashMap::new(),
             candidates: Vec::new(),
+            routed_scratch: Vec::new(),
         })
     }
 
@@ -260,11 +274,132 @@ impl Eddy {
         }
     }
 
+    /// Route a batch of base tuples to completion, appending emissions to
+    /// `out`. Semantically equivalent to calling [`Eddy::process_into`]
+    /// once per tuple in order — modules are commutative, so the emitted
+    /// multiset is identical — but amortized end-to-end: tuples are
+    /// grouped into consecutive runs of one lineage signature, and each
+    /// (signature, batch) group pays **one** routing decision, one timing
+    /// probe, and one virtual dispatch per module visit, via
+    /// [`EddyModule::process_batch`]. The §4.3 batching counter is still
+    /// charged per tuple, so `EddyConfig::batch_size` keeps governing how
+    /// long a recorded visit order stays frozen across drains.
+    pub fn process_batch(&mut self, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        self.eddy_stats.tuples_in += tuples.len() as u64;
+        let mut work: VecDeque<BatchInFlight> = VecDeque::new();
+        for t in tuples {
+            let sig = self.sig_cache.signature(t.schema())?;
+            match work.back_mut() {
+                Some(g) if g.sig == sig => g.tuples.push(t),
+                _ => work.push_back(BatchInFlight {
+                    tuples: vec![t],
+                    sig,
+                    done: 0,
+                }),
+            }
+        }
+        while let Some(mut group) = work.pop_front() {
+            // Charge the batching counter once per tuple entering routing,
+            // expiring the recorded order after batch_size tuples — the
+            // same accounting as the per-tuple path.
+            if self.config.batch_size > 1 {
+                let entry = self.batch.entry(group.sig).or_insert((Vec::new(), 0));
+                entry.1 += group.tuples.len();
+                if entry.1 > self.config.batch_size {
+                    entry.0.clear();
+                    entry.1 = group.tuples.len();
+                }
+            }
+            loop {
+                let next = if let Some(b) = self.pending_build_for(group.sig, group.done) {
+                    b
+                } else {
+                    self.candidates.clear();
+                    for (i, spec) in self.modules.iter().enumerate() {
+                        if group.done & (1 << i) == 0 && spec.applies(group.sig) {
+                            self.candidates.push(i);
+                        }
+                    }
+                    if self.candidates.is_empty() {
+                        if group.sig == self.footprint {
+                            self.eddy_stats.emitted += group.tuples.len() as u64;
+                            out.append(&mut group.tuples);
+                        }
+                        break;
+                    }
+                    self.choose(group.sig)?
+                };
+
+                let start = Instant::now();
+                let mut routed = std::mem::take(&mut self.routed_scratch);
+                self.modules[next]
+                    .module
+                    .process_batch(&group.tuples, &mut routed)?;
+                let nanos = start.elapsed().as_nanos() as u64;
+                group.done |= 1 << next;
+                let n = group.tuples.len() as u64;
+                self.eddy_stats.visits += n;
+                let per_tuple_nanos = nanos / n;
+
+                let st = &mut self.stats[next];
+                st.routed += n;
+                st.nanos += nanos;
+                for r in &routed {
+                    if r.keep {
+                        st.kept += 1;
+                    }
+                    st.produced += r.outputs.len() as u64;
+                }
+                for r in &routed {
+                    self.policy.observe(ModuleObservation {
+                        module: next,
+                        kept: r.keep,
+                        produced: r.outputs.len(),
+                        nanos: per_tuple_nanos,
+                    });
+                }
+
+                // Partition: survivors stay grouped; outputs regroup by
+                // their own signature, inheriting the visit history.
+                let visited = std::mem::take(&mut group.tuples);
+                for (t, r) in visited.into_iter().zip(routed.iter_mut()) {
+                    if r.keep {
+                        group.tuples.push(t);
+                    }
+                    for o in r.outputs.drain(..) {
+                        let osig = self.sig_cache.signature(o.schema())?;
+                        match work.back_mut() {
+                            Some(g) if g.sig == osig && g.done == group.done => g.tuples.push(o),
+                            _ => work.push_back(BatchInFlight {
+                                tuples: vec![o],
+                                sig: osig,
+                                done: group.done,
+                            }),
+                        }
+                    }
+                }
+                routed.clear();
+                self.routed_scratch = routed;
+                if group.tuples.is_empty() {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn pending_build(&self, inf: &InFlight) -> Option<usize> {
+        self.pending_build_for(inf.sig, inf.done)
+    }
+
+    fn pending_build_for(&self, sig: SourceSet, done: u64) -> Option<usize> {
         self.modules
             .iter()
             .enumerate()
-            .find(|(i, m)| m.is_build_for(inf.sig) && inf.done & (1 << i) == 0)
+            .find(|(i, m)| m.is_build_for(sig) && done & (1 << i) == 0)
             .map(|(i, _)| i)
     }
 
@@ -578,6 +713,97 @@ mod tests {
         );
         // Semantics unchanged: same number of emissions.
         assert_eq!(batched.emitted, unbatched.emitted);
+    }
+
+    #[test]
+    fn process_batch_matches_per_tuple_join_results() {
+        // The same mixed S/T workload routed per-tuple and in drained
+        // batches must join to the same multiset of outputs, and the
+        // batched run must need far fewer routing decisions.
+        let build = |batch_size: usize| {
+            let s = s_schema("S");
+            let t = s_schema("T");
+            let mut eddy = Eddy::new(
+                &["S", "T"],
+                Box::new(LotteryPolicy::new()),
+                EddyConfig {
+                    batch_size,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+            let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+            let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb))
+                .unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+                .unwrap();
+            let f = SelectOp::new(
+                "S.x>5",
+                &Expr::qcol("S", "x").cmp(CmpOp::Gt, Expr::lit(5i64)),
+                &s,
+            )
+            .unwrap();
+            eddy.add_module(ModuleSpec::filter(Box::new(f), sb))
+                .unwrap();
+            (eddy, s, t)
+        };
+        let workload = |s: &SchemaRef, t: &SchemaRef| {
+            let mut rng = tcq_common::rng::seeded(123);
+            (0..600i64)
+                .map(|i| {
+                    let k = rng.gen_range(0..20i64);
+                    let x = rng.gen_range(0..10i64);
+                    if rng.gen_bool(0.5) {
+                        row(s, k, x, i)
+                    } else {
+                        row(t, k, x, i)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let key = |t: &Tuple| {
+            (
+                t.get(Some("S"), "k").unwrap().as_int().unwrap(),
+                t.get(Some("S"), "x").unwrap().as_int().unwrap(),
+                t.get(Some("T"), "x").unwrap().as_int().unwrap(),
+                t.timestamp().seq(),
+            )
+        };
+
+        // Equivalence must hold whether or not the §4.3 recording knob is
+        // engaged; decision amortization is judged at batch_size = 1,
+        // where the per-tuple path pays one decision per tuple-visit but
+        // the batched path pays one per group-visit.
+        for batch_size in [1usize, 64] {
+            let (mut per, s, t) = build(batch_size);
+            let mut per_out = Vec::new();
+            for tu in workload(&s, &t) {
+                per.process_into(tu, &mut per_out).unwrap();
+            }
+
+            let (mut bat, s, t) = build(batch_size);
+            let mut bat_out = Vec::new();
+            for chunk in workload(&s, &t).chunks(64) {
+                bat.process_batch(chunk.to_vec(), &mut bat_out).unwrap();
+            }
+
+            let mut a: Vec<_> = per_out.iter().map(key).collect();
+            let mut b: Vec<_> = bat_out.iter().map(key).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "batched join diverged (batch_size={batch_size})");
+            assert_eq!(per.stats().tuples_in, bat.stats().tuples_in);
+            assert_eq!(per.stats().emitted, bat.stats().emitted);
+            if batch_size == 1 {
+                assert!(
+                    bat.stats().decisions * 4 < per.stats().decisions,
+                    "batched drains should slash decisions: {} vs {}",
+                    bat.stats().decisions,
+                    per.stats().decisions
+                );
+            }
+        }
     }
 
     #[test]

@@ -188,6 +188,134 @@ impl RouterInner {
         });
         existed
     }
+
+    /// One tuple's full fan-out, under an already-held router lock. This is
+    /// the single definition of delivery semantics: both the per-tuple and
+    /// the batched entry points replay it tuple by tuple, so fault-poll
+    /// order, retry accounting, and disconnection timing are byte-identical
+    /// whichever entry point a caller uses.
+    fn deliver_locked<I: IntoIterator<Item = QueryId>>(&mut self, queries: I, tuple: &Tuple) {
+        let policy = self.policy;
+        // Clients found dead or stuck during this fan-out; removed after
+        // the loop so accounting stays per-offer.
+        let mut dead: Vec<ClientId> = Vec::new();
+        for q in queries {
+            let Some(subs) = self.by_query.get(&q) else {
+                continue;
+            };
+            let subs: Vec<ClientId> = subs.clone();
+            for cid in subs {
+                let Some(state) = self.clients.get_mut(&cid) else {
+                    continue;
+                };
+                self.stats.offered += 1;
+                let fault = self
+                    .injector
+                    .as_ref()
+                    .and_then(|i| i.poll(FaultPoint::EgressDeliver));
+                match fault {
+                    Some(FaultAction::Stall { .. }) => {
+                        // The client is stuck. With disconnection enabled it
+                        // is dropped immediately; otherwise the copy sheds.
+                        if policy.disconnect_after > 0 {
+                            self.stats.disconnected_loss += 1;
+                            dead.push(cid);
+                        } else {
+                            self.stats.shed += 1;
+                        }
+                        continue;
+                    }
+                    Some(FaultAction::Error(_)) | Some(FaultAction::Overflow) => {
+                        // The offer fails as if the client's buffer were
+                        // full; failure streaks still count toward
+                        // disconnection.
+                        self.stats.shed += 1;
+                        if let ClientState::Push { failures, .. } = state {
+                            *failures += 1;
+                            if policy.disconnect_after > 0 && *failures >= policy.disconnect_after {
+                                dead.push(cid);
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                match state {
+                    ClientState::Push { tx, failures } => {
+                        let mut attempt = 0u32;
+                        loop {
+                            match tx.try_send((q, tuple.clone())) {
+                                Ok(()) => {
+                                    self.stats.delivered += 1;
+                                    *failures = 0;
+                                    break;
+                                }
+                                Err(TrySendError::Full(_)) => {
+                                    if attempt < policy.max_retries {
+                                        attempt += 1;
+                                        self.stats.retried += 1;
+                                        std::thread::yield_now();
+                                        continue;
+                                    }
+                                    self.stats.shed += 1;
+                                    *failures += 1;
+                                    if policy.disconnect_after > 0
+                                        && *failures >= policy.disconnect_after
+                                    {
+                                        dead.push(cid);
+                                    }
+                                    break;
+                                }
+                                Err(TrySendError::Disconnected(_)) => {
+                                    self.stats.disconnected_loss += 1;
+                                    dead.push(cid);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    ClientState::Pull { buffer, capacity } => {
+                        let forced = self.injector.as_ref().is_some_and(|i| {
+                            matches!(
+                                i.poll(FaultPoint::FjordEnqueue),
+                                Some(FaultAction::Overflow)
+                            )
+                        });
+                        if buffer.len() >= *capacity || (forced && !buffer.is_empty()) {
+                            buffer.pop_front();
+                            // The victim moves from delivered to displaced.
+                            self.stats.displaced += 1;
+                            self.stats.delivered -= 1;
+                        }
+                        buffer.push_back((q, tuple.clone()));
+                        self.stats.delivered += 1;
+                    }
+                    ClientState::Prioritized { buffer } => {
+                        let forced = self.injector.as_ref().is_some_and(|i| {
+                            matches!(
+                                i.poll(FaultPoint::FjordEnqueue),
+                                Some(FaultAction::Overflow)
+                            )
+                        });
+                        if forced && buffer.evict_worst() {
+                            self.stats.displaced += 1;
+                            self.stats.delivered -= 1;
+                        }
+                        if buffer.insert((q, tuple.clone())) {
+                            self.stats.displaced += 1;
+                            self.stats.delivered -= 1;
+                        }
+                        self.stats.delivered += 1;
+                    }
+                }
+            }
+        }
+        for cid in dead {
+            if self.drop_client(cid) {
+                self.stats.disconnected += 1;
+            }
+        }
+    }
 }
 
 /// Routes `(tuple, query ids)` outputs to subscribed clients.
@@ -336,127 +464,28 @@ impl EgressRouter {
     /// executor — and a client stuck past `disconnect_after` consecutive
     /// failures is forcibly disconnected and counted.
     pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        let policy = inner.policy;
-        // Clients found dead or stuck during this fan-out; removed after
-        // the loop so accounting stays per-offer.
-        let mut dead: Vec<ClientId> = Vec::new();
-        for q in queries {
-            let Some(subs) = inner.by_query.get(&q) else {
-                continue;
-            };
-            let subs: Vec<ClientId> = subs.clone();
-            for cid in subs {
-                let Some(state) = inner.clients.get_mut(&cid) else {
-                    continue;
-                };
-                inner.stats.offered += 1;
-                let fault = inner
-                    .injector
-                    .as_ref()
-                    .and_then(|i| i.poll(FaultPoint::EgressDeliver));
-                match fault {
-                    Some(FaultAction::Stall { .. }) => {
-                        // The client is stuck. With disconnection enabled it
-                        // is dropped immediately; otherwise the copy sheds.
-                        if policy.disconnect_after > 0 {
-                            inner.stats.disconnected_loss += 1;
-                            dead.push(cid);
-                        } else {
-                            inner.stats.shed += 1;
-                        }
-                        continue;
-                    }
-                    Some(FaultAction::Error(_)) | Some(FaultAction::Overflow) => {
-                        // The offer fails as if the client's buffer were
-                        // full; failure streaks still count toward
-                        // disconnection.
-                        inner.stats.shed += 1;
-                        if let ClientState::Push { failures, .. } = state {
-                            *failures += 1;
-                            if policy.disconnect_after > 0 && *failures >= policy.disconnect_after {
-                                dead.push(cid);
-                            }
-                        }
-                        continue;
-                    }
-                    _ => {}
-                }
-                match state {
-                    ClientState::Push { tx, failures } => {
-                        let mut attempt = 0u32;
-                        loop {
-                            match tx.try_send((q, tuple.clone())) {
-                                Ok(()) => {
-                                    inner.stats.delivered += 1;
-                                    *failures = 0;
-                                    break;
-                                }
-                                Err(TrySendError::Full(_)) => {
-                                    if attempt < policy.max_retries {
-                                        attempt += 1;
-                                        inner.stats.retried += 1;
-                                        std::thread::yield_now();
-                                        continue;
-                                    }
-                                    inner.stats.shed += 1;
-                                    *failures += 1;
-                                    if policy.disconnect_after > 0
-                                        && *failures >= policy.disconnect_after
-                                    {
-                                        dead.push(cid);
-                                    }
-                                    break;
-                                }
-                                Err(TrySendError::Disconnected(_)) => {
-                                    inner.stats.disconnected_loss += 1;
-                                    dead.push(cid);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    ClientState::Pull { buffer, capacity } => {
-                        let forced = inner.injector.as_ref().is_some_and(|i| {
-                            matches!(
-                                i.poll(FaultPoint::FjordEnqueue),
-                                Some(FaultAction::Overflow)
-                            )
-                        });
-                        if buffer.len() >= *capacity || (forced && !buffer.is_empty()) {
-                            buffer.pop_front();
-                            // The victim moves from delivered to displaced.
-                            inner.stats.displaced += 1;
-                            inner.stats.delivered -= 1;
-                        }
-                        buffer.push_back((q, tuple.clone()));
-                        inner.stats.delivered += 1;
-                    }
-                    ClientState::Prioritized { buffer } => {
-                        let forced = inner.injector.as_ref().is_some_and(|i| {
-                            matches!(
-                                i.poll(FaultPoint::FjordEnqueue),
-                                Some(FaultAction::Overflow)
-                            )
-                        });
-                        if forced && buffer.evict_worst() {
-                            inner.stats.displaced += 1;
-                            inner.stats.delivered -= 1;
-                        }
-                        if buffer.insert((q, tuple.clone())) {
-                            inner.stats.displaced += 1;
-                            inner.stats.delivered -= 1;
-                        }
-                        inner.stats.delivered += 1;
-                    }
-                }
-            }
+        self.inner.lock().deliver_locked(queries, tuple);
+    }
+
+    /// Deliver a whole batch of result tuples for the queries in `queries`,
+    /// taking the router lock once for the batch instead of once per
+    /// tuple. The per-client ledger is still charged per (tuple, client)
+    /// offer, in the exact order `N` successive [`EgressRouter::deliver`]
+    /// calls would charge it — including fault polls and stuck-client
+    /// disconnection timing — so batched and unbatched runs of the same
+    /// seed are byte-identical.
+    pub fn deliver_batch<I>(&self, queries: I, tuples: &[Tuple])
+    where
+        I: IntoIterator<Item = QueryId>,
+        I::IntoIter: Clone,
+    {
+        if tuples.is_empty() {
+            return;
         }
-        for cid in dead {
-            if inner.drop_client(cid) {
-                inner.stats.disconnected += 1;
-            }
+        let queries = queries.into_iter();
+        let mut guard = self.inner.lock();
+        for tuple in tuples {
+            guard.deliver_locked(queries.clone(), tuple);
         }
     }
 
@@ -674,6 +703,38 @@ mod tests {
         assert_eq!(s.delivered, 6);
         assert_eq!(s.shed, 12);
         assert!(s.accounted());
+    }
+
+    #[test]
+    fn deliver_batch_matches_per_tuple_deliveries() {
+        let mk = || {
+            let r = EgressRouter::new().with_policy(EgressPolicy {
+                max_retries: 0,
+                disconnect_after: 2,
+            });
+            let rx = r.register_push_client(1, 3).unwrap();
+            r.register_pull_client(2, 4).unwrap();
+            r.subscribe(1, 9).unwrap();
+            r.subscribe(2, 9).unwrap();
+            (r, rx)
+        };
+        let tuples: Vec<Tuple> = (0..20).map(t).collect();
+        let (per, per_rx) = mk();
+        for tup in &tuples {
+            per.deliver([9usize], tup);
+        }
+        let (bat, bat_rx) = mk();
+        bat.deliver_batch([9usize], &tuples);
+        assert_eq!(per.egress_stats(), bat.egress_stats());
+        assert!(bat.egress_stats().accounted());
+        let a: Vec<_> = per_rx.try_iter().collect();
+        let b: Vec<_> = bat_rx.try_iter().collect();
+        assert_eq!(a, b, "push stream identical");
+        assert_eq!(
+            per.fetch(2, 10).unwrap(),
+            bat.fetch(2, 10).unwrap(),
+            "pull ring identical"
+        );
     }
 
     #[test]

@@ -34,5 +34,6 @@ pub mod queue;
 
 pub use module::{Module, ModuleStatus};
 pub use queue::{
-    fjord, Consumer, DequeueResult, EnqueueError, FjordMessage, Producer, QueueKind, QueueStats,
+    fjord, BatchDequeueResult, Consumer, DequeueResult, EnqueueError, FjordMessage, Producer,
+    QueueKind, QueueStats,
 };

@@ -71,6 +71,17 @@ pub enum DequeueResult {
     Disconnected,
 }
 
+/// Non-blocking batch dequeue outcome ([`Consumer::dequeue_batch`]).
+#[derive(Debug, PartialEq)]
+pub enum BatchDequeueResult {
+    /// `n ≥ 1` messages were appended to the caller's buffer in FIFO order.
+    Msgs(usize),
+    /// Queue empty; pursue other work or yield.
+    Empty,
+    /// Queue empty and all producers dropped: no message will ever arrive.
+    Disconnected,
+}
+
 /// Point-in-time statistics for a queue, used by back-pressure routing and
 /// by the experiment harness.
 #[derive(Debug, Clone, Copy, Default)]
@@ -225,6 +236,78 @@ impl Producer {
         }
     }
 
+    /// Non-blocking batch enqueue: moves the longest prefix of `msgs` that
+    /// fits under a **single** lock acquisition, preserving order (so
+    /// punctuations and `Eof` can never be reordered past the data tuples
+    /// they follow). Accepted messages are drained from the front of
+    /// `msgs`; the refused suffix stays for the caller to retry. Returns
+    /// the number accepted. Counters advance exactly as if each message
+    /// had been offered individually: `enqueued` by the accepted count,
+    /// `full_rejections` by the refused count. Errors `Disconnected` with
+    /// `msgs` untouched when every consumer is gone.
+    pub fn enqueue_batch(&self, msgs: &mut Vec<FjordMessage>) -> Result<usize> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        if self.shared.consumers.load(Ordering::Acquire) == 0 {
+            return Err(TcqError::Disconnected("consumer side"));
+        }
+        let mut q = self.shared.q.lock();
+        let room = self.shared.capacity.saturating_sub(q.len());
+        let accepted = room.min(msgs.len());
+        q.extend(msgs.drain(..accepted));
+        drop(q);
+        let refused = msgs.len();
+        if refused > 0 {
+            self.shared
+                .full_rejections
+                .fetch_add(refused, Ordering::Relaxed);
+        }
+        if accepted > 0 {
+            self.shared.enqueued.fetch_add(accepted, Ordering::Relaxed);
+            if accepted == 1 {
+                self.shared.not_empty.notify_one();
+            } else {
+                self.shared.not_empty.notify_all();
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Blocking batch enqueue: moves **all** of `msgs` into the queue,
+    /// waiting for space and transferring each freed chunk under one lock
+    /// acquisition. Returns the total moved (the original length). Errors
+    /// once every consumer has disconnected; the unsent suffix stays in
+    /// `msgs` in order.
+    pub fn enqueue_batch_blocking(&self, msgs: &mut Vec<FjordMessage>) -> Result<usize> {
+        let total = msgs.len();
+        let mut q = self.shared.q.lock();
+        loop {
+            if self.shared.consumers.load(Ordering::Acquire) == 0 {
+                return Err(TcqError::Disconnected("consumer side"));
+            }
+            let room = self.shared.capacity.saturating_sub(q.len());
+            let accepted = room.min(msgs.len());
+            if accepted > 0 {
+                q.extend(msgs.drain(..accepted));
+                self.shared.enqueued.fetch_add(accepted, Ordering::Relaxed);
+                if accepted == 1 {
+                    self.shared.not_empty.notify_one();
+                } else {
+                    self.shared.not_empty.notify_all();
+                }
+            }
+            if msgs.is_empty() {
+                return Ok(total);
+            }
+            // Bounded wait so we recheck disconnection even if the consumer
+            // vanished without a final notify.
+            self.shared
+                .not_full
+                .wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
     /// Convenience: enqueue a tuple, blocking.
     pub fn send_tuple(&self, t: Tuple) -> Result<()> {
         self.enqueue_blocking(FjordMessage::Tuple(t))
@@ -278,6 +361,66 @@ impl Consumer {
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
                 self.shared.not_full.notify_one();
                 return Ok(msg);
+            }
+            if self.shared.producers.load(Ordering::Acquire) == 0 {
+                return Err(TcqError::Disconnected("producer side"));
+            }
+            self.shared
+                .not_empty
+                .wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
+    /// Non-blocking batch dequeue: pops up to `max` messages under a
+    /// **single** lock acquisition, appending them to `out` in FIFO order
+    /// (control messages keep their position relative to data tuples).
+    /// `dequeued` advances by the popped count.
+    pub fn dequeue_batch(&self, out: &mut Vec<FjordMessage>, max: usize) -> BatchDequeueResult {
+        if max == 0 {
+            return BatchDequeueResult::Empty;
+        }
+        let mut q = self.shared.q.lock();
+        let n = q.len().min(max);
+        if n == 0 {
+            drop(q);
+            return if self.shared.producers.load(Ordering::Acquire) == 0 {
+                BatchDequeueResult::Disconnected
+            } else {
+                BatchDequeueResult::Empty
+            };
+        }
+        out.extend(q.drain(..n));
+        drop(q);
+        self.shared.dequeued.fetch_add(n, Ordering::Relaxed);
+        if n == 1 {
+            self.shared.not_full.notify_one();
+        } else {
+            self.shared.not_full.notify_all();
+        }
+        BatchDequeueResult::Msgs(n)
+    }
+
+    /// Blocking batch dequeue: waits until at least one message is
+    /// available, then pops up to `max` under the same lock acquisition,
+    /// appending to `out`. Returns the count. Errors once the queue is
+    /// empty and every producer has disconnected.
+    pub fn dequeue_batch_blocking(&self, out: &mut Vec<FjordMessage>, max: usize) -> Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut q = self.shared.q.lock();
+        loop {
+            let n = q.len().min(max);
+            if n > 0 {
+                out.extend(q.drain(..n));
+                drop(q);
+                self.shared.dequeued.fetch_add(n, Ordering::Relaxed);
+                if n == 1 {
+                    self.shared.not_full.notify_one();
+                } else {
+                    self.shared.not_full.notify_all();
+                }
+                return Ok(n);
             }
             if self.shared.producers.load(Ordering::Acquire) == 0 {
                 return Err(TcqError::Disconnected("producer side"));
@@ -509,6 +652,78 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         p.enqueue(FjordMessage::Tuple(t(42))).unwrap();
         assert_eq!(h.join().unwrap(), FjordMessage::Tuple(t(42)));
+    }
+
+    #[test]
+    fn enqueue_batch_takes_prefix_and_counts_refusals() {
+        let (p, c) = fjord(3, QueueKind::Push);
+        let mut msgs: Vec<FjordMessage> = (1..=5).map(|i| FjordMessage::Tuple(t(i))).collect();
+        assert_eq!(p.enqueue_batch(&mut msgs).unwrap(), 3);
+        // Refused suffix stays, in order.
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0], FjordMessage::Tuple(t(4)));
+        let s = c.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.full_rejections, 2);
+        assert_eq!(s.len, 3);
+        // FIFO preserved.
+        for i in 1..=3 {
+            assert_eq!(c.dequeue(), DequeueResult::Msg(FjordMessage::Tuple(t(i))));
+        }
+    }
+
+    #[test]
+    fn enqueue_batch_disconnected_leaves_messages() {
+        let (p, c) = fjord(4, QueueKind::Push);
+        drop(c);
+        let mut msgs = vec![FjordMessage::Eof];
+        assert!(p.enqueue_batch(&mut msgs).is_err());
+        assert_eq!(msgs.len(), 1, "messages stay with the caller");
+    }
+
+    #[test]
+    fn dequeue_batch_pops_up_to_max_in_order() {
+        let (p, c) = fjord(8, QueueKind::Push);
+        for i in 1..=5 {
+            p.enqueue(FjordMessage::Tuple(t(i))).unwrap();
+        }
+        p.enqueue(FjordMessage::Punct(Timestamp::logical(5)))
+            .unwrap();
+        p.enqueue(FjordMessage::Eof).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(c.dequeue_batch(&mut out, 4), BatchDequeueResult::Msgs(4));
+        assert_eq!(c.dequeue_batch(&mut out, 100), BatchDequeueResult::Msgs(3));
+        assert_eq!(c.dequeue_batch(&mut out, 4), BatchDequeueResult::Empty);
+        assert_eq!(out.len(), 7);
+        // Control messages kept their position after the data tuples.
+        assert_eq!(out[5], FjordMessage::Punct(Timestamp::logical(5)));
+        assert!(out[6].is_eof());
+        assert_eq!(c.stats().dequeued, 7);
+        drop(p);
+        assert_eq!(
+            c.dequeue_batch(&mut out, 4),
+            BatchDequeueResult::Disconnected
+        );
+    }
+
+    #[test]
+    fn batch_blocking_roundtrip_across_threads() {
+        let (p, c) = fjord(4, QueueKind::Pull);
+        let h = std::thread::spawn(move || {
+            let mut msgs: Vec<FjordMessage> = (0..100).map(|i| FjordMessage::Tuple(t(i))).collect();
+            msgs.push(FjordMessage::Eof);
+            assert_eq!(p.enqueue_batch_blocking(&mut msgs).unwrap(), 101);
+            assert!(msgs.is_empty());
+        });
+        let mut out = Vec::new();
+        while !out.last().is_some_and(|m: &FjordMessage| m.is_eof()) {
+            c.dequeue_batch_blocking(&mut out, 8).unwrap();
+        }
+        assert_eq!(out.len(), 101);
+        for (i, m) in out.iter().take(100).enumerate() {
+            assert_eq!(*m, FjordMessage::Tuple(t(i as i64)));
+        }
+        h.join().unwrap();
     }
 
     #[test]

@@ -57,6 +57,22 @@ pub trait EddyModule: Send {
     /// Handle one routed tuple.
     fn process(&mut self, tuple: &Tuple) -> Result<Routed>;
 
+    /// Handle a batch of tuples that share one routing decision, pushing
+    /// exactly one [`Routed`] per tuple onto `out`, in order. Results must
+    /// match what per-tuple [`EddyModule::process`] calls in the same
+    /// order would produce — batching is an amortization, never a
+    /// semantic change. The default loops over `process`; bind-heavy or
+    /// stateful modules override it to pay schema binds, plan lookups,
+    /// and virtual dispatch once per batch instead of once per tuple.
+    fn process_batch(&mut self, tuples: &[Tuple], out: &mut Vec<Routed>) -> Result<()> {
+        out.reserve(tuples.len());
+        for t in tuples {
+            let r = self.process(t)?;
+            out.push(r);
+        }
+        Ok(())
+    }
+
     /// Window maintenance: drop internal state older than logical time
     /// `seq`. Default: stateless, nothing to do.
     fn evict_before_seq(&mut self, _seq: i64) {}

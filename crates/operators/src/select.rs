@@ -68,6 +68,44 @@ impl crate::module::EddyModule for SelectOp {
             crate::module::Routed::drop()
         })
     }
+
+    /// Batch filter: the artificial cost is burned once for the whole
+    /// batch (same total work) and each distinct schema is bound once,
+    /// with consecutive same-schema tuples sharing the cached binding —
+    /// the common case, since eddy batches share a lineage signature.
+    fn process_batch(
+        &mut self,
+        tuples: &[Tuple],
+        out: &mut Vec<crate::module::Routed>,
+    ) -> Result<()> {
+        burn(self.cost_units.saturating_mul(tuples.len() as u64));
+        for t in tuples {
+            let key = std::sync::Arc::as_ptr(t.schema()) as usize;
+            if !self.bound.contains_key(&key) {
+                let b = self.pred.bind(t.schema())?;
+                self.bound.insert(key, b);
+            }
+        }
+        out.reserve(tuples.len());
+        let mut cached: Option<(usize, &BoundExpr)> = None;
+        for t in tuples {
+            let key = std::sync::Arc::as_ptr(t.schema()) as usize;
+            let bound = match cached {
+                Some((k, b)) if k == key => b,
+                _ => {
+                    let b = &self.bound[&key];
+                    cached = Some((key, b));
+                    b
+                }
+            };
+            out.push(if bound.eval_pred(t)? {
+                crate::module::Routed::pass()
+            } else {
+                crate::module::Routed::drop()
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Spin for roughly `units` cheap iterations; the compiler cannot elide it.
@@ -93,6 +131,9 @@ pub struct GroupedFilterOp {
     filter: GroupedFilter,
     /// Scratch reused across calls; taken by `matching`.
     last_matches: BitSet,
+    /// Per-tuple match sets from the last `process_batch` call (buffers
+    /// reused across batches).
+    batch_matches: Vec<BitSet>,
 }
 
 impl GroupedFilterOp {
@@ -108,6 +149,7 @@ impl GroupedFilterOp {
             column,
             filter: GroupedFilter::new(),
             last_matches: BitSet::new(),
+            batch_matches: Vec::new(),
         })
     }
 
@@ -131,6 +173,12 @@ impl GroupedFilterOp {
         &self.last_matches
     }
 
+    /// Per-tuple factor matches from the most recent `process_batch`
+    /// call, one `BitSet` per tuple in batch order.
+    pub fn batch_matching(&self) -> &[BitSet] {
+        &self.batch_matches
+    }
+
     /// Probe without going through the module interface.
     pub fn eval(&self, value: &Value, out: &mut BitSet) {
         self.filter.eval(value, out);
@@ -147,6 +195,29 @@ impl crate::module::EddyModule for GroupedFilterOp {
         self.filter
             .eval(tuple.value(self.column), &mut self.last_matches);
         Ok(crate::module::Routed::pass())
+    }
+
+    /// Batch grouped filter: one pass fills a per-tuple match set
+    /// (exposed via [`GroupedFilterOp::batch_matching`]); `matching()`
+    /// afterwards reflects the batch's last tuple, as if the batch had
+    /// been processed tuple-at-a-time.
+    fn process_batch(
+        &mut self,
+        tuples: &[Tuple],
+        out: &mut Vec<crate::module::Routed>,
+    ) -> Result<()> {
+        self.batch_matches.resize_with(tuples.len(), BitSet::new);
+        out.reserve(tuples.len());
+        for (t, m) in tuples.iter().zip(self.batch_matches.iter_mut()) {
+            m.clear();
+            self.filter.eval(t.value(self.column), m);
+            out.push(crate::module::Routed::pass());
+        }
+        if let Some(last) = self.batch_matches.last() {
+            self.last_matches.clear();
+            self.last_matches.union_with(last);
+        }
+        Ok(())
     }
 }
 
@@ -205,6 +276,42 @@ mod tests {
     #[test]
     fn grouped_filter_bad_column_rejected() {
         assert!(GroupedFilterOp::new("gf", &schema(), 9).is_err());
+    }
+
+    #[test]
+    fn select_batch_matches_per_tuple_results() {
+        let pred = Expr::col("price").cmp(CmpOp::Gt, Expr::lit(50.0));
+        let tuples: Vec<Tuple> = (0..20)
+            .map(|i| tick("MSFT", 40.0 + 1.01 * i as f64))
+            .collect();
+        let mut per = SelectOp::new("sel", &pred, &schema()).unwrap();
+        let expect: Vec<bool> = tuples
+            .iter()
+            .map(|t| per.process(t).unwrap().keep)
+            .collect();
+        let mut batched = SelectOp::new("sel", &pred, &schema()).unwrap();
+        let mut out = Vec::new();
+        batched.process_batch(&tuples, &mut out).unwrap();
+        assert_eq!(out.iter().map(|r| r.keep).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn grouped_filter_batch_exposes_per_tuple_matches() {
+        let mut op = GroupedFilterOp::new("gf(price)", &schema(), 1).unwrap();
+        op.insert_factor(0, CmpOp::Gt, Value::Float(50.0)).unwrap();
+        op.insert_factor(1, CmpOp::Lt, Value::Float(50.0)).unwrap();
+        let tuples = vec![tick("A", 60.0), tick("B", 40.0), tick("C", 70.0)];
+        let mut out = Vec::new();
+        op.process_batch(&tuples, &mut out).unwrap();
+        assert!(out.iter().all(|r| r.keep));
+        let per_tuple: Vec<Vec<usize>> = op
+            .batch_matching()
+            .iter()
+            .map(|m| m.iter().collect())
+            .collect();
+        assert_eq!(per_tuple, vec![vec![0], vec![1], vec![0]]);
+        // matching() reflects the batch's last tuple.
+        assert_eq!(op.matching().iter().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -201,6 +201,48 @@ impl EddyModule for StemOp {
         Ok(Routed::consume_into(outputs))
     }
 
+    /// Batch SteM visit. Tuples are handled strictly in batch order —
+    /// builds insert (and window-evict) exactly as the per-tuple path
+    /// does, so probes later in the same batch observe identical state —
+    /// but consecutive probes of one schema share a single plan lookup
+    /// and one reusable matches buffer, and the probe key is borrowed
+    /// rather than cloned.
+    fn process_batch(&mut self, tuples: &[Tuple], out: &mut Vec<Routed>) -> Result<()> {
+        out.reserve(tuples.len());
+        let mut plan: Option<(usize, usize, SchemaRef)> = None;
+        let mut matches: Vec<Tuple> = Vec::new();
+        for tuple in tuples {
+            if self.is_build(tuple) {
+                let seq = tuple.timestamp().seq();
+                self.latest_seq = self.latest_seq.max(seq);
+                self.stem.insert(tuple.clone())?;
+                if let Some(w) = self.window_width {
+                    self.stem.evict_before_seq(self.latest_seq - w + 1);
+                }
+                out.push(Routed::pass());
+                continue;
+            }
+            let key = Arc::as_ptr(tuple.schema()) as usize;
+            let (key_col, joined) = match &plan {
+                Some((k, col, j)) if *k == key => (*col, j.clone()),
+                _ => {
+                    let p = self.probe_plan(tuple.schema())?;
+                    let cached = (p.key_col, p.joined.clone());
+                    plan = Some((key, cached.0, cached.1.clone()));
+                    cached
+                }
+            };
+            matches.clear();
+            self.stem.probe_eq(tuple.value(key_col), &mut matches);
+            let outputs: Vec<Tuple> = matches
+                .iter()
+                .map(|stored| tuple.concat(stored, joined.clone()))
+                .collect();
+            out.push(Routed::consume_into(outputs));
+        }
+        Ok(())
+    }
+
     fn evict_before_seq(&mut self, seq: i64) {
         self.stem.evict_before_seq(seq);
     }
@@ -373,6 +415,41 @@ mod tests {
         assert_eq!(b.len(), 4);
         let mut out = Vec::new();
         assert_eq!(b.probe(&Value::Int(3), &mut out), 1);
+    }
+
+    #[test]
+    fn stem_batch_matches_per_tuple_results() {
+        // Interleaved builds and probes, with a window: the batch path
+        // must produce the same joins and the same retained state as
+        // tuple-at-a-time processing in the same order.
+        let s = schema("S");
+        let r = schema("T");
+        let mk = |mixed: bool| {
+            let (stem_s, _) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+            let stem_s = stem_s.with_window_width(6);
+            let mut tuples = Vec::new();
+            for ts in 1..=12i64 {
+                tuples.push(t(&s, ts % 3, "build", ts));
+                if mixed {
+                    tuples.push(t(&r, ts % 3, "probe", ts));
+                }
+            }
+            (stem_s, tuples)
+        };
+        for mixed in [false, true] {
+            let (mut per, tuples) = mk(mixed);
+            let mut expect: Vec<(bool, usize)> = Vec::new();
+            for tu in &tuples {
+                let routed = per.process(tu).unwrap();
+                expect.push((routed.keep, routed.outputs.len()));
+            }
+            let (mut batched, tuples) = mk(mixed);
+            let mut out = Vec::new();
+            batched.process_batch(&tuples, &mut out).unwrap();
+            let got: Vec<(bool, usize)> = out.iter().map(|r| (r.keep, r.outputs.len())).collect();
+            assert_eq!(got, expect, "mixed={mixed}");
+            assert_eq!(batched.len(), per.len(), "retained state diverged");
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@ use tcq_common::{
 use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
 use tcq_executor::{DispatchUnit, ModuleStatus};
-use tcq_fjords::{Consumer, DequeueResult, FjordMessage};
+use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage};
+
+use crate::dispatcher::DEFAULT_IO_BATCH;
 use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowAggregator, WindowMode};
 use tcq_stems::QueryStem;
 use tcq_windows::{WindowAssignment, WindowSeq};
@@ -98,6 +100,8 @@ pub struct FilterCqDu {
     input: Consumer,
     shared: FilterCqShared,
     egress: EgressRouter,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
     done: bool,
 }
 
@@ -114,8 +118,16 @@ impl FilterCqDu {
             input,
             shared,
             egress,
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
             done: false,
         }
+    }
+
+    /// Messages moved per input-lock acquisition (clamped to ≥ 1).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
     }
 }
 
@@ -129,35 +141,62 @@ impl DispatchUnit for FilterCqDu {
             return Ok(ModuleStatus::Done);
         }
         let mut did_work = false;
-        for _ in 0..quantum {
-            match self.input.dequeue() {
-                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
-                    did_work = true;
-                    let seq = t.timestamp().seq();
-                    let inner = self.shared.inner.lock();
-                    let matching = inner.qstem.matching(&t)?;
-                    for qid in matching.iter() {
-                        if inner.min_seq.get(&qid).is_some_and(|&m| seq < m) {
-                            continue;
-                        }
-                        if let Some(project) = inner.projections.get(&qid) {
-                            let out = project.apply(&t)?;
-                            self.egress.deliver([qid], &out);
-                        }
-                    }
-                }
-                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
-                DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
-                    self.done = true;
-                    return Ok(ModuleStatus::Done);
-                }
-                DequeueResult::Empty => {
+        let mut budget = quantum;
+        while budget > 0 {
+            let mut msgs = std::mem::take(&mut self.msg_buf);
+            match self
+                .input
+                .dequeue_batch(&mut msgs, self.io_batch.min(budget))
+            {
+                BatchDequeueResult::Msgs(n) => budget = budget.saturating_sub(n),
+                BatchDequeueResult::Empty => {
+                    self.msg_buf = msgs;
                     return Ok(if did_work {
                         ModuleStatus::Ready
                     } else {
                         ModuleStatus::Idle
                     });
                 }
+                BatchDequeueResult::Disconnected => {
+                    self.msg_buf = msgs;
+                    self.done = true;
+                    return Ok(ModuleStatus::Done);
+                }
+            }
+            let mut batch: Vec<Tuple> = Vec::with_capacity(msgs.len());
+            let mut saw_eof = false;
+            for msg in msgs.drain(..) {
+                match msg {
+                    // Tuples read past an Eof in the same batch are
+                    // dropped — the per-tuple path never dequeues them.
+                    FjordMessage::Tuple(t) if !saw_eof => batch.push(t),
+                    FjordMessage::Tuple(_) | FjordMessage::Punct(_) => {}
+                    FjordMessage::Eof => saw_eof = true,
+                }
+            }
+            self.msg_buf = msgs;
+            if !batch.is_empty() {
+                did_work = true;
+                // One shared-state lock per batch; the CACQ matching pass
+                // itself still runs per tuple, in order.
+                let inner = self.shared.inner.lock();
+                for t in &batch {
+                    let seq = t.timestamp().seq();
+                    let matching = inner.qstem.matching(t)?;
+                    for qid in matching.iter() {
+                        if inner.min_seq.get(&qid).is_some_and(|&m| seq < m) {
+                            continue;
+                        }
+                        if let Some(project) = inner.projections.get(&qid) {
+                            let out = project.apply(t)?;
+                            self.egress.deliver([qid], &out);
+                        }
+                    }
+                }
+            }
+            if saw_eof {
+                self.done = true;
+                return Ok(ModuleStatus::Done);
             }
         }
         Ok(ModuleStatus::Ready)
@@ -213,6 +252,8 @@ pub struct JoinCqDu {
     egress: EgressRouter,
     qid: QueryId,
     emitted_buf: Vec<Tuple>,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
     /// Tuples before this logical time precede every window — skipped.
     floor: i64,
     /// Tuples after this logical time follow the final window: the query's
@@ -244,10 +285,21 @@ impl JoinCqDu {
             egress,
             qid,
             emitted_buf: Vec::new(),
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
             floor,
             deadline,
             done: false,
         }
+    }
+
+    /// Messages moved per input-lock acquisition (clamped to ≥ 1). Each
+    /// drained batch enters the eddy through one
+    /// [`tcq_eddy::Eddy::process_batch`] call, so routing decisions are
+    /// amortized over the batch as well.
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
     }
 
     /// Observed eddy statistics (experiments).
@@ -271,22 +323,74 @@ impl DispatchUnit for JoinCqDu {
             if self.inputs[i].eof {
                 continue;
             }
-            for _ in 0..per_input {
-                match self.inputs[i].consumer.dequeue() {
-                    DequeueResult::Msg(FjordMessage::Tuple(t)) => {
-                        did_work = true;
-                        let seq = t.timestamp().seq();
-                        if seq < self.floor {
-                            continue;
+            let mut remaining = per_input;
+            while remaining > 0 && !self.inputs[i].eof {
+                let mut msgs = std::mem::take(&mut self.msg_buf);
+                let max = self.io_batch.min(remaining);
+                match self.inputs[i].consumer.dequeue_batch(&mut msgs, max) {
+                    BatchDequeueResult::Msgs(n) => remaining = remaining.saturating_sub(n),
+                    BatchDequeueResult::Empty => {
+                        self.msg_buf = msgs;
+                        break;
+                    }
+                    BatchDequeueResult::Disconnected => {
+                        self.msg_buf = msgs;
+                        self.inputs[i].eof = true;
+                        break;
+                    }
+                }
+                let mut batch: Vec<Tuple> = Vec::with_capacity(msgs.len());
+                for msg in msgs.drain(..) {
+                    match msg {
+                        FjordMessage::Tuple(t) if !self.inputs[i].eof => {
+                            did_work = true;
+                            let seq = t.timestamp().seq();
+                            if seq < self.floor {
+                                continue;
+                            }
+                            if seq > self.deadline {
+                                // Stream time passed the final window: the
+                                // query's stopping condition fired
+                                // (timestamps are monotone per stream).
+                                self.inputs[i].eof = true;
+                                continue;
+                            }
+                            batch.push(t);
                         }
-                        if seq > self.deadline {
-                            // Stream time passed the final window: the
-                            // query's stopping condition fired (timestamps
-                            // are monotone per stream).
-                            self.inputs[i].eof = true;
-                            break;
-                        }
-                        let aliases = self.inputs[i].alias_schemas.clone();
+                        // Tuples read past Eof (or the deadline) in the
+                        // same batch are dropped — the per-tuple path
+                        // never dequeues them.
+                        FjordMessage::Tuple(_) | FjordMessage::Punct(_) => {}
+                        FjordMessage::Eof => self.inputs[i].eof = true,
+                    }
+                }
+                self.msg_buf = msgs;
+                if batch.is_empty() {
+                    continue;
+                }
+                let aliases = self.inputs[i].alias_schemas.clone();
+                if let [alias] = aliases.as_slice() {
+                    // The common case: one alias per input, so the whole
+                    // drained batch enters the eddy in a single
+                    // process_batch call (one routing decision per
+                    // signature group) and the results leave through one
+                    // egress lock.
+                    let qualified: Vec<Tuple> = batch
+                        .iter()
+                        .map(|t| t.with_schema(alias.clone()))
+                        .collect::<Result<_>>()?;
+                    self.emitted_buf.clear();
+                    self.eddy.process_batch(qualified, &mut self.emitted_buf)?;
+                    let mut outs = Vec::with_capacity(self.emitted_buf.len());
+                    for e in self.emitted_buf.drain(..) {
+                        outs.push(self.project.apply(&e)?);
+                    }
+                    self.egress.deliver_batch([self.qid], &outs);
+                } else {
+                    // Self-join: each tuple enters the eddy once per alias,
+                    // interleaved per tuple exactly as the per-tuple path
+                    // interleaves them.
+                    for t in &batch {
                         for alias in &aliases {
                             let qualified = t.with_schema(alias.clone())?;
                             self.emitted_buf.clear();
@@ -297,12 +401,6 @@ impl DispatchUnit for JoinCqDu {
                             }
                         }
                     }
-                    DequeueResult::Msg(FjordMessage::Punct(_)) => {}
-                    DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
-                        self.inputs[i].eof = true;
-                        break;
-                    }
-                    DequeueResult::Empty => break,
                 }
             }
         }
@@ -351,6 +449,8 @@ pub struct AggregateCqDu {
     latest: i64,
     egress: EgressRouter,
     qid: QueryId,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
     eof: bool,
     done: bool,
     /// Largest buffer held (the §4.1.2 memory story, observable).
@@ -403,10 +503,18 @@ impl AggregateCqDu {
             latest: 0,
             egress,
             qid,
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
             eof: false,
             done: false,
             peak_buffer: 0,
         }
+    }
+
+    /// Messages moved per input-lock acquisition (clamped to ≥ 1).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
     }
 
     /// The output row schema: `(t, [group], aggs...)`.
@@ -529,27 +637,45 @@ impl DispatchUnit for AggregateCqDu {
             return Ok(ModuleStatus::Done);
         }
         let mut did_work = false;
-        for _ in 0..quantum {
-            match self.input.dequeue() {
-                DequeueResult::Msg(FjordMessage::Tuple(t)) => {
-                    did_work = true;
-                    self.latest = self.latest.max(t.timestamp().seq());
-                    let passes = match &self.pred {
-                        Some(p) => p.eval_pred(&t)?,
-                        None => true,
-                    };
-                    if passes {
-                        self.buffer.push_back(t);
-                        self.peak_buffer = self.peak_buffer.max(self.buffer.len());
-                    }
+        let mut budget = quantum;
+        while budget > 0 && !self.eof {
+            let mut msgs = std::mem::take(&mut self.msg_buf);
+            match self
+                .input
+                .dequeue_batch(&mut msgs, self.io_batch.min(budget))
+            {
+                BatchDequeueResult::Msgs(n) => budget = budget.saturating_sub(n),
+                BatchDequeueResult::Empty => {
+                    self.msg_buf = msgs;
+                    break;
                 }
-                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
-                DequeueResult::Msg(FjordMessage::Eof) | DequeueResult::Disconnected => {
+                BatchDequeueResult::Disconnected => {
+                    self.msg_buf = msgs;
                     self.eof = true;
                     break;
                 }
-                DequeueResult::Empty => break,
             }
+            for msg in msgs.drain(..) {
+                match msg {
+                    FjordMessage::Tuple(t) if !self.eof => {
+                        did_work = true;
+                        self.latest = self.latest.max(t.timestamp().seq());
+                        let passes = match &self.pred {
+                            Some(p) => p.eval_pred(&t)?,
+                            None => true,
+                        };
+                        if passes {
+                            self.buffer.push_back(t);
+                            self.peak_buffer = self.peak_buffer.max(self.buffer.len());
+                        }
+                    }
+                    // Tuples read past Eof in the same batch are dropped —
+                    // the per-tuple path never dequeues them.
+                    FjordMessage::Tuple(_) | FjordMessage::Punct(_) => {}
+                    FjordMessage::Eof => self.eof = true,
+                }
+            }
+            self.msg_buf = msgs;
         }
         self.close_ready_windows()?;
         if self.eof && !self.done {

@@ -70,6 +70,11 @@ pub struct ServerConfig {
     pub policy: PolicyKind,
     /// Eddy batching knob (§4.3 "adapting adaptivity").
     pub eddy_batch: usize,
+    /// Messages moved per Fjord lock acquisition on the tuple hot path
+    /// (dispatchers and query DUs). `1` reproduces per-tuple dispatch
+    /// exactly; faults, stamping, and archiving stay per-message at any
+    /// setting, so same-seed chaos runs are byte-identical across values.
+    pub io_batch: usize,
     /// What dispatchers do when a query's input queue is full (§4.3 QoS).
     pub overload: OverloadPolicy,
     /// RNG seed.
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             page_size: 8192,
             policy: PolicyKind::Lottery,
             eddy_batch: 1,
+            io_batch: crate::dispatcher::DEFAULT_IO_BATCH,
             overload: OverloadPolicy::Backpressure,
             seed: 0x7E1E_C001,
             fault_plan: None,
@@ -245,7 +251,8 @@ impl TelegraphCQ {
             archive.clone(),
             Arc::clone(&latest_seq),
         )
-        .with_overload_policy(self.config.overload);
+        .with_overload_policy(self.config.overload)
+        .with_io_batch(self.config.io_batch);
         if let Some(inj) = &self.injector {
             dispatcher = dispatcher.with_injector(inj.clone());
         }
@@ -262,7 +269,8 @@ impl TelegraphCQ {
             fc,
             filter_shared.clone(),
             self.egress.clone(),
-        );
+        )
+        .with_io_batch(self.config.io_batch);
         self.executor.submit(class, Box::new(filter_du))?;
 
         let state = StreamState {
@@ -348,6 +356,19 @@ impl TelegraphCQ {
     /// back-pressure.
     pub fn push(&self, stream: &str, tuple: Tuple) -> Result<()> {
         self.stream(stream)?.ingress.send_tuple(tuple)
+    }
+
+    /// Inject a batch of tuples under one ingress-lock acquisition per
+    /// chunk admitted (benchmarks, bulk loads). Blocks under back-pressure
+    /// until every tuple is enqueued; order is preserved.
+    pub fn push_batch(&self, stream: &str, tuples: Vec<Tuple>) -> Result<()> {
+        let st = self.stream(stream)?;
+        let mut msgs: Vec<_> = tuples
+            .into_iter()
+            .map(tcq_fjords::FjordMessage::Tuple)
+            .collect();
+        st.ingress.enqueue_batch_blocking(&mut msgs)?;
+        Ok(())
     }
 
     /// Signal end-of-stream (finite runs).
@@ -544,7 +565,8 @@ impl TelegraphCQ {
             source.alias.clone(),
             self.egress.clone(),
             qid,
-        );
+        )
+        .with_io_batch(self.config.io_batch);
         let du_id = self.executor.submit(st.class, Box::new(du))?;
         Ok(QueryRecord::Dedicated {
             du: du_id,
@@ -737,7 +759,8 @@ impl TelegraphCQ {
             qid,
             floor,
             deadline,
-        );
+        )
+        .with_io_batch(self.config.io_batch);
         let du_id = self.executor.submit(class, Box::new(du))?;
         Ok(QueryRecord::Dedicated {
             du: du_id,

@@ -12,13 +12,19 @@ echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
+build_start=$(date +%s)
 cargo build --release
+build_end=$(date +%s)
+echo "release build took $((build_end - build_start))s"
 
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
 echo "== exp_chaos --smoke (server-level chaos, reduced scale) =="
 ./target/release/exp_chaos --smoke
+
+echo "== exp_throughput --smoke (perf tripwire: batched must beat per-tuple) =="
+./target/release/exp_throughput --smoke
 
 echo
 echo "ci: all green"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Run every experiment binary in crates/bench/src/bin/, regenerating the
+# series DESIGN.md's per-experiment index describes and the BENCH_*.json
+# perf trajectory. Pass --smoke to run each at reduced CI scale.
+set -e
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+if [ "$1" = "--smoke" ]; then
+    SMOKE="--smoke"
+fi
+
+cargo build --release -p tcq-bench
+
+for exp in exp_eddy_adaptivity exp_adaptivity_knobs exp_cacq_sharing \
+    exp_hybrid_join exp_window_memory exp_psoup exp_dynamic_queries \
+    exp_storage exp_flux exp_chaos exp_throughput; do
+    echo
+    echo "==== $exp $SMOKE ===="
+    ./target/release/"$exp" $SMOKE
+done
+
+echo
+echo "run_experiments: all experiments completed"

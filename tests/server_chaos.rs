@@ -99,6 +99,10 @@ struct Outcome {
 }
 
 fn run_scenario(dir: &std::path::Path) -> Outcome {
+    run_scenario_with_io_batch(dir, ServerConfig::default().io_batch)
+}
+
+fn run_scenario_with_io_batch(dir: &std::path::Path, io_batch: usize) -> Outcome {
     let server = TelegraphCQ::start(ServerConfig {
         archive_dir: Some(dir.to_path_buf()),
         fault_plan: Some(plan()),
@@ -106,6 +110,7 @@ fn run_scenario(dir: &std::path::Path) -> Outcome {
             max_retries: 1,
             disconnect_after: 4,
         },
+        io_batch,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -266,6 +271,40 @@ fn chaos_schedule_replays_identically_from_its_seed() {
         normalised(a.log),
         normalised(b.log),
         "fired-fault logs diverged across same-seed runs"
+    );
+}
+
+#[test]
+fn batched_and_per_tuple_dispatch_replay_identically() {
+    // The batching knob must be invisible to the chaos contract: faults,
+    // stamping, and archiving are polled per message on the batch path, so
+    // a same-seed run is byte-identical whether the hot path moves one
+    // message or sixty-four per lock acquisition.
+    let dir_a = temp_dir("iobatch-1");
+    let dir_b = temp_dir("iobatch-64");
+    let a = run_scenario_with_io_batch(&dir_a, 1);
+    let b = run_scenario_with_io_batch(&dir_b, 64);
+    assert_eq!(a.results, b.results, "answers diverged across batch sizes");
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(a.dispatcher_shed, b.dispatcher_shed);
+    assert_eq!(a.archive_errors, b.archive_errors);
+    assert_eq!(
+        (
+            a.archive.appended,
+            a.archive.torn_pages,
+            a.archive.lost_records
+        ),
+        (
+            b.archive.appended,
+            b.archive.torn_pages,
+            b.archive.lost_records
+        ),
+        "archive accounting diverged"
+    );
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across batch sizes"
     );
 }
 
