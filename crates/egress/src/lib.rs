@@ -192,9 +192,23 @@ impl RouterInner {
     /// One tuple's full fan-out, under an already-held router lock. This is
     /// the single definition of delivery semantics: both the per-tuple and
     /// the batched entry points replay it tuple by tuple, so fault-poll
-    /// order, retry accounting, and disconnection timing are byte-identical
-    /// whichever entry point a caller uses.
-    fn deliver_locked<I: IntoIterator<Item = QueryId>>(&mut self, queries: I, tuple: &Tuple) {
+    /// order, per-offer outcomes, and disconnection timing are
+    /// byte-identical whichever entry point a caller uses.
+    ///
+    /// `stalled` carries fairness state across one caller invocation: a
+    /// push client that exhausts its retry budget lands in it, and its
+    /// later offers in the same batch skip the retry-yield loop — the shed
+    /// is charged to the slow client immediately instead of taxing every
+    /// remaining subscriber with `max_retries` scheduler yields per tuple.
+    /// A successful send removes the client again. The per-tuple entry
+    /// point passes a fresh set each call, so its retry behaviour is
+    /// unchanged.
+    fn deliver_locked<I: IntoIterator<Item = QueryId>>(
+        &mut self,
+        queries: I,
+        tuple: &Tuple,
+        stalled: &mut Vec<ClientId>,
+    ) {
         let policy = self.policy;
         // Clients found dead or stuck during this fan-out; removed after
         // the loop so accounting stays per-offer.
@@ -242,16 +256,24 @@ impl RouterInner {
                 }
                 match state {
                     ClientState::Push { tx, failures } => {
+                        // A client already marked stalled this batch gets
+                        // exactly one non-blocking attempt.
+                        let budget = if stalled.contains(&cid) {
+                            0
+                        } else {
+                            policy.max_retries
+                        };
                         let mut attempt = 0u32;
                         loop {
                             match tx.try_send((q, tuple.clone())) {
                                 Ok(()) => {
                                     self.stats.delivered += 1;
                                     *failures = 0;
+                                    stalled.retain(|&c| c != cid);
                                     break;
                                 }
                                 Err(TrySendError::Full(_)) => {
-                                    if attempt < policy.max_retries {
+                                    if attempt < budget {
                                         attempt += 1;
                                         self.stats.retried += 1;
                                         std::thread::yield_now();
@@ -259,6 +281,9 @@ impl RouterInner {
                                     }
                                     self.stats.shed += 1;
                                     *failures += 1;
+                                    if !stalled.contains(&cid) {
+                                        stalled.push(cid);
+                                    }
                                     if policy.disconnect_after > 0
                                         && *failures >= policy.disconnect_after
                                     {
@@ -464,16 +489,26 @@ impl EgressRouter {
     /// executor — and a client stuck past `disconnect_after` consecutive
     /// failures is forcibly disconnected and counted.
     pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
-        self.inner.lock().deliver_locked(queries, tuple);
+        self.inner
+            .lock()
+            .deliver_locked(queries, tuple, &mut Vec::new());
     }
 
     /// Deliver a whole batch of result tuples for the queries in `queries`,
     /// taking the router lock once for the batch instead of once per
     /// tuple. The per-client ledger is still charged per (tuple, client)
     /// offer, in the exact order `N` successive [`EgressRouter::deliver`]
-    /// calls would charge it — including fault polls and stuck-client
-    /// disconnection timing — so batched and unbatched runs of the same
-    /// seed are byte-identical.
+    /// calls would charge it — including fault polls, per-offer outcomes,
+    /// and stuck-client disconnection timing — so batched and unbatched
+    /// runs of the same seed are byte-identical.
+    ///
+    /// Fairness: retry-yields are a per-client, per-batch budget. Once a
+    /// push client exhausts `max_retries` on one tuple, its later offers
+    /// in this batch are charged as shed after a single non-blocking
+    /// attempt, so one stalled client cannot add `max_retries` scheduler
+    /// yields to every remaining tuple's latency for the healthy clients
+    /// behind it. (Only the `retried` counter can differ from the
+    /// per-tuple path, and only for clients that were full anyway.)
     pub fn deliver_batch<I>(&self, queries: I, tuples: &[Tuple])
     where
         I: IntoIterator<Item = QueryId>,
@@ -483,9 +518,10 @@ impl EgressRouter {
             return;
         }
         let queries = queries.into_iter();
+        let mut stalled = Vec::new();
         let mut guard = self.inner.lock();
         for tuple in tuples {
-            guard.deliver_locked(queries.clone(), tuple);
+            guard.deliver_locked(queries.clone(), tuple, &mut stalled);
         }
     }
 
@@ -759,6 +795,40 @@ mod tests {
         assert!(s.disconnected >= 2, "stuck + dead clients removed");
         // Pull client survives and holds the freshest results.
         assert_eq!(r.fetch(2, 10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn stalled_client_pays_its_own_retry_budget_in_batches() {
+        // One stalled push client and one healthy push client share a
+        // query. Under the per-batch fairness rule the stalled client gets
+        // `max_retries` yields *once*, not once per tuple, so it cannot
+        // inflate the healthy client's tail latency across a large batch.
+        const N: i64 = 100;
+        const RETRIES: u32 = 10;
+        let r = EgressRouter::new().with_policy(EgressPolicy {
+            max_retries: RETRIES,
+            disconnect_after: 0, // keep the stalled client subscribed
+        });
+        // Registered (and therefore offered) first, so every tuple would
+        // pay its retries before the healthy client without the fix.
+        let _stalled_rx = r.register_push_client(1, 1).unwrap();
+        let healthy_rx = r.register_push_client(2, N as usize).unwrap();
+        r.subscribe(1, 9).unwrap();
+        r.subscribe(2, 9).unwrap();
+        let tuples: Vec<Tuple> = (0..N).map(t).collect();
+        r.deliver_batch([9usize], &tuples);
+
+        let got: Vec<_> = healthy_rx.try_iter().collect();
+        assert_eq!(got.len(), N as usize, "healthy client got every tuple");
+        let s = r.egress_stats();
+        // Tuple 0 fills the stalled channel; tuple 1 burns the full retry
+        // budget and marks the client stalled; tuples 2..N shed with zero
+        // retries. Without the batch-stall set this would be
+        // (N-1) * RETRIES = 990 yields charged to the shared batch.
+        assert_eq!(s.retried as u32, RETRIES, "retry budget spent once");
+        assert_eq!(s.delivered, N as u64 + 1);
+        assert_eq!(s.shed, N as u64 - 1);
+        assert!(s.accounted(), "{s:?}");
     }
 }
 

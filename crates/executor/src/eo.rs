@@ -46,11 +46,40 @@ pub struct ExecutorStats {
     pub dus_per_eo: Vec<usize>,
     /// Per-EO: scheduling rounds executed.
     pub rounds_per_eo: Vec<u64>,
+    /// Per-EO: nanoseconds spent inside DU quanta (the EO's useful work).
+    pub busy_ns_per_eo: Vec<u64>,
+    /// Per-EO: nanoseconds spent parked waiting for work. Utilization is
+    /// `busy / (busy + idle)`; comparing it across EOs exposes placement
+    /// skew that `rounds_per_eo` alone cannot (a round may be all-idle).
+    pub idle_ns_per_eo: Vec<u64>,
+    /// Quanta granted per DU (including already-retired DUs), aggregated
+    /// across EOs. The per-DU load signal behind the exp_scaling skew
+    /// column.
+    pub quanta_per_du: Vec<(DuId, u64)>,
     /// DUs that ran to completion.
     pub completed: u64,
     /// DUs retired because they errored, panicked, or had a fault
     /// injected (subset of `completed`).
     pub faulted: u64,
+}
+
+impl ExecutorStats {
+    /// Per-EO utilization in `[0, 1]`: busy time over busy + parked time.
+    /// EOs that have done neither report 0.
+    pub fn utilization_per_eo(&self) -> Vec<f64> {
+        self.busy_ns_per_eo
+            .iter()
+            .zip(&self.idle_ns_per_eo)
+            .map(|(&b, &i)| {
+                let total = b + i;
+                if total == 0 {
+                    0.0
+                } else {
+                    b as f64 / total as f64
+                }
+            })
+            .collect()
+    }
 }
 
 struct EoShared {
@@ -64,6 +93,11 @@ struct EoShared {
     du_count: AtomicU64,
     completed: AtomicU64,
     faulted: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    /// Quanta granted per DU hosted on this EO (retired DUs keep their
+    /// final count). Flushed once per round, not per quantum.
+    quanta: Mutex<HashMap<DuId, u64>>,
 }
 
 struct Registry {
@@ -103,6 +137,9 @@ impl Executor {
                 du_count: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 faulted: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
+                idle_ns: AtomicU64::new(0),
+                quanta: Mutex::new(HashMap::new()),
             });
             shared.push(Arc::clone(&sh));
             let stop2 = Arc::clone(&stop);
@@ -192,6 +229,31 @@ impl Executor {
                 .iter()
                 .map(|s| s.rounds.load(Ordering::Relaxed))
                 .collect(),
+            busy_ns_per_eo: self
+                .shared
+                .iter()
+                .map(|s| s.busy_ns.load(Ordering::Relaxed))
+                .collect(),
+            idle_ns_per_eo: self
+                .shared
+                .iter()
+                .map(|s| s.idle_ns.load(Ordering::Relaxed))
+                .collect(),
+            quanta_per_du: {
+                let mut all: Vec<(DuId, u64)> = self
+                    .shared
+                    .iter()
+                    .flat_map(|s| {
+                        s.quanta
+                            .lock()
+                            .iter()
+                            .map(|(&id, &n)| (id, n))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                all.sort_unstable();
+                all
+            },
             completed: self
                 .shared
                 .iter()
@@ -263,18 +325,25 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
             }
         }
         if dus.is_empty() {
+            let parked = std::time::Instant::now();
             let mut guard = shared.wake_lock.lock();
             shared
                 .wake
                 .wait_for(&mut guard, config.idle_park.max(Duration::from_micros(50)));
+            drop(guard);
+            shared
+                .idle_ns
+                .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
             continue;
         }
         // One round-robin scheduling round.
         shared.rounds.fetch_add(1, Ordering::Relaxed);
+        let round_started = std::time::Instant::now();
         let mut any_ready = false;
         let mut finished: Vec<usize> = Vec::new();
         let mut faulted: u64 = 0;
-        for (i, (_, du)) in dus.iter_mut().enumerate() {
+        let mut ran: Vec<DuId> = Vec::with_capacity(dus.len());
+        for (i, (id, du)) in dus.iter_mut().enumerate() {
             // Chaos hook: an injected fault stands in for the operator
             // itself misbehaving.
             match config
@@ -301,6 +370,7 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
             // A panicking DU is retired like an erroring one; the engine
             // must not wedge the whole EO ("degrade in a controlled
             // fashion").
+            ran.push(*id);
             match catch_unwind(AssertUnwindSafe(|| du.run(config.quantum))) {
                 Ok(Ok(ModuleStatus::Ready)) => any_ready = true,
                 Ok(Ok(ModuleStatus::Idle)) => {}
@@ -311,6 +381,18 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
                 }
             }
         }
+        shared
+            .busy_ns
+            .fetch_add(round_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if !ran.is_empty() {
+            // One bookkeeping lock per round, not per quantum. DUs skipped
+            // by an injected stall (or retired before running) drew no
+            // quantum and are absent from `ran`.
+            let mut q = shared.quanta.lock();
+            for id in &ran {
+                *q.entry(*id).or_insert(0) += 1;
+            }
+        }
         for &i in finished.iter().rev() {
             dus.swap_remove(i);
             shared.du_count.fetch_sub(1, Ordering::Relaxed);
@@ -319,8 +401,13 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
         shared.faulted.fetch_add(faulted, Ordering::Relaxed);
         if !any_ready {
             // Everyone idle: park briefly instead of spinning.
+            let parked = std::time::Instant::now();
             let mut guard = shared.wake_lock.lock();
             shared.wake.wait_for(&mut guard, config.idle_park);
+            drop(guard);
+            shared
+                .idle_ns
+                .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -510,6 +597,34 @@ mod tests {
         assert!(wait_for(|| c2.load(Ordering::Relaxed) == 2000, 2000));
         assert!(wait_for(|| ex.stats().faulted == 1, 2000));
         assert_eq!(c1.load(Ordering::Relaxed), 0, "faulted DU never ran");
+        ex.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_track_busy_idle_time_and_quanta_per_du() {
+        let ex = Executor::start(ExecutorConfig {
+            eos: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let c = Arc::new(AtomicUsize::new(0));
+        let id = ex.submit(1, counting_du(10_000, Arc::clone(&c))).unwrap();
+        assert!(wait_for(|| ex.stats().completed == 1, 5000));
+        // Let the EO park at least once after the DU retires.
+        std::thread::sleep(Duration::from_millis(10));
+        let st = ex.stats();
+        assert!(st.busy_ns_per_eo[0] > 0, "quanta ran, busy time recorded");
+        assert!(st.idle_ns_per_eo[0] > 0, "EO parked, idle time recorded");
+        let quanta = st
+            .quanta_per_du
+            .iter()
+            .find(|&&(d, _)| d == id)
+            .map(|&(_, n)| n)
+            .expect("retired DU keeps its quanta count");
+        // 10_000 units at the default quantum of 64 needs many grants.
+        assert!(quanta >= 10_000 / 64, "quanta={quanta}");
+        let util = st.utilization_per_eo();
+        assert!(util[0] > 0.0 && util[0] <= 1.0);
         ex.shutdown().unwrap();
     }
 

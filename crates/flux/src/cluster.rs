@@ -1091,6 +1091,47 @@ mod tests {
     }
 
     #[test]
+    fn rebalance_survives_state_move_fault_in_same_tick() {
+        use tcq_common::{FaultAction, FaultPlan, FaultPoint};
+        // The balancer itself triggers the faulted move: a slow node builds
+        // backlog, tick() fires rebalance(), rebalance() calls
+        // move_partition(), and the injected StateMove kill lands inside
+        // that same tick with the state in flight. The pass must neither
+        // lose data nor wedge: remaining moves in the pass see the updated
+        // alive set, failover promotes replicas, and the drained answers
+        // still match the reference.
+        let cfg = FluxConfig::uniform(3)
+            .with_speeds(vec![1, 8, 8])
+            .with_rebalancing(8)
+            .with_replication();
+        let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+        let injector = FaultPlan::new(17)
+            .at(FaultPoint::StateMove, 1, FaultAction::KillNode(2))
+            .build_shared();
+        cluster.attach_injector(injector.clone());
+        let tuples = workload(6000, 101);
+        for tp in &tuples {
+            cluster.ingest(tp).unwrap();
+        }
+        cluster.run_until_drained(100_000);
+        assert_eq!(
+            injector.log().len(),
+            1,
+            "the StateMove fault must fire during a balancer-driven move"
+        );
+        assert!(!cluster.node_stats()[2].alive, "injected kill must land");
+        let st = cluster.stats();
+        assert!(st.partitions_moved > 0, "balancer did move partitions");
+        assert!(st.failovers > 0, "the kill forced failovers");
+        assert_eq!(st.lost_inflight, 0, "replicated move+kill is lossless");
+        assert_eq!(cluster.results(), reference(&tuples));
+        assert!(
+            cluster.fully_replicated(),
+            "replication factor restored on the two survivors"
+        );
+    }
+
+    #[test]
     fn injected_overflow_and_malformed_tuples_are_accounted() {
         use tcq_common::{FaultAction, FaultPlan, FaultPoint};
         let mut cluster = FluxCluster::new(FluxConfig::uniform(2), 0, 1).unwrap();

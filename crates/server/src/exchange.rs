@@ -1,0 +1,881 @@
+//! Flux-style exchange: partition-parallel execution of a dedicated join
+//! (`ServerConfig::partitions > 1`).
+//!
+//! The paper's Flux modules "encapsulate adaptive state partitioning and
+//! dataflow routing" (§2.3, [SHCF03]) so one continuous query can span
+//! many processors. This module is the in-process version of that idea:
+//! an *exchange* operator in the Volcano sense, built from three DUs and
+//! 2P+1 Fjords.
+//!
+//! ```text
+//!             ingress fjords (one per stream)
+//!                     │
+//!               ┌─────▼──────┐     schedule fjord (run grants)
+//!               │ PartitionDu ├───────────────────────────┐
+//!               └┬─────┬─────┘                            │
+//!     partition  │ ... │  fjords (P)                      │
+//!        ┌───────▼┐   ┌▼───────┐                          │
+//!        │WorkerDu│   │WorkerDu│   (P cloned eddies,      │
+//!        └───────┬┘   └┬───────┘    distinct EOs)         │
+//!      output    │ ... │  fjords (P)                      │
+//!               ┌▼─────▼─────┐                            │
+//!               │  MergeDu   ◄────────────────────────────┘
+//!               └─────┬──────┘
+//!                     ▼ egress (one offer sequence, canonical order)
+//! ```
+//!
+//! # Determinism
+//!
+//! The delivered results and the egress ledger must be byte-identical to
+//! the sequential (`P = 1`) plan for the same seed — the same contract
+//! PR 3 established for `io_batch`. Three mechanisms carry it:
+//!
+//! 1. **Canonical order.** The partitioner's drain order over its input
+//!    fjords *is* the canonical total order: it is exactly the order a
+//!    sequential `JoinCqDu` with the same `io_batch` would feed its eddy.
+//!    Each tuple is hashed on its join-key value ([`Value::hash_key`], a
+//!    fixed-key SipHash — deterministic across runs and machines with the
+//!    same std) and appended to partition fjord `p`. Maximal runs of
+//!    consecutive same-partition tuples are delimited by a `Punct` in the
+//!    partition fjord, and each run start emits one grant
+//!    (`Punct(logical(p))`) into the schedule fjord. The schedule is
+//!    therefore a serialization of the canonical order by run.
+//! 2. **Identical workers.** All P eddies are built by the same
+//!    `build_join_eddy` call with the same policy kind and seed, and each
+//!    partition owns its SteM state outright — per-partition ownership by
+//!    construction (worker state lives inside the `WorkerDu`), so there
+//!    is no cross-partition locking on the probe path at all, let alone
+//!    contention. Hash partitioning on the transitively-equal join key
+//!    (see [`partitionable`]) co-locates every possible match, and each
+//!    worker sees its sub-stream in canonical-order restriction, so the
+//!    multiset *and order* of outputs per run equal the sequential eddy's
+//!    outputs for the same input run.
+//! 3. **Ordered merge.** The merger replays grants from the schedule
+//!    fjord strictly in order; for each grant it drains that partition's
+//!    output fjord up to the run-closing `Punct` and hands the run to the
+//!    egress router as one batch. Egress offers therefore happen in the
+//!    canonical order, so ledger counters, retry decisions, and fault
+//!    polls at `EgressDeliver` fire identically for any P.
+//!
+//! The exchange DUs poll **no** fault points themselves; every existing
+//! point (SourceRead, FjordEnqueue, ArchiveAppend, EgressDeliver, …) sits
+//! upstream of the partitioner or downstream of the merger, so a seeded
+//! chaos schedule observes the same per-message poll sequence at any P
+//! (`tests/server_chaos.rs` asserts this end to end).
+//!
+//! # Backpressure and deadlock freedom
+//!
+//! The partitioner stages everything through an ordered outbox and drains
+//! it strictly FIFO with non-blocking enqueues; when the head message's
+//! fjord is full it parks. FIFO matters: every message of an earlier run
+//! was *delivered* before the head blocked, so the merger can always
+//! finish the runs it has grants for, which drains worker outputs, which
+//! drains partition fjords, which unblocks the head. No cycle waits on a
+//! later message.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::Hasher;
+
+use tcq_common::{Result, SchemaRef, Timestamp, Tuple};
+use tcq_eddy::Eddy;
+use tcq_egress::EgressRouter;
+use tcq_executor::{DispatchUnit, ModuleStatus};
+use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage, Producer};
+use tcq_query::AnalyzedQuery;
+
+use crate::dispatcher::DEFAULT_IO_BATCH;
+use crate::plans::{LazyProject, QueryId};
+
+/// Whether a join query can run partition-parallel.
+///
+/// Requires at least one equi-join pair, every physical stream consumed
+/// under exactly one alias (self-joins interleave per-alias eddy entries
+/// per tuple, which a partitioned plan cannot reproduce), and a connected
+/// equi-join graph. Connectivity plus the one-key-per-source rule (the
+/// multi-key SteM error) make all key values inside any joined tuple
+/// transitively equal, so hash-partitioning each source on its key
+/// co-locates every possible match in one partition.
+pub fn partitionable(aq: &AnalyzedQuery) -> bool {
+    if aq.sources.len() < 2 || aq.join_pairs.is_empty() {
+        return false;
+    }
+    let mut names: Vec<String> = aq
+        .sources
+        .iter()
+        .map(|s| s.name.to_ascii_lowercase())
+        .collect();
+    names.sort_unstable();
+    if names.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let mut parent: Vec<usize> = (0..aq.sources.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for jp in &aq.join_pairs {
+        let (a, b) = (find(&mut parent, jp.left), find(&mut parent, jp.right));
+        parent[a] = b;
+    }
+    let root = find(&mut parent, 0);
+    (1..aq.sources.len()).all(|i| find(&mut parent, i) == root)
+}
+
+/// Footprint class for the `k`-th exchange DU of query `qid`. The top bit
+/// keeps these off the single-bit stream classes, so every exchange DU is
+/// a fresh class and the registry places it on the least-loaded EO —
+/// submitting the P workers in sequence spreads them across distinct EOs
+/// whenever `eos` allows.
+pub fn du_class(qid: QueryId, k: usize) -> u64 {
+    (1u64 << 63) | ((qid as u64 & 0x00FF_FFFF) << 8) | (k as u64 & 0xFF)
+}
+
+/// Where a staged partitioner message is bound.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Hop {
+    Part(usize),
+    Schedule,
+}
+
+/// One ingress stream feeding the partitioner.
+pub struct ExchangeInput {
+    consumer: Consumer,
+    alias: SchemaRef,
+    key_col: usize,
+    eof: bool,
+}
+
+impl ExchangeInput {
+    /// New input draining `consumer`; tuples are re-qualified to `alias`
+    /// and hash-partitioned on `key_col` (an index into `alias`).
+    pub fn new(consumer: Consumer, alias: SchemaRef, key_col: usize) -> Self {
+        ExchangeInput {
+            consumer,
+            alias,
+            key_col,
+            eof: false,
+        }
+    }
+}
+
+/// The exchange's producer half: establishes the canonical total order,
+/// hash-splits it into P partition fjords, and journals the run order
+/// into the schedule fjord. See the module docs for the protocol.
+pub struct PartitionDu {
+    name: String,
+    inputs: Vec<ExchangeInput>,
+    parts: Vec<Producer>,
+    schedule: Producer,
+    floor: i64,
+    deadline: i64,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
+    /// Ordered staging area; drained strictly FIFO so a full fjord can
+    /// never reorder the canonical sequence.
+    outbox: VecDeque<(Hop, FjordMessage)>,
+    open_run: Option<usize>,
+    finished: bool,
+}
+
+impl PartitionDu {
+    /// New partitioner over `inputs`, splitting into `parts.len()`
+    /// partition fjords with run grants journaled to `schedule`.
+    /// `floor`/`deadline` bound the query's window extent exactly as in
+    /// the sequential `JoinCqDu`.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<ExchangeInput>,
+        parts: Vec<Producer>,
+        schedule: Producer,
+        floor: i64,
+        deadline: i64,
+    ) -> Self {
+        PartitionDu {
+            name: name.into(),
+            inputs,
+            parts,
+            schedule,
+            floor,
+            deadline,
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
+            outbox: VecDeque::new(),
+            open_run: None,
+            finished: false,
+        }
+    }
+
+    /// Set the hot-path batch size (messages per Fjord lock).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
+    }
+
+    fn route(&mut self, t: Tuple, key_col: usize) {
+        let mut h = DefaultHasher::new();
+        t.value(key_col).hash_key(&mut h);
+        let p = (h.finish() % self.parts.len() as u64) as usize;
+        if self.open_run != Some(p) {
+            self.close_run();
+            self.open_run = Some(p);
+            self.outbox.push_back((
+                Hop::Schedule,
+                FjordMessage::Punct(Timestamp::logical(p as i64)),
+            ));
+        }
+        self.outbox
+            .push_back((Hop::Part(p), FjordMessage::Tuple(t)));
+    }
+
+    fn close_run(&mut self) {
+        if let Some(p) = self.open_run.take() {
+            self.outbox.push_back((
+                Hop::Part(p),
+                FjordMessage::Punct(Timestamp::logical(p as i64)),
+            ));
+        }
+    }
+
+    /// Drain the outbox strictly in order, batching maximal same-fjord
+    /// prefixes into one lock acquisition each; stop at the first refusal
+    /// (back-pressure). Returns how many messages were placed.
+    fn flush_outbox(&mut self) -> usize {
+        let mut sent = 0;
+        let mut batch: Vec<FjordMessage> = Vec::new();
+        while let Some(&(hop, _)) = self.outbox.front() {
+            batch.clear();
+            while let Some(&(h, _)) = self.outbox.front() {
+                if h != hop || batch.len() >= self.io_batch {
+                    break;
+                }
+                batch.push(self.outbox.pop_front().expect("front checked").1);
+            }
+            let producer = match hop {
+                Hop::Part(p) => &self.parts[p],
+                Hop::Schedule => &self.schedule,
+            };
+            match producer.enqueue_batch(&mut batch) {
+                Ok(n) => {
+                    sent += n;
+                    if !batch.is_empty() {
+                        // Refused suffix: restore it at the front, in order.
+                        for msg in batch.drain(..).rev() {
+                            self.outbox.push_front((hop, msg));
+                        }
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Downstream dropped (query stopped mid-teardown):
+                    // nothing wants the data, so the staged tail is moot.
+                    self.outbox.clear();
+                    break;
+                }
+            }
+        }
+        sent
+    }
+}
+
+impl DispatchUnit for PartitionDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        let mut did_work = self.flush_outbox() > 0;
+        if !self.outbox.is_empty() {
+            // Head-of-line blocked on a full fjord; draining inputs now
+            // would only grow the outbox.
+            return Ok(if did_work {
+                ModuleStatus::Ready
+            } else {
+                ModuleStatus::Idle
+            });
+        }
+        if self.finished {
+            return Ok(ModuleStatus::Done);
+        }
+        let per_input = quantum.div_ceil(self.inputs.len().max(1));
+        for i in 0..self.inputs.len() {
+            if self.inputs[i].eof {
+                continue;
+            }
+            let mut remaining = per_input;
+            while remaining > 0 && !self.inputs[i].eof {
+                let mut msgs = std::mem::take(&mut self.msg_buf);
+                let max = self.io_batch.min(remaining);
+                match self.inputs[i].consumer.dequeue_batch(&mut msgs, max) {
+                    BatchDequeueResult::Msgs(n) => remaining = remaining.saturating_sub(n),
+                    BatchDequeueResult::Empty => {
+                        self.msg_buf = msgs;
+                        break;
+                    }
+                    BatchDequeueResult::Disconnected => {
+                        self.msg_buf = msgs;
+                        self.inputs[i].eof = true;
+                        break;
+                    }
+                }
+                for msg in msgs.drain(..) {
+                    match msg {
+                        FjordMessage::Tuple(t) if !self.inputs[i].eof => {
+                            did_work = true;
+                            let seq = t.timestamp().seq();
+                            if seq < self.floor {
+                                continue;
+                            }
+                            if seq > self.deadline {
+                                // Stream time passed the final window
+                                // (timestamps are monotone per stream).
+                                self.inputs[i].eof = true;
+                                continue;
+                            }
+                            let t = t.with_schema(self.inputs[i].alias.clone())?;
+                            let key_col = self.inputs[i].key_col;
+                            self.route(t, key_col);
+                        }
+                        FjordMessage::Tuple(_) | FjordMessage::Punct(_) => {}
+                        FjordMessage::Eof => self.inputs[i].eof = true,
+                    }
+                }
+                self.msg_buf = msgs;
+            }
+        }
+        if self.inputs.iter().all(|i| i.eof) {
+            self.close_run();
+            for p in 0..self.parts.len() {
+                self.outbox.push_back((Hop::Part(p), FjordMessage::Eof));
+            }
+            self.outbox.push_back((Hop::Schedule, FjordMessage::Eof));
+            self.finished = true;
+            did_work = true;
+        }
+        self.flush_outbox();
+        if self.finished && self.outbox.is_empty() {
+            return Ok(ModuleStatus::Done);
+        }
+        Ok(if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
+    }
+}
+
+// (tests at the bottom of this file exercise the partition/merge protocol
+// without workers; end-to-end coverage lives in tests/server_chaos.rs.)
+
+/// One partition's worker: a full clone of the query's eddy (SteMs,
+/// filters, band predicates) plus projection, consuming partition fjord
+/// `k` and producing projected results — with run-closing `Punct`s
+/// forwarded in place — into output fjord `k`. The eddy and its SteM
+/// state are owned by value: per-partition ownership means the probe hot
+/// path takes no locks shared with any other partition.
+pub struct WorkerDu {
+    name: String,
+    input: Consumer,
+    output: Producer,
+    eddy: Eddy,
+    project: LazyProject,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
+    emitted: Vec<Tuple>,
+    /// Contiguous tuples of the currently-open run awaiting the eddy.
+    batch: Vec<Tuple>,
+    outbox: Vec<FjordMessage>,
+    input_eof: bool,
+    finished: bool,
+}
+
+impl WorkerDu {
+    /// New worker bridging `input` (partition fjord) to `output` (output
+    /// fjord) through `eddy` and `project`.
+    pub fn new(
+        name: impl Into<String>,
+        input: Consumer,
+        output: Producer,
+        eddy: Eddy,
+        project: LazyProject,
+    ) -> Self {
+        WorkerDu {
+            name: name.into(),
+            input,
+            output,
+            eddy,
+            project,
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
+            emitted: Vec::new(),
+            batch: Vec::new(),
+            outbox: Vec::new(),
+            input_eof: false,
+            finished: false,
+        }
+    }
+
+    /// Set the hot-path batch size (messages per Fjord lock).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
+    }
+
+    /// Push the pending run prefix through the eddy; outputs join the
+    /// outbox ahead of the (not yet seen) run-closing punct.
+    fn process_pending(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.batch);
+        self.emitted.clear();
+        self.eddy.process_batch(batch, &mut self.emitted)?;
+        for e in self.emitted.drain(..) {
+            let out = self.project.apply(&e)?;
+            self.outbox.push(FjordMessage::Tuple(out));
+        }
+        Ok(())
+    }
+
+    fn flush_outbox(&mut self) -> usize {
+        if self.outbox.is_empty() {
+            return 0;
+        }
+        match self.output.enqueue_batch(&mut self.outbox) {
+            Ok(n) => n,
+            Err(_) => {
+                // Merger gone: query teardown in progress.
+                self.outbox.clear();
+                0
+            }
+        }
+    }
+}
+
+impl DispatchUnit for WorkerDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        let mut did_work = self.flush_outbox() > 0;
+        if !self.outbox.is_empty() {
+            // Output fjord full: stop consuming until the merger catches
+            // up, or run-output order would need reassembly downstream.
+            return Ok(if did_work {
+                ModuleStatus::Ready
+            } else {
+                ModuleStatus::Idle
+            });
+        }
+        if self.finished {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut remaining = quantum;
+        while remaining > 0 && !self.input_eof {
+            let mut msgs = std::mem::take(&mut self.msg_buf);
+            match self
+                .input
+                .dequeue_batch(&mut msgs, self.io_batch.min(remaining))
+            {
+                BatchDequeueResult::Msgs(n) => remaining = remaining.saturating_sub(n),
+                BatchDequeueResult::Empty => {
+                    self.msg_buf = msgs;
+                    break;
+                }
+                BatchDequeueResult::Disconnected => {
+                    self.msg_buf = msgs;
+                    self.input_eof = true;
+                    break;
+                }
+            }
+            for msg in msgs.drain(..) {
+                match msg {
+                    FjordMessage::Tuple(t) => {
+                        did_work = true;
+                        self.batch.push(t);
+                    }
+                    FjordMessage::Punct(ts) => {
+                        did_work = true;
+                        self.process_pending()?;
+                        self.outbox.push(FjordMessage::Punct(ts));
+                    }
+                    FjordMessage::Eof => self.input_eof = true,
+                }
+            }
+            self.msg_buf = msgs;
+        }
+        // A run prefix without its punct yet: process it now — its
+        // outputs precede the punct either way, so order is intact and
+        // latency stays low while the run is starved.
+        self.process_pending()?;
+        if self.input_eof && !self.finished {
+            self.outbox.push(FjordMessage::Eof);
+            self.finished = true;
+            did_work = true;
+        }
+        self.flush_outbox();
+        if self.finished && self.outbox.is_empty() {
+            return Ok(ModuleStatus::Done);
+        }
+        Ok(if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
+    }
+}
+
+/// The exchange's consumer half: replays the schedule fjord's grants in
+/// order, drains each granted partition's output fjord up to the
+/// run-closing punct, and delivers every completed run to the egress
+/// router as one batch — restoring the canonical total order exactly.
+pub struct MergeDu {
+    name: String,
+    schedule: Consumer,
+    outputs: Vec<Consumer>,
+    egress: EgressRouter,
+    qid: QueryId,
+    io_batch: usize,
+    msg_buf: Vec<FjordMessage>,
+    /// Messages dequeued from an output fjord past the current run's
+    /// punct; consumed before touching the fjord again.
+    pending: Vec<VecDeque<FjordMessage>>,
+    run_buf: Vec<Tuple>,
+    current: Option<usize>,
+    schedule_eof: bool,
+    outputs_eof: Vec<bool>,
+    done: bool,
+}
+
+impl MergeDu {
+    /// New merger over `outputs.len()` partitions, delivering to `egress`
+    /// under query `qid`.
+    pub fn new(
+        name: impl Into<String>,
+        schedule: Consumer,
+        outputs: Vec<Consumer>,
+        egress: EgressRouter,
+        qid: QueryId,
+    ) -> Self {
+        let n = outputs.len();
+        MergeDu {
+            name: name.into(),
+            schedule,
+            outputs,
+            egress,
+            qid,
+            io_batch: DEFAULT_IO_BATCH,
+            msg_buf: Vec::new(),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            run_buf: Vec::new(),
+            current: None,
+            schedule_eof: false,
+            outputs_eof: vec![false; n],
+            done: false,
+        }
+    }
+
+    /// Set the hot-path batch size (messages per Fjord lock).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
+    }
+
+    /// Complete the current run: one egress offer sequence in canonical
+    /// order (ledger counters and fault polls fire exactly as at P=1).
+    fn finish_run(&mut self) {
+        if !self.run_buf.is_empty() {
+            self.egress.deliver_batch([self.qid], &self.run_buf);
+            self.run_buf.clear();
+        }
+        self.current = None;
+    }
+}
+
+impl DispatchUnit for MergeDu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
+        if self.done {
+            return Ok(ModuleStatus::Done);
+        }
+        let mut did_work = false;
+        let mut remaining = quantum;
+        'outer: while remaining > 0 {
+            let Some(p) = self.current else {
+                if self.schedule_eof {
+                    break 'outer;
+                }
+                let mut msgs = std::mem::take(&mut self.msg_buf);
+                match self.schedule.dequeue_batch(&mut msgs, 1) {
+                    BatchDequeueResult::Msgs(_) => {
+                        remaining = remaining.saturating_sub(1);
+                        match msgs.pop().expect("one message") {
+                            FjordMessage::Punct(ts) => {
+                                did_work = true;
+                                self.current = Some(ts.seq() as usize);
+                            }
+                            FjordMessage::Eof => {
+                                did_work = true;
+                                self.schedule_eof = true;
+                            }
+                            // The partitioner never sends tuples here.
+                            FjordMessage::Tuple(_) => {}
+                        }
+                        self.msg_buf = msgs;
+                        continue 'outer;
+                    }
+                    BatchDequeueResult::Empty => {
+                        self.msg_buf = msgs;
+                        break 'outer;
+                    }
+                    BatchDequeueResult::Disconnected => {
+                        self.msg_buf = msgs;
+                        self.schedule_eof = true;
+                        continue 'outer;
+                    }
+                }
+            };
+            // Drain partition p's output up to the run-closing punct.
+            loop {
+                let mut run_done = false;
+                while let Some(msg) = self.pending[p].pop_front() {
+                    match msg {
+                        FjordMessage::Tuple(t) => self.run_buf.push(t),
+                        FjordMessage::Punct(_) => {
+                            did_work = true;
+                            self.finish_run();
+                            run_done = true;
+                            break;
+                        }
+                        FjordMessage::Eof => {
+                            // Teardown mid-run: deliver what arrived.
+                            did_work = true;
+                            self.finish_run();
+                            self.outputs_eof[p] = true;
+                            run_done = true;
+                            break;
+                        }
+                    }
+                }
+                if run_done {
+                    continue 'outer;
+                }
+                if remaining == 0 {
+                    break 'outer;
+                }
+                let mut msgs = std::mem::take(&mut self.msg_buf);
+                match self.outputs[p].dequeue_batch(&mut msgs, self.io_batch.min(remaining)) {
+                    BatchDequeueResult::Msgs(n) => {
+                        remaining = remaining.saturating_sub(n);
+                        self.pending[p].extend(msgs.drain(..));
+                        self.msg_buf = msgs;
+                    }
+                    BatchDequeueResult::Empty => {
+                        // Starved mid-run: the worker hasn't caught up.
+                        self.msg_buf = msgs;
+                        break 'outer;
+                    }
+                    BatchDequeueResult::Disconnected => {
+                        self.msg_buf = msgs;
+                        self.pending[p].push_back(FjordMessage::Eof);
+                    }
+                }
+            }
+        }
+        // Finale: after the schedule closes, every worker still owes an
+        // Eof (their fjords may also hold puncts for runs the schedule
+        // granted before we saw its Eof — those were consumed above).
+        if self.schedule_eof && self.current.is_none() {
+            let mut all = true;
+            for p in 0..self.outputs.len() {
+                if self.outputs_eof[p] {
+                    continue;
+                }
+                loop {
+                    if let Some(msg) = self.pending[p].pop_front() {
+                        if matches!(msg, FjordMessage::Eof) {
+                            self.outputs_eof[p] = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    let mut msgs = std::mem::take(&mut self.msg_buf);
+                    match self.outputs[p].dequeue_batch(&mut msgs, self.io_batch) {
+                        BatchDequeueResult::Msgs(_) => {
+                            self.pending[p].extend(msgs.drain(..));
+                            self.msg_buf = msgs;
+                        }
+                        BatchDequeueResult::Empty => {
+                            self.msg_buf = msgs;
+                            all = false;
+                            break;
+                        }
+                        BatchDequeueResult::Disconnected => {
+                            self.msg_buf = msgs;
+                            self.outputs_eof[p] = true;
+                            break;
+                        }
+                    }
+                }
+                if !self.outputs_eof[p] {
+                    all = false;
+                }
+            }
+            if all {
+                self.done = true;
+                return Ok(ModuleStatus::Done);
+            }
+        }
+        Ok(if did_work {
+            ModuleStatus::Ready
+        } else {
+            ModuleStatus::Idle
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{Catalog, DataType, Field, Schema, SourceKind, TupleBuilder};
+    use tcq_fjords::{fjord, QueueKind};
+    use tcq_query::{analyze, parse};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        for name in ["a", "b", "c"] {
+            let s = Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ])
+            .into_ref();
+            c.register(name, s, SourceKind::PushStream).unwrap();
+        }
+        c
+    }
+
+    fn analyzed(src: &str) -> AnalyzedQuery {
+        analyze(&parse(src).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn partitionable_shapes() {
+        // Two streams, one equi-join: eligible.
+        assert!(partitionable(&analyzed(
+            "SELECT a.v FROM a a, b b WHERE a.k = b.k \
+             for (t = ST; t >= 0; t++) { WindowIs(a, t - 10, t); WindowIs(b, t - 10, t); }"
+        )));
+        // Three streams joined through a common key: connected, eligible.
+        assert!(partitionable(&analyzed(
+            "SELECT a.v FROM a a, b b, c c WHERE a.k = b.k AND a.k = c.k \
+             for (t = ST; t >= 0; t++) { WindowIs(a, t - 10, t); WindowIs(b, t - 10, t); \
+             WindowIs(c, t - 10, t); }"
+        )));
+        // Self-join: same physical stream under two aliases — ineligible.
+        assert!(!partitionable(&analyzed(
+            "SELECT x.v FROM a x, a y WHERE x.k = y.k \
+             for (t = ST; t >= 0; t++) { WindowIs(x, t - 10, t); WindowIs(y, t - 10, t); }"
+        )));
+        // Single stream: nothing to partition against.
+        assert!(!partitionable(&analyzed(
+            "SELECT a.v FROM a a WHERE a.v > 0"
+        )));
+    }
+
+    #[test]
+    fn du_classes_are_fresh_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for qid in 0..4 {
+            for k in 0..9 {
+                let c = du_class(qid, k);
+                assert!(c & (1 << 63) != 0, "top bit set");
+                assert!(seen.insert(c), "class collision qid={qid} k={k}");
+            }
+        }
+    }
+
+    /// A worker-less exchange: the partition fjords double as the output
+    /// fjords (tuples pass through "identity workers"), so the merger
+    /// must hand the egress router exactly the canonical input order.
+    #[test]
+    fn partition_then_merge_restores_canonical_order() {
+        const P: usize = 3;
+        const N: i64 = 500;
+        let schema = Schema::qualified(
+            "s",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
+        )
+        .into_ref();
+        let (in_prod, in_cons) = fjord(2048, QueueKind::Push);
+        let mut parts = Vec::new();
+        let mut outs = Vec::new();
+        for _ in 0..P {
+            let (p, c) = fjord(64, QueueKind::Push);
+            parts.push(p);
+            outs.push(c);
+        }
+        let (sched_p, sched_c) = fjord(128, QueueKind::Push);
+        let mut part = PartitionDu::new(
+            "part",
+            vec![ExchangeInput::new(in_cons, schema.clone(), 0)],
+            parts,
+            sched_p,
+            i64::MIN,
+            i64::MAX,
+        )
+        .with_io_batch(8);
+        let egress = EgressRouter::new();
+        egress.register_pull_client(1, 4096).unwrap();
+        egress.subscribe(1, 7).unwrap();
+        let mut merge = MergeDu::new("merge", sched_c, outs, egress.clone(), 7).with_io_batch(8);
+
+        for i in 0..N {
+            let t = TupleBuilder::new(schema.clone())
+                .push(i * 7 % 11) // key: hops between partitions
+                .push(i)
+                .at(Timestamp::logical(i + 1))
+                .build()
+                .unwrap();
+            in_prod.enqueue(FjordMessage::Tuple(t)).unwrap();
+        }
+        in_prod.send_eof().unwrap();
+
+        // Interleave the two DUs until both retire; small quanta plus
+        // small fjords exercise the back-pressure/outbox path.
+        let mut part_done = false;
+        let mut merge_done = false;
+        for _ in 0..100_000 {
+            if !part_done && part.run(16).unwrap() == ModuleStatus::Done {
+                part_done = true;
+            }
+            if !merge_done && merge.run(16).unwrap() == ModuleStatus::Done {
+                merge_done = true;
+            }
+            if part_done && merge_done {
+                break;
+            }
+        }
+        assert!(part_done && merge_done, "exchange must quiesce");
+
+        let got = egress.fetch(1, 4096).unwrap();
+        assert_eq!(got.len(), N as usize);
+        for (i, (q, t)) in got.iter().enumerate() {
+            assert_eq!(*q, 7);
+            assert_eq!(
+                t.value(1).as_int().unwrap(),
+                i as i64,
+                "delivery must follow canonical (arrival) order"
+            );
+        }
+    }
+}

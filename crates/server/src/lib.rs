@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod dispatcher;
+pub mod exchange;
 pub mod planner;
 pub mod plans;
 pub mod server;

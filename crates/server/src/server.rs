@@ -29,6 +29,7 @@ use tcq_storage::{BufferPool, StreamArchive};
 use tcq_windows::WindowSeq;
 
 use crate::dispatcher::{OverloadPolicy, StreamDispatcher, SubscriberSet};
+use crate::exchange::{self, ExchangeInput, MergeDu, PartitionDu, WorkerDu};
 use crate::planner::{
     self, plan_kind, resolve_aggregates, source_predicate, stripped_predicate, PlanKind,
 };
@@ -86,6 +87,13 @@ pub struct ServerConfig {
     /// Slow-client policy for the egress router (default: never
     /// disconnect, pure legacy behaviour).
     pub egress_policy: EgressPolicy,
+    /// Partition-parallel degree for dedicated join queries. At `1`
+    /// (default) every query runs as a single sequential DU chain. At
+    /// `P > 1`, eligible joins are split into a hash-partitioned
+    /// exchange — `PartitionDu` → P cloned eddies → `MergeDu` — whose
+    /// delivered results and egress ledger are byte-identical to `P=1`
+    /// for the same seed (see `crate::exchange`).
+    pub partitions: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +112,7 @@ impl Default for ServerConfig {
             seed: 0x7E1E_C001,
             fault_plan: None,
             egress_policy: EgressPolicy::default(),
+            partitions: 1,
         }
     }
 }
@@ -131,7 +140,7 @@ enum QueryRecord {
         key: SharedJoinKey,
     },
     Dedicated {
-        du: DuId,
+        dus: Vec<DuId>,
         subscriptions: Vec<(String, u64)>,
     },
     Completed,
@@ -569,7 +578,7 @@ impl TelegraphCQ {
         .with_io_batch(self.config.io_batch);
         let du_id = self.executor.submit(st.class, Box::new(du))?;
         Ok(QueryRecord::Dedicated {
-            du: du_id,
+            dus: vec![du_id],
             subscriptions: vec![(source.name.clone(), sub_id)],
         })
     }
@@ -586,9 +595,68 @@ impl TelegraphCQ {
     }
 
     fn start_join(&self, qid: QueryId, aq: &AnalyzedQuery) -> Result<QueryRecord> {
-        if planner::shareable_join(aq)? {
+        let partitions = self.config.partitions.max(1);
+        // CACQ sharing and partition parallelism are competing layouts for
+        // the same query; a partitioned server keeps every join dedicated
+        // so P=1 and P>1 differ only in the exchange, not the plan kind.
+        if partitions == 1 && planner::shareable_join(aq)? {
             return self.start_shared_join(qid, aq);
         }
+        if partitions > 1 && exchange::partitionable(aq) {
+            return self.start_partitioned_join(qid, aq, partitions);
+        }
+        let (eddy, _key_cols) = self.build_join_eddy(aq)?;
+
+        // Inputs: one subscription per physical stream; aliases grouped.
+        let mut by_stream: HashMap<String, Vec<SchemaRef>> = HashMap::new();
+        for source in &aq.sources {
+            by_stream
+                .entry(source.name.to_ascii_lowercase())
+                .or_default()
+                .push(source.schema.clone());
+        }
+        let mut inputs = Vec::new();
+        let mut subscriptions = Vec::new();
+        let mut class = 0u64;
+        for (stream_name, alias_schemas) in by_stream {
+            let st = self.stream(&stream_name)?;
+            class |= st.class;
+            let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let sub_id = st.subscribers.add(p);
+            subscriptions.push((stream_name.clone(), sub_id));
+            inputs.push(JoinInput {
+                consumer: c,
+                alias_schemas,
+                eof: false,
+            });
+        }
+
+        let (floor, deadline) = self.join_bounds(aq)?;
+        let project = LazyProject::new(aq.projection.clone());
+        let du = JoinCqDu::new(
+            format!("join-cq(q{qid})"),
+            inputs,
+            eddy,
+            project,
+            self.egress.clone(),
+            qid,
+            floor,
+            deadline,
+        )
+        .with_io_batch(self.config.io_batch);
+        let du_id = self.executor.submit(class, Box::new(du))?;
+        Ok(QueryRecord::Dedicated {
+            dus: vec![du_id],
+            subscriptions,
+        })
+    }
+
+    /// Build the dedicated eddy (SteMs + filters + band predicates) for a
+    /// join query, returning it together with each source's join-key
+    /// column. Called once for a sequential plan and P times for a
+    /// partitioned one — every instance is identical (same policy, same
+    /// seed), which is half of the exchange determinism argument.
+    fn build_join_eddy(&self, aq: &AnalyzedQuery) -> Result<(Eddy, Vec<usize>)> {
         // Eddy over the query's aliases.
         let aliases: Vec<String> = aq.sources.iter().map(|s| s.alias.clone()).collect();
         let mut eddy = Eddy::new(
@@ -688,35 +756,15 @@ impl TelegraphCQ {
             let op = SelectOp::new(format!("band{k}"), factor, &aq.combined_schema)?;
             eddy.add_module(ModuleSpec::filter(Box::new(op), bits))?;
         }
+        let key_cols: Vec<usize> = key_col.into_iter().flatten().collect();
+        Ok((eddy, key_cols))
+    }
 
-        // Inputs: one subscription per physical stream; aliases grouped.
-        let mut by_stream: HashMap<String, Vec<SchemaRef>> = HashMap::new();
-        for source in &aq.sources {
-            by_stream
-                .entry(source.name.to_ascii_lowercase())
-                .or_default()
-                .push(source.schema.clone());
-        }
-        let mut inputs = Vec::new();
-        let mut subscriptions = Vec::new();
-        let mut class = 0u64;
-        for (stream_name, alias_schemas) in by_stream {
-            let st = self.stream(&stream_name)?;
-            class |= st.class;
-            let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
-            let sub_id = st.subscribers.add(p);
-            subscriptions.push((stream_name.clone(), sub_id));
-            inputs.push(JoinInput {
-                consumer: c,
-                alias_schemas,
-                eof: false,
-            });
-        }
-
-        // The window sequence's extent bounds the query's lifetime: tuples
-        // before the first window are skipped, and once stream time passes
-        // the final window's close the query retires (the for-loop's
-        // stopping condition).
+    /// The window sequence's extent bounds a join query's lifetime: tuples
+    /// before the first window are skipped (`floor`), and once stream time
+    /// passes the final window's close the query retires (`deadline` — the
+    /// for-loop's stopping condition).
+    fn join_bounds(&self, aq: &AnalyzedQuery) -> Result<(i64, i64)> {
         let mut floor = i64::MIN;
         let mut deadline = i64::MAX;
         if let Some(w) = &aq.window {
@@ -749,23 +797,108 @@ impl TelegraphCQ {
                 deadline = last_close;
             }
         }
-        let project = LazyProject::new(aq.projection.clone());
-        let du = JoinCqDu::new(
-            format!("join-cq(q{qid})"),
-            inputs,
-            eddy,
-            project,
+        Ok((floor, deadline))
+    }
+
+    /// Partition-parallel dedicated join (`ServerConfig::partitions > 1`):
+    /// a `PartitionDu` hash-splits the canonical input order into P
+    /// partition fjords, P cloned eddies consume them on distinct EOs, and
+    /// a `MergeDu` replays the partitioner's run order so delivery is
+    /// byte-identical to the sequential plan (see `crate::exchange`).
+    fn start_partitioned_join(
+        &self,
+        qid: QueryId,
+        aq: &AnalyzedQuery,
+        partitions: usize,
+    ) -> Result<QueryRecord> {
+        let cap = self.config.queue_capacity;
+        // P identical eddies: same modules, same policy kind, same seed.
+        let mut eddies = Vec::with_capacity(partitions);
+        let mut key_cols = Vec::new();
+        for _ in 0..partitions {
+            let (eddy, kc) = self.build_join_eddy(aq)?;
+            key_cols = kc;
+            eddies.push(eddy);
+        }
+        let (floor, deadline) = self.join_bounds(aq)?;
+
+        // One ingress subscription per source (`partitionable` guarantees
+        // each physical stream appears under exactly one alias).
+        let mut inputs = Vec::with_capacity(aq.sources.len());
+        let mut subscriptions = Vec::with_capacity(aq.sources.len());
+        let mut ingress_class = 0u64;
+        for (i, source) in aq.sources.iter().enumerate() {
+            let st = self.stream(&source.name)?;
+            ingress_class |= st.class;
+            let (p, c) = fjord(cap, QueueKind::Push);
+            let sub_id = st.subscribers.add(p);
+            subscriptions.push((source.name.to_ascii_lowercase(), sub_id));
+            inputs.push(ExchangeInput::new(c, source.schema.clone(), key_cols[i]));
+        }
+
+        // The exchange fabric: P partition fjords, P output fjords, and a
+        // schedule fjord carrying the canonical run order.
+        let mut part_prods = Vec::with_capacity(partitions);
+        let mut part_cons = Vec::with_capacity(partitions);
+        let mut out_prods = Vec::with_capacity(partitions);
+        let mut out_cons = Vec::with_capacity(partitions);
+        for _ in 0..partitions {
+            let (p, c) = fjord(cap, QueueKind::Push);
+            part_prods.push(p);
+            part_cons.push(c);
+            let (p, c) = fjord(cap, QueueKind::Push);
+            out_prods.push(p);
+            out_cons.push(c);
+        }
+        let (sched_prod, sched_cons) = fjord(cap.saturating_mul(2).max(8), QueueKind::Push);
+
+        // Workers first: each fresh footprint class lands on the currently
+        // least-loaded EO, so the P clones spread across distinct EOs
+        // whenever `eos` allows it.
+        let mut dus = Vec::with_capacity(partitions + 2);
+        for (k, ((eddy, input), output)) in
+            eddies.into_iter().zip(part_cons).zip(out_prods).enumerate()
+        {
+            let du = WorkerDu::new(
+                format!("xchg-work(q{qid}.{k})"),
+                input,
+                output,
+                eddy,
+                LazyProject::new(aq.projection.clone()),
+            )
+            .with_io_batch(self.config.io_batch);
+            dus.push(
+                self.executor
+                    .submit(exchange::du_class(qid, k), Box::new(du))?,
+            );
+        }
+        let merge = MergeDu::new(
+            format!("xchg-merge(q{qid})"),
+            sched_cons,
+            out_cons,
             self.egress.clone(),
             qid,
+        )
+        .with_io_batch(self.config.io_batch);
+        dus.push(
+            self.executor
+                .submit(exchange::du_class(qid, partitions), Box::new(merge))?,
+        );
+        // The partitioner shares the ingress streams' footprint classes, so
+        // it co-locates with their dispatchers (cache locality on the
+        // drain path) exactly like a sequential JoinCqDu would.
+        let part = PartitionDu::new(
+            format!("xchg-part(q{qid})"),
+            inputs,
+            part_prods,
+            sched_prod,
             floor,
             deadline,
         )
         .with_io_batch(self.config.io_batch);
-        let du_id = self.executor.submit(class, Box::new(du))?;
-        Ok(QueryRecord::Dedicated {
-            du: du_id,
-            subscriptions,
-        })
+        dus.push(self.executor.submit(ingress_class, Box::new(part))?);
+
+        Ok(QueryRecord::Dedicated { dus, subscriptions })
     }
 
     /// CACQ shared-join path: queries with the same join signature share one
@@ -950,8 +1083,10 @@ impl TelegraphCQ {
                     }
                 }
             }
-            QueryRecord::Dedicated { du, subscriptions } => {
-                self.executor.cancel(du)?;
+            QueryRecord::Dedicated { dus, subscriptions } => {
+                for du in dus {
+                    self.executor.cancel(du)?;
+                }
                 for (stream, sub_id) in subscriptions {
                     if let Ok(st) = self.stream(&stream) {
                         st.subscribers.remove(sub_id);

@@ -74,6 +74,20 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
 }
 
+/// What [`StreamArchive::compact`] did: how many on-disk page slots the
+/// segment occupied before and after densification, and the file bytes
+/// given back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// On-disk page slots before compaction (including holes left by
+    /// skipped corrupt pages and torn writes).
+    pub pages_before: u64,
+    /// On-disk page slots after compaction — equals the live page count.
+    pub pages_after: u64,
+    /// File bytes reclaimed by the final truncation.
+    pub bytes_reclaimed: u64,
+}
+
 /// Append-only on-disk history of one stream, windowed-readable.
 ///
 /// Writes go to an in-memory tail page, sealed (written through the shared
@@ -329,6 +343,56 @@ impl StreamArchive {
         self.seal_tail()?;
         self.file.sync_data()?;
         Ok(())
+    }
+
+    /// Rewrite the segment densely around dead page slots.
+    ///
+    /// Recovery ([`StreamArchive::open`]) and injected torn writes leave
+    /// holes: page slots on disk that hold corrupt or partial data and are
+    /// absent from the index, so the file is larger than its live contents
+    /// and page numbering is sparse. `compact` seals the tail, slides every
+    /// live page down to the lowest slot (preserving storage order),
+    /// truncates the file to exactly `live_pages * page_size`, and
+    /// renumbers the index densely.
+    ///
+    /// The rewritten slots are cached under a **fresh archive id**, so any
+    /// stale [`BufferPool`] entry keyed by the old `(id, page_no)` can
+    /// never alias a slot whose contents moved. Readable contents are
+    /// unchanged — only dead bytes are dropped — and a subsequent
+    /// [`StreamArchive::open`] sees a hole-free segment
+    /// (`pages_skipped == 0`, `truncated_bytes == 0`).
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        self.seal_tail()?;
+        let page_size = self.pool.page_size() as u64;
+        let pages_before = self.next_page;
+        // Pull every live page into memory under the old id before any
+        // slot is overwritten: a live page may sit above a hole, so
+        // in-place sliding must read ahead of the write cursor.
+        let mut contents = Vec::with_capacity(self.pages.len());
+        for meta in &self.pages {
+            contents.push(
+                self.pool
+                    .read_page(&mut self.file, (self.id, meta.page_no))?,
+            );
+        }
+        let new_id = NEXT_ARCHIVE_ID.fetch_add(1, Ordering::Relaxed);
+        for (slot, data) in contents.into_iter().enumerate() {
+            self.pool
+                .write_page(&mut self.file, (new_id, slot as u64), data.to_vec())?;
+        }
+        let live = self.pages.len() as u64;
+        self.file.set_len(live * page_size)?;
+        self.file.sync_data()?;
+        self.id = new_id;
+        for (slot, meta) in self.pages.iter_mut().enumerate() {
+            meta.page_no = slot as u64;
+        }
+        self.next_page = live;
+        Ok(CompactionReport {
+            pages_before,
+            pages_after: live,
+            bytes_reclaimed: pages_before.saturating_sub(live) * page_size,
+        })
     }
 
     /// Total readable tuples (appended minus torn-write losses).
@@ -767,6 +831,77 @@ mod tests {
         assert_eq!(a.len(), 19, "the failed tuple is not archived");
         let mut out = Vec::new();
         assert_eq!(a.scan_window(1, 20, &mut out).unwrap(), 19);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compact_rewrites_recovered_segment_densely() {
+        // Corrupt an interior page, recover around it, compact, and reopen:
+        // the compacted segment is dense (no skipped pages, no slack bytes)
+        // and scans agree before and after at every step.
+        let pool = BufferPool::new(8, 512);
+        let path = temp_path("compact");
+        {
+            let mut a = StreamArchive::create(&path, schema(), pool.clone()).unwrap();
+            for seq in 1..=300 {
+                a.append(&tuple(seq)).unwrap();
+            }
+            a.flush().unwrap();
+        }
+        {
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(512 + PAGE_HEADER as u64)).unwrap();
+            f.write_all(&[0xFF; 32]).unwrap();
+        }
+        let mut b = StreamArchive::open(&path, schema(), pool.clone()).unwrap();
+        let rec = b.recovery().unwrap();
+        assert_eq!(rec.pages_skipped, 1);
+        let mut before = Vec::new();
+        b.scan_window(1, 300, &mut before).unwrap();
+        assert_eq!(before.len() as u64, rec.records_recovered);
+
+        let report = b.compact().unwrap();
+        assert_eq!(report.pages_before, report.pages_after + 1);
+        assert_eq!(report.bytes_reclaimed, 512);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            report.pages_after * 512,
+            "file truncated to exactly the live pages"
+        );
+        let mut after = Vec::new();
+        b.scan_window(1, 300, &mut after).unwrap();
+        assert_eq!(before, after, "compaction preserves readable contents");
+        // Appends keep working on the compacted segment.
+        b.append(&tuple(1000)).unwrap();
+        b.flush().unwrap();
+        drop(b);
+
+        let mut c = StreamArchive::open(&path, schema(), pool).unwrap();
+        let rec2 = c.recovery().unwrap();
+        assert_eq!(rec2.pages_skipped, 0, "reopened segment is hole-free");
+        assert_eq!(rec2.truncated_bytes, 0);
+        assert_eq!(rec2.records_recovered, rec.records_recovered + 1);
+        let mut reopened = Vec::new();
+        c.scan_window(1, 300, &mut reopened).unwrap();
+        assert_eq!(before, reopened, "reopen-after-compact scan agrees");
+        let mut late = Vec::new();
+        assert_eq!(c.scan_window(1000, 1000, &mut late).unwrap(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compact_on_dense_segment_is_a_noop() {
+        let pool = BufferPool::new(8, 512);
+        let path = temp_path("compact-noop");
+        let mut a = StreamArchive::create(&path, schema(), pool).unwrap();
+        for seq in 1..=200 {
+            a.append(&tuple(seq)).unwrap();
+        }
+        let report = a.compact().unwrap();
+        assert_eq!(report.pages_before, report.pages_after);
+        assert_eq!(report.bytes_reclaimed, 0);
+        let mut out = Vec::new();
+        assert_eq!(a.scan_window(1, 200, &mut out).unwrap(), 200);
         std::fs::remove_file(path).ok();
     }
 

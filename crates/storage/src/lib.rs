@@ -48,6 +48,6 @@ pub mod archive;
 pub mod codec;
 pub mod pool;
 
-pub use archive::{ArchiveStats, RecoveryReport, StreamArchive};
+pub use archive::{ArchiveStats, CompactionReport, RecoveryReport, StreamArchive};
 pub use codec::{decode_tuple, encode_tuple};
 pub use pool::{BufferPool, PoolStats};

@@ -26,5 +26,8 @@ echo "== exp_chaos --smoke (server-level chaos, reduced scale) =="
 echo "== exp_throughput --smoke (perf tripwire: batched must beat per-tuple) =="
 ./target/release/exp_throughput --smoke
 
+echo "== exp_scaling --smoke (perf tripwire: partitioned exchange vs sequential) =="
+./target/release/exp_scaling --smoke
+
 echo
 echo "ci: all green"

@@ -308,6 +308,159 @@ fn batched_and_per_tuple_dispatch_replay_identically() {
     );
 }
 
+fn hot_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+    ])
+    .into_ref()
+}
+
+fn dim_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("tag", DataType::Int),
+    ])
+    .into_ref()
+}
+
+const DIM_ROWS: i64 = 64;
+
+/// The join flavour of the chaos scenario: the same seeded fault schedule
+/// over a two-stream equi-join, run either sequentially (`partitions = 1`,
+/// a dedicated `JoinCqDu`) or through the partitioned exchange. The
+/// dimension stream is fully loaded *and closed* before the hot stream
+/// flows, so every d-side SteM insert precedes every s-side probe in both
+/// plans and delivery order is the hot stream's arrival order.
+fn run_scenario_with_partitions(dir: &std::path::Path, partitions: usize) -> Outcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        archive_dir: Some(dir.to_path_buf()),
+        fault_plan: Some(plan()),
+        egress_policy: EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 4,
+        },
+        partitions,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", hot_schema()).unwrap();
+    server.register_stream("d", dim_schema()).unwrap();
+
+    let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(4096).unwrap();
+    // Unequal window widths keep the join off the CACQ shared path, so
+    // P=1 runs the dedicated JoinCqDu the exchange must be equivalent to.
+    server
+        .submit(
+            "SELECT s.v, d.tag FROM s s, d d WHERE s.k = d.id \
+             for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }",
+            client,
+        )
+        .unwrap();
+
+    let dims = dim_schema();
+    let dim_batch: Vec<Tuple> = (0..DIM_ROWS)
+        .map(|id| {
+            TupleBuilder::new(dims.clone())
+                .push(id)
+                .push(id * 10)
+                .at(Timestamp::logical(id + 1))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    server.push_batch("d", dim_batch).unwrap();
+    while server.stream_time("d").unwrap() < DIM_ROWS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.finish_stream("d").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let hot = hot_schema();
+    let master: Vec<Tuple> = (1..=TUPLES)
+        .map(|i| {
+            TupleBuilder::new(hot.clone())
+                .push(i % DIM_ROWS)
+                .push(i)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let factory: SourceFactory = {
+        let schema = hot.clone();
+        Box::new(move |_attempt, delivered| {
+            Ok(Box::new(ReplaySource {
+                schema: schema.clone(),
+                tuples: master[delivered as usize..].to_vec(),
+                pos: 0,
+            }) as Box<dyn Source>)
+        })
+    };
+    server
+        .attach_supervised_source("s", factory, SupervisorConfig::default())
+        .unwrap();
+
+    assert!(
+        server.quiesce(Duration::from_secs(60)),
+        "partitioned chaos join must quiesce (P={partitions})"
+    );
+
+    let sup = server.supervisor_stats().remove(0).1;
+    let outcome = Outcome {
+        results: rx
+            .try_iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect(),
+        egress: server.egress_stats_full(),
+        dispatcher_shed: server.shed_count("s").unwrap(),
+        archive_errors: server.archive_error_count("s").unwrap()
+            + server.archive_error_count("d").unwrap(),
+        archive: server.archive_stats("s").unwrap().unwrap(),
+        sup,
+        log: server.fired_faults(),
+        archive_path: dir.join("s.seg"),
+    };
+    server.shutdown().unwrap();
+    outcome
+}
+
+#[test]
+fn sequential_and_partitioned_join_replay_identically() {
+    // The exchange must be invisible to the chaos contract: the
+    // partitioner re-serializes the canonical input order, the merger
+    // replays it, and no exchange DU polls a fault point — so a same-seed
+    // run is byte-identical whether the join runs on one eddy or four.
+    let dir_a = temp_dir("part-1");
+    let dir_b = temp_dir("part-4");
+    let a = run_scenario_with_partitions(&dir_a, 1);
+    let b = run_scenario_with_partitions(&dir_b, 4);
+    assert!(!a.results.is_empty(), "the join must produce results");
+    assert_eq!(a.results, b.results, "answers diverged across P=1 / P=4");
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(a.dispatcher_shed, b.dispatcher_shed);
+    assert_eq!(a.archive_errors, b.archive_errors);
+    assert_eq!(
+        (
+            a.archive.appended,
+            a.archive.torn_pages,
+            a.archive.lost_records
+        ),
+        (
+            b.archive.appended,
+            b.archive.torn_pages,
+            b.archive.lost_records
+        ),
+        "archive accounting diverged"
+    );
+    assert_eq!(a.sup.delivered, b.sup.delivered);
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across partition counts"
+    );
+}
+
 #[test]
 fn shutdown_under_load_delivers_everything_admitted() {
     // Regression for shutdown ordering: results admitted before shutdown
