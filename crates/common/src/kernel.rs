@@ -1,0 +1,574 @@
+//! Compiled predicate kernels: the hot-path replacement for walking a
+//! [`BoundExpr`] tree per tuple.
+//!
+//! A [`Kernel`] lowers a boolean expression into a flat sequence of
+//! column-index-resolved ops evaluated by a small loop — no recursion, no
+//! per-tuple allocation, no `Result` plumbing for the infallible ops
+//! (logic merges, jumps, loads). Compilation happens once, at
+//! query-registration time; the per-tuple cost drops to an array walk.
+//!
+//! # Lowering rules
+//!
+//! The compilable grammar is the predicate shape CQ WHERE clauses
+//! overwhelmingly take:
+//!
+//! ```text
+//! P := Cmp(S, S) | And(P, P) | Or(P, P) | Not(P) | TRUE | FALSE | NULL
+//! S := Column | Literal
+//! ```
+//!
+//! Comparisons are specialized by operand shape (`CmpColLit`,
+//! `CmpLitCol`, `CmpColCol`, `CmpLitLit`) with the *textual operand order
+//! preserved*, so a type error carries the identical message the
+//! interpreter would produce. `And`/`Or` compile to the interpreter's
+//! exact short-circuit: evaluate the left side, jump past the right side
+//! when the left side alone decides the result (`FALSE` for AND, `TRUE`
+//! for OR), otherwise stash the left result, evaluate the right side, and
+//! merge under Kleene three-valued logic. Anything outside the grammar —
+//! arithmetic inside a comparison, a bare column or non-boolean literal
+//! in predicate position, nesting past the fixed stack — is *not*
+//! compiled; [`Predicate::new`] falls back to the [`BoundExpr`]
+//! interpreter. Fallback is the documented policy, not a failure: the
+//! kernel only ever claims shapes it can reproduce bit-identically.
+//!
+//! # Determinism argument
+//!
+//! A compiled subterm evaluates only to three-valued booleans (a
+//! comparison yields `TRUE`/`FALSE`/`NULL` or a `sql_cmp` error), so the
+//! interpreter's "AND over `{l}` and `{r}`" type-error arms are
+//! unreachable for compiled shapes, and with the left operand in
+//! {TRUE, NULL} after the short-circuit jump, the Kleene min/max merge
+//! reproduces the interpreter's merge table case by case. Same values,
+//! same NULL semantics, same errors with the same messages, same
+//! evaluation (and therefore error-surfacing) order — pinned by the
+//! seeded differential property test below and relied on by the
+//! same-seed chaos replay contract (`tests/server_chaos.rs`).
+
+use crate::error::Result;
+use crate::expr::{BoundExpr, CmpOp, Expr};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Three-valued logic cell. Discriminant order makes Kleene AND = `min`
+/// and Kleene OR = `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TriBool {
+    False = 0,
+    Null = 1,
+    True = 2,
+}
+
+impl TriBool {
+    fn of(b: bool) -> TriBool {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+}
+
+/// Hard cap on the kernel value stack (held on the *call* stack as a
+/// fixed array, so evaluation never allocates). Deeper nestings fall back
+/// to the interpreter at compile time.
+const MAX_STACK: usize = 16;
+
+/// One lowered op. Comparisons are shape-specialized so the inner loop
+/// never matches on operand kinds.
+#[derive(Debug, Clone)]
+enum KernelOp {
+    /// `column <op> literal`.
+    CmpColLit { col: u32, op: CmpOp, lit: Value },
+    /// `literal <op> column` (textual order preserved for error parity).
+    CmpLitCol { lit: Value, op: CmpOp, col: u32 },
+    /// `column <op> column`.
+    CmpColCol { lhs: u32, op: CmpOp, rhs: u32 },
+    /// `literal <op> literal` (constant operands, still per-tuple for
+    /// error-order parity — comparisons this shape are rare).
+    CmpLitLit { lhs: Value, op: CmpOp, rhs: Value },
+    /// Load a boolean constant into the accumulator.
+    LoadBool(bool),
+    /// Load NULL into the accumulator.
+    LoadNull,
+    /// Three-valued NOT of the accumulator.
+    Not,
+    /// Push the accumulator onto the value stack.
+    Push,
+    /// Pop and Kleene-AND into the accumulator.
+    AndMerge,
+    /// Pop and Kleene-OR into the accumulator.
+    OrMerge,
+    /// Jump to the absolute op index if the accumulator is FALSE.
+    JumpIfFalse(u32),
+    /// Jump to the absolute op index if the accumulator is TRUE.
+    JumpIfTrue(u32),
+}
+
+fn cmp_tri(l: &Value, op: CmpOp, r: &Value) -> Result<TriBool> {
+    Ok(match l.sql_cmp(r)? {
+        Some(ord) => TriBool::of(op.matches(ord)),
+        None => TriBool::Null,
+    })
+}
+
+/// A compiled boolean kernel: flat ops, fixed-size stack, `&self`
+/// evaluation (shared-filter passes hold only a shared borrow).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    ops: Vec<KernelOp>,
+}
+
+impl Kernel {
+    /// Lower a bound expression, or `None` if it falls outside the
+    /// compilable grammar (see the module docs for the fallback policy).
+    pub fn compile(bound: &BoundExpr) -> Option<Kernel> {
+        let mut ops = Vec::new();
+        let mut depth = 0usize;
+        compile_pred(bound, &mut ops, &mut depth)?;
+        Some(Kernel { ops })
+    }
+
+    /// Number of lowered ops (diagnostics).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn eval_tri(&self, tuple: &Tuple) -> Result<TriBool> {
+        let mut stack = [TriBool::False; MAX_STACK];
+        let mut sp = 0usize;
+        let mut acc = TriBool::False;
+        let mut pc = 0usize;
+        while let Some(op) = self.ops.get(pc) {
+            match op {
+                KernelOp::CmpColLit { col, op, lit } => {
+                    acc = cmp_tri(tuple.value(*col as usize), *op, lit)?;
+                }
+                KernelOp::CmpLitCol { lit, op, col } => {
+                    acc = cmp_tri(lit, *op, tuple.value(*col as usize))?;
+                }
+                KernelOp::CmpColCol { lhs, op, rhs } => {
+                    acc = cmp_tri(tuple.value(*lhs as usize), *op, tuple.value(*rhs as usize))?;
+                }
+                KernelOp::CmpLitLit { lhs, op, rhs } => {
+                    acc = cmp_tri(lhs, *op, rhs)?;
+                }
+                KernelOp::LoadBool(b) => acc = TriBool::of(*b),
+                KernelOp::LoadNull => acc = TriBool::Null,
+                KernelOp::Not => {
+                    acc = match acc {
+                        TriBool::True => TriBool::False,
+                        TriBool::False => TriBool::True,
+                        TriBool::Null => TriBool::Null,
+                    }
+                }
+                KernelOp::Push => {
+                    stack[sp] = acc;
+                    sp += 1;
+                }
+                KernelOp::AndMerge => {
+                    sp -= 1;
+                    acc = stack[sp].min(acc);
+                }
+                KernelOp::OrMerge => {
+                    sp -= 1;
+                    acc = stack[sp].max(acc);
+                }
+                KernelOp::JumpIfFalse(target) => {
+                    if acc == TriBool::False {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                KernelOp::JumpIfTrue(target) => {
+                    if acc == TriBool::True {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+            }
+            pc += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluate as a WHERE predicate: NULL (unknown) filters the tuple
+    /// out, exactly like [`BoundExpr::eval_pred`] on the same shape.
+    pub fn eval_pred(&self, tuple: &Tuple) -> Result<bool> {
+        Ok(self.eval_tri(tuple)? == TriBool::True)
+    }
+
+    /// Evaluate to a [`Value`], exactly like [`BoundExpr::eval`] on the
+    /// same shape (compiled shapes only produce booleans or NULL).
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        Ok(match self.eval_tri(tuple)? {
+            TriBool::True => Value::Bool(true),
+            TriBool::False => Value::Bool(false),
+            TriBool::Null => Value::Null,
+        })
+    }
+}
+
+/// Lower one predicate-position subterm. `depth` tracks live stack slots;
+/// exceeding [`MAX_STACK`] aborts compilation (interpreter fallback).
+fn compile_pred(e: &BoundExpr, ops: &mut Vec<KernelOp>, depth: &mut usize) -> Option<()> {
+    match e {
+        BoundExpr::Cmp { op, lhs, rhs } => {
+            let lowered = match (lhs.as_ref(), rhs.as_ref()) {
+                (BoundExpr::Column(l), BoundExpr::Literal(v)) => KernelOp::CmpColLit {
+                    col: u32::try_from(*l).ok()?,
+                    op: *op,
+                    lit: v.clone(),
+                },
+                (BoundExpr::Literal(v), BoundExpr::Column(r)) => KernelOp::CmpLitCol {
+                    lit: v.clone(),
+                    op: *op,
+                    col: u32::try_from(*r).ok()?,
+                },
+                (BoundExpr::Column(l), BoundExpr::Column(r)) => KernelOp::CmpColCol {
+                    lhs: u32::try_from(*l).ok()?,
+                    op: *op,
+                    rhs: u32::try_from(*r).ok()?,
+                },
+                (BoundExpr::Literal(l), BoundExpr::Literal(r)) => KernelOp::CmpLitLit {
+                    lhs: l.clone(),
+                    op: *op,
+                    rhs: r.clone(),
+                },
+                // Arithmetic (or nested logic) inside a comparison: the
+                // operand could be any value type — interpreter territory.
+                _ => return None,
+            };
+            ops.push(lowered);
+        }
+        BoundExpr::And(a, b) => {
+            compile_pred(a, ops, depth)?;
+            let jump_at = ops.len();
+            ops.push(KernelOp::JumpIfFalse(0)); // patched below
+            *depth += 1;
+            if *depth > MAX_STACK {
+                return None;
+            }
+            ops.push(KernelOp::Push);
+            compile_pred(b, ops, depth)?;
+            ops.push(KernelOp::AndMerge);
+            *depth -= 1;
+            let end = u32::try_from(ops.len()).ok()?;
+            ops[jump_at] = KernelOp::JumpIfFalse(end);
+        }
+        BoundExpr::Or(a, b) => {
+            compile_pred(a, ops, depth)?;
+            let jump_at = ops.len();
+            ops.push(KernelOp::JumpIfTrue(0)); // patched below
+            *depth += 1;
+            if *depth > MAX_STACK {
+                return None;
+            }
+            ops.push(KernelOp::Push);
+            compile_pred(b, ops, depth)?;
+            ops.push(KernelOp::OrMerge);
+            *depth -= 1;
+            let end = u32::try_from(ops.len()).ok()?;
+            ops[jump_at] = KernelOp::JumpIfTrue(end);
+        }
+        BoundExpr::Not(inner) => {
+            compile_pred(inner, ops, depth)?;
+            ops.push(KernelOp::Not);
+        }
+        BoundExpr::Literal(Value::Bool(b)) => ops.push(KernelOp::LoadBool(*b)),
+        BoundExpr::Literal(Value::Null) => ops.push(KernelOp::LoadNull),
+        // Bare column / non-boolean literal in predicate position, or
+        // arithmetic: outside the grammar.
+        BoundExpr::Literal(_) | BoundExpr::Column(_) | BoundExpr::Arith { .. } => return None,
+    }
+    Some(())
+}
+
+/// A predicate ready for the hot path: compiled when the expression fits
+/// the kernel grammar (and compilation is enabled), interpreted
+/// otherwise. Either way the observable behaviour — values, NULL
+/// semantics, errors, evaluation order — is identical.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Flat compiled kernel.
+    Compiled(Kernel),
+    /// Interpreter fallback (also the `compiled_kernels = false` path).
+    Interpreted(BoundExpr),
+}
+
+impl Predicate {
+    /// Bind `expr` against `schema` (surfacing the same binding errors as
+    /// [`Expr::bind`]) and compile when `allow_compile` is set and the
+    /// shape permits.
+    pub fn new(expr: &Expr, schema: &Schema, allow_compile: bool) -> Result<Predicate> {
+        Ok(Self::from_bound(expr.bind(schema)?, allow_compile))
+    }
+
+    /// Wrap an already-bound expression, compiling if possible.
+    pub fn from_bound(bound: BoundExpr, allow_compile: bool) -> Predicate {
+        if allow_compile {
+            if let Some(k) = Kernel::compile(&bound) {
+                return Predicate::Compiled(k);
+            }
+        }
+        Predicate::Interpreted(bound)
+    }
+
+    /// True iff the compiled path is active (diagnostics / experiments).
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, Predicate::Compiled(_))
+    }
+
+    /// Evaluate as a WHERE predicate ([`BoundExpr::eval_pred`] semantics).
+    pub fn eval_pred(&self, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::Compiled(k) => k.eval_pred(tuple),
+            Predicate::Interpreted(b) => b.eval_pred(tuple),
+        }
+    }
+
+    /// Evaluate to a [`Value`] ([`BoundExpr::eval`] semantics).
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Predicate::Compiled(k) => k.eval(tuple),
+            Predicate::Interpreted(b) => b.eval(tuple),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{derive_seed, seeded, TcqRng};
+    use crate::schema::{DataType, Field, SchemaRef};
+    use crate::time::Timestamp;
+    use crate::value::Value;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ])
+        .into_ref()
+    }
+
+    fn compiled(e: &Expr, s: &SchemaRef) -> Kernel {
+        match Predicate::new(e, s, true).unwrap() {
+            Predicate::Compiled(k) => k,
+            Predicate::Interpreted(_) => panic!("expected {e:?} to compile"),
+        }
+    }
+
+    #[test]
+    fn simple_shapes_compile() {
+        let s = schema();
+        for e in [
+            Expr::col("i").cmp(CmpOp::Gt, Expr::lit(3i64)),
+            Expr::lit(3i64).cmp(CmpOp::Lt, Expr::col("f")),
+            Expr::col("i").cmp(CmpOp::Eq, Expr::col("f")),
+            Expr::col("i")
+                .cmp(CmpOp::Gt, Expr::lit(0i64))
+                .and(Expr::col("s").cmp(CmpOp::Eq, Expr::lit("x"))),
+            Expr::Not(Box::new(Expr::col("b").cmp(CmpOp::Eq, Expr::lit(true)))),
+            Expr::lit(true),
+        ] {
+            assert!(
+                Predicate::new(&e, &s, true).unwrap().is_compiled(),
+                "{e} should compile"
+            );
+        }
+    }
+
+    #[test]
+    fn non_compilable_shapes_fall_back() {
+        let s = schema();
+        let arith = Expr::Arith {
+            op: crate::expr::ArithOp::Add,
+            lhs: Box::new(Expr::col("i")),
+            rhs: Box::new(Expr::lit(1i64)),
+        };
+        for e in [
+            // Arithmetic inside the comparison.
+            arith.clone().cmp(CmpOp::Gt, Expr::lit(3i64)),
+            // Bare column in predicate position.
+            Expr::col("b"),
+            // Non-boolean literal in predicate position.
+            Expr::lit(1i64),
+            // Non-boolean literal under AND.
+            Expr::lit(1i64).and(Expr::lit(true)),
+        ] {
+            assert!(
+                !Predicate::new(&e, &s, true).unwrap().is_compiled(),
+                "{e} should fall back to the interpreter"
+            );
+        }
+        // And the toggle forces the interpreter even on compilable shapes.
+        let simple = Expr::col("i").cmp(CmpOp::Gt, Expr::lit(3i64));
+        assert!(!Predicate::new(&simple, &s, false).unwrap().is_compiled());
+    }
+
+    #[test]
+    fn binding_errors_surface_before_compilation() {
+        let s = schema();
+        let e = Expr::col("missing").cmp(CmpOp::Gt, Expr::lit(3i64));
+        let kernel_err = Predicate::new(&e, &s, true).unwrap_err();
+        let bind_err = e.bind(&s).unwrap_err();
+        assert_eq!(kernel_err.to_string(), bind_err.to_string());
+    }
+
+    /// Draw a random value, skewed toward collisions and edge cases
+    /// (NULLs, NaNs, numerically-equal Int/Float pairs, type mismatches).
+    fn gen_value(rng: &mut TcqRng) -> Value {
+        match rng.gen_range(0usize..10) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen()),
+            2 | 3 => Value::Int(rng.gen_range(-3i64..3)),
+            4 => Value::Float(rng.gen_range(-3i64..3) as f64),
+            5 => Value::Float(rng.gen_range(-3.0..3.0)),
+            6 => Value::Float([f64::NAN, -0.0, f64::INFINITY][rng.gen_range(0usize..3)]),
+            _ => Value::str(["a", "b", "", "ab"][rng.gen_range(0usize..4)]),
+        }
+    }
+
+    /// Draw a random operand (S in the grammar).
+    fn gen_operand(rng: &mut TcqRng, cols: usize) -> Expr {
+        if rng.gen_bool(0.5) {
+            Expr::col(format!("c{}", rng.gen_range(0usize..cols)))
+        } else {
+            Expr::Literal(gen_value(rng))
+        }
+    }
+
+    /// Draw a random predicate from the compilable grammar.
+    fn gen_pred(rng: &mut TcqRng, cols: usize, fuel: &mut usize) -> Expr {
+        let op = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ][rng.gen_range(0usize..6)];
+        if *fuel == 0 || rng.gen_bool(0.4) {
+            return gen_operand(rng, cols).cmp(op, gen_operand(rng, cols));
+        }
+        *fuel -= 1;
+        match rng.gen_range(0usize..4) {
+            0 => gen_pred(rng, cols, fuel).and(gen_pred(rng, cols, fuel)),
+            1 => gen_pred(rng, cols, fuel).or(gen_pred(rng, cols, fuel)),
+            2 => Expr::Not(Box::new(gen_pred(rng, cols, fuel))),
+            _ => gen_operand(rng, cols).cmp(op, gen_operand(rng, cols)),
+        }
+    }
+
+    /// Seeded differential property: across randomized schemas, tuples
+    /// (untyped cells — NULLs and type mismatches included), and
+    /// grammar-shaped predicates, the kernel's `eval` and `eval_pred`
+    /// are bit-identical to the interpreter's — same values, same NULL
+    /// semantics, and the same errors with the same messages.
+    #[test]
+    fn kernel_matches_interpreter_on_random_inputs() {
+        const COLS: usize = 4;
+        let mut rng = seeded(derive_seed(0xC0FF_EE00, 1));
+        let schema: SchemaRef = Schema::new(
+            (0..COLS)
+                .map(|i| Field::new(format!("c{i}"), DataType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .into_ref();
+        let mut compiled_seen = 0usize;
+        for case in 0..4_000 {
+            let mut fuel = rng.gen_range(0usize..5);
+            let pred = gen_pred(&mut rng, COLS, &mut fuel);
+            let bound = pred.bind(&schema).unwrap();
+            let p = Predicate::from_bound(bound.clone(), true);
+            compiled_seen += p.is_compiled() as usize;
+            for _ in 0..8 {
+                let vals: Vec<Value> = (0..COLS).map(|_| gen_value(&mut rng)).collect();
+                let t = Tuple::new(schema.clone(), vals, Timestamp::logical(1)).unwrap();
+                match (p.eval(&t), bound.eval(&t)) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "case {case}: {pred} value diverged"),
+                    (Err(a), Err(b)) => assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "case {case}: {pred} error diverged"
+                    ),
+                    (a, b) => panic!("case {case}: {pred} Ok/Err diverged: {a:?} vs {b:?}"),
+                }
+                match (p.eval_pred(&t), bound.eval_pred(&t)) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "case {case}: {pred} pred diverged"),
+                    (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => panic!("case {case}: {pred} pred Ok/Err diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(
+            compiled_seen > 3_000,
+            "grammar-shaped predicates should mostly compile ({compiled_seen}/4000)"
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors_exactly_like_the_interpreter() {
+        let s = schema();
+        // FALSE AND (s > 1): interpreter short-circuits before the Str/Int
+        // type error; the kernel must too.
+        let e = Expr::col("i")
+            .cmp(CmpOp::Lt, Expr::lit(i64::MIN))
+            .and(Expr::col("s").cmp(CmpOp::Gt, Expr::lit(1i64)));
+        let k = compiled(&e, &s);
+        let bound = e.bind(&s).unwrap();
+        let t = Tuple::new(
+            s.clone(),
+            vec![
+                Value::Int(0),
+                Value::Float(0.0),
+                Value::str("x"),
+                Value::Bool(true),
+            ],
+            Timestamp::logical(1),
+        )
+        .unwrap();
+        assert!(!k.eval_pred(&t).unwrap());
+        assert!(!bound.eval_pred(&t).unwrap());
+        // Flip to TRUE AND (...): now both must surface the error.
+        let e2 = Expr::col("i")
+            .cmp(CmpOp::Ge, Expr::lit(i64::MIN))
+            .and(Expr::col("s").cmp(CmpOp::Gt, Expr::lit(1i64)));
+        let k2 = compiled(&e2, &s);
+        let b2 = e2.bind(&s).unwrap();
+        assert_eq!(
+            k2.eval_pred(&t).unwrap_err().to_string(),
+            b2.eval_pred(&t).unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn deep_nesting_falls_back_instead_of_overflowing() {
+        let s = schema();
+        // Left-nested ANDs keep depth at 1; right-nested ANDs grow the
+        // stack. Build a right-nested chain past MAX_STACK.
+        let leaf = || Expr::col("i").cmp(CmpOp::Gt, Expr::lit(0i64));
+        let mut e = leaf();
+        for _ in 0..(MAX_STACK + 2) {
+            e = leaf().and(e);
+        }
+        let p = Predicate::new(&e, &s, true).unwrap();
+        assert!(!p.is_compiled(), "past-MAX_STACK nesting must fall back");
+        // ... and still evaluates correctly through the interpreter.
+        let t = Tuple::new(
+            s.clone(),
+            vec![
+                Value::Int(1),
+                Value::Float(0.0),
+                Value::str("x"),
+                Value::Bool(true),
+            ],
+            Timestamp::logical(1),
+        )
+        .unwrap();
+        assert!(p.eval_pred(&t).unwrap());
+    }
+}

@@ -20,6 +20,8 @@ pub mod catalog;
 pub mod chaos;
 pub mod error;
 pub mod expr;
+pub mod hash;
+pub mod kernel;
 pub mod rng;
 pub mod schema;
 pub mod sync;
@@ -32,6 +34,8 @@ pub use catalog::{Catalog, SourceKind, StreamDef};
 pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FiredFault, SharedInjector};
 pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
+pub use hash::{hash_value, Fnv1a, IdentityBuildHasher};
+pub use kernel::{Kernel, Predicate};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use time::{TimeOrder, Timestamp};
 pub use tuple::{Tuple, TupleBuilder};

@@ -6,12 +6,22 @@
 //! tuple across many queries.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{Result, TcqError};
+use crate::hash::hash_value;
 use crate::schema::SchemaRef;
 use crate::time::Timestamp;
 use crate::value::Value;
+
+/// A memoized join-key hash: the FNV-1a hash of the value at column
+/// `col`, computed once and carried with the tuple so partition routing,
+/// SteM build, and SteM probe all reuse one computation.
+#[derive(Debug, Clone, Copy)]
+struct KeyHashMemo {
+    col: u32,
+    hash: u64,
+}
 
 /// An immutable row flowing through the dataflow.
 #[derive(Clone)]
@@ -19,6 +29,11 @@ pub struct Tuple {
     values: Arc<[Value]>,
     schema: SchemaRef,
     ts: Timestamp,
+    /// Lazily-filled join-key hash memo. Carried by [`Tuple::clone`],
+    /// [`Tuple::with_timestamp`], and [`Tuple::with_schema`] (column
+    /// indexes are unchanged there); dropped by [`Tuple::concat`] and
+    /// [`Tuple::project`] (indexes shift). Excluded from `PartialEq`.
+    key_hash: OnceLock<KeyHashMemo>,
 }
 
 impl Tuple {
@@ -36,6 +51,7 @@ impl Tuple {
             values: values.into(),
             schema,
             ts,
+            key_hash: OnceLock::new(),
         })
     }
 
@@ -47,6 +63,7 @@ impl Tuple {
             values: values.into(),
             schema,
             ts,
+            key_hash: OnceLock::new(),
         }
     }
 
@@ -81,7 +98,35 @@ impl Tuple {
             values: Arc::clone(&self.values),
             schema: Arc::clone(&self.schema),
             ts,
+            key_hash: self.key_hash.clone(),
         }
+    }
+
+    /// The memoized key hash for column `col`, if one was computed — no
+    /// hashing happens here (SteM counters use this to bill only real
+    /// computations).
+    pub fn cached_key_hash(&self, col: usize) -> Option<u64> {
+        self.key_hash
+            .get()
+            .filter(|m| m.col as usize == col)
+            .map(|m| m.hash)
+    }
+
+    /// The FNV-1a hash of the value at column `col`, memoized: the first
+    /// call computes and caches, later calls for the same column return
+    /// the cached word. A call for a *different* column recomputes
+    /// without touching the memo (one memo slot covers the one join key
+    /// a tuple is routed on).
+    pub fn key_hash(&self, col: usize) -> u64 {
+        if let Some(h) = self.cached_key_hash(col) {
+            return h;
+        }
+        let hash = hash_value(&self.values[col]);
+        let _ = self.key_hash.set(KeyHashMemo {
+            col: col as u32,
+            hash,
+        });
+        hash
     }
 
     /// Re-schema the tuple (used when a stream tuple enters a query under
@@ -100,6 +145,7 @@ impl Tuple {
             values: Arc::clone(&self.values),
             schema,
             ts: self.ts,
+            key_hash: self.key_hash.clone(),
         })
     }
 
@@ -115,6 +161,7 @@ impl Tuple {
             values: values.into(),
             schema: joined_schema,
             ts: self.ts.join_max(&other.ts),
+            key_hash: OnceLock::new(),
         }
     }
 
@@ -126,6 +173,7 @@ impl Tuple {
             values: values.into(),
             schema: projected_schema,
             ts: self.ts,
+            key_hash: OnceLock::new(),
         }
     }
 
@@ -308,5 +356,38 @@ mod tests {
         let a = tick(1, "MSFT", 2.0);
         let b = a.clone();
         assert!(std::ptr::eq(a.values.as_ptr(), b.values.as_ptr()));
+    }
+
+    #[test]
+    fn key_hash_memoizes_and_survives_reschema() {
+        let t = tick(1, "MSFT", 2.0);
+        assert_eq!(t.cached_key_hash(1), None, "no hash before first use");
+        let h = t.key_hash(1);
+        assert_eq!(h, crate::hash::hash_value(&Value::str("MSFT")));
+        assert_eq!(t.cached_key_hash(1), Some(h));
+        // The memo rides along clone, with_timestamp, and with_schema —
+        // the exact path PartitionDu → WorkerDu → StemOp takes.
+        assert_eq!(t.clone().cached_key_hash(1), Some(h));
+        assert_eq!(
+            t.with_timestamp(Timestamp::logical(9)).cached_key_hash(1),
+            Some(h)
+        );
+        let alias = stock_schema().with_qualifier("c1").into_ref();
+        assert_eq!(t.with_schema(alias).unwrap().cached_key_hash(1), Some(h));
+        // A different column bypasses (and does not clobber) the memo.
+        assert_eq!(t.cached_key_hash(0), None);
+        assert_eq!(t.key_hash(0), crate::hash::hash_value(&Value::Int(1)));
+        assert_eq!(t.cached_key_hash(1), Some(h));
+    }
+
+    #[test]
+    fn key_hash_memo_dropped_by_index_shifting_ops() {
+        let a = tick(1, "MSFT", 2.0);
+        let b = tick(2, "IBM", 3.0);
+        a.key_hash(1);
+        let joined_schema = a.schema().concat(b.schema()).into_ref();
+        assert_eq!(a.concat(&b, joined_schema).cached_key_hash(1), None);
+        let proj_schema = a.schema().project(&[1]).into_ref();
+        assert_eq!(a.project(&[1], proj_schema).cached_key_hash(1), None);
     }
 }

@@ -182,9 +182,16 @@ impl Value {
             }
             Value::Float(f) => {
                 2u8.hash(state);
-                // Normalize -0.0 to 0.0 so they hash identically (they
-                // compare equal under total_f64_cmp's use in sql_cmp).
-                let f = if *f == 0.0 { 0.0 } else { *f };
+                // Normalize -0.0 to 0.0 and every NaN bit pattern to the
+                // canonical NaN: total_f64_cmp (and thus Eq) treats -0.0
+                // == 0.0 and NaN == NaN, so their hashes must agree too.
+                let f = if *f == 0.0 {
+                    0.0
+                } else if f.is_nan() {
+                    f64::NAN
+                } else {
+                    *f
+                };
                 f.to_bits().hash(state);
             }
             Value::Str(s) => {
@@ -356,6 +363,56 @@ mod tests {
     fn negative_zero_hashes_like_zero() {
         assert_eq!(Value::Float(-0.0), Value::Float(0.0));
         assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn every_nan_bit_pattern_hashes_identically() {
+        // Eq treats all NaNs as equal (total_f64_cmp), so Hash must too —
+        // the SteM prehashed probe path relies on it.
+        let quiet = Value::Float(f64::NAN);
+        let negated = Value::Float(-f64::NAN);
+        let payload = Value::Float(f64::from_bits(f64::NAN.to_bits() | 0xDEAD));
+        assert_eq!(quiet, negated);
+        assert_eq!(quiet, payload);
+        assert_eq!(hash_of(&quiet), hash_of(&negated));
+        assert_eq!(hash_of(&quiet), hash_of(&payload));
+    }
+
+    /// Seeded property: for randomized value pairs (including adversarial
+    /// floats — NaN payloads, signed zeros, integral floats), equal values
+    /// always hash equal. Pins the Hash/Eq coherence the prehashed SteM
+    /// index depends on.
+    #[test]
+    fn hash_agrees_with_eq_on_random_value_pairs() {
+        let mut rng = crate::rng::seeded(crate::rng::derive_seed(0x4A5E_C0DE, 0));
+        let gen_value = |rng: &mut crate::rng::TcqRng| -> Value {
+            match rng.gen_range(0usize..8) {
+                0 => Value::Null,
+                1 => Value::Bool(rng.gen()),
+                2 => Value::Int(rng.gen_range(-4i64..4)),
+                3 => Value::Int(rng.gen()),
+                4 => Value::Float(rng.gen_range(-4.0..4.0)),
+                5 => Value::Float(rng.gen_range(-4i64..4) as f64),
+                6 => Value::Float(match rng.gen_range(0usize..4) {
+                    0 => f64::NAN,
+                    1 => -f64::NAN,
+                    2 => f64::from_bits(f64::NAN.to_bits() | (rng.gen::<u64>() & 0xFFFF)),
+                    _ => -0.0,
+                }),
+                _ => Value::str(["a", "b", "ab", ""][rng.gen_range(0usize..4)]),
+            }
+        };
+        for case in 0..20_000 {
+            let a = gen_value(&mut rng);
+            let b = gen_value(&mut rng);
+            if a == b {
+                assert_eq!(
+                    hash_of(&a),
+                    hash_of(&b),
+                    "case {case}: {a} == {b} but hashes differ"
+                );
+            }
+        }
     }
 
     #[test]

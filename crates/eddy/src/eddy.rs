@@ -369,7 +369,7 @@ impl Eddy {
                     if r.keep {
                         group.tuples.push(t);
                     }
-                    for o in r.outputs.drain(..) {
+                    for o in std::mem::take(&mut r.outputs) {
                         let osig = self.sig_cache.signature(o.schema())?;
                         match work.back_mut() {
                             Some(g) if g.sig == osig && g.done == group.done => g.tuples.push(o),

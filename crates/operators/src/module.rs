@@ -7,6 +7,132 @@
 
 use tcq_common::{Result, Tuple};
 
+/// Tuples a module handed "back to the Eddy for further routing".
+///
+/// A probe yields zero or one match far more often than many, so the
+/// first output is stored inline — the empty and single-output cases
+/// never touch the allocator. Only multi-match probes (or callers that
+/// arrive with a pre-built buffer) spill to a heap `Vec`. Equality is by
+/// sequence, not representation: `One(t)` equals `Many(vec![t])`.
+#[derive(Debug, Default)]
+pub enum Outputs {
+    /// No tuples produced.
+    #[default]
+    None,
+    /// Exactly one tuple, stored inline (no heap allocation).
+    One(Tuple),
+    /// A heap buffer of tuples (any length).
+    Many(Vec<Tuple>),
+}
+
+impl Outputs {
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            Outputs::None => 0,
+            Outputs::One(_) => 1,
+            Outputs::Many(v) => v.len(),
+        }
+    }
+
+    /// True when no tuples were produced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first output, if any.
+    pub fn first(&self) -> Option<&Tuple> {
+        match self {
+            Outputs::None => None,
+            Outputs::One(t) => Some(t),
+            Outputs::Many(v) => v.first(),
+        }
+    }
+
+    /// Append a tuple, promoting the representation as needed.
+    pub fn push(&mut self, t: Tuple) {
+        match std::mem::take(self) {
+            Outputs::None => *self = Outputs::One(t),
+            Outputs::One(a) => *self = Outputs::Many(vec![a, t]),
+            Outputs::Many(mut v) => {
+                v.push(t);
+                *self = Outputs::Many(v);
+            }
+        }
+    }
+
+    /// Iterate by reference.
+    pub fn iter(&self) -> OutputsIter<'_> {
+        match self {
+            Outputs::None => OutputsIter::One(None),
+            Outputs::One(t) => OutputsIter::One(Some(t)),
+            Outputs::Many(v) => OutputsIter::Many(v.iter()),
+        }
+    }
+}
+
+impl PartialEq for Outputs {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// Borrowing iterator over [`Outputs`].
+pub enum OutputsIter<'a> {
+    /// Inline zero-or-one case.
+    One(Option<&'a Tuple>),
+    /// Heap-buffer case.
+    Many(std::slice::Iter<'a, Tuple>),
+}
+
+impl<'a> Iterator for OutputsIter<'a> {
+    type Item = &'a Tuple;
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            OutputsIter::One(t) => t.take(),
+            OutputsIter::Many(it) => it.next(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Outputs {
+    type Item = &'a Tuple;
+    type IntoIter = OutputsIter<'a>;
+    fn into_iter(self) -> OutputsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over [`Outputs`].
+pub enum OutputsIntoIter {
+    /// Inline zero-or-one case.
+    One(Option<Tuple>),
+    /// Heap-buffer case.
+    Many(std::vec::IntoIter<Tuple>),
+}
+
+impl Iterator for OutputsIntoIter {
+    type Item = Tuple;
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            OutputsIntoIter::One(t) => t.take(),
+            OutputsIntoIter::Many(it) => it.next(),
+        }
+    }
+}
+
+impl IntoIterator for Outputs {
+    type Item = Tuple;
+    type IntoIter = OutputsIntoIter;
+    fn into_iter(self) -> OutputsIntoIter {
+        match self {
+            Outputs::None => OutputsIntoIter::One(None),
+            Outputs::One(t) => OutputsIntoIter::One(Some(t)),
+            Outputs::Many(v) => OutputsIntoIter::Many(v.into_iter()),
+        }
+    }
+}
+
 /// What a module did with one routed tuple.
 #[derive(Debug, Default)]
 pub struct Routed {
@@ -16,7 +142,7 @@ pub struct Routed {
     pub keep: bool,
     /// Newly generated tuples (join concatenations, index lookups) returned
     /// "back to the Eddy for further routing".
-    pub outputs: Vec<Tuple>,
+    pub outputs: Outputs,
 }
 
 impl Routed {
@@ -24,7 +150,7 @@ impl Routed {
     pub fn pass() -> Routed {
         Routed {
             keep: true,
-            outputs: Vec::new(),
+            outputs: Outputs::None,
         }
     }
 
@@ -32,7 +158,15 @@ impl Routed {
     pub fn drop() -> Routed {
         Routed {
             keep: false,
-            outputs: Vec::new(),
+            outputs: Outputs::None,
+        }
+    }
+
+    /// The tuple was consumed and replaced by one output (allocation-free).
+    pub fn consume_one(output: Tuple) -> Routed {
+        Routed {
+            keep: false,
+            outputs: Outputs::One(output),
         }
     }
 
@@ -40,7 +174,7 @@ impl Routed {
     pub fn consume_into(outputs: Vec<Tuple>) -> Routed {
         Routed {
             keep: false,
-            outputs,
+            outputs: Outputs::Many(outputs),
         }
     }
 }
@@ -95,5 +229,24 @@ mod tests {
         assert!(!Routed::drop().keep);
         let r = Routed::consume_into(vec![]);
         assert!(!r.keep && r.outputs.is_empty());
+    }
+
+    #[test]
+    fn outputs_equality_is_by_sequence_not_representation() {
+        use tcq_common::{DataType, Field, Schema, TupleBuilder};
+        let s = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        let t = TupleBuilder::new(s).push(1i64).build().unwrap();
+        let one = Outputs::One(t.clone());
+        let many = Outputs::Many(vec![t.clone()]);
+        assert_eq!(one, many);
+        assert_ne!(one, Outputs::None);
+        assert_eq!(Outputs::None, Outputs::Many(vec![]));
+        let mut grown = Outputs::None;
+        grown.push(t.clone());
+        assert_eq!(grown, one);
+        grown.push(t.clone());
+        assert_eq!(grown.len(), 2);
+        assert_eq!(grown.iter().count(), 2);
+        assert_eq!(grown.into_iter().count(), 2);
     }
 }

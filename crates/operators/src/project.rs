@@ -9,6 +9,12 @@ use tcq_common::{DataType, Expr, Field, Result, Schema, SchemaRef, Tuple, Value}
 /// column reference in order.
 pub struct ProjectOp {
     exprs: Vec<tcq_common::BoundExpr>,
+    /// Set when every projected expression is a bare column reference:
+    /// the input indices to copy, in output order. `apply` then moves
+    /// values without walking any expression tree — the compiled-kernel
+    /// analogue for projections, where "compilation" collapses to an
+    /// index list.
+    columns: Option<Vec<usize>>,
     out_schema: SchemaRef,
 }
 
@@ -30,10 +36,29 @@ impl ProjectOp {
             };
             fields.push(Field::new(name, dt));
         }
+        let columns = bound
+            .iter()
+            .map(|b| match b {
+                tcq_common::BoundExpr::Column(i) => Some(*i),
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
         Ok(ProjectOp {
             exprs: bound,
+            columns,
             out_schema: Schema::new(fields).into_ref(),
         })
+    }
+
+    /// Enable or disable the column-copy fast path (default on). Off, even
+    /// bare-column projections walk their bound expressions per tuple —
+    /// the pre-kernel behaviour, kept so A/B experiments can isolate
+    /// projection compilation.
+    pub fn with_compiled_kernels(mut self, enabled: bool) -> Self {
+        if !enabled {
+            self.columns = None;
+        }
+        self
     }
 
     /// The identity projection (`SELECT *`).
@@ -58,12 +83,26 @@ impl ProjectOp {
         &self.out_schema
     }
 
+    /// True when this projection runs on the column-copy fast path.
+    pub fn is_column_only(&self) -> bool {
+        self.columns.is_some()
+    }
+
     /// Apply to one tuple.
     pub fn apply(&self, tuple: &Tuple) -> Result<Tuple> {
-        let values: Result<Vec<Value>> = self.exprs.iter().map(|e| e.eval(tuple)).collect();
+        let values: Vec<Value> = match &self.columns {
+            // Column-only projections copy values by index; expression
+            // evaluation (and its per-column dispatch) is skipped entirely.
+            Some(cols) => cols.iter().map(|&i| tuple.value(i).clone()).collect(),
+            None => self
+                .exprs
+                .iter()
+                .map(|e| e.eval(tuple))
+                .collect::<Result<Vec<Value>>>()?,
+        };
         Ok(Tuple::new_unchecked(
             self.out_schema.clone(),
-            values?,
+            values,
             tuple.timestamp(),
         ))
     }

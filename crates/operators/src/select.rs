@@ -1,6 +1,6 @@
 //! Selection modules: single-predicate filters and CACQ grouped filters.
 
-use tcq_common::{BitSet, BoundExpr, CmpOp, Expr, Result, SchemaRef, TcqError, Tuple, Value};
+use tcq_common::{BitSet, CmpOp, Expr, Predicate, Result, SchemaRef, TcqError, Tuple, Value};
 use tcq_stems::GroupedFilter;
 
 /// A pipelined selection: passes tuples satisfying a predicate.
@@ -8,9 +8,11 @@ use tcq_stems::GroupedFilter;
 /// An eddy may route tuples of *several* schemas through the same filter —
 /// a filter on `S.x` applies to base `S` tuples and to any join output
 /// containing `S` columns, whose column order depends on which side probed.
-/// The op therefore keeps the unbound predicate and a per-schema bound
-/// cache (schemas are interned by `Arc` pointer, so the cache hit is one
-/// hash probe).
+/// The op therefore keeps the unbound predicate and a per-schema
+/// [`Predicate`] cache (schemas are interned by `Arc` pointer, so the
+/// cache hit is one hash probe). Each cached predicate is a compiled
+/// kernel when the expression's shape allows it, falling back to the
+/// tree-walking interpreter otherwise — see [`tcq_common::kernel`].
 ///
 /// An optional artificial cost (in "work units" of busy looping) lets
 /// experiments reproduce the expensive-predicate scenarios of the eddies
@@ -18,8 +20,9 @@ use tcq_stems::GroupedFilter;
 pub struct SelectOp {
     name: String,
     pred: Expr,
-    bound: std::collections::HashMap<usize, BoundExpr>,
+    bound: std::collections::HashMap<usize, Predicate>,
     cost_units: u64,
+    compiled_kernels: bool,
 }
 
 impl SelectOp {
@@ -27,12 +30,16 @@ impl SelectOp {
     /// schema, bound eagerly so construction surfaces name errors.
     pub fn new(name: impl Into<String>, pred: &Expr, schema: &SchemaRef) -> Result<Self> {
         let mut bound = std::collections::HashMap::new();
-        bound.insert(std::sync::Arc::as_ptr(schema) as usize, pred.bind(schema)?);
+        bound.insert(
+            std::sync::Arc::as_ptr(schema) as usize,
+            Predicate::new(pred, schema, true)?,
+        );
         Ok(SelectOp {
             name: name.into(),
             pred: pred.clone(),
             bound,
             cost_units: 0,
+            compiled_kernels: true,
         })
     }
 
@@ -43,14 +50,34 @@ impl SelectOp {
         self
     }
 
+    /// Enable or disable kernel compilation (default on). Disabling
+    /// re-lowers any cached bindings onto the interpreter, so A/B
+    /// experiments measure the old tree-walking path faithfully.
+    pub fn with_compiled_kernels(mut self, enabled: bool) -> Self {
+        if self.compiled_kernels != enabled {
+            self.compiled_kernels = enabled;
+            // Cached entries were lowered under the old flag; rebuilding
+            // lazily is safe because each schema already bound once.
+            self.bound.clear();
+        }
+        self
+    }
+
+    /// True when the predicate bound to `schema` runs as a compiled kernel.
+    pub fn is_compiled_for(&self, schema: &SchemaRef) -> bool {
+        self.bound
+            .get(&(std::sync::Arc::as_ptr(schema) as usize))
+            .is_some_and(|p| p.is_compiled())
+    }
+
     /// Evaluate the predicate against a tuple of any schema the predicate
     /// binds to.
     pub fn matches(&mut self, tuple: &Tuple) -> Result<bool> {
         burn(self.cost_units);
         let key = std::sync::Arc::as_ptr(tuple.schema()) as usize;
         if !self.bound.contains_key(&key) {
-            let b = self.pred.bind(tuple.schema())?;
-            self.bound.insert(key, b);
+            let p = Predicate::new(&self.pred, tuple.schema(), self.compiled_kernels)?;
+            self.bound.insert(key, p);
         }
         self.bound[&key].eval_pred(tuple)
     }
@@ -82,12 +109,12 @@ impl crate::module::EddyModule for SelectOp {
         for t in tuples {
             let key = std::sync::Arc::as_ptr(t.schema()) as usize;
             if !self.bound.contains_key(&key) {
-                let b = self.pred.bind(t.schema())?;
-                self.bound.insert(key, b);
+                let p = Predicate::new(&self.pred, t.schema(), self.compiled_kernels)?;
+                self.bound.insert(key, p);
             }
         }
         out.reserve(tuples.len());
-        let mut cached: Option<(usize, &BoundExpr)> = None;
+        let mut cached: Option<(usize, &Predicate)> = None;
         for t in tuples {
             let key = std::sync::Arc::as_ptr(t.schema()) as usize;
             let bound = match cached {
@@ -312,6 +339,35 @@ mod tests {
         assert_eq!(per_tuple, vec![vec![0], vec![1], vec![0]]);
         // matching() reflects the batch's last tuple.
         assert_eq!(op.matching().iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_select_agree() {
+        let s = schema();
+        let pred = Expr::col("price")
+            .cmp(CmpOp::Gt, Expr::lit(50.0))
+            .and(Expr::col("sym").cmp(CmpOp::Ne, Expr::lit("HALT")));
+        let mut compiled = SelectOp::new("sel", &pred, &s).unwrap();
+        assert!(compiled.is_compiled_for(&s));
+        let mut interp = SelectOp::new("sel", &pred, &s)
+            .unwrap()
+            .with_compiled_kernels(false);
+        let mut rng = tcq_common::rng::seeded(0x5E1E);
+        for i in 0..300 {
+            let sym = ["MSFT", "HALT"][rng.gen_range(0..2usize)];
+            let t = TupleBuilder::new(s.clone())
+                .push(sym)
+                .push(rng.gen_range(0.0..100.0))
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap();
+            assert_eq!(
+                compiled.matches(&t).unwrap(),
+                interp.matches(&t).unwrap(),
+                "divergence on {t:?}"
+            );
+        }
+        assert!(!interp.is_compiled_for(&s));
     }
 
     #[test]

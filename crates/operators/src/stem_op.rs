@@ -18,7 +18,7 @@ use std::sync::Arc;
 use tcq_common::{Result, Schema, SchemaRef, TcqError, Tuple, Value};
 use tcq_stems::{IndexKind, SteM};
 
-use crate::module::{EddyModule, Routed};
+use crate::module::{EddyModule, Outputs, Routed};
 
 /// Cached plan for probing with tuples of one schema.
 struct ProbePlan {
@@ -45,6 +45,13 @@ pub struct StemOp {
     /// (latest - width) are evicted on insert.
     window_width: Option<i64>,
     latest_seq: i64,
+    /// When set (the default), probes reuse the tuple's memoized key hash
+    /// via [`SteM::probe_eq_hashed`]; when clear, every probe hashes its
+    /// key afresh (the pre-kernel behaviour, kept for A/B experiments).
+    prehash: bool,
+    /// Probe-match scratch reused across calls — probing allocates no
+    /// fresh buffer per tuple.
+    match_scratch: Vec<Tuple>,
 }
 
 impl StemOp {
@@ -75,7 +82,17 @@ impl StemOp {
             plans: HashMap::new(),
             window_width: None,
             latest_seq: i64::MIN,
+            prehash: true,
+            match_scratch: Vec::new(),
         })
+    }
+
+    /// Enable or disable the prehashed probe path (default on). Off, each
+    /// probe recomputes its key hash — the per-site hashing the engine did
+    /// before key hashes were memoized on tuples.
+    pub fn with_prehash(mut self, enabled: bool) -> Self {
+        self.prehash = enabled;
+        self
     }
 
     /// Add a fallback probe-key spec, tried when earlier specs do not
@@ -155,6 +172,12 @@ impl StemOp {
         self.stem.counters()
     }
 
+    /// Key-hash computations the underlying SteM has performed (memo hits
+    /// are free) — the observable behind the hashed-exactly-once tests.
+    pub fn hash_computes(&self) -> u64 {
+        self.stem.hash_computes()
+    }
+
     /// Drain all stored tuples (Flux state movement).
     pub fn drain_all(&mut self) -> Vec<Tuple> {
         self.stem.drain_all()
@@ -166,6 +189,48 @@ impl StemOp {
             self.stem.insert(t)?;
         }
         Ok(())
+    }
+
+    /// Probe with `tuple`'s key column into the reusable scratch buffer.
+    /// On the prehash path the tuple's memoized key hash (computed at most
+    /// once in its lifetime, possibly upstream at the partitioner) feeds
+    /// the hashed index directly.
+    fn probe_into_scratch(&mut self, tuple: &Tuple, key_col: usize) {
+        self.match_scratch.clear();
+        if self.prehash {
+            let hash = tuple.key_hash(key_col);
+            self.stem
+                .probe_eq_hashed(hash, tuple.value(key_col), &mut self.match_scratch);
+        } else {
+            self.stem
+                .probe_eq(tuple.value(key_col), &mut self.match_scratch);
+        }
+    }
+
+    /// Concatenate the scratch matches with `tuple` into join outputs. On
+    /// the recycling (prehash) path the empty and single-match cases use
+    /// [`Outputs`]' inline representation and never allocate an output
+    /// buffer; the legacy path keeps the pre-kernel one-`Vec`-per-probe
+    /// shape for honest A/B allocation accounting.
+    fn concat_scratch(&self, tuple: &Tuple, joined: &SchemaRef) -> Outputs {
+        if self.prehash {
+            match self.match_scratch.as_slice() {
+                [] => Outputs::None,
+                [stored] => Outputs::One(tuple.concat(stored, joined.clone())),
+                many => Outputs::Many(
+                    many.iter()
+                        .map(|stored| tuple.concat(stored, joined.clone()))
+                        .collect(),
+                ),
+            }
+        } else {
+            Outputs::Many(
+                self.match_scratch
+                    .iter()
+                    .map(|stored| tuple.concat(stored, joined.clone()))
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -191,14 +256,12 @@ impl EddyModule for StemOp {
             let plan = self.probe_plan(tuple.schema())?;
             (plan.key_col, plan.joined.clone())
         };
-        let key = tuple.value(key_col).clone();
-        let mut matches = Vec::new();
-        self.stem.probe_eq(&key, &mut matches);
-        let outputs: Vec<Tuple> = matches
-            .into_iter()
-            .map(|stored| tuple.concat(&stored, joined.clone()))
-            .collect();
-        Ok(Routed::consume_into(outputs))
+        self.probe_into_scratch(tuple, key_col);
+        let outputs = self.concat_scratch(tuple, &joined);
+        Ok(Routed {
+            keep: false,
+            outputs,
+        })
     }
 
     /// Batch SteM visit. Tuples are handled strictly in batch order —
@@ -210,7 +273,6 @@ impl EddyModule for StemOp {
     fn process_batch(&mut self, tuples: &[Tuple], out: &mut Vec<Routed>) -> Result<()> {
         out.reserve(tuples.len());
         let mut plan: Option<(usize, usize, SchemaRef)> = None;
-        let mut matches: Vec<Tuple> = Vec::new();
         for tuple in tuples {
             if self.is_build(tuple) {
                 let seq = tuple.timestamp().seq();
@@ -232,13 +294,12 @@ impl EddyModule for StemOp {
                     cached
                 }
             };
-            matches.clear();
-            self.stem.probe_eq(tuple.value(key_col), &mut matches);
-            let outputs: Vec<Tuple> = matches
-                .iter()
-                .map(|stored| tuple.concat(stored, joined.clone()))
-                .collect();
-            out.push(Routed::consume_into(outputs));
+            self.probe_into_scratch(tuple, key_col);
+            let outputs = self.concat_scratch(tuple, &joined);
+            out.push(Routed {
+                keep: false,
+                outputs,
+            });
         }
         Ok(())
     }
@@ -352,7 +413,7 @@ mod tests {
         stem_s.process(&t(&s, 1, "x", 1)).unwrap();
         let out = stem_s.process(&t(&r, 1, "y", 2)).unwrap();
         assert_eq!(out.outputs.len(), 1);
-        let j = &out.outputs[0];
+        let j = out.outputs.first().unwrap();
         // probe tuple first, stored tuple second
         assert_eq!(j.get(Some("T"), "v").unwrap(), &Value::str("y"));
         assert_eq!(j.get(Some("S"), "v").unwrap(), &Value::str("x"));
@@ -389,7 +450,12 @@ mod tests {
         let r = schema("T");
         let (mut stem_s, mut stem_t) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
         stem_s.process(&t(&s, 1, "a", 1)).unwrap();
-        let st = stem_s.process(&t(&r, 1, "b", 2)).unwrap().outputs;
+        let st: Vec<Tuple> = stem_s
+            .process(&t(&r, 1, "b", 2))
+            .unwrap()
+            .outputs
+            .into_iter()
+            .collect();
         assert_eq!(st.len(), 1);
         // Route the joined tuple to SteM_T: T-side columns resolve, probe
         // happens (and finds nothing — T never built).
@@ -450,6 +516,42 @@ mod tests {
             assert_eq!(got, expect, "mixed={mixed}");
             assert_eq!(batched.len(), per.len(), "retained state diverged");
         }
+    }
+
+    #[test]
+    fn prehash_and_legacy_probe_agree_and_differ_only_in_hash_count() {
+        let s = schema("S");
+        let r = schema("T");
+        let mk = |prehash: bool| {
+            let (stem_s, _) = symmetric_hash_join(&s, "S", "k", &r, "T", "k").unwrap();
+            stem_s.with_prehash(prehash)
+        };
+        let mut fast = mk(true);
+        let mut slow = mk(false);
+        for ts in 1..=40i64 {
+            // Separate tuple instances per op: the hash memo rides on the
+            // tuple, so sharing one would let `fast` pre-warm `slow`.
+            for op in [&mut fast, &mut slow] {
+                op.process(&t(&s, ts % 5, "b", ts)).unwrap();
+            }
+            let of = fast.process(&t(&r, ts % 7, "p", ts)).unwrap();
+            let os = slow.process(&t(&r, ts % 7, "p", ts)).unwrap();
+            assert_eq!(of.outputs, os.outputs, "join outputs diverged at ts={ts}");
+        }
+        assert_eq!(fast.counters(), slow.counters());
+        // Builds hash once either way (40 each); legacy probes add one
+        // hash per probe (40 more), prehashed probes memoize on the probe
+        // tuple so each costs at most one — here exactly one, since the
+        // probe tuples arrive cold.
+        assert_eq!(slow.hash_computes(), 80);
+        assert_eq!(fast.hash_computes(), 40);
+        // A probe tuple hashed upstream (e.g. by the partitioner) costs
+        // the SteM nothing.
+        let p = t(&r, 1, "warm", 99);
+        p.key_hash(0);
+        let before = fast.hash_computes();
+        fast.process(&p).unwrap();
+        assert_eq!(fast.hash_computes(), before);
     }
 
     #[test]

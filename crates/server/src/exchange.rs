@@ -33,9 +33,13 @@
 //! 1. **Canonical order.** The partitioner's drain order over its input
 //!    fjords *is* the canonical total order: it is exactly the order a
 //!    sequential `JoinCqDu` with the same `io_batch` would feed its eddy.
-//!    Each tuple is hashed on its join-key value ([`Value::hash_key`], a
-//!    fixed-key SipHash — deterministic across runs and machines with the
-//!    same std) and appended to partition fjord `p`. Maximal runs of
+//!    Each tuple is hashed on its join-key value with the in-tree FNV-1a
+//!    ([`tcq_common::hash_value`] — deterministic across runs, machines,
+//!    *and* std versions, unlike `DefaultHasher`). The hash is memoized on
+//!    the tuple itself, so the SteM that later builds or probes on the
+//!    same key column reuses it instead of rehashing: one hash per tuple
+//!    end to end. The tuple is appended to partition fjord `p`. Maximal
+//!    runs of
 //!    consecutive same-partition tuples are delimited by a `Punct` in the
 //!    partition fjord, and each run start emits one grant
 //!    (`Punct(logical(p))`) into the schedule fjord. The schedule is
@@ -73,11 +77,9 @@
 //! drains partition fjords, which unblocks the head. No cycle waits on a
 //! later message.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
-use std::hash::Hasher;
 
-use tcq_common::{Result, SchemaRef, Timestamp, Tuple};
+use tcq_common::{hash_value, Result, SchemaRef, Timestamp, Tuple};
 use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
 use tcq_executor::{DispatchUnit, ModuleStatus};
@@ -179,6 +181,13 @@ pub struct PartitionDu {
     outbox: VecDeque<(Hop, FjordMessage)>,
     open_run: Option<usize>,
     finished: bool,
+    /// When set (the default), the routing hash is memoized on the tuple
+    /// so downstream SteMs reuse it; when clear, every route hashes
+    /// afresh and leaves no memo (the pre-kernel per-site behaviour).
+    prehash: bool,
+    /// Fresh hash computations performed while routing (memo hits are
+    /// free) — the partitioner's half of the hashed-exactly-once story.
+    hash_computes: u64,
 }
 
 impl PartitionDu {
@@ -206,6 +215,8 @@ impl PartitionDu {
             outbox: VecDeque::new(),
             open_run: None,
             finished: false,
+            prehash: true,
+            hash_computes: 0,
         }
     }
 
@@ -215,10 +226,34 @@ impl PartitionDu {
         self
     }
 
+    /// Enable or disable hash memoization on routed tuples (default on).
+    pub fn with_prehash(mut self, enabled: bool) -> Self {
+        self.prehash = enabled;
+        self
+    }
+
+    /// Fresh key-hash computations performed while routing.
+    pub fn hash_computes(&self) -> u64 {
+        self.hash_computes
+    }
+
     fn route(&mut self, t: Tuple, key_col: usize) {
-        let mut h = DefaultHasher::new();
-        t.value(key_col).hash_key(&mut h);
-        let p = (h.finish() % self.parts.len() as u64) as usize;
+        // Same FNV-1a either way, so partition assignment is independent
+        // of the toggle; prehash additionally memoizes the hash on the
+        // tuple for downstream SteM reuse.
+        let hash = if self.prehash {
+            match t.cached_key_hash(key_col) {
+                Some(h) => h,
+                None => {
+                    self.hash_computes += 1;
+                    t.key_hash(key_col)
+                }
+            }
+        } else {
+            self.hash_computes += 1;
+            hash_value(t.value(key_col))
+        };
+        let p = (hash % self.parts.len() as u64) as usize;
         if self.open_run != Some(p) {
             self.close_run();
             self.open_run = Some(p);
@@ -877,5 +912,123 @@ mod tests {
                 "delivery must follow canonical (arrival) order"
             );
         }
+    }
+
+    /// The hashed-exactly-once contract end to end: the partitioner
+    /// computes each routed tuple's key hash once (memoized on the
+    /// tuple), and the per-partition SteMs that later build and probe on
+    /// the same key reuse the memo, computing zero hashes of their own.
+    /// With prehash off, every site hashes for itself — the counters
+    /// recover the old per-site totals.
+    #[test]
+    fn key_hash_computed_once_across_exchange_and_stems() {
+        use tcq_operators::{module::EddyModule, StemOp};
+        use tcq_stems::IndexKind;
+        const P: usize = 2;
+        const N: i64 = 100;
+        let s = Schema::qualified(
+            "s",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
+        )
+        .into_ref();
+        let tt = Schema::qualified(
+            "t",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ],
+        )
+        .into_ref();
+        let run = |prehash: bool| -> (u64, u64, usize) {
+            let (sp, sc) = fjord(4096, QueueKind::Push);
+            let (tp, tc) = fjord(4096, QueueKind::Push);
+            let mut parts = Vec::new();
+            let mut outs = Vec::new();
+            for _ in 0..P {
+                let (p, c) = fjord(4096, QueueKind::Push);
+                parts.push(p);
+                outs.push(c);
+            }
+            let (sched_p, _sched_c) = fjord(4096, QueueKind::Push);
+            let mut part = PartitionDu::new(
+                "part",
+                vec![
+                    ExchangeInput::new(sc, s.clone(), 0),
+                    ExchangeInput::new(tc, tt.clone(), 0),
+                ],
+                parts,
+                sched_p,
+                i64::MIN,
+                i64::MAX,
+            )
+            .with_prehash(prehash);
+            // Builds from s arrive before probes from t (separate inputs;
+            // the partitioner drains input 0 first).
+            for i in 0..N {
+                let b = TupleBuilder::new(s.clone())
+                    .push(i % 13)
+                    .push(i)
+                    .at(Timestamp::logical(i + 1))
+                    .build()
+                    .unwrap();
+                sp.enqueue(FjordMessage::Tuple(b)).unwrap();
+            }
+            sp.send_eof().unwrap();
+            for i in 0..N {
+                let pr = TupleBuilder::new(tt.clone())
+                    .push(i % 13)
+                    .push(i)
+                    .at(Timestamp::logical(N + i + 1))
+                    .build()
+                    .unwrap();
+                tp.enqueue(FjordMessage::Tuple(pr)).unwrap();
+            }
+            tp.send_eof().unwrap();
+            for _ in 0..100_000 {
+                if part.run(64).unwrap() == ModuleStatus::Done {
+                    break;
+                }
+            }
+            let part_hashes = part.hash_computes();
+            // Drop the partitioner so the partition fjords disconnect and
+            // the blocking drains below terminate.
+            drop(part);
+            // Worker side: one SteM(s) per partition, probed by t.k.
+            let mut matches = 0usize;
+            let mut stem_hashes = 0u64;
+            for c in &outs {
+                let mut stem = StemOp::new(
+                    "SteM(s)",
+                    s.clone(),
+                    "s",
+                    0,
+                    (Some("t".into()), "k".into()),
+                    IndexKind::Hash,
+                )
+                .unwrap()
+                .with_prehash(prehash);
+                while let Ok(msg) = c.dequeue_blocking() {
+                    if let FjordMessage::Tuple(tu) = msg {
+                        matches += stem.process(&tu).unwrap().outputs.len();
+                    }
+                }
+                stem_hashes += stem.hash_computes();
+            }
+            (part_hashes, stem_hashes, matches)
+        };
+        let (part_on, stem_on, matches_on) = run(true);
+        let (part_off, stem_off, matches_off) = run(false);
+        // Same join results either way.
+        assert_eq!(matches_on, matches_off);
+        assert!(matches_on > 0, "the workload must actually join");
+        // Prehash: 2N tuples hashed once each at the partitioner, zero at
+        // the SteMs. Legacy: the partitioner hashes 2N and the SteMs hash
+        // again for every build and probe — double the total.
+        assert_eq!((part_on, stem_on), (2 * N as u64, 0));
+        assert_eq!(part_off, 2 * N as u64);
+        assert_eq!(stem_off, 2 * N as u64);
     }
 }

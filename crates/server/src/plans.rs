@@ -15,7 +15,7 @@ use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    BoundExpr, DataType, Expr, Field, Result, Schema, SchemaRef, Timestamp, Tuple, Value,
+    DataType, Expr, Field, Predicate, Result, Schema, SchemaRef, Timestamp, Tuple, Value,
 };
 use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
@@ -50,11 +50,18 @@ pub struct FilterCqShared {
 }
 
 impl FilterCqShared {
-    /// Empty shared state over a stream's schema.
+    /// Empty shared state over a stream's schema, residuals compiled to
+    /// kernels.
     pub fn new(schema: SchemaRef) -> Self {
+        Self::with_compiled_kernels(schema, true)
+    }
+
+    /// Like [`FilterCqShared::new`], choosing whether residual predicates
+    /// compile to kernels or run on the interpreter.
+    pub fn with_compiled_kernels(schema: SchemaRef, compiled: bool) -> Self {
         FilterCqShared {
             inner: Arc::new(Mutex::new(FilterInner {
-                qstem: QueryStem::new(schema),
+                qstem: QueryStem::with_compiled_kernels(schema, compiled),
                 projections: HashMap::new(),
                 min_seq: HashMap::new(),
             })),
@@ -210,6 +217,9 @@ impl DispatchUnit for FilterCqDu {
 pub struct LazyProject {
     items: Vec<(Expr, Option<String>)>,
     bound: HashMap<usize, ProjectOp>,
+    /// Whether bound projections may use the column-copy fast path
+    /// (`ServerConfig::compiled_kernels`).
+    compiled_kernels: bool,
 }
 
 impl LazyProject {
@@ -218,14 +228,23 @@ impl LazyProject {
         LazyProject {
             items,
             bound: HashMap::new(),
+            compiled_kernels: true,
         }
+    }
+
+    /// Enable or disable the column-copy fast path on projections bound
+    /// from here on (default on).
+    pub fn with_compiled_kernels(mut self, enabled: bool) -> Self {
+        self.compiled_kernels = enabled;
+        self
     }
 
     /// Apply to a tuple of any compatible schema.
     pub fn apply(&mut self, tuple: &Tuple) -> Result<Tuple> {
         let key = Arc::as_ptr(tuple.schema()) as usize;
         if !self.bound.contains_key(&key) {
-            let op = ProjectOp::new(&self.items, tuple.schema())?;
+            let op = ProjectOp::new(&self.items, tuple.schema())?
+                .with_compiled_kernels(self.compiled_kernels);
             self.bound.insert(key, op);
         }
         self.bound[&key].apply(tuple)
@@ -439,7 +458,7 @@ pub struct ResolvedAgg {
 pub struct AggregateCqDu {
     name: String,
     input: Consumer,
-    pred: Option<BoundExpr>,
+    pred: Option<Predicate>,
     aggs: Vec<ResolvedAgg>,
     group_by: Option<usize>,
     windows: std::iter::Peekable<WindowSeq>,
@@ -465,7 +484,7 @@ impl AggregateCqDu {
         name: impl Into<String>,
         input: Consumer,
         input_schema: &SchemaRef,
-        pred: Option<BoundExpr>,
+        pred: Option<Predicate>,
         aggs: Vec<ResolvedAgg>,
         group_by: Option<usize>,
         windows: WindowSeq,
@@ -836,10 +855,8 @@ mod tests {
             },
             1,
         );
-        let pred = Expr::col("ts")
-            .cmp(CmpOp::Gt, Expr::lit(2i64))
-            .bind(&s)
-            .unwrap();
+        let pred =
+            Predicate::new(&Expr::col("ts").cmp(CmpOp::Gt, Expr::lit(2i64)), &s, true).unwrap();
         let mut du = AggregateCqDu::new(
             "agg",
             c,

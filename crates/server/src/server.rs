@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    Catalog, FaultPlan, FiredFault, Result, SchemaRef, SharedInjector, SourceKind, TcqError, Tuple,
+    Catalog, FaultPlan, FiredFault, Predicate, Result, SchemaRef, SharedInjector, SourceKind,
+    TcqError, Tuple,
 };
 use tcq_eddy::{
     Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
@@ -94,6 +95,12 @@ pub struct ServerConfig {
     /// delivered results and egress ledger are byte-identical to `P=1`
     /// for the same seed (see `crate::exchange`).
     pub partitions: usize,
+    /// Compiled hot-path kernels (default on). Gates both predicate
+    /// compilation ([`tcq_common::kernel`]) and the prehashed SteM/exchange
+    /// probe path. Off reproduces the tree-walking interpreter and
+    /// per-site hashing of earlier engines — results are byte-identical
+    /// either way; only the work per tuple changes.
+    pub compiled_kernels: bool,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +120,7 @@ impl Default for ServerConfig {
             fault_plan: None,
             egress_policy: EgressPolicy::default(),
             partitions: 1,
+            compiled_kernels: true,
         }
     }
 }
@@ -270,7 +278,8 @@ impl TelegraphCQ {
         self.executor.submit(class, Box::new(dispatcher))?;
 
         // The shared CACQ filter DU for this stream.
-        let filter_shared = FilterCqShared::new(qualified);
+        let filter_shared =
+            FilterCqShared::with_compiled_kernels(qualified, self.config.compiled_kernels);
         let (fp, fc) = fjord(self.config.queue_capacity, QueueKind::Push);
         subscribers.add(fp);
         let filter_du = FilterCqDu::new(
@@ -523,7 +532,7 @@ impl TelegraphCQ {
             let archive = st.archive.as_ref().expect("checked above");
             let base = st.def.schema.with_qualifier(&source.name).into_ref();
             let bound = match &pred {
-                Some(p) => Some(p.bind(&base)?),
+                Some(p) => Some(Predicate::new(p, &base, self.config.compiled_kernels)?),
                 None => None,
             };
             let project = tcq_operators::ProjectOp::new(&projection, &base)?;
@@ -554,7 +563,7 @@ impl TelegraphCQ {
         })?;
         let base = st.def.schema.with_qualifier(&source.name).into_ref();
         let pred = match stripped_predicate(aq) {
-            Some(p) => Some(p.bind(&base)?),
+            Some(p) => Some(Predicate::new(&p, &base, self.config.compiled_kernels)?),
             None => None,
         };
         let aggs = resolve_aggregates(aq)?;
@@ -632,7 +641,8 @@ impl TelegraphCQ {
         }
 
         let (floor, deadline) = self.join_bounds(aq)?;
-        let project = LazyProject::new(aq.projection.clone());
+        let project = LazyProject::new(aq.projection.clone())
+            .with_compiled_kernels(self.config.compiled_kernels);
         let du = JoinCqDu::new(
             format!("join-cq(q{qid})"),
             inputs,
@@ -722,6 +732,7 @@ impl TelegraphCQ {
             for extra in specs {
                 stem = stem.with_extra_probe_key(extra);
             }
+            stem = stem.with_prehash(self.config.compiled_kernels);
             if let Some(width) = planner::join_window_width(aq, &source.alias)? {
                 stem = stem.with_window_width(width);
             }
@@ -731,7 +742,8 @@ impl TelegraphCQ {
         for (i, source) in aq.sources.iter().enumerate() {
             if let Some(pred) = source_predicate(aq, i) {
                 let bit = eddy.source_bit(&source.alias)?;
-                let op = SelectOp::new(format!("sel({})", source.alias), &pred, &source.schema)?;
+                let op = SelectOp::new(format!("sel({})", source.alias), &pred, &source.schema)?
+                    .with_compiled_kernels(self.config.compiled_kernels);
                 eddy.add_module(ModuleSpec::filter(Box::new(op), bit))?;
             }
         }
@@ -753,7 +765,8 @@ impl TelegraphCQ {
                 };
                 bits |= eddy.source_bit(&aq.sources[idx].alias)?;
             }
-            let op = SelectOp::new(format!("band{k}"), factor, &aq.combined_schema)?;
+            let op = SelectOp::new(format!("band{k}"), factor, &aq.combined_schema)?
+                .with_compiled_kernels(self.config.compiled_kernels);
             eddy.add_module(ModuleSpec::filter(Box::new(op), bits))?;
         }
         let key_cols: Vec<usize> = key_col.into_iter().flatten().collect();
@@ -864,7 +877,8 @@ impl TelegraphCQ {
                 input,
                 output,
                 eddy,
-                LazyProject::new(aq.projection.clone()),
+                LazyProject::new(aq.projection.clone())
+                    .with_compiled_kernels(self.config.compiled_kernels),
             )
             .with_io_batch(self.config.io_batch);
             dus.push(
@@ -895,7 +909,8 @@ impl TelegraphCQ {
             floor,
             deadline,
         )
-        .with_io_batch(self.config.io_batch);
+        .with_io_batch(self.config.io_batch)
+        .with_prehash(self.config.compiled_kernels);
         dus.push(self.executor.submit(ingress_class, Box::new(part))?);
 
         Ok(QueryRecord::Dedicated { dus, subscriptions })
@@ -1022,7 +1037,7 @@ impl TelegraphCQ {
         })?;
         let base = st.def.schema.with_qualifier(&source.name).into_ref();
         let pred = match stripped_predicate(aq) {
-            Some(p) => Some(p.bind(&base)?),
+            Some(p) => Some(Predicate::new(&p, &base, self.config.compiled_kernels)?),
             None => None,
         };
         let projection: Vec<(tcq_common::Expr, Option<String>)> = aq

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use tcq_common::{BitSet, BoundExpr, Expr, Result, SchemaRef, TcqError, Tuple};
+use tcq_common::{BitSet, Expr, Predicate, Result, SchemaRef, TcqError, Tuple};
 
 use crate::grouped_filter::{FactorId, GroupedFilter};
 
@@ -22,8 +22,9 @@ pub type QueryId = usize;
 struct QueryEntry {
     /// Factor ids this query owns (for removal).
     factors: Vec<FactorId>,
-    /// Residual conjuncts not indexable by grouped filters.
-    residual: Vec<BoundExpr>,
+    /// Residual conjuncts not indexable by grouped filters, each lowered
+    /// to a [`Predicate`] (compiled kernel when the shape allows it).
+    residual: Vec<Predicate>,
 }
 
 /// An index over standing queries: probe with a tuple, get satisfied queries.
@@ -39,11 +40,20 @@ pub struct QueryStem {
     all_queries: BitSet,
     /// Queries with at least one residual conjunct.
     has_residual: BitSet,
+    /// Whether residual predicates are lowered to compiled kernels.
+    compiled_kernels: bool,
 }
 
 impl QueryStem {
-    /// An empty query SteM over tuples of `schema`.
+    /// An empty query SteM over tuples of `schema`, with residual
+    /// predicates compiled to kernels where possible.
     pub fn new(schema: SchemaRef) -> Self {
+        Self::with_compiled_kernels(schema, true)
+    }
+
+    /// Like [`QueryStem::new`], choosing whether residuals compile to
+    /// kernels (`true`) or stay on the tree-walking interpreter (`false`).
+    pub fn with_compiled_kernels(schema: SchemaRef, compiled_kernels: bool) -> Self {
         QueryStem {
             schema,
             filters: HashMap::new(),
@@ -52,6 +62,7 @@ impl QueryStem {
             queries: HashMap::new(),
             all_queries: BitSet::new(),
             has_residual: BitSet::new(),
+            compiled_kernels,
         }
     }
 
@@ -85,7 +96,11 @@ impl QueryStem {
                         entry.factors.push(fid);
                     }
                     _ => {
-                        entry.residual.push(factor.bind(&self.schema)?);
+                        entry.residual.push(Predicate::new(
+                            factor,
+                            &self.schema,
+                            self.compiled_kernels,
+                        )?);
                     }
                 }
             }
@@ -309,6 +324,32 @@ mod tests {
         let t = Tuple::new(s, vec![Value::Null], Timestamp::unknown()).unwrap();
         let m = qs.matching(&t).unwrap();
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_residuals_agree() {
+        // Same queries into a kernel-compiled stem and an interpreter-only
+        // stem: every probe must return the identical query set.
+        let mut compiled = QueryStem::new(schema());
+        let mut interp = QueryStem::with_compiled_kernels(schema(), false);
+        let residual = Expr::col("timestamp").cmp(CmpOp::Gt, Expr::col("closingPrice"));
+        let pred = Expr::col("stockSymbol")
+            .cmp(CmpOp::Eq, Expr::lit("MSFT"))
+            .and(residual);
+        for qs in [&mut compiled, &mut interp] {
+            qs.insert_query(0, Some(&pred)).unwrap();
+            qs.insert_query(1, Some(&msft_over(50.0))).unwrap();
+        }
+        let mut rng = tcq_common::rng::seeded(0x51D5);
+        for i in 0..200 {
+            let sym = ["MSFT", "IBM"][rng.gen_range(0..2usize)];
+            let t = tick(i, sym, rng.gen_range(0.0..200.0));
+            assert_eq!(
+                compiled.matching(&t).unwrap(),
+                interp.matching(&t).unwrap(),
+                "divergence on {t:?}"
+            );
+        }
     }
 
     #[test]

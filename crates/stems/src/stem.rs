@@ -1,8 +1,17 @@
 //! The SteM: a temporary, indexed repository of homogeneous tuples.
+//!
+//! The equality index is keyed by the *precomputed* FNV-1a hash of the
+//! key value ([`tcq_common::hash_value`]), not by the value itself, so a
+//! prehashed probe ([`SteM::probe_eq_hashed`]) touches the index without
+//! hashing anything — the hash was computed once at ingress and rides on
+//! the tuple ([`Tuple::key_hash`]). Buckets verify stored-key equality on
+//! probe, so a 64-bit collision can never manufacture a false match; with
+//! the hash/Eq coherence `tcq_common::value` pins, results are identical
+//! to the old `HashMap<Value, _>` index.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use tcq_common::{Result, SchemaRef, TcqError, Tuple, Value};
+use tcq_common::{hash_value, IdentityBuildHasher, Result, SchemaRef, TcqError, Tuple, Value};
 
 /// Which index a SteM maintains on its key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +61,10 @@ pub struct SteM {
     kind: IndexKind,
     /// Slot-addressed storage; `None` marks an evicted slot.
     slots: Vec<Option<Tuple>>,
-    hash: HashMap<Value, Vec<u32>>,
+    /// Equality index keyed by the key value's FNV-1a hash. The identity
+    /// build-hasher passes the (already well-mixed) hash straight
+    /// through — no SipHash on the probe path.
+    hash: HashMap<u64, Vec<u32>, IdentityBuildHasher>,
     ordered: BTreeMap<OrdValue, Vec<u32>>,
     /// (logical timestamp, slot) in arrival order, for eviction.
     arrival: VecDeque<(i64, u32)>,
@@ -61,6 +73,10 @@ pub struct SteM {
     builds: u64,
     probes: u64,
     matches: u64,
+    /// Key-hash computations this SteM actually performed (memoized hits
+    /// carried in on the tuple are free and not counted) — the
+    /// double-hash-removal regression test reads this.
+    hash_computes: u64,
 }
 
 impl SteM {
@@ -82,13 +98,14 @@ impl SteM {
             key_col,
             kind,
             slots: Vec::new(),
-            hash: HashMap::new(),
+            hash: HashMap::default(),
             ordered: BTreeMap::new(),
             arrival: VecDeque::new(),
             live: 0,
             builds: 0,
             probes: 0,
             matches: 0,
+            hash_computes: 0,
         })
     }
 
@@ -107,7 +124,11 @@ impl SteM {
         self.key_col
     }
 
-    /// Insert (build) a tuple.
+    /// Insert (build) a tuple. If the tuple carries a memoized key hash
+    /// for this SteM's key column (computed upstream by partition routing
+    /// or a prior probe), the hash index reuses it; otherwise one FNV
+    /// pass is computed here and memoized on the stored tuple — so
+    /// eviction and compaction never rehash.
     pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
         if tuple.arity() != self.schema.len() {
             return Err(TcqError::SchemaMismatch(format!(
@@ -117,16 +138,17 @@ impl SteM {
                 tuple.arity()
             )));
         }
-        let key = tuple.value(self.key_col).clone();
         let seq = tuple.timestamp().seq();
         let slot = self.slots.len() as u32;
-        self.slots.push(Some(tuple));
         if self.kind.has_hash() {
-            self.hash.entry(key.clone()).or_default().push(slot);
+            let h = self.key_hash_of(&tuple);
+            self.hash.entry(h).or_default().push(slot);
         }
         if self.kind.has_ordered() {
+            let key = tuple.value(self.key_col).clone();
             self.ordered.entry(OrdValue(key)).or_default().push(slot);
         }
+        self.slots.push(Some(tuple));
         // Keep the eviction index sorted by timestamp. Streams deliver in
         // timestamp order (O(1) append); out-of-order inserts (e.g. state
         // absorbed from a Flux peer) pay a positional insert.
@@ -141,21 +163,60 @@ impl SteM {
         Ok(())
     }
 
+    /// The key hash of `t`, reusing its memo when present and billing a
+    /// real computation to `hash_computes` otherwise.
+    fn key_hash_of(&mut self, t: &Tuple) -> u64 {
+        match t.cached_key_hash(self.key_col) {
+            Some(h) => h,
+            None => {
+                self.hash_computes += 1;
+                t.key_hash(self.key_col)
+            }
+        }
+    }
+
     /// Probe for tuples whose key equals `key`, appending matches to `out`.
-    /// Returns the number of matches.
+    /// Returns the number of matches. Computes the key's hash here; the
+    /// prehashed hot path uses [`SteM::probe_eq_hashed`] instead.
     pub fn probe_eq(&mut self, key: &Value, out: &mut Vec<Tuple>) -> usize {
+        if self.kind.has_hash() {
+            self.hash_computes += 1;
+            let h = hash_value(key);
+            self.probe_eq_hashed(h, key, out)
+        } else {
+            self.probe_eq_ordered(key, out)
+        }
+    }
+
+    /// Probe with a precomputed key hash (`hash` must be
+    /// [`hash_value`]`(key)`; [`Tuple::key_hash`] produces exactly that).
+    /// No hashing happens here — one bucket lookup plus a stored-key
+    /// equality check per candidate (collision safety).
+    pub fn probe_eq_hashed(&mut self, hash: u64, key: &Value, out: &mut Vec<Tuple>) -> usize {
+        if !self.kind.has_hash() {
+            return self.probe_eq_ordered(key, out);
+        }
         self.probes += 1;
         let mut n = 0;
-        if self.kind.has_hash() {
-            if let Some(slots) = self.hash.get(key) {
-                for &s in slots {
-                    if let Some(t) = &self.slots[s as usize] {
+        if let Some(slots) = self.hash.get(&hash) {
+            for &s in slots {
+                if let Some(t) = &self.slots[s as usize] {
+                    if t.value(self.key_col) == key {
                         out.push(t.clone());
                         n += 1;
                     }
                 }
             }
-        } else if let Some(slots) = self.ordered.get(&OrdValue(key.clone())) {
+        }
+        self.matches += n as u64;
+        n
+    }
+
+    /// Equality probe through the ordered index (ordered-only SteMs).
+    fn probe_eq_ordered(&mut self, key: &Value, out: &mut Vec<Tuple>) -> usize {
+        self.probes += 1;
+        let mut n = 0;
+        if let Some(slots) = self.ordered.get(&OrdValue(key.clone())) {
             for &s in slots {
                 if let Some(t) = &self.slots[s as usize] {
                     out.push(t.clone());
@@ -211,10 +272,16 @@ impl SteM {
             if let Some(t) = self.slots[slot as usize].take() {
                 let key = t.value(self.key_col);
                 if self.kind.has_hash() {
-                    if let Some(slots) = self.hash.get_mut(key) {
+                    // insert() memoized the hash on the stored tuple, so
+                    // eviction is rehash-free (the fallback only fires for
+                    // tuples memoized on a different column upstream).
+                    let h = t
+                        .cached_key_hash(self.key_col)
+                        .unwrap_or_else(|| hash_value(key));
+                    if let Some(slots) = self.hash.get_mut(&h) {
                         slots.retain(|&s| s != slot);
                         if slots.is_empty() {
-                            self.hash.remove(key);
+                            self.hash.remove(&h);
                         }
                     }
                 }
@@ -259,6 +326,14 @@ impl SteM {
     /// (builds, probes, matches) counters.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.builds, self.probes, self.matches)
+    }
+
+    /// Key-hash computations this SteM performed itself. Memoized hashes
+    /// arriving on tuples (from partition routing or a prior probe) are
+    /// free; this counts only real FNV passes — the observable the
+    /// hashed-exactly-once regression test pins.
+    pub fn hash_computes(&self) -> u64 {
+        self.hash_computes
     }
 
     /// Reclaim slot storage when most slots are evicted. Called
@@ -423,6 +498,80 @@ mod tests {
         // Eviction still works post-compaction.
         assert_eq!(stem.evict_before_seq(90), 10);
         assert_eq!(stem.len(), 11);
+    }
+
+    #[test]
+    fn prehashed_probe_skips_hash_computation() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        let a = t(1, "a", 1);
+        // Prehash at "ingress": the memo rides into insert, so the SteM
+        // computes nothing.
+        a.key_hash(0);
+        stem.insert(a).unwrap();
+        assert_eq!(stem.hash_computes(), 0);
+        // A cold insert computes (and memoizes) exactly once.
+        stem.insert(t(2, "b", 2)).unwrap();
+        assert_eq!(stem.hash_computes(), 1);
+        // Prehashed probe: zero computations, same matches.
+        let probe = t(1, "x", 9);
+        let h = probe.key_hash(0);
+        let mut out = Vec::new();
+        assert_eq!(stem.probe_eq_hashed(h, probe.value(0), &mut out), 1);
+        assert_eq!(stem.hash_computes(), 1);
+        // Legacy probe computes one hash per call.
+        out.clear();
+        assert_eq!(stem.probe_eq(&Value::Int(1), &mut out), 1);
+        assert_eq!(stem.hash_computes(), 2);
+    }
+
+    #[test]
+    fn hashed_bucket_verifies_stored_keys() {
+        // Two different keys forced into one bucket (a manufactured
+        // collision): the equality check must keep them apart.
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        stem.insert(t(1, "a", 1)).unwrap();
+        stem.insert(t(2, "b", 2)).unwrap();
+        let h1 = tcq_common::hash_value(&Value::Int(1));
+        let mut out = Vec::new();
+        // Right hash, wrong key: bucket hit, key check rejects.
+        assert_eq!(stem.probe_eq_hashed(h1, &Value::Int(2), &mut out), 0);
+        assert_eq!(stem.probe_eq_hashed(h1, &Value::Int(1), &mut out), 1);
+    }
+
+    #[test]
+    fn cross_type_keys_probe_equal_through_hash_index() {
+        // Int(7) and Float(7.0) are equal and hash equal — a probe with
+        // either representation must find both.
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        stem.insert(t(7, "a", 1)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(stem.probe_eq(&Value::Float(7.0), &mut out), 1);
+        let h = tcq_common::hash_value(&Value::Float(7.0));
+        assert_eq!(stem.probe_eq_hashed(h, &Value::Float(7.0), &mut out), 1);
+    }
+
+    #[test]
+    fn compact_reuses_memoized_hashes() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Both).unwrap();
+        for ts in 1..=100 {
+            stem.insert(t(ts % 5, "x", ts)).unwrap();
+        }
+        let computes = stem.hash_computes();
+        assert_eq!(computes, 100);
+        stem.evict_before_seq(80);
+        stem.compact();
+        // Eviction and compaction reuse the memoized per-tuple hashes.
+        assert_eq!(stem.hash_computes(), computes);
+        let mut out = Vec::new();
+        assert_eq!(
+            stem.probe_eq_hashed(
+                tcq_common::hash_value(&Value::Int(0)),
+                &Value::Int(0),
+                &mut out,
+            ),
+            out.len()
+        );
+        assert!(out.iter().all(|t| t.timestamp().seq() >= 80));
     }
 
     #[test]

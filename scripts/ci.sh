@@ -29,5 +29,8 @@ echo "== exp_throughput --smoke (perf tripwire: batched must beat per-tuple) =="
 echo "== exp_scaling --smoke (perf tripwire: partitioned exchange vs sequential) =="
 ./target/release/exp_scaling --smoke
 
+echo "== exp_kernels --smoke (perf tripwire: compiled kernels vs interpreter, alloc budget) =="
+./target/release/exp_kernels --smoke
+
 echo
 echo "ci: all green"

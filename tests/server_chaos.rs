@@ -333,6 +333,23 @@ const DIM_ROWS: i64 = 64;
 /// flows, so every d-side SteM insert precedes every s-side probe in both
 /// plans and delivery order is the hot stream's arrival order.
 fn run_scenario_with_partitions(dir: &std::path::Path, partitions: usize) -> Outcome {
+    // Unequal window widths keep the join off the CACQ shared path, so
+    // P=1 runs the dedicated JoinCqDu the exchange must be equivalent to.
+    run_join_scenario(
+        dir,
+        partitions,
+        true,
+        "SELECT s.v, d.tag FROM s s, d d WHERE s.k = d.id \
+         for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }",
+    )
+}
+
+fn run_join_scenario(
+    dir: &std::path::Path,
+    partitions: usize,
+    compiled_kernels: bool,
+    query: &str,
+) -> Outcome {
     let server = TelegraphCQ::start(ServerConfig {
         archive_dir: Some(dir.to_path_buf()),
         fault_plan: Some(plan()),
@@ -341,6 +358,7 @@ fn run_scenario_with_partitions(dir: &std::path::Path, partitions: usize) -> Out
             disconnect_after: 4,
         },
         partitions,
+        compiled_kernels,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -348,15 +366,7 @@ fn run_scenario_with_partitions(dir: &std::path::Path, partitions: usize) -> Out
     server.register_stream("d", dim_schema()).unwrap();
 
     let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(4096).unwrap();
-    // Unequal window widths keep the join off the CACQ shared path, so
-    // P=1 runs the dedicated JoinCqDu the exchange must be equivalent to.
-    server
-        .submit(
-            "SELECT s.v, d.tag FROM s s, d d WHERE s.k = d.id \
-             for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }",
-            client,
-        )
-        .unwrap();
+    server.submit(query, client).unwrap();
 
     let dims = dim_schema();
     let dim_batch: Vec<Tuple> = (0..DIM_ROWS)
@@ -458,6 +468,51 @@ fn sequential_and_partitioned_join_replay_identically() {
         normalised(a.log),
         normalised(b.log),
         "fired-fault logs diverged across partition counts"
+    );
+}
+
+#[test]
+fn compiled_and_interpreted_kernels_replay_identically() {
+    // Compiled kernels must be invisible to the chaos contract: lowering
+    // predicates to bytecode and prehashing SteM/exchange keys changes
+    // how much work each tuple costs, never which tuples pass, match, or
+    // get delivered — so a same-seed run is byte-identical with kernels
+    // on or off. The query carries real per-source predicates (compiled
+    // on the fast side, interpreted on the slow side) and runs through
+    // the partitioned exchange so the prehashed routing path is covered.
+    let query = "SELECT s.v, d.tag FROM s s, d d \
+         WHERE s.k = d.id AND s.v > 0 AND d.tag < 1000000 \
+         for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }";
+    let dir_a = temp_dir("kern-on");
+    let dir_b = temp_dir("kern-off");
+    let a = run_join_scenario(&dir_a, 2, true, query);
+    let b = run_join_scenario(&dir_b, 2, false, query);
+    assert!(!a.results.is_empty(), "the join must produce results");
+    assert_eq!(
+        a.results, b.results,
+        "answers diverged across kernels on/off"
+    );
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(a.dispatcher_shed, b.dispatcher_shed);
+    assert_eq!(a.archive_errors, b.archive_errors);
+    assert_eq!(
+        (
+            a.archive.appended,
+            a.archive.torn_pages,
+            a.archive.lost_records
+        ),
+        (
+            b.archive.appended,
+            b.archive.torn_pages,
+            b.archive.lost_records
+        ),
+        "archive accounting diverged"
+    );
+    assert_eq!(a.sup.delivered, b.sup.delivered);
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across kernel modes"
     );
 }
 
