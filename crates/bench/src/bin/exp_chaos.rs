@@ -214,7 +214,7 @@ fn experiment_loss_accounting() {
         "answered",
         "lost in-flight",
         "overflow drops",
-        "rejoin stall",
+        "groups shipped",
         "exactly accounted",
         "re-replicated",
     ]);
@@ -251,7 +251,7 @@ fn experiment_loss_accounting() {
             got.to_string(),
             outcome.flux.lost_inflight.to_string(),
             outcome.flux.overflow_dropped.to_string(),
-            outcome.flux.rejoin_stall_ticks.to_string(),
+            outcome.flux.groups_shipped.to_string(),
             "true".to_string(),
             if replication {
                 outcome.replicated_after_kills.to_string()
@@ -265,9 +265,10 @@ fn experiment_loss_accounting() {
         "\n  shape check: with process pairs the kills are invisible in the answer\n\
          \x20 (zero in-flight loss, replication factor restored); without them the\n\
          \x20 shortfall equals lost_inflight + overflow_dropped exactly — loss is\n\
-         \x20 accounted, never silent. \"rejoin stall\" is the catch-up latency the\n\
-         \x20 rejoining node paid mirroring state back in (0 when spares already\n\
-         \x20 repaired replication before the rejoin).\n"
+         \x20 accounted, never silent. \"groups shipped\" is the real recovery\n\
+         \x20 traffic: state groups moved to re-establish replicas after kills\n\
+         \x20 and to catch the rejoining node up (delta-only when a Flux\n\
+         \x20 checkpoint preceded the crash).\n"
     );
 }
 

@@ -45,6 +45,15 @@ pub enum FaultPoint {
     /// client stuck, forcing an immediate disconnect under the router's
     /// slow-client policy.
     EgressDeliver,
+    /// Storage: one checkpoint epoch about to be committed. `Error` fails
+    /// the commit softly (the pending delta is kept for retry); `Overflow`
+    /// makes the commit a torn write — only a partial block reaches disk,
+    /// exercising checkpoint recovery's prefix-validity rule.
+    CheckpointWrite,
+    /// Storage: one checkpoint block read while opening a store. `Error`
+    /// makes the block unreadable, truncating recovery to the valid
+    /// prefix before it.
+    CheckpointRead,
 }
 
 /// What happens when a fault fires.

@@ -1,0 +1,343 @@
+//! Checkpoint codec: the byte-level vocabulary of durable engine state.
+//!
+//! Crash recovery serializes heterogeneous state — SteM groups, aggregate
+//! partials, egress ledgers, ingress cursors — into opaque fragments that
+//! a `CheckpointStore` (in `tcq_storage`) persists under checksummed
+//! blocks. This module is the one encoding those fragments share, kept in
+//! `tcq_common` so every layer (Flux, operators, the server) can speak it
+//! without depending on storage.
+//!
+//! Encoding rules mirror the archive's tuple codec: little-endian
+//! integers, tagged values, length-prefixed strings, and *every*
+//! truncation is an error, never a panic — checkpoint bytes come off a
+//! disk that may have torn mid-write. Floats travel as raw IEEE-754 bits,
+//! so NaN payloads and signed zeros survive a round trip bit-exactly;
+//! replaying a restored run must not be distinguishable from an
+//! uncheckpointed one.
+
+use crate::error::{Result, TcqError};
+use crate::schema::SchemaRef;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+fn truncated(what: &str) -> TcqError {
+    TcqError::Storage(format!("truncated checkpoint fragment: {what}"))
+}
+
+/// Append-only encoder for one checkpoint fragment.
+#[derive(Debug, Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        CkptWriter { buf: Vec::new() }
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, yielding the fragment bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Encoded length so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw IEEE-754 bits (NaN-payload exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one tagged [`Value`].
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(TAG_NULL),
+            Value::Bool(b) => {
+                self.put_u8(TAG_BOOL);
+                self.put_u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.put_u8(TAG_INT);
+                self.put_i64(*i);
+            }
+            Value::Float(f) => {
+                self.put_u8(TAG_FLOAT);
+                self.put_f64(*f);
+            }
+            Value::Str(s) => {
+                self.put_u8(TAG_STR);
+                self.put_str(s);
+            }
+        }
+    }
+
+    /// Append one tuple: timestamp flags, timestamps, arity, tagged values.
+    /// The schema travels out of band (the restoring site knows it).
+    pub fn put_tuple(&mut self, t: &Tuple) {
+        let ts = t.timestamp();
+        let flags: u8 = (ts.logical.is_some() as u8) | ((ts.physical.is_some() as u8) << 1);
+        self.put_u8(flags);
+        if let Some(l) = ts.logical {
+            self.put_i64(l);
+        }
+        if let Some(p) = ts.physical {
+            self.put_i64(p);
+        }
+        self.put_u32(t.arity() as u32);
+        for v in t.values() {
+            self.put_value(v);
+        }
+    }
+}
+
+/// Bounds-checked decoder over a checkpoint fragment.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> CkptReader<'a> {
+    /// Read from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        CkptReader { buf: bytes }
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the fragment is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(truncated(what));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self, what: &str) -> Result<i64> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &str) -> Result<String> {
+        let len = self.get_u32(what)? as usize;
+        let b = self.take(len, what)?;
+        std::str::from_utf8(b)
+            .map(|s| s.to_string())
+            .map_err(|_| TcqError::Storage(format!("invalid utf8 in checkpoint fragment: {what}")))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn get_bytes(&mut self, what: &str) -> Result<Vec<u8>> {
+        let len = self.get_u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Read one tagged [`Value`].
+    pub fn get_value(&mut self) -> Result<Value> {
+        Ok(match self.get_u8("value tag")? {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(self.get_u8("bool")? != 0),
+            TAG_INT => Value::Int(self.get_i64("int")?),
+            TAG_FLOAT => Value::Float(self.get_f64("float")?),
+            TAG_STR => Value::Str(self.get_str("string")?.into()),
+            tag => {
+                return Err(TcqError::Storage(format!(
+                    "unknown checkpoint value tag {tag}"
+                )))
+            }
+        })
+    }
+
+    /// Read one tuple, rebuilt against `schema` (arity validated).
+    pub fn get_tuple(&mut self, schema: &SchemaRef) -> Result<Tuple> {
+        let flags = self.get_u8("tuple flags")?;
+        let mut ts = Timestamp::unknown();
+        if flags & 1 != 0 {
+            ts.logical = Some(self.get_i64("logical ts")?);
+        }
+        if flags & 2 != 0 {
+            ts.physical = Some(self.get_i64("physical ts")?);
+        }
+        let arity = self.get_u32("tuple arity")? as usize;
+        if arity != schema.len() {
+            return Err(TcqError::SchemaMismatch(format!(
+                "checkpointed arity {arity} != schema arity {}",
+                schema.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.get_value()?);
+        }
+        Tuple::new(schema.clone(), values, ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::tuple::TupleBuilder;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = CkptWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(i64::MIN);
+        w.put_f64(-0.0);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("c").unwrap(), u64::MAX);
+        assert_eq!(r.get_i64("d").unwrap(), i64::MIN);
+        assert_eq!(r.get_f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_str("f").unwrap(), "héllo");
+        assert_eq!(r.get_bytes("g").unwrap(), vec![1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn value_roundtrip_is_bit_exact_for_nan() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Float(nan),
+            Value::Str("x".into()),
+        ];
+        let mut w = CkptWriter::new();
+        for v in &vals {
+            w.put_value(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        for v in &vals {
+            let back = r.get_value().unwrap();
+            if let (Value::Float(a), Value::Float(b)) = (&back, v) {
+                assert_eq!(a.to_bits(), b.to_bits(), "NaN payload preserved");
+            } else {
+                assert_eq!(&back, v);
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrip_and_truncation_errors() {
+        let schema = Schema::qualified(
+            "s",
+            vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Str),
+            ],
+        )
+        .into_ref();
+        let t = TupleBuilder::new(schema.clone())
+            .push(42i64)
+            .push("hi")
+            .at(Timestamp::both(9, 99))
+            .build()
+            .unwrap();
+        let mut w = CkptWriter::new();
+        w.put_tuple(&t);
+        let bytes = w.into_bytes();
+        let back = CkptReader::new(&bytes).get_tuple(&schema).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.timestamp(), t.timestamp());
+        for cut in 0..bytes.len() {
+            assert!(
+                CkptReader::new(&bytes[..cut]).get_tuple(&schema).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+}

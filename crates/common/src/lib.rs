@@ -18,6 +18,7 @@
 pub mod bitset;
 pub mod catalog;
 pub mod chaos;
+pub mod ckpt;
 pub mod error;
 pub mod expr;
 pub mod hash;
@@ -32,6 +33,7 @@ pub mod value;
 pub use bitset::BitSet;
 pub use catalog::{Catalog, SourceKind, StreamDef};
 pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FiredFault, SharedInjector};
+pub use ckpt::{CkptReader, CkptWriter};
 pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
 pub use hash::{hash_value, Fnv1a, IdentityBuildHasher};

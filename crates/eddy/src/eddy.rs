@@ -460,6 +460,47 @@ impl Eddy {
         self.modules.iter().map(|m| m.module.state_size()).sum()
     }
 
+    /// Checkpoint export: for every module with dirty state groups,
+    /// append `(module_index, group_hash, encoded_group)` fragments.
+    /// Module indices are stable across a query resubmission (modules are
+    /// registered in plan order), which is what lets a restored server
+    /// route fragments back. Dirt is NOT cleared here — call
+    /// [`Eddy::clear_dirty`] after the delta commits durably.
+    pub fn export_dirty_state(&mut self, out: &mut Vec<(usize, u64, Vec<u8>)>) -> Result<()> {
+        let mut scratch = Vec::new();
+        for (idx, spec) in self.modules.iter_mut().enumerate() {
+            scratch.clear();
+            spec.module.export_dirty_groups(&mut scratch)?;
+            for (hash, bytes) in scratch.drain(..) {
+                out.push((idx, hash, bytes));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint restore: hand one encoded group back to the module it
+    /// was exported from.
+    pub fn import_module_group(&mut self, module: usize, hash: u64, bytes: &[u8]) -> Result<()> {
+        let n = self.modules.len();
+        let spec = self.modules.get_mut(module).ok_or_else(|| {
+            TcqError::Executor(format!("checkpoint names module {module}, eddy has {n}"))
+        })?;
+        spec.module.import_group(hash, bytes)
+    }
+
+    /// Total dirty state groups across modules (pending checkpoint).
+    pub fn dirty_len(&self) -> usize {
+        self.modules.iter().map(|m| m.module.dirty_len()).sum()
+    }
+
+    /// Mark all module state clean — only after a successful durable
+    /// commit of the exported delta.
+    pub fn clear_dirty(&mut self) {
+        for spec in &mut self.modules {
+            spec.module.clear_dirty();
+        }
+    }
+
     /// Signature of a schema under this eddy's source mapping.
     pub fn signature(&mut self, schema: &SchemaRef) -> Result<SourceSet> {
         self.sig_cache.signature(schema)
@@ -823,6 +864,49 @@ mod tests {
         assert!(eddy.process(row(&t, 2, 0, 2)).unwrap().is_empty());
         assert_eq!(eddy.stats().emitted, 0);
         assert_eq!(eddy.stats().tuples_in, 2);
+    }
+
+    #[test]
+    fn checkpointed_eddy_state_restores_join_results() {
+        let s = s_schema("S");
+        let t = s_schema("T");
+        let build = || {
+            let mut eddy = Eddy::new(
+                &["S", "T"],
+                Box::new(FixedPolicy::new(vec![0, 1])),
+                EddyConfig::default(),
+            )
+            .unwrap();
+            let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+            let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb))
+                .unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+                .unwrap();
+            eddy
+        };
+        let mut live = build();
+        for i in 0..10 {
+            live.process(row(&s, i % 3, i, i)).unwrap();
+        }
+        assert!(live.dirty_len() > 0);
+        let mut delta = Vec::new();
+        live.export_dirty_state(&mut delta).unwrap();
+        live.clear_dirty();
+        assert_eq!(live.dirty_len(), 0);
+
+        let mut restored = build();
+        for (m, h, bytes) in &delta {
+            restored.import_module_group(*m, *h, bytes).unwrap();
+        }
+        assert_eq!(restored.state_size(), live.state_size());
+        for k in 0..3 {
+            let a = live.process(row(&t, k, 0, 20 + k)).unwrap();
+            let b = restored.process(row(&t, k, 0, 20 + k)).unwrap();
+            assert_eq!(a.len(), b.len(), "restored join diverged at k={k}");
+        }
+        // Fragments aimed at a module the eddy lacks are loud errors.
+        assert!(restored.import_module_group(9, 1, &[]).is_err());
     }
 
     #[test]

@@ -31,7 +31,9 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
-use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple};
+use tcq_common::{
+    CkptReader, CkptWriter, FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple,
+};
 
 /// Client identifier.
 pub type ClientId = u64;
@@ -84,6 +86,34 @@ impl EgressStats {
     /// invariant.
     pub fn accounted(&self) -> bool {
         self.delivered + self.shed + self.displaced + self.disconnected_loss == self.offered
+    }
+
+    /// Checkpoint-codec encoding of the ledger (see
+    /// [`EgressStats::decode`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.put_u64(self.offered);
+        w.put_u64(self.delivered);
+        w.put_u64(self.shed);
+        w.put_u64(self.displaced);
+        w.put_u64(self.retried);
+        w.put_u64(self.disconnected);
+        w.put_u64(self.disconnected_loss);
+        w.into_bytes()
+    }
+
+    /// Decode a ledger encoded by [`EgressStats::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<EgressStats> {
+        let mut r = CkptReader::new(bytes);
+        Ok(EgressStats {
+            offered: r.get_u64("egress offered")?,
+            delivered: r.get_u64("egress delivered")?,
+            shed: r.get_u64("egress shed")?,
+            displaced: r.get_u64("egress displaced")?,
+            retried: r.get_u64("egress retried")?,
+            disconnected: r.get_u64("egress disconnected")?,
+            disconnected_loss: r.get_u64("egress disconnected_loss")?,
+        })
     }
 }
 
@@ -551,6 +581,14 @@ impl EgressRouter {
     /// Full delivery accounting.
     pub fn egress_stats(&self) -> EgressStats {
         self.inner.lock().stats
+    }
+
+    /// Seed the delivery ledger from a checkpoint. A restored server
+    /// starts its router from the pre-crash ledger, so the accounting
+    /// invariant (`delivered + shed + displaced + disconnected_loss ==
+    /// offered`) spans the outage instead of resetting to zero.
+    pub fn seed_stats(&self, stats: EgressStats) {
+        self.inner.lock().stats = stats;
     }
 
     /// Number of registered clients.

@@ -2,10 +2,12 @@
 //! grouped aggregate.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
-use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple, Value};
+use tcq_common::{
+    CkptWriter, FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple, Value,
+};
 
 /// Configuration for a [`FluxCluster`].
 #[derive(Debug, Clone)]
@@ -76,6 +78,11 @@ struct Node {
     queue: VecDeque<(u32, Value, f64)>,
     /// partition -> group-by state for partitions primary or replica here.
     state: HashMap<u32, GroupState>,
+    /// partition -> groups whose state changed on this node since its
+    /// snapshot was last updated (feeds incremental checkpoints). An
+    /// entry with an empty key set marks "partition membership changed"
+    /// (moved away), which the checkpoint resolves against `state`.
+    dirty: HashMap<u32, HashSet<Value>>,
     processed: u64,
     /// Remaining stall ticks (state installation cost).
     stall: u64,
@@ -120,12 +127,87 @@ pub struct FluxStats {
     pub lost_inflight: u64,
     /// Nodes restarted (rejoined) after a kill.
     pub restarts: u64,
-    /// Total catch-up stall ticks charged to rejoining nodes: the ticks a
-    /// restarted node spends re-installing partition state before it can
-    /// serve — the cluster's rejoin latency, summed over all restarts.
-    pub rejoin_stall_ticks: u64,
+    /// State groups actually shipped to recovering nodes: delta groups on
+    /// rejoin plus full-group mirrors when a replica is re-established on
+    /// a node with no snapshot of the partition. This replaces the old
+    /// stall-tick *modeling* of catch-up — rejoin cost is now the real
+    /// moved-group count.
+    pub groups_shipped: u64,
+    /// Checkpoint-codec bytes of the shipped groups (the wire cost of
+    /// recovery).
+    pub bytes_shipped: u64,
     /// Tuples dropped at ingest by injected queue overflow.
     pub overflow_dropped: u64,
+}
+
+/// What one [`FluxCluster::checkpoint`] pass copied into the per-node
+/// durable snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FluxCheckpoint {
+    /// The epoch this checkpoint established.
+    pub epoch: u64,
+    /// Groups copied into snapshots — exactly the groups dirtied since
+    /// the previous epoch, so checkpoint cost scales with churn, not
+    /// total state size.
+    pub groups_copied: u64,
+}
+
+/// What one [`FluxCluster::restart_node`] rejoin actually moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// Epoch of the durable snapshot the node restored locally.
+    pub snapshot_epoch: u64,
+    /// Partitions the node was drafted to serve (as replica) on rejoin.
+    pub partitions_rejoined: u64,
+    /// Groups shipped from primaries: only those dirtied since
+    /// `snapshot_epoch` — rejoin cost is bounded by the delta, not the
+    /// node's total state.
+    pub groups_shipped: u64,
+    /// Checkpoint-codec bytes of those groups.
+    pub bytes_shipped: u64,
+}
+
+/// Per-node durable snapshot: the node's partition state as of `epoch`.
+/// Survives the node's crash (it models state on the node's local disk).
+#[derive(Default)]
+struct NodeSnapshot {
+    epoch: u64,
+    state: HashMap<u32, GroupState>,
+}
+
+/// Per-partition log of which groups changed in which checkpoint epoch,
+/// so a rejoiner restoring a snapshot at epoch E receives exactly the
+/// groups dirtied after E.
+#[derive(Default)]
+struct ShipLog {
+    /// `(epoch, groups dirtied in the interval ending at that epoch)`.
+    sealed: Vec<(u64, HashSet<Value>)>,
+    /// Groups dirtied since the last checkpoint.
+    current: HashSet<Value>,
+}
+
+impl ShipLog {
+    /// Union of groups dirtied after epoch `since`.
+    fn keys_since(&self, since: u64) -> HashSet<Value> {
+        let mut out: HashSet<Value> = self.current.clone();
+        for (epoch, keys) in &self.sealed {
+            if *epoch > since {
+                out.extend(keys.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+/// Checkpoint-codec size of one shipped group (key + count + sum).
+fn shipped_group_bytes(key: &Value, entry: Option<(u64, f64)>) -> u64 {
+    let mut w = CkptWriter::new();
+    w.put_value(key);
+    if let Some((c, s)) = entry {
+        w.put_u64(c);
+        w.put_f64(s);
+    }
+    w.len() as u64
 }
 
 /// The simulated cluster.
@@ -139,6 +221,12 @@ pub struct FluxCluster {
     key_col: usize,
     val_col: usize,
     stats: FluxStats,
+    /// Monotone checkpoint epoch; 0 = never checkpointed.
+    ckpt_epoch: u64,
+    /// Per-node durable snapshots (index-aligned with `nodes`).
+    snapshots: Vec<NodeSnapshot>,
+    /// Per-partition dirty-group log (index-aligned with partitions).
+    ship_log: Vec<ShipLog>,
     /// Optional chaos injector polled at tick/ingest/state-move points.
     injector: Option<SharedInjector>,
 }
@@ -163,6 +251,7 @@ impl FluxCluster {
                 speed,
                 queue: VecDeque::new(),
                 state: HashMap::new(),
+                dirty: HashMap::new(),
                 processed: 0,
                 stall: 0,
             })
@@ -182,6 +271,8 @@ impl FluxCluster {
         } else {
             vec![None; config.partitions as usize]
         };
+        let n_nodes = config.nodes;
+        let n_parts = config.partitions as usize;
         Ok(FluxCluster {
             config,
             nodes,
@@ -190,6 +281,9 @@ impl FluxCluster {
             key_col,
             val_col,
             stats: FluxStats::default(),
+            ckpt_epoch: 0,
+            snapshots: (0..n_nodes).map(|_| NodeSnapshot::default()).collect(),
+            ship_log: (0..n_parts).map(|_| ShipLog::default()).collect(),
             injector: None,
         })
     }
@@ -277,7 +371,12 @@ impl FluxCluster {
                 let Some((p, key, val)) = self.nodes[i].queue.pop_front() else {
                     break;
                 };
+                // Both the node's own dirty set (incremental snapshot
+                // maintenance) and the partition's ship log (rejoin delta
+                // computation) learn about every fold.
+                self.ship_log[p as usize].current.insert(key.clone());
                 let node = &mut self.nodes[i];
+                node.dirty.entry(p).or_default().insert(key.clone());
                 let group = node.state.entry(p).or_default();
                 let entry = group.entry(key).or_insert((0, 0.0));
                 entry.0 += 1;
@@ -364,6 +463,9 @@ impl FluxCluster {
             }
         });
         let state = self.nodes[src].state.remove(&p).unwrap_or_default();
+        // Membership change at src: an empty dirty entry makes the next
+        // checkpoint re-resolve the partition against src's state.
+        self.nodes[src].dirty.entry(p).or_default();
         if self.replica[p as usize] == Some(dst) {
             // Promoting the replica to primary: dst's state + queued copies
             // already equal src's state + pending (every input was
@@ -386,6 +488,7 @@ impl FluxCluster {
             for item in queued {
                 src_node.queue.push_back(item);
             }
+            self.mark_partition_resync(src, p);
         } else {
             // Plain move: state and pending inputs travel to dst. With the
             // state in flight (drained from src, not yet installed), either
@@ -416,6 +519,7 @@ impl FluxCluster {
             }
             let entries = state.len() as u64;
             self.nodes[dst].state.insert(p, state);
+            self.mark_partition_resync(dst, p);
             self.nodes[dst].stall += (entries / 64) * self.config.move_cost_per_64;
             for item in pending {
                 self.nodes[dst].queue.push_back(item);
@@ -500,6 +604,9 @@ impl FluxCluster {
             *queued.entry(*p).or_default() += 1;
         }
         self.nodes[node].queue.clear();
+        // Un-checkpointed changes die with the node; its durable snapshot
+        // (and that snapshot's epoch) is what survives.
+        self.nodes[node].dirty.clear();
         let dead_state = std::mem::take(&mut self.nodes[node].state);
         let owned: Vec<u32> = (0..self.config.partitions)
             .filter(|&p| self.primary[p as usize] == node)
@@ -527,10 +634,16 @@ impl FluxCluster {
                         .map(|g| g.values().map(|(c, _)| *c).sum())
                         .unwrap_or(0);
                     self.stats.lost_inflight += queued.get(&p).copied().unwrap_or(0) + absorbed;
+                    // The partition's content changed (it was cleared):
+                    // every lost group must reach future rejoin deltas.
+                    if let Some(g) = dead_state.get(&p) {
+                        self.ship_log[p as usize].current.extend(g.keys().cloned());
+                    }
                     let fallback = self.pick_new_replica(node);
                     if let Some(f) = fallback {
                         self.primary[p as usize] = f;
                         self.nodes[f].state.entry(p).or_default();
+                        self.mark_partition_resync(f, p);
                         if self.config.replication {
                             self.replica[p as usize] = self.pick_new_replica(f);
                             if let Some(nr) = self.replica[p as usize] {
@@ -564,26 +677,90 @@ impl FluxCluster {
             .min_by_key(|&i| (self.nodes[i].backlog() + self.nodes[i].state.len(), i))
     }
 
-    /// Restart (rejoin) a previously killed node. The node comes back
-    /// empty — its pre-crash state is assumed gone — and with replication
-    /// enabled it is immediately drafted as the replica for every
-    /// partition whose replication factor is degraded, paying the normal
-    /// state-installation stall as catch-up cost. Returns that cost: the
-    /// stall ticks this rejoin charged the node (its rejoin latency, also
-    /// accumulated into [`FluxStats::rejoin_stall_ticks`]).
-    pub fn restart_node(&mut self, node: usize) -> Result<u64> {
+    /// Take an incremental cluster checkpoint: seal the per-partition
+    /// dirty-group logs under a new epoch and fold each alive node's
+    /// dirtied groups into its durable snapshot. Cost (groups copied)
+    /// scales with churn since the previous checkpoint, not with total
+    /// state size.
+    pub fn checkpoint(&mut self) -> FluxCheckpoint {
+        self.ckpt_epoch += 1;
+        for log in &mut self.ship_log {
+            let current = std::mem::take(&mut log.current);
+            if !current.is_empty() {
+                log.sealed.push((self.ckpt_epoch, current));
+            }
+        }
+        let mut groups_copied = 0u64;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let dirty = std::mem::take(&mut self.nodes[i].dirty);
+            for (p, keys) in dirty {
+                match self.nodes[i].state.get(&p) {
+                    Some(group) => {
+                        let snap = self.snapshots[i].state.entry(p).or_default();
+                        for k in keys {
+                            match group.get(&k) {
+                                Some(&v) => {
+                                    snap.insert(k, v);
+                                }
+                                None => {
+                                    snap.remove(&k);
+                                }
+                            }
+                            groups_copied += 1;
+                        }
+                    }
+                    // Partition moved away: it leaves the snapshot too.
+                    None => {
+                        self.snapshots[i].state.remove(&p);
+                    }
+                }
+            }
+            self.snapshots[i].epoch = self.ckpt_epoch;
+        }
+        // Sealed sets at or before the oldest snapshot epoch can never be
+        // requested by a rejoiner; drop them so the log stays bounded.
+        let min_epoch = self.snapshots.iter().map(|s| s.epoch).min().unwrap_or(0);
+        for log in &mut self.ship_log {
+            log.sealed.retain(|(e, _)| *e > min_epoch);
+        }
+        FluxCheckpoint {
+            epoch: self.ckpt_epoch,
+            groups_copied,
+        }
+    }
+
+    /// Restart (rejoin) a previously killed node. The node restores its
+    /// durable snapshot locally, then for every degraded partition it is
+    /// drafted to serve, the live primary ships only the groups dirtied
+    /// since that snapshot's epoch — rejoin traffic is bounded by the
+    /// delta, not the node's total state. The shipped volume is returned
+    /// and accumulated into [`FluxStats::groups_shipped`] /
+    /// [`FluxStats::bytes_shipped`].
+    pub fn restart_node(&mut self, node: usize) -> Result<RejoinReport> {
         if node >= self.nodes.len() {
             return Err(TcqError::Flux(format!("no such node {node}")));
         }
         if self.nodes[node].alive {
             return Err(TcqError::Flux(format!("node {node} is already alive")));
         }
-        let n = &mut self.nodes[node];
-        n.alive = true;
-        n.queue.clear();
-        n.state.clear();
-        n.stall = 0;
+        let snapshot_epoch = self.snapshots[node].epoch;
+        {
+            let n = &mut self.nodes[node];
+            n.alive = true;
+            n.queue.clear();
+            n.stall = 0;
+            n.state = self.snapshots[node].state.clone();
+            // State now equals the snapshot exactly.
+            n.dirty.clear();
+        }
         self.stats.restarts += 1;
+        let mut report = RejoinReport {
+            snapshot_epoch,
+            ..RejoinReport::default()
+        };
         if self.config.replication {
             for p in 0..self.config.partitions as usize {
                 let pr = self.primary[p];
@@ -594,17 +771,78 @@ impl FluxCluster {
                     Some(r) => !self.nodes[r].alive,
                     None => true,
                 };
-                if degraded {
-                    self.replica[p] = Some(node);
-                    self.mirror_partition(p as u32, pr, node);
+                if !degraded {
+                    continue;
                 }
+                self.replica[p] = Some(node);
+                // Ship the delta: groups dirtied anywhere in partition p
+                // since this node's snapshot epoch, at the primary's
+                // current values. Everything else is already correct in
+                // the restored snapshot.
+                let delta = self.ship_log[p].keys_since(snapshot_epoch);
+                let mut bytes = 0u64;
+                let primary_group = self.nodes[pr].state.get(&(p as u32)).cloned();
+                let group = self.nodes[node].state.entry(p as u32).or_default();
+                for k in &delta {
+                    let entry = primary_group.as_ref().and_then(|g| g.get(k)).copied();
+                    bytes += shipped_group_bytes(k, entry);
+                    match entry {
+                        Some(v) => {
+                            group.insert(k.clone(), v);
+                        }
+                        None => {
+                            group.remove(k);
+                        }
+                    }
+                }
+                // Shipped groups are content beyond the snapshot: dirty.
+                self.nodes[node]
+                    .dirty
+                    .entry(p as u32)
+                    .or_default()
+                    .extend(delta.iter().cloned());
+                // Mirror the primary's queued inputs so the pair
+                // invariant (replica state + queue ≡ primary state +
+                // queue) holds from the first tick.
+                let queued: Vec<(u32, Value, f64)> = self.nodes[pr]
+                    .queue
+                    .iter()
+                    .filter(|item| item.0 == p as u32)
+                    .cloned()
+                    .collect();
+                self.nodes[node].queue.extend(queued);
+                report.partitions_rejoined += 1;
+                report.groups_shipped += delta.len() as u64;
+                report.bytes_shipped += bytes;
             }
         }
-        // Stall was reset to 0 above, so whatever the mirror installs is
-        // exactly this rejoin's catch-up bill.
-        let catch_up = self.nodes[node].stall;
-        self.stats.rejoin_stall_ticks += catch_up;
-        Ok(catch_up)
+        // Snapshot partitions the node is not serving again are pruned —
+        // the authoritative copies live at the current primaries. The
+        // exception is a partition still assigned to this node (it died
+        // with no possible fallback): the snapshot resurrects its
+        // checkpointed folds, so give those back to the loss accounting
+        // that wrote them all off at kill time.
+        let mut resurrected = 0u64;
+        let mut keep: Vec<u32> = Vec::new();
+        for p in 0..self.config.partitions as usize {
+            if self.primary[p] == node {
+                resurrected += self.nodes[node]
+                    .state
+                    .get(&(p as u32))
+                    .map(|g| g.values().map(|(c, _)| *c).sum())
+                    .unwrap_or(0);
+                keep.push(p as u32);
+            } else if self.replica[p] == Some(node) {
+                keep.push(p as u32);
+            }
+        }
+        self.nodes[node]
+            .state
+            .retain(|p, _| keep.binary_search(p).is_ok());
+        self.stats.lost_inflight = self.stats.lost_inflight.saturating_sub(resurrected);
+        self.stats.groups_shipped += report.groups_shipped;
+        self.stats.bytes_shipped += report.bytes_shipped;
+        Ok(report)
     }
 
     /// True when every partition has a live primary and, in replication
@@ -626,7 +864,9 @@ impl FluxCluster {
 
     /// Re-establish a replica: copy `from`'s state for `p` AND its queued
     /// inputs to `to`, so the pair invariant (replica state + queue ≡
-    /// primary state + queue) holds after the copy.
+    /// primary state + queue) holds after the copy. This is a *full*
+    /// group ship (the target has no usable snapshot of `p`), counted in
+    /// [`FluxStats::groups_shipped`] / [`FluxStats::bytes_shipped`].
     fn mirror_partition(&mut self, p: u32, from: usize, to: usize) {
         let state = self.nodes[from].state.get(&p).cloned().unwrap_or_default();
         let queued: Vec<(u32, Value, f64)> = self.nodes[from]
@@ -635,12 +875,34 @@ impl FluxCluster {
             .filter(|item| item.0 == p)
             .cloned()
             .collect();
+        self.stats.groups_shipped += state.len() as u64;
+        self.stats.bytes_shipped += state
+            .iter()
+            .map(|(k, &(c, s))| shipped_group_bytes(k, Some((c, s))))
+            .sum::<u64>();
         let dst = &mut self.nodes[to];
         dst.stall += (state.len() as u64 / 64) * self.config.move_cost_per_64;
         dst.state.insert(p, state);
         for item in queued {
             dst.queue.push_back(item);
         }
+        self.mark_partition_resync(to, p);
+    }
+
+    /// Record that partition `p`'s content at `node` was wholesale
+    /// installed or cleared (not incrementally folded): every group the
+    /// node's snapshot knew *or* the node now holds must be re-resolved
+    /// at the next checkpoint, else the snapshot could keep stale groups.
+    fn mark_partition_resync(&mut self, node: usize, p: u32) {
+        let mut keys: HashSet<Value> = self.snapshots[node]
+            .state
+            .get(&p)
+            .map(|g| g.keys().cloned().collect())
+            .unwrap_or_default();
+        if let Some(g) = self.nodes[node].state.get(&p) {
+            keys.extend(g.keys().cloned());
+        }
+        self.nodes[node].dirty.insert(p, keys);
     }
 
     /// Merged group-by results over primary partitions: key -> (count, sum).
@@ -1012,34 +1274,123 @@ mod tests {
     }
 
     #[test]
-    fn rejoin_latency_is_measured_and_accumulated() {
+    fn rejoin_ships_delta_not_total_state() {
         // Two nodes: while one is down there is no spare to re-replicate
-        // onto, so every partition stays degraded until the node rejoins
-        // and pays the full state-installation stall. Few partitions +
-        // many keys make that state heavy enough to bill ticks.
+        // onto, so every partition stays degraded until the node rejoins.
+        // With a pre-kill checkpoint the rejoin ships only the groups
+        // dirtied since the snapshot epoch; without one it ships the full
+        // state. Either way the answers survive.
+        let run = |with_checkpoint: bool| {
+            let mut cfg = FluxConfig::uniform(2).with_replication();
+            cfg.partitions = 8;
+            let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
+            let bulk = workload(4000, 2000);
+            for (i, tp) in bulk.iter().enumerate() {
+                cluster.ingest(tp).unwrap();
+                if i % 8 == 0 {
+                    cluster.tick();
+                }
+            }
+            cluster.run_until_drained(100_000);
+            if with_checkpoint {
+                let ck = cluster.checkpoint();
+                assert_eq!(ck.epoch, 1);
+                assert!(ck.groups_copied > 0);
+            }
+            cluster.kill_node(0).unwrap();
+            // Churn after the checkpoint touches only keys 0..100.
+            let churn: Vec<Tuple> = (0..300).map(|i| t(i % 100, 1.0, 5000 + i)).collect();
+            for (i, tp) in churn.iter().enumerate() {
+                cluster.ingest(tp).unwrap();
+                if i % 8 == 0 {
+                    cluster.tick();
+                }
+            }
+            cluster.run_until_drained(100_000);
+            let report = cluster.restart_node(0).unwrap();
+            cluster.run_until_drained(100_000);
+            let mut all = bulk.clone();
+            all.extend(churn);
+            assert_eq!(cluster.results(), reference(&all));
+            assert!(cluster.fully_replicated());
+            assert_eq!(cluster.stats().lost_inflight, 0);
+            report
+        };
+        let full = run(false);
+        let delta = run(true);
+        assert_eq!(full.snapshot_epoch, 0);
+        assert_eq!(delta.snapshot_epoch, 1);
+        assert_eq!(full.partitions_rejoined, 8);
+        assert_eq!(
+            full.groups_shipped, 2000,
+            "no snapshot: every group travels"
+        );
+        assert_eq!(
+            delta.groups_shipped, 100,
+            "snapshot: only churned groups travel"
+        );
+        assert!(delta.bytes_shipped > 0 && delta.bytes_shipped < full.bytes_shipped);
+    }
+
+    #[test]
+    fn double_restart_stats_accounting_is_exact() {
+        // Repeated kill/restart cycles of the same node: shipping stats
+        // must equal the sum of the per-rejoin reports (a two-node
+        // cluster has no spare to mirror onto, so rejoins are the only
+        // shipping), each restart counts once, a rejected restart counts
+        // zero, and no data is lost.
+        fn feed(cluster: &mut FluxCluster, tuples: &[Tuple]) {
+            for (i, tp) in tuples.iter().enumerate() {
+                cluster.ingest(tp).unwrap();
+                if i % 8 == 0 {
+                    cluster.tick();
+                }
+            }
+            cluster.run_until_drained(100_000);
+        }
         let mut cfg = FluxConfig::uniform(2).with_replication();
         cfg.partitions = 8;
         let mut cluster = FluxCluster::new(cfg, 0, 1).unwrap();
-        let tuples = workload(6000, 2000);
-        for (i, tp) in tuples.iter().enumerate() {
-            cluster.ingest(tp).unwrap();
-            if i % 8 == 0 {
-                cluster.tick();
-            }
-            if i == 3000 {
-                cluster.kill_node(0).unwrap();
-            }
-        }
-        cluster.run_until_drained(100_000);
-        let catch_up = cluster.restart_node(0).unwrap();
-        assert!(
-            catch_up > 0,
-            "rejoining with heavy partition state must pay catch-up ticks"
+        let mut all: Vec<Tuple> = Vec::new();
+
+        let bulk = workload(1000, 500);
+        feed(&mut cluster, &bulk);
+        all.extend(bulk);
+        cluster.checkpoint();
+        cluster.kill_node(0).unwrap();
+        let churn_a: Vec<Tuple> = (0..150).map(|i| t(i % 50, 1.0, 2000 + i)).collect();
+        feed(&mut cluster, &churn_a);
+        all.extend(churn_a);
+        let r1 = cluster.restart_node(0).unwrap();
+        assert_eq!(r1.snapshot_epoch, 1);
+        assert_eq!(r1.groups_shipped, 50);
+
+        cluster.checkpoint();
+        cluster.kill_node(0).unwrap();
+        let churn_b: Vec<Tuple> = (0..90).map(|i| t(500 + i % 30, 1.0, 3000 + i)).collect();
+        feed(&mut cluster, &churn_b);
+        all.extend(churn_b);
+        let r2 = cluster.restart_node(0).unwrap();
+        assert_eq!(r2.snapshot_epoch, 2);
+        assert_eq!(
+            r2.groups_shipped, 30,
+            "second rejoin ships its own delta only"
         );
-        assert_eq!(cluster.stats().rejoin_stall_ticks, catch_up);
+
         cluster.run_until_drained(100_000);
-        assert_eq!(cluster.results(), reference(&tuples));
+        let st = cluster.stats();
+        assert_eq!(st.restarts, 2);
+        assert_eq!(st.groups_shipped, r1.groups_shipped + r2.groups_shipped);
+        assert_eq!(st.bytes_shipped, r1.bytes_shipped + r2.bytes_shipped);
+        assert_eq!(st.lost_inflight, 0);
+        assert_eq!(cluster.results(), reference(&all));
         assert!(cluster.fully_replicated());
+        assert!(cluster.restart_node(0).is_err());
+        assert_eq!(
+            cluster.stats().restarts,
+            2,
+            "a rejected restart must not drift the counter"
+        );
     }
 
     #[test]

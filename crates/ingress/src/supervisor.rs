@@ -147,6 +147,11 @@ pub struct SupervisorConfig {
     pub max_backoff: Duration,
     /// Overflow behaviour.
     pub policy: DegradePolicy,
+    /// Resume cursor: tuples this stream already delivered before a
+    /// restore. Seeds the delivered counter, so the first factory call
+    /// sees the pre-crash total and resumable sources skip what was
+    /// already consumed.
+    pub initial_delivered: u64,
 }
 
 impl Default for SupervisorConfig {
@@ -156,6 +161,7 @@ impl Default for SupervisorConfig {
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(50),
             policy: DegradePolicy::Backpressure,
+            initial_delivered: 0,
         }
     }
 }
@@ -241,6 +247,9 @@ impl Supervisor {
         let name = name.into();
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
+        stats
+            .delivered
+            .store(config.initial_delivered, Ordering::Relaxed);
         let stop2 = Arc::clone(&stop);
         let stats2 = Arc::clone(&stats);
         let tname = name.clone();
@@ -553,6 +562,7 @@ mod tests {
             initial_backoff: Duration::from_micros(100),
             max_backoff: Duration::from_millis(2),
             policy,
+            initial_delivered: 0,
         }
     }
 
@@ -639,6 +649,49 @@ mod tests {
         assert!(!stats.gave_up);
         let failure = stats.last_failure.unwrap();
         assert!(failure.contains("flaky source died"), "got: {failure}");
+    }
+
+    #[test]
+    fn initial_delivered_seeds_the_resume_cursor() {
+        // A restored server passes the checkpointed delivery count; the
+        // factory sees it on the first attempt (skipping consumed input)
+        // and the counter continues from there, so totals span the crash.
+        let (schema, master) = stock_tuples(50);
+        let total = master.len();
+        let already = (total / 2) as u64;
+        let factory: SourceFactory = {
+            let master = master.clone();
+            let schema = schema.clone();
+            Box::new(move |attempt, delivered| {
+                assert_eq!(attempt, 0);
+                assert_eq!(delivered, already, "factory must see the seeded cursor");
+                Ok(Box::new(VecSource::new(
+                    schema.clone(),
+                    master[delivered as usize..].to_vec(),
+                )?))
+            })
+        };
+        let mut config = quick_config(DegradePolicy::Backpressure);
+        config.initial_delivered = already;
+        let (p, c) = fjord(256, QueueKind::Push);
+        let s = Supervisor::spawn("resumed", factory, p, config);
+        let mut got = 0u64;
+        loop {
+            match c.dequeue() {
+                DequeueResult::Msg(FjordMessage::Tuple(_)) => got += 1,
+                DequeueResult::Msg(FjordMessage::Eof) => break,
+                DequeueResult::Msg(FjordMessage::Punct(_)) => {}
+                DequeueResult::Empty => std::thread::yield_now(),
+                DequeueResult::Disconnected => break,
+            }
+        }
+        let stats = s.join();
+        assert_eq!(got, total as u64 - already, "only the tail re-streams");
+        assert_eq!(
+            stats.delivered, total as u64,
+            "counter continues from the seed"
+        );
+        assert_eq!(stats.restarts, 0);
     }
 
     #[test]

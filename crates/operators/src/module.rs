@@ -216,6 +216,38 @@ pub trait EddyModule: Send {
     fn state_size(&self) -> usize {
         0
     }
+
+    /// Checkpoint export: append one `(group_hash, encoded_bytes)` pair
+    /// per state group dirtied since the last
+    /// [`EddyModule::clear_dirty`], each carrying the group's *full
+    /// current content* (zero tuples = the group was emptied). Must NOT
+    /// clear the dirty set — the caller does that only after the delta is
+    /// durably committed. Encoding is module-private; the matching
+    /// [`EddyModule::import_group`] decodes it. Default: stateless,
+    /// nothing to export.
+    fn export_dirty_groups(&mut self, _out: &mut Vec<(u64, Vec<u8>)>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Checkpoint restore: replace the state group keyed by `hash` with
+    /// the content encoded in `bytes` (produced by this module type's
+    /// [`EddyModule::export_dirty_groups`]). Default errors: a stateless
+    /// module receiving a fragment means the restore was misrouted.
+    fn import_group(&mut self, _hash: u64, _bytes: &[u8]) -> Result<()> {
+        Err(tcq_common::TcqError::Executor(format!(
+            "module {} has no checkpointable state to import",
+            self.name()
+        )))
+    }
+
+    /// Number of groups currently dirty (pending export). Default 0.
+    fn dirty_len(&self) -> usize {
+        0
+    }
+
+    /// Mark all state clean — call only after a successful durable commit
+    /// of the exported delta. Default: nothing to clear.
+    fn clear_dirty(&mut self) {}
 }
 
 #[cfg(test)]

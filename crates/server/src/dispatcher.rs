@@ -147,8 +147,11 @@ impl StreamDispatcher {
             input,
             subscribers,
             archive,
+            // A restored server seeds `latest_seq` from the checkpoint
+            // before building dispatchers, so arrival stamping continues
+            // past the pre-crash watermark instead of restarting at 1.
+            arrivals: latest_seq.load(Ordering::Acquire),
             latest_seq,
-            arrivals: 0,
             forwarded: 0,
             pending: VecDeque::new(),
             overload: OverloadPolicy::Backpressure,

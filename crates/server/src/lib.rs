@@ -36,4 +36,4 @@ pub mod server;
 pub mod shared_join;
 
 pub use dispatcher::OverloadPolicy;
-pub use server::{PolicyKind, QueryInfo, ServerConfig, TelegraphCQ};
+pub use server::{CheckpointReport, PolicyKind, QueryInfo, ServerConfig, TelegraphCQ};

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    DataType, Expr, Field, Predicate, Result, Schema, SchemaRef, Timestamp, Tuple, Value,
+    CkptReader, CkptWriter, DataType, Expr, Field, Predicate, Result, Schema, SchemaRef, Timestamp,
+    Tuple, Value,
 };
 use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
@@ -25,7 +26,7 @@ use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage};
 use crate::dispatcher::DEFAULT_IO_BATCH;
 use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowAggregator, WindowMode};
 use tcq_stems::QueryStem;
-use tcq_windows::{WindowAssignment, WindowSeq};
+use tcq_windows::{WindowAssignment, WindowSeq, WindowSeqPos};
 
 /// Query identifier (server-wide).
 pub type QueryId = usize;
@@ -263,10 +264,15 @@ pub struct JoinInput {
 }
 
 /// A dedicated single-query eddy DU for a join.
+///
+/// The eddy lives behind a shared mutex so the server's checkpoint path
+/// can export its dirty SteM groups between quanta; the DU itself takes
+/// the lock once per `run` call, so the hot path pays one uncontended
+/// acquisition per quantum.
 pub struct JoinCqDu {
     name: String,
     inputs: Vec<JoinInput>,
-    eddy: Eddy,
+    eddy: Arc<Mutex<Eddy>>,
     project: LazyProject,
     egress: EgressRouter,
     qid: QueryId,
@@ -299,7 +305,7 @@ impl JoinCqDu {
         JoinCqDu {
             name: name.into(),
             inputs,
-            eddy,
+            eddy: Arc::new(Mutex::new(eddy)),
             project,
             egress,
             qid,
@@ -323,7 +329,12 @@ impl JoinCqDu {
 
     /// Observed eddy statistics (experiments).
     pub fn eddy_stats(&self) -> tcq_eddy::EddyStats {
-        self.eddy.stats()
+        self.eddy.lock().stats()
+    }
+
+    /// Shared handle to the eddy, for checkpoint export / restore import.
+    pub fn eddy_handle(&self) -> Arc<Mutex<Eddy>> {
+        Arc::clone(&self.eddy)
     }
 }
 
@@ -336,6 +347,7 @@ impl DispatchUnit for JoinCqDu {
         if self.done {
             return Ok(ModuleStatus::Done);
         }
+        let eddy = &mut *self.eddy.lock();
         let mut did_work = false;
         let per_input = quantum.div_ceil(self.inputs.len().max(1));
         for i in 0..self.inputs.len() {
@@ -399,7 +411,7 @@ impl DispatchUnit for JoinCqDu {
                         .map(|t| t.with_schema(alias.clone()))
                         .collect::<Result<_>>()?;
                     self.emitted_buf.clear();
-                    self.eddy.process_batch(qualified, &mut self.emitted_buf)?;
+                    eddy.process_batch(qualified, &mut self.emitted_buf)?;
                     let mut outs = Vec::with_capacity(self.emitted_buf.len());
                     for e in self.emitted_buf.drain(..) {
                         outs.push(self.project.apply(&e)?);
@@ -413,7 +425,7 @@ impl DispatchUnit for JoinCqDu {
                         for alias in &aliases {
                             let qualified = t.with_schema(alias.clone())?;
                             self.emitted_buf.clear();
-                            self.eddy.process_into(qualified, &mut self.emitted_buf)?;
+                            eddy.process_into(qualified, &mut self.emitted_buf)?;
                             for e in self.emitted_buf.drain(..) {
                                 let out = self.project.apply(&e)?;
                                 self.egress.deliver([self.qid], &out);
@@ -448,32 +460,134 @@ pub struct ResolvedAgg {
     pub name: String,
 }
 
+/// The mutable, checkpointable state of an [`AggregateCqDu`]: the window
+/// loop's position and the buffered tuples it still needs. Everything else
+/// in the DU is reconstructed from the query text at resubmit.
+pub(crate) struct AggCore {
+    pub(crate) windows: WindowSeq,
+    /// Manual one-slot lookahead (a `Peekable` would hide the loop
+    /// position a checkpoint needs).
+    pub(crate) peeked: Option<Result<WindowAssignment>>,
+    /// The loop position *before* `peeked` was pulled — the position a
+    /// restore must seek to so the peeked-but-unemitted window regenerates.
+    pub(crate) pos: WindowSeqPos,
+    pub(crate) schema: SchemaRef,
+    pub(crate) buffer: VecDeque<Tuple>,
+    pub(crate) latest: i64,
+    pub(crate) eof: bool,
+    pub(crate) done: bool,
+    pub(crate) peak_buffer: usize,
+    /// Changed since the last successful checkpoint commit?
+    pub(crate) dirty: bool,
+}
+
+impl AggCore {
+    fn peek(&mut self) -> Option<&Result<WindowAssignment>> {
+        if self.peeked.is_none() {
+            self.pos = self.windows.position();
+            self.peeked = self.windows.next();
+        }
+        self.peeked.as_ref()
+    }
+
+    fn next_window(&mut self) -> Option<Result<WindowAssignment>> {
+        let out = match self.peeked.take() {
+            Some(wa) => Some(wa),
+            None => self.windows.next(),
+        };
+        self.pos = self.windows.position();
+        out
+    }
+}
+
+/// Shared handle to an aggregate DU's checkpointable state.
+#[derive(Clone)]
+pub struct AggCqState {
+    inner: Arc<Mutex<AggCore>>,
+}
+
+impl AggCqState {
+    pub(crate) fn lock(&self) -> tcq_common::sync::MutexGuard<'_, AggCore> {
+        self.inner.lock()
+    }
+
+    /// Changed since the last checkpoint commit?
+    pub fn is_dirty(&self) -> bool {
+        self.lock().dirty
+    }
+
+    /// Serialize the window-loop position (with its `ST` anchor) and the
+    /// buffered tuples. Schema travels out of band (the restoring site
+    /// rebuilds it from the resubmitted query).
+    pub fn export(&self) -> Vec<u8> {
+        encode_agg_core(&self.lock())
+    }
+
+    /// Restore from [`AggCqState::export`] bytes: re-anchor and seek the
+    /// window loop, refill the buffer. The handle must belong to a freshly
+    /// built DU for the same query text.
+    pub fn import(&self, bytes: &[u8]) -> Result<()> {
+        let mut core = self.lock();
+        let mut r = CkptReader::new(bytes);
+        core.windows.set_start_time(r.get_i64("agg start time")?);
+        let pos = WindowSeqPos {
+            t: r.get_i64("agg loop t")?,
+            iterations: r.get_u64("agg loop iterations")?,
+            done: r.get_u8("agg loop done")? != 0,
+        };
+        core.windows.seek(pos);
+        core.pos = pos;
+        core.peeked = None;
+        core.latest = r.get_i64("agg latest seq")?;
+        core.done = r.get_u8("agg done")? != 0;
+        let n = r.get_u32("agg buffer len")?;
+        let schema = core.schema.clone();
+        core.buffer.clear();
+        for _ in 0..n {
+            core.buffer.push_back(r.get_tuple(&schema)?);
+        }
+        core.peak_buffer = core.peak_buffer.max(core.buffer.len());
+        core.dirty = false;
+        Ok(())
+    }
+}
+
+pub(crate) fn encode_agg_core(core: &AggCore) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.put_i64(core.windows.start_time());
+    w.put_i64(core.pos.t);
+    w.put_u64(core.pos.iterations);
+    w.put_u8(core.pos.done as u8);
+    w.put_i64(core.latest);
+    w.put_u8(core.done as u8);
+    w.put_u32(core.buffer.len() as u32);
+    for t in &core.buffer {
+        w.put_tuple(t);
+    }
+    w.into_bytes()
+}
+
 /// The window-driving aggregate DU for one stream.
 ///
 /// Buffers predicate-passing tuples; each time stream time reaches a window
 /// assignment's close time, computes the aggregates over that window from
 /// the buffer and emits one row (or one row per group), stamped with the
 /// loop variable `t`. The output is exactly the paper's "sequence of sets,
-/// each set being associated with an instant in time" (§4.1.1).
+/// each set being associated with an instant in time" (§4.1.1). The mutable
+/// state lives behind [`AggCqState`] so the server can checkpoint it.
 pub struct AggregateCqDu {
     name: String,
     input: Consumer,
     pred: Option<Predicate>,
     aggs: Vec<ResolvedAgg>,
     group_by: Option<usize>,
-    windows: std::iter::Peekable<WindowSeq>,
     stream_alias: String,
-    buffer: VecDeque<Tuple>,
     out_schema: SchemaRef,
-    latest: i64,
     egress: EgressRouter,
     qid: QueryId,
     io_batch: usize,
     msg_buf: Vec<FjordMessage>,
-    eof: bool,
-    done: bool,
-    /// Largest buffer held (the §4.1.2 memory story, observable).
-    peak_buffer: usize,
+    core: AggCqState,
 }
 
 impl AggregateCqDu {
@@ -509,25 +623,39 @@ impl AggregateCqDu {
             };
             fields.push(Field::new(a.name.clone(), dt));
         }
+        let pos = windows.position();
         AggregateCqDu {
             name: name.into(),
             input,
             pred,
             aggs,
             group_by,
-            windows: windows.peekable(),
             stream_alias,
-            buffer: VecDeque::new(),
             out_schema: Schema::new(fields).into_ref(),
-            latest: 0,
             egress,
             qid,
             io_batch: DEFAULT_IO_BATCH,
             msg_buf: Vec::new(),
-            eof: false,
-            done: false,
-            peak_buffer: 0,
+            core: AggCqState {
+                inner: Arc::new(Mutex::new(AggCore {
+                    windows,
+                    peeked: None,
+                    pos,
+                    schema: input_schema.clone(),
+                    buffer: VecDeque::new(),
+                    latest: 0,
+                    eof: false,
+                    done: false,
+                    peak_buffer: 0,
+                    dirty: false,
+                })),
+            },
         }
+    }
+
+    /// Shared handle to the checkpointable state.
+    pub fn state_handle(&self) -> AggCqState {
+        self.core.clone()
     }
 
     /// Messages moved per input-lock acquisition (clamped to ≥ 1).
@@ -541,41 +669,42 @@ impl AggregateCqDu {
         &self.out_schema
     }
 
-    fn close_ready_windows(&mut self) -> Result<()> {
+    fn close_ready_windows(&self, core: &mut AggCore) -> Result<()> {
         loop {
-            let close_time = match self.windows.peek() {
+            let close_time = match core.peek() {
                 Some(Ok(wa)) => wa.close_time(),
                 Some(Err(_)) => {
                     // Surface the spec error once.
-                    let e = self.windows.next().expect("peeked");
+                    let e = core.next_window().expect("peeked");
                     e?;
                     unreachable!("error returned above");
                 }
                 None => {
-                    self.done = true;
+                    core.done = true;
                     return Ok(());
                 }
             };
-            if close_time > self.latest {
+            if close_time > core.latest {
                 // A window closes only once stream time passes its right
                 // edge; at EOF, windows that never closed are dropped
                 // (their data ended mid-window).
-                if self.eof {
-                    self.done = true;
+                if core.eof {
+                    core.done = true;
                 }
                 return Ok(());
             }
-            let wa = self.windows.next().expect("peeked Some")?;
-            self.emit_window(&wa)?;
-            self.evict(&wa);
+            let wa = core.next_window().expect("peeked Some")?;
+            self.emit_window(core, &wa)?;
+            self.evict(core, &wa);
+            core.dirty = true;
         }
     }
 
-    fn emit_window(&mut self, wa: &WindowAssignment) -> Result<()> {
+    fn emit_window(&self, core: &mut AggCore, wa: &WindowAssignment) -> Result<()> {
         let Some(win) = wa.window_for(&self.stream_alias) else {
             return Ok(());
         };
-        let in_window = self
+        let in_window = core
             .buffer
             .iter()
             .filter(|t| win.contains(t.timestamp().seq()));
@@ -618,8 +747,8 @@ impl AggregateCqDu {
     /// Evict buffered tuples that can never appear in a future window.
     /// Only forward-moving windows shrink the buffer; landmark windows keep
     /// everything — the paper's memory asymmetry, faithfully.
-    fn evict(&mut self, just_closed: &WindowAssignment) {
-        let next_left = match self.windows.peek() {
+    fn evict(&self, core: &mut AggCore, just_closed: &WindowAssignment) {
+        let next_left = match core.peek() {
             Some(Ok(wa)) => wa.window_for(&self.stream_alias).map(|w| w.left),
             _ => None,
         };
@@ -632,17 +761,17 @@ impl AggregateCqDu {
             ),
             None => return,
         };
-        while let Some(front) = self.buffer.front() {
+        while let Some(front) = core.buffer.front() {
             if front.timestamp().seq() >= horizon {
                 break;
             }
-            self.buffer.pop_front();
+            core.buffer.pop_front();
         }
     }
 
     /// Peak number of buffered tuples (experiments).
     pub fn peak_buffered(&self) -> usize {
-        self.peak_buffer
+        self.core.lock().peak_buffer
     }
 }
 
@@ -652,12 +781,13 @@ impl DispatchUnit for AggregateCqDu {
     }
 
     fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
-        if self.done {
+        let core = &mut *self.core.inner.lock();
+        if core.done {
             return Ok(ModuleStatus::Done);
         }
         let mut did_work = false;
         let mut budget = quantum;
-        while budget > 0 && !self.eof {
+        while budget > 0 && !core.eof {
             let mut msgs = std::mem::take(&mut self.msg_buf);
             match self
                 .input
@@ -670,40 +800,43 @@ impl DispatchUnit for AggregateCqDu {
                 }
                 BatchDequeueResult::Disconnected => {
                     self.msg_buf = msgs;
-                    self.eof = true;
+                    core.eof = true;
                     break;
                 }
             }
             for msg in msgs.drain(..) {
                 match msg {
-                    FjordMessage::Tuple(t) if !self.eof => {
+                    FjordMessage::Tuple(t) if !core.eof => {
                         did_work = true;
-                        self.latest = self.latest.max(t.timestamp().seq());
+                        core.latest = core.latest.max(t.timestamp().seq());
                         let passes = match &self.pred {
                             Some(p) => p.eval_pred(&t)?,
                             None => true,
                         };
                         if passes {
-                            self.buffer.push_back(t);
-                            self.peak_buffer = self.peak_buffer.max(self.buffer.len());
+                            core.buffer.push_back(t);
+                            core.peak_buffer = core.peak_buffer.max(core.buffer.len());
                         }
                     }
                     // Tuples read past Eof in the same batch are dropped —
                     // the per-tuple path never dequeues them.
                     FjordMessage::Tuple(_) | FjordMessage::Punct(_) => {}
-                    FjordMessage::Eof => self.eof = true,
+                    FjordMessage::Eof => core.eof = true,
                 }
             }
             self.msg_buf = msgs;
         }
-        self.close_ready_windows()?;
-        if self.eof && !self.done {
+        if did_work {
+            core.dirty = true;
+        }
+        self.close_ready_windows(core)?;
+        if core.eof && !core.done {
             // Remaining windows were handled in close_ready_windows (it
             // closes everything reachable once eof is set); anything left
             // means the spec is infinite with nothing more to fill it.
-            self.done = true;
+            core.done = true;
         }
-        Ok(if self.done {
+        Ok(if core.done {
             ModuleStatus::Done
         } else if did_work {
             ModuleStatus::Ready

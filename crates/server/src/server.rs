@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    Catalog, FaultPlan, FiredFault, Predicate, Result, SchemaRef, SharedInjector, SourceKind,
-    TcqError, Tuple,
+    Catalog, CkptReader, CkptWriter, FaultPlan, FiredFault, Predicate, Result, SchemaRef,
+    SharedInjector, SourceKind, TcqError, Tuple,
 };
 use tcq_eddy::{
     Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
@@ -26,7 +26,9 @@ use tcq_ingress::{
 use tcq_operators::{SelectOp, StemOp};
 use tcq_query::{analyze, parse, AnalyzedQuery};
 use tcq_stems::IndexKind;
-use tcq_storage::{BufferPool, StreamArchive};
+use tcq_storage::{
+    BufferPool, CheckpointRecovery, CheckpointStats, CheckpointStore, StreamArchive,
+};
 use tcq_windows::WindowSeq;
 
 use crate::dispatcher::{OverloadPolicy, StreamDispatcher, SubscriberSet};
@@ -35,7 +37,8 @@ use crate::planner::{
     self, plan_kind, resolve_aggregates, source_predicate, stripped_predicate, PlanKind,
 };
 use crate::plans::{
-    AggregateCqDu, FilterCqDu, FilterCqShared, JoinCqDu, JoinInput, LazyProject, QueryId,
+    AggCqState, AggregateCqDu, FilterCqDu, FilterCqShared, JoinCqDu, JoinInput, LazyProject,
+    QueryId,
 };
 use crate::shared_join::{SharedJoinDu, SharedJoinKey, SharedJoinShared};
 
@@ -101,6 +104,12 @@ pub struct ServerConfig {
     /// per-site hashing of earlier engines — results are byte-identical
     /// either way; only the work per tuple changes.
     pub compiled_kernels: bool,
+    /// Durable checkpoint store path; `None` disables checkpointing
+    /// ([`TelegraphCQ::checkpoint`] errors, [`TelegraphCQ::restore`]
+    /// refuses to boot). Checkpoints are incremental: each
+    /// [`TelegraphCQ::checkpoint`] call commits one epoch-delta block
+    /// holding only the state dirtied since the previous call.
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +130,7 @@ impl Default for ServerConfig {
             egress_policy: EgressPolicy::default(),
             partitions: 1,
             compiled_kernels: true,
+            checkpoint_path: None,
         }
     }
 }
@@ -160,6 +170,26 @@ struct SharedJoinEntry {
     subscriptions: Vec<(String, u64)>,
 }
 
+/// Shared handle to one query's checkpointable operator state.
+enum QueryStateHandle {
+    /// A dedicated join: the eddy whose SteMs carry the join state.
+    Join(Arc<Mutex<Eddy>>),
+    /// A windowed aggregate: loop position + buffered tuples.
+    Aggregate(AggCqState),
+}
+
+/// One [`TelegraphCQ::checkpoint`] commit, summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The epoch this delta committed as.
+    pub epoch: u64,
+    /// Fragments in the delta (dirtied state groups + the always-written
+    /// cursor/ledger watermarks).
+    pub fragments: u64,
+    /// Bytes appended to the store (header + payload).
+    pub bytes: u64,
+}
+
 /// The running TelegraphCQ instance (paper Figure 5, one process).
 pub struct TelegraphCQ {
     config: ServerConfig,
@@ -175,13 +205,47 @@ pub struct TelegraphCQ {
     /// One injector for the whole process, shared by every layer, so the
     /// fired-fault log is a single seed-deterministic account of the run.
     injector: Option<SharedInjector>,
+    /// The durable checkpoint store (`ServerConfig::checkpoint_path`).
+    ckpt: Option<Mutex<CheckpointStore>>,
+    /// Per-query operator state handles, registered at submit in qid order
+    /// so checkpoint fragment emission is deterministic.
+    ckpt_handles: Mutex<Vec<(QueryId, QueryStateHandle)>>,
+    /// Booted via [`TelegraphCQ::restore`]? When true, the recovered
+    /// checkpoint image is applied as streams register, sources attach,
+    /// and queries resubmit.
+    restoring: bool,
     next_query: AtomicUsize,
     next_client: AtomicU64,
 }
 
 impl TelegraphCQ {
-    /// Boot the server.
+    /// Boot the server fresh. With `ServerConfig::checkpoint_path` set the
+    /// store is opened for writing, but no recovered state is applied —
+    /// use [`TelegraphCQ::restore`] to resume a crashed incarnation.
     pub fn start(config: ServerConfig) -> Result<Self> {
+        Self::boot(config, false)
+    }
+
+    /// Boot the server *from its checkpoint*: reopen the store at
+    /// `ServerConfig::checkpoint_path`, replay the longest valid prefix of
+    /// epoch blocks, and apply the recovered image as the caller rebuilds
+    /// the topology — [`TelegraphCQ::register_stream`] seeds stream
+    /// clocks, [`TelegraphCQ::attach_supervised_source`] seeds resume
+    /// cursors, the egress ledger is seeded here, and
+    /// [`TelegraphCQ::submit`] imports each query's SteM groups and window
+    /// partials (queries must be resubmitted in their original order so
+    /// query ids line up). Delivery past the checkpoint watermark is
+    /// at-least-once: clients dedup replayed results by sequence.
+    pub fn restore(config: ServerConfig) -> Result<Self> {
+        if config.checkpoint_path.is_none() {
+            return Err(TcqError::Storage(
+                "restore requires ServerConfig::checkpoint_path".into(),
+            ));
+        }
+        Self::boot(config, true)
+    }
+
+    fn boot(config: ServerConfig, restoring: bool) -> Result<Self> {
         let injector = config.fault_plan.clone().map(FaultPlan::build_shared);
         let executor = Executor::start(ExecutorConfig {
             eos: config.eos,
@@ -197,6 +261,26 @@ impl TelegraphCQ {
         if let Some(inj) = &injector {
             egress.attach_injector(inj.clone());
         }
+        let ckpt = match &config.checkpoint_path {
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir)?;
+                    }
+                }
+                let store = CheckpointStore::open_with_injector(path, injector.clone())?;
+                if restoring {
+                    // The egress ledger spans the outage: offered/delivered/
+                    // shed keep counting from the pre-crash totals, so the
+                    // accounting invariant holds across incarnations.
+                    if let Some(bytes) = store.get("egress", b"") {
+                        egress.seed_stats(EgressStats::decode(bytes)?);
+                    }
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         Ok(TelegraphCQ {
             config,
             catalog: Catalog::new(),
@@ -209,9 +293,31 @@ impl TelegraphCQ {
             streamers: Mutex::new(Vec::new()),
             supervisors: Mutex::new(Vec::new()),
             injector,
+            ckpt,
+            ckpt_handles: Mutex::new(Vec::new()),
+            restoring,
             next_query: AtomicUsize::new(1),
             next_client: AtomicU64::new(1),
         })
+    }
+
+    /// What checkpoint recovery found at boot (`None` when checkpointing
+    /// is disabled).
+    pub fn checkpoint_recovery(&self) -> Option<CheckpointRecovery> {
+        self.ckpt.as_ref().map(|s| s.lock().recovery())
+    }
+
+    /// Checkpoint write-path counters (`None` when disabled).
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.ckpt.as_ref().map(|s| s.lock().stats())
+    }
+
+    /// A committed checkpoint fragment, cloned out of the store's
+    /// latest-wins image (tests, experiments).
+    pub fn checkpoint_fragment(&self, component: &str, key: &[u8]) -> Option<Vec<u8>> {
+        self.ckpt
+            .as_ref()
+            .and_then(|s| s.lock().get(component, key).map(<[u8]>::to_vec))
     }
 
     /// The catalog (for inspection).
@@ -245,6 +351,18 @@ impl TelegraphCQ {
         let (ingress_p, ingress_c) = fjord(self.config.queue_capacity, QueueKind::Push);
         let subscribers = SubscriberSet::new();
         let latest_seq = Arc::new(AtomicI64::new(0));
+        if self.restoring {
+            // Restore the stream clock before the dispatcher is built:
+            // window start times (`ST`), arrival stamping, and historical
+            // splits all anchor on it.
+            if let Some(store) = &self.ckpt {
+                let store = store.lock();
+                if let Some(bytes) = store.get("seq", name.to_ascii_lowercase().as_bytes()) {
+                    let seq = CkptReader::new(bytes).get_i64("stream clock")?;
+                    latest_seq.store(seq, Ordering::Release);
+                }
+            }
+        }
         let archive = match &self.config.archive_dir {
             Some(dir) => {
                 let path = dir.join(format!("{}.seg", name.to_ascii_lowercase()));
@@ -344,9 +462,20 @@ impl TelegraphCQ {
         &self,
         stream: &str,
         mut factory: SourceFactory,
-        config: SupervisorConfig,
+        mut config: SupervisorConfig,
     ) -> Result<()> {
         let st = self.stream(stream)?;
+        if self.restoring && config.initial_delivered == 0 {
+            // Seed the resume cursor from the checkpointed watermark: the
+            // factory's first build sees the pre-crash delivered count and
+            // skips what the lost incarnation already consumed.
+            if let Some(store) = &self.ckpt {
+                let store = store.lock();
+                if let Some(bytes) = store.get("cursor", stream.to_ascii_lowercase().as_bytes()) {
+                    config.initial_delivered = CkptReader::new(bytes).get_u64("resume cursor")?;
+                }
+            }
+        }
         let injector = self.injector.clone();
         let wrapped: SourceFactory = Box::new(move |attempt, delivered| {
             let inner = factory(attempt, delivered)?;
@@ -585,6 +714,17 @@ impl TelegraphCQ {
             qid,
         )
         .with_io_batch(self.config.io_batch);
+        let state = du.state_handle();
+        if self.restoring {
+            if let Some(bytes) = self.checkpoint_fragment(&format!("q{qid}/agg"), b"") {
+                state.import(&bytes)?;
+            }
+        }
+        if self.ckpt.is_some() {
+            self.ckpt_handles
+                .lock()
+                .push((qid, QueryStateHandle::Aggregate(state)));
+        }
         let du_id = self.executor.submit(st.class, Box::new(du))?;
         Ok(QueryRecord::Dedicated {
             dus: vec![du_id],
@@ -654,11 +794,54 @@ impl TelegraphCQ {
             deadline,
         )
         .with_io_batch(self.config.io_batch);
+        let handle = du.eddy_handle();
+        if self.restoring {
+            self.import_join_state(qid, &handle)?;
+        }
+        if self.ckpt.is_some() {
+            self.ckpt_handles
+                .lock()
+                .push((qid, QueryStateHandle::Join(handle)));
+        }
         let du_id = self.executor.submit(class, Box::new(du))?;
         Ok(QueryRecord::Dedicated {
             dus: vec![du_id],
             subscriptions,
         })
+    }
+
+    /// Import a restored query's SteM groups into a freshly built eddy
+    /// (components `q<qid>/stem/<module>`, keyed by group hash). Empty
+    /// fragments are tombstones — the group was exported after emptying —
+    /// and are skipped.
+    fn import_join_state(&self, qid: QueryId, eddy: &Arc<Mutex<Eddy>>) -> Result<()> {
+        let Some(store) = &self.ckpt else {
+            return Ok(());
+        };
+        let store = store.lock();
+        let prefix = format!("q{qid}/stem/");
+        let mut eddy = eddy.lock();
+        let comps: Vec<String> = store
+            .components()
+            .filter(|c| c.starts_with(&prefix))
+            .map(str::to_string)
+            .collect();
+        for comp in comps {
+            let module: usize = comp[prefix.len()..].parse().map_err(|_| {
+                TcqError::Storage(format!("malformed checkpoint component '{comp}'"))
+            })?;
+            for (key, value) in store.fragments(&comp) {
+                if value.is_empty() {
+                    continue;
+                }
+                let hash =
+                    u64::from_le_bytes(key.try_into().map_err(|_| {
+                        TcqError::Storage(format!("malformed group key in '{comp}'"))
+                    })?);
+                eddy.import_module_group(module, hash, value)?;
+            }
+        }
+        Ok(())
     }
 
     /// Build the dedicated eddy (SteMs + filters + band predicates) for a
@@ -1079,6 +1262,7 @@ impl TelegraphCQ {
             .lock()
             .remove(&qid)
             .ok_or_else(|| TcqError::Executor(format!("unknown query {qid}")))?;
+        self.ckpt_handles.lock().retain(|(q, _)| *q != qid);
         match record {
             QueryRecord::SharedFilter { stream } => {
                 self.stream(&stream)?.filter_shared.remove_query(qid)?;
@@ -1148,6 +1332,97 @@ impl TelegraphCQ {
     /// Full egress accounting (per-disposition counters).
     pub fn egress_stats_full(&self) -> EgressStats {
         self.egress.egress_stats()
+    }
+
+    /// Take a durable, incremental checkpoint: commit one epoch-delta
+    /// block holding the state dirtied since the previous call.
+    ///
+    /// The cut is taken in three steps whose order carries the recovery
+    /// contract. (1) Resume cursors are read *first*: anything a source
+    /// delivers after that instant will be replayed on restore, so the
+    /// exported state may already contain it — delivery past the watermark
+    /// is at-least-once, and clients dedup by sequence. (2) In-flight
+    /// tuples are drained so exported operator state covers everything the
+    /// cursors skip. (3) Dirty state groups are exported under their DU
+    /// locks, the egress ledger and stream clocks are staged, and the
+    /// delta commits. Dirty flags are cleared only after the commit
+    /// succeeds — a failed or torn commit (injected or real) keeps the
+    /// delta staged for retry and loses nothing.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let store_mutex = self.ckpt.as_ref().ok_or_else(|| {
+            TcqError::Storage("checkpointing disabled (set ServerConfig::checkpoint_path)".into())
+        })?;
+        let cursors: Vec<(String, u64)> = self
+            .supervisors
+            .lock()
+            .iter()
+            .map(|s| (s.name().to_ascii_lowercase(), s.stats().delivered))
+            .collect();
+        self.drain_ingress(Duration::from_secs(2));
+
+        let mut store = store_mutex.lock();
+        store.put("egress", b"", &self.egress.egress_stats().encode());
+        for (name, delivered) in &cursors {
+            let mut w = CkptWriter::new();
+            w.put_u64(*delivered);
+            store.put("cursor", name.as_bytes(), w.as_slice());
+        }
+        {
+            let streams = self.streams.lock();
+            let mut names: Vec<&String> = streams.keys().collect();
+            names.sort();
+            for name in names {
+                let mut w = CkptWriter::new();
+                w.put_i64(streams[name].latest_seq.load(Ordering::Acquire));
+                store.put("seq", name.as_bytes(), w.as_slice());
+            }
+        }
+
+        // Export dirty groups holding every DU's state lock until the
+        // commit lands: a tuple folded between export and clear would
+        // otherwise lose its dirty bit and vanish from the next delta.
+        let handles = self.ckpt_handles.lock();
+        let mut eddies = Vec::new();
+        let mut aggs = Vec::new();
+        let mut scratch = Vec::new();
+        for (qid, handle) in handles.iter() {
+            match handle {
+                QueryStateHandle::Join(eddy) => {
+                    let mut eddy = eddy.lock();
+                    scratch.clear();
+                    eddy.export_dirty_state(&mut scratch)?;
+                    for (module, hash, bytes) in &scratch {
+                        store.put(&format!("q{qid}/stem/{module}"), &hash.to_le_bytes(), bytes);
+                    }
+                    eddies.push(eddy);
+                }
+                QueryStateHandle::Aggregate(state) => {
+                    let core = state.lock();
+                    if core.dirty {
+                        store.put(
+                            &format!("q{qid}/agg"),
+                            b"",
+                            &crate::plans::encode_agg_core(&core),
+                        );
+                    }
+                    aggs.push(core);
+                }
+            }
+        }
+        let before = store.stats();
+        let epoch = store.commit()?;
+        let after = store.stats();
+        for mut eddy in eddies {
+            eddy.clear_dirty();
+        }
+        for mut core in aggs {
+            core.dirty = false;
+        }
+        Ok(CheckpointReport {
+            epoch,
+            fragments: after.fragments_written - before.fragments_written,
+            bytes: after.bytes_written - before.bytes_written,
+        })
     }
 
     /// Stop ingress, drain what was admitted, then stop the executor.

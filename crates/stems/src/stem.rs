@@ -9,7 +9,7 @@
 //! the hash/Eq coherence `tcq_common::value` pins, results are identical
 //! to the old `HashMap<Value, _>` index.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use tcq_common::{hash_value, IdentityBuildHasher, Result, SchemaRef, TcqError, Tuple, Value};
 
@@ -77,6 +77,11 @@ pub struct SteM {
     /// carried in on the tuple are free and not counted) — the
     /// double-hash-removal regression test reads this.
     hash_computes: u64,
+    /// Key-hash groups mutated (insert/evict/drain) since the last
+    /// [`SteM::clear_dirty`]. `BTreeSet` so checkpoint export iterates in
+    /// a deterministic order — delta checkpoints must be byte-identical
+    /// across same-seed runs.
+    dirty: BTreeSet<u64>,
 }
 
 impl SteM {
@@ -106,6 +111,7 @@ impl SteM {
             probes: 0,
             matches: 0,
             hash_computes: 0,
+            dirty: BTreeSet::new(),
         })
     }
 
@@ -140,8 +146,9 @@ impl SteM {
         }
         let seq = tuple.timestamp().seq();
         let slot = self.slots.len() as u32;
+        let h = self.key_hash_of(&tuple);
+        self.dirty.insert(h);
         if self.kind.has_hash() {
-            let h = self.key_hash_of(&tuple);
             self.hash.entry(h).or_default().push(slot);
         }
         if self.kind.has_ordered() {
@@ -271,13 +278,14 @@ impl SteM {
             self.arrival.pop_front();
             if let Some(t) = self.slots[slot as usize].take() {
                 let key = t.value(self.key_col);
+                // insert() memoized the hash on the stored tuple, so
+                // eviction is rehash-free (the fallback only fires for
+                // tuples memoized on a different column upstream).
+                let h = t
+                    .cached_key_hash(self.key_col)
+                    .unwrap_or_else(|| hash_value(key));
+                self.dirty.insert(h);
                 if self.kind.has_hash() {
-                    // insert() memoized the hash on the stored tuple, so
-                    // eviction is rehash-free (the fallback only fires for
-                    // tuples memoized on a different column upstream).
-                    let h = t
-                        .cached_key_hash(self.key_col)
-                        .unwrap_or_else(|| hash_value(key));
                     if let Some(slots) = self.hash.get_mut(&h) {
                         slots.retain(|&s| s != slot);
                         if slots.is_empty() {
@@ -302,15 +310,114 @@ impl SteM {
     }
 
     /// Drain all tuples out (Flux state movement: the whole partition moves
-    /// to another node). Leaves the SteM empty but reusable.
+    /// to another node). Leaves the SteM empty but reusable. Every drained
+    /// group is marked dirty: its content here is now empty, and the next
+    /// checkpoint must record the clearing.
     pub fn drain_all(&mut self) -> Vec<Tuple> {
         let out: Vec<Tuple> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        for t in &out {
+            let h = t
+                .cached_key_hash(self.key_col)
+                .unwrap_or_else(|| hash_value(t.value(self.key_col)));
+            self.dirty.insert(h);
+        }
         self.hash.clear();
         self.ordered.clear();
         self.arrival.clear();
         self.slots.clear();
         self.live = 0;
         out
+    }
+
+    /// Key-hash groups mutated since the last [`SteM::clear_dirty`], in
+    /// ascending hash order (deterministic checkpoint deltas).
+    pub fn dirty_groups(&self) -> impl Iterator<Item = u64> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Number of currently dirty groups.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Mark every group clean — call only after the delta containing them
+    /// has been durably committed.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Append all live tuples whose key hash is `hash` to `out`, in
+    /// storage order. This is a group's *full current content* — a delta
+    /// checkpoint writes it for every dirty hash, so an emptied group
+    /// (all evicted) exports zero tuples, which restore reads as a clear.
+    pub fn export_group(&self, hash: u64, out: &mut Vec<Tuple>) {
+        if self.kind.has_hash() {
+            if let Some(slots) = self.hash.get(&hash) {
+                for &s in slots {
+                    if let Some(t) = &self.slots[s as usize] {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        } else {
+            for t in self.scan() {
+                let h = t
+                    .cached_key_hash(self.key_col)
+                    .unwrap_or_else(|| hash_value(t.value(self.key_col)));
+                if h == hash {
+                    out.push(t.clone());
+                }
+            }
+        }
+    }
+
+    /// Replace the group keyed by `hash` with `tuples` (restore path).
+    /// Existing tuples of the group are removed first, so re-importing a
+    /// checkpointed group is idempotent and an empty import clears it.
+    /// Leaves the dirty set exactly as it was: restored state is clean
+    /// with respect to the checkpoint it came from.
+    pub fn import_group(&mut self, hash: u64, tuples: Vec<Tuple>) -> Result<()> {
+        let stale: Vec<u32> = if self.kind.has_hash() {
+            self.hash.get(&hash).cloned().unwrap_or_default()
+        } else {
+            self.slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|t| (i as u32, t)))
+                .filter(|(_, t)| {
+                    t.cached_key_hash(self.key_col)
+                        .unwrap_or_else(|| hash_value(t.value(self.key_col)))
+                        == hash
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for slot in stale {
+            if let Some(t) = self.slots[slot as usize].take() {
+                if self.kind.has_ordered() {
+                    let ok = OrdValue(t.value(self.key_col).clone());
+                    if let Some(slots) = self.ordered.get_mut(&ok) {
+                        slots.retain(|&s| s != slot);
+                        if slots.is_empty() {
+                            self.ordered.remove(&ok);
+                        }
+                    }
+                }
+                self.arrival.retain(|&(_, s)| s != slot);
+                self.live -= 1;
+            }
+        }
+        if self.kind.has_hash() {
+            self.hash.remove(&hash);
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let builds = self.builds;
+        for t in tuples {
+            self.insert(t)?;
+        }
+        self.builds = builds;
+        self.dirty = dirty;
+        Ok(())
     }
 
     /// Number of live tuples.
@@ -356,6 +463,7 @@ impl SteM {
         }
         self.live = 0;
         let builds = self.builds; // insert() increments; restore after
+        let dirty = std::mem::take(&mut self.dirty); // contents unchanged
         while let Some((_, slot)) = old_arrival.pop_front() {
             if let Some(t) = remap.remove(&slot) {
                 // insert cannot fail: tuples came from this SteM
@@ -363,6 +471,7 @@ impl SteM {
             }
         }
         self.builds = builds;
+        self.dirty = dirty;
     }
 }
 
@@ -572,6 +681,103 @@ mod tests {
             out.len()
         );
         assert!(out.iter().all(|t| t.timestamp().seq() >= 80));
+    }
+
+    #[test]
+    fn dirty_tracking_scales_with_churn_not_state() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        for ts in 1..=100 {
+            stem.insert(t(ts % 10, "x", ts)).unwrap();
+        }
+        assert_eq!(stem.dirty_len(), 10, "one dirty entry per touched group");
+        stem.clear_dirty();
+        assert_eq!(stem.dirty_len(), 0);
+        // Touch exactly two groups: the delta is two, not the full state.
+        stem.insert(t(3, "y", 101)).unwrap();
+        stem.insert(t(7, "y", 102)).unwrap();
+        assert_eq!(stem.dirty_len(), 2);
+        let dirty: Vec<u64> = stem.dirty_groups().collect();
+        assert_eq!(
+            dirty,
+            {
+                let mut v = vec![
+                    tcq_common::hash_value(&Value::Int(3)),
+                    tcq_common::hash_value(&Value::Int(7)),
+                ];
+                v.sort_unstable();
+                v
+            },
+            "dirty iteration is hash-ordered and exact"
+        );
+        // Eviction dirties the groups it empties.
+        stem.clear_dirty();
+        stem.evict_before_seq(11);
+        assert_eq!(stem.dirty_len(), 10, "seqs 1..=10 span all ten groups");
+        // Compaction is content-neutral: no new dirt.
+        stem.clear_dirty();
+        let mut big = SteM::new("B", schema(), 0, IndexKind::Both).unwrap();
+        for ts in 1..=100 {
+            big.insert(t(ts % 5, "x", ts)).unwrap();
+        }
+        big.evict_before_seq(80);
+        big.clear_dirty();
+        big.compact();
+        assert_eq!(big.dirty_len(), 0, "compact dirties nothing");
+    }
+
+    #[test]
+    fn export_import_group_roundtrip() {
+        let mut a = SteM::new("A", schema(), 0, IndexKind::Both).unwrap();
+        for ts in 1..=20 {
+            a.insert(t(ts % 4, "x", ts)).unwrap();
+        }
+        let h = tcq_common::hash_value(&Value::Int(2));
+        let mut group = Vec::new();
+        a.export_group(h, &mut group);
+        assert_eq!(group.len(), 5, "seqs 2,6,10,14,18");
+
+        // Import into a fresh SteM: probes agree with the source.
+        let mut b = SteM::new("B", schema(), 0, IndexKind::Both).unwrap();
+        b.import_group(h, group.clone()).unwrap();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.dirty_len(), 0, "imported state is clean");
+        let mut out = Vec::new();
+        assert_eq!(b.probe_eq(&Value::Int(2), &mut out), 5);
+        out.clear();
+        assert_eq!(
+            b.probe_range(&Value::Int(2), &Value::Int(2), &mut out)
+                .unwrap(),
+            5
+        );
+        // Re-import is idempotent (group replaced, not doubled).
+        b.import_group(h, group).unwrap();
+        assert_eq!(b.len(), 5);
+        // Empty import clears the group.
+        b.import_group(h, Vec::new()).unwrap();
+        assert_eq!(b.len(), 0);
+        out.clear();
+        assert_eq!(b.probe_eq(&Value::Int(2), &mut out), 0);
+        // Eviction ordering survives an out-of-order import.
+        let mut c = SteM::new("C", schema(), 0, IndexKind::Hash).unwrap();
+        c.insert(t(9, "late", 50)).unwrap();
+        let mut g = Vec::new();
+        a.export_group(tcq_common::hash_value(&Value::Int(1)), &mut g);
+        c.import_group(tcq_common::hash_value(&Value::Int(1)), g)
+            .unwrap();
+        assert_eq!(c.evict_before_seq(14), 4, "seqs 1,5,9,13 evicted");
+    }
+
+    #[test]
+    fn exported_empty_group_records_a_clearing() {
+        let mut stem = SteM::new("S", schema(), 0, IndexKind::Hash).unwrap();
+        stem.insert(t(1, "x", 1)).unwrap();
+        stem.clear_dirty();
+        stem.evict_before_seq(10);
+        let h = tcq_common::hash_value(&Value::Int(1));
+        assert_eq!(stem.dirty_groups().collect::<Vec<_>>(), vec![h]);
+        let mut group = Vec::new();
+        stem.export_group(h, &mut group);
+        assert!(group.is_empty(), "emptied group exports zero tuples");
     }
 
     #[test]

@@ -22,7 +22,9 @@ const PAGE_MAGIC: u32 = 0x5443_5141;
 static NEXT_ARCHIVE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// FNV-1a over `bytes` — the in-tree page checksum (no external deps).
-fn checksum(bytes: &[u8]) -> u32 {
+/// Shared with the checkpoint store so both durable formats carry the
+/// same integrity discipline.
+pub(crate) fn checksum(bytes: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
     for &b in bytes {
         hash ^= b as u32;
@@ -164,6 +166,10 @@ impl StreamArchive {
     /// truncated so subsequent appends land on a fresh page boundary.
     pub fn open(path: impl AsRef<Path>, schema: SchemaRef, pool: BufferPool) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
+        // A stale `.tmp` means a compaction crashed before its atomic
+        // rename: the segment at `path` is still the complete old one, so
+        // the half-built rewrite is garbage to discard.
+        std::fs::remove_file(compact_tmp_path(&path)).ok();
         let mut file = File::options()
             .create(true)
             .truncate(false)
@@ -361,28 +367,49 @@ impl StreamArchive {
     /// unchanged — only dead bytes are dropped — and a subsequent
     /// [`StreamArchive::open`] sees a hole-free segment
     /// (`pages_skipped == 0`, `truncated_bytes == 0`).
+    ///
+    /// Crash safety: the dense segment is built in a sibling `.tmp` file,
+    /// synced, then swapped in with an atomic rename. A crash at any point
+    /// leaves either the complete old segment (rename not reached; `open`
+    /// discards the stale `.tmp`) or the complete new one — never a mix.
+    /// [`FaultPoint::ArchiveAppend`] is polled once between the rewrite
+    /// and the swap, the worst possible crash instant, to let chaos plans
+    /// pin exactly that.
     pub fn compact(&mut self) -> Result<CompactionReport> {
         self.seal_tail()?;
         let page_size = self.pool.page_size() as u64;
         let pages_before = self.next_page;
-        // Pull every live page into memory under the old id before any
-        // slot is overwritten: a live page may sit above a hole, so
-        // in-place sliding must read ahead of the write cursor.
-        let mut contents = Vec::with_capacity(self.pages.len());
-        for meta in &self.pages {
-            contents.push(
-                self.pool
-                    .read_page(&mut self.file, (self.id, meta.page_no))?,
-            );
-        }
+        let tmp = compact_tmp_path(&self.path);
+        let mut tmp_file = File::options()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
         let new_id = NEXT_ARCHIVE_ID.fetch_add(1, Ordering::Relaxed);
-        for (slot, data) in contents.into_iter().enumerate() {
+        for (slot, meta) in self.pages.iter().enumerate() {
+            let data = self
+                .pool
+                .read_page(&mut self.file, (self.id, meta.page_no))?;
             self.pool
-                .write_page(&mut self.file, (new_id, slot as u64), data.to_vec())?;
+                .write_page(&mut tmp_file, (new_id, slot as u64), data.to_vec())?;
         }
-        let live = self.pages.len() as u64;
-        self.file.set_len(live * page_size)?;
+        tmp_file.sync_data()?;
+        if let Some(injector) = &self.injector {
+            if let Some(FaultAction::Error(msg)) = injector.poll(FaultPoint::ArchiveAppend) {
+                // Simulated crash between rewrite and swap: the finished
+                // `.tmp` stays behind (as after a real crash) and the
+                // archive keeps serving the old segment untouched.
+                return Err(TcqError::Storage(format!(
+                    "injected compaction fault: {msg}"
+                )));
+            }
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old handle still maps the replaced inode; reopen the path.
+        self.file = File::options().read(true).write(true).open(&self.path)?;
         self.file.sync_data()?;
+        let live = self.pages.len() as u64;
         self.id = new_id;
         for (slot, meta) in self.pages.iter_mut().enumerate() {
             meta.page_no = slot as u64;
@@ -455,6 +482,14 @@ impl StreamArchive {
         }
         Ok(out.len() - before)
     }
+}
+
+/// Sibling path where [`StreamArchive::compact`] builds the dense rewrite
+/// before atomically renaming it over the segment.
+fn compact_tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
 }
 
 /// Parse and checksum-validate a page header; returns `(records, payload)`.
@@ -902,6 +937,75 @@ mod tests {
         assert_eq!(report.bytes_reclaimed, 0);
         let mut out = Vec::new();
         assert_eq!(a.scan_window(1, 200, &mut out).unwrap(), 200);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_mid_compaction_yields_old_segment_intact() {
+        // Satellite: an injected fault between the dense rewrite and the
+        // atomic swap must leave the OLD segment fully readable — never a
+        // mix — and reopen must discard the half-built `.tmp`.
+        let pool = BufferPool::new(8, 512);
+        let path = temp_path("compact-crash");
+        {
+            let mut a = StreamArchive::create(&path, schema(), pool.clone()).unwrap();
+            for seq in 1..=300 {
+                a.append(&tuple(seq)).unwrap();
+            }
+            a.flush().unwrap();
+        }
+        // Corrupt an interior page so compaction has real work to do.
+        {
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(512 + PAGE_HEADER as u64)).unwrap();
+            f.write_all(&[0xFF; 32]).unwrap();
+        }
+        let mut b = StreamArchive::open(&path, schema(), pool.clone()).unwrap();
+        let recovered = b.recovery().unwrap().records_recovered;
+        let sparse_len = std::fs::metadata(&path).unwrap().len();
+        let mut before = Vec::new();
+        b.scan_window(1, 300, &mut before).unwrap();
+
+        let injector = FaultPlan::new(9)
+            .at(
+                FaultPoint::ArchiveAppend,
+                1,
+                FaultAction::Error("power cut".into()),
+            )
+            .build_shared();
+        b.attach_injector(injector);
+        assert!(b.compact().is_err(), "compaction dies before the swap");
+        let tmp = compact_tmp_path(&path);
+        assert!(tmp.exists(), "crash leaves the half-built rewrite behind");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            sparse_len,
+            "old segment untouched"
+        );
+        // The live archive keeps serving the old segment.
+        let mut still = Vec::new();
+        b.scan_window(1, 300, &mut still).unwrap();
+        assert_eq!(before, still);
+        drop(b);
+
+        // Reopen: the old segment, in full — and the stale tmp is gone.
+        let mut c = StreamArchive::open(&path, schema(), pool.clone()).unwrap();
+        assert!(!tmp.exists(), "stale .tmp discarded on open");
+        assert_eq!(c.recovery().unwrap().records_recovered, recovered);
+        let mut reopened = Vec::new();
+        c.scan_window(1, 300, &mut reopened).unwrap();
+        assert_eq!(before, reopened, "either old or new, never a mix");
+
+        // A retry (no fault) completes and densifies.
+        let report = c.compact().unwrap();
+        assert_eq!(report.bytes_reclaimed, 512);
+        assert!(!tmp.exists(), "successful compaction consumes the tmp");
+        drop(c);
+        let mut d = StreamArchive::open(&path, schema(), pool).unwrap();
+        assert_eq!(d.recovery().unwrap().pages_skipped, 0);
+        let mut dense = Vec::new();
+        d.scan_window(1, 300, &mut dense).unwrap();
+        assert_eq!(before, dense);
         std::fs::remove_file(path).ok();
     }
 

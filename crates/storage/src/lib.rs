@@ -16,6 +16,10 @@
 //!   (the "broadcast-disk style read behavior" the paper wants).
 //! * [`BufferPool`] — a shared page cache with CLOCK eviction between the
 //!   archives and the disk, with hit/miss counters for the experiments.
+//! * [`CheckpointStore`] — a durable, incrementally written store of
+//!   checkpoint fragments (SteM groups, aggregate partials, egress
+//!   ledgers, ingress cursors) under the same checksummed-block
+//!   discipline, for crash recovery of operator state.
 //!
 //! # Example: spool a stream, read a window back
 //!
@@ -45,9 +49,11 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod checkpoint;
 pub mod codec;
 pub mod pool;
 
 pub use archive::{ArchiveStats, CompactionReport, RecoveryReport, StreamArchive};
+pub use checkpoint::{CheckpointRecovery, CheckpointStats, CheckpointStore};
 pub use codec::{decode_tuple, encode_tuple};
 pub use pool::{BufferPool, PoolStats};

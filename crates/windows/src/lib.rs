@@ -53,5 +53,5 @@ pub mod spec;
 
 pub use spec::{
     classify, CondOp, Condition, ForLoop, LinExpr, Step, WindowAssignment, WindowInstance,
-    WindowIs, WindowKind, WindowSeq,
+    WindowIs, WindowKind, WindowSeq, WindowSeqPos,
 };

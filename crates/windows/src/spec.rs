@@ -293,6 +293,65 @@ impl WindowSeq {
     pub fn kind(&self) -> Result<WindowKind> {
         classify(&self.spec)
     }
+
+    /// The iterator's current position — everything a checkpoint needs to
+    /// resume this loop later with [`WindowSeq::seek`].
+    pub fn position(&self) -> WindowSeqPos {
+        WindowSeqPos {
+            t: self.t,
+            iterations: self.iterations,
+            done: self.done,
+        }
+    }
+
+    /// The query start time `ST` this loop was anchored at. Window bounds
+    /// are linear in `(t, ST)`, so a checkpoint must persist `ST` next to
+    /// the [`WindowSeqPos`] for [`WindowSeq::seek`] to be exact.
+    pub fn start_time(&self) -> i64 {
+        self.st
+    }
+
+    /// Re-anchor the loop at a restored query start time (always paired
+    /// with [`WindowSeq::seek`] when resuming from a checkpoint).
+    pub fn set_start_time(&mut self, st: i64) {
+        self.st = st;
+    }
+
+    /// Jump to a previously captured position. The spec and `st` must be
+    /// the ones this position was captured from (a checkpoint restores
+    /// both); the sequence then continues exactly where it left off.
+    pub fn seek(&mut self, pos: WindowSeqPos) {
+        self.t = pos.t;
+        self.iterations = pos.iterations;
+        self.done = pos.done;
+    }
+
+    /// Advance past `n` window assignments without keeping them, e.g. to
+    /// skip windows already finalized before a crash. Returns how many
+    /// assignments were actually consumed (fewer when the loop ends
+    /// first); errors surface as in iteration.
+    pub fn fast_forward(&mut self, n: u64) -> Result<u64> {
+        let mut consumed = 0;
+        while consumed < n {
+            match self.next() {
+                Some(Ok(_)) => consumed += 1,
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(consumed)
+    }
+}
+
+/// A resumable [`WindowSeq`] position (see [`WindowSeq::position`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSeqPos {
+    /// The loop variable's next value.
+    pub t: i64,
+    /// Assignments already produced.
+    pub iterations: u64,
+    /// Whether the loop had terminated.
+    pub done: bool,
 }
 
 impl Iterator for WindowSeq {
@@ -648,6 +707,34 @@ mod tests {
         };
         let n = WindowSeq::new(spec, 0).with_max_iterations(100).count();
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn position_seek_and_fast_forward_resume_exactly() {
+        // Emit 4 windows, checkpoint the position, emit the rest; a fresh
+        // iterator seeked to the checkpoint must produce the same tail.
+        let st = 100;
+        let mut live = WindowSeq::new(sliding_spec(), st);
+        for _ in 0..4 {
+            live.next().unwrap().unwrap();
+        }
+        let pos = live.position();
+        let tail: Vec<_> = live.collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(tail.len(), 6);
+
+        let mut restored = WindowSeq::new(sliding_spec(), st);
+        restored.seek(pos);
+        let resumed: Vec<_> = restored.collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(resumed, tail);
+
+        // fast_forward is equivalent to discarding that many assignments,
+        // and reports early loop termination instead of over-consuming.
+        let mut ff = WindowSeq::new(sliding_spec(), st);
+        assert_eq!(ff.fast_forward(4).unwrap(), 4);
+        assert_eq!(ff.position(), pos);
+        assert_eq!(ff.fast_forward(100).unwrap(), 6, "loop ends after 10");
+        assert!(ff.position().done);
+        assert_eq!(ff.fast_forward(1).unwrap(), 0);
     }
 
     #[test]

@@ -32,5 +32,8 @@ echo "== exp_scaling --smoke (perf tripwire: partitioned exchange vs sequential)
 echo "== exp_kernels --smoke (perf tripwire: compiled kernels vs interpreter, alloc budget) =="
 ./target/release/exp_kernels --smoke
 
+echo "== exp_recovery --smoke (robustness tripwire: kill -> restore loses nothing) =="
+./target/release/exp_recovery --smoke
+
 echo
 echo "ci: all green"

@@ -350,6 +350,17 @@ fn run_join_scenario(
     compiled_kernels: bool,
     query: &str,
 ) -> Outcome {
+    run_join_scenario_with_checkpoints(dir, partitions, compiled_kernels, query, None)
+}
+
+fn run_join_scenario_with_checkpoints(
+    dir: &std::path::Path,
+    partitions: usize,
+    compiled_kernels: bool,
+    query: &str,
+    checkpoint_path: Option<PathBuf>,
+) -> Outcome {
+    let checkpointing = checkpoint_path.is_some();
     let server = TelegraphCQ::start(ServerConfig {
         archive_dir: Some(dir.to_path_buf()),
         fault_plan: Some(plan()),
@@ -359,6 +370,7 @@ fn run_join_scenario(
         },
         partitions,
         compiled_kernels,
+        checkpoint_path,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -411,10 +423,23 @@ fn run_join_scenario(
         .attach_supervised_source("s", factory, SupervisorConfig::default())
         .unwrap();
 
+    // Periodic checkpoints racing the live run: they must be invisible to
+    // the replay contract (no Checkpoint* faults are planned, and the cut
+    // only reads state — it never reorders or drops tuples).
+    if checkpointing {
+        for _ in 0..2 {
+            std::thread::sleep(Duration::from_millis(20));
+            server.checkpoint().unwrap();
+        }
+    }
+
     assert!(
         server.quiesce(Duration::from_secs(60)),
         "partitioned chaos join must quiesce (P={partitions})"
     );
+    if checkpointing {
+        server.checkpoint().unwrap();
+    }
 
     let sup = server.supervisor_stats().remove(0).1;
     let outcome = Outcome {
@@ -514,6 +539,406 @@ fn compiled_and_interpreted_kernels_replay_identically() {
         normalised(b.log),
         "fired-fault logs diverged across kernel modes"
     );
+}
+
+#[test]
+fn checkpointing_on_and_off_replay_identically() {
+    // Taking checkpoints is pure observation: the cut reads cursors,
+    // drains ingress, and snapshots operator state under the DU locks,
+    // but never reorders, drops, or duplicates a tuple — so a same-seed
+    // chaos run is byte-identical with periodic checkpointing on or off.
+    let query = "SELECT s.v, d.tag FROM s s, d d WHERE s.k = d.id \
+         for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }";
+    let dir_a = temp_dir("ckpt-off");
+    let dir_b = temp_dir("ckpt-on");
+    let a = run_join_scenario_with_checkpoints(&dir_a, 1, true, query, None);
+    let b =
+        run_join_scenario_with_checkpoints(&dir_b, 1, true, query, Some(dir_b.join("server.tcqk")));
+    assert!(!a.results.is_empty(), "the join must produce results");
+    assert_eq!(
+        a.results, b.results,
+        "answers diverged across checkpointing on/off"
+    );
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(a.dispatcher_shed, b.dispatcher_shed);
+    assert_eq!(a.archive_errors, b.archive_errors);
+    assert_eq!(
+        (
+            a.archive.appended,
+            a.archive.torn_pages,
+            a.archive.lost_records
+        ),
+        (
+            b.archive.appended,
+            b.archive.torn_pages,
+            b.archive.lost_records
+        ),
+        "archive accounting diverged"
+    );
+    assert_eq!(a.sup.delivered, b.sup.delivered);
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across checkpointing modes"
+    );
+}
+
+/// Structural equality for values that must survive a checkpoint exactly:
+/// floats compare by bit pattern (NaN payloads and -0.0 included).
+fn bit_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[test]
+fn checkpoint_codec_roundtrips_every_value_variant() {
+    use telegraphcq::common::{CkptReader, CkptWriter};
+
+    let values = vec![
+        Value::Null,
+        Value::Bool(false),
+        Value::Bool(true),
+        Value::Int(0),
+        Value::Int(-1),
+        Value::Int(i64::MIN),
+        Value::Int(i64::MAX),
+        Value::Float(0.0),
+        Value::Float(-0.0),
+        Value::Float(1.5),
+        Value::Float(f64::INFINITY),
+        Value::Float(f64::NEG_INFINITY),
+        Value::Float(f64::MIN_POSITIVE),
+        Value::Float(f64::from_bits(0x7FF8_0000_0000_1234)), // NaN w/ payload
+        Value::str(""),
+        Value::str("plain"),
+        Value::str("πρöσ 流 \u{1F600} \0 embedded"),
+    ];
+    let mut w = CkptWriter::new();
+    for v in &values {
+        w.put_value(v);
+    }
+    let mut r = CkptReader::new(w.as_slice());
+    for v in &values {
+        let got = r.get_value().unwrap();
+        assert!(bit_identical(v, &got), "roundtrip mangled {v:?} -> {got:?}");
+    }
+    assert!(r.is_empty(), "trailing bytes after decoding every value");
+
+    // Tuples: every timestamp shape (unknown / logical / physical / both)
+    // over a schema that exercises every column type, nulls included.
+    let schema = Schema::new(vec![
+        Field::new("b", DataType::Bool),
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("s", DataType::Str),
+    ])
+    .into_ref();
+    let stamps = [
+        Timestamp::unknown(),
+        Timestamp::logical(i64::MAX),
+        Timestamp::physical(-7),
+        Timestamp::both(42, 1_000_000),
+    ];
+    let tuples: Vec<Tuple> = stamps
+        .iter()
+        .enumerate()
+        .map(|(i, ts)| {
+            let vals = if i % 2 == 0 {
+                vec![
+                    Value::Bool(true),
+                    Value::Int(i as i64),
+                    Value::Float(f64::from_bits(0x7FF0_0000_0000_0001)),
+                    Value::str("x"),
+                ]
+            } else {
+                vec![Value::Null, Value::Null, Value::Null, Value::Null]
+            };
+            Tuple::new(schema.clone(), vals, *ts).unwrap()
+        })
+        .collect();
+    let mut w = CkptWriter::new();
+    for t in &tuples {
+        w.put_tuple(t);
+    }
+    let mut r = CkptReader::new(w.as_slice());
+    for t in &tuples {
+        let got = r.get_tuple(&schema).unwrap();
+        assert_eq!(t.timestamp(), got.timestamp(), "timestamp mangled");
+        assert_eq!(t.arity(), got.arity());
+        for (a, b) in t.values().iter().zip(got.values()) {
+            assert!(bit_identical(a, b), "tuple cell mangled {a:?} -> {b:?}");
+        }
+    }
+    assert!(r.is_empty(), "trailing bytes after decoding every tuple");
+
+    // A truncated fragment must fail loudly, not decode garbage.
+    let full = {
+        let mut w = CkptWriter::new();
+        w.put_tuple(&tuples[0]);
+        w.into_bytes()
+    };
+    for cut in 0..full.len() {
+        assert!(
+            CkptReader::new(&full[..cut]).get_tuple(&schema).is_err(),
+            "truncation at {cut}/{} decoded successfully",
+            full.len()
+        );
+    }
+}
+
+/// Delivers the first `limit` tuples then stalls (`Idle`, not EOF): a
+/// stream that is still open when the server dies mid-run.
+struct StallSource {
+    schema: SchemaRef,
+    tuples: Vec<Tuple>,
+    pos: usize,
+    limit: usize,
+}
+
+impl Source for StallSource {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Result<SourceStatus> {
+        if self.pos >= self.limit {
+            return Ok(SourceStatus::Idle);
+        }
+        let n = max.min(self.limit - self.pos);
+        out.extend_from_slice(&self.tuples[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(SourceStatus::Ready)
+    }
+}
+
+/// Per-query result rows (all columns, as ints) in delivery order. The
+/// interleaving *between* queries on one client channel is scheduler
+/// timing; the order *within* each query is the replay contract.
+fn rows_by_query(rx: &Receiver<Delivery>) -> std::collections::BTreeMap<usize, Vec<Vec<i64>>> {
+    let mut map: std::collections::BTreeMap<usize, Vec<Vec<i64>>> =
+        std::collections::BTreeMap::new();
+    for (qid, t) in rx.try_iter() {
+        map.entry(qid)
+            .or_default()
+            .push(t.values().iter().map(|v| v.as_int().unwrap()).collect());
+    }
+    map
+}
+
+const JOIN_Q: &str = "SELECT s.v, d.tag FROM s s, d d WHERE s.k = d.id \
+     for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }";
+const AGG_Q: &str =
+    "SELECT COUNT(*) FROM s for (t = ST; t >= 0; t += 10) { WindowIs(s, t - 9, t); }";
+
+/// Registers streams, submits the join + aggregate pair, and loads-then-
+/// closes the dimension stream. `feed_dim` is false on the restore path:
+/// the d-side SteM state comes from the checkpoint, and re-feeding would
+/// double-insert it.
+fn boot_recovery_topology(
+    server: &TelegraphCQ,
+    feed_dim: bool,
+) -> (usize, usize, Receiver<Delivery>) {
+    server.register_stream("s", hot_schema()).unwrap();
+    server.register_stream("d", dim_schema()).unwrap();
+    let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(8192).unwrap();
+    let join_q = server.submit(JOIN_Q, client).unwrap();
+    let agg_q = server.submit(AGG_Q, client).unwrap();
+
+    if feed_dim {
+        let dims = dim_schema();
+        let batch: Vec<Tuple> = (0..DIM_ROWS)
+            .map(|id| {
+                TupleBuilder::new(dims.clone())
+                    .push(id)
+                    .push(id * 10)
+                    .at(Timestamp::logical(id + 1))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        server.push_batch("d", batch).unwrap();
+        while server.stream_time("d").unwrap() < DIM_ROWS {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    server.finish_stream("d").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    (join_q, agg_q, rx)
+}
+
+fn hot_master() -> Vec<Tuple> {
+    let hot = hot_schema();
+    (1..=TUPLES)
+        .map(|i| {
+            TupleBuilder::new(hot.clone())
+                .push(i % DIM_ROWS)
+                .push(i)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn checkpoint_restore_after_crash_loses_nothing() {
+    // Kill the server mid-stream (the source stalls at HALF, the process
+    // "dies" via mem::forget — no shutdown, no drain), restore from the
+    // last checkpoint into a fresh server, and replay the tail. The
+    // concatenated per-query results must equal an uninterrupted run's:
+    // no tuple lost, none duplicated, and the aggregate window that
+    // straddles the crash point closes with the correct count.
+    const HALF: usize = 1495; // not a window multiple: the agg buffer spans the cut
+    let dir = temp_dir("restore");
+    let ckpt = dir.join("server.tcqk");
+    let config = || ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        ..ServerConfig::default()
+    };
+    let master = hot_master();
+
+    // Reference: the same topology, uninterrupted, no checkpointing.
+    let (ref_join, ref_agg, ref_rows, ref_egress) = {
+        let server = TelegraphCQ::start(ServerConfig::default()).unwrap();
+        let (join_q, agg_q, rx) = boot_recovery_topology(&server, true);
+        let factory: SourceFactory = {
+            let master = master.clone();
+            let schema = hot_schema();
+            Box::new(move |_attempt, delivered| {
+                Ok(Box::new(ReplaySource {
+                    schema: schema.clone(),
+                    tuples: master[delivered as usize..].to_vec(),
+                    pos: 0,
+                }) as Box<dyn Source>)
+            })
+        };
+        server
+            .attach_supervised_source("s", factory, SupervisorConfig::default())
+            .unwrap();
+        assert!(server.quiesce(Duration::from_secs(60)));
+        let rows = rows_by_query(&rx);
+        let egress = server.egress_stats_full();
+        server.shutdown().unwrap();
+        (join_q, agg_q, rows, egress)
+    };
+    assert!(
+        !ref_rows[&ref_join].is_empty() && !ref_rows[&ref_agg].is_empty(),
+        "reference run must produce join and aggregate results"
+    );
+
+    // Phase A: run to HALF, checkpoint, die without shutdown.
+    let rows_a = {
+        let server = TelegraphCQ::start(config()).unwrap();
+        let (_, _, rx) = boot_recovery_topology(&server, true);
+        let factory: SourceFactory = {
+            let master = master.clone();
+            let schema = hot_schema();
+            Box::new(move |_attempt, _delivered| {
+                Ok(Box::new(StallSource {
+                    schema: schema.clone(),
+                    tuples: master.clone(),
+                    pos: 0,
+                    limit: HALF,
+                }) as Box<dyn Source>)
+            })
+        };
+        server
+            .attach_supervised_source("s", factory, SupervisorConfig::default())
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while (server.supervisor_stats()[0].1.delivered as usize) < HALF
+            || (server.stream_time("s").unwrap() as usize) < HALF
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "phase A never reached the stall point"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Let the DUs drain the stalled pipeline, then cut.
+        std::thread::sleep(Duration::from_millis(300));
+        let report = server.checkpoint().unwrap();
+        assert!(report.fragments > 0, "the cut must capture live state");
+        let rows = rows_by_query(&rx);
+        // Crash: leak the whole server — no shutdown, no flush, threads
+        // simply never hear from us again.
+        std::mem::forget(server);
+        rows
+    };
+
+    // Phase B: restore from the checkpoint and replay only the tail.
+    let server = TelegraphCQ::restore(config()).unwrap();
+    let recovery = server.checkpoint_recovery().unwrap();
+    assert!(
+        recovery.epochs_recovered >= 1,
+        "no checkpoint was recovered"
+    );
+    let (join_q, agg_q, rx) = boot_recovery_topology(&server, false);
+    let factory: SourceFactory = {
+        let master = master.clone();
+        let schema = hot_schema();
+        Box::new(move |_attempt, delivered| {
+            Ok(Box::new(ReplaySource {
+                schema: schema.clone(),
+                tuples: master[delivered as usize..].to_vec(),
+                pos: 0,
+            }) as Box<dyn Source>)
+        })
+    };
+    server
+        .attach_supervised_source("s", factory, SupervisorConfig::default())
+        .unwrap();
+    assert!(
+        server.quiesce(Duration::from_secs(60)),
+        "restored server must quiesce"
+    );
+    let sup = server.supervisor_stats().remove(0).1;
+    let rows_b = rows_by_query(&rx);
+    let egress = server.egress_stats_full();
+    server.shutdown().unwrap();
+
+    // The delivered watermark is cumulative — seeded at HALF from the
+    // resume cursor, advanced by the replayed tail — so later checkpoints
+    // keep exact accounting. No crash-looking restarts on the way.
+    assert_eq!(sup.delivered as usize, TUPLES as usize);
+    assert_eq!(sup.restarts, 0);
+
+    // Phase B produced join matches without ever re-feeding d: the d-side
+    // SteM served the probes from restored state alone.
+    assert!(
+        rows_b.get(&join_q).is_some_and(|r| !r.is_empty()),
+        "restored SteM state must serve phase-B probes"
+    );
+
+    // Zero loss, zero duplication: per query, A's results followed by B's
+    // are exactly the uninterrupted run's results.
+    for (name, qid) in [("join", join_q), ("aggregate", agg_q)] {
+        let mut combined = rows_a.get(&qid).cloned().unwrap_or_default();
+        combined.extend(rows_b.get(&qid).cloned().unwrap_or_default());
+        assert_eq!(
+            combined.len(),
+            ref_rows[&qid].len(),
+            "{name}: A+B row count != uninterrupted run"
+        );
+        assert_eq!(
+            combined, ref_rows[&qid],
+            "{name}: A+B rows diverged from the uninterrupted run"
+        );
+    }
+
+    // The restored ledger carried A's counts forward: final totals equal
+    // the uninterrupted run's exactly.
+    assert_eq!(egress.offered, ref_egress.offered, "ledger offered drifted");
+    assert_eq!(
+        egress.delivered, ref_egress.delivered,
+        "ledger delivered drifted"
+    );
+    assert!(egress.accounted());
 }
 
 #[test]
