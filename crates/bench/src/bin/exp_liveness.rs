@@ -1,0 +1,338 @@
+//! Experiment E-liveness (DESIGN.md "§5f Progress tracking & liveness
+//! watchdog"): the partitioned-exchange join run under the two
+//! exchange-local liveness faults, with the deterministic watchdog armed.
+//!
+//! Three scenarios, all over the same P=2 join (every hot tuple matches
+//! exactly one dimension row, so `delivered == offered` is the zero-loss
+//! contract):
+//!
+//! * `healthy` — no faults. The watchdog must be pure observation: zero
+//!   stalls, zero rungs, full delivery.
+//! * `drop-punct` — a worker drops a run-closing punctuation
+//!   ([`FaultPoint::DropPunctuation`]). The merger waits forever for the
+//!   run to close; only the watchdog's **nudge** rung (re-emit withheld
+//!   punctuation) recovers, and must do so losslessly before the failover
+//!   rung is ever reached.
+//! * `stall-consumer` — the merger refuses its scheduling grants
+//!   ([`FaultPoint::StallConsumer`]). Nudging re-emits nothing, so the
+//!   watchdog must climb to the **failover** rung (forced ordered-outbox
+//!   drain) and still finish with zero loss and canonical order.
+//!
+//! For each scenario the run records the watchdog counters, the detector
+//! tick and in-flight depth at detection, and the wall-clock cost of the
+//! whole wedge-detect-recover-drain cycle, then writes
+//! `BENCH_liveness.json`. Detection is measured in engine ticks (detector
+//! rounds), not wall clock — the budget the operator actually configures.
+//!
+//! ```text
+//! cargo run --release -p tcq-bench --bin exp_liveness [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs a reduced workload as the CI tripwire; the same gates
+//! apply (healthy: silent watchdog; drop-punct: nudge recovery with no
+//! escalation; stall-consumer: escalation recovery — all with zero loss).
+
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+use tcq_bench::Table;
+use tcq_common::{
+    DataType, FaultAction, FaultPlan, FaultPoint, Field, Schema, SchemaRef, Timestamp, Tuple,
+    TupleBuilder,
+};
+use tcq_egress::Delivery;
+use tcq_executor::WatchdogStats;
+use tcq_server::{LivenessConfig, ServerConfig, TelegraphCQ};
+
+const DIM_ROWS: i64 = 64;
+const SEED: u64 = 0x11FE_5EED;
+
+fn dim_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("tag", DataType::Int),
+    ])
+    .into_ref()
+}
+
+fn hot_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+    ])
+    .into_ref()
+}
+
+struct Outcome {
+    name: &'static str,
+    stall_ticks: u64,
+    escalate_ticks: u64,
+    delivered: usize,
+    offered: usize,
+    ordered: bool,
+    watchdog: WatchdogStats,
+    /// Detector tick at which the (first) stall was declared; 0 if none.
+    detect_tick: u64,
+    /// Messages in flight at detection time; 0 if no stall.
+    in_flight: u64,
+    wall_ms: f64,
+}
+
+/// One scenario run: the P=2 exchange join with `n` hot tuples, the
+/// watchdog armed with the given budgets, and an optional fault plan.
+/// Wall time covers first hot push to full quiescence, so a wedge's
+/// detect-and-recover cost is inside it.
+fn run_scenario(
+    name: &'static str,
+    n: usize,
+    live: LivenessConfig,
+    fault_plan: Option<FaultPlan>,
+) -> Outcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        partitions: 2,
+        // Small queues so a wedge back-pressures (and freezes the
+        // frontier) quickly instead of hiding behind buffering.
+        queue_capacity: 64,
+        liveness: Some(live),
+        fault_plan,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", hot_schema()).unwrap();
+    server.register_stream("dim", dim_schema()).unwrap();
+
+    let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(n + 1024).unwrap();
+    server
+        .submit(
+            "SELECT s.v, d.tag FROM s s, dim d WHERE s.k = d.id \
+             for (t = ST; t >= 0; t++) { WindowIs(s, t - 8000000, t); WindowIs(d, t - 9000000, t); }",
+            client,
+        )
+        .unwrap();
+
+    let dims = dim_schema();
+    let dim_batch: Vec<Tuple> = (0..DIM_ROWS)
+        .map(|id| {
+            TupleBuilder::new(dims.clone())
+                .push(id)
+                .push(id * 10)
+                .at(Timestamp::logical(id + 1))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    server.push_batch("dim", dim_batch).unwrap();
+    while server.stream_time("dim").unwrap() < DIM_ROWS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.finish_stream("dim").unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+
+    let hot = hot_schema();
+    let master: Vec<Tuple> = (1..=n as i64)
+        .map(|i| {
+            TupleBuilder::new(hot.clone())
+                .push(i % DIM_ROWS)
+                .push(i)
+                .at(Timestamp::logical(i))
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    let start = Instant::now();
+    server.push_batch("s", master).unwrap();
+    while server.stream_time("s").unwrap() < n as i64 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.finish_stream("s").unwrap();
+    if !server.quiesce(Duration::from_secs(60)) {
+        eprintln!("FAIL: scenario {name} never quiesced — liveness recovery did not fire");
+        std::process::exit(1);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let results: Vec<i64> = rx
+        .try_iter()
+        .map(|(_, t)| t.value(0).as_int().unwrap())
+        .collect();
+    let ordered = results.iter().copied().eq(1..=n as i64);
+    let watchdog = server.executor_stats().watchdog;
+    let stall = server.last_stall();
+    server.shutdown().unwrap();
+
+    Outcome {
+        name,
+        stall_ticks: live.stall_ticks,
+        escalate_ticks: live.escalate_ticks,
+        delivered: results.len(),
+        offered: n,
+        ordered,
+        watchdog,
+        detect_tick: stall.as_ref().map_or(0, |d| d.tick),
+        in_flight: stall.as_ref().map_or(0, |d| d.in_flight),
+        wall_ms,
+    }
+}
+
+fn gate(cond: bool, msg: &str) {
+    if !cond {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn write_json(path: &str, n: usize, outcomes: &[Outcome]) {
+    let mut entries = Vec::new();
+    for o in outcomes {
+        entries.push(format!(
+            "    {{\"scenario\": \"{}\", \"stall_ticks\": {}, \"escalate_ticks\": {}, \
+             \"delivered\": {}, \"offered\": {}, \"ordered\": {}, \
+             \"stalls_detected\": {}, \"nudges\": {}, \"escalations\": {}, \
+             \"recoveries\": {}, \"false_positives\": {}, \
+             \"detect_tick\": {}, \"in_flight_at_detection\": {}, \"wall_ms\": {:.1}}}",
+            o.name,
+            o.stall_ticks,
+            o.escalate_ticks,
+            o.delivered,
+            o.offered,
+            o.ordered,
+            o.watchdog.stalls_detected,
+            o.watchdog.nudges,
+            o.watchdog.escalations,
+            o.watchdog.recoveries,
+            o.watchdog.false_positives,
+            o.detect_tick,
+            o.in_flight,
+            o.wall_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"liveness\",\n  \"pipeline\": \
+         \"P=2 exchange join under injected liveness faults, watchdog armed\",\n  \
+         \"tuples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        n,
+        entries.join(",\n"),
+    );
+    std::fs::write(path, json).unwrap();
+    println!("  wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: usize = if smoke { 6_000 } else { 30_000 };
+    println!(
+        "E-liveness — progress-frontier watchdog over the P=2 exchange join\n\
+         ({n} hot tuples per scenario; detection budgets in engine ticks)\n"
+    );
+
+    let outcomes = vec![
+        run_scenario(
+            "healthy",
+            n,
+            LivenessConfig {
+                stall_ticks: 64,
+                escalate_ticks: 64,
+            },
+            None,
+        ),
+        run_scenario(
+            "drop-punct",
+            n,
+            LivenessConfig {
+                stall_ticks: 16,
+                escalate_ticks: 512,
+            },
+            Some(FaultPlan::new(SEED).at(FaultPoint::DropPunctuation, 3, FaultAction::Overflow)),
+        ),
+        run_scenario(
+            "stall-consumer",
+            n,
+            LivenessConfig {
+                stall_ticks: 16,
+                escalate_ticks: 16,
+            },
+            Some(FaultPlan::new(SEED).at(
+                FaultPoint::StallConsumer,
+                4,
+                FaultAction::Stall { ticks: 1 << 40 },
+            )),
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "scenario",
+        "delivered/offered",
+        "stalls",
+        "nudges",
+        "escalations",
+        "recoveries",
+        "detect tick",
+        "in flight",
+        "wall (ms)",
+    ]);
+    for o in &outcomes {
+        table.row(vec![
+            o.name.to_string(),
+            format!("{}/{}", o.delivered, o.offered),
+            o.watchdog.stalls_detected.to_string(),
+            o.watchdog.nudges.to_string(),
+            o.watchdog.escalations.to_string(),
+            o.watchdog.recoveries.to_string(),
+            o.detect_tick.to_string(),
+            o.in_flight.to_string(),
+            format!("{:.1}", o.wall_ms),
+        ]);
+    }
+    table.print();
+
+    for o in &outcomes {
+        gate(
+            o.delivered == o.offered && o.ordered,
+            &format!(
+                "{}: delivery must be lossless and in order ({}/{})",
+                o.name, o.delivered, o.offered
+            ),
+        );
+    }
+    let healthy = &outcomes[0];
+    gate(
+        healthy.watchdog == WatchdogStats::default(),
+        "healthy: the armed watchdog must record zero activity on a clean run",
+    );
+    let drop = &outcomes[1];
+    gate(
+        drop.watchdog.stalls_detected >= 1 && drop.watchdog.nudges >= 1,
+        "drop-punct: the dropped punctuation wedge was never detected",
+    );
+    gate(
+        drop.watchdog.recoveries >= 1,
+        "drop-punct: no recovery was recorded",
+    );
+    gate(
+        drop.watchdog.escalations == 0,
+        "drop-punct: the nudge rung must clear a withheld punctuation before failover",
+    );
+    let stall = &outcomes[2];
+    gate(
+        stall.watchdog.stalls_detected >= 1,
+        "stall-consumer: the injected consumer stall was never detected",
+    );
+    gate(
+        stall.watchdog.escalations >= 1,
+        "stall-consumer: only the failover rung can clear an injected consumer stall",
+    );
+    gate(
+        stall.watchdog.recoveries >= 1,
+        "stall-consumer: no recovery was recorded",
+    );
+
+    if !smoke {
+        write_json("BENCH_liveness.json", n, &outcomes);
+    }
+    println!(
+        "\n  shape check: a healthy run never trips the detector; a withheld\n\
+         \x20 punctuation recovers on the nudge rung, a refused consumer on the\n\
+         \x20 failover rung — both with zero loss and canonical order.\n"
+    );
+}

@@ -70,6 +70,22 @@ struct POutcome {
     /// Busiest and idlest EO busy fraction — the load-spread picture.
     util_max: f64,
     util_min: f64,
+    /// The reaper hit its deadline with tuples still undelivered — the
+    /// subrun wedged (or crawled) instead of draining.
+    stalled: bool,
+    /// Wall time from the last push to the last delivery: the drain
+    /// tail a wedge hides in when throughput alone is reported.
+    drain_tail_ms: f64,
+}
+
+/// Per-P aggregate over the repeat subruns. Throughput stays best-of-N
+/// (the usual benchmark convention), but stalls are *surfaced*, never
+/// masked: every subrun that hit the reaper deadline is counted, and the
+/// worst drain tail across subruns is reported alongside the best rate.
+struct PAgg {
+    best: POutcome,
+    stalled_subruns: usize,
+    drain_tail_worst_ms: f64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -133,7 +149,9 @@ fn run_pipeline(p: usize, n: usize) -> POutcome {
     let epoch = Instant::now();
     let reaper = std::thread::spawn(move || {
         let mut latencies = Vec::with_capacity(n);
-        let deadline = Instant::now() + Duration::from_secs(120);
+        // Tight deadline: a healthy subrun drains in single-digit seconds,
+        // so 30 s flags a wedge instead of hiding one for two minutes.
+        let deadline = Instant::now() + Duration::from_secs(30);
         while latencies.len() < n && Instant::now() < deadline {
             let before = latencies.len();
             for (_q, t) in rx.try_iter() {
@@ -177,6 +195,7 @@ fn run_pipeline(p: usize, n: usize) -> POutcome {
     // punctuation that never comes. (No-op for the sequential P=1 plan.)
     server.finish_stream("s").unwrap();
     server.finish_stream("dim").unwrap();
+    let push_done = Instant::now();
 
     let (mut latencies, finished) = reaper.join().unwrap();
     let elapsed = finished.duration_since(start).as_secs_f64().max(1e-9);
@@ -194,16 +213,20 @@ fn run_pipeline(p: usize, n: usize) -> POutcome {
         offered: n,
         util_max: util.iter().copied().fold(0.0, f64::max),
         util_min: util.iter().copied().fold(1.0, f64::min),
+        stalled: delivered < n,
+        drain_tail_ms: finished.saturating_duration_since(push_done).as_secs_f64() * 1e3,
     }
 }
 
-fn write_json(path: &str, n: usize, cores: usize, outcomes: &[POutcome], speedup: f64) {
+fn write_json(path: &str, n: usize, cores: usize, outcomes: &[PAgg], speedup: f64) {
     let mut entries = Vec::new();
-    for o in outcomes {
+    for agg in outcomes {
+        let o = &agg.best;
         entries.push(format!(
             "    {{\"partitions\": {}, \"tuples_per_sec\": {:.1}, \"p50_us\": {}, \
              \"p99_us\": {}, \"delivered\": {}, \"offered\": {}, \
-             \"eo_util_max\": {:.3}, \"eo_util_min\": {:.3}}}",
+             \"eo_util_max\": {:.3}, \"eo_util_min\": {:.3}, \
+             \"stalled_subruns\": {}, \"drain_tail_worst_ms\": {:.1}}}",
             o.partitions,
             o.tuples_per_sec,
             o.p50_us,
@@ -211,7 +234,9 @@ fn write_json(path: &str, n: usize, cores: usize, outcomes: &[POutcome], speedup
             o.delivered,
             o.offered,
             o.util_max,
-            o.util_min
+            o.util_min,
+            agg.stalled_subruns,
+            agg.drain_tail_worst_ms
         ));
     }
     let json = format!(
@@ -251,47 +276,84 @@ fn main() {
         "delivered",
         "offered",
         "EO util min..max",
+        "stalled subruns",
+        "worst drain tail (ms)",
     ]);
-    let mut outcomes = Vec::new();
+    let mut outcomes: Vec<PAgg> = Vec::new();
     for &p in ps {
-        let mut o = run_pipeline(p, n);
-        for _ in 1..runs {
-            let again = run_pipeline(p, n);
-            if again.tuples_per_sec > o.tuples_per_sec {
-                o = again;
-            }
-        }
-        assert_eq!(
-            o.delivered, o.offered,
-            "every admitted tuple must be delivered at P={p}"
-        );
+        // Every subrun is kept: throughput is best-of-N, but a stalled
+        // subrun is counted and the worst drain tail reported — a wedge
+        // must never hide behind a lucky sibling run.
+        let subruns: Vec<POutcome> = (0..runs).map(|_| run_pipeline(p, n)).collect();
+        let stalled_subruns = subruns.iter().filter(|o| o.stalled).count();
+        let drain_tail_worst_ms = subruns.iter().map(|o| o.drain_tail_ms).fold(0.0, f64::max);
+        let best = subruns
+            .into_iter()
+            .reduce(|best, next| {
+                let prefer_next = (best.stalled && !next.stalled)
+                    || (best.stalled == next.stalled && next.tuples_per_sec > best.tuples_per_sec);
+                if prefer_next {
+                    next
+                } else {
+                    best
+                }
+            })
+            .unwrap();
         table.row(vec![
-            o.partitions.to_string(),
-            format!("{:.0}", o.tuples_per_sec),
-            o.p50_us.to_string(),
-            o.p99_us.to_string(),
-            o.delivered.to_string(),
-            o.offered.to_string(),
-            format!("{:.2}..{:.2}", o.util_min, o.util_max),
+            best.partitions.to_string(),
+            format!("{:.0}", best.tuples_per_sec),
+            best.p50_us.to_string(),
+            best.p99_us.to_string(),
+            best.delivered.to_string(),
+            best.offered.to_string(),
+            format!("{:.2}..{:.2}", best.util_min, best.util_max),
+            stalled_subruns.to_string(),
+            format!("{drain_tail_worst_ms:.1}"),
         ]);
-        outcomes.push(o);
+        outcomes.push(PAgg {
+            best,
+            stalled_subruns,
+            drain_tail_worst_ms,
+        });
     }
     table.print();
 
     let base = outcomes
         .iter()
-        .find(|o| o.partitions == 1)
+        .find(|o| o.best.partitions == 1)
         .unwrap()
+        .best
         .tuples_per_sec;
     let par = outcomes
         .iter()
-        .find(|o| o.partitions == 4)
+        .find(|o| o.best.partitions == 4)
         .unwrap()
+        .best
         .tuples_per_sec;
     let speedup = par / base;
     println!("\n  speedup P=4 vs P=1: {speedup:.2}x on {cores} core(s)");
     if !smoke {
         write_json("BENCH_scaling.json", n, cores, &outcomes, speedup);
+    }
+
+    // Surfacing is not excusing: after the numbers are reported and
+    // recorded, any stalled subrun still fails the experiment.
+    let total_stalled: usize = outcomes.iter().map(|o| o.stalled_subruns).sum();
+    if total_stalled > 0 {
+        for agg in &outcomes {
+            if agg.stalled_subruns > 0 {
+                eprintln!(
+                    "FAIL: P={}: {}/{} subruns hit the 30 s reaper deadline \
+                     ({}/{} delivered in the reported run)",
+                    agg.best.partitions,
+                    agg.stalled_subruns,
+                    runs,
+                    agg.best.delivered,
+                    agg.best.offered
+                );
+            }
+        }
+        std::process::exit(1);
     }
 
     if cores >= 2 {

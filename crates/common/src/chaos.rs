@@ -54,6 +54,16 @@ pub enum FaultPoint {
     /// makes the block unreadable, truncating recovery to the valid
     /// prefix before it.
     CheckpointRead,
+    /// Exchange merge: one schedule grant about to be consumed. `Stall`
+    /// makes the merger refuse the next `ticks` grants — a deterministic
+    /// wedged-consumer for liveness testing (the watchdog must detect it
+    /// and escalate to the outbox-drain failover).
+    StallConsumer,
+    /// Exchange worker: one run-closing punctuation about to be forwarded.
+    /// Any action drops the punctuation — the merger then waits forever
+    /// for the run to close unless the watchdog nudges the worker into
+    /// re-emitting it.
+    DropPunctuation,
 }
 
 /// What happens when a fault fires.

@@ -23,6 +23,7 @@ pub mod error;
 pub mod expr;
 pub mod hash;
 pub mod kernel;
+pub mod progress;
 pub mod rng;
 pub mod schema;
 pub mod sync;
@@ -38,6 +39,7 @@ pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
 pub use hash::{hash_value, Fnv1a, IdentityBuildHasher};
 pub use kernel::{Kernel, Predicate};
+pub use progress::{ChannelProbe, ChannelSnapshot, ProgressRegistry, ProgressSnapshot};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use time::{TimeOrder, Timestamp};
 pub use tuple::{Tuple, TupleBuilder};

@@ -1,0 +1,300 @@
+//! Progress frontier tracking for liveness monitoring.
+//!
+//! TelegraphCQ's adaptivity assumes the dataflow always makes progress;
+//! this module makes progress *observable* so a watchdog can detect when
+//! it stops. Following the explicit-progress philosophy of "Consistent
+//! Streaming Through Time" (punctuation/CTI contracts instead of implicit
+//! luck), every interesting channel in the engine registers a
+//! [`ChannelProbe`] with a shared [`ProgressRegistry`]:
+//!
+//! * the **frontier** is a monotone counter — the sum of all enqueue and
+//!   dequeue events (plus any registered monotone counters, e.g. egress
+//!   deliveries). Any message moving anywhere advances it.
+//! * **in-flight** is the sum of channel depths plus per-DU buffered
+//!   counts published by the executor. A stall is "frontier frozen while
+//!   in-flight > 0".
+//!
+//! Probes use relaxed atomics: they are statistics, not synchronisation,
+//! and cost two `fetch_add`s per batch on the hot path. Crucially the
+//! probes only *observe* — they never change scheduling decisions — so a
+//! run with probes attached stays byte-identical to one without.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+
+/// Relaxed per-channel progress counters. One per instrumented fjord.
+#[derive(Debug, Default)]
+pub struct ChannelProbe {
+    name: String,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    puncts: AtomicU64,
+    rejections: AtomicU64,
+    eof_in: AtomicBool,
+    eof_out: AtomicBool,
+}
+
+impl ChannelProbe {
+    /// A probe named for diagnosis output.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChannelProbe {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record `n` messages entering the channel.
+    #[inline]
+    pub fn note_enqueue(&self, n: u64) {
+        self.enqueued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` messages leaving the channel.
+    #[inline]
+    pub fn note_dequeue(&self, n: u64) {
+        self.dequeued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a punctuation passing through.
+    #[inline]
+    pub fn note_punct(&self) {
+        self.puncts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` producer offers refused because the channel was full —
+    /// the back-pressure signal the stall diagnosis uses to name blocked
+    /// producers.
+    #[inline]
+    pub fn note_reject(&self, n: u64) {
+        self.rejections.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record EOF entering the channel (producer side finished).
+    #[inline]
+    pub fn note_eof_in(&self) {
+        self.eof_in.store(true, Ordering::Relaxed);
+    }
+
+    /// Record EOF leaving the channel (consumer side observed the end).
+    #[inline]
+    pub fn note_eof_out(&self) {
+        self.eof_out.store(true, Ordering::Relaxed);
+    }
+
+    /// Messages currently in the channel according to the counters
+    /// (saturating: enqueue/dequeue races can transiently invert).
+    pub fn depth(&self) -> u64 {
+        let e = self.enqueued.load(Ordering::Relaxed);
+        let d = self.dequeued.load(Ordering::Relaxed);
+        e.saturating_sub(d)
+    }
+
+    /// This channel's contribution to the global frontier.
+    pub fn frontier(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed) + self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ChannelSnapshot {
+        let enqueued = self.enqueued.load(Ordering::Relaxed);
+        let dequeued = self.dequeued.load(Ordering::Relaxed);
+        ChannelSnapshot {
+            name: self.name.clone(),
+            enqueued,
+            dequeued,
+            depth: enqueued.saturating_sub(dequeued),
+            puncts: self.puncts.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            eof_in: self.eof_in.load(Ordering::Relaxed),
+            eof_out: self.eof_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one channel, for stall diagnosis output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// Channel name as registered.
+    pub name: String,
+    /// Messages that entered the channel.
+    pub enqueued: u64,
+    /// Messages that left the channel.
+    pub dequeued: u64,
+    /// `enqueued - dequeued` (saturating).
+    pub depth: u64,
+    /// Punctuations that passed through.
+    pub puncts: u64,
+    /// Producer offers refused because the channel was full.
+    pub rejections: u64,
+    /// Producer side reached EOF.
+    pub eof_in: bool,
+    /// Consumer side observed EOF.
+    pub eof_out: bool,
+}
+
+/// Point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressSnapshot {
+    /// Global monotone frontier (sum of all event counters).
+    pub frontier: u64,
+    /// Sum of channel depths.
+    pub in_flight: u64,
+    /// Every registered channel.
+    pub channels: Vec<ChannelSnapshot>,
+    /// Every registered monotone counter, by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ProgressSnapshot {
+    /// Channels that still hold messages — the usual stall suspects.
+    pub fn blocked_channels(&self) -> Vec<&ChannelSnapshot> {
+        self.channels.iter().filter(|c| c.depth > 0).collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    channels: Vec<Arc<ChannelProbe>>,
+    counters: Vec<(String, Arc<AtomicU64>)>,
+}
+
+/// Shared registry of progress probes. Clones share state; any component
+/// can register a channel probe or a monotone counter, and the watchdog
+/// reads the aggregate frontier / in-flight totals.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl ProgressRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (and return) a channel probe named `name`.
+    pub fn channel(&self, name: impl Into<String>) -> Arc<ChannelProbe> {
+        let probe = Arc::new(ChannelProbe::new(name));
+        self.inner.lock().channels.push(Arc::clone(&probe));
+        probe
+    }
+
+    /// Register (and return) a monotone progress counter named `name`
+    /// (e.g. egress deliveries). Bumping it advances the frontier.
+    pub fn counter(&self, name: impl Into<String>) -> Arc<AtomicU64> {
+        let c = Arc::new(AtomicU64::new(0));
+        self.inner
+            .lock()
+            .counters
+            .push((name.into(), Arc::clone(&c)));
+        c
+    }
+
+    /// The global monotone frontier: any message moving anywhere bumps it.
+    pub fn frontier(&self) -> u64 {
+        let inner = self.inner.lock();
+        let ch: u64 = inner.channels.iter().map(|c| c.frontier()).sum();
+        let ct: u64 = inner
+            .counters
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum();
+        ch + ct
+    }
+
+    /// Messages currently sitting in registered channels.
+    pub fn in_flight(&self) -> u64 {
+        self.inner.lock().channels.iter().map(|c| c.depth()).sum()
+    }
+
+    /// Full structured snapshot for stall diagnosis.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let inner = self.inner.lock();
+        let channels: Vec<ChannelSnapshot> = inner.channels.iter().map(|c| c.snapshot()).collect();
+        let counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let frontier = channels
+            .iter()
+            .map(|c| c.enqueued + c.dequeued)
+            .sum::<u64>()
+            + counters.iter().map(|(_, v)| *v).sum::<u64>();
+        let in_flight = channels.iter().map(|c| c.depth).sum();
+        ProgressSnapshot {
+            frontier,
+            in_flight,
+            channels,
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_advances_on_both_enqueue_and_dequeue() {
+        let reg = ProgressRegistry::new();
+        let p = reg.channel("ingress");
+        assert_eq!(reg.frontier(), 0);
+        p.note_enqueue(3);
+        assert_eq!(reg.frontier(), 3);
+        assert_eq!(reg.in_flight(), 3);
+        p.note_dequeue(3);
+        assert_eq!(reg.frontier(), 6, "dequeue also advances the frontier");
+        assert_eq!(reg.in_flight(), 0);
+    }
+
+    #[test]
+    fn counters_contribute_to_frontier_but_not_in_flight() {
+        let reg = ProgressRegistry::new();
+        let delivered = reg.counter("egress.delivered");
+        delivered.fetch_add(10, Ordering::Relaxed);
+        assert_eq!(reg.frontier(), 10);
+        assert_eq!(reg.in_flight(), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_depths_puncts_and_eof() {
+        let reg = ProgressRegistry::new();
+        let a = reg.channel("part.0");
+        let b = reg.channel("part.1");
+        a.note_enqueue(5);
+        a.note_dequeue(2);
+        a.note_punct();
+        b.note_enqueue(1);
+        b.note_eof_in();
+        let snap = reg.snapshot();
+        assert_eq!(snap.in_flight, 4);
+        assert_eq!(snap.frontier, 8);
+        let blocked = snap.blocked_channels();
+        assert_eq!(blocked.len(), 2);
+        let a_snap = snap.channels.iter().find(|c| c.name == "part.0").unwrap();
+        assert_eq!(a_snap.depth, 3);
+        assert_eq!(a_snap.puncts, 1);
+        assert!(!a_snap.eof_in);
+        let b_snap = snap.channels.iter().find(|c| c.name == "part.1").unwrap();
+        assert!(b_snap.eof_in);
+        assert!(!b_snap.eof_out);
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let reg = ProgressRegistry::new();
+        let reg2 = reg.clone();
+        let p = reg.channel("shared");
+        p.note_enqueue(1);
+        assert_eq!(reg2.frontier(), 1);
+        assert_eq!(reg2.snapshot().channels.len(), 1);
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 
 use std::sync::Arc;
@@ -206,6 +207,11 @@ struct RouterInner {
     stats: EgressStats,
     policy: EgressPolicy,
     injector: Option<SharedInjector>,
+    /// Monotone progress counter bumped once per delivery offer, so a
+    /// liveness watchdog sees egress activity as frontier advancement
+    /// (offers resolve even when the copy is shed — the router never
+    /// wedges, and the counter proves it).
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl RouterInner {
@@ -253,6 +259,9 @@ impl RouterInner {
                     continue;
                 };
                 self.stats.offered += 1;
+                if let Some(p) = &self.progress {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
                 let fault = self
                     .injector
                     .as_ref()
@@ -398,6 +407,7 @@ impl EgressRouter {
                 stats: EgressStats::default(),
                 policy: EgressPolicy::default(),
                 injector: None,
+                progress: None,
             })),
         }
     }
@@ -418,6 +428,13 @@ impl EgressRouter {
     /// insert polls [`FaultPoint::FjordEnqueue`].
     pub fn attach_injector(&self, injector: SharedInjector) {
         self.inner.lock().injector = Some(injector);
+    }
+
+    /// Attach a monotone progress counter bumped once per delivery offer
+    /// (see `tcq_common::progress`: registered counters advance the
+    /// liveness frontier without contributing to in-flight depth).
+    pub fn attach_progress(&self, counter: Arc<AtomicU64>) {
+        self.inner.lock().progress = Some(counter);
     }
 
     /// Register a push client with a bounded stream of `capacity` results.

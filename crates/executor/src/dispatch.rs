@@ -17,6 +17,31 @@ pub trait DispatchUnit: Send {
 
     /// Do up to `quantum` units of work.
     fn run(&mut self, quantum: usize) -> Result<ModuleStatus>;
+
+    /// Messages the DU is holding internally (outboxes, run buffers,
+    /// staged batches). The liveness watchdog counts these toward the
+    /// in-flight total so data parked inside a DU — invisible to the
+    /// fjord probes — still keeps stall detection honest.
+    fn buffered(&self) -> usize {
+        0
+    }
+
+    /// Liveness recovery, first rung: make any forward progress the DU
+    /// has been withholding (re-emit a pending punctuation, close an
+    /// open run, retry a refused enqueue). Must preserve the DU's output
+    /// contract exactly — a nudge may only *reschedule* work, never
+    /// change what is eventually produced. Returns true if it did
+    /// anything.
+    fn nudge(&mut self) -> bool {
+        false
+    }
+
+    /// Liveness recovery, final rung: controlled failover — force-drain
+    /// buffered state along the DU's ordered-outbox path even if the
+    /// normal protocol cannot complete. Returns true if it did anything.
+    fn escalate(&mut self) -> bool {
+        false
+    }
 }
 
 /// Wrap a closure as a DU (tests, ad hoc dataflows).

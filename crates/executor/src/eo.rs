@@ -13,6 +13,7 @@ use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, TcqError};
 use tcq_fjords::ModuleStatus;
 
 use crate::dispatch::{DispatchUnit, DuId};
+use crate::watchdog::{DuDiag, StallDiagnosis, WatchdogConfig, WatchdogState, WatchdogStats};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct ExecutorConfig {
     /// Optional fault injector polled at [`FaultPoint::OperatorRun`]
     /// before each DU quantum (chaos testing).
     pub injector: Option<SharedInjector>,
+    /// Optional liveness watchdog: EO 0 runs stall detection once per
+    /// scheduling round against the config's progress registry; every EO
+    /// applies the recovery ladder (nudge, then escalate) to its DUs.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -35,6 +40,7 @@ impl Default for ExecutorConfig {
             quantum: 64,
             idle_park: Duration::from_micros(200),
             injector: None,
+            watchdog: None,
         }
     }
 }
@@ -61,6 +67,9 @@ pub struct ExecutorStats {
     /// DUs retired because they errored, panicked, or had a fault
     /// injected (subset of `completed`).
     pub faulted: u64,
+    /// Liveness watchdog counters (all zero when no watchdog is
+    /// configured — and on any healthy run).
+    pub watchdog: WatchdogStats,
 }
 
 impl ExecutorStats {
@@ -116,6 +125,7 @@ pub struct Executor {
     registry: Mutex<Registry>,
     next_du: AtomicU64,
     stop: Arc<AtomicBool>,
+    watchdog: Option<Arc<WatchdogState>>,
 }
 
 impl Executor {
@@ -125,6 +135,10 @@ impl Executor {
             return Err(TcqError::Executor("need at least one EO".into()));
         }
         let stop = Arc::new(AtomicBool::new(false));
+        let watchdog = config
+            .watchdog
+            .clone()
+            .map(|cfg| Arc::new(WatchdogState::new(cfg, config.eos)));
         let mut shared = Vec::with_capacity(config.eos);
         let mut handles = Vec::with_capacity(config.eos);
         for eo_idx in 0..config.eos {
@@ -144,10 +158,11 @@ impl Executor {
             shared.push(Arc::clone(&sh));
             let stop2 = Arc::clone(&stop);
             let cfg = config.clone();
+            let wd = watchdog.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tcq-eo-{eo_idx}"))
-                    .spawn(move || eo_loop(sh, cfg, stop2))
+                    .spawn(move || eo_loop(sh, cfg, stop2, eo_idx, wd))
                     .map_err(|e| TcqError::Executor(format!("spawn EO: {e}")))?,
             );
         }
@@ -161,6 +176,7 @@ impl Executor {
             }),
             next_du: AtomicU64::new(1),
             stop,
+            watchdog,
         })
     }
 
@@ -264,7 +280,17 @@ impl Executor {
                 .iter()
                 .map(|s| s.faulted.load(Ordering::Relaxed))
                 .sum(),
+            watchdog: self
+                .watchdog
+                .as_ref()
+                .map(|w| w.stats())
+                .unwrap_or_default(),
         }
+    }
+
+    /// The most recent stall diagnosis, if the watchdog has declared one.
+    pub fn last_stall(&self) -> Option<StallDiagnosis> {
+        self.watchdog.as_ref().and_then(|w| w.last_stall())
     }
 
     /// Number of EOs.
@@ -303,8 +329,17 @@ impl Drop for Executor {
     }
 }
 
-fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>) {
+fn eo_loop(
+    shared: Arc<EoShared>,
+    config: ExecutorConfig,
+    stop: Arc<AtomicBool>,
+    eo_idx: usize,
+    watchdog: Option<Arc<WatchdogState>>,
+) {
     let mut dus: Vec<(DuId, Box<dyn DispatchUnit>)> = Vec::new();
+    let mut statuses: Vec<&'static str> = Vec::new();
+    let mut applied_nudge: u64 = 0;
+    let mut applied_escalate: u64 = 0;
     loop {
         if stop.load(Ordering::Acquire) {
             return;
@@ -324,7 +359,36 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
                 cancels.clear();
             }
         }
+        // Apply any pending recovery rungs before granting quanta, so a
+        // nudged DU gets to act on it this round.
+        if let Some(wd) = &watchdog {
+            let gen = wd.pending_nudge();
+            if gen > applied_nudge {
+                applied_nudge = gen;
+                let mut worked = false;
+                for (_, du) in dus.iter_mut() {
+                    worked |= du.nudge();
+                }
+                if worked {
+                    wd.note_nudge_worked();
+                }
+            }
+            let gen = wd.pending_escalate();
+            if gen > applied_escalate {
+                applied_escalate = gen;
+                let mut worked = false;
+                for (_, du) in dus.iter_mut() {
+                    worked |= du.escalate();
+                }
+                if worked {
+                    wd.note_escalate_worked();
+                }
+            }
+        }
         if dus.is_empty() {
+            if let Some(wd) = &watchdog {
+                watchdog_round(wd, eo_idx, &shared, &dus, &[]);
+            }
             let parked = std::time::Instant::now();
             let mut guard = shared.wake_lock.lock();
             shared
@@ -343,6 +407,7 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
         let mut finished: Vec<usize> = Vec::new();
         let mut faulted: u64 = 0;
         let mut ran: Vec<DuId> = Vec::with_capacity(dus.len());
+        statuses.clear();
         for (i, (id, du)) in dus.iter_mut().enumerate() {
             // Chaos hook: an injected fault stands in for the operator
             // itself misbehaving.
@@ -354,6 +419,7 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
                 Some(FaultAction::Error(_)) => {
                     finished.push(i);
                     faulted += 1;
+                    statuses.push("injected-error");
                     continue;
                 }
                 Some(FaultAction::Panic(msg)) => {
@@ -362,9 +428,13 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
                     let _ = catch_unwind(AssertUnwindSafe(|| panic!("{msg}")));
                     finished.push(i);
                     faulted += 1;
+                    statuses.push("injected-panic");
                     continue;
                 }
-                Some(FaultAction::Stall { .. }) => continue, // skip this quantum
+                Some(FaultAction::Stall { .. }) => {
+                    statuses.push("injected-stall");
+                    continue; // skip this quantum
+                }
                 _ => {}
             }
             // A panicking DU is retired like an erroring one; the engine
@@ -372,18 +442,28 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
             // fashion").
             ran.push(*id);
             match catch_unwind(AssertUnwindSafe(|| du.run(config.quantum))) {
-                Ok(Ok(ModuleStatus::Ready)) => any_ready = true,
-                Ok(Ok(ModuleStatus::Idle)) => {}
-                Ok(Ok(ModuleStatus::Done)) => finished.push(i),
+                Ok(Ok(ModuleStatus::Ready)) => {
+                    any_ready = true;
+                    statuses.push("ready");
+                }
+                Ok(Ok(ModuleStatus::Idle)) => statuses.push("idle"),
+                Ok(Ok(ModuleStatus::Done)) => {
+                    finished.push(i);
+                    statuses.push("done");
+                }
                 Ok(Err(_)) | Err(_) => {
                     finished.push(i);
                     faulted += 1;
+                    statuses.push("faulted");
                 }
             }
         }
         shared
             .busy_ns
             .fetch_add(round_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(wd) = &watchdog {
+            watchdog_round(wd, eo_idx, &shared, &dus, &statuses);
+        }
         if !ran.is_empty() {
             // One bookkeeping lock per round, not per quantum. DUs skipped
             // by an injected stall (or retired before running) drew no
@@ -409,6 +489,40 @@ fn eo_loop(shared: Arc<EoShared>, config: ExecutorConfig, stop: Arc<AtomicBool>)
                 .idle_ns
                 .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
+    }
+}
+
+/// Per-round watchdog bookkeeping for one EO: publish how much data its
+/// DUs are holding (plus per-DU detail while a stall is suspected), and —
+/// on the detector EO — advance the stall detector one engine tick.
+fn watchdog_round(
+    wd: &Arc<WatchdogState>,
+    eo_idx: usize,
+    shared: &EoShared,
+    dus: &[(DuId, Box<dyn DispatchUnit>)],
+    statuses: &[&'static str],
+) {
+    let buffered: usize = dus.iter().map(|(_, du)| du.buffered()).sum();
+    let details = if wd.publishing_details() {
+        let quanta = shared.quanta.lock();
+        Some(
+            dus.iter()
+                .enumerate()
+                .map(|(i, (id, du))| DuDiag {
+                    id: *id,
+                    name: du.name().to_string(),
+                    buffered: du.buffered(),
+                    last_status: statuses.get(i).copied().unwrap_or("not-run"),
+                    quanta: quanta.get(id).copied().unwrap_or(0),
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    wd.publish(eo_idx, buffered, details);
+    if eo_idx == 0 {
+        wd.tick();
     }
 }
 

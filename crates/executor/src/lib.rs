@@ -24,7 +24,9 @@
 
 pub mod dispatch;
 pub mod eo;
+pub mod watchdog;
 
 pub use dispatch::{DispatchUnit, DuId, FnDu};
 pub use eo::{Executor, ExecutorConfig, ExecutorStats};
 pub use tcq_fjords::ModuleStatus;
+pub use watchdog::{DuDiag, StallDiagnosis, WatchdogConfig, WatchdogStats};

@@ -34,6 +34,6 @@ pub mod queue;
 
 pub use module::{Module, ModuleStatus};
 pub use queue::{
-    fjord, BatchDequeueResult, Consumer, DequeueResult, EnqueueError, FjordMessage, Producer,
-    QueueKind, QueueStats,
+    fjord, fjord_with_probe, BatchDequeueResult, Consumer, DequeueResult, EnqueueError,
+    FjordMessage, Producer, QueueKind, QueueStats,
 };

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use tcq_common::progress::ChannelProbe;
 use tcq_common::sync::{Condvar, Mutex};
 
 use tcq_common::{Result, TcqError, Timestamp, Tuple};
@@ -124,11 +125,32 @@ struct Shared {
     dequeued: AtomicUsize,
     full_rejections: AtomicUsize,
     displaced: AtomicUsize,
+    probe: Option<Arc<ChannelProbe>>,
 }
 
 /// Create a Fjord of the given capacity and discipline, returning its two
 /// endpoints. Capacity must be at least 1.
 pub fn fjord(capacity: usize, kind: QueueKind) -> (Producer, Consumer) {
+    fjord_inner(capacity, kind, None)
+}
+
+/// Like [`fjord`], but every message movement is mirrored into `probe` so
+/// a [`tcq_common::progress::ProgressRegistry`] watchdog can observe the
+/// channel's frontier. The probe only records counters — queue behaviour
+/// is identical to an unprobed fjord.
+pub fn fjord_with_probe(
+    capacity: usize,
+    kind: QueueKind,
+    probe: Arc<ChannelProbe>,
+) -> (Producer, Consumer) {
+    fjord_inner(capacity, kind, Some(probe))
+}
+
+fn fjord_inner(
+    capacity: usize,
+    kind: QueueKind,
+    probe: Option<Arc<ChannelProbe>>,
+) -> (Producer, Consumer) {
     assert!(capacity >= 1, "fjord capacity must be >= 1");
     let shared = Arc::new(Shared {
         q: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
@@ -142,6 +164,7 @@ pub fn fjord(capacity: usize, kind: QueueKind) -> (Producer, Consumer) {
         dequeued: AtomicUsize::new(0),
         full_rejections: AtomicUsize::new(0),
         displaced: AtomicUsize::new(0),
+        probe,
     });
     (
         Producer {
@@ -171,8 +194,10 @@ impl Producer {
         let mut q = self.shared.q.lock();
         if q.len() >= self.shared.capacity {
             self.shared.full_rejections.fetch_add(1, Ordering::Relaxed);
+            self.shared.probe_reject(1);
             return Err(EnqueueError::Full(msg));
         }
+        self.shared.probe_in(&msg);
         q.push_back(msg);
         drop(q);
         self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +219,7 @@ impl Producer {
         }
         let mut q = self.shared.q.lock();
         if q.len() < self.shared.capacity {
+            self.shared.probe_in(&msg);
             q.push_back(msg);
             drop(q);
             self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -203,9 +229,14 @@ impl Producer {
         let Some(idx) = q.iter().position(|m| matches!(m, FjordMessage::Tuple(_))) else {
             drop(q);
             self.shared.full_rejections.fetch_add(1, Ordering::Relaxed);
+            self.shared.probe_reject(1);
             return Err(EnqueueError::Full(msg));
         };
         let displaced = q.remove(idx);
+        self.shared.probe_in(&msg);
+        if let Some(d) = &displaced {
+            self.shared.probe_out(d);
+        }
         q.push_back(msg);
         drop(q);
         self.shared.displaced.fetch_add(1, Ordering::Relaxed);
@@ -222,6 +253,7 @@ impl Producer {
                 return Err(TcqError::Disconnected("consumer side"));
             }
             if q.len() < self.shared.capacity {
+                self.shared.probe_in(&msg);
                 q.push_back(msg);
                 drop(q);
                 self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +265,45 @@ impl Producer {
             self.shared
                 .not_full
                 .wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
+    /// Deadline-bounded blocking enqueue: waits for space at most
+    /// `deadline`, then gives up with **timeout-as-backpressure**
+    /// semantics — the message comes back as [`EnqueueError::Full`]
+    /// exactly as the non-blocking [`Producer::enqueue`] would return it
+    /// (one `full_rejections` tick), so callers degrade to their existing
+    /// retry/shed logic instead of wedging forever. Ordering, counters,
+    /// and disconnection reporting are otherwise identical to
+    /// [`Producer::enqueue_blocking`].
+    pub fn enqueue_blocking_deadline(
+        &self,
+        msg: FjordMessage,
+        deadline: Duration,
+    ) -> std::result::Result<(), EnqueueError> {
+        let start = std::time::Instant::now();
+        let mut q = self.shared.q.lock();
+        loop {
+            if self.shared.consumers.load(Ordering::Acquire) == 0 {
+                return Err(EnqueueError::Disconnected(msg));
+            }
+            if q.len() < self.shared.capacity {
+                self.shared.probe_in(&msg);
+                q.push_back(msg);
+                drop(q);
+                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                drop(q);
+                self.shared.full_rejections.fetch_add(1, Ordering::Relaxed);
+                self.shared.probe_reject(1);
+                return Err(EnqueueError::Full(msg));
+            }
+            let wait = (deadline - elapsed).min(Duration::from_millis(50));
+            self.shared.not_full.wait_for(&mut q, wait);
         }
     }
 
@@ -255,6 +326,7 @@ impl Producer {
         let mut q = self.shared.q.lock();
         let room = self.shared.capacity.saturating_sub(q.len());
         let accepted = room.min(msgs.len());
+        self.shared.probe_in_batch(&msgs[..accepted]);
         q.extend(msgs.drain(..accepted));
         drop(q);
         let refused = msgs.len();
@@ -262,6 +334,7 @@ impl Producer {
             self.shared
                 .full_rejections
                 .fetch_add(refused, Ordering::Relaxed);
+            self.shared.probe_reject(refused as u64);
         }
         if accepted > 0 {
             self.shared.enqueued.fetch_add(accepted, Ordering::Relaxed);
@@ -289,6 +362,7 @@ impl Producer {
             let room = self.shared.capacity.saturating_sub(q.len());
             let accepted = room.min(msgs.len());
             if accepted > 0 {
+                self.shared.probe_in_batch(&msgs[..accepted]);
                 q.extend(msgs.drain(..accepted));
                 self.shared.enqueued.fetch_add(accepted, Ordering::Relaxed);
                 if accepted == 1 {
@@ -336,6 +410,7 @@ impl Consumer {
         match q.pop_front() {
             Some(msg) => {
                 drop(q);
+                self.shared.probe_out(&msg);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
                 self.shared.not_full.notify_one();
                 DequeueResult::Msg(msg)
@@ -358,6 +433,7 @@ impl Consumer {
         loop {
             if let Some(msg) = q.pop_front() {
                 drop(q);
+                self.shared.probe_out(&msg);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
                 self.shared.not_full.notify_one();
                 return Ok(msg);
@@ -368,6 +444,35 @@ impl Consumer {
             self.shared
                 .not_empty
                 .wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+
+    /// Deadline-bounded blocking dequeue: waits for a message at most
+    /// `deadline`, then gives up with [`DequeueResult::Empty`] — exactly
+    /// what the non-blocking [`Consumer::dequeue`] reports on an empty
+    /// queue — so callers degrade to their pursue-other-work path instead
+    /// of wedging forever. Ordering, counters, and disconnection
+    /// reporting are otherwise identical to [`Consumer::dequeue_blocking`].
+    pub fn dequeue_blocking_deadline(&self, deadline: Duration) -> DequeueResult {
+        let start = std::time::Instant::now();
+        let mut q = self.shared.q.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.shared.probe_out(&msg);
+                self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_full.notify_one();
+                return DequeueResult::Msg(msg);
+            }
+            if self.shared.producers.load(Ordering::Acquire) == 0 {
+                return DequeueResult::Disconnected;
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return DequeueResult::Empty;
+            }
+            let wait = (deadline - elapsed).min(Duration::from_millis(50));
+            self.shared.not_empty.wait_for(&mut q, wait);
         }
     }
 
@@ -391,6 +496,7 @@ impl Consumer {
         }
         out.extend(q.drain(..n));
         drop(q);
+        self.shared.probe_out_batch(&out[out.len() - n..]);
         self.shared.dequeued.fetch_add(n, Ordering::Relaxed);
         if n == 1 {
             self.shared.not_full.notify_one();
@@ -414,6 +520,7 @@ impl Consumer {
             if n > 0 {
                 out.extend(q.drain(..n));
                 drop(q);
+                self.shared.probe_out_batch(&out[out.len() - n..]);
                 self.shared.dequeued.fetch_add(n, Ordering::Relaxed);
                 if n == 1 {
                     self.shared.not_full.notify_one();
@@ -436,6 +543,7 @@ impl Consumer {
         let mut q = self.shared.q.lock();
         let msgs: Vec<FjordMessage> = q.drain(..).collect();
         drop(q);
+        self.shared.probe_out_batch(&msgs);
         self.shared
             .dequeued
             .fetch_add(msgs.len(), Ordering::Relaxed);
@@ -467,6 +575,59 @@ impl Consumer {
 }
 
 impl Shared {
+    #[inline]
+    fn probe_in(&self, msg: &FjordMessage) {
+        if let Some(p) = &self.probe {
+            p.note_enqueue(1);
+            match msg {
+                FjordMessage::Punct(_) => p.note_punct(),
+                FjordMessage::Eof => p.note_eof_in(),
+                FjordMessage::Tuple(_) => {}
+            }
+        }
+    }
+
+    #[inline]
+    fn probe_in_batch(&self, msgs: &[FjordMessage]) {
+        if let Some(p) = &self.probe {
+            p.note_enqueue(msgs.len() as u64);
+            for m in msgs {
+                match m {
+                    FjordMessage::Punct(_) => p.note_punct(),
+                    FjordMessage::Eof => p.note_eof_in(),
+                    FjordMessage::Tuple(_) => {}
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn probe_reject(&self, n: u64) {
+        if let Some(p) = &self.probe {
+            p.note_reject(n);
+        }
+    }
+
+    #[inline]
+    fn probe_out(&self, msg: &FjordMessage) {
+        if let Some(p) = &self.probe {
+            p.note_dequeue(1);
+            if msg.is_eof() {
+                p.note_eof_out();
+            }
+        }
+    }
+
+    #[inline]
+    fn probe_out_batch(&self, msgs: &[FjordMessage]) {
+        if let Some(p) = &self.probe {
+            p.note_dequeue(msgs.len() as u64);
+            if msgs.iter().any(|m| m.is_eof()) {
+                p.note_eof_out();
+            }
+        }
+    }
+
     fn stats(&self) -> QueueStats {
         QueueStats {
             len: self.q.lock().len(),

@@ -1,0 +1,297 @@
+//! Property tests for the deadline-bounded blocking endpoints
+//! [`Producer::enqueue_blocking_deadline`] and
+//! [`Consumer::dequeue_blocking_deadline`], checked against the
+//! non-blocking variants they must mirror. Invariants:
+//!
+//! 1. With a zero deadline the deadline ops are observationally identical
+//!    to `enqueue`/`dequeue`: same FIFO order, same `Full`/`Empty`
+//!    outcomes, same `enqueued`/`dequeued`/`full_rejections` accounting.
+//! 2. A timeout surfaces as back-pressure (`EnqueueError::Full` with the
+//!    message returned, one `full_rejections` tick) or as
+//!    `DequeueResult::Empty` — never as an error or a lost message.
+//! 3. Disconnection wins over the deadline: a dead consumer side reports
+//!    `Disconnected` immediately; a dead producer side still drains the
+//!    buffered suffix in order before reporting `Disconnected`.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use tcq_common::rng::seeded;
+use tcq_common::{DataType, Field, Schema, SchemaRef, Timestamp, TupleBuilder};
+use tcq_fjords::{fjord, DequeueResult, EnqueueError, FjordMessage, QueueKind};
+
+fn schema() -> SchemaRef {
+    Schema::new(vec![Field::new("id", DataType::Int)]).into_ref()
+}
+
+/// Message `id` encodes global production order; punctuations reuse the
+/// id as their timestamp so order is observable for every variant.
+fn msg(schema: &SchemaRef, id: i64, kind: u64) -> FjordMessage {
+    match kind {
+        0..=7 => FjordMessage::Tuple(
+            TupleBuilder::new(schema.clone())
+                .push(id)
+                .at(Timestamp::logical(id))
+                .build()
+                .unwrap(),
+        ),
+        _ => FjordMessage::Punct(Timestamp::logical(id)),
+    }
+}
+
+fn id_of(m: &FjordMessage) -> i64 {
+    match m {
+        FjordMessage::Tuple(t) => t.value(0).as_int().unwrap(),
+        FjordMessage::Punct(ts) => ts.seq(),
+        FjordMessage::Eof => -1,
+    }
+}
+
+/// Seeded interleavings of the deadline ops (zero deadline, so they can
+/// never block) against the plain non-blocking ops, with a shared
+/// reference model. Both families must agree on order, outcomes, and
+/// counters — including the `full_rejections` tick a timed-out enqueue
+/// shares with a rejected non-blocking enqueue.
+fn run_interleaving(seed: u64, capacity: usize, ops: usize) {
+    let s = schema();
+    let mut rng = seeded(seed);
+    let (p, c) = fjord(capacity, QueueKind::Push);
+
+    let mut model: VecDeque<FjordMessage> = VecDeque::new();
+    let mut consumed: Vec<FjordMessage> = Vec::new();
+    let mut next_id: i64 = 0;
+    let (mut enq, mut deq, mut rej): (u64, u64, u64) = (0, 0, 0);
+
+    for _ in 0..ops {
+        match rng.gen_range(0..4u32) {
+            // Non-blocking enqueue (reference behaviour).
+            0 => {
+                let m = msg(&s, next_id, rng.next_u64() % 10);
+                match p.enqueue(m.clone()) {
+                    Ok(()) => {
+                        assert!(model.len() < capacity, "accepted into a full queue");
+                        model.push_back(m);
+                        next_id += 1;
+                        enq += 1;
+                    }
+                    Err(_) => {
+                        assert_eq!(model.len(), capacity, "spurious Full");
+                        rej += 1;
+                    }
+                }
+            }
+            // Deadline enqueue with a zero deadline: must behave exactly
+            // like the non-blocking enqueue, message handed back on Full.
+            1 => {
+                let m = msg(&s, next_id, rng.next_u64() % 10);
+                match p.enqueue_blocking_deadline(m.clone(), Duration::ZERO) {
+                    Ok(()) => {
+                        assert!(model.len() < capacity, "accepted into a full queue");
+                        model.push_back(m);
+                        next_id += 1;
+                        enq += 1;
+                    }
+                    Err(EnqueueError::Full(back)) => {
+                        assert_eq!(model.len(), capacity, "spurious timeout-Full");
+                        assert_eq!(back, m, "rejected message came back altered");
+                        rej += 1;
+                    }
+                    Err(EnqueueError::Disconnected(_)) => unreachable!("consumer alive"),
+                }
+            }
+            // Non-blocking dequeue (reference behaviour).
+            2 => match c.dequeue() {
+                DequeueResult::Msg(m) => {
+                    assert_eq!(Some(&m), model.front(), "FIFO violated");
+                    model.pop_front();
+                    consumed.push(m);
+                    deq += 1;
+                }
+                DequeueResult::Empty => assert!(model.is_empty()),
+                DequeueResult::Disconnected => unreachable!("producer alive"),
+            },
+            // Deadline dequeue with a zero deadline: identical outcomes.
+            _ => match c.dequeue_blocking_deadline(Duration::ZERO) {
+                DequeueResult::Msg(m) => {
+                    assert_eq!(Some(&m), model.front(), "FIFO violated by deadline op");
+                    model.pop_front();
+                    consumed.push(m);
+                    deq += 1;
+                }
+                DequeueResult::Empty => assert!(model.is_empty(), "spurious timeout-Empty"),
+                DequeueResult::Disconnected => unreachable!("producer alive"),
+            },
+        }
+        let stats = c.stats();
+        assert!(stats.len <= capacity, "capacity exceeded");
+        assert_eq!(stats.len, model.len(), "length diverged from model");
+        assert_eq!(stats.enqueued, enq, "enqueued counter diverged");
+        assert_eq!(stats.dequeued, deq, "dequeued counter diverged");
+        assert_eq!(stats.full_rejections, rej, "full_rejections diverged");
+    }
+
+    let ids: Vec<i64> = consumed.iter().map(id_of).collect();
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "seed {seed}: consumed ids out of order: {ids:?}"
+    );
+}
+
+#[test]
+fn seeded_deadline_interleavings_match_nonblocking_model() {
+    for seed in 0..12u64 {
+        for &capacity in &[1usize, 2, 3, 7, 16] {
+            run_interleaving(0xDEAD_0000 + seed * 31 + capacity as u64, capacity, 2_000);
+        }
+    }
+}
+
+/// A timed-out enqueue is back-pressure, not an error: the caller gets
+/// the exact message back as `Full` after waiting at least the deadline,
+/// one `full_rejections` tick is recorded, and the queue is untouched —
+/// a later retry with room succeeds.
+#[test]
+fn enqueue_deadline_timeout_is_full_with_message_returned() {
+    let s = schema();
+    let (p, c) = fjord(2, QueueKind::Push);
+    p.enqueue(msg(&s, 0, 0)).unwrap();
+    p.enqueue(msg(&s, 1, 0)).unwrap();
+
+    let m = msg(&s, 2, 0);
+    let deadline = Duration::from_millis(30);
+    let start = Instant::now();
+    match p.enqueue_blocking_deadline(m.clone(), deadline) {
+        Err(EnqueueError::Full(back)) => assert_eq!(back, m, "message altered on timeout"),
+        other => panic!("expected timeout-Full, got {other:?}"),
+    }
+    assert!(start.elapsed() >= deadline, "gave up before the deadline");
+    let stats = c.stats();
+    assert_eq!(
+        stats.full_rejections, 1,
+        "timeout must tick full_rejections"
+    );
+    assert_eq!(stats.len, 2, "queue contents disturbed by timeout");
+
+    // Free a slot; the retry lands and FIFO order holds.
+    assert_eq!(id_of(&c.dequeue_blocking().unwrap()), 0);
+    p.enqueue_blocking_deadline(m, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(id_of(&c.dequeue_blocking().unwrap()), 1);
+    assert_eq!(id_of(&c.dequeue_blocking().unwrap()), 2);
+}
+
+/// A timed-out dequeue is `Empty` — the same answer the non-blocking
+/// `dequeue` gives — after waiting at least the deadline, with no
+/// counter movement.
+#[test]
+fn dequeue_deadline_timeout_is_empty() {
+    let s = schema();
+    let (p, c) = fjord(4, QueueKind::Push);
+    let deadline = Duration::from_millis(30);
+    let start = Instant::now();
+    assert_eq!(c.dequeue_blocking_deadline(deadline), DequeueResult::Empty);
+    assert!(start.elapsed() >= deadline, "gave up before the deadline");
+    assert_eq!(c.stats().dequeued, 0);
+
+    // A message arriving later is still observed normally.
+    p.enqueue(msg(&s, 7, 0)).unwrap();
+    match c.dequeue_blocking_deadline(Duration::from_secs(5)) {
+        DequeueResult::Msg(m) => assert_eq!(id_of(&m), 7),
+        other => panic!("expected message, got {other:?}"),
+    }
+}
+
+/// Disconnection beats the deadline on the producer side: once every
+/// consumer is gone, the enqueue reports `Disconnected` (with the
+/// message handed back for spilling) without waiting out the deadline.
+#[test]
+fn enqueue_deadline_reports_disconnect_immediately() {
+    let s = schema();
+    let (p, c) = fjord(1, QueueKind::Push);
+    p.enqueue(msg(&s, 0, 0)).unwrap(); // full, so a wait would be needed
+    drop(c);
+    let m = msg(&s, 1, 0);
+    let start = Instant::now();
+    match p.enqueue_blocking_deadline(m.clone(), Duration::from_secs(30)) {
+        Err(EnqueueError::Disconnected(back)) => assert_eq!(back, m),
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "blocked on a dead consumer side"
+    );
+}
+
+/// Disconnection on the consumer side still drains the buffered suffix
+/// in FIFO order first — `Disconnected` only once the queue is truly
+/// empty, even with a zero deadline.
+#[test]
+fn dequeue_deadline_drains_before_reporting_disconnect() {
+    let s = schema();
+    let (p, c) = fjord(8, QueueKind::Push);
+    for id in 0..5 {
+        p.enqueue(msg(&s, id, if id == 4 { 8 } else { 0 })).unwrap();
+    }
+    drop(p);
+    for id in 0..5 {
+        match c.dequeue_blocking_deadline(Duration::ZERO) {
+            DequeueResult::Msg(m) => assert_eq!(id_of(&m), id, "drain out of order"),
+            other => panic!("expected buffered message {id}, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        c.dequeue_blocking_deadline(Duration::from_secs(30)),
+        DequeueResult::Disconnected,
+        "empty queue with no producers must not wait out the deadline"
+    );
+}
+
+/// Cross-thread: a producer retrying on timeout-Full and a consumer
+/// retrying on timeout-Empty — both with short deadlines on a tiny
+/// queue — still deliver everything exactly once and in order, and the
+/// counters balance (`enqueued == dequeued == N`, every timeout
+/// accounted as a rejection).
+#[test]
+fn threaded_deadline_retries_are_exact_and_ordered() {
+    const N: i64 = 2_000;
+    let s = schema();
+    let (p, c) = fjord(4, QueueKind::Pull);
+    let producer = std::thread::spawn(move || {
+        let mut rejections = 0u64;
+        for id in 0..N {
+            let mut m = if id % 100 == 99 {
+                FjordMessage::Punct(Timestamp::logical(id))
+            } else {
+                msg(&s, id, 0)
+            };
+            loop {
+                match p.enqueue_blocking_deadline(m, Duration::from_millis(1)) {
+                    Ok(()) => break,
+                    Err(EnqueueError::Full(back)) => {
+                        rejections += 1;
+                        m = back;
+                    }
+                    Err(EnqueueError::Disconnected(_)) => panic!("consumer vanished"),
+                }
+            }
+        }
+        rejections
+    });
+    let mut ids = Vec::new();
+    loop {
+        match c.dequeue_blocking_deadline(Duration::from_millis(1)) {
+            DequeueResult::Msg(m) => ids.push(id_of(&m)),
+            DequeueResult::Empty => continue,
+            DequeueResult::Disconnected => break,
+        }
+    }
+    let rejections = producer.join().unwrap();
+    assert_eq!(ids, (0..N).collect::<Vec<_>>(), "exactly once, in order");
+    let stats = c.stats();
+    assert_eq!(stats.enqueued, N as u64);
+    assert_eq!(stats.dequeued, N as u64);
+    assert_eq!(
+        stats.full_rejections, rejections,
+        "every timeout must tick full_rejections exactly once"
+    );
+}

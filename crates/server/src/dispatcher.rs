@@ -15,7 +15,7 @@ use tcq_common::sync::Mutex;
 
 use tcq_common::{FaultAction, FaultPoint, Result, SharedInjector, Timestamp, Tuple};
 use tcq_executor::{DispatchUnit, ModuleStatus};
-use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage, Producer};
+use tcq_fjords::{BatchDequeueResult, Consumer, EnqueueError, FjordMessage, Producer};
 use tcq_storage::StreamArchive;
 
 /// Default messages moved per input-lock acquisition by a dispatcher.
@@ -131,6 +131,8 @@ pub struct StreamDispatcher {
     msg_buf: Vec<FjordMessage>,
     eof_seen: bool,
     eof_sent: bool,
+    /// Subscriber ids whose queues have received the stream's Eof.
+    eof_delivered: Vec<u64>,
 }
 
 impl StreamDispatcher {
@@ -162,6 +164,7 @@ impl StreamDispatcher {
             msg_buf: Vec::new(),
             eof_seen: false,
             eof_sent: false,
+            eof_delivered: Vec::new(),
         }
     }
 
@@ -287,6 +290,30 @@ impl StreamDispatcher {
             false
         }
     }
+
+    /// Broadcast Eof to every subscriber that has not received it yet.
+    /// A subscriber queue that happens to be exactly full at EOF time is
+    /// retried on a later quantum instead of silently skipped — a dropped
+    /// Eof starves every punctuation-driven consumer downstream: the
+    /// exchange partitioner never reaches all-inputs-EOF, never closes
+    /// its final run, and the merge withholds the tail tuples forever
+    /// (the P=4 `exp_scaling` 2-tuples-undelivered wedge). A disconnected
+    /// subscriber counts as delivered. Returns true once every current
+    /// subscriber has its Eof.
+    fn fan_out_eof(&mut self) -> bool {
+        let subs = self.subscribers.subs.lock();
+        let mut all = true;
+        for s in subs.iter() {
+            if self.eof_delivered.contains(&s.id) {
+                continue;
+            }
+            match s.producer.enqueue(FjordMessage::Eof) {
+                Ok(()) | Err(EnqueueError::Disconnected(_)) => self.eof_delivered.push(s.id),
+                Err(EnqueueError::Full(_)) => all = false,
+            }
+        }
+        all
+    }
 }
 
 impl DispatchUnit for StreamDispatcher {
@@ -378,14 +405,30 @@ impl DispatchUnit for StreamDispatcher {
             }
         }
         if self.eof_seen && self.pending.is_empty() {
-            let subs = self.subscribers.subs.lock();
-            for s in subs.iter() {
-                let _ = s.producer.enqueue(FjordMessage::Eof);
+            if self.fan_out_eof() {
+                self.eof_sent = true;
+                return Ok(ModuleStatus::Done);
             }
-            self.eof_sent = true;
-            return Ok(ModuleStatus::Done);
+            // Some subscriber queue is full: stay scheduled and retry
+            // until every Eof lands.
+            return Ok(ModuleStatus::Ready);
         }
         Ok(ModuleStatus::Ready)
+    }
+
+    fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn nudge(&mut self) -> bool {
+        // Only the EOF broadcast can be withheld here; pending tuples
+        // must drain first (Eof may never overtake data).
+        if self.eof_seen && !self.eof_sent && self.pending.is_empty() {
+            let before = self.eof_delivered.len();
+            self.fan_out_eof();
+            return self.eof_delivered.len() > before;
+        }
+        false
     }
 }
 

@@ -61,11 +61,18 @@
 //!    canonical order, so ledger counters, retry decisions, and fault
 //!    polls at `EgressDeliver` fire identically for any P.
 //!
-//! The exchange DUs poll **no** fault points themselves; every existing
-//! point (SourceRead, FjordEnqueue, ArchiveAppend, EgressDeliver, …) sits
-//! upstream of the partitioner or downstream of the merger, so a seeded
-//! chaos schedule observes the same per-message poll sequence at any P
-//! (`tests/server_chaos.rs` asserts this end to end).
+//! The exchange DUs poll no fault points on the data path shared with
+//! the sequential plan; every such point (SourceRead, FjordEnqueue,
+//! ArchiveAppend, EgressDeliver, …) sits upstream of the partitioner or
+//! downstream of the merger, so a seeded chaos schedule observes the same
+//! per-message poll sequence at any P (`tests/server_chaos.rs` asserts
+//! this end to end). The two liveness points are exchange-local and do
+//! not disturb that contract: a worker polls
+//! [`FaultPoint::DropPunctuation`] per run-closing punct it forwards and
+//! the merger polls [`FaultPoint::StallConsumer`] per schedule grant it
+//! consumes — per-point counters are independent and rate draws only
+//! happen for rates registered at the polled point, so plans that don't
+//! mention the liveness points replay bit-for-bit as before.
 //!
 //! # Backpressure and deadlock freedom
 //!
@@ -79,7 +86,9 @@
 
 use std::collections::VecDeque;
 
-use tcq_common::{hash_value, Result, SchemaRef, Timestamp, Tuple};
+use tcq_common::{
+    hash_value, FaultAction, FaultPoint, Result, SchemaRef, SharedInjector, Timestamp, Tuple,
+};
 use tcq_eddy::Eddy;
 use tcq_egress::EgressRouter;
 use tcq_executor::{DispatchUnit, ModuleStatus};
@@ -321,6 +330,20 @@ impl DispatchUnit for PartitionDu {
         &self.name
     }
 
+    fn buffered(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Close the open run early and retry the staged tail. Run boundaries
+    /// only affect how the merger batches deliveries — tuple order and the
+    /// egress ledger are identical for any run split — so an early close
+    /// is always contract-preserving.
+    fn nudge(&mut self) -> bool {
+        let had_open = self.open_run.is_some();
+        self.close_run();
+        self.flush_outbox() > 0 || had_open
+    }
+
     fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
         let mut did_work = self.flush_outbox() > 0;
         if !self.outbox.is_empty() {
@@ -425,6 +448,16 @@ pub struct WorkerDu {
     outbox: Vec<FjordMessage>,
     input_eof: bool,
     finished: bool,
+    /// Run-closing punctuations an injected fault swallowed
+    /// ([`FaultPoint::DropPunctuation`]). While any are owed the worker
+    /// refuses further input — the punct must land *before* the next
+    /// run's outputs — so the merger wedges waiting for the run to close
+    /// until the watchdog nudges us into re-emitting.
+    owed_puncts: Vec<Timestamp>,
+    /// Input dequeued after a punct was dropped, parked until the owed
+    /// puncts are re-emitted (preserves exact output order).
+    carry: VecDeque<FjordMessage>,
+    injector: Option<SharedInjector>,
 }
 
 impl WorkerDu {
@@ -450,12 +483,22 @@ impl WorkerDu {
             outbox: Vec::new(),
             input_eof: false,
             finished: false,
+            owed_puncts: Vec::new(),
+            carry: VecDeque::new(),
+            injector: None,
         }
     }
 
     /// Set the hot-path batch size (messages per Fjord lock).
     pub fn with_io_batch(mut self, io_batch: usize) -> Self {
         self.io_batch = io_batch.max(1);
+        self
+    }
+
+    /// Attach the chaos injector: each run-closing punctuation about to be
+    /// forwarded polls [`FaultPoint::DropPunctuation`].
+    pub fn with_injector(mut self, injector: SharedInjector) -> Self {
+        self.injector = Some(injector);
         self
     }
 
@@ -471,6 +514,35 @@ impl WorkerDu {
         for e in self.emitted.drain(..) {
             let out = self.project.apply(&e)?;
             self.outbox.push(FjordMessage::Tuple(out));
+        }
+        Ok(())
+    }
+
+    /// Route one input message through the worker. While a dropped punct
+    /// is owed the message is parked in `carry` instead — emitting
+    /// anything past the missing run boundary would corrupt the merge
+    /// order.
+    fn absorb(&mut self, msg: FjordMessage) -> Result<()> {
+        if !self.owed_puncts.is_empty() {
+            self.carry.push_back(msg);
+            return Ok(());
+        }
+        match msg {
+            FjordMessage::Tuple(t) => self.batch.push(t),
+            FjordMessage::Punct(ts) => {
+                self.process_pending()?;
+                let dropped = self
+                    .injector
+                    .as_ref()
+                    .and_then(|inj| inj.poll(FaultPoint::DropPunctuation))
+                    .is_some();
+                if dropped {
+                    self.owed_puncts.push(ts);
+                } else {
+                    self.outbox.push(FjordMessage::Punct(ts));
+                }
+            }
+            FjordMessage::Eof => self.input_eof = true,
         }
         Ok(())
     }
@@ -495,6 +567,23 @@ impl DispatchUnit for WorkerDu {
         &self.name
     }
 
+    fn buffered(&self) -> usize {
+        self.outbox.len() + self.batch.len() + self.carry.len() + self.owed_puncts.len()
+    }
+
+    /// Re-emit dropped run-closing punctuations. The parked `carry` input
+    /// replays through the normal path on the next quantum.
+    fn nudge(&mut self) -> bool {
+        if self.owed_puncts.is_empty() {
+            return false;
+        }
+        for ts in std::mem::take(&mut self.owed_puncts) {
+            self.outbox.push(FjordMessage::Punct(ts));
+        }
+        self.flush_outbox();
+        true
+    }
+
     fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
         let mut did_work = self.flush_outbox() > 0;
         if !self.outbox.is_empty() {
@@ -506,11 +595,25 @@ impl DispatchUnit for WorkerDu {
                 ModuleStatus::Idle
             });
         }
+        if !self.owed_puncts.is_empty() {
+            // An injected fault swallowed a run-closing punct: the worker
+            // is wedged by design until the watchdog nudges it.
+            return Ok(ModuleStatus::Idle);
+        }
         if self.finished {
             return Ok(ModuleStatus::Done);
         }
+        // Replay input parked behind a previously-dropped punct first:
+        // it precedes anything still in the fjord.
+        while self.owed_puncts.is_empty() {
+            let Some(msg) = self.carry.pop_front() else {
+                break;
+            };
+            did_work = true;
+            self.absorb(msg)?;
+        }
         let mut remaining = quantum;
-        while remaining > 0 && !self.input_eof {
+        while remaining > 0 && !self.input_eof && self.owed_puncts.is_empty() {
             let mut msgs = std::mem::take(&mut self.msg_buf);
             match self
                 .input
@@ -528,18 +631,8 @@ impl DispatchUnit for WorkerDu {
                 }
             }
             for msg in msgs.drain(..) {
-                match msg {
-                    FjordMessage::Tuple(t) => {
-                        did_work = true;
-                        self.batch.push(t);
-                    }
-                    FjordMessage::Punct(ts) => {
-                        did_work = true;
-                        self.process_pending()?;
-                        self.outbox.push(FjordMessage::Punct(ts));
-                    }
-                    FjordMessage::Eof => self.input_eof = true,
-                }
+                did_work |= !matches!(msg, FjordMessage::Eof);
+                self.absorb(msg)?;
             }
             self.msg_buf = msgs;
         }
@@ -547,7 +640,8 @@ impl DispatchUnit for WorkerDu {
         // outputs precede the punct either way, so order is intact and
         // latency stays low while the run is starved.
         self.process_pending()?;
-        if self.input_eof && !self.finished {
+        if self.input_eof && self.owed_puncts.is_empty() && self.carry.is_empty() && !self.finished
+        {
             self.outbox.push(FjordMessage::Eof);
             self.finished = true;
             did_work = true;
@@ -584,6 +678,12 @@ pub struct MergeDu {
     schedule_eof: bool,
     outputs_eof: Vec<bool>,
     done: bool,
+    /// Remaining quanta this merger refuses to work, set by an injected
+    /// [`FaultPoint::StallConsumer`] fault (a deterministic wedged
+    /// consumer). Cleared by [`DispatchUnit::escalate`] — the watchdog's
+    /// failover to the ordered-outbox drain.
+    stall_budget: u64,
+    injector: Option<SharedInjector>,
 }
 
 impl MergeDu {
@@ -611,12 +711,21 @@ impl MergeDu {
             schedule_eof: false,
             outputs_eof: vec![false; n],
             done: false,
+            stall_budget: 0,
+            injector: None,
         }
     }
 
     /// Set the hot-path batch size (messages per Fjord lock).
     pub fn with_io_batch(mut self, io_batch: usize) -> Self {
         self.io_batch = io_batch.max(1);
+        self
+    }
+
+    /// Attach the chaos injector: each schedule grant consumed polls
+    /// [`FaultPoint::StallConsumer`].
+    pub fn with_injector(mut self, injector: SharedInjector) -> Self {
+        self.injector = Some(injector);
         self
     }
 
@@ -636,13 +745,35 @@ impl DispatchUnit for MergeDu {
         &self.name
     }
 
+    fn buffered(&self) -> usize {
+        self.run_buf.len() + self.pending.iter().map(|p| p.len()).sum::<usize>()
+    }
+
+    /// Failover: clear an injected consumer wedge so the ordered-outbox
+    /// drain resumes exactly where it stopped (zero loss, canonical order
+    /// intact — the stall never consumed or reordered anything).
+    fn escalate(&mut self) -> bool {
+        if self.stall_budget > 0 {
+            self.stall_budget = 0;
+            true
+        } else {
+            false
+        }
+    }
+
     fn run(&mut self, quantum: usize) -> Result<ModuleStatus> {
         if self.done {
             return Ok(ModuleStatus::Done);
         }
+        if self.stall_budget > 0 {
+            // Injected wedge: refuse to touch the schedule or any output
+            // fjord. The watchdog must notice the frozen frontier.
+            self.stall_budget -= 1;
+            return Ok(ModuleStatus::Idle);
+        }
         let mut did_work = false;
         let mut remaining = quantum;
-        'outer: while remaining > 0 {
+        'outer: while remaining > 0 && self.stall_budget == 0 {
             let Some(p) = self.current else {
                 if self.schedule_eof {
                     break 'outer;
@@ -655,6 +786,13 @@ impl DispatchUnit for MergeDu {
                             FjordMessage::Punct(ts) => {
                                 did_work = true;
                                 self.current = Some(ts.seq() as usize);
+                                if let Some(FaultAction::Stall { ticks }) = self
+                                    .injector
+                                    .as_ref()
+                                    .and_then(|inj| inj.poll(FaultPoint::StallConsumer))
+                                {
+                                    self.stall_budget = ticks;
+                                }
                             }
                             FjordMessage::Eof => {
                                 did_work = true;

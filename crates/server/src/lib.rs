@@ -36,4 +36,6 @@ pub mod server;
 pub mod shared_join;
 
 pub use dispatcher::OverloadPolicy;
-pub use server::{CheckpointReport, PolicyKind, QueryInfo, ServerConfig, TelegraphCQ};
+pub use server::{
+    CheckpointReport, LivenessConfig, PolicyKind, QueryInfo, ServerConfig, TelegraphCQ,
+};

@@ -13,13 +13,14 @@ use tcq_common::{
     Catalog, CkptReader, CkptWriter, FaultPlan, FiredFault, Predicate, Result, SchemaRef,
     SharedInjector, SourceKind, TcqError, Tuple,
 };
+use tcq_common::{ProgressRegistry, ProgressSnapshot};
 use tcq_eddy::{
     Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
     RoutingPolicy,
 };
 use tcq_egress::{ClientId, Delivery, EgressPolicy, EgressRouter, EgressStats};
-use tcq_executor::{DuId, Executor, ExecutorConfig};
-use tcq_fjords::{fjord, Producer, QueueKind};
+use tcq_executor::{DuId, Executor, ExecutorConfig, StallDiagnosis, WatchdogConfig};
+use tcq_fjords::{fjord, fjord_with_probe, Consumer, Producer, QueueKind};
 use tcq_ingress::{
     ChaosSource, Source, SourceFactory, Streamer, Supervisor, SupervisorConfig, SupervisorStats,
 };
@@ -110,6 +111,38 @@ pub struct ServerConfig {
     /// [`TelegraphCQ::checkpoint`] call commits one epoch-delta block
     /// holding only the state dirtied since the previous call.
     pub checkpoint_path: Option<PathBuf>,
+    /// Progress tracking + liveness watchdog. `None` (default) runs with
+    /// no probes at all; `Some` registers a [`ChannelProbe`] on every
+    /// fjord, counts egress offers into the frontier, and arms the
+    /// executor's deterministic stall detector (see
+    /// [`tcq_executor::WatchdogConfig`]). Probes and detector only
+    /// *observe* — a healthy run behaves byte-identically either way.
+    ///
+    /// [`ChannelProbe`]: tcq_common::ChannelProbe
+    pub liveness: Option<LivenessConfig>,
+}
+
+/// Liveness watchdog tuning ([`ServerConfig::liveness`]). Thresholds are
+/// detector-EO scheduling rounds ("engine ticks"), not wall clock, so
+/// same-seed chaos replays detect at the same dataflow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Frozen-frontier rounds (with work in flight) before a stall is
+    /// declared, diagnosed, and every DU is nudged.
+    pub stall_ticks: u64,
+    /// Further frozen rounds after the nudge before escalating to the
+    /// ordered-outbox drain failover.
+    pub escalate_ticks: u64,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        let wd = WatchdogConfig::default();
+        LivenessConfig {
+            stall_ticks: wd.stall_ticks,
+            escalate_ticks: wd.escalate_ticks,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -131,6 +164,7 @@ impl Default for ServerConfig {
             partitions: 1,
             compiled_kernels: true,
             checkpoint_path: None,
+            liveness: None,
         }
     }
 }
@@ -205,6 +239,9 @@ pub struct TelegraphCQ {
     /// One injector for the whole process, shared by every layer, so the
     /// fired-fault log is a single seed-deterministic account of the run.
     injector: Option<SharedInjector>,
+    /// The progress registry every fjord and the egress router report
+    /// into when `ServerConfig::liveness` is set.
+    progress: Option<ProgressRegistry>,
     /// The durable checkpoint store (`ServerConfig::checkpoint_path`).
     ckpt: Option<Mutex<CheckpointStore>>,
     /// Per-query operator state handles, registered at submit in qid order
@@ -247,11 +284,21 @@ impl TelegraphCQ {
 
     fn boot(config: ServerConfig, restoring: bool) -> Result<Self> {
         let injector = config.fault_plan.clone().map(FaultPlan::build_shared);
+        let progress = config.liveness.map(|_| ProgressRegistry::new());
+        let watchdog = match (&progress, &config.liveness) {
+            (Some(registry), Some(lv)) => Some(WatchdogConfig {
+                registry: registry.clone(),
+                stall_ticks: lv.stall_ticks,
+                escalate_ticks: lv.escalate_ticks,
+            }),
+            _ => None,
+        };
         let executor = Executor::start(ExecutorConfig {
             eos: config.eos,
             quantum: config.quantum,
             idle_park: Duration::from_micros(200),
             injector: injector.clone(),
+            watchdog,
         })?;
         if let Some(dir) = &config.archive_dir {
             std::fs::create_dir_all(dir)?;
@@ -260,6 +307,11 @@ impl TelegraphCQ {
         let egress = EgressRouter::new().with_policy(config.egress_policy);
         if let Some(inj) = &injector {
             egress.attach_injector(inj.clone());
+        }
+        if let Some(registry) = &progress {
+            // Egress offers advance the frontier without adding in-flight
+            // depth: delivery is the dataflow's terminal progress event.
+            egress.attach_progress(registry.counter("egress.offers"));
         }
         let ckpt = match &config.checkpoint_path {
             Some(path) => {
@@ -293,6 +345,7 @@ impl TelegraphCQ {
             streamers: Mutex::new(Vec::new()),
             supervisors: Mutex::new(Vec::new()),
             injector,
+            progress,
             ckpt,
             ckpt_handles: Mutex::new(Vec::new()),
             restoring,
@@ -348,7 +401,8 @@ impl TelegraphCQ {
     fn register_source(&self, name: &str, schema: SchemaRef, kind: SourceKind) -> Result<()> {
         let def = self.catalog.register(name, schema.clone(), kind)?;
         let qualified = schema.with_qualifier(name).into_ref();
-        let (ingress_p, ingress_c) = fjord(self.config.queue_capacity, QueueKind::Push);
+        let (ingress_p, ingress_c) =
+            self.make_fjord(format!("ingress({name})"), self.config.queue_capacity);
         let subscribers = SubscriberSet::new();
         let latest_seq = Arc::new(AtomicI64::new(0));
         if self.restoring {
@@ -398,7 +452,7 @@ impl TelegraphCQ {
         // The shared CACQ filter DU for this stream.
         let filter_shared =
             FilterCqShared::with_compiled_kernels(qualified, self.config.compiled_kernels);
-        let (fp, fc) = fjord(self.config.queue_capacity, QueueKind::Push);
+        let (fp, fc) = self.make_fjord(format!("filter({name})"), self.config.queue_capacity);
         subscribers.add(fp);
         let filter_du = FilterCqDu::new(
             format!("filter-cq({name})"),
@@ -424,6 +478,16 @@ impl TelegraphCQ {
             .lock()
             .insert(name.to_ascii_lowercase(), Arc::new(state));
         Ok(())
+    }
+
+    /// A fjord that reports into the progress registry when liveness
+    /// tracking is on — the single choke point every engine channel is
+    /// created through, so the watchdog's frontier covers them all.
+    fn make_fjord(&self, name: impl Into<String>, capacity: usize) -> (Producer, Consumer) {
+        match &self.progress {
+            Some(registry) => fjord_with_probe(capacity, QueueKind::Push, registry.channel(name)),
+            None => fjord(capacity, QueueKind::Push),
+        }
     }
 
     fn stream(&self, name: &str) -> Result<Arc<StreamState>> {
@@ -699,7 +763,7 @@ impl TelegraphCQ {
         let group_by = aq.group_by.map(|(_, col)| col);
         let stt = st.latest_seq.load(Ordering::Acquire);
         let windows = WindowSeq::new(window, stt.max(1));
-        let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
+        let (p, c) = self.make_fjord(format!("agg(q{qid})"), self.config.queue_capacity);
         let sub_id = st.subscribers.add(p);
         let du = AggregateCqDu::new(
             format!("agg-cq(q{qid})"),
@@ -770,7 +834,10 @@ impl TelegraphCQ {
         for (stream_name, alias_schemas) in by_stream {
             let st = self.stream(&stream_name)?;
             class |= st.class;
-            let (p, c) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let (p, c) = self.make_fjord(
+                format!("join(q{qid}.{stream_name})"),
+                self.config.queue_capacity,
+            );
             let sub_id = st.subscribers.add(p);
             subscriptions.push((stream_name.clone(), sub_id));
             inputs.push(JoinInput {
@@ -1026,7 +1093,7 @@ impl TelegraphCQ {
         for (i, source) in aq.sources.iter().enumerate() {
             let st = self.stream(&source.name)?;
             ingress_class |= st.class;
-            let (p, c) = fjord(cap, QueueKind::Push);
+            let (p, c) = self.make_fjord(format!("xchg-in(q{qid}.{})", source.name), cap);
             let sub_id = st.subscribers.add(p);
             subscriptions.push((source.name.to_ascii_lowercase(), sub_id));
             inputs.push(ExchangeInput::new(c, source.schema.clone(), key_cols[i]));
@@ -1038,15 +1105,16 @@ impl TelegraphCQ {
         let mut part_cons = Vec::with_capacity(partitions);
         let mut out_prods = Vec::with_capacity(partitions);
         let mut out_cons = Vec::with_capacity(partitions);
-        for _ in 0..partitions {
-            let (p, c) = fjord(cap, QueueKind::Push);
+        for k in 0..partitions {
+            let (p, c) = self.make_fjord(format!("xchg-part(q{qid}.{k})"), cap);
             part_prods.push(p);
             part_cons.push(c);
-            let (p, c) = fjord(cap, QueueKind::Push);
+            let (p, c) = self.make_fjord(format!("xchg-out(q{qid}.{k})"), cap);
             out_prods.push(p);
             out_cons.push(c);
         }
-        let (sched_prod, sched_cons) = fjord(cap.saturating_mul(2).max(8), QueueKind::Push);
+        let (sched_prod, sched_cons) =
+            self.make_fjord(format!("xchg-sched(q{qid})"), cap.saturating_mul(2).max(8));
 
         // Workers first: each fresh footprint class lands on the currently
         // least-loaded EO, so the P clones spread across distinct EOs
@@ -1055,7 +1123,7 @@ impl TelegraphCQ {
         for (k, ((eddy, input), output)) in
             eddies.into_iter().zip(part_cons).zip(out_prods).enumerate()
         {
-            let du = WorkerDu::new(
+            let mut du = WorkerDu::new(
                 format!("xchg-work(q{qid}.{k})"),
                 input,
                 output,
@@ -1064,12 +1132,15 @@ impl TelegraphCQ {
                     .with_compiled_kernels(self.config.compiled_kernels),
             )
             .with_io_batch(self.config.io_batch);
+            if let Some(inj) = &self.injector {
+                du = du.with_injector(inj.clone());
+            }
             dus.push(
                 self.executor
                     .submit(exchange::du_class(qid, k), Box::new(du))?,
             );
         }
-        let merge = MergeDu::new(
+        let mut merge = MergeDu::new(
             format!("xchg-merge(q{qid})"),
             sched_cons,
             out_cons,
@@ -1077,6 +1148,9 @@ impl TelegraphCQ {
             qid,
         )
         .with_io_batch(self.config.io_batch);
+        if let Some(inj) = &self.injector {
+            merge = merge.with_injector(inj.clone());
+        }
         dus.push(
             self.executor
                 .submit(exchange::du_class(qid, partitions), Box::new(merge))?,
@@ -1174,8 +1248,14 @@ impl TelegraphCQ {
                 &right_key_name,
                 window_width,
             )?;
-            let (lp, lc) = fjord(self.config.queue_capacity, QueueKind::Push);
-            let (rp, rc) = fjord(self.config.queue_capacity, QueueKind::Push);
+            let (lp, lc) = self.make_fjord(
+                format!("shared-join({}.l)", key.left),
+                self.config.queue_capacity,
+            );
+            let (rp, rc) = self.make_fjord(
+                format!("shared-join({}.r)", key.right),
+                self.config.queue_capacity,
+            );
             let l_sub = left_state.subscribers.add(lp);
             let r_sub = right_state.subscribers.add(rp);
             let du = SharedJoinDu::new(
@@ -1322,6 +1402,19 @@ impl TelegraphCQ {
     /// Executor statistics.
     pub fn executor_stats(&self) -> tcq_executor::ExecutorStats {
         self.executor.stats()
+    }
+
+    /// The most recent stall diagnosis the liveness watchdog recorded
+    /// (`None` without `ServerConfig::liveness`, or on a healthy run).
+    pub fn last_stall(&self) -> Option<StallDiagnosis> {
+        self.executor.last_stall()
+    }
+
+    /// Point-in-time progress snapshot: the global frontier, in-flight
+    /// depth, and every probed channel (`None` without
+    /// `ServerConfig::liveness`).
+    pub fn progress_snapshot(&self) -> Option<ProgressSnapshot> {
+        self.progress.as_ref().map(ProgressRegistry::snapshot)
     }
 
     /// Egress statistics: (delivered, shed).

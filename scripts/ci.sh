@@ -35,5 +35,8 @@ echo "== exp_kernels --smoke (perf tripwire: compiled kernels vs interpreter, al
 echo "== exp_recovery --smoke (robustness tripwire: kill -> restore loses nothing) =="
 ./target/release/exp_recovery --smoke
 
+echo "== exp_liveness --smoke (robustness tripwire: watchdog detects and recovers wedges) =="
+./target/release/exp_liveness --smoke
+
 echo
 echo "ci: all green"

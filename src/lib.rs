@@ -90,6 +90,6 @@ pub mod prelude {
     };
     pub use tcq_operators::{AggFunc, AggSpec, ProjectOp, SelectOp, StemOp};
     pub use tcq_psoup::PSoup;
-    pub use tcq_server::{OverloadPolicy, ServerConfig, TelegraphCQ};
+    pub use tcq_server::{LivenessConfig, OverloadPolicy, ServerConfig, TelegraphCQ};
     pub use tcq_windows::{ForLoop, LinExpr, WindowKind, WindowSeq};
 }

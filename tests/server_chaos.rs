@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use telegraphcq::common::FiredFault;
 use telegraphcq::egress::Delivery;
+use telegraphcq::executor::{StallDiagnosis, WatchdogStats};
 use telegraphcq::prelude::*;
 use telegraphcq::storage::{BufferPool, StreamArchive};
 
@@ -95,6 +96,7 @@ struct Outcome {
     archive: telegraphcq::storage::ArchiveStats,
     sup: telegraphcq::ingress::SupervisorStats,
     log: Vec<FiredFault>,
+    watchdog: WatchdogStats,
     archive_path: PathBuf,
 }
 
@@ -157,6 +159,7 @@ fn run_scenario_with_io_batch(dir: &std::path::Path, io_batch: usize) -> Outcome
         archive: server.archive_stats("s").unwrap().unwrap(),
         sup,
         log: server.fired_faults(),
+        watchdog: server.executor_stats().watchdog,
         archive_path: dir.join("s.seg"),
     };
     server.shutdown().unwrap();
@@ -350,7 +353,7 @@ fn run_join_scenario(
     compiled_kernels: bool,
     query: &str,
 ) -> Outcome {
-    run_join_scenario_with_checkpoints(dir, partitions, compiled_kernels, query, None)
+    run_join_scenario_cfg(dir, partitions, compiled_kernels, query, None, None)
 }
 
 fn run_join_scenario_with_checkpoints(
@@ -359,6 +362,24 @@ fn run_join_scenario_with_checkpoints(
     compiled_kernels: bool,
     query: &str,
     checkpoint_path: Option<PathBuf>,
+) -> Outcome {
+    run_join_scenario_cfg(
+        dir,
+        partitions,
+        compiled_kernels,
+        query,
+        checkpoint_path,
+        None,
+    )
+}
+
+fn run_join_scenario_cfg(
+    dir: &std::path::Path,
+    partitions: usize,
+    compiled_kernels: bool,
+    query: &str,
+    checkpoint_path: Option<PathBuf>,
+    liveness: Option<LivenessConfig>,
 ) -> Outcome {
     let checkpointing = checkpoint_path.is_some();
     let server = TelegraphCQ::start(ServerConfig {
@@ -371,6 +392,7 @@ fn run_join_scenario_with_checkpoints(
         partitions,
         compiled_kernels,
         checkpoint_path,
+        liveness,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -454,6 +476,7 @@ fn run_join_scenario_with_checkpoints(
         archive: server.archive_stats("s").unwrap().unwrap(),
         sup,
         log: server.fired_faults(),
+        watchdog: server.executor_stats().watchdog,
         archive_path: dir.join("s.seg"),
     };
     server.shutdown().unwrap();
@@ -964,4 +987,251 @@ fn shutdown_under_load_delivers_everything_admitted() {
         .collect();
     assert_eq!(got.len() as i64, n, "every admitted tuple was delivered");
     assert!(got.windows(2).all(|w| w[0] < w[1]), "in order");
+}
+
+// ---------------------------------------------------------------------------
+// Progress tracking + liveness watchdog
+// ---------------------------------------------------------------------------
+
+struct LiveOutcome {
+    results: Vec<i64>,
+    egress: EgressStats,
+    watchdog: WatchdogStats,
+    stall: Option<StallDiagnosis>,
+    progress: Option<telegraphcq::common::ProgressSnapshot>,
+}
+
+/// The exchange join under direct push (no archive, no supervised
+/// source): every hot tuple matches exactly one dimension row, so a
+/// fully-delivered run yields `1..=TUPLES` in arrival order — any wedge
+/// shows up as a truncated or failed run.
+fn run_exchange_liveness(
+    partitions: usize,
+    queue_capacity: usize,
+    liveness: Option<LivenessConfig>,
+    fault_plan: Option<FaultPlan>,
+) -> LiveOutcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        partitions,
+        queue_capacity,
+        liveness,
+        fault_plan,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", hot_schema()).unwrap();
+    server.register_stream("d", dim_schema()).unwrap();
+    let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(8192).unwrap();
+    server.submit(JOIN_Q, client).unwrap();
+
+    let dims = dim_schema();
+    let dim_batch: Vec<Tuple> = (0..DIM_ROWS)
+        .map(|id| {
+            TupleBuilder::new(dims.clone())
+                .push(id)
+                .push(id * 10)
+                .at(Timestamp::logical(id + 1))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    server.push_batch("d", dim_batch).unwrap();
+    while server.stream_time("d").unwrap() < DIM_ROWS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.finish_stream("d").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Blocking batch push: back-pressure from a wedged exchange parks the
+    // pusher too, so only the watchdog can get the run moving again.
+    server.push_batch("s", hot_master()).unwrap();
+    while server.stream_time("s").unwrap() < TUPLES {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.finish_stream("s").unwrap();
+    assert!(
+        server.quiesce(Duration::from_secs(60)),
+        "exchange run must quiesce (P={partitions}, cap={queue_capacity})"
+    );
+
+    let outcome = LiveOutcome {
+        results: rx
+            .try_iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect(),
+        egress: server.egress_stats_full(),
+        watchdog: server.executor_stats().watchdog,
+        stall: server.last_stall(),
+        progress: server.progress_snapshot(),
+    };
+    server.shutdown().unwrap();
+    outcome
+}
+
+fn full_join() -> Vec<i64> {
+    (1..=TUPLES).collect()
+}
+
+#[test]
+fn p4_exchange_with_tiny_queues_never_wedges() {
+    // Seed-pinned regression for the P=4 tail stall: the stream
+    // dispatcher used to drop `FjordMessage::Eof` silently when a
+    // subscriber's fjord was full, so under tiny queues the exchange never
+    // learned the input had ended and the run wedged with the last tuples
+    // undelivered. The fix tracks undelivered EOFs and retries, so this
+    // run must now drain completely — every time, no watchdog needed.
+    let a = run_exchange_liveness(4, 8, None, None);
+    assert_eq!(a.results, full_join(), "P=4 tiny-queue run lost tuples");
+    assert!(a.egress.accounted());
+
+    // And the tiny-queue P=4 answer is byte-identical to sequential.
+    let b = run_exchange_liveness(1, 8, None, None);
+    assert_eq!(
+        a.results, b.results,
+        "P=4 diverged from P=1 under tiny queues"
+    );
+}
+
+#[test]
+fn healthy_full_load_reports_zero_watchdog_activity() {
+    // The watchdog must be observe-only on a healthy engine: a full-load
+    // partitioned run with aggressive thresholds reports zero stalls,
+    // zero rungs, no diagnosis — and the progress frontier has moved with
+    // nothing left in flight.
+    let o = run_exchange_liveness(
+        2,
+        1024,
+        Some(LivenessConfig {
+            stall_ticks: 64,
+            escalate_ticks: 64,
+        }),
+        None,
+    );
+    assert_eq!(o.results, full_join());
+    assert_eq!(
+        o.watchdog,
+        WatchdogStats::default(),
+        "healthy full-load run tripped the watchdog"
+    );
+    assert!(o.stall.is_none(), "no diagnosis on a healthy run");
+    let snap = o.progress.expect("liveness on implies a progress registry");
+    assert!(snap.frontier > 0, "probed fjords never reported progress");
+    assert_eq!(snap.in_flight, 0, "messages still in flight after quiesce");
+    assert!(snap.blocked_channels().is_empty());
+}
+
+#[test]
+fn dropped_punctuation_wedge_is_detected_and_nudge_recovered() {
+    // A worker drops a run-closing punctuation: the merger waits forever
+    // for that run to close, back-pressure freezes the frontier, and only
+    // the watchdog's nudge (re-emit withheld punctuation) can recover.
+    // Recovery must be lossless: the full join still comes out in order.
+    let plan = FaultPlan::new(SEED).at(FaultPoint::DropPunctuation, 3, FaultAction::Overflow);
+    let o = run_exchange_liveness(
+        2,
+        64,
+        Some(LivenessConfig {
+            stall_ticks: 16,
+            escalate_ticks: 512,
+        }),
+        Some(plan),
+    );
+    assert_eq!(
+        o.results,
+        full_join(),
+        "nudge recovery lost or reordered tuples"
+    );
+    assert!(
+        o.watchdog.stalls_detected >= 1,
+        "the wedge was never detected"
+    );
+    assert!(o.watchdog.nudges >= 1);
+    assert!(o.watchdog.recoveries >= 1, "no recovery was recorded");
+    assert_eq!(
+        o.watchdog.escalations, 0,
+        "the nudge must clear a withheld punctuation before failover"
+    );
+    let d = o.stall.expect("a stall diagnosis was recorded");
+    assert!(d.in_flight > 0, "diagnosis must show work in flight");
+    assert!(d.render().contains("in flight"));
+}
+
+#[test]
+fn stalled_merge_consumer_is_escalated_to_outbox_drain() {
+    // The merger refuses its quanta indefinitely: nudging re-emits
+    // nothing (no punctuation is withheld), so the watchdog must climb to
+    // the failover rung — the forced ordered-outbox drain — and the run
+    // must still finish with zero loss and canonical order.
+    let plan = FaultPlan::new(SEED).at(
+        FaultPoint::StallConsumer,
+        4,
+        FaultAction::Stall { ticks: 1 << 40 },
+    );
+    let o = run_exchange_liveness(
+        2,
+        64,
+        Some(LivenessConfig {
+            stall_ticks: 16,
+            escalate_ticks: 16,
+        }),
+        Some(plan),
+    );
+    assert_eq!(
+        o.results,
+        full_join(),
+        "escalation recovery lost or reordered tuples"
+    );
+    assert!(
+        o.watchdog.stalls_detected >= 1,
+        "the stall was never detected"
+    );
+    assert!(
+        o.watchdog.escalations >= 1,
+        "an injected consumer stall cannot clear without the failover rung"
+    );
+    assert!(o.watchdog.recoveries >= 1, "no recovery was recorded");
+    let d = o.stall.expect("a stall diagnosis was recorded");
+    assert!(d.in_flight > 0, "diagnosis must show work in flight");
+}
+
+#[test]
+fn watchdog_on_and_off_replay_identically_under_chaos() {
+    // Progress probes and the stall detector only *observe*: under the
+    // full five-fault chaos schedule (none of which wedges the engine), a
+    // same-seed run is byte-identical with the watchdog armed or absent —
+    // and the armed run records zero watchdog activity.
+    let dir_a = temp_dir("wd-off");
+    let dir_b = temp_dir("wd-on");
+    let a = run_join_scenario_cfg(&dir_a, 2, true, JOIN_Q, None, None);
+    let b = run_join_scenario_cfg(
+        &dir_b,
+        2,
+        true,
+        JOIN_Q,
+        None,
+        Some(LivenessConfig::default()),
+    );
+    assert!(!a.results.is_empty(), "the join must produce results");
+    assert_eq!(
+        a.results, b.results,
+        "answers diverged across watchdog on/off"
+    );
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(a.dispatcher_shed, b.dispatcher_shed);
+    assert_eq!(a.sup.delivered, b.sup.delivered);
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across watchdog on/off"
+    );
+    assert_eq!(
+        a.watchdog,
+        WatchdogStats::default(),
+        "no watchdog, no counters"
+    );
+    assert_eq!(
+        b.watchdog,
+        WatchdogStats::default(),
+        "the chaos schedule wedges nothing, so the armed watchdog stays silent"
+    );
 }
