@@ -25,10 +25,13 @@
 //!
 //! `--interpreted` runs the whole sweep with
 //! `ServerConfig::compiled_kernels` off (tree-walking predicates,
-//! per-site key hashing) so the batching curve can be A/B'd under either
-//! evaluation engine; results are byte-identical either way (the chaos
-//! suite pins this), and the committed `BENCH_throughput.json` trajectory
-//! is only refreshed by default (compiled) full runs. The
+//! per-site key hashing) and `--columnar` runs it with
+//! `ServerConfig::columnar` on (vectorized `ColumnBatch` kernels), so
+//! the batching curve can be A/B'd under any evaluation engine; results
+//! are byte-identical either way (the chaos suite pins this), and the
+//! committed `BENCH_throughput.json` trajectory is only refreshed by
+//! default (compiled, row-path) full runs — the `"columnar"` field in
+//! the JSON records which engine produced it. The
 //! allocs-per-tuple budget is measured by `exp_kernels`, not here: its
 //! counting-allocator harness makes every allocation call opaque to the
 //! optimizer and costs ~20% throughput, so it is confined to the A/B
@@ -85,11 +88,12 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// delivery. Per-tuple latency rides inside the tuple itself: `v` carries
 /// the send instant as micros-since-epoch (+1 so the `v > 0` select
 /// factor always passes), and the receiver subtracts on arrival.
-fn run_pipeline(k: usize, n: usize, compiled_kernels: bool) -> KOutcome {
+fn run_pipeline(k: usize, n: usize, compiled_kernels: bool, columnar: bool) -> KOutcome {
     let server = TelegraphCQ::start(ServerConfig {
         io_batch: k,
         eddy_batch: k,
         compiled_kernels,
+        columnar,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -189,7 +193,7 @@ fn run_pipeline(k: usize, n: usize, compiled_kernels: bool) -> KOutcome {
     }
 }
 
-fn write_json(path: &str, n: usize, outcomes: &[KOutcome], speedup: f64) {
+fn write_json(path: &str, n: usize, outcomes: &[KOutcome], speedup: f64, columnar: bool) {
     let mut entries = Vec::new();
     for o in outcomes {
         entries.push(format!(
@@ -201,8 +205,9 @@ fn write_json(path: &str, n: usize, outcomes: &[KOutcome], speedup: f64) {
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"pipeline\": \
          \"single-stream select-project-join (push -> fjord -> dispatcher -> eddy join -> egress)\",\n  \
-         \"compiled_kernels\": true,\n  \
+         \"compiled_kernels\": true,\n  \"columnar\": {},\n  \
          \"tuples\": {},\n  \"results\": [\n{}\n  ],\n  \"speedup_k64_vs_k1\": {:.2}\n}}\n",
+        columnar,
         n,
         entries.join(",\n"),
         speedup
@@ -214,6 +219,7 @@ fn write_json(path: &str, n: usize, outcomes: &[KOutcome], speedup: f64) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let compiled = !std::env::args().any(|a| a == "--interpreted");
+    let columnar = std::env::args().any(|a| a == "--columnar");
     // Best-of-`runs` per K: on a busy (or single-core) box a single pass
     // is at the mercy of scheduler luck; the max over a few passes is the
     // stable measure of what the configuration can sustain.
@@ -224,8 +230,9 @@ fn main() {
     };
     println!(
         "E-throughput — batched hot path, single-stream select-project-join\n\
-         ({n} tuples per run, K = fjord io_batch = eddy batch_size, {} evaluation)\n",
-        if compiled { "compiled" } else { "interpreted" }
+         ({n} tuples per run, K = fjord io_batch = eddy batch_size, {}{} evaluation)\n",
+        if compiled { "compiled" } else { "interpreted" },
+        if columnar { " columnar" } else { "" }
     );
 
     let mut table = Table::new(&[
@@ -238,9 +245,9 @@ fn main() {
     ]);
     let mut outcomes = Vec::new();
     for &k in ks {
-        let mut o = run_pipeline(k, n, compiled);
+        let mut o = run_pipeline(k, n, compiled, columnar);
         for _ in 1..runs {
-            let again = run_pipeline(k, n, compiled);
+            let again = run_pipeline(k, n, compiled, columnar);
             if again.tuples_per_sec > o.tuples_per_sec {
                 o = again;
             }
@@ -267,9 +274,10 @@ fn main() {
     println!("\n  speedup K=64 vs K=1: {speedup:.2}x");
     // Smoke passes are a pass/fail tripwire at reduced scale; only the
     // default-engine full sweep refreshes the committed perf trajectory
-    // (interpreted runs are for ad-hoc A/B comparison).
-    if !smoke && compiled {
-        write_json("BENCH_throughput.json", n, &outcomes, speedup);
+    // (interpreted/columnar runs are for ad-hoc A/B comparison — the
+    // columnar-vs-row comparison lives in exp_kernels).
+    if !smoke && compiled && !columnar {
+        write_json("BENCH_throughput.json", n, &outcomes, speedup, columnar);
     }
 
     if speedup < 1.0 {

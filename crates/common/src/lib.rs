@@ -19,6 +19,7 @@ pub mod bitset;
 pub mod catalog;
 pub mod chaos;
 pub mod ckpt;
+pub mod column;
 pub mod error;
 pub mod expr;
 pub mod hash;
@@ -35,10 +36,11 @@ pub use bitset::BitSet;
 pub use catalog::{Catalog, SourceKind, StreamDef};
 pub use chaos::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FiredFault, SharedInjector};
 pub use ckpt::{CkptReader, CkptWriter};
+pub use column::{Column, ColumnBatch, ColumnData};
 pub use error::{Result, TcqError};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr};
 pub use hash::{hash_value, Fnv1a, IdentityBuildHasher};
-pub use kernel::{Kernel, Predicate};
+pub use kernel::{ColumnarScratch, Kernel, Predicate};
 pub use progress::{ChannelProbe, ChannelSnapshot, ProgressRegistry, ProgressSnapshot};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use time::{TimeOrder, Timestamp};

@@ -129,6 +129,20 @@ impl Tuple {
         hash
     }
 
+    /// Seed the key-hash memo with an externally computed hash of the
+    /// value at column `col`. Used when rows are materialized out of a
+    /// columnar batch whose hash column was filled (via
+    /// [`Tuple::key_hash`]) on the way in — carrying the word back means
+    /// the row→columnar→row boundary never hashes a key twice. No-op if a
+    /// memo is already present.
+    pub fn prime_key_hash(&self, col: usize, hash: u64) {
+        debug_assert_eq!(hash, hash_value(&self.values[col]));
+        let _ = self.key_hash.set(KeyHashMemo {
+            col: col as u32,
+            hash,
+        });
+    }
+
     /// Re-schema the tuple (used when a stream tuple enters a query under
     /// an alias — e.g. the paper's self-join delivers each physical tuple
     /// once as `c1` and once as `c2`). Values are shared, not copied.

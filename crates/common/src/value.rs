@@ -203,8 +203,9 @@ impl Value {
 }
 
 /// Total order over f64 treating NaN as greater than everything, so sorts
-/// and comparisons never panic on sensor glitches.
-fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+/// and comparisons never panic on sensor glitches. Crate-visible so the
+/// columnar kernel lanes compare floats exactly like [`Value::sql_cmp`].
+pub(crate) fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     match a.partial_cmp(&b) {
         Some(o) => o,
         None => match (a.is_nan(), b.is_nan()) {

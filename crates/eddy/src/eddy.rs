@@ -1,11 +1,12 @@
 //! The single-query eddy.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tcq_common::rng::{seeded, TcqRng};
-use tcq_common::{Result, SchemaRef, TcqError, Tuple};
-use tcq_operators::{EddyModule, Routed};
+use tcq_common::{ColumnBatch, Result, SchemaRef, TcqError, Tuple};
+use tcq_operators::{ColumnarVerdict, EddyModule, Routed};
 
 use crate::lineage::{SignatureCache, SourceSet};
 use crate::policy::{ModuleObservation, ModuleStats, RoutingPolicy};
@@ -122,6 +123,70 @@ struct BatchInFlight {
     done: u64,
 }
 
+/// One run of eddy output from [`Eddy::process_batch_columnar`]: either a
+/// batch that stayed columnar end-to-end, or rows materialized by a
+/// fallback. Runs arrive in exactly the order the row path would have
+/// emitted the same tuples.
+pub enum Emitted {
+    /// Row-materialized output (a module in the chain fell back).
+    Rows(Vec<Tuple>),
+    /// Columnar output (the whole module chain ran vectorized).
+    Columns(ColumnBatch),
+}
+
+impl Emitted {
+    /// Number of output tuples in this run.
+    pub fn len(&self) -> usize {
+        match self {
+            Emitted::Rows(v) => v.len(),
+            Emitted::Columns(b) => b.len(),
+        }
+    }
+
+    /// True when the run carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize this run's tuples, appending to `out`.
+    pub fn append_rows(self, out: &mut Vec<Tuple>) {
+        match self {
+            Emitted::Rows(mut v) => out.append(&mut v),
+            Emitted::Columns(b) => out.extend(b.to_tuples()),
+        }
+    }
+}
+
+/// A dual-representation in-flight group: the row mirror, the columnar
+/// mirror, or both (ingress runs keep both so SteM builds can store row
+/// tuples while filters and probes stay vectorized). Invariant: when both
+/// are present they describe the same tuples in the same order.
+struct ColGroup {
+    rows: Vec<Tuple>,
+    cols: Option<ColumnBatch>,
+    sig: SourceSet,
+    done: u64,
+}
+
+impl ColGroup {
+    fn len(&self) -> usize {
+        match &self.cols {
+            Some(b) => b.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    /// Drop the columnar mirror, materializing rows first if they are the
+    /// only representation left behind.
+    fn materialize_rows(&mut self) {
+        if let Some(b) = self.cols.take() {
+            if self.rows.is_empty() {
+                self.rows = b.to_tuples();
+            }
+        }
+    }
+}
+
 /// The adaptive tuple router for one continuous query (paper §2.2).
 pub struct Eddy {
     sig_cache: SignatureCache,
@@ -139,6 +204,8 @@ pub struct Eddy {
     candidates: Vec<usize>,
     /// Scratch per-tuple results buffer for batched visits.
     routed_scratch: Vec<Routed>,
+    /// Scratch per-row survival mask for columnar visits.
+    keep_scratch: Vec<bool>,
 }
 
 impl Eddy {
@@ -164,6 +231,7 @@ impl Eddy {
             batch: HashMap::new(),
             candidates: Vec::new(),
             routed_scratch: Vec::new(),
+            keep_scratch: Vec::new(),
         })
     }
 
@@ -389,6 +457,289 @@ impl Eddy {
             }
         }
         Ok(())
+    }
+
+    /// Route a batch of base tuples to completion through the columnar
+    /// hot path, appending emitted runs to `out`. Semantically equivalent
+    /// to [`Eddy::process_batch`] over the same tuples — identical
+    /// grouping, batching accounting, and emitted tuples in the same
+    /// order — but each signature run is converted to a [`ColumnBatch`]
+    /// **once at the ingress edge** (prehashing the join-key column when
+    /// the applicable SteMs agree on one) and modules with a columnar
+    /// implementation process whole columns instead of rows. A
+    /// [`ColumnarVerdict::Fallback`] runs the visit on the row path; if
+    /// that visit passes every row untouched the columnar mirror stays
+    /// alive for the rest of the chain, otherwise the run continues
+    /// row-shaped.
+    pub fn process_batch_columnar(
+        &mut self,
+        tuples: Vec<Tuple>,
+        out: &mut Vec<Emitted>,
+    ) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        self.eddy_stats.tuples_in += tuples.len() as u64;
+        let mut work: VecDeque<ColGroup> = VecDeque::new();
+        for t in tuples {
+            let sig = self.sig_cache.signature(t.schema())?;
+            match work.back_mut() {
+                Some(g) if g.sig == sig => g.rows.push(t),
+                _ => work.push_back(ColGroup {
+                    rows: vec![t],
+                    cols: None,
+                    sig,
+                    done: 0,
+                }),
+            }
+        }
+        // Ingress edge: one row→columnar conversion per run.
+        for g in work.iter_mut() {
+            self.attach_columns(g);
+        }
+        while let Some(mut group) = work.pop_front() {
+            if self.config.batch_size > 1 {
+                let entry = self.batch.entry(group.sig).or_insert((Vec::new(), 0));
+                entry.1 += group.len();
+                if entry.1 > self.config.batch_size {
+                    entry.0.clear();
+                    entry.1 = group.len();
+                }
+            }
+            loop {
+                let next = if let Some(b) = self.pending_build_for(group.sig, group.done) {
+                    b
+                } else {
+                    self.candidates.clear();
+                    for (i, spec) in self.modules.iter().enumerate() {
+                        if group.done & (1 << i) == 0 && spec.applies(group.sig) {
+                            self.candidates.push(i);
+                        }
+                    }
+                    if self.candidates.is_empty() {
+                        if group.sig == self.footprint {
+                            self.eddy_stats.emitted += group.len() as u64;
+                            out.push(match group.cols.take() {
+                                Some(b) => Emitted::Columns(b),
+                                None => Emitted::Rows(std::mem::take(&mut group.rows)),
+                            });
+                        }
+                        break;
+                    }
+                    self.choose(group.sig)?
+                };
+
+                let n = group.len() as u64;
+                let start = Instant::now();
+                let verdict = match &group.cols {
+                    Some(batch) => {
+                        let rows = (!group.rows.is_empty()).then_some(group.rows.as_slice());
+                        self.keep_scratch.clear();
+                        self.modules[next].module.process_columnar(
+                            batch,
+                            rows,
+                            &mut self.keep_scratch,
+                        )?
+                    }
+                    None => ColumnarVerdict::Fallback,
+                };
+
+                if matches!(verdict, ColumnarVerdict::Fallback) {
+                    // Row path for this visit — the same accounting and
+                    // regrouping as `process_batch`, plus mirror upkeep.
+                    if group.rows.is_empty() {
+                        if let Some(b) = &group.cols {
+                            group.rows = b.to_tuples();
+                        }
+                    }
+                    let mut routed = std::mem::take(&mut self.routed_scratch);
+                    self.modules[next]
+                        .module
+                        .process_batch(&group.rows, &mut routed)?;
+                    let nanos = start.elapsed().as_nanos() as u64;
+                    group.done |= 1 << next;
+                    self.eddy_stats.visits += n;
+                    let per_tuple_nanos = nanos / n;
+                    let st = &mut self.stats[next];
+                    st.routed += n;
+                    st.nanos += nanos;
+                    for r in &routed {
+                        if r.keep {
+                            st.kept += 1;
+                        }
+                        st.produced += r.outputs.len() as u64;
+                    }
+                    for r in &routed {
+                        self.policy.observe(ModuleObservation {
+                            module: next,
+                            kept: r.keep,
+                            produced: r.outputs.len(),
+                            nanos: per_tuple_nanos,
+                        });
+                    }
+                    let untouched = routed.iter().all(|r| r.keep && r.outputs.is_empty());
+                    if untouched {
+                        // Pass-through visit: both mirrors stay valid.
+                        routed.clear();
+                        self.routed_scratch = routed;
+                        continue;
+                    }
+                    group.cols = None;
+                    let visited = std::mem::take(&mut group.rows);
+                    for (t, r) in visited.into_iter().zip(routed.iter_mut()) {
+                        if r.keep {
+                            group.rows.push(t);
+                        }
+                        for o in std::mem::take(&mut r.outputs) {
+                            let osig = self.sig_cache.signature(o.schema())?;
+                            match work.back_mut() {
+                                Some(g) if g.sig == osig && g.done == group.done => {
+                                    g.materialize_rows();
+                                    g.rows.push(o);
+                                }
+                                _ => work.push_back(ColGroup {
+                                    rows: vec![o],
+                                    cols: None,
+                                    sig: osig,
+                                    done: group.done,
+                                }),
+                            }
+                        }
+                    }
+                    routed.clear();
+                    self.routed_scratch = routed;
+                    if group.rows.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+
+                let nanos = start.elapsed().as_nanos() as u64;
+                group.done |= 1 << next;
+                self.eddy_stats.visits += n;
+                let per_tuple_nanos = nanos / n;
+                let st = &mut self.stats[next];
+                st.routed += n;
+                st.nanos += nanos;
+                match verdict {
+                    ColumnarVerdict::KeepAll => {
+                        st.kept += n;
+                        for _ in 0..n {
+                            self.policy.observe(ModuleObservation {
+                                module: next,
+                                kept: true,
+                                produced: 0,
+                                nanos: per_tuple_nanos,
+                            });
+                        }
+                    }
+                    ColumnarVerdict::Filtered => {
+                        let keep = std::mem::take(&mut self.keep_scratch);
+                        st.kept += keep.iter().filter(|&&k| k).count() as u64;
+                        for &k in &keep {
+                            self.policy.observe(ModuleObservation {
+                                module: next,
+                                kept: k,
+                                produced: 0,
+                                nanos: per_tuple_nanos,
+                            });
+                        }
+                        if let Some(b) = &mut group.cols {
+                            b.retain(&keep);
+                        }
+                        if !group.rows.is_empty() {
+                            let mut it = keep.iter();
+                            group.rows.retain(|_| *it.next().unwrap());
+                        }
+                        self.keep_scratch = keep;
+                        if group.len() == 0 {
+                            break;
+                        }
+                    }
+                    ColumnarVerdict::Consumed(outb) => {
+                        let total = outb.len() as u64;
+                        st.produced += total;
+                        // The batch folds per-row fanout into one result;
+                        // spread it evenly over the observations — same
+                        // totals as the row path's exact per-tuple counts,
+                        // so selectivity estimates agree.
+                        let base = total / n;
+                        let rem = (total % n) as usize;
+                        for i in 0..n as usize {
+                            self.policy.observe(ModuleObservation {
+                                module: next,
+                                kept: false,
+                                produced: (base + u64::from(i < rem)) as usize,
+                                nanos: per_tuple_nanos,
+                            });
+                        }
+                        if !outb.is_empty() {
+                            let osig = self.sig_cache.signature(outb.schema())?;
+                            match work.back_mut() {
+                                Some(g) if g.sig == osig && g.done == group.done => {
+                                    match &mut g.cols {
+                                        Some(back)
+                                            if g.rows.is_empty()
+                                                && Arc::ptr_eq(back.schema(), outb.schema()) =>
+                                        {
+                                            for row in 0..outb.len() {
+                                                back.push_row_from(&outb, row);
+                                            }
+                                        }
+                                        _ => {
+                                            g.materialize_rows();
+                                            g.rows.extend(outb.to_tuples());
+                                        }
+                                    }
+                                }
+                                _ => work.push_back(ColGroup {
+                                    rows: Vec::new(),
+                                    cols: Some(outb),
+                                    sig: osig,
+                                    done: group.done,
+                                }),
+                            }
+                        }
+                        // The whole group was consumed by the probe.
+                        break;
+                    }
+                    ColumnarVerdict::Fallback => unreachable!("handled above"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the columnar mirror for an ingress run: one conversion per
+    /// run, prehashing the key column every applicable SteM agrees on so
+    /// builds and probes alike find their key hashes memoized (each key
+    /// hashed exactly once per tuple, at the edge).
+    fn attach_columns(&mut self, g: &mut ColGroup) {
+        let Some(first) = g.rows.first() else {
+            return;
+        };
+        let schema = first.schema().clone();
+        if g.rows.iter().any(|t| !Arc::ptr_eq(t.schema(), &schema)) {
+            // A mixed-schema run (same signature, different column order)
+            // has no single columnar shape: stay row-shaped.
+            return;
+        }
+        let mut hint = None;
+        let mut conflict = false;
+        for spec in self.modules.iter_mut() {
+            if !spec.applies(g.sig) {
+                continue;
+            }
+            if let Some(col) = spec.module.key_column_hint(&schema) {
+                match hint {
+                    None => hint = Some(col),
+                    Some(h) if h == col => {}
+                    Some(_) => conflict = true,
+                }
+            }
+        }
+        let key_col = if conflict { None } else { hint };
+        g.cols = Some(ColumnBatch::from_tuples(schema, &g.rows, key_col));
     }
 
     fn pending_build(&self, inf: &InFlight) -> Option<usize> {
@@ -844,6 +1195,95 @@ mod tests {
                     per.stats().decisions
                 );
             }
+        }
+    }
+
+    #[test]
+    fn process_batch_columnar_matches_row_batches() {
+        // Same workload as the row-batch differential: the columnar path
+        // must emit the same multiset and keep identical eddy counters,
+        // and the join hot path must actually stay columnar.
+        let build = |batch_size: usize| {
+            let s = s_schema("S");
+            let t = s_schema("T");
+            let mut eddy = Eddy::new(
+                &["S", "T"],
+                Box::new(LotteryPolicy::new()),
+                EddyConfig {
+                    batch_size,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+            let (sb, tb) = (eddy.source_bit("S").unwrap(), eddy.source_bit("T").unwrap());
+            let (stem_s, stem_t) = symmetric_hash_join(&s, "S", "k", &t, "T", "k").unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_s), sb, tb))
+                .unwrap();
+            eddy.add_module(ModuleSpec::stem(Box::new(stem_t), tb, sb))
+                .unwrap();
+            let f = SelectOp::new(
+                "S.x>5",
+                &Expr::qcol("S", "x").cmp(CmpOp::Gt, Expr::lit(5i64)),
+                &s,
+            )
+            .unwrap();
+            eddy.add_module(ModuleSpec::filter(Box::new(f), sb))
+                .unwrap();
+            (eddy, s, t)
+        };
+        let workload = |s: &SchemaRef, t: &SchemaRef| {
+            let mut rng = tcq_common::rng::seeded(123);
+            (0..600i64)
+                .map(|i| {
+                    let k = rng.gen_range(0..20i64);
+                    let x = rng.gen_range(0..10i64);
+                    if rng.gen_bool(0.5) {
+                        row(s, k, x, i)
+                    } else {
+                        row(t, k, x, i)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let key = |t: &Tuple| {
+            (
+                t.get(Some("S"), "k").unwrap().as_int().unwrap(),
+                t.get(Some("S"), "x").unwrap().as_int().unwrap(),
+                t.get(Some("T"), "x").unwrap().as_int().unwrap(),
+                t.timestamp().seq(),
+            )
+        };
+        for batch_size in [1usize, 64] {
+            let (mut rows, s, t) = build(batch_size);
+            let mut row_out = Vec::new();
+            for chunk in workload(&s, &t).chunks(64) {
+                rows.process_batch(chunk.to_vec(), &mut row_out).unwrap();
+            }
+
+            let (mut cols, s, t) = build(batch_size);
+            let mut runs: Vec<Emitted> = Vec::new();
+            for chunk in workload(&s, &t).chunks(64) {
+                cols.process_batch_columnar(chunk.to_vec(), &mut runs)
+                    .unwrap();
+            }
+            assert!(
+                runs.iter()
+                    .any(|r| matches!(r, Emitted::Columns(b) if !b.is_empty())),
+                "join hot path should stay columnar end-to-end"
+            );
+            let mut col_out = Vec::new();
+            for r in runs {
+                r.append_rows(&mut col_out);
+            }
+
+            let mut a: Vec<_> = row_out.iter().map(key).collect();
+            let mut b: Vec<_> = col_out.iter().map(key).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "columnar join diverged (batch_size={batch_size})");
+            assert_eq!(rows.stats().tuples_in, cols.stats().tuples_in);
+            assert_eq!(rows.stats().emitted, cols.stats().emitted);
+            assert_eq!(rows.stats().visits, cols.stats().visits);
         }
     }
 

@@ -83,7 +83,7 @@ pub mod lineage;
 pub mod policy;
 pub mod shared;
 
-pub use eddy::{Eddy, EddyConfig, EddyStats, ModuleSpec};
+pub use eddy::{Eddy, EddyConfig, EddyStats, Emitted, ModuleSpec};
 pub use lineage::{SignatureCache, SourceSet};
 pub use policy::{
     FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleObservation, ModuleStats, RandomPolicy,

@@ -33,7 +33,8 @@ use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    CkptReader, CkptWriter, FaultAction, FaultPoint, Result, SharedInjector, TcqError, Tuple,
+    CkptReader, CkptWriter, ColumnBatch, FaultAction, FaultPoint, Result, SharedInjector, TcqError,
+    Tuple,
 };
 
 /// Client identifier.
@@ -43,6 +44,10 @@ pub type QueryId = usize;
 
 /// A result delivered to a client: which query it answers, and the tuple.
 pub type Delivery = (QueryId, Tuple);
+
+/// A batched result delivered to a column client: which query it answers,
+/// and a columnar batch of result rows ([`EgressRouter::register_column_client`]).
+pub type ColumnDelivery = (QueryId, ColumnBatch);
 
 /// Slow-client handling knobs (§4.3's QoS stance applied at the egress
 /// boundary).
@@ -124,6 +129,17 @@ enum ClientState {
         /// Consecutive failed deliveries (reset on success).
         failures: u32,
     },
+    /// A push client that receives whole [`ColumnBatch`]es instead of
+    /// per-row [`Delivery`] messages. Offers are still made (and faults
+    /// polled) per row, in the same order row clients see them, but
+    /// surviving rows accumulate into one pending batch per delivery
+    /// session and hit the channel once — the columnar hot path never
+    /// materializes per-row tuples for these clients.
+    ColumnPush {
+        tx: SyncSender<ColumnDelivery>,
+        /// Consecutive failed deliveries (reset on success).
+        failures: u32,
+    },
     Pull {
         buffer: VecDeque<Delivery>,
         capacity: usize,
@@ -201,6 +217,44 @@ impl PriorityBuffer {
     }
 }
 
+/// One delivery offer's payload: a materialized row, or one row of a
+/// columnar batch. `Col` carries an optional pre-materialized tuple —
+/// filled once per row by the caller when at least one subscribed client
+/// needs rows, so row clients never pay a per-(row, client)
+/// materialization and column-only fan-outs pay none at all.
+enum Offer<'a> {
+    Row(&'a Tuple),
+    Col {
+        batch: &'a ColumnBatch,
+        row: usize,
+        tuple: Option<&'a Tuple>,
+    },
+}
+
+impl Offer<'_> {
+    /// The row as a tuple, for clients that consume rows.
+    fn to_tuple(&self) -> Tuple {
+        match self {
+            Offer::Row(t) => (*t).clone(),
+            Offer::Col { tuple: Some(t), .. } => (*t).clone(),
+            Offer::Col {
+                batch,
+                row,
+                tuple: None,
+            } => batch.tuple_at(*row),
+        }
+    }
+}
+
+/// Rows accumulated for one column client during a delivery session,
+/// flushed as a single channel message when the session ends (or earlier,
+/// if a row-shaped chunk or a schema change forces the order to be kept).
+struct PendingColumns {
+    client: ClientId,
+    query: QueryId,
+    batch: ColumnBatch,
+}
+
 struct RouterInner {
     clients: HashMap<ClientId, ClientState>,
     by_query: HashMap<QueryId, Vec<ClientId>>,
@@ -212,6 +266,11 @@ struct RouterInner {
     /// (offers resolve even when the copy is shed — the router never
     /// wedges, and the counter proves it).
     progress: Option<Arc<AtomicU64>>,
+    /// Reusable subscriber snapshot for [`RouterInner::deliver_locked`]:
+    /// fanning out borrows `clients` mutably, so the subscriber list is
+    /// copied here first — into a recycled buffer rather than a fresh
+    /// `Vec` per offer (one offer per *row* on the hot path).
+    subs_scratch: Vec<ClientId>,
 }
 
 impl RouterInner {
@@ -242,19 +301,22 @@ impl RouterInner {
     fn deliver_locked<I: IntoIterator<Item = QueryId>>(
         &mut self,
         queries: I,
-        tuple: &Tuple,
+        offer: Offer<'_>,
         stalled: &mut Vec<ClientId>,
+        pending: &mut Vec<PendingColumns>,
     ) {
         let policy = self.policy;
         // Clients found dead or stuck during this fan-out; removed after
         // the loop so accounting stays per-offer.
         let mut dead: Vec<ClientId> = Vec::new();
+        let mut subs = std::mem::take(&mut self.subs_scratch);
         for q in queries {
-            let Some(subs) = self.by_query.get(&q) else {
+            let Some(s) = self.by_query.get(&q) else {
                 continue;
             };
-            let subs: Vec<ClientId> = subs.clone();
-            for cid in subs {
+            subs.clear();
+            subs.extend_from_slice(s);
+            for &cid in &subs {
                 let Some(state) = self.clients.get_mut(&cid) else {
                     continue;
                 };
@@ -283,7 +345,9 @@ impl RouterInner {
                         // full; failure streaks still count toward
                         // disconnection.
                         self.stats.shed += 1;
-                        if let ClientState::Push { failures, .. } = state {
+                        if let ClientState::Push { failures, .. }
+                        | ClientState::ColumnPush { failures, .. } = state
+                        {
                             *failures += 1;
                             if policy.disconnect_after > 0 && *failures >= policy.disconnect_after {
                                 dead.push(cid);
@@ -292,6 +356,10 @@ impl RouterInner {
                         continue;
                     }
                     _ => {}
+                }
+                if matches!(state, ClientState::ColumnPush { .. }) {
+                    self.offer_column(cid, q, &offer, stalled, pending, &mut dead);
+                    continue;
                 }
                 match state {
                     ClientState::Push { tx, failures } => {
@@ -304,7 +372,7 @@ impl RouterInner {
                         };
                         let mut attempt = 0u32;
                         loop {
-                            match tx.try_send((q, tuple.clone())) {
+                            match tx.try_send((q, offer.to_tuple())) {
                                 Ok(()) => {
                                     self.stats.delivered += 1;
                                     *failures = 0;
@@ -338,6 +406,7 @@ impl RouterInner {
                             }
                         }
                     }
+                    ClientState::ColumnPush { .. } => unreachable!("handled above"),
                     ClientState::Pull { buffer, capacity } => {
                         let forced = self.injector.as_ref().is_some_and(|i| {
                             matches!(
@@ -351,7 +420,7 @@ impl RouterInner {
                             self.stats.displaced += 1;
                             self.stats.delivered -= 1;
                         }
-                        buffer.push_back((q, tuple.clone()));
+                        buffer.push_back((q, offer.to_tuple()));
                         self.stats.delivered += 1;
                     }
                     ClientState::Prioritized { buffer } => {
@@ -365,7 +434,7 @@ impl RouterInner {
                             self.stats.displaced += 1;
                             self.stats.delivered -= 1;
                         }
-                        if buffer.insert((q, tuple.clone())) {
+                        if buffer.insert((q, offer.to_tuple())) {
                             self.stats.displaced += 1;
                             self.stats.delivered -= 1;
                         }
@@ -373,6 +442,146 @@ impl RouterInner {
                     }
                 }
             }
+        }
+        self.subs_scratch = subs;
+        for cid in dead {
+            if self.drop_client(cid) {
+                self.stats.disconnected += 1;
+            }
+        }
+    }
+
+    /// One already-offered row for a column client: append it to the
+    /// client's pending batch (started lazily, flushed when the session
+    /// ends). A row-shaped offer, or a columnar offer whose schema differs
+    /// from the pending batch, flushes first so the client's stream stays
+    /// in delivery order.
+    fn offer_column(
+        &mut self,
+        cid: ClientId,
+        q: QueryId,
+        offer: &Offer<'_>,
+        stalled: &mut Vec<ClientId>,
+        pending: &mut Vec<PendingColumns>,
+        dead: &mut Vec<ClientId>,
+    ) {
+        let slot = pending.iter().position(|p| p.client == cid && p.query == q);
+        match offer {
+            Offer::Col { batch, row, .. } => {
+                if let Some(i) = slot {
+                    if Arc::ptr_eq(pending[i].batch.schema(), batch.schema()) {
+                        pending[i].batch.push_row_from(batch, *row);
+                        return;
+                    }
+                    let done = pending.remove(i);
+                    self.flush_one(done, stalled, dead);
+                }
+                // Sized for the rest of the source batch: the session
+                // feeds rows in order, so at most `len - row` more
+                // appends land here before the flush.
+                let mut b = ColumnBatch::with_capacity(batch.schema().clone(), batch.len() - *row);
+                b.push_row_from(batch, *row);
+                pending.push(PendingColumns {
+                    client: cid,
+                    query: q,
+                    batch: b,
+                });
+            }
+            Offer::Row(_) => {
+                if let Some(i) = slot {
+                    let done = pending.remove(i);
+                    self.flush_one(done, stalled, dead);
+                }
+                let tuple = offer.to_tuple();
+                let batch = ColumnBatch::from_tuples(
+                    tuple.schema().clone(),
+                    std::slice::from_ref(&tuple),
+                    None,
+                );
+                self.flush_one(
+                    PendingColumns {
+                        client: cid,
+                        query: q,
+                        batch,
+                    },
+                    stalled,
+                    dead,
+                );
+            }
+        }
+    }
+
+    /// Send one pending columnar batch to its client, charging every row
+    /// in it to exactly one ledger bucket (the rows were already counted
+    /// as offered). Retry/stall/disconnect semantics mirror the row push
+    /// client's, scaled to the batch's row count.
+    fn flush_one(
+        &mut self,
+        p: PendingColumns,
+        stalled: &mut Vec<ClientId>,
+        dead: &mut Vec<ClientId>,
+    ) {
+        let n = p.batch.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let policy = self.policy;
+        let cid = p.client;
+        let Some(ClientState::ColumnPush { tx, failures }) = self.clients.get_mut(&cid) else {
+            // The client vanished mid-session (disconnected by an earlier
+            // chunk, or dropped by the user); its buffered rows are lost.
+            self.stats.disconnected_loss += n;
+            return;
+        };
+        let budget = if stalled.contains(&cid) {
+            0
+        } else {
+            policy.max_retries
+        };
+        let mut attempt = 0u32;
+        let mut msg = (p.query, p.batch);
+        loop {
+            match tx.try_send(msg) {
+                Ok(()) => {
+                    self.stats.delivered += n;
+                    *failures = 0;
+                    stalled.retain(|&c| c != cid);
+                    break;
+                }
+                Err(TrySendError::Full(m)) => {
+                    if attempt < budget {
+                        attempt += 1;
+                        self.stats.retried += 1;
+                        std::thread::yield_now();
+                        msg = m;
+                        continue;
+                    }
+                    self.stats.shed += n;
+                    *failures += 1;
+                    if !stalled.contains(&cid) {
+                        stalled.push(cid);
+                    }
+                    if policy.disconnect_after > 0 && *failures >= policy.disconnect_after {
+                        dead.push(cid);
+                    }
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.stats.disconnected_loss += n;
+                    dead.push(cid);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Flush every pending columnar batch and drop clients found dead
+    /// while flushing. Called when a delivery session (or a single
+    /// deliver/deliver_batch call) ends.
+    fn flush_session(&mut self, pending: &mut Vec<PendingColumns>, stalled: &mut Vec<ClientId>) {
+        let mut dead: Vec<ClientId> = Vec::new();
+        for p in pending.drain(..) {
+            self.flush_one(p, stalled, &mut dead);
         }
         for cid in dead {
             if self.drop_client(cid) {
@@ -404,6 +613,7 @@ impl EgressRouter {
             inner: Arc::new(Mutex::new(RouterInner {
                 clients: HashMap::new(),
                 by_query: HashMap::new(),
+                subs_scratch: Vec::new(),
                 stats: EgressStats::default(),
                 policy: EgressPolicy::default(),
                 injector: None,
@@ -454,6 +664,31 @@ impl EgressRouter {
         inner
             .clients
             .insert(id, ClientState::Push { tx, failures: 0 });
+        Ok(rx)
+    }
+
+    /// Register a column push client: a bounded stream of whole
+    /// [`ColumnBatch`]es. Delivery offers (and fault polls, and the
+    /// ledger) are still per row — identical to a row push client's — but
+    /// surviving rows reach the channel as one batch per delivery session
+    /// instead of one message per row, and no per-row [`Tuple`] is ever
+    /// materialized for this client. The columnar hot path's terminal
+    /// stage.
+    pub fn register_column_client(
+        &self,
+        id: ClientId,
+        capacity: usize,
+    ) -> Result<Receiver<ColumnDelivery>> {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let mut inner = self.inner.lock();
+        if inner.clients.contains_key(&id) {
+            return Err(TcqError::Capacity(format!(
+                "client {id} already registered"
+            )));
+        }
+        inner
+            .clients
+            .insert(id, ClientState::ColumnPush { tx, failures: 0 });
         Ok(rx)
     }
 
@@ -536,9 +771,11 @@ impl EgressRouter {
     /// executor — and a client stuck past `disconnect_after` consecutive
     /// failures is forcibly disconnected and counted.
     pub fn deliver<I: IntoIterator<Item = QueryId>>(&self, queries: I, tuple: &Tuple) {
-        self.inner
-            .lock()
-            .deliver_locked(queries, tuple, &mut Vec::new());
+        let mut inner = self.inner.lock();
+        let mut stalled = Vec::new();
+        let mut pending = Vec::new();
+        inner.deliver_locked(queries, Offer::Row(tuple), &mut stalled, &mut pending);
+        inner.flush_session(&mut pending, &mut stalled);
     }
 
     /// Deliver a whole batch of result tuples for the queries in `queries`,
@@ -566,9 +803,32 @@ impl EgressRouter {
         }
         let queries = queries.into_iter();
         let mut stalled = Vec::new();
+        let mut pending = Vec::new();
         let mut guard = self.inner.lock();
         for tuple in tuples {
-            guard.deliver_locked(queries.clone(), tuple, &mut stalled);
+            guard.deliver_locked(
+                queries.clone(),
+                Offer::Row(tuple),
+                &mut stalled,
+                &mut pending,
+            );
+        }
+        guard.flush_session(&mut pending, &mut stalled);
+    }
+
+    /// Begin a multi-chunk delivery session: the router lock is taken
+    /// once and held for the session's lifetime, the per-batch fairness
+    /// state (see [`EgressRouter::deliver_batch`]) spans every chunk, and
+    /// column clients' rows accumulate across chunks into one channel
+    /// message, flushed when the session drops. A session delivering the
+    /// same rows as one `deliver_batch` call charges the ledger
+    /// identically, whether the rows arrive as row chunks, columnar
+    /// chunks, or a mix.
+    pub fn session(&self) -> DeliverySession<'_> {
+        DeliverySession {
+            inner: self.inner.lock(),
+            stalled: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -581,9 +841,11 @@ impl EgressRouter {
                 Ok(buffer.drain(..n).collect())
             }
             Some(ClientState::Prioritized { buffer, .. }) => Ok(buffer.fetch(max)),
-            Some(ClientState::Push { .. }) => Err(TcqError::Executor(format!(
-                "client {client} is a push client; fetch is for pull clients"
-            ))),
+            Some(ClientState::Push { .. }) | Some(ClientState::ColumnPush { .. }) => {
+                Err(TcqError::Executor(format!(
+                    "client {client} is a push client; fetch is for pull clients"
+                )))
+            }
             None => Err(TcqError::Executor(format!("unknown client {client}"))),
         }
     }
@@ -611,6 +873,87 @@ impl EgressRouter {
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
         self.inner.lock().clients.len()
+    }
+}
+
+/// A multi-chunk delivery session ([`EgressRouter::session`]): one router
+/// lock, one per-batch fairness state, and per-column-client pending
+/// batches spanning every chunk delivered through it. Dropping the
+/// session flushes pending columnar batches to their clients.
+pub struct DeliverySession<'a> {
+    inner: tcq_common::sync::MutexGuard<'a, RouterInner>,
+    stalled: Vec<ClientId>,
+    pending: Vec<PendingColumns>,
+}
+
+impl DeliverySession<'_> {
+    /// Deliver a chunk of row results, exactly as
+    /// [`EgressRouter::deliver_batch`] would.
+    pub fn deliver_rows<I>(&mut self, queries: I, tuples: &[Tuple])
+    where
+        I: IntoIterator<Item = QueryId>,
+        I::IntoIter: Clone,
+    {
+        let queries = queries.into_iter();
+        for tuple in tuples {
+            self.inner.deliver_locked(
+                queries.clone(),
+                Offer::Row(tuple),
+                &mut self.stalled,
+                &mut self.pending,
+            );
+        }
+    }
+
+    /// Deliver a columnar chunk. The ledger is charged per (row, client)
+    /// offer in the exact order delivering `batch.tuple_at(row)` one row
+    /// at a time would charge it; row clients receive materialized
+    /// tuples (built once per row, shared across clients), and column
+    /// clients receive the rows batched. When every subscribed client is
+    /// a column client, no per-row tuple is materialized at all.
+    pub fn deliver_columns<I>(&mut self, queries: I, batch: &ColumnBatch)
+    where
+        I: IntoIterator<Item = QueryId>,
+        I::IntoIter: Clone,
+    {
+        if batch.is_empty() {
+            return;
+        }
+        let queries = queries.into_iter();
+        let needs_rows = queries.clone().any(|q| {
+            self.inner.by_query.get(&q).is_some_and(|subs| {
+                subs.iter().any(|cid| {
+                    !matches!(
+                        self.inner.clients.get(cid),
+                        Some(ClientState::ColumnPush { .. }) | None
+                    )
+                })
+            })
+        });
+        for row in 0..batch.len() {
+            let tuple = if needs_rows {
+                Some(batch.tuple_at(row))
+            } else {
+                None
+            };
+            self.inner.deliver_locked(
+                queries.clone(),
+                Offer::Col {
+                    batch,
+                    row,
+                    tuple: tuple.as_ref(),
+                },
+                &mut self.stalled,
+                &mut self.pending,
+            );
+        }
+    }
+}
+
+impl Drop for DeliverySession<'_> {
+    fn drop(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        self.inner.flush_session(&mut pending, &mut self.stalled);
     }
 }
 
@@ -850,6 +1193,113 @@ mod tests {
         assert!(s.disconnected >= 2, "stuck + dead clients removed");
         // Pull client survives and holds the freshest results.
         assert_eq!(r.fetch(2, 10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn column_client_receives_batched_rows_without_row_messages() {
+        let r = EgressRouter::new();
+        let rx = r.register_column_client(1, 8).unwrap();
+        r.subscribe(1, 9).unwrap();
+        let tuples: Vec<Tuple> = (0..5).map(t).collect();
+        let batch = ColumnBatch::from_tuples(schema(), &tuples, None);
+        {
+            let mut session = r.session();
+            session.deliver_columns([9usize], &batch);
+        }
+        let got: Vec<_> = rx.try_iter().collect();
+        assert_eq!(got.len(), 1, "one channel message for the whole batch");
+        let (q, b) = &got[0];
+        assert_eq!(*q, 9);
+        assert_eq!(b.len(), 5);
+        for (row, want) in tuples.iter().enumerate() {
+            assert_eq!(b.tuple_at(row), *want);
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.offered, 5, "ledger stays per-row");
+        assert_eq!(s.delivered, 5);
+        assert!(s.accounted());
+    }
+
+    #[test]
+    fn column_and_row_clients_share_one_columnar_delivery() {
+        let r = EgressRouter::new();
+        let row_rx = r.register_push_client(1, 16).unwrap();
+        let col_rx = r.register_column_client(2, 16).unwrap();
+        r.subscribe(1, 9).unwrap();
+        r.subscribe(2, 9).unwrap();
+        let tuples: Vec<Tuple> = (0..4).map(t).collect();
+        let batch = ColumnBatch::from_tuples(schema(), &tuples, None);
+        {
+            let mut session = r.session();
+            session.deliver_columns([9usize], &batch);
+        }
+        let rows: Vec<_> = row_rx.try_iter().map(|(_, t)| t).collect();
+        assert_eq!(rows, tuples, "row client sees materialized rows in order");
+        let cols: Vec<_> = col_rx.try_iter().collect();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].1.len(), 4);
+        let s = r.egress_stats();
+        assert_eq!(s.offered, 8);
+        assert_eq!(s.delivered, 8);
+        assert!(s.accounted());
+    }
+
+    #[test]
+    fn session_mixed_chunks_match_one_row_batch() {
+        // The same rows, once as a single deliver_batch and once as a
+        // session of columnar + row chunks, charge identical ledgers and
+        // produce identical client streams.
+        let mk = || {
+            let r = EgressRouter::new().with_policy(EgressPolicy {
+                max_retries: 1,
+                disconnect_after: 2,
+            });
+            let rx = r.register_push_client(1, 6).unwrap();
+            r.register_pull_client(2, 4).unwrap();
+            r.subscribe(1, 9).unwrap();
+            r.subscribe(2, 9).unwrap();
+            (r, rx)
+        };
+        let tuples: Vec<Tuple> = (0..12).map(t).collect();
+        let (plain, plain_rx) = mk();
+        plain.deliver_batch([9usize], &tuples);
+        let (ses, ses_rx) = mk();
+        {
+            let mut session = ses.session();
+            let head = ColumnBatch::from_tuples(schema(), &tuples[..7], None);
+            session.deliver_columns([9usize], &head);
+            session.deliver_rows([9usize], &tuples[7..]);
+        }
+        assert_eq!(plain.egress_stats(), ses.egress_stats());
+        let a: Vec<_> = plain_rx.try_iter().collect();
+        let b: Vec<_> = ses_rx.try_iter().collect();
+        assert_eq!(a, b, "push stream identical");
+        assert_eq!(plain.fetch(2, 10).unwrap(), ses.fetch(2, 10).unwrap());
+        assert!(ses.egress_stats().accounted());
+    }
+
+    #[test]
+    fn column_client_full_channel_sheds_whole_batch() {
+        let r = EgressRouter::new();
+        let _rx = r.register_column_client(1, 1).unwrap();
+        r.subscribe(1, 9).unwrap();
+        let tuples: Vec<Tuple> = (0..3).map(t).collect();
+        let batch = ColumnBatch::from_tuples(schema(), &tuples, None);
+        {
+            let mut session = r.session();
+            session.deliver_columns([9usize], &batch);
+        }
+        // Channel (capacity 1, undrained) is now full: the next session's
+        // flush sheds its rows, counted individually.
+        {
+            let mut session = r.session();
+            session.deliver_columns([9usize], &batch);
+        }
+        let s = r.egress_stats();
+        assert_eq!(s.offered, 6);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.shed, 3);
+        assert!(s.accounted());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod stem_op;
 pub use aggregate::{AggFunc, AggSpec, GroupByAggregator, WindowAggregator, WindowMode};
 pub use dupelim::DupElimOp;
 pub use juggle::Juggle;
-pub use module::{EddyModule, Outputs, Routed};
+pub use module::{ColumnarVerdict, EddyModule, Outputs, Routed};
 pub use project::ProjectOp;
 pub use remote_index::{RemoteIndex, RemoteIndexOp};
 pub use select::{GroupedFilterOp, SelectOp};

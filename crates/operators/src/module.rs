@@ -5,7 +5,7 @@
 //! tuple t, it can generate other tuples … and send them back to the Eddy
 //! for further routing" (§2.2). [`Routed`] captures exactly that protocol.
 
-use tcq_common::{Result, Tuple};
+use tcq_common::{ColumnBatch, Result, SchemaRef, Tuple};
 
 /// Tuples a module handed "back to the Eddy for further routing".
 ///
@@ -179,6 +179,24 @@ impl Routed {
     }
 }
 
+/// What a module did with one routed [`ColumnBatch`]
+/// ([`EddyModule::process_columnar`]).
+#[derive(Debug)]
+pub enum ColumnarVerdict {
+    /// No columnar implementation for this batch (or its column
+    /// representations); the eddy must materialize rows and take the row
+    /// path for this visit.
+    Fallback,
+    /// Every row passes unchanged (grouped filters, SteM builds).
+    KeepAll,
+    /// `keep` was filled with one verdict per row; the eddy compacts the
+    /// batch (and any retained row mirror) by the mask.
+    Filtered,
+    /// The batch was consumed and replaced by a new one (SteM probes
+    /// yield join concatenations).
+    Consumed(ColumnBatch),
+}
+
 /// A commutative, tuple-at-a-time query module an eddy can route through.
 ///
 /// Implementations must be cheap to call: the eddy invokes `process` once
@@ -205,6 +223,33 @@ pub trait EddyModule: Send {
             out.push(r);
         }
         Ok(())
+    }
+
+    /// Handle a batch of tuples in columnar form. Must be semantically
+    /// identical to [`EddyModule::process_batch`] over the same rows:
+    /// the surviving set, any generated tuples, and their order may not
+    /// differ — vectorization is an amortization, never a semantic
+    /// change. `rows` is the retained row mirror of `batch` when the
+    /// eddy still holds one (ingress batches); modules that must store
+    /// row tuples (SteM builds) require it and fall back otherwise.
+    /// Return [`ColumnarVerdict::Fallback`] — the default — whenever
+    /// row-identical behavior cannot be guaranteed for this batch, and
+    /// the eddy reverts to the row path for the visit.
+    fn process_columnar(
+        &mut self,
+        _batch: &ColumnBatch,
+        _rows: Option<&[Tuple]>,
+        _keep: &mut Vec<bool>,
+    ) -> Result<ColumnarVerdict> {
+        Ok(ColumnarVerdict::Fallback)
+    }
+
+    /// The column whose key hashes this module would consume for batches
+    /// of `schema`, if any — the eddy's hint for which column to prehash
+    /// into a [`ColumnBatch`]'s hash column at the ingress edge. Default:
+    /// none (the module never consults batch key hashes).
+    fn key_column_hint(&mut self, _schema: &SchemaRef) -> Option<usize> {
+        None
     }
 
     /// Window maintenance: drop internal state older than logical time

@@ -1,6 +1,6 @@
 //! Projection: compute output columns from expressions.
 
-use tcq_common::{DataType, Expr, Field, Result, Schema, SchemaRef, Tuple, Value};
+use tcq_common::{ColumnBatch, DataType, Expr, Field, Result, Schema, SchemaRef, Tuple, Value};
 
 /// A projection over expressions, applied to the eddy's output stream.
 ///
@@ -105,6 +105,15 @@ impl ProjectOp {
             values,
             tuple.timestamp(),
         ))
+    }
+
+    /// Apply to a whole columnar batch: column-only projections become
+    /// whole-column clones (the per-row copy loop disappears entirely).
+    /// Returns `None` when an expression column forces row-at-a-time
+    /// evaluation — callers fall back to [`ProjectOp::apply`] per row.
+    pub fn apply_columnar(&self, batch: &ColumnBatch) -> Option<ColumnBatch> {
+        let cols = self.columns.as_ref()?;
+        Some(batch.project(cols, self.out_schema.clone()))
     }
 
     /// Output column types.

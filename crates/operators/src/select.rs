@@ -1,7 +1,12 @@
 //! Selection modules: single-predicate filters and CACQ grouped filters.
 
-use tcq_common::{BitSet, CmpOp, Expr, Predicate, Result, SchemaRef, TcqError, Tuple, Value};
+use tcq_common::{
+    BitSet, CmpOp, ColumnBatch, ColumnData, ColumnarScratch, Expr, Predicate, Result, SchemaRef,
+    TcqError, Tuple, Value,
+};
 use tcq_stems::GroupedFilter;
+
+use crate::module::ColumnarVerdict;
 
 /// A pipelined selection: passes tuples satisfying a predicate.
 ///
@@ -23,6 +28,8 @@ pub struct SelectOp {
     bound: std::collections::HashMap<usize, Predicate>,
     cost_units: u64,
     compiled_kernels: bool,
+    /// Lane buffers reused across columnar batches.
+    scratch: ColumnarScratch,
 }
 
 impl SelectOp {
@@ -40,6 +47,7 @@ impl SelectOp {
             bound,
             cost_units: 0,
             compiled_kernels: true,
+            scratch: ColumnarScratch::new(),
         })
     }
 
@@ -132,6 +140,31 @@ impl crate::module::EddyModule for SelectOp {
             });
         }
         Ok(())
+    }
+
+    /// Columnar filter: one vectorized predicate pass over the whole
+    /// batch. Claims the batch only when the bound predicate is a
+    /// compiled kernel whose opcodes are all lane-compatible with the
+    /// batch's column representations (see [`Predicate::eval_columns`]);
+    /// anything else falls back to the row path, which burns the
+    /// artificial cost itself.
+    fn process_columnar(
+        &mut self,
+        batch: &ColumnBatch,
+        _rows: Option<&[Tuple]>,
+        keep: &mut Vec<bool>,
+    ) -> Result<ColumnarVerdict> {
+        let key = std::sync::Arc::as_ptr(batch.schema()) as usize;
+        if !self.bound.contains_key(&key) {
+            let p = Predicate::new(&self.pred, batch.schema(), self.compiled_kernels)?;
+            self.bound.insert(key, p);
+        }
+        if self.bound[&key].eval_columns(batch, &mut self.scratch, keep) {
+            burn(self.cost_units.saturating_mul(batch.len() as u64));
+            Ok(ColumnarVerdict::Filtered)
+        } else {
+            Ok(ColumnarVerdict::Fallback)
+        }
     }
 }
 
@@ -245,6 +278,36 @@ impl crate::module::EddyModule for GroupedFilterOp {
             self.last_matches.union_with(last);
         }
         Ok(())
+    }
+
+    /// Columnar grouped filter: probes the factor index straight off the
+    /// filter column without materializing rows. Typed numeric/bool cells
+    /// reconstruct stack `Value`s for free; `Str` arenas would need a
+    /// fresh `Arc<str>` per row, so string columns fall back to the row
+    /// path (whose tuples already share the `Arc`).
+    fn process_columnar(
+        &mut self,
+        batch: &ColumnBatch,
+        _rows: Option<&[Tuple]>,
+        _keep: &mut Vec<bool>,
+    ) -> Result<ColumnarVerdict> {
+        if self.column >= batch.schema().len() {
+            return Ok(ColumnarVerdict::Fallback);
+        }
+        let col = batch.column(self.column);
+        if matches!(col.data(), ColumnData::Str { .. }) {
+            return Ok(ColumnarVerdict::Fallback);
+        }
+        self.batch_matches.resize_with(batch.len(), BitSet::new);
+        for (row, m) in self.batch_matches.iter_mut().enumerate() {
+            m.clear();
+            self.filter.eval(&col.value(row), m);
+        }
+        if let Some(last) = self.batch_matches.last() {
+            self.last_matches.clear();
+            self.last_matches.union_with(last);
+        }
+        Ok(ColumnarVerdict::KeepAll)
     }
 }
 
@@ -368,6 +431,92 @@ mod tests {
             );
         }
         assert!(!interp.is_compiled_for(&s));
+    }
+
+    #[test]
+    fn columnar_select_matches_row_path() {
+        let pred = Expr::col("price")
+            .cmp(CmpOp::Gt, Expr::lit(50.0))
+            .and(Expr::col("sym").cmp(CmpOp::Ne, Expr::lit("HALT")));
+        let mut rng = tcq_common::rng::seeded(0xC0_5E1E);
+        let tuples: Vec<Tuple> = (0..200)
+            .map(|_| {
+                let sym = ["MSFT", "HALT"][rng.gen_range(0..2usize)];
+                tick(sym, rng.gen_range(0.0..100.0))
+            })
+            .collect();
+        let mut per = SelectOp::new("sel", &pred, &schema()).unwrap();
+        let expect: Vec<bool> = tuples
+            .iter()
+            .map(|t| per.process(t).unwrap().keep)
+            .collect();
+        let batch = ColumnBatch::from_tuples(schema(), &tuples, None);
+        let mut columnar = SelectOp::new("sel", &pred, &schema()).unwrap();
+        let mut keep = Vec::new();
+        match columnar.process_columnar(&batch, None, &mut keep).unwrap() {
+            ColumnarVerdict::Filtered => {}
+            v => panic!("compiled predicate over typed columns must claim the batch, got {v:?}"),
+        }
+        assert_eq!(keep, expect);
+        // The interpreter has no columnar lowering: fall back to rows.
+        let mut interp = SelectOp::new("sel", &pred, &schema())
+            .unwrap()
+            .with_compiled_kernels(false);
+        keep.clear();
+        assert!(matches!(
+            interp.process_columnar(&batch, None, &mut keep).unwrap(),
+            ColumnarVerdict::Fallback
+        ));
+    }
+
+    #[test]
+    fn columnar_grouped_filter_matches_row_path() {
+        let mut rng = tcq_common::rng::seeded(0xC0_6F17);
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|_| tick("X", rng.gen_range(0.0..100.0)))
+            .collect();
+        let mk = || {
+            let mut op = GroupedFilterOp::new("gf(price)", &schema(), 1).unwrap();
+            op.insert_factor(0, CmpOp::Gt, Value::Float(50.0)).unwrap();
+            op.insert_factor(1, CmpOp::Lt, Value::Float(50.0)).unwrap();
+            op.insert_factor(2, CmpOp::Le, Value::Float(75.0)).unwrap();
+            op
+        };
+        let mut row = mk();
+        let mut out = Vec::new();
+        row.process_batch(&tuples, &mut out).unwrap();
+        let expect: Vec<Vec<usize>> = row
+            .batch_matching()
+            .iter()
+            .map(|m| m.iter().collect())
+            .collect();
+        let batch = ColumnBatch::from_tuples(schema(), &tuples, None);
+        let mut col = mk();
+        match col.process_columnar(&batch, None, &mut Vec::new()).unwrap() {
+            ColumnarVerdict::KeepAll => {}
+            v => panic!("grouped filters pass every tuple, got {v:?}"),
+        }
+        let got: Vec<Vec<usize>> = col
+            .batch_matching()
+            .iter()
+            .map(|m| m.iter().collect())
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(
+            col.matching().iter().collect::<Vec<_>>(),
+            row.matching().iter().collect::<Vec<_>>(),
+            "matching() reflects the batch's last tuple either way"
+        );
+        // String filter columns fall back (cell reconstruction would
+        // allocate an Arc per row).
+        let mut on_sym = GroupedFilterOp::new("gf(sym)", &schema(), 0).unwrap();
+        on_sym.insert_factor(0, CmpOp::Eq, Value::str("X")).unwrap();
+        assert!(matches!(
+            on_sym
+                .process_columnar(&batch, None, &mut Vec::new())
+                .unwrap(),
+            ColumnarVerdict::Fallback
+        ));
     }
 
     #[test]

@@ -15,10 +15,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tcq_common::{CkptReader, CkptWriter, Result, Schema, SchemaRef, TcqError, Tuple, Value};
+use tcq_common::{
+    CkptReader, CkptWriter, ColumnBatch, ColumnData, Result, Schema, SchemaRef, TcqError, Tuple,
+    Value,
+};
 use tcq_stems::{IndexKind, SteM};
 
-use crate::module::{EddyModule, Outputs, Routed};
+use crate::module::{ColumnarVerdict, EddyModule, Outputs, Routed};
 
 /// Cached plan for probing with tuples of one schema.
 struct ProbePlan {
@@ -114,7 +117,12 @@ impl StemOp {
     /// qualified entirely by our build qualifier (i.e. it is a base tuple of
     /// the stored stream, not an intermediate join result).
     fn is_build(&self, tuple: &Tuple) -> bool {
-        let schema = tuple.schema();
+        self.is_build_schema(tuple.schema())
+    }
+
+    /// Schema-level build test: batches are schema-homogeneous, so one
+    /// check covers every row.
+    fn is_build_schema(&self, schema: &SchemaRef) -> bool {
         schema.len() == self.stem.schema().len()
             && (0..schema.len()).all(|i| {
                 schema
@@ -302,6 +310,79 @@ impl EddyModule for StemOp {
             });
         }
         Ok(())
+    }
+
+    /// Columnar SteM visit. Builds need the retained row mirror (the SteM
+    /// stores row tuples) and pass every row through; probes feed the
+    /// batch's memoized hash column straight into the hashed index and
+    /// emit join concatenations as a new columnar batch — probe columns
+    /// flat-copied, stored values appended, in exactly the row path's
+    /// (probe-first, stored-second, slot-order) sequence. Falls back when
+    /// the batch carries no hash column for the plan's key, when prehash
+    /// is off (the legacy A/B path stays row-shaped), or when probe keys
+    /// are strings (reconstructing an `Arc<str>` per key would allocate).
+    fn process_columnar(
+        &mut self,
+        batch: &ColumnBatch,
+        rows: Option<&[Tuple]>,
+        _keep: &mut Vec<bool>,
+    ) -> Result<ColumnarVerdict> {
+        if batch.is_empty() {
+            return Ok(ColumnarVerdict::KeepAll);
+        }
+        if self.is_build_schema(batch.schema()) {
+            let Some(rows) = rows else {
+                return Ok(ColumnarVerdict::Fallback);
+            };
+            for tuple in rows {
+                let seq = tuple.timestamp().seq();
+                self.latest_seq = self.latest_seq.max(seq);
+                self.stem.insert(tuple.clone())?;
+                if let Some(w) = self.window_width {
+                    self.stem.evict_before_seq(self.latest_seq - w + 1);
+                }
+            }
+            return Ok(ColumnarVerdict::KeepAll);
+        }
+        if !self.prehash {
+            return Ok(ColumnarVerdict::Fallback);
+        }
+        let (key_col, joined) = {
+            let plan = self.probe_plan(batch.schema())?;
+            (plan.key_col, plan.joined.clone())
+        };
+        let hashes = match batch.key_hashes() {
+            Some((col, hashes)) if col == key_col => hashes,
+            _ => return Ok(ColumnarVerdict::Fallback),
+        };
+        let key_column = batch.column(key_col);
+        if matches!(key_column.data(), ColumnData::Str { .. }) {
+            return Ok(ColumnarVerdict::Fallback);
+        }
+        // Size the concat batch for the common one-match-per-probe case;
+        // high-fanout joins grow it amortized from there.
+        let mut out = ColumnBatch::with_capacity(joined, batch.len());
+        for (row, &hash) in hashes.iter().enumerate() {
+            let key = key_column.value(row);
+            self.match_scratch.clear();
+            self.stem
+                .probe_eq_hashed(hash, &key, &mut self.match_scratch);
+            for stored in &self.match_scratch {
+                out.push_joined(batch, row, stored);
+            }
+        }
+        Ok(ColumnarVerdict::Consumed(out))
+    }
+
+    /// Builds consume key hashes on insert; probes consume them through
+    /// the hashed index — either way, prehashing the key column at the
+    /// ingress edge makes every hash a memo hit here.
+    fn key_column_hint(&mut self, schema: &SchemaRef) -> Option<usize> {
+        if self.is_build_schema(schema) {
+            Some(self.stem.key_col())
+        } else {
+            self.probe_plan(schema).ok().map(|p| p.key_col)
+        }
     }
 
     fn evict_before_seq(&mut self, seq: i64) {
@@ -594,6 +675,67 @@ mod tests {
         let before = fast.hash_computes();
         fast.process(&p).unwrap();
         assert_eq!(fast.hash_computes(), before);
+
+        // Columnar probes ride the ingress-built hash column: converting
+        // rows to a batch hashes each probe key once (memoizing it back
+        // onto the source tuple), and the SteM then computes nothing.
+        let probes: Vec<Tuple> = (1..=10i64).map(|ts| t(&r, ts % 7, "cp", 50 + ts)).collect();
+        let key_col = fast.key_column_hint(&r).unwrap();
+        let expect: Vec<Tuple> = probes
+            .iter()
+            .flat_map(|p| slow.process(p).unwrap().outputs)
+            .collect();
+        let batch = tcq_common::ColumnBatch::from_tuples(r.clone(), &probes, Some(key_col));
+        assert!(
+            probes.iter().all(|p| p.cached_key_hash(key_col).is_some()),
+            "ingress conversion memoizes the key hash on each source row"
+        );
+        let before = fast.hash_computes();
+        let out = match fast
+            .process_columnar(&batch, None, &mut Vec::new())
+            .unwrap()
+        {
+            ColumnarVerdict::Consumed(b) => b,
+            v => panic!("probe batch must be consumed, got {v:?}"),
+        };
+        assert_eq!(
+            fast.hash_computes(),
+            before,
+            "columnar probes compute no hashes"
+        );
+        let got = out.to_tuples();
+        assert_eq!(got.len(), expect.len());
+        for (g, w) in got.iter().zip(&expect) {
+            assert_eq!(g.values(), w.values());
+            assert_eq!(g.timestamp(), w.timestamp());
+        }
+
+        // Columnar builds: the same ingress hashing makes every SteM
+        // insert a memo hit — one hash per tuple across the whole
+        // row → columnar → build trip.
+        let builds: Vec<Tuple> = (1..=5i64).map(|ts| t(&s, ts, "cb", 60 + ts)).collect();
+        let bcol = fast.key_column_hint(&s).unwrap();
+        let bbatch = tcq_common::ColumnBatch::from_tuples(s.clone(), &builds, Some(bcol));
+        let before = fast.hash_computes();
+        match fast
+            .process_columnar(&bbatch, Some(&builds), &mut Vec::new())
+            .unwrap()
+        {
+            ColumnarVerdict::KeepAll => {}
+            v => panic!("build batch passes through, got {v:?}"),
+        }
+        assert_eq!(
+            fast.hash_computes(),
+            before,
+            "ingress-hashed builds insert without rehashing"
+        );
+        // Without the row mirror, builds cannot store tuples: fall back.
+        let lone = vec![t(&s, 9, "nb", 70)];
+        let lb = tcq_common::ColumnBatch::from_tuples(s.clone(), &lone, Some(bcol));
+        assert!(matches!(
+            fast.process_columnar(&lb, None, &mut Vec::new()).unwrap(),
+            ColumnarVerdict::Fallback
+        ));
     }
 
     #[test]

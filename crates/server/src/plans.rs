@@ -15,10 +15,10 @@ use std::sync::Arc;
 use tcq_common::sync::Mutex;
 
 use tcq_common::{
-    CkptReader, CkptWriter, DataType, Expr, Field, Predicate, Result, Schema, SchemaRef, Timestamp,
-    Tuple, Value,
+    CkptReader, CkptWriter, ColumnBatch, DataType, Expr, Field, Predicate, Result, Schema,
+    SchemaRef, Timestamp, Tuple, Value,
 };
-use tcq_eddy::Eddy;
+use tcq_eddy::{Eddy, Emitted};
 use tcq_egress::EgressRouter;
 use tcq_executor::{DispatchUnit, ModuleStatus};
 use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage};
@@ -250,6 +250,19 @@ impl LazyProject {
         }
         self.bound[&key].apply(tuple)
     }
+
+    /// Apply to a whole columnar batch. `Ok(None)` means the bound
+    /// projection needs per-row expression evaluation — callers fall back
+    /// to [`LazyProject::apply`] over materialized rows.
+    pub fn apply_columnar(&mut self, batch: &ColumnBatch) -> Result<Option<ColumnBatch>> {
+        let key = Arc::as_ptr(batch.schema()) as usize;
+        if !self.bound.contains_key(&key) {
+            let op = ProjectOp::new(&self.items, batch.schema())?
+                .with_compiled_kernels(self.compiled_kernels);
+            self.bound.insert(key, op);
+        }
+        Ok(self.bound[&key].apply_columnar(batch))
+    }
 }
 
 /// One physical input of a join DU: a stream consumed under 1+ aliases.
@@ -277,6 +290,11 @@ pub struct JoinCqDu {
     egress: EgressRouter,
     qid: QueryId,
     emitted_buf: Vec<Tuple>,
+    emitted_cols: Vec<Emitted>,
+    /// Route single-alias batches through the columnar hot path
+    /// (`ServerConfig::columnar`): one row→column conversion per ingress
+    /// batch, vectorized module visits, columnar projection and egress.
+    columnar: bool,
     io_batch: usize,
     msg_buf: Vec<FjordMessage>,
     /// Tuples before this logical time precede every window — skipped.
@@ -310,6 +328,8 @@ impl JoinCqDu {
             egress,
             qid,
             emitted_buf: Vec::new(),
+            emitted_cols: Vec::new(),
+            columnar: false,
             io_batch: DEFAULT_IO_BATCH,
             msg_buf: Vec::new(),
             floor,
@@ -324,6 +344,15 @@ impl JoinCqDu {
     /// amortized over the batch as well.
     pub fn with_io_batch(mut self, io_batch: usize) -> Self {
         self.io_batch = io_batch.max(1);
+        self
+    }
+
+    /// Enable the columnar hot path (default off): single-alias batches
+    /// enter the eddy through [`tcq_eddy::Eddy::process_batch_columnar`],
+    /// and columnar eddy outputs stay columnar through projection and
+    /// egress. Self-join inputs keep the per-tuple row path either way.
+    pub fn with_columnar(mut self, enabled: bool) -> Self {
+        self.columnar = enabled;
         self
     }
 
@@ -410,13 +439,56 @@ impl DispatchUnit for JoinCqDu {
                         .iter()
                         .map(|t| t.with_schema(alias.clone()))
                         .collect::<Result<_>>()?;
-                    self.emitted_buf.clear();
-                    eddy.process_batch(qualified, &mut self.emitted_buf)?;
-                    let mut outs = Vec::with_capacity(self.emitted_buf.len());
-                    for e in self.emitted_buf.drain(..) {
-                        outs.push(self.project.apply(&e)?);
+                    if self.columnar {
+                        // Columnar hot path: one row→column conversion at
+                        // the eddy's ingress edge, then each emitted run
+                        // stays in whichever representation it left the
+                        // eddy in — columnar runs take the whole-column
+                        // projection and batched egress, row runs the
+                        // classic per-tuple pair. One egress session per
+                        // ingress batch keeps the delivery ledger
+                        // byte-identical to the row path's deliver_batch.
+                        self.emitted_cols.clear();
+                        eddy.process_batch_columnar(qualified, &mut self.emitted_cols)?;
+                        let mut session = self.egress.session();
+                        let mut row_buf: Vec<Tuple> = Vec::new();
+                        for e in self.emitted_cols.drain(..) {
+                            match e {
+                                Emitted::Rows(rows) => {
+                                    row_buf.clear();
+                                    for t in &rows {
+                                        row_buf.push(self.project.apply(t)?);
+                                    }
+                                    session.deliver_rows([self.qid], &row_buf);
+                                }
+                                Emitted::Columns(b) => {
+                                    match self.project.apply_columnar(&b)? {
+                                        Some(out) => {
+                                            session.deliver_columns([self.qid], &out);
+                                        }
+                                        None => {
+                                            // Expression projection: no
+                                            // columnar impl; evaluate per
+                                            // materialized row.
+                                            row_buf.clear();
+                                            for t in b.to_tuples() {
+                                                row_buf.push(self.project.apply(&t)?);
+                                            }
+                                            session.deliver_rows([self.qid], &row_buf);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        self.emitted_buf.clear();
+                        eddy.process_batch(qualified, &mut self.emitted_buf)?;
+                        let mut outs = Vec::with_capacity(self.emitted_buf.len());
+                        for e in self.emitted_buf.drain(..) {
+                            outs.push(self.project.apply(&e)?);
+                        }
+                        self.egress.deliver_batch([self.qid], &outs);
                     }
-                    self.egress.deliver_batch([self.qid], &outs);
                 } else {
                     // Self-join: each tuple enters the eddy once per alias,
                     // interleaved per tuple exactly as the per-tuple path

@@ -18,7 +18,7 @@ use tcq_eddy::{
     Eddy, EddyConfig, FixedPolicy, GreedyPolicy, LotteryPolicy, ModuleSpec, RandomPolicy,
     RoutingPolicy,
 };
-use tcq_egress::{ClientId, Delivery, EgressPolicy, EgressRouter, EgressStats};
+use tcq_egress::{ClientId, ColumnDelivery, Delivery, EgressPolicy, EgressRouter, EgressStats};
 use tcq_executor::{DuId, Executor, ExecutorConfig, StallDiagnosis, WatchdogConfig};
 use tcq_fjords::{fjord, fjord_with_probe, Consumer, Producer, QueueKind};
 use tcq_ingress::{
@@ -105,6 +105,15 @@ pub struct ServerConfig {
     /// per-site hashing of earlier engines — results are byte-identical
     /// either way; only the work per tuple changes.
     pub compiled_kernels: bool,
+    /// Columnar hot path (default off). Single-alias dedicated joins
+    /// convert each ingress batch to a [`tcq_common::ColumnBatch`] once
+    /// and run vectorized select/project/probe kernels over contiguous
+    /// column buffers; emitted runs flow to egress without per-tuple
+    /// re-materialization when only column clients subscribe. Results,
+    /// egress ledger, and chaos replays are byte-identical to the row
+    /// path — only the per-tuple work changes. Self-join and
+    /// partitioned (`partitions > 1`) plans keep the row path.
+    pub columnar: bool,
     /// Durable checkpoint store path; `None` disables checkpointing
     /// ([`TelegraphCQ::checkpoint`] errors, [`TelegraphCQ::restore`]
     /// refuses to boot). Checkpoints are incremental: each
@@ -163,6 +172,7 @@ impl Default for ServerConfig {
             egress_policy: EgressPolicy::default(),
             partitions: 1,
             compiled_kernels: true,
+            columnar: false,
             checkpoint_path: None,
             liveness: None,
         }
@@ -641,6 +651,21 @@ impl TelegraphCQ {
         Ok((id, rx))
     }
 
+    /// Connect a column client; results stream into the returned receiver
+    /// as whole [`tcq_common::ColumnBatch`] runs instead of per-row
+    /// messages. Pair with [`ServerConfig::columnar`] for an egress path
+    /// with zero per-row allocations; rows produced on the row path are
+    /// still delivered (as single-row batches), so subscriptions behave
+    /// like push clients either way.
+    pub fn connect_column_client(
+        &self,
+        capacity: usize,
+    ) -> Result<(ClientId, Receiver<ColumnDelivery>)> {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let rx = self.egress.register_column_client(id, capacity)?;
+        Ok((id, rx))
+    }
+
     /// Connect a pull client with a result buffer.
     pub fn connect_pull_client(&self, capacity: usize) -> Result<ClientId> {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
@@ -860,7 +885,8 @@ impl TelegraphCQ {
             floor,
             deadline,
         )
-        .with_io_batch(self.config.io_batch);
+        .with_io_batch(self.config.io_batch)
+        .with_columnar(self.config.columnar);
         let handle = du.eddy_handle();
         if self.restoring {
             self.import_join_state(qid, &handle)?;

@@ -29,7 +29,7 @@ echo "== exp_throughput --smoke (perf tripwire: batched must beat per-tuple) =="
 echo "== exp_scaling --smoke (perf tripwire: partitioned exchange vs sequential) =="
 ./target/release/exp_scaling --smoke
 
-echo "== exp_kernels --smoke (perf tripwire: compiled kernels vs interpreter, alloc budget) =="
+echo "== exp_kernels --smoke (perf tripwire: compiled + columnar kernels vs interpreter; columnar >= 1.3x row, <= 3.0 allocs/tuple) =="
 ./target/release/exp_kernels --smoke
 
 echo "== exp_recovery --smoke (robustness tripwire: kill -> restore loses nothing) =="
