@@ -8,9 +8,24 @@
 use std::fmt;
 
 /// A growable bitset over `usize` indexes.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct BitSet {
     words: Vec<u64>,
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        BitSet {
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses `self`'s existing allocation: repeated `clone_from` into a
+    /// scratch set is allocation-free once the scratch has grown to size.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clear();
+        self.words.extend_from_slice(&source.words);
+    }
 }
 
 impl PartialEq for BitSet {
@@ -109,6 +124,26 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a &= !b;
         }
+    }
+
+    /// `self |= a & !b` in one word-parallel pass, with no temporary set.
+    ///
+    /// This is the shape of every "matchers minus exceptions" probe (e.g.
+    /// `!=` factors minus the excepted constant, or a prefix bitmap minus
+    /// tombstoned factors): fusing it avoids the `clone` + `difference_with`
+    /// + `union_with` triple and its per-probe allocation.
+    pub fn union_andnot(&mut self, a: &BitSet, b: &BitSet) {
+        if a.words.len() > self.words.len() {
+            self.words.resize(a.words.len(), 0);
+        }
+        for (i, (dst, &aw)) in self.words.iter_mut().zip(a.words.iter()).enumerate() {
+            *dst |= aw & !b.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Approximate heap footprint in bytes (capacity, not just length).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
     }
 
     /// True if every bit of `self` is also in `other`.
@@ -214,6 +249,37 @@ mod tests {
     fn iteration_order_is_increasing() {
         let s: BitSet = [200, 5, 63, 64, 0].into_iter().collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn union_andnot_matches_composed_ops() {
+        let a: BitSet = [1, 2, 3, 64, 130].into_iter().collect();
+        let b: BitSet = [2, 64, 999].into_iter().collect();
+        for seed in [vec![], vec![0usize, 3, 200]] {
+            let base: BitSet = seed.iter().copied().collect();
+            let mut fused = base.clone();
+            fused.union_andnot(&a, &b);
+            let mut composed = a.clone();
+            composed.difference_with(&b);
+            composed.union_with(&base);
+            assert_eq!(fused, composed);
+        }
+        // Exceptions set longer than the matcher set must not resize self.
+        let mut out = BitSet::new();
+        out.union_andnot(&BitSet::new(), &b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn clone_from_reuses_capacity_and_copies_content() {
+        let big: BitSet = [4000].into_iter().collect();
+        let small: BitSet = [3].into_iter().collect();
+        let mut scratch = BitSet::new();
+        scratch.clone_from(&big);
+        let cap = scratch.approx_bytes();
+        scratch.clone_from(&small);
+        assert_eq!(scratch, small);
+        assert_eq!(scratch.approx_bytes(), cap, "capacity must be retained");
     }
 
     #[test]

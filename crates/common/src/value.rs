@@ -52,6 +52,17 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate memory footprint in bytes: the inline enum plus any
+    /// string heap payload. Shared `Arc<str>` payloads are counted once per
+    /// holder (an upper bound under interning).
+    pub fn approx_bytes(&self) -> usize {
+        let heap = match self {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        };
+        std::mem::size_of::<Value>() + heap
+    }
+
     /// Interpret as i64, coercing floats with truncation.
     pub fn as_int(&self) -> Result<i64> {
         match self {

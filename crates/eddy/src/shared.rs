@@ -24,7 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use tcq_common::{BitSet, Expr, Result, Schema, SchemaRef, TcqError, Tuple, Value};
-use tcq_stems::QueryStem;
+use tcq_stems::{MatchScratch, QueryStem};
 
 /// Query identifier within a shared eddy.
 pub type QueryId = usize;
@@ -109,6 +109,25 @@ impl SharedStem {
     fn len(&self) -> usize {
         self.live
     }
+
+    /// Approximate heap footprint: stored tuples, lineage bitmaps, and the
+    /// hash/arrival bookkeeping.
+    fn approx_bytes(&self) -> usize {
+        let mut b = self.slots.capacity() * std::mem::size_of::<Option<(Tuple, BitSet)>>()
+            + self.arrival.capacity() * std::mem::size_of::<(i64, usize)>()
+            + self.buckets.capacity() * std::mem::size_of::<(Value, Vec<usize>)>();
+        for (k, slots) in &self.buckets {
+            b += k.approx_bytes() + slots.capacity() * std::mem::size_of::<usize>();
+        }
+        for entry in self.slots.iter().flatten() {
+            let (t, lineage) = entry;
+            b += lineage.approx_bytes();
+            b += (0..t.arity())
+                .map(|i| t.value(i).approx_bytes())
+                .sum::<usize>();
+        }
+        b
+    }
 }
 
 struct SideState {
@@ -137,6 +156,8 @@ pub struct SharedEddy {
     all_queries: BitSet,
     /// Queries answered by the left stream alone.
     single_queries: BitSet,
+    /// Reused per-push probe state for both sides' query SteMs.
+    scratch: MatchScratch,
     stats: SharedEddyStats,
 }
 
@@ -151,6 +172,7 @@ impl SharedEddy {
             join: None,
             all_queries: BitSet::new(),
             single_queries: BitSet::new(),
+            scratch: MatchScratch::new(),
             stats: SharedEddyStats::default(),
         }
     }
@@ -187,6 +209,7 @@ impl SharedEddy {
             }),
             all_queries: BitSet::new(),
             single_queries: BitSet::new(),
+            scratch: MatchScratch::new(),
             stats: SharedEddyStats::default(),
         })
     }
@@ -258,21 +281,20 @@ impl SharedEddy {
     /// each output tuple annotated with the queries it answers.
     pub fn push_left(&mut self, tuple: Tuple) -> Result<Vec<(Tuple, BitSet)>> {
         self.stats.tuples_in += 1;
-        let alive = self.left.qstem.matching(&tuple)?;
+        self.left.qstem.matching_into(&tuple, &mut self.scratch)?;
+        let alive = self.scratch.alive();
         let mut out = Vec::new();
 
-        // Single-stream deliveries.
-        let mut singles = alive.clone();
-        singles.intersect_with(&self.single_queries);
-        if !singles.is_empty() {
+        // Single-stream deliveries (clone lineage only on a hit).
+        if alive.intersects(&self.single_queries) {
+            let mut singles = alive.clone();
+            singles.intersect_with(&self.single_queries);
             self.stats.outputs += 1;
             out.push((tuple.clone(), singles));
         }
 
         // Shared join work.
         if let Some(join) = self.join.as_mut() {
-            let mut join_alive = alive;
-            join_alive.intersect_with(&join.join_queries);
             let seq = tuple.timestamp().seq();
             join.latest_seq = join.latest_seq.max(seq);
             if let Some(w) = join.window_width {
@@ -280,7 +302,9 @@ impl SharedEddy {
                 join.left_store.evict_before_seq(cutoff);
                 join.right_store.evict_before_seq(cutoff);
             }
-            if !join_alive.is_empty() {
+            if alive.intersects(&join.join_queries) {
+                let mut join_alive = alive.clone();
+                join_alive.intersect_with(&join.join_queries);
                 // Build, then probe (CACQ routes lineage-dead tuples nowhere).
                 join.left_store.insert(tuple.clone(), join_alive.clone());
                 self.stats.builds += 1;
@@ -312,9 +336,8 @@ impl SharedEddy {
             .ok_or_else(|| TcqError::Executor("eddy has no right stream".into()))?;
         let join = self.join.as_mut().expect("right stream implies join");
         self.stats.tuples_in += 1;
-        let alive = right.qstem.matching(&tuple)?;
-        let mut join_alive = alive;
-        join_alive.intersect_with(&join.join_queries);
+        right.qstem.matching_into(&tuple, &mut self.scratch)?;
+        let alive = self.scratch.alive();
         let mut out = Vec::new();
         let seq = tuple.timestamp().seq();
         join.latest_seq = join.latest_seq.max(seq);
@@ -323,7 +346,9 @@ impl SharedEddy {
             join.left_store.evict_before_seq(cutoff);
             join.right_store.evict_before_seq(cutoff);
         }
-        if !join_alive.is_empty() {
+        if alive.intersects(&join.join_queries) {
+            let mut join_alive = alive.clone();
+            join_alive.intersect_with(&join.join_queries);
             join.right_store.insert(tuple.clone(), join_alive.clone());
             self.stats.builds += 1;
             self.stats.probes += 1;
@@ -356,6 +381,24 @@ impl SharedEddy {
         self.join
             .as_ref()
             .map_or(0, |j| j.left_store.len() + j.right_store.len())
+    }
+
+    /// Approximate heap footprint in bytes: both sides' query SteMs, the
+    /// probe scratch, and the shared join SteMs (stored tuples + lineage).
+    pub fn approx_bytes(&self) -> usize {
+        let mut b = self.left.qstem.approx_bytes()
+            + self.scratch.approx_bytes()
+            + self.all_queries.approx_bytes()
+            + self.single_queries.approx_bytes();
+        if let Some(right) = &self.right {
+            b += right.qstem.approx_bytes();
+        }
+        if let Some(join) = &self.join {
+            b += join.left_store.approx_bytes()
+                + join.right_store.approx_bytes()
+                + join.join_queries.approx_bytes();
+        }
+        b
     }
 }
 

@@ -243,6 +243,19 @@ impl GroupedFilterOp {
     pub fn eval(&self, value: &Value, out: &mut BitSet) {
         self.filter.eval(value, out);
     }
+
+    /// Approximate heap footprint of the underlying grouped filter plus the
+    /// reusable per-tuple/per-batch match scratch, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.filter.approx_bytes()
+            + self.last_matches.approx_bytes()
+            + self
+                .batch_matches
+                .iter()
+                .map(|b| b.approx_bytes())
+                .sum::<usize>()
+            + self.batch_matches.capacity() * std::mem::size_of::<BitSet>()
+    }
 }
 
 impl crate::module::EddyModule for GroupedFilterOp {

@@ -53,7 +53,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use tcq_common::{BoundExpr, Expr, Result, SchemaRef, TcqError, Tuple};
-use tcq_stems::{QueryId, QueryStem};
+use tcq_stems::{MatchScratch, QueryId, QueryStem};
 
 /// Per-query materialized results, ordered by logical time.
 #[derive(Default)]
@@ -126,6 +126,8 @@ pub struct PSoupStats {
 pub struct PSoup {
     schema: SchemaRef,
     query_stem: QueryStem,
+    /// Reused per-push probe state: the hot path allocates nothing.
+    scratch: MatchScratch,
     /// The Data SteM: retained history, arrival order.
     data: VecDeque<Tuple>,
     /// History retention in logical time units (must cover the largest
@@ -142,6 +144,7 @@ impl PSoup {
         PSoup {
             schema: schema.clone(),
             query_stem: QueryStem::new(schema),
+            scratch: MatchScratch::new(),
             data: VecDeque::new(),
             history_width: history_width.max(1),
             queries: HashMap::new(),
@@ -210,8 +213,8 @@ impl PSoup {
         let seq = tuple.timestamp().seq();
         self.latest_seq = self.latest_seq.max(seq);
         self.stats.data_in += 1;
-        let matching = self.query_stem.matching(&tuple)?;
-        for qid in matching.iter() {
+        self.query_stem.matching_into(&tuple, &mut self.scratch)?;
+        for &qid in self.scratch.matches() {
             if let Some(rq) = self.queries.get_mut(&qid) {
                 rq.results.insert(tuple.clone());
                 self.stats.materialized += 1;
@@ -289,6 +292,12 @@ impl PSoup {
     /// Latest stream time seen.
     pub fn now(&self) -> i64 {
         self.latest_seq
+    }
+
+    /// Approximate heap footprint of the Query SteM and probe scratch in
+    /// bytes (excludes the retained data history and materialized results).
+    pub fn index_approx_bytes(&self) -> usize {
+        self.query_stem.approx_bytes() + self.scratch.approx_bytes()
     }
 }
 

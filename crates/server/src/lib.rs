@@ -37,5 +37,6 @@ pub mod shared_join;
 
 pub use dispatcher::OverloadPolicy;
 pub use server::{
-    CheckpointReport, LivenessConfig, PolicyKind, QueryInfo, ServerConfig, TelegraphCQ,
+    CheckpointReport, LivenessConfig, PolicyKind, QueryInfo, ServerConfig, SharedMemoryStat,
+    TelegraphCQ,
 };

@@ -25,7 +25,7 @@ use tcq_fjords::{BatchDequeueResult, Consumer, FjordMessage};
 
 use crate::dispatcher::DEFAULT_IO_BATCH;
 use tcq_operators::{AggSpec, GroupByAggregator, ProjectOp, WindowAggregator, WindowMode};
-use tcq_stems::QueryStem;
+use tcq_stems::{MatchScratch, QueryStem};
 use tcq_windows::{WindowAssignment, WindowSeq, WindowSeqPos};
 
 /// Query identifier (server-wide).
@@ -35,6 +35,9 @@ pub type QueryId = usize;
 
 struct FilterInner {
     qstem: QueryStem,
+    /// Reused probe state; lives under the same lock as the stem so the
+    /// per-tuple matching pass allocates nothing.
+    scratch: MatchScratch,
     projections: HashMap<QueryId, ProjectOp>,
     /// Per-query lower bound on logical time: the earliest left edge of the
     /// query's window sequence. Tuples older than it are outside every
@@ -63,6 +66,7 @@ impl FilterCqShared {
         FilterCqShared {
             inner: Arc::new(Mutex::new(FilterInner {
                 qstem: QueryStem::with_compiled_kernels(schema, compiled),
+                scratch: MatchScratch::new(),
                 projections: HashMap::new(),
                 min_seq: HashMap::new(),
             })),
@@ -99,6 +103,13 @@ impl FilterCqShared {
     /// Standing query count.
     pub fn query_count(&self) -> usize {
         self.inner.lock().qstem.len()
+    }
+
+    /// Approximate heap footprint of the shared query index and its probe
+    /// scratch in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.qstem.approx_bytes() + inner.scratch.approx_bytes()
     }
 }
 
@@ -187,15 +198,21 @@ impl DispatchUnit for FilterCqDu {
                 did_work = true;
                 // One shared-state lock per batch; the CACQ matching pass
                 // itself still runs per tuple, in order.
-                let inner = self.shared.inner.lock();
+                let mut inner = self.shared.inner.lock();
+                let FilterInner {
+                    qstem,
+                    scratch,
+                    projections,
+                    min_seq,
+                } = &mut *inner;
                 for t in &batch {
                     let seq = t.timestamp().seq();
-                    let matching = inner.qstem.matching(t)?;
-                    for qid in matching.iter() {
-                        if inner.min_seq.get(&qid).is_some_and(|&m| seq < m) {
+                    qstem.matching_into(t, scratch)?;
+                    for &qid in scratch.matches() {
+                        if min_seq.get(&qid).is_some_and(|&m| seq < m) {
                             continue;
                         }
-                        if let Some(project) = inner.projections.get(&qid) {
+                        if let Some(project) = projections.get(&qid) {
                             let out = project.apply(t)?;
                             self.egress.deliver([qid], &out);
                         }

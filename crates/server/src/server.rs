@@ -234,6 +234,18 @@ pub struct CheckpointReport {
     pub bytes: u64,
 }
 
+/// Memory accounting for one shared standing-query structure
+/// ([`TelegraphCQ::shared_memory_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedMemoryStat {
+    /// `filter:<stream>` or `join:<left>:<right>`.
+    pub label: String,
+    /// Standing queries registered in the structure.
+    pub queries: usize,
+    /// Approximate heap footprint of its index state in bytes.
+    pub approx_bytes: usize,
+}
+
 /// The running TelegraphCQ instance (paper Figure 5, one process).
 pub struct TelegraphCQ {
     config: ServerConfig,
@@ -613,6 +625,30 @@ impl TelegraphCQ {
     /// live path kept flowing and the loss was counted).
     pub fn archive_error_count(&self, stream: &str) -> Result<i64> {
         Ok(self.stream(stream)?.archive_errors.load(Ordering::Relaxed))
+    }
+
+    /// Approximate heap footprint of every shared standing-query structure:
+    /// one entry per stream (its shared filter's query index + probe
+    /// scratch) and one per shared join (query SteMs + stored join state).
+    /// Sorted by label so output is deterministic.
+    pub fn shared_memory_stats(&self) -> Vec<SharedMemoryStat> {
+        let mut out = Vec::new();
+        for (name, st) in self.streams.lock().iter() {
+            out.push(SharedMemoryStat {
+                label: format!("filter:{name}"),
+                queries: st.filter_shared.query_count(),
+                approx_bytes: st.filter_shared.approx_bytes(),
+            });
+        }
+        for (key, entry) in self.shared_joins.lock().iter() {
+            out.push(SharedMemoryStat {
+                label: format!("join:{}:{}", key.left, key.right),
+                queries: entry.shared.query_count(),
+                approx_bytes: entry.shared.approx_bytes(),
+            });
+        }
+        out.sort_by(|a, b| a.label.cmp(&b.label));
+        out
     }
 
     /// A stream archive's counters (`None` when archiving is disabled).

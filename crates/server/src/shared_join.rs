@@ -111,6 +111,12 @@ impl SharedJoinShared {
     pub fn stats(&self) -> tcq_eddy::SharedEddyStats {
         self.inner.lock().eddy.stats()
     }
+
+    /// Approximate heap footprint of the shared eddy (query SteMs, probe
+    /// scratch, stored join state) in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().eddy.approx_bytes()
+    }
 }
 
 /// The DU hosting one shared join: two subscription queues in, per-query

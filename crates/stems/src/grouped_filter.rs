@@ -12,10 +12,20 @@
 //!
 //! * `=` factors live in a hash map constant → factor set;
 //! * `!=` factors live in a hash map of *exceptions* (all `!=` factors match
-//!   unless the constant equals the probe value);
-//! * `>` / `>=` factors live in a constant-sorted vector probed by binary
-//!   search (factors with constants below the value match);
-//! * `<` / `<=` factors likewise, mirrored.
+//!   unless the constant equals the probe value), unioned word-parallel via
+//!   [`BitSet::union_andnot`] — no per-probe temporary;
+//! * `>` / `>=` and `<` / `<=` factors live in two [`RangeIndex`]es: a
+//!   constant-sorted vector cut into blocks of [`BLOCK`] entries with a
+//!   precomputed prefix (resp. suffix) factor bitmap per block. A probe is
+//!   one binary search, **one** bitmap union for all fully-covered blocks,
+//!   and a walk of at most one partial block — instead of one bitset insert
+//!   per matching factor.
+//!
+//! Registration churn is epoch-based: inserts land in a small sorted
+//! `pending` side-buffer and removals tombstone into a `dead` bitmap; probes
+//! consult both, and the sorted run plus its block bitmaps are rebuilt only
+//! when pending or dead counts cross a threshold (amortized O(1) per op, no
+//! O(n) `Vec::insert`/`retain` on the hot registration path).
 
 use std::collections::HashMap;
 
@@ -26,6 +36,16 @@ use tcq_common::{BitSet, CmpOp, Result, TcqError, Value};
 /// id space spans all of a query's factors across filters.
 pub type FactorId = usize;
 
+/// Entries per block of the range indexes. A probe walks at most one
+/// partial block per index, so this bounds per-probe work; rebuild cost per
+/// epoch is O(entries + entries/BLOCK bitmap unions).
+const BLOCK: usize = 256;
+
+/// Pending (not yet merged) inserts that trigger an epoch rebuild. Probes
+/// scan the pending buffer linearly, so this also bounds mid-epoch probe
+/// overhead.
+const REBUILD_PENDING: usize = 256;
+
 /// An entry in one of the two sorted range tables.
 #[derive(Debug, Clone)]
 struct RangeEntry {
@@ -35,21 +55,285 @@ struct RangeEntry {
     factor: FactorId,
 }
 
+/// Which side of the constant a probe value must fall on to match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RangeKind {
+    /// `value > constant` family: matches constants *below* the probe, so
+    /// block bitmaps are prefix unions.
+    Lower,
+    /// `value < constant` family: matches constants *above* the probe, so
+    /// block bitmaps are suffix unions.
+    Upper,
+}
+
+/// Counts of mid-epoch state, exposed for tests and the scale bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Range factors waiting in the sorted side-buffers.
+    pub pending: usize,
+    /// Removed range factors still tombstoned in the sorted runs.
+    pub tombstones: usize,
+    /// Range factors in the compacted sorted runs (live + tombstoned).
+    pub entries: usize,
+}
+
+/// One direction of range factors: a compacted constant-sorted run with
+/// per-block prefix/suffix bitmaps, plus the epoch side-state.
+#[derive(Debug)]
+struct RangeIndex {
+    kind: RangeKind,
+    /// Sorted ascending by constant; may contain tombstoned factors.
+    entries: Vec<RangeEntry>,
+    /// `Lower`: `block_bits[i]` = union of factors in `entries[..(i+1)*BLOCK]`
+    /// (complete blocks only). `Upper`: `block_bits[i]` = union of factors in
+    /// `entries[i*BLOCK..]` (last one may cover a partial tail).
+    block_bits: Vec<BitSet>,
+    /// Sorted ascending by constant; merged into `entries` at rebuild.
+    pending: Vec<RangeEntry>,
+    /// Tombstoned factors still present in `entries`; masked out of every
+    /// probe because factor ids are recycled by the caller.
+    dead: BitSet,
+    dead_count: usize,
+}
+
+impl RangeIndex {
+    fn new(kind: RangeKind) -> Self {
+        RangeIndex {
+            kind,
+            entries: Vec::new(),
+            block_bits: Vec::new(),
+            pending: Vec::new(),
+            dead: BitSet::new(),
+            dead_count: 0,
+        }
+    }
+
+    fn insert(&mut self, e: RangeEntry) {
+        let pos = self
+            .pending
+            .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
+        self.pending.insert(pos, e);
+        if self.pending.len() >= REBUILD_PENDING {
+            self.rebuild();
+        }
+    }
+
+    /// Remove the factor registered with `constant`. Pending entries are
+    /// dropped eagerly (the buffer is small); compacted entries are
+    /// tombstoned and swept out by the next rebuild.
+    fn remove(&mut self, id: FactorId, constant: &Value) {
+        let run = self
+            .pending
+            .partition_point(|x| x.constant.total_cmp(constant).is_lt());
+        for i in run..self.pending.len() {
+            if self.pending[i].constant.total_cmp(constant).is_ne() {
+                break;
+            }
+            if self.pending[i].factor == id {
+                self.pending.remove(i);
+                return;
+            }
+        }
+        self.dead.insert(id);
+        self.dead_count += 1;
+        // Compact when a quarter of the run is tombstones (slack so tiny
+        // runs don't thrash).
+        if self.dead_count * 4 > self.entries.len() + 64 {
+            self.rebuild();
+        }
+    }
+
+    /// Merge pending inserts, drop tombstones, recompute block bitmaps.
+    fn rebuild(&mut self) {
+        let mut merged = Vec::with_capacity(self.entries.len() + self.pending.len());
+        let mut old = std::mem::take(&mut self.entries).into_iter().peekable();
+        let mut new = std::mem::take(&mut self.pending).into_iter().peekable();
+        loop {
+            let take_old = match (old.peek(), new.peek()) {
+                (Some(a), Some(b)) => a.constant.total_cmp(&b.constant).is_le(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let e = if take_old {
+                let e = old.next().unwrap();
+                if self.dead.contains(e.factor) {
+                    continue;
+                }
+                e
+            } else {
+                new.next().unwrap()
+            };
+            merged.push(e);
+        }
+        self.entries = merged;
+        self.dead.clear();
+        self.dead_count = 0;
+        self.block_bits.clear();
+        match self.kind {
+            RangeKind::Lower => {
+                // Prefix unions over complete blocks.
+                let mut acc = BitSet::new();
+                for chunk in self.entries.chunks_exact(BLOCK) {
+                    for e in chunk {
+                        acc.insert(e.factor);
+                    }
+                    self.block_bits.push(acc.clone());
+                }
+            }
+            RangeKind::Upper => {
+                // Suffix unions, built back-to-front; the first block may
+                // cover a partial tail.
+                let nblocks = self.entries.len().div_ceil(BLOCK);
+                let mut acc = BitSet::new();
+                let mut bits = vec![BitSet::new(); nblocks];
+                for i in (0..nblocks).rev() {
+                    let lo = i * BLOCK;
+                    let hi = ((i + 1) * BLOCK).min(self.entries.len());
+                    for e in &self.entries[lo..hi] {
+                        acc.insert(e.factor);
+                    }
+                    bits[i] = acc.clone();
+                }
+                self.block_bits = bits;
+            }
+        }
+    }
+
+    /// Union into `out` every live factor the probe value satisfies.
+    fn probe(&self, value: &Value, out: &mut BitSet) {
+        match self.kind {
+            RangeKind::Lower => {
+                // Matches constants < value, plus inclusive at ==.
+                let idx = self
+                    .entries
+                    .partition_point(|e| e.constant.total_cmp(value).is_lt());
+                let b = idx / BLOCK;
+                if b > 0 {
+                    out.union_andnot(&self.block_bits[b - 1], &self.dead);
+                }
+                for e in &self.entries[b * BLOCK..idx] {
+                    if !self.dead.contains(e.factor) {
+                        out.insert(e.factor);
+                    }
+                }
+                for e in &self.entries[idx..] {
+                    if e.constant.total_cmp(value).is_gt() {
+                        break;
+                    }
+                    if !e.strict && !self.dead.contains(e.factor) {
+                        out.insert(e.factor);
+                    }
+                }
+                let p = self
+                    .pending
+                    .partition_point(|e| e.constant.total_cmp(value).is_lt());
+                for e in &self.pending[..p] {
+                    out.insert(e.factor);
+                }
+                for e in &self.pending[p..] {
+                    if e.constant.total_cmp(value).is_gt() {
+                        break;
+                    }
+                    if !e.strict {
+                        out.insert(e.factor);
+                    }
+                }
+            }
+            RangeKind::Upper => {
+                // Matches constants > value, plus inclusive at ==.
+                let idx = self
+                    .entries
+                    .partition_point(|e| e.constant.total_cmp(value).is_le());
+                let b = idx.div_ceil(BLOCK);
+                if b < self.block_bits.len() {
+                    out.union_andnot(&self.block_bits[b], &self.dead);
+                }
+                let partial_hi = (b * BLOCK).min(self.entries.len());
+                for e in &self.entries[idx..partial_hi] {
+                    if !self.dead.contains(e.factor) {
+                        out.insert(e.factor);
+                    }
+                }
+                // Walk the equal run backwards from `idx`.
+                for e in self.entries[..idx].iter().rev() {
+                    if e.constant.total_cmp(value).is_lt() {
+                        break;
+                    }
+                    if !e.strict && !self.dead.contains(e.factor) {
+                        out.insert(e.factor);
+                    }
+                }
+                let p = self
+                    .pending
+                    .partition_point(|e| e.constant.total_cmp(value).is_le());
+                for e in &self.pending[p..] {
+                    out.insert(e.factor);
+                }
+                for e in self.pending[..p].iter().rev() {
+                    if e.constant.total_cmp(value).is_lt() {
+                        break;
+                    }
+                    if !e.strict {
+                        out.insert(e.factor);
+                    }
+                }
+            }
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<RangeEntry>();
+        let heap: usize = self
+            .entries
+            .iter()
+            .chain(self.pending.iter())
+            .map(|e| match &e.constant {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        self.entries.capacity() * entry
+            + self.pending.capacity() * entry
+            + self
+                .block_bits
+                .iter()
+                .map(|b| b.approx_bytes())
+                .sum::<usize>()
+            + self.dead.approx_bytes()
+            + heap
+    }
+}
+
 /// A grouped filter over a single attribute.
-#[derive(Default)]
+#[derive(Debug)]
 pub struct GroupedFilter {
     eq: HashMap<Value, BitSet>,
     ne: HashMap<Value, BitSet>,
     /// All `!=` factors (they match unless excepted).
     ne_all: BitSet,
-    /// Sorted ascending by constant: `value > constant` (and `>=`) factors.
-    gt: Vec<RangeEntry>,
-    /// Sorted ascending by constant: `value < constant` (and `<=`) factors.
-    lt: Vec<RangeEntry>,
+    /// `value > constant` (and `>=`) factors.
+    gt: RangeIndex,
+    /// `value < constant` (and `<=`) factors.
+    lt: RangeIndex,
     /// Every factor registered in this filter.
     owners: BitSet,
     /// Per-factor record for removal: (op, constant).
     registered: HashMap<FactorId, (CmpOp, Value)>,
+}
+
+impl Default for GroupedFilter {
+    fn default() -> Self {
+        GroupedFilter {
+            eq: HashMap::new(),
+            ne: HashMap::new(),
+            ne_all: BitSet::new(),
+            gt: RangeIndex::new(RangeKind::Lower),
+            lt: RangeIndex::new(RangeKind::Upper),
+            owners: BitSet::new(),
+            registered: HashMap::new(),
+        }
+    }
 }
 
 impl GroupedFilter {
@@ -72,28 +356,16 @@ impl GroupedFilter {
                 self.ne.entry(constant.clone()).or_default().insert(id);
                 self.ne_all.insert(id);
             }
-            CmpOp::Gt | CmpOp::Ge => {
-                let e = RangeEntry {
-                    constant: constant.clone(),
-                    strict: op == CmpOp::Gt,
-                    factor: id,
-                };
-                let pos = self
-                    .gt
-                    .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
-                self.gt.insert(pos, e);
-            }
-            CmpOp::Lt | CmpOp::Le => {
-                let e = RangeEntry {
-                    constant: constant.clone(),
-                    strict: op == CmpOp::Lt,
-                    factor: id,
-                };
-                let pos = self
-                    .lt
-                    .partition_point(|x| x.constant.total_cmp(&e.constant).is_lt());
-                self.lt.insert(pos, e);
-            }
+            CmpOp::Gt | CmpOp::Ge => self.gt.insert(RangeEntry {
+                constant: constant.clone(),
+                strict: op == CmpOp::Gt,
+                factor: id,
+            }),
+            CmpOp::Lt | CmpOp::Le => self.lt.insert(RangeEntry {
+                constant: constant.clone(),
+                strict: op == CmpOp::Lt,
+                factor: id,
+            }),
         }
         self.owners.insert(id);
         self.registered.insert(id, (op, constant));
@@ -124,8 +396,8 @@ impl GroupedFilter {
                     }
                 }
             }
-            CmpOp::Gt | CmpOp::Ge => self.gt.retain(|e| e.factor != id),
-            CmpOp::Lt | CmpOp::Le => self.lt.retain(|e| e.factor != id),
+            CmpOp::Gt | CmpOp::Ge => self.gt.remove(id, &constant),
+            CmpOp::Lt | CmpOp::Le => self.lt.remove(id, &constant),
         }
     }
 
@@ -144,6 +416,47 @@ impl GroupedFilter {
         self.registered.is_empty()
     }
 
+    /// Iterate every registered factor as `(id, op, constant)`, in no
+    /// particular order. Used by differential tests and the scale bench to
+    /// build a naive per-factor reference.
+    pub fn iter_factors(&self) -> impl Iterator<Item = (FactorId, CmpOp, &Value)> + '_ {
+        self.registered.iter().map(|(&id, (op, c))| (id, *op, c))
+    }
+
+    /// Mid-epoch bookkeeping counts for the two range indexes combined.
+    pub fn epoch_stats(&self) -> EpochStats {
+        EpochStats {
+            pending: self.gt.pending.len() + self.lt.pending.len(),
+            tombstones: self.gt.dead_count + self.lt.dead_count,
+            entries: self.gt.entries.len() + self.lt.entries.len(),
+        }
+    }
+
+    /// Approximate heap footprint of the index structures in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let map_entry = |m: &HashMap<Value, BitSet>| -> usize {
+            m.iter()
+                .map(|(k, v)| k.approx_bytes() + v.approx_bytes())
+                .sum::<usize>()
+                + m.capacity() * std::mem::size_of::<(Value, BitSet)>()
+        };
+        map_entry(&self.eq)
+            + map_entry(&self.ne)
+            + self.ne_all.approx_bytes()
+            + self.gt.approx_bytes()
+            + self.lt.approx_bytes()
+            + self.owners.approx_bytes()
+            + self.registered.capacity() * std::mem::size_of::<(FactorId, (CmpOp, Value))>()
+            + self
+                .registered
+                .values()
+                .map(|(_, c)| match c {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+
     /// Probe with an attribute value: union into `out` the ids of every
     /// factor the value satisfies. A NULL probe satisfies nothing (SQL
     /// three-valued logic).
@@ -156,47 +469,12 @@ impl GroupedFilter {
         }
         if !self.ne_all.is_empty() {
             match self.ne.get(value) {
-                Some(excepted) => {
-                    let mut satisfied = self.ne_all.clone();
-                    satisfied.difference_with(excepted);
-                    out.union_with(&satisfied);
-                }
+                Some(excepted) => out.union_andnot(&self.ne_all, excepted),
                 None => out.union_with(&self.ne_all),
             }
         }
-        // value > c (strict) or value >= c: all entries with c < value, plus
-        // entries with c == value that are inclusive.
-        let upper = self
-            .gt
-            .partition_point(|e| e.constant.total_cmp(value).is_lt());
-        for e in &self.gt[..upper] {
-            out.insert(e.factor);
-        }
-        for e in &self.gt[upper..] {
-            if e.constant.total_cmp(value).is_gt() {
-                break;
-            }
-            if !e.strict {
-                out.insert(e.factor);
-            }
-        }
-        // value < c (strict) or value <= c: all entries with c > value, plus
-        // inclusive entries with c == value.
-        let lower = self
-            .lt
-            .partition_point(|e| e.constant.total_cmp(value).is_le());
-        for e in &self.lt[lower..] {
-            out.insert(e.factor);
-        }
-        // Walk the equal run backwards from `lower`.
-        for e in self.lt[..lower].iter().rev() {
-            if e.constant.total_cmp(value).is_lt() {
-                break;
-            }
-            if !e.strict {
-                out.insert(e.factor);
-            }
-        }
+        self.gt.probe(value, out);
+        self.lt.probe(value, out);
     }
 
     /// Convenience: probe and collect into a fresh set.
@@ -360,5 +638,76 @@ mod tests {
                 "disagreement at probe {probe}"
             );
         }
+    }
+
+    #[test]
+    fn matches_naive_across_epoch_rebuilds() {
+        // Enough range factors to cross several pending-buffer rebuilds and
+        // fill multiple prefix/suffix blocks, probed at block boundaries.
+        let n = 4 * REBUILD_PENDING + 37;
+        let mut factors = Vec::new();
+        for i in 0..n {
+            let op = match i % 4 {
+                0 => CmpOp::Gt,
+                1 => CmpOp::Ge,
+                2 => CmpOp::Lt,
+                _ => CmpOp::Le,
+            };
+            // Duplicate constants on purpose: equal runs must be walked in
+            // full on both sides of the binary search.
+            factors.push((i, op, Value::Int((i % 97) as i64)));
+        }
+        let f = filter_with(&factors);
+        assert!(f.epoch_stats().entries > 2 * BLOCK, "must span blocks");
+        for probe in -1..=98i64 {
+            let v = Value::Int(probe);
+            assert_eq!(
+                f.eval_collect(&v),
+                naive(&factors, &v),
+                "disagreement at probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstoned_factor_is_masked_until_compaction() {
+        // Fill past one rebuild so factors live in the compacted run, then
+        // remove one: the probe must not return it even though its entry is
+        // still physically present (mid-epoch tombstone).
+        let n = REBUILD_PENDING + 10;
+        let mut f = GroupedFilter::new();
+        for i in 0..n {
+            f.insert(i, CmpOp::Gt, Value::Int(i as i64)).unwrap();
+        }
+        f.remove(3);
+        let stats = f.epoch_stats();
+        assert_eq!(stats.tombstones, 1, "removal must tombstone, not compact");
+        let got = f.eval_collect(&Value::Int(5));
+        assert!(!got.contains(3));
+        assert!(got.contains(0) && got.contains(4));
+        // Reusing the tombstoned id must route through the pending buffer
+        // and win over the dead entry.
+        f.insert(3, CmpOp::Gt, Value::Int(100)).unwrap();
+        assert!(!f.eval_collect(&Value::Int(5)).contains(3));
+        assert!(f.eval_collect(&Value::Int(101)).contains(3));
+    }
+
+    #[test]
+    fn heavy_removal_triggers_compaction() {
+        let n = 2 * REBUILD_PENDING;
+        let mut f = GroupedFilter::new();
+        for i in 0..n {
+            f.insert(i, CmpOp::Lt, Value::Int(i as i64)).unwrap();
+        }
+        for i in 0..n / 2 {
+            f.remove(i * 2);
+        }
+        let stats = f.epoch_stats();
+        assert!(
+            stats.tombstones * 4 <= stats.entries + 64,
+            "sustained removal must compact: {stats:?}"
+        );
+        let got = f.eval_collect(&Value::Int(-1));
+        assert_eq!(got.len(), n / 2);
     }
 }

@@ -42,6 +42,6 @@ pub mod grouped_filter;
 pub mod query_stem;
 pub mod stem;
 
-pub use grouped_filter::GroupedFilter;
-pub use query_stem::{QueryId, QueryStem};
+pub use grouped_filter::{EpochStats, GroupedFilter};
+pub use query_stem::{MatchScratch, QueryId, QueryStem};
 pub use stem::{IndexKind, SteM};

@@ -1,0 +1,180 @@
+//! Differential property tests for the epoch-rebuilt grouped filter and the
+//! tiered query SteM: randomized interleaved insert/remove/probe sequences
+//! checked against naive per-factor (resp. per-query) evaluation.
+//!
+//! Removals tombstone range entries and inserts buffer in a pending run
+//! until a rebuild threshold trips, so interleaving guarantees many probes
+//! land *mid-epoch* — after a removal, before compaction — where a stale
+//! prefix-bitmap bit would surface instantly as a disagreement.
+
+use std::collections::HashMap;
+
+use tcq_common::{
+    BitSet, CmpOp, DataType, Expr, Field, Schema, SchemaRef, Timestamp, Tuple, TupleBuilder, Value,
+};
+use tcq_stems::{GroupedFilter, MatchScratch, QueryStem};
+
+const OPS: &[CmpOp] = &[
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn naive_eval(model: &HashMap<usize, (CmpOp, Value)>, v: &Value) -> BitSet {
+    let mut out = BitSet::new();
+    for (&id, (op, c)) in model {
+        if let Ok(Some(ord)) = v.sql_cmp(c) {
+            if op.matches(ord) {
+                out.insert(id);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn grouped_filter_agrees_with_naive_under_churn() {
+    let mut rng = tcq_common::rng::seeded(0x6F1_7E57);
+    let mut filter = GroupedFilter::new();
+    let mut model: HashMap<usize, (CmpOp, Value)> = HashMap::new();
+    let mut live: Vec<usize> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_id = 0usize;
+    let mut mid_epoch_probes = 0usize;
+
+    // 6000 ops at 45/25/30 insert/remove/probe crosses several pending
+    // rebuilds (threshold 256) and at least one tombstone compaction.
+    for step in 0..6000 {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 45 || live.is_empty() {
+            // Insert, recycling ids like QueryStem does, so tombstoned ids
+            // get reused while their dead entries still sit in the run.
+            let id = free.pop().unwrap_or_else(|| {
+                next_id += 1;
+                next_id - 1
+            });
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            let c = Value::Int(rng.gen_range(0..200i64));
+            filter.insert(id, op, c.clone()).unwrap();
+            model.insert(id, (op, c));
+            live.push(id);
+        } else if roll < 70 {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.swap_remove(idx);
+            filter.remove(id);
+            model.remove(&id);
+            free.push(id);
+        } else {
+            let v = Value::Int(rng.gen_range(-5..205i64));
+            let stats = filter.epoch_stats();
+            if stats.pending > 0 || stats.tombstones > 0 {
+                mid_epoch_probes += 1;
+            }
+            assert_eq!(
+                filter.eval_collect(&v),
+                naive_eval(&model, &v),
+                "disagreement at step {step} probing {v:?} ({stats:?})"
+            );
+        }
+        assert_eq!(filter.len(), model.len(), "factor count drift at {step}");
+    }
+    assert!(
+        mid_epoch_probes > 100,
+        "churn schedule must actually exercise mid-epoch probes, got {mid_epoch_probes}"
+    );
+}
+
+fn schema() -> SchemaRef {
+    Schema::qualified(
+        "s",
+        vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("val", DataType::Float),
+        ],
+    )
+    .into_ref()
+}
+
+fn reading(ts: i64, sensor: i64, val: f64) -> Tuple {
+    TupleBuilder::new(schema())
+        .push(sensor)
+        .push(val)
+        .at(Timestamp::logical(ts))
+        .build()
+        .unwrap()
+}
+
+/// A random predicate spanning all three stem tiers: anchored (sensor
+/// equality + band), scan (band only), and unindexed (match-all).
+fn random_pred(rng: &mut tcq_common::rng::TcqRng) -> Option<Expr> {
+    let lo = rng.gen_range(0.0..80.0);
+    let hi = lo + rng.gen_range(0.0..40.0);
+    let band = Expr::col("val")
+        .cmp(CmpOp::Ge, Expr::lit(lo))
+        .and(Expr::col("val").cmp(CmpOp::Le, Expr::lit(hi)));
+    match rng.gen_range(0..10u32) {
+        0 => None,
+        1..=5 => Some(
+            Expr::col("sensor")
+                .cmp(CmpOp::Eq, Expr::lit(rng.gen_range(0..16i64)))
+                .and(band),
+        ),
+        _ => Some(band),
+    }
+}
+
+#[test]
+fn query_stem_agrees_with_naive_under_churn() {
+    let mut rng = tcq_common::rng::seeded(0xC0_FFEE);
+    let schema = schema();
+    let mut qs = QueryStem::new(schema.clone());
+    let mut scratch = MatchScratch::new();
+    let mut model: HashMap<usize, Option<tcq_common::BoundExpr>> = HashMap::new();
+    let mut next_q = 0usize;
+    let mut freed: Vec<usize> = Vec::new();
+
+    for step in 0..4000 {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 40 || model.is_empty() {
+            // Half the time reuse a removed query id (the server's shared
+            // filter never does, but PSoup callers may).
+            let id = if !freed.is_empty() && rng.gen_range(0..2u32) == 0 {
+                freed.pop().unwrap()
+            } else {
+                next_q += 1;
+                next_q - 1
+            };
+            let pred = random_pred(&mut rng);
+            qs.insert_query(id, pred.as_ref()).unwrap();
+            let bound = pred.map(|p| p.bind(&schema).unwrap());
+            model.insert(id, bound);
+        } else if roll < 65 {
+            let ids: Vec<usize> = model.keys().copied().collect();
+            let id = ids[rng.gen_range(0..ids.len())];
+            qs.remove_query(id).unwrap();
+            model.remove(&id);
+            freed.push(id);
+        } else {
+            let t = reading(
+                step as i64,
+                rng.gen_range(0..20i64),
+                rng.gen_range(-10.0..140.0),
+            );
+            qs.matching_into(&t, &mut scratch).unwrap();
+            let mut expect: Vec<usize> = model
+                .iter()
+                .filter(|(_, p)| p.as_ref().is_none_or(|p| p.eval_pred(&t).unwrap()))
+                .map(|(&id, _)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(
+                scratch.matches(),
+                expect.as_slice(),
+                "disagreement at step {step} on {t:?}"
+            );
+        }
+    }
+}

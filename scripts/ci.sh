@@ -32,6 +32,9 @@ echo "== exp_scaling --smoke (perf tripwire: partitioned exchange vs sequential)
 echo "== exp_kernels --smoke (perf tripwire: compiled + columnar kernels vs interpreter; columnar >= 1.3x row, <= 3.0 allocs/tuple) =="
 ./target/release/exp_kernels --smoke
 
+echo "== exp_query_scale --smoke (scale tripwire: 100k-CQ probe >= 20x naive, churn floor, zero probe allocs) =="
+./target/release/exp_query_scale --smoke
+
 echo "== exp_recovery --smoke (robustness tripwire: kill -> restore loses nothing) =="
 ./target/release/exp_recovery --smoke
 

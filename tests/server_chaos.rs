@@ -1050,6 +1050,260 @@ fn shutdown_under_load_delivers_everything_admitted() {
 }
 
 // ---------------------------------------------------------------------------
+// Standing-query churn: submit/cancel loops through the shared filter
+// ---------------------------------------------------------------------------
+
+const CHURN_ROUNDS: usize = 4;
+const CHURN_QPR: usize = 6;
+const CHURN_BLOCK: i64 = 300;
+
+/// Chaos for the churn run: two archive faults (invisible to live
+/// delivery) plus three injected delivery errors (each sheds exactly one
+/// offered copy) — so every query's expected result set stays exactly
+/// computable, modulo a shed count the egress ledger must balance.
+fn churn_plan() -> FaultPlan {
+    FaultPlan::new(SEED)
+        .at(
+            FaultPoint::ArchiveAppend,
+            40,
+            FaultAction::Error("disk hiccup".into()),
+        )
+        .at(FaultPoint::ArchiveAppend, 90, FaultAction::Overflow)
+        .at(
+            FaultPoint::EgressDeliver,
+            150,
+            FaultAction::Error("socket reset".into()),
+        )
+        .at(
+            FaultPoint::EgressDeliver,
+            400,
+            FaultAction::Error("socket reset".into()),
+        )
+        .at(
+            FaultPoint::EgressDeliver,
+            700,
+            FaultAction::Error("socket reset".into()),
+        )
+}
+
+/// Deterministic per-query selection threshold spanning ~5%–100%
+/// selectivity over the `v % 127` workload.
+fn churn_threshold(round: usize, i: usize) -> i64 {
+    (((round * CHURN_QPR + i) * 37) % 120) as i64
+}
+
+struct ChurnQuery {
+    qid: usize,
+    lo: i64,
+    rx: Receiver<Delivery>,
+    expected: Vec<i64>,
+    live: bool,
+}
+
+struct ChurnOutcome {
+    /// Per query in submission order: (qid, expected rows, received rows).
+    per_query: Vec<(usize, Vec<i64>, Vec<i64>)>,
+    egress: EgressStats,
+    dispatcher_shed: i64,
+    log: Vec<FiredFault>,
+    live_at_end: usize,
+    filter_queries: usize,
+    filter_bytes: usize,
+}
+
+/// Four rounds of: submit six fresh `v > lo` selections (their factors
+/// land in the stream's shared grouped filter, reusing factor ids the
+/// previous round's cancellations recycled), push a block, drain, cancel
+/// every other live query. The drain barrier is the egress `offered`
+/// counter: it advances once per (tuple, standing query) offer — shed
+/// copies included — so reaching the computed total means every delivery
+/// decision for the block has been made and it is safe to churn.
+fn run_churn_scenario(dir: &std::path::Path) -> ChurnOutcome {
+    let server = TelegraphCQ::start(ServerConfig {
+        archive_dir: Some(dir.to_path_buf()),
+        fault_plan: Some(churn_plan()),
+        egress_policy: EgressPolicy {
+            max_retries: 1,
+            disconnect_after: 4,
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_stream("s", schema()).unwrap();
+
+    let sch = schema();
+    let mut queries: Vec<ChurnQuery> = Vec::new();
+    let mut seq = 0i64;
+    let mut offered_so_far = 0usize;
+
+    for round in 0..CHURN_ROUNDS {
+        for i in 0..CHURN_QPR {
+            let lo = churn_threshold(round, i);
+            let (client, rx): (_, Receiver<Delivery>) = server.connect_push_client(4096).unwrap();
+            let qid = server
+                .submit(&format!("SELECT v FROM s WHERE v > {lo}"), client)
+                .unwrap();
+            queries.push(ChurnQuery {
+                qid,
+                lo,
+                rx,
+                expected: Vec::new(),
+                live: true,
+            });
+        }
+
+        let mut block = Vec::with_capacity(CHURN_BLOCK as usize);
+        for _ in 0..CHURN_BLOCK {
+            seq += 1;
+            let v = (seq * 17) % 127;
+            for q in queries.iter_mut().filter(|q| q.live) {
+                if v > q.lo {
+                    q.expected.push(v);
+                    offered_so_far += 1;
+                }
+            }
+            block.push(
+                TupleBuilder::new(sch.clone())
+                    .push(v)
+                    .at(Timestamp::logical(seq))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        server.push_batch("s", block).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while (server.egress_stats_full().offered as usize) < offered_so_far {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "round {round} never drained its offers"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut k = 0usize;
+        for q in queries.iter_mut() {
+            if !q.live {
+                continue;
+            }
+            if k.is_multiple_of(2) {
+                server.stop_query(q.qid).unwrap();
+                q.live = false;
+            }
+            k += 1;
+        }
+    }
+
+    let live_at_end = queries.iter().filter(|q| q.live).count();
+    let stats = server.shared_memory_stats();
+    let filter = stats
+        .iter()
+        .find(|s| s.label == "filter:s")
+        .expect("the shared filter must report a memory stat");
+    let (filter_queries, filter_bytes) = (filter.queries, filter.approx_bytes);
+
+    server.finish_stream("s").unwrap();
+    assert!(
+        server.quiesce(Duration::from_secs(60)),
+        "churn run must quiesce"
+    );
+
+    let outcome = ChurnOutcome {
+        per_query: queries
+            .iter()
+            .map(|q| {
+                let got: Vec<i64> =
+                    q.rx.try_iter()
+                        .map(|(qid, t)| {
+                            assert_eq!(qid, q.qid, "delivery routed to the wrong client");
+                            t.value(0).as_int().unwrap()
+                        })
+                        .collect();
+                (q.qid, q.expected.clone(), got)
+            })
+            .collect(),
+        egress: server.egress_stats_full(),
+        dispatcher_shed: server.shed_count("s").unwrap(),
+        log: server.fired_faults(),
+        live_at_end,
+        filter_queries,
+        filter_bytes,
+    };
+    server.shutdown().unwrap();
+    outcome
+}
+
+#[test]
+fn query_churn_under_chaos_delivers_exactly_per_live_span() {
+    let dir = temp_dir("churn");
+    let o = run_churn_scenario(&dir);
+
+    assert_eq!(o.dispatcher_shed, 0, "no fan-out faults were planned");
+    assert_eq!(o.live_at_end, 5);
+    assert_eq!(
+        o.filter_queries, o.live_at_end,
+        "the shared filter must forget cancelled queries"
+    );
+    assert!(o.filter_bytes > 0, "a standing filter has a footprint");
+
+    // Query ids are never reused even though the factor ids inside the
+    // shared filter are recycled aggressively by the cancel loop.
+    assert!(
+        o.per_query.windows(2).all(|w| w[0].0 < w[1].0),
+        "query ids must stay strictly monotone under churn"
+    );
+
+    // Exact per-query accounting: each query received its matching rows
+    // from exactly the blocks pushed while it stood, in push order, minus
+    // copies lost to injected delivery errors.
+    let mut missing = 0usize;
+    for (qid, expected, got) in &o.per_query {
+        let mut remaining = expected.iter();
+        for g in got {
+            assert!(
+                remaining.any(|e| e == g),
+                "query {qid} received {g}, which is out of order or outside its live span"
+            );
+        }
+        missing += expected.len() - got.len();
+    }
+    assert_eq!(
+        missing as u64, o.egress.shed,
+        "every missing row must be one of the injected delivery errors"
+    );
+    assert_eq!(o.egress.shed, 3, "three delivery errors were planned");
+    assert!(o.egress.accounted());
+    assert_eq!(
+        o.log.len(),
+        5,
+        "both archive faults and all three delivery faults fired"
+    );
+}
+
+#[test]
+fn query_churn_replays_identically_from_its_seed() {
+    let dir_a = temp_dir("churn-a");
+    let dir_b = temp_dir("churn-b");
+    let a = run_churn_scenario(&dir_a);
+    let b = run_churn_scenario(&dir_b);
+    assert_eq!(
+        a.per_query, b.per_query,
+        "per-query deliveries diverged across same-seed churn runs"
+    );
+    assert_eq!(a.egress, b.egress, "egress accounting diverged");
+    assert_eq!(
+        normalised(a.log),
+        normalised(b.log),
+        "fired-fault logs diverged across same-seed churn runs"
+    );
+    assert_eq!(a.filter_queries, b.filter_queries);
+    assert_eq!(
+        a.filter_bytes, b.filter_bytes,
+        "shared-filter footprint diverged across same-seed runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Progress tracking + liveness watchdog
 // ---------------------------------------------------------------------------
 
