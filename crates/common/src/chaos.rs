@@ -64,6 +64,17 @@ pub enum FaultPoint {
     /// for the run to close unless the watchdog nudges the worker into
     /// re-emitting it.
     DropPunctuation,
+    /// Network: one wire frame decoded off a TCP connection. Polled per
+    /// *frame*, not per syscall, so the poll count is a deterministic
+    /// function of what the peer sent regardless of how the kernel
+    /// segmented it. `Error` poisons the connection (it closes as if the
+    /// peer had vanished mid-stream — the dead-client accounting path).
+    NetRead,
+    /// Network: one wire frame about to be written to a TCP connection.
+    /// `Error`/`Overflow` drop the frame (rows counted in the transport's
+    /// `rows_dropped_net`); `Stall` holds the writer for `ticks`
+    /// milliseconds, simulating a congested socket.
+    NetWrite,
 }
 
 /// What happens when a fault fires.

@@ -765,6 +765,26 @@ impl EgressRouter {
         self.inner.lock().drop_client(client);
     }
 
+    /// Drop a client whose transport died with `undrained` results still
+    /// buffered in its delivery queue. Those rows were counted `delivered`
+    /// when they entered the channel, but the peer never read them — a TCP
+    /// socket that drops mid-batch takes its queued backlog with it. This
+    /// reclassifies exactly those offers from `delivered` to
+    /// `disconnected_loss`, so the ledger invariant
+    /// `delivered + shed + displaced + disconnected_loss == offered` keeps
+    /// describing what the client actually *received*, not what the router
+    /// enqueued. `undrained` is clamped to the delivered count so a buggy
+    /// caller can never break the invariant.
+    pub fn disconnect_with_loss(&self, client: ClientId, undrained: u64) {
+        let mut inner = self.inner.lock();
+        if inner.drop_client(client) {
+            inner.stats.disconnected += 1;
+        }
+        let lost = undrained.min(inner.stats.delivered);
+        inner.stats.delivered -= lost;
+        inner.stats.disconnected_loss += lost;
+    }
+
     /// Deliver `tuple` as an answer to each query in `queries`, fanning out
     /// to all subscribed clients. Slow/absent clients shed (push, after the
     /// policy's bounded retry) or rotate (pull) — delivery never blocks the
@@ -1095,6 +1115,52 @@ mod tests {
         );
         assert!(s.accounted(), "every offer accounted: {s:?}");
         assert_eq!(r.client_count(), 0, "stuck client forcibly removed");
+    }
+
+    #[test]
+    fn socket_drop_mid_batch_reclassifies_undrained_rows() {
+        // A TCP client with a queue of 4 receives a 10-row batch: 4 rows
+        // buffer (delivered), 6 shed. The client reads one row, then its
+        // socket drops — the 3 rows still in the queue were never on the
+        // wire. The transport drains them and reports the loss.
+        let r = EgressRouter::new();
+        let rx = r.register_push_client(1, 4).unwrap();
+        r.subscribe(1, 5).unwrap();
+        for i in 0..10 {
+            r.deliver([5usize], &t(i));
+        }
+        let s = r.egress_stats();
+        assert_eq!((s.delivered, s.shed), (4, 6));
+        let _read = rx.recv().unwrap(); // one row reached the peer
+        drop(rx);
+        let undrained = 3; // what the transport counts while draining
+        r.disconnect_with_loss(1, undrained);
+        let s = r.egress_stats();
+        assert_eq!(s.offered, 10);
+        assert_eq!(s.delivered, 1, "only the row the peer actually read");
+        assert_eq!(s.shed, 6);
+        assert_eq!(s.disconnected_loss, 3, "undrained queue rows are loss");
+        assert_eq!(s.disconnected, 1);
+        assert!(s.accounted(), "invariant survives a mid-batch drop: {s:?}");
+        assert_eq!(r.client_count(), 0);
+    }
+
+    #[test]
+    fn disconnect_with_loss_clamps_to_delivered() {
+        let r = EgressRouter::new();
+        let _rx = r.register_push_client(1, 4).unwrap();
+        r.subscribe(1, 5).unwrap();
+        r.deliver([5usize], &t(1));
+        // A caller over-reporting undrained rows cannot drive `delivered`
+        // negative or break the invariant.
+        r.disconnect_with_loss(1, 99);
+        let s = r.egress_stats();
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.disconnected_loss, 1);
+        assert!(s.accounted());
+        // Disconnecting an unknown client is a no-op, not a panic.
+        r.disconnect_with_loss(42, 7);
+        assert_eq!(r.egress_stats().disconnected, 1);
     }
 
     #[test]

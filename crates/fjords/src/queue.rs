@@ -392,6 +392,11 @@ impl Producer {
         self.enqueue_blocking(FjordMessage::Eof)
     }
 
+    /// Convenience: enqueue a punctuation, blocking.
+    pub fn send_punct(&self, ts: Timestamp) -> Result<()> {
+        self.enqueue_blocking(FjordMessage::Punct(ts))
+    }
+
     /// The queue's discipline.
     pub fn kind(&self) -> QueueKind {
         self.shared.kind

@@ -1,0 +1,681 @@
+//! The TelegraphCQ wire protocol: length-prefixed, checksummed frames.
+//!
+//! Every frame is `magic(4) | kind(1) | len(4) | checksum(8) | payload(len)`,
+//! all integers little-endian. The checksum is FNV-1a ([`tcq_common::Fnv1a`],
+//! the same function the storage layer trusts) over `kind || len || payload`,
+//! so a bit flip anywhere past the magic — including a kind byte rewritten
+//! into a *different valid kind* — is detected, not misparsed.
+//!
+//! Payloads reuse the checkpoint codec ([`CkptWriter`]/[`CkptReader`]):
+//! tagged values, length-prefixed strings, out-of-band schemas. Schemas
+//! travel once per connection as a `Schema` frame assigning a small id;
+//! every tuple-carrying frame then references the id. [`FrameReader`] keeps
+//! the id → schema table and [`FrameWriter`] keeps the reverse map, so both
+//! ends pay the schema cost once, not per batch.
+//!
+//! Decoding discipline (the same prefix-validity rule as `StreamArchive`
+//! page recovery): a byte stream cut at *any* point yields every complete
+//! frame before the cut ([`FrameReader::decode`] returns `Ok(Some)`), then
+//! reports the tail as either "incomplete — wait for more bytes"
+//! (`Ok(None)`) or "corrupt — poison the connection" (`Err`). A torn tail
+//! is never an error (TCP delivers byte streams, not frames), and corruption
+//! is never silently skipped (unlike the archive, a socket has no page
+//! boundary to resynchronize on — the connection dies instead).
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+use tcq_common::{
+    CkptReader, CkptWriter, DataType, Field, Fnv1a, Result, Schema, SchemaRef, TcqError, Timestamp,
+    Tuple,
+};
+
+/// Frame magic: "TCQ!" little-endian.
+pub const WIRE_MAGIC: u32 = 0x2151_4354;
+/// Protocol version carried in `Hello`/`Welcome`.
+pub const WIRE_VERSION: u32 = 1;
+/// Fixed header size: magic(4) + kind(1) + len(4) + checksum(8).
+pub const HEADER_LEN: usize = 17;
+/// Upper bound on one frame's payload; a larger advertised length is
+/// corruption (or an unreasonable peer), not something to buffer for.
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_SCHEMA: u8 = 3;
+const KIND_SUBMIT: u8 = 4;
+const KIND_SUBMIT_OK: u8 = 5;
+const KIND_SUBSCRIBE: u8 = 6;
+const KIND_SUBSCRIBE_OK: u8 = 7;
+const KIND_INGEST: u8 = 8;
+const KIND_INGEST_EOF: u8 = 9;
+const KIND_PUNCT: u8 = 10;
+const KIND_RESULTS: u8 = 11;
+const KIND_COLUMN_RESULTS: u8 = 12;
+const KIND_PING: u8 = 13;
+const KIND_PONG: u8 = 14;
+const KIND_ERROR: u8 = 15;
+const KIND_BYE: u8 = 16;
+
+/// One decoded wire frame. Tuple-carrying variants hold materialized rows;
+/// the schema-id indirection is internal to the codec (resolved by
+/// [`FrameReader`], assigned by [`FrameWriter`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake: first frame on every connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Server handshake reply. `conn` is the server-side connection id —
+    /// benches join it against per-connection transport stats for exact
+    /// end-to-end accounting.
+    Welcome {
+        /// The server's [`WIRE_VERSION`].
+        version: u32,
+        /// Server-side connection id.
+        conn: u64,
+    },
+    /// Assigns `id` to `schema` for the rest of the connection. Sent
+    /// lazily by each side before the first frame that references the id.
+    Schema {
+        /// Connection-scoped schema id.
+        id: u32,
+        /// The schema (per-field qualifiers preserved).
+        schema: SchemaRef,
+    },
+    /// Submit a continuous query; the connection is auto-subscribed.
+    Submit {
+        /// The query text.
+        sql: String,
+    },
+    /// Successful submit reply.
+    SubmitOk {
+        /// The standing query's id.
+        query: u64,
+    },
+    /// Subscribe this connection to an already-running query.
+    Subscribe {
+        /// The query to subscribe to.
+        query: u64,
+    },
+    /// Successful subscribe reply.
+    SubscribeOk {
+        /// The subscribed query.
+        query: u64,
+    },
+    /// A batch of tuples for one stream (client → server).
+    Ingest {
+        /// Target stream.
+        stream: String,
+        /// The rows; all share one schema.
+        tuples: Vec<Tuple>,
+    },
+    /// End-of-stream marker (client → server).
+    IngestEof {
+        /// The finished stream.
+        stream: String,
+    },
+    /// A punctuation \[TMSS03\] for one stream (client → server): no later
+    /// tuple will carry a timestamp ≤ `ts`.
+    Punct {
+        /// Target stream.
+        stream: String,
+        /// The punctuated bound.
+        ts: Timestamp,
+    },
+    /// A batch of result rows for one query (server → client).
+    Results {
+        /// The answered query.
+        query: u64,
+        /// The result rows.
+        tuples: Vec<Tuple>,
+    },
+    /// Result rows that left the server as one columnar batch (the
+    /// columnar egress path); the kind tag is distinct so clients can
+    /// observe which path produced them, but rows decode identically.
+    ColumnResults {
+        /// The answered query.
+        query: u64,
+        /// The batch rows.
+        tuples: Vec<Tuple>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed back in the `Pong`.
+        token: u64,
+    },
+    /// Liveness probe reply.
+    Pong {
+        /// The `Ping`'s token.
+        token: u64,
+    },
+    /// A request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Clean close: the sender will write nothing further.
+    Bye,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Welcome { .. } => KIND_WELCOME,
+            Frame::Schema { .. } => KIND_SCHEMA,
+            Frame::Submit { .. } => KIND_SUBMIT,
+            Frame::SubmitOk { .. } => KIND_SUBMIT_OK,
+            Frame::Subscribe { .. } => KIND_SUBSCRIBE,
+            Frame::SubscribeOk { .. } => KIND_SUBSCRIBE_OK,
+            Frame::Ingest { .. } => KIND_INGEST,
+            Frame::IngestEof { .. } => KIND_INGEST_EOF,
+            Frame::Punct { .. } => KIND_PUNCT,
+            Frame::Results { .. } => KIND_RESULTS,
+            Frame::ColumnResults { .. } => KIND_COLUMN_RESULTS,
+            Frame::Ping { .. } => KIND_PING,
+            Frame::Pong { .. } => KIND_PONG,
+            Frame::Error { .. } => KIND_ERROR,
+            Frame::Bye => KIND_BYE,
+        }
+    }
+
+    /// Number of result/ingest rows the frame carries (0 for control
+    /// frames) — what the transport's row ledgers count.
+    pub fn row_count(&self) -> usize {
+        match self {
+            Frame::Ingest { tuples, .. }
+            | Frame::Results { tuples, .. }
+            | Frame::ColumnResults { tuples, .. } => tuples.len(),
+            _ => 0,
+        }
+    }
+}
+
+fn checksum(kind: u8, payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&[kind]);
+    h.write(&(payload.len() as u32).to_le_bytes());
+    h.write(payload);
+    h.finish()
+}
+
+fn corrupt(what: impl Into<String>) -> TcqError {
+    TcqError::Ingress(format!("wire: {}", what.into()))
+}
+
+fn put_schema(w: &mut CkptWriter, id: u32, schema: &Schema) {
+    w.put_u32(id);
+    w.put_u32(schema.len() as u32);
+    for (i, f) in schema.fields().iter().enumerate() {
+        w.put_str(schema.qualifier(i));
+        w.put_str(&f.name);
+        w.put_u8(match f.data_type {
+            DataType::Bool => 0,
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Str => 3,
+        });
+    }
+}
+
+fn get_schema(r: &mut CkptReader<'_>) -> Result<(u32, Schema)> {
+    let id = r.get_u32("schema id")?;
+    let n = r.get_u32("schema field count")? as usize;
+    if n > 4096 {
+        return Err(corrupt(format!("schema with {n} fields")));
+    }
+    let mut acc: Option<Schema> = None;
+    for _ in 0..n {
+        let q = r.get_str("field qualifier")?;
+        let name = r.get_str("field name")?;
+        let dt = match r.get_u8("field type")? {
+            0 => DataType::Bool,
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Str,
+            t => return Err(corrupt(format!("unknown field type tag {t}"))),
+        };
+        let one = if q.is_empty() {
+            Schema::new(vec![Field::new(name, dt)])
+        } else {
+            Schema::qualified(q, vec![Field::new(name, dt)])
+        };
+        acc = Some(match acc {
+            None => one,
+            Some(a) => a.concat(&one),
+        });
+    }
+    Ok((id, acc.unwrap_or_else(|| Schema::new(Vec::new()))))
+}
+
+fn put_timestamp(w: &mut CkptWriter, ts: Timestamp) {
+    let flags: u8 = (ts.logical.is_some() as u8) | ((ts.physical.is_some() as u8) << 1);
+    w.put_u8(flags);
+    if let Some(l) = ts.logical {
+        w.put_i64(l);
+    }
+    if let Some(p) = ts.physical {
+        w.put_i64(p);
+    }
+}
+
+fn get_timestamp(r: &mut CkptReader<'_>) -> Result<Timestamp> {
+    let flags = r.get_u8("timestamp flags")?;
+    let mut ts = Timestamp::unknown();
+    if flags & 1 != 0 {
+        ts.logical = Some(r.get_i64("logical ts")?);
+    }
+    if flags & 2 != 0 {
+        ts.physical = Some(r.get_i64("physical ts")?);
+    }
+    Ok(ts)
+}
+
+/// Encodes frames into a byte buffer, managing the connection's outbound
+/// schema table: the first batch under a given schema is preceded by a
+/// `Schema` frame, later batches reference the id.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    /// Schema identity (by `Arc` pointer) → assigned id. Two structurally
+    /// equal but distinct `Arc`s would ship the schema twice under two
+    /// ids — wasteful, never wrong — and in practice every batch for a
+    /// query shares one `SchemaRef`.
+    ids: HashMap<usize, u32>,
+    next_id: u32,
+}
+
+impl FrameWriter {
+    /// A writer with an empty schema table.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    fn frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+        out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum(kind, payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    fn schema_id(&mut self, out: &mut Vec<u8>, schema: &SchemaRef) -> u32 {
+        let key = std::sync::Arc::as_ptr(schema) as usize;
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.insert(key, id);
+        let mut w = CkptWriter::new();
+        put_schema(&mut w, id, schema);
+        Self::frame(out, KIND_SCHEMA, &w.into_bytes());
+        id
+    }
+
+    /// Encode one frame into `out`. Tuple-carrying frames first emit any
+    /// `Schema` frame the receiver hasn't seen. `Ingest`/`Results` rows
+    /// must all share the leading row's schema (they do on every engine
+    /// path; mixed batches are a caller bug and panic in debug builds).
+    pub fn encode(&mut self, frame: &Frame, out: &mut Vec<u8>) {
+        let mut w = CkptWriter::new();
+        match frame {
+            Frame::Hello { version } => w.put_u32(*version),
+            Frame::Welcome { version, conn } => {
+                w.put_u32(*version);
+                w.put_u64(*conn);
+            }
+            Frame::Schema { id, schema } => put_schema(&mut w, *id, schema),
+            Frame::Submit { sql } => w.put_str(sql),
+            Frame::SubmitOk { query } => w.put_u64(*query),
+            Frame::Subscribe { query } => w.put_u64(*query),
+            Frame::SubscribeOk { query } => w.put_u64(*query),
+            Frame::Ingest { stream, tuples } => {
+                let sid = match tuples.first() {
+                    Some(t) => self.schema_id(out, t.schema()),
+                    None => u32::MAX,
+                };
+                w.put_str(stream);
+                w.put_u32(sid);
+                w.put_u32(tuples.len() as u32);
+                for t in tuples {
+                    debug_assert!(std::sync::Arc::ptr_eq(t.schema(), tuples[0].schema()));
+                    w.put_tuple(t);
+                }
+            }
+            Frame::IngestEof { stream } => w.put_str(stream),
+            Frame::Punct { stream, ts } => {
+                w.put_str(stream);
+                put_timestamp(&mut w, *ts);
+            }
+            Frame::Results { query, tuples } | Frame::ColumnResults { query, tuples } => {
+                let sid = match tuples.first() {
+                    Some(t) => self.schema_id(out, t.schema()),
+                    None => u32::MAX,
+                };
+                w.put_u64(*query);
+                w.put_u32(sid);
+                w.put_u32(tuples.len() as u32);
+                for t in tuples {
+                    w.put_tuple(t);
+                }
+            }
+            Frame::Ping { token } => w.put_u64(*token),
+            Frame::Pong { token } => w.put_u64(*token),
+            Frame::Error { message } => w.put_str(message),
+            Frame::Bye => {}
+        }
+        Self::frame(out, frame.kind(), &w.into_bytes());
+    }
+}
+
+/// Decodes frames off a growing byte buffer, maintaining the connection's
+/// inbound schema table (see module docs for the prefix-validity rule).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    schemas: HashMap<u32, SchemaRef>,
+}
+
+impl FrameReader {
+    /// A reader with an empty schema table.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Try to decode one frame from the front of `buf`.
+    ///
+    /// - `Ok(Some((frame, consumed)))` — a complete, checksummed frame;
+    ///   the caller drops `consumed` bytes and calls again.
+    /// - `Ok(None)` — the buffer holds only a torn tail (partial header
+    ///   or partial payload); read more bytes and retry.
+    /// - `Err(_)` — corruption (bad magic, oversize length, checksum or
+    ///   payload mismatch): the stream is poisoned and the connection
+    ///   must close. Frames decoded before this point remain valid.
+    pub fn decode(&mut self, buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        if magic != WIRE_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#010x}")));
+        }
+        let kind = buf[4];
+        let len = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(corrupt(format!("payload length {len} exceeds cap")));
+        }
+        let want = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
+        if buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+        if checksum(kind, payload) != want {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let frame = self.parse(kind, payload)?;
+        Ok(Some((frame, HEADER_LEN + len)))
+    }
+
+    fn schema(&self, id: u32, what: &str) -> Result<SchemaRef> {
+        self.schemas
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| corrupt(format!("{what} references unknown schema id {id}")))
+    }
+
+    fn get_rows(&self, r: &mut CkptReader<'_>, sid: u32, what: &str) -> Result<Vec<Tuple>> {
+        let n = r.get_u32("row count")? as usize;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let schema = self.schema(sid, what)?;
+        let mut rows = Vec::with_capacity(n.min(64 * 1024));
+        for _ in 0..n {
+            rows.push(r.get_tuple(&schema)?);
+        }
+        Ok(rows)
+    }
+
+    fn parse(&mut self, kind: u8, payload: &[u8]) -> Result<Frame> {
+        let mut r = CkptReader::new(payload);
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello {
+                version: r.get_u32("hello version")?,
+            },
+            KIND_WELCOME => Frame::Welcome {
+                version: r.get_u32("welcome version")?,
+                conn: r.get_u64("welcome conn")?,
+            },
+            KIND_SCHEMA => {
+                let (id, schema) = get_schema(&mut r)?;
+                let schema = schema.into_ref();
+                self.schemas.insert(id, schema.clone());
+                Frame::Schema { id, schema }
+            }
+            KIND_SUBMIT => Frame::Submit {
+                sql: r.get_str("submit sql")?,
+            },
+            KIND_SUBMIT_OK => Frame::SubmitOk {
+                query: r.get_u64("submit-ok query")?,
+            },
+            KIND_SUBSCRIBE => Frame::Subscribe {
+                query: r.get_u64("subscribe query")?,
+            },
+            KIND_SUBSCRIBE_OK => Frame::SubscribeOk {
+                query: r.get_u64("subscribe-ok query")?,
+            },
+            KIND_INGEST => {
+                let stream = r.get_str("ingest stream")?;
+                let sid = r.get_u32("ingest schema id")?;
+                let tuples = self.get_rows(&mut r, sid, "ingest")?;
+                Frame::Ingest { stream, tuples }
+            }
+            KIND_INGEST_EOF => Frame::IngestEof {
+                stream: r.get_str("ingest-eof stream")?,
+            },
+            KIND_PUNCT => Frame::Punct {
+                stream: r.get_str("punct stream")?,
+                ts: get_timestamp(&mut r)?,
+            },
+            KIND_RESULTS | KIND_COLUMN_RESULTS => {
+                let query = r.get_u64("results query")?;
+                let sid = r.get_u32("results schema id")?;
+                let tuples = self.get_rows(&mut r, sid, "results")?;
+                if kind == KIND_RESULTS {
+                    Frame::Results { query, tuples }
+                } else {
+                    Frame::ColumnResults { query, tuples }
+                }
+            }
+            KIND_PING => Frame::Ping {
+                token: r.get_u64("ping token")?,
+            },
+            KIND_PONG => Frame::Pong {
+                token: r.get_u64("pong token")?,
+            },
+            KIND_ERROR => Frame::Error {
+                message: r.get_str("error message")?,
+            },
+            KIND_BYE => Frame::Bye,
+            k => return Err(corrupt(format!("unknown frame kind {k}"))),
+        };
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after frame payload",
+                r.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::TupleBuilder;
+
+    fn schema() -> SchemaRef {
+        Schema::qualified(
+            "s",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Float),
+                Field::new("tag", DataType::Str),
+            ],
+        )
+        .into_ref()
+    }
+
+    fn row(s: &SchemaRef, k: i64) -> Tuple {
+        TupleBuilder::new(s.clone())
+            .push(k)
+            .push(k as f64 * 0.5)
+            .push(format!("t{k}"))
+            .at(Timestamp::both(k, 1000 + k))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let mut w = FrameWriter::new();
+        let mut r = FrameReader::new();
+        let frames = vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+            },
+            Frame::Welcome {
+                version: WIRE_VERSION,
+                conn: 42,
+            },
+            Frame::Submit {
+                sql: "SELECT * FROM s".into(),
+            },
+            Frame::SubmitOk { query: 7 },
+            Frame::Subscribe { query: 7 },
+            Frame::SubscribeOk { query: 7 },
+            Frame::IngestEof { stream: "s".into() },
+            Frame::Punct {
+                stream: "s".into(),
+                ts: Timestamp::both(5, 999),
+            },
+            Frame::Ping { token: 1 },
+            Frame::Pong { token: 1 },
+            Frame::Error {
+                message: "no".into(),
+            },
+            Frame::Bye,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            w.encode(f, &mut buf);
+        }
+        let mut got = Vec::new();
+        let mut off = 0;
+        while let Some((f, n)) = r.decode(&buf[off..]).unwrap() {
+            got.push(f);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn tuple_frames_ship_schema_once() {
+        let s = schema();
+        let mut w = FrameWriter::new();
+        let mut buf = Vec::new();
+        w.encode(
+            &Frame::Ingest {
+                stream: "s".into(),
+                tuples: vec![row(&s, 1), row(&s, 2)],
+            },
+            &mut buf,
+        );
+        let after_first = buf.len();
+        w.encode(
+            &Frame::Results {
+                query: 3,
+                tuples: vec![row(&s, 9)],
+            },
+            &mut buf,
+        );
+
+        let mut r = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while let Some((f, n)) = r.decode(&buf[off..]).unwrap() {
+            frames.push(f);
+            off += n;
+        }
+        // Schema frame precedes the first batch and is not repeated.
+        assert!(matches!(frames[0], Frame::Schema { id: 0, .. }));
+        assert_eq!(
+            frames[1],
+            Frame::Ingest {
+                stream: "s".into(),
+                tuples: vec![row(&s, 1), row(&s, 2)],
+            }
+        );
+        assert_eq!(
+            frames[2],
+            Frame::Results {
+                query: 3,
+                tuples: vec![row(&s, 9)],
+            }
+        );
+        assert_eq!(frames.len(), 3);
+        // The second tuple frame reuses the id: strictly smaller on the
+        // wire than the first (which paid for the schema).
+        assert!(buf.len() - after_first < after_first);
+        // Decoded rows carry the full schema, qualifiers included.
+        if let Frame::Ingest { tuples, .. } = &frames[1] {
+            assert_eq!(tuples[0].schema().qualifier(0), "s");
+            assert_eq!(tuples[0].timestamp(), Timestamp::both(1, 1001));
+        }
+    }
+
+    #[test]
+    fn empty_batch_needs_no_schema() {
+        let mut w = FrameWriter::new();
+        let mut buf = Vec::new();
+        w.encode(
+            &Frame::Results {
+                query: 1,
+                tuples: Vec::new(),
+            },
+            &mut buf,
+        );
+        let mut r = FrameReader::new();
+        let (f, n) = r.decode(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(
+            f,
+            Frame::Results {
+                query: 1,
+                tuples: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_schema_id_is_corruption() {
+        let s = schema();
+        let mut w = FrameWriter::new();
+        let mut schema_and_batch = Vec::new();
+        w.encode(
+            &Frame::Ingest {
+                stream: "s".into(),
+                tuples: vec![row(&s, 1)],
+            },
+            &mut schema_and_batch,
+        );
+        // Replay only the batch frame against a reader that never saw the
+        // schema frame.
+        let mut r = FrameReader::new();
+        let (_, schema_len) = r.decode(&schema_and_batch).unwrap().unwrap();
+        let mut fresh = FrameReader::new();
+        assert!(fresh.decode(&schema_and_batch[schema_len..]).is_err());
+    }
+}

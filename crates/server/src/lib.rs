@@ -38,5 +38,5 @@ pub mod shared_join;
 pub use dispatcher::OverloadPolicy;
 pub use server::{
     CheckpointReport, LivenessConfig, PolicyKind, QueryInfo, ServerConfig, SharedMemoryStat,
-    TelegraphCQ,
+    TcpTransportConfig, TelegraphCQ, TransportConfig,
 };

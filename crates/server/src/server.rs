@@ -129,6 +129,56 @@ pub struct ServerConfig {
     ///
     /// [`ChannelProbe`]: tcq_common::ChannelProbe
     pub liveness: Option<LivenessConfig>,
+    /// Which transport fronts the server. The core (dispatchers, eddies,
+    /// egress ledger) never looks at this: `TelegraphCQ` itself always
+    /// exposes the in-process API, and the `tcq_net` crate reads this
+    /// field to decide whether to additionally bind a TCP listener. Kept
+    /// here so one `ServerConfig` describes the whole deployment and the
+    /// chaos A/B contract ("the core replays byte-identically whichever
+    /// transport fronts it") has a single switch to flip.
+    pub transport: TransportConfig,
+}
+
+/// Transport selection for [`ServerConfig::transport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportConfig {
+    /// In-process only (the default): clients connect through
+    /// [`TelegraphCQ::connect_push_client`] and friends. This is the
+    /// deterministic test harness — no sockets, no kernel scheduling in
+    /// the replay path.
+    InProcess,
+    /// In-process *plus* a real TCP listener (served by `tcq_net`):
+    /// remote clients speak the length-prefixed checksummed wire
+    /// protocol; each connection gets its own bounded egress queue.
+    Tcp(TcpTransportConfig),
+}
+
+/// TCP listener tuning for [`TransportConfig::Tcp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpTransportConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 picks a free port;
+    /// read the bound address back from the transport handle).
+    pub addr: String,
+    /// Capacity of each connection's bounded egress queue (the
+    /// per-client delivery queue: a slow socket fills only its own
+    /// queue and then sheds, never stalling the router or other
+    /// clients).
+    pub client_queue: usize,
+    /// Writer coalescing threshold in bytes: the connection writer
+    /// drains its egress queue into one buffer and flushes when it
+    /// crosses this size (or the queue runs dry), amortizing syscalls
+    /// the way `io_batch` amortizes lock acquisitions in-process.
+    pub write_coalesce: usize,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        TcpTransportConfig {
+            addr: "127.0.0.1:0".to_string(),
+            client_queue: 1024,
+            write_coalesce: 64 * 1024,
+        }
+    }
 }
 
 /// Liveness watchdog tuning ([`ServerConfig::liveness`]). Thresholds are
@@ -175,6 +225,7 @@ impl Default for ServerConfig {
             columnar: false,
             checkpoint_path: None,
             liveness: None,
+            transport: TransportConfig::InProcess,
         }
     }
 }
@@ -591,6 +642,13 @@ impl TelegraphCQ {
         self.stream(stream)?.ingress.send_tuple(tuple)
     }
 
+    /// Inject a punctuation into `stream` (\[TMSS03\]): an assertion that
+    /// no later tuple will carry a timestamp ≤ `ts`. Remote clients reach
+    /// this through the wire protocol's `Punct` frame.
+    pub fn punctuate(&self, stream: &str, ts: tcq_common::Timestamp) -> Result<()> {
+        self.stream(stream)?.ingress.send_punct(ts)
+    }
+
     /// Inject a batch of tuples under one ingress-lock acquisition per
     /// chunk admitted (benchmarks, bulk loads). Blocks under back-pressure
     /// until every tuple is enqueued; order is preserved.
@@ -726,6 +784,28 @@ impl TelegraphCQ {
     /// Pull client: fetch buffered results.
     pub fn fetch(&self, client: ClientId, max: usize) -> Result<Vec<Delivery>> {
         self.egress.fetch(client, max)
+    }
+
+    /// Subscribe an already-connected client to an already-running query
+    /// (the transport layer's `Subscribe` control frame: one TCP
+    /// connection fans into many standing queries through its single
+    /// egress queue).
+    pub fn subscribe_client(&self, client: ClientId, query: QueryId) -> Result<()> {
+        self.egress.subscribe(client, query)
+    }
+
+    /// Disconnect a client cleanly (its queue was fully drained).
+    pub fn disconnect_client(&self, client: ClientId) {
+        self.egress.disconnect(client);
+    }
+
+    /// Disconnect a client whose transport died with `undrained` results
+    /// still buffered in its egress queue; those rows are reclassified
+    /// from `delivered` to `disconnected_loss` so the ledger counts what
+    /// the peer actually received (see
+    /// [`tcq_egress::EgressRouter::disconnect_with_loss`]).
+    pub fn disconnect_client_with_loss(&self, client: ClientId, undrained: u64) {
+        self.egress.disconnect_with_loss(client, undrained);
     }
 
     /// Parse, analyze, plan, and start a continuous query on behalf of

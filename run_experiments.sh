@@ -17,7 +17,8 @@ cargo build --release -p tcq-bench
 for e in exp_eddy_adaptivity exp_cacq_sharing exp_psoup exp_hybrid_join \
          exp_flux exp_window_memory exp_adaptivity_knobs exp_storage \
          exp_dynamic_queries exp_chaos exp_throughput exp_scaling \
-         exp_kernels exp_query_scale exp_recovery exp_liveness; do
+         exp_kernels exp_query_scale exp_recovery exp_liveness \
+         exp_clients; do
     echo
     echo "================ $e ================"
     if [ "$SMOKE" = "1" ]; then

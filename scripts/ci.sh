@@ -41,5 +41,8 @@ echo "== exp_recovery --smoke (robustness tripwire: kill -> restore loses nothin
 echo "== exp_liveness --smoke (robustness tripwire: watchdog detects and recovers wedges) =="
 ./target/release/exp_liveness --smoke
 
+echo "== exp_clients --smoke (transport tripwire: real TCP fleet, exact dead-client ledger) =="
+./target/release/exp_clients --smoke
+
 echo
 echo "ci: all green"

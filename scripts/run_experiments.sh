@@ -16,7 +16,7 @@ cargo build --release -p tcq-bench
 for exp in exp_eddy_adaptivity exp_adaptivity_knobs exp_cacq_sharing \
     exp_hybrid_join exp_window_memory exp_psoup exp_dynamic_queries \
     exp_storage exp_flux exp_chaos exp_throughput exp_scaling \
-    exp_kernels exp_query_scale exp_recovery exp_liveness; do
+    exp_kernels exp_query_scale exp_recovery exp_liveness exp_clients; do
     echo
     echo "==== $exp $SMOKE ===="
     ./target/release/"$exp" $SMOKE

@@ -24,7 +24,9 @@
 //!   cluster (§2.4);
 //! * [`storage`] — stream archives and the buffer pool (§4.3);
 //! * [`ingress`] / [`egress`] — wrappers, streamers, and result delivery
-//!   (§4.2.3, §4.3).
+//!   (§4.2.3, §4.3);
+//! * [`net`] — the TCP transport: wire protocol, listener/connection
+//!   layer, and the remote client.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +70,7 @@ pub use tcq_executor as executor;
 pub use tcq_fjords as fjords;
 pub use tcq_flux as flux;
 pub use tcq_ingress as ingress;
+pub use tcq_net as net;
 pub use tcq_operators as operators;
 pub use tcq_psoup as psoup;
 pub use tcq_query as query;
@@ -88,8 +91,12 @@ pub mod prelude {
         ChaosSource, CsvSource, DegradePolicy, NetworkPackets, SensorReadings, Source,
         SourceFactory, SourceStatus, StockTicks, SupervisorConfig, VecSource,
     };
+    pub use tcq_net::{NetServer, TcqClient};
     pub use tcq_operators::{AggFunc, AggSpec, ProjectOp, SelectOp, StemOp};
     pub use tcq_psoup::PSoup;
-    pub use tcq_server::{LivenessConfig, OverloadPolicy, ServerConfig, TelegraphCQ};
+    pub use tcq_server::{
+        LivenessConfig, OverloadPolicy, ServerConfig, TcpTransportConfig, TelegraphCQ,
+        TransportConfig,
+    };
     pub use tcq_windows::{ForLoop, LinExpr, WindowKind, WindowSeq};
 }

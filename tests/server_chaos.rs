@@ -1550,3 +1550,97 @@ fn watchdog_on_and_off_replay_identically_under_chaos() {
         "the chaos schedule wedges nothing, so the armed watchdog stays silent"
     );
 }
+
+/// Tentpole acceptance (PR 10): the server core is *transport-inert*. The
+/// same seeded in-process chaos workload replays byte-identically whether
+/// the engine runs bare (in-process transport, the deterministic harness)
+/// or fronted by a live TCP listener with a remote client chattering over
+/// the wire the whole time. The TCP layer may add connections, pings, and
+/// its own fault points — it must never perturb the engine's schedule,
+/// results, ledger, or fired-fault log.
+#[test]
+fn server_core_replays_identically_with_and_without_tcp_transport() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use telegraphcq::net::NetServer;
+    use telegraphcq::server::{TcpTransportConfig, TransportConfig};
+
+    fn ab_plan() -> FaultPlan {
+        FaultPlan::new(SEED ^ 7)
+            .at(FaultPoint::FjordEnqueue, 200, FaultAction::Overflow)
+            .at(
+                FaultPoint::EgressDeliver,
+                100,
+                FaultAction::Error("socket reset".into()),
+            )
+            .at(
+                FaultPoint::EgressDeliver,
+                400,
+                FaultAction::Error("socket reset".into()),
+            )
+    }
+
+    fn run(transport: TransportConfig) -> (Vec<i64>, EgressStats, Vec<FiredFault>) {
+        let server = NetServer::start(ServerConfig {
+            fault_plan: Some(ab_plan()),
+            transport,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server.engine().register_stream("s", schema()).unwrap();
+        let (client, rx): (_, Receiver<Delivery>) =
+            server.engine().connect_push_client(4096).unwrap();
+        server.engine().submit("SELECT v FROM s", client).unwrap();
+
+        // With the TCP transport up, a real remote client chatters for the
+        // whole run: handshake, pings, a failing submit — wire traffic that
+        // must leave the engine's seeded schedule untouched.
+        let stop = Arc::new(AtomicBool::new(false));
+        let chatter = server.local_addr().map(|addr| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = telegraphcq::net::TcqClient::connect(addr).unwrap();
+                c.submit("SELECT nope FROM nowhere").unwrap_err();
+                let mut pongs = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    c.ping(pongs).unwrap();
+                    pongs += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                c.bye().unwrap();
+                pongs
+            })
+        });
+
+        for batch in workload().chunks(64) {
+            server.engine().push_batch("s", batch.to_vec()).unwrap();
+        }
+        server.engine().finish_stream("s").unwrap();
+        assert!(server.engine().quiesce(Duration::from_secs(60)));
+
+        let results: Vec<i64> = rx
+            .try_iter()
+            .map(|(_, t)| t.value(0).as_int().unwrap())
+            .collect();
+        let egress = server.engine().egress_stats_full();
+        let log = server.engine().fired_faults();
+        stop.store(true, Ordering::SeqCst);
+        if let Some(t) = chatter {
+            let pongs = t.join().unwrap();
+            assert!(pongs > 0, "the remote client really chattered");
+        }
+        server.shutdown().unwrap();
+        (results, egress, log)
+    }
+
+    let a = run(TransportConfig::InProcess);
+    let b = run(TransportConfig::Tcp(TcpTransportConfig::default()));
+    assert!(!a.0.is_empty(), "the workload must produce results");
+    assert_eq!(a.0, b.0, "results diverged across transports");
+    assert_eq!(a.1, b.1, "egress ledger diverged across transports");
+    assert_eq!(
+        normalised(a.2),
+        normalised(b.2),
+        "fired-fault logs diverged across transports"
+    );
+}
